@@ -1,0 +1,40 @@
+//! Criterion benches over Table-I row generation: the full
+//! train → quantize → elaborate → verify → analyze pipeline per design
+//! style.
+//!
+//! The `table1` *binary* regenerates the paper's exhibit; this bench
+//! measures how fast the reproduction pipeline itself runs (Cardio and
+//! RedWine are used as the representative small/medium datasets so the
+//! bench suite stays in CI-friendly time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pe_core::pipeline::{run_experiment, RunOptions};
+use pe_core::styles::DesignStyle;
+use pe_data::UciProfile;
+use std::hint::black_box;
+
+fn bench_opts() -> RunOptions {
+    RunOptions { max_sim_samples: 20, ..RunOptions::default() }
+}
+
+fn bench_rows(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_row");
+    g.sample_size(10);
+    for (profile, style, name) in [
+        (UciProfile::Cardio, DesignStyle::SequentialSvm, "cardio_ours"),
+        (UciProfile::Cardio, DesignStyle::ParallelSvm, "cardio_svm2"),
+        (UciProfile::Cardio, DesignStyle::ApproxParallelSvm, "cardio_svm3"),
+        (UciProfile::Cardio, DesignStyle::ParallelMlp, "cardio_mlp4"),
+        (UciProfile::RedWine, DesignStyle::SequentialSvm, "redwine_ours"),
+        (UciProfile::RedWine, DesignStyle::ParallelSvm, "redwine_svm2"),
+    ] {
+        let opts = bench_opts();
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run_experiment(profile, style, &opts)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rows);
+criterion_main!(benches);

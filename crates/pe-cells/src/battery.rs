@@ -1,0 +1,173 @@
+//! Printed power-source models.
+//!
+//! The paper's headline feasibility claim is that every proposed design can
+//! be powered by an existing printed battery (a Molex 30 mW part is cited),
+//! while most state-of-the-art designs cannot. This module models printed
+//! batteries as a (peak power, capacity) pair and answers feasibility and
+//! battery-life questions.
+
+/// A printed battery model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Battery {
+    name: String,
+    max_power_mw: f64,
+    capacity_mwh: f64,
+}
+
+/// The verdict of checking a design's power draw against a battery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatteryVerdict {
+    /// The design can be powered continuously.
+    Powered,
+    /// The design draws more than the battery can deliver.
+    OverBudget,
+}
+
+impl Battery {
+    /// Creates a battery model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is non-positive or non-finite.
+    #[must_use]
+    pub fn new(name: impl Into<String>, max_power_mw: f64, capacity_mwh: f64) -> Self {
+        assert!(max_power_mw > 0.0 && max_power_mw.is_finite(), "invalid power budget");
+        assert!(capacity_mwh > 0.0 && capacity_mwh.is_finite(), "invalid capacity");
+        Battery { name: name.into(), max_power_mw, capacity_mwh }
+    }
+
+    /// The Molex 30 mW printed battery the paper cites as its power budget.
+    /// Capacity follows the datasheet class of thin printed Zn-MnO2 cells
+    /// (~10 mAh at 1.5 V ≈ 15 mWh).
+    #[must_use]
+    pub fn molex_30mw() -> Self {
+        Battery::new("Molex thin-film (30 mW)", 30.0, 15.0)
+    }
+
+    /// A Zinergy-class flexible battery: lower peak power, similar capacity.
+    #[must_use]
+    pub fn zinergy_15mw() -> Self {
+        Battery::new("Zinergy flexible (15 mW)", 15.0, 13.5)
+    }
+
+    /// A BlueSpark-class printed battery: small peak power budget.
+    #[must_use]
+    pub fn bluespark_9mw() -> Self {
+        Battery::new("BlueSpark printed (9 mW)", 9.0, 5.0)
+    }
+
+    /// The catalog of printed power sources used in reports.
+    #[must_use]
+    pub fn catalog() -> Vec<Battery> {
+        vec![Self::molex_30mw(), Self::zinergy_15mw(), Self::bluespark_9mw()]
+    }
+
+    /// Battery name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Peak continuous power the battery can deliver, mW.
+    #[must_use]
+    pub fn max_power_mw(&self) -> f64 {
+        self.max_power_mw
+    }
+
+    /// Energy capacity, mWh.
+    #[must_use]
+    pub fn capacity_mwh(&self) -> f64 {
+        self.capacity_mwh
+    }
+
+    /// Whether a design drawing `power_mw` can run from this battery.
+    #[must_use]
+    pub fn check(&self, power_mw: f64) -> BatteryVerdict {
+        if power_mw <= self.max_power_mw {
+            BatteryVerdict::Powered
+        } else {
+            BatteryVerdict::OverBudget
+        }
+    }
+
+    /// Continuous operating lifetime in hours at `power_mw` draw, or `None`
+    /// if the battery cannot power the design at all.
+    #[must_use]
+    pub fn lifetime_hours(&self, power_mw: f64) -> Option<f64> {
+        match self.check(power_mw) {
+            BatteryVerdict::Powered => Some(self.capacity_mwh / power_mw),
+            BatteryVerdict::OverBudget => None,
+        }
+    }
+
+    /// Number of classifications per charge for a design that spends
+    /// `energy_mj` per classification (assuming duty-cycled operation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `energy_mj` is not positive.
+    #[must_use]
+    pub fn classifications_per_charge(&self, energy_mj: f64) -> f64 {
+        assert!(energy_mj > 0.0, "energy per classification must be positive");
+        // 1 mWh = 3600 mJ.
+        self.capacity_mwh * 3600.0 / energy_mj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn molex_budget_is_30mw() {
+        let b = Battery::molex_30mw();
+        assert_eq!(b.max_power_mw(), 30.0);
+        assert_eq!(b.check(22.9), BatteryVerdict::Powered); // the paper's peak
+        assert_eq!(b.check(57.4), BatteryVerdict::OverBudget); // [2] Cardio
+    }
+
+    #[test]
+    fn lifetime_scales_inversely_with_power() {
+        let b = Battery::molex_30mw();
+        let l1 = b.lifetime_hours(10.0).unwrap();
+        let l2 = b.lifetime_hours(20.0).unwrap();
+        assert!((l1 / l2 - 2.0).abs() < 1e-12);
+        assert!(b.lifetime_hours(100.0).is_none());
+    }
+
+    #[test]
+    fn classifications_per_charge() {
+        let b = Battery::molex_30mw();
+        // 15 mWh = 54000 mJ; at 2.46 mJ (the paper's average) ≈ 21951.
+        let n = b.classifications_per_charge(2.46);
+        assert!((n - 21951.2).abs() < 1.0);
+    }
+
+    #[test]
+    fn energy_improvement_boosts_battery_life() {
+        // The paper's pitch: 6.5x energy improvement => 6.5x classifications.
+        let b = Battery::molex_30mw();
+        let ours = b.classifications_per_charge(2.46);
+        let sota = b.classifications_per_charge(2.46 * 6.5);
+        assert!((ours / sota - 6.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn catalog_contains_three_models() {
+        let c = Battery::catalog();
+        assert_eq!(c.len(), 3);
+        assert!(c.iter().any(|b| b.name().contains("Molex")));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid power")]
+    fn invalid_battery_panics() {
+        let _ = Battery::new("bad", 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_energy_panics() {
+        let _ = Battery::molex_30mw().classifications_per_charge(0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! EGFET printed-electronics PDK model.
+//!
+//! The papers this repository reproduces evaluate circuits with Synopsys
+//! Design Compiler / PrimeTime against the EGFET (Electrolyte-Gated FET)
+//! printed PDK of Bleier et al., ISCA'20. That PDK is not publicly
+//! distributable, so this crate models it: a small standard-cell library
+//! ([`EgfetLibrary`]) with per-cell area, static power, switching energy and
+//! propagation delay, plus the technology-level calibration knobs
+//! ([`TechParams`]) that the mini-flow in `pe-synth` consumes.
+//!
+//! The absolute values are calibrated so that classifier-scale circuits land
+//! in the regimes the printed-electronics literature reports — areas of
+//! square centimeters, clock frequencies of a few tens of hertz, powers of
+//! milliwatts, energies of millijoules — while every *relative* comparison
+//! (sequential vs. parallel, bespoke vs. generic) emerges from real netlist
+//! structure, simulation-measured switching activity and static timing.
+//!
+//! The crate also models the printed power sources the paper checks against
+//! ([`battery`]), most prominently the Molex 30 mW printed battery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod library;
+pub mod tech;
+
+pub use battery::{Battery, BatteryVerdict};
+pub use library::{CellParams, EgfetLibrary};
+pub use tech::TechParams;

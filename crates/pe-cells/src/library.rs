@@ -1,0 +1,204 @@
+//! The EGFET standard-cell library model.
+
+use pe_netlist::CellKind;
+
+/// Physical parameters of one standard cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellParams {
+    /// Printed footprint in mm².
+    pub area_mm2: f64,
+    /// Static (leakage + resistive-load) power draw in µW. EGFET logic uses
+    /// resistive pull-ups, so static power is substantial and scales with
+    /// transistor count, i.e. roughly with area.
+    pub static_power_uw: f64,
+    /// Energy dissipated per output transition in nJ (switched gate +
+    /// interconnect capacitance at the supply voltage).
+    pub switch_energy_nj: f64,
+    /// Intrinsic propagation delay in ms (printed transistors switch in the
+    /// millisecond regime, which is why printed circuits clock in the Hz
+    /// range).
+    pub delay_ms: f64,
+}
+
+/// A complete printed standard-cell library.
+///
+/// Construct with [`EgfetLibrary::standard`] (the calibrated default) or
+/// [`EgfetLibrary::scaled`] for sensitivity studies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EgfetLibrary {
+    name: String,
+    cells: Vec<(CellKind, CellParams)>,
+}
+
+impl EgfetLibrary {
+    /// The calibrated EGFET library used by every experiment in this
+    /// repository.
+    ///
+    /// Relative cell costs follow standard CMOS-style transistor counts
+    /// (an XOR is ~2× a NAND; a flip-flop ~6×); absolute scales are set so
+    /// classifier-sized netlists reproduce the magnitude ranges of the
+    /// paper's Table I (see crate docs).
+    #[must_use]
+    pub fn standard() -> Self {
+        // (kind, area mm², static µW, switch energy nJ, delay ms)
+        const TABLE: &[(CellKind, f64, f64, f64, f64)] = &[
+            (CellKind::Inv, 0.210, 1.35, 55.0, 0.22),
+            (CellKind::Buf, 0.280, 1.80, 70.0, 0.36),
+            (CellKind::Nand2, 0.350, 2.25, 95.0, 0.32),
+            (CellKind::Nor2, 0.350, 2.25, 95.0, 0.34),
+            (CellKind::And2, 0.462, 3.00, 125.0, 0.44),
+            (CellKind::Or2, 0.462, 3.00, 125.0, 0.44),
+            (CellKind::Xor2, 0.728, 4.65, 195.0, 0.60),
+            (CellKind::Xnor2, 0.770, 4.95, 205.0, 0.62),
+            (CellKind::And3, 0.588, 3.75, 155.0, 0.52),
+            (CellKind::Or3, 0.588, 3.75, 155.0, 0.52),
+            (CellKind::Mux2, 0.700, 4.50, 187.5, 0.56),
+            (CellKind::Maj3, 0.770, 4.95, 205.0, 0.60),
+            (CellKind::Dff, 1.540, 9.90, 400.0, 0.84),
+            (CellKind::DffE, 1.820, 11.70, 475.0, 0.96),
+        ];
+        EgfetLibrary {
+            name: "egfet-standard".into(),
+            cells: TABLE
+                .iter()
+                .map(|&(k, a, s, e, d)| {
+                    (
+                        k,
+                        CellParams {
+                            area_mm2: a,
+                            static_power_uw: s,
+                            switch_energy_nj: e,
+                            delay_ms: d,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// A copy of the standard library with every area/power/energy/delay
+    /// multiplied by the given factors. Used by ablation benches to test the
+    /// sensitivity of the paper's conclusions to PDK calibration.
+    #[must_use]
+    pub fn scaled(area: f64, static_power: f64, switch_energy: f64, delay: f64) -> Self {
+        let base = Self::standard();
+        EgfetLibrary {
+            name: format!("egfet-scaled(a={area},p={static_power},e={switch_energy},d={delay})"),
+            cells: base
+                .cells
+                .into_iter()
+                .map(|(k, p)| {
+                    (
+                        k,
+                        CellParams {
+                            area_mm2: p.area_mm2 * area,
+                            static_power_uw: p.static_power_uw * static_power,
+                            switch_energy_nj: p.switch_energy_nj * switch_energy,
+                            delay_ms: p.delay_ms * delay,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Library name (appears in reports).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Parameters of one cell kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library is missing the kind (the standard library
+    /// covers every [`CellKind`]).
+    #[must_use]
+    pub fn params(&self, kind: CellKind) -> CellParams {
+        self.cells
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, p)| *p)
+            .unwrap_or_else(|| panic!("library {} has no cell {kind:?}", self.name))
+    }
+
+    /// Iterates over all `(kind, params)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CellKind, CellParams)> + '_ {
+        self.cells.iter().copied()
+    }
+}
+
+impl Default for EgfetLibrary {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_covers_all_kinds() {
+        let lib = EgfetLibrary::standard();
+        for &k in CellKind::all() {
+            let p = lib.params(k);
+            assert!(p.area_mm2 > 0.0);
+            assert!(p.static_power_uw > 0.0);
+            assert!(p.switch_energy_nj > 0.0);
+            assert!(p.delay_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn relative_costs_are_sane() {
+        let lib = EgfetLibrary::standard();
+        let inv = lib.params(CellKind::Inv);
+        let nand = lib.params(CellKind::Nand2);
+        let xor = lib.params(CellKind::Xor2);
+        let dff = lib.params(CellKind::Dff);
+        assert!(nand.area_mm2 > inv.area_mm2);
+        assert!(xor.area_mm2 > nand.area_mm2);
+        assert!(dff.area_mm2 > xor.area_mm2);
+        // Static power roughly tracks area (resistive-load logic).
+        let density_inv = inv.static_power_uw / inv.area_mm2;
+        let density_dff = dff.static_power_uw / dff.area_mm2;
+        assert!((density_inv / density_dff - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn printed_magnitudes() {
+        // A representative classifier netlist has a few thousand cells at
+        // ~0.4 mm² each => tens of cm², and static draw of a few mW. These
+        // coarse invariants anchor the calibration.
+        let lib = EgfetLibrary::standard();
+        let avg_area: f64 =
+            lib.iter().map(|(_, p)| p.area_mm2).sum::<f64>() / CellKind::all().len() as f64;
+        assert!(avg_area > 0.1 && avg_area < 1.0, "avg cell area {avg_area} mm²");
+        let nand = lib.params(CellKind::Nand2);
+        // 5000 NAND-ish cells land in the tens of cm² and the ~10 mW static
+        // regime — the magnitudes printed classifiers occupy.
+        let area_cm2 = 5000.0 * nand.area_mm2 / 100.0;
+        let static_mw = 5000.0 * nand.static_power_uw / 1000.0;
+        assert!(area_cm2 > 5.0 && area_cm2 < 60.0, "area {area_cm2} cm²");
+        assert!(static_mw > 3.0 && static_mw < 40.0, "static {static_mw} mW");
+    }
+
+    #[test]
+    fn scaled_applies_factors() {
+        let lib = EgfetLibrary::scaled(2.0, 1.0, 0.5, 3.0);
+        let base = EgfetLibrary::standard();
+        let (a, b) = (lib.params(CellKind::Xor2), base.params(CellKind::Xor2));
+        assert!((a.area_mm2 - 2.0 * b.area_mm2).abs() < 1e-12);
+        assert!((a.static_power_uw - b.static_power_uw).abs() < 1e-12);
+        assert!((a.switch_energy_nj - 0.5 * b.switch_energy_nj).abs() < 1e-12);
+        assert!((a.delay_ms - 3.0 * b.delay_ms).abs() < 1e-12);
+        assert!(lib.name().contains("scaled"));
+    }
+
+    #[test]
+    fn default_is_standard() {
+        assert_eq!(EgfetLibrary::default(), EgfetLibrary::standard());
+    }
+}

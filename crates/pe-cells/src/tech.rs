@@ -1,0 +1,99 @@
+//! Technology-level parameters of the modeled printed process.
+
+/// Process/flow-level knobs consumed by the `pe-synth` analysis passes.
+///
+/// These correspond to the parts of an EDA flow that are not per-cell:
+/// wire loading, clocking overhead, and the glitch model used for
+/// vector-based power analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechParams {
+    /// Supply voltage in volts (EGFET logic runs at about 1 V).
+    pub vdd_v: f64,
+    /// Extra delay per fanout pin beyond the first, in ms. Printed wires are
+    /// resistive and long; fanout costs real time.
+    pub wire_delay_ms_per_fanout: f64,
+    /// Extra switched energy per fanout pin beyond the first, as a fraction
+    /// of the driving cell's switching energy.
+    pub wire_energy_factor_per_fanout: f64,
+    /// Glitch amplification per level of logic depth: a functional toggle on
+    /// a net at combinational depth `d` is charged `1 + glitch_per_level*d`
+    /// transitions. Deep unregistered arrays (the fully-parallel baselines)
+    /// glitch far more than shallow or registered logic, which is one of the
+    /// two mechanisms behind the sequential design's energy advantage.
+    pub glitch_per_level: f64,
+    /// Fraction of the clock period reserved for clock skew, register setup
+    /// and margin (guard band applied when deriving f_clk from the critical
+    /// path).
+    pub timing_margin: f64,
+}
+
+impl TechParams {
+    /// The calibrated defaults used by all experiments.
+    #[must_use]
+    pub fn standard() -> Self {
+        TechParams {
+            vdd_v: 1.0,
+            wire_delay_ms_per_fanout: 0.05,
+            wire_energy_factor_per_fanout: 0.25,
+            glitch_per_level: 0.06,
+            timing_margin: 0.10,
+        }
+    }
+
+    /// Returns a copy with a different glitch coefficient (ablation knob).
+    #[must_use]
+    pub fn with_glitch(mut self, glitch_per_level: f64) -> Self {
+        self.glitch_per_level = glitch_per_level;
+        self
+    }
+
+    /// Returns a copy with a different timing margin.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= margin < 1.0`.
+    #[must_use]
+    pub fn with_timing_margin(mut self, margin: f64) -> Self {
+        assert!((0.0..1.0).contains(&margin), "margin must be in [0, 1)");
+        self.timing_margin = margin;
+        self
+    }
+}
+
+impl Default for TechParams {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_values_in_range() {
+        let t = TechParams::standard();
+        assert!(t.vdd_v > 0.5 && t.vdd_v <= 3.0);
+        assert!(t.glitch_per_level >= 0.0);
+        assert!((0.0..1.0).contains(&t.timing_margin));
+        assert!(t.wire_delay_ms_per_fanout >= 0.0);
+    }
+
+    #[test]
+    fn knob_builders() {
+        let t = TechParams::standard().with_glitch(0.2).with_timing_margin(0.25);
+        assert_eq!(t.glitch_per_level, 0.2);
+        assert_eq!(t.timing_margin, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "margin")]
+    fn bad_margin_panics() {
+        let _ = TechParams::standard().with_timing_margin(1.5);
+    }
+
+    #[test]
+    fn default_is_standard() {
+        assert_eq!(TechParams::default(), TechParams::standard());
+    }
+}

@@ -1,0 +1,193 @@
+//! Ablations of the design decisions §II calls out.
+//!
+//! The paper motivates three choices without dedicating table space to them:
+//! One-vs-Rest over One-vs-One (fewer stored support vectors, simpler
+//! control), MUX-based storage over a crossbar ROM (crossbars need printed
+//! ADCs), and the sequential folding itself. This module quantifies each so
+//! the bench harness can regenerate the arguments.
+
+use pe_ml::QuantizedSvm;
+use pe_netlist::{Builder, Netlist, Word};
+use pe_synth::{analyze_area, mux};
+use pe_cells::EgfetLibrary;
+
+/// Storage demand of a multi-class SVM: how many coefficients must live in
+/// the storage component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageDemand {
+    /// Number of stored classifiers ("support vectors" in the paper's
+    /// linear-SVM sense).
+    pub classifiers: usize,
+    /// Total stored coefficients (weights + biases).
+    pub coefficients: usize,
+    /// Total stored bits at the model's weight precision.
+    pub bits: usize,
+}
+
+/// Computes the storage demand of a quantized model.
+#[must_use]
+pub fn storage_demand(q: &QuantizedSvm) -> StorageDemand {
+    let classifiers = q.classifiers().len();
+    let per = q.num_features() + 1; // weights + bias
+    let coefficients = classifiers * per;
+    StorageDemand {
+        classifiers,
+        coefficients,
+        bits: coefficients * q.weight_bits() as usize,
+    }
+}
+
+/// The OvR-vs-OvO storage argument: for `n` classes OvR stores `n`
+/// classifiers against OvO's `n(n-1)/2`. Returns `(ovr, ovo)` classifier
+/// counts.
+#[must_use]
+pub fn ovr_vs_ovo_classifiers(n_classes: usize) -> (usize, usize) {
+    (n_classes, n_classes * n_classes.saturating_sub(1) / 2)
+}
+
+/// Builds *only* the MUX-ROM storage of a model (counter-addressed weight
+/// tables) so its cost can be isolated.
+#[must_use]
+pub fn build_storage_only(q: &QuantizedSvm) -> Netlist {
+    let n = q.classifiers().len();
+    let m = q.num_features();
+    let mut b = Builder::new(format!("storage_{n}x{m}"));
+    let sel_w = (usize::BITS - (n.max(2) - 1).leading_zeros()) as usize;
+    let sel = Word::new(b.input_bus("sel", sel_w), false);
+    b.group("storage");
+    for i in 0..m {
+        let table: Vec<i64> = (0..n).map(|c| q.classifiers()[c].weights_q[i]).collect();
+        let w = mux::rom_mux(&mut b, &sel, &table);
+        b.output_bus(format!("w{i}"), w.bits());
+    }
+    let biases: Vec<i64> = (0..n).map(|c| q.classifiers()[c].bias_q).collect();
+    let bias = mux::rom_mux(&mut b, &sel, &biases);
+    b.output_bus("bias", bias.bits());
+    b.finish()
+}
+
+/// Analytic model of the crossbar-ROM alternative the authors evaluated and
+/// rejected (§II): a printed crossbar stores bits densely but needs an
+/// analog-to-digital converter per read-out column, and printed ADCs are
+/// enormous. Constants follow the printed-electronics literature's order of
+/// magnitude (a printed SAR-ADC occupies tens of cm² and milliwatts).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossbarModel {
+    /// Crossbar cell area per stored bit, mm².
+    pub bit_area_mm2: f64,
+    /// Area per ADC, mm².
+    pub adc_area_mm2: f64,
+    /// Power per ADC, mW.
+    pub adc_power_mw: f64,
+    /// Static power per stored bit, µW.
+    pub bit_power_uw: f64,
+}
+
+impl Default for CrossbarModel {
+    fn default() -> Self {
+        CrossbarModel {
+            bit_area_mm2: 0.02,
+            adc_area_mm2: 980.0, // ~10 cm² per printed ADC
+            adc_power_mw: 5.8,
+            bit_power_uw: 0.1,
+        }
+    }
+}
+
+/// Cost estimate of a crossbar-ROM storage replacement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossbarCost {
+    /// Total area, cm².
+    pub area_cm2: f64,
+    /// Total power, mW.
+    pub power_mw: f64,
+    /// Number of ADCs (one per concurrently-read coefficient word).
+    pub adcs: usize,
+}
+
+impl CrossbarModel {
+    /// Estimates the crossbar storage cost for a model: one analog column
+    /// read-out (and hence one ADC) per coefficient word fetched per cycle
+    /// (`m` weights + 1 bias for the sequential engine).
+    #[must_use]
+    pub fn cost(&self, q: &QuantizedSvm) -> CrossbarCost {
+        let demand = storage_demand(q);
+        let adcs = q.num_features() + 1;
+        let area_mm2 =
+            demand.bits as f64 * self.bit_area_mm2 + adcs as f64 * self.adc_area_mm2;
+        let power_mw =
+            demand.bits as f64 * self.bit_power_uw / 1000.0 + adcs as f64 * self.adc_power_mw;
+        CrossbarCost { area_cm2: area_mm2 / 100.0, power_mw, adcs }
+    }
+}
+
+/// Compares MUX-ROM storage (built and measured as a real netlist) against
+/// the crossbar model. Returns `(mux_area_cm2, crossbar_area_cm2)`.
+#[must_use]
+pub fn mux_vs_crossbar_area(q: &QuantizedSvm, lib: &EgfetLibrary) -> (f64, f64) {
+    let storage = build_storage_only(q);
+    let mux_area = analyze_area(&storage, lib).total_cm2;
+    let crossbar = CrossbarModel::default().cost(q);
+    (mux_area, crossbar.area_cm2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_data::{train_test_split, Normalizer, UciProfile};
+    use pe_ml::linear::SvmTrainParams;
+    use pe_ml::multiclass::{MulticlassScheme, SvmModel};
+
+    fn model(scheme: MulticlassScheme) -> QuantizedSvm {
+        let d = UciProfile::Cardio.generate(17);
+        let (train, _) = train_test_split(&d, 0.2, 17);
+        let train = Normalizer::fit(&train).apply(&train);
+        let sub: Vec<usize> = (0..250).collect();
+        let p = SvmTrainParams { max_epochs: 20, ..SvmTrainParams::default() };
+        let m = SvmModel::train(&train.subset(&sub, "-s"), scheme, &p);
+        QuantizedSvm::quantize(&m, 4, 6)
+    }
+
+    #[test]
+    fn storage_demand_counts() {
+        let q = model(MulticlassScheme::OneVsRest);
+        let d = storage_demand(&q);
+        assert_eq!(d.classifiers, 3);
+        assert_eq!(d.coefficients, 3 * 22);
+        assert_eq!(d.bits, 3 * 22 * 6);
+    }
+
+    #[test]
+    fn ovr_stores_fewer_for_many_classes() {
+        assert_eq!(ovr_vs_ovo_classifiers(3), (3, 3));
+        assert_eq!(ovr_vs_ovo_classifiers(6), (6, 15));
+        assert_eq!(ovr_vs_ovo_classifiers(10), (10, 45));
+    }
+
+    #[test]
+    fn storage_only_netlist_is_small_and_combinational() {
+        let q = model(MulticlassScheme::OneVsRest);
+        let nl = build_storage_only(&q);
+        nl.validate().unwrap();
+        assert_eq!(nl.num_seq_cells(), 0);
+        // Bespoke folding: far fewer cells than a naive
+        // (n-1 muxes × bits) implementation.
+        let naive = (3 - 1) * storage_demand(&q).bits;
+        assert!(nl.num_cells() < naive, "{} vs naive {}", nl.num_cells(), naive);
+    }
+
+    #[test]
+    fn crossbar_is_more_expensive_than_mux_rom() {
+        // The paper: "crossbars prove more costly, mainly due to the need
+        // for printed ADCs."
+        let q = model(MulticlassScheme::OneVsRest);
+        let (mux_area, crossbar_area) = mux_vs_crossbar_area(&q, &EgfetLibrary::standard());
+        assert!(
+            crossbar_area > mux_area,
+            "crossbar {crossbar_area} cm² must exceed MUX-ROM {mux_area} cm²"
+        );
+        let cost = CrossbarModel::default().cost(&q);
+        assert_eq!(cost.adcs, 22);
+        assert!(cost.power_mw > 10.0, "ADC power dominates: {}", cost.power_mw);
+    }
+}

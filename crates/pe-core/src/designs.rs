@@ -1,0 +1,6 @@
+//! Circuit generators for every design style in Table I.
+
+pub mod mlp;
+pub mod parallel;
+pub mod pipelined;
+pub mod sequential;

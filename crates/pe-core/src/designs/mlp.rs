@@ -1,0 +1,202 @@
+//! Bespoke parallel quantized MLP — baseline \[4\] (Armeniakos+, TC'23).
+//!
+//! Two fully-parallel layers of CSD constant multipliers with an integer
+//! ReLU + shift re-quantization between them (matching
+//! [`QuantizedMlp`] bit for bit), and a combinational argmax voter.
+//! Everything is combinational: one (very long) cycle per classification,
+//! which is why the printed MLP baselines clock at only a few hertz.
+//!
+//! Port map: inputs `x0..x{m-1}`; output `class`.
+
+use pe_ml::QuantizedMlp;
+use pe_netlist::{Builder, Netlist, Word};
+use pe_synth::{adder, cmp, mult, tree};
+
+/// Builds the parallel MLP netlist from a quantized model.
+///
+/// # Panics
+///
+/// Panics if the model has fewer than 2 classes.
+#[must_use]
+pub fn build_parallel_mlp(q: &QuantizedMlp) -> Netlist {
+    let n = q.num_classes();
+    assert!(n >= 2, "need at least two classes");
+    let m = q.w1_q()[0].len();
+    let k = q.input_bits() as usize;
+    let mut b = Builder::new(format!("par_mlp_{n}c_{m}f"));
+    let xs: Vec<Word> = (0..m)
+        .map(|i| Word::new(b.input_bus(format!("x{i}"), k), false))
+        .collect();
+
+    // ---- Hidden layer. -----------------------------------------------------
+    b.group("layer1");
+    let cap_bits = q.hidden_bits() as usize;
+    let shift = q.hidden_shift() as usize;
+    let hidden: Vec<Word> = q
+        .w1_q()
+        .iter()
+        .zip(q.b1_q())
+        .map(|(row, &bias)| {
+            let mut terms: Vec<Word> = xs
+                .iter()
+                .zip(row)
+                .map(|(x, &w)| mult::mul_const(&mut b, x, w))
+                .collect();
+            let acc = tree::sum_chain(&mut b, &terms.drain(..).collect::<Vec<_>>());
+            let acc = adder::add_const(&mut b, &acc, bias);
+            // ReLU: signed accumulators clamp at zero; already-unsigned
+            // accumulators (all-positive weight rows) pass through.
+            let rect = if acc.is_signed() { adder::relu(&mut b, &acc) } else { acc };
+            // Shift re-quantization (drop `shift` LSBs) with saturation to
+            // `cap_bits`, matching `(acc >> shift).min(cap)`.
+            requantize(&mut b, &rect, shift, cap_bits)
+        })
+        .collect();
+
+    // ---- Output layer. -----------------------------------------------------
+    b.group("layer2");
+    let logits: Vec<Word> = q
+        .w2_q()
+        .iter()
+        .zip(q.b2_q())
+        .map(|(row, &bias)| {
+            let mut terms: Vec<Word> = hidden
+                .iter()
+                .zip(row)
+                .map(|(h, &w)| mult::mul_const(&mut b, h, w))
+                .collect();
+            let acc = tree::sum_chain(&mut b, &terms.drain(..).collect::<Vec<_>>());
+            adder::add_const(&mut b, &acc, bias)
+        })
+        .collect();
+
+    // ---- Voter. --------------------------------------------------------------
+    b.group("voter");
+    let (_, idx) = cmp::max_argmax(&mut b, &logits);
+    b.output_bus("class", idx.bits());
+    let nl = b.finish();
+    debug_assert!(nl.validate().is_ok());
+    nl
+}
+
+/// Unsigned shift-right by `shift` with saturation to `cap_bits` bits:
+/// `min(x >> shift, 2^cap_bits - 1)`. The shift itself is pure wiring; the
+/// saturation is an OR over the dropped high bits.
+fn requantize(b: &mut Builder, x: &Word, shift: usize, cap_bits: usize) -> Word {
+    assert!(!x.is_signed(), "requantize expects an unsigned (post-ReLU) word");
+    if shift >= x.width() {
+        return Word::new(vec![b.constant(false)], false);
+    }
+    let shifted: Vec<pe_netlist::NetId> = x.bits()[shift..].to_vec();
+    if shifted.len() <= cap_bits {
+        return Word::new(shifted, false);
+    }
+    let (low, high) = shifted.split_at(cap_bits);
+    let overflow = cmp::or_reduce(b, high);
+    let bits: Vec<pe_netlist::NetId> =
+        low.iter().map(|&n| b.or2(n, overflow)).collect();
+    Word::new(bits, false)
+}
+
+/// Cycles per classification: the MLP classifies in one (long) cycle.
+#[must_use]
+pub fn cycles_per_inference() -> u64 {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_data::{train_test_split, Normalizer, UciProfile};
+    use pe_ml::mlp::{Mlp, MlpTrainParams};
+    use pe_sim::Simulator;
+
+    fn quantized_mlp() -> (QuantizedMlp, pe_data::Dataset) {
+        let d = UciProfile::Cardio.generate(13);
+        let (train, test) = train_test_split(&d, 0.2, 13);
+        let norm = Normalizer::fit(&train);
+        let (train, test) = (norm.apply(&train), norm.apply(&test));
+        let sub: Vec<usize> = (0..400).collect();
+        let train = train.subset(&sub, "-s");
+        let mlp = Mlp::train(
+            &train,
+            &MlpTrainParams { hidden: 5, epochs: 40, ..MlpTrainParams::default() },
+        );
+        let q = QuantizedMlp::quantize(&mlp, &train, 4, 5, 6);
+        let keep: Vec<usize> = (0..40).collect();
+        (q, test.subset(&keep, "-probe"))
+    }
+
+    fn classify(sim: &mut Simulator<'_>, x_q: &[i64]) -> i64 {
+        for (i, &v) in x_q.iter().enumerate() {
+            sim.set_input(&format!("x{i}"), v);
+        }
+        sim.sample_comb();
+        sim.output_unsigned("class")
+    }
+
+    #[test]
+    fn matches_quantized_mlp_golden() {
+        let (q, probe) = quantized_mlp();
+        let nl = build_parallel_mlp(&q);
+        nl.validate().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        for (i, x) in probe.features().iter().enumerate() {
+            let x_q = q.quantize_input(x);
+            assert_eq!(
+                classify(&mut sim, &x_q),
+                q.predict_int(&x_q) as i64,
+                "sample {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn is_combinational() {
+        let (q, _) = quantized_mlp();
+        let nl = build_parallel_mlp(&q);
+        assert_eq!(nl.num_seq_cells(), 0);
+        assert_eq!(cycles_per_inference(), 1);
+    }
+
+    #[test]
+    fn has_two_layer_groups() {
+        let (q, _) = quantized_mlp();
+        let nl = build_parallel_mlp(&q);
+        let names = nl.group_names();
+        assert!(names.iter().any(|n| n == "layer1"));
+        assert!(names.iter().any(|n| n == "layer2"));
+        assert!(names.iter().any(|n| n == "voter"));
+    }
+
+    #[test]
+    fn requantize_saturates() {
+        // Unit-test the saturating shift against the golden formula.
+        let mut b = Builder::new("rq");
+        let x = Word::new(b.input_bus("x", 8), false);
+        let y = requantize(&mut b, &x, 2, 3);
+        b.output_bus("y", y.bits());
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+        for v in 0i64..256 {
+            sim.set_input("x", v);
+            sim.eval_comb();
+            let want = (v >> 2).min(7);
+            assert_eq!(sim.output_unsigned("y"), want, "v={v}");
+        }
+    }
+
+    #[test]
+    fn requantize_degenerate_shift() {
+        let mut b = Builder::new("rq");
+        let x = Word::new(b.input_bus("x", 4), false);
+        let y = requantize(&mut b, &x, 10, 3);
+        assert_eq!(y.width(), 1); // everything shifted out -> constant 0
+        b.output_bus("y", y.bits());
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("x", 15);
+        sim.eval_comb();
+        assert_eq!(sim.output_unsigned("y"), 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Fully-parallel bespoke SVMs — baselines \[2\] (exact) and \[3\]
+//! (coefficient-approximated).
+//!
+//! One CSD constant-coefficient multiplier per trained coefficient, one adder
+//! tree per classifier, everything combinational: a classification completes
+//! in a single (long) cycle. The voter depends on the decomposition:
+//!
+//! * **OvR** — combinational argmax over the n classifier scores.
+//! * **OvO** — each pairwise score's sign casts a vote; per-class popcounts
+//!   feed a combinational argmax. This is the structure whose storage and
+//!   voter §II calls out as the OvO overhead.
+//!
+//! Port map: inputs `x0..x{m-1}`; output `class`.
+
+use pe_ml::multiclass::MulticlassScheme;
+use pe_ml::QuantizedSvm;
+use pe_netlist::{Builder, Netlist, Word};
+use pe_synth::{adder, cmp, mult, tree};
+
+/// Builds a fully-parallel SVM netlist (OvR or OvO) from a quantized model.
+/// Baseline \[3\] is obtained by passing a model through
+/// [`QuantizedSvm::approximate_csd`] first.
+///
+/// # Panics
+///
+/// Panics if the model has fewer than 2 classes.
+#[must_use]
+pub fn build_parallel_svm(q: &QuantizedSvm) -> Netlist {
+    let n = q.num_classes();
+    assert!(n >= 2, "need at least two classes");
+    let m = q.num_features();
+    let k = q.input_bits() as usize;
+    let style = match q.scheme() {
+        MulticlassScheme::OneVsRest => "ovr",
+        MulticlassScheme::OneVsOne => "ovo",
+    };
+    let mut b = Builder::new(format!("par_svm_{style}_{n}c_{m}f"));
+    let xs: Vec<Word> = (0..m)
+        .map(|i| Word::new(b.input_bus(format!("x{i}"), k), false))
+        .collect();
+
+    // ---- One bespoke datapath per classifier. -----------------------------
+    b.group("classifiers");
+    let scores: Vec<Word> = q
+        .classifiers()
+        .iter()
+        .map(|c| {
+            let mut terms: Vec<Word> = xs
+                .iter()
+                .zip(&c.weights_q)
+                .map(|(x, &w)| mult::mul_const(&mut b, x, w))
+                .collect();
+            let sum = tree::sum_chain(&mut b, &terms.drain(..).collect::<Vec<_>>());
+            adder::add_const(&mut b, &sum, c.bias_q)
+        })
+        .collect();
+
+    // ---- Voter. -----------------------------------------------------------
+    b.group("voter");
+    let class = match q.scheme() {
+        MulticlassScheme::OneVsRest => {
+            let (_, idx) = cmp::max_argmax(&mut b, &scores);
+            idx
+        }
+        MulticlassScheme::OneVsOne => {
+            // score > 0 votes for the first class of the pair.
+            let zero = Word::constant(&b, 0, 1, false);
+            let positive: Vec<pe_netlist::NetId> =
+                scores.iter().map(|s| cmp::gt(&mut b, s, &zero)).collect();
+            let mut per_class_votes: Vec<Vec<pe_netlist::NetId>> = vec![Vec::new(); n];
+            for (bit, &(a, c)) in positive.iter().zip(q.pairs()) {
+                per_class_votes[a].push(*bit);
+                let nb = b.inv(*bit);
+                per_class_votes[c].push(nb);
+            }
+            let counts: Vec<Word> = per_class_votes
+                .iter()
+                .map(|bits| tree::popcount(&mut b, bits))
+                .collect();
+            let (_, idx) = cmp::max_argmax(&mut b, &counts);
+            idx
+        }
+    };
+    b.output_bus("class", class.bits());
+    let nl = b.finish();
+    debug_assert!(nl.validate().is_ok());
+    nl
+}
+
+/// Cycles per classification: the parallel designs classify in one cycle.
+#[must_use]
+pub fn cycles_per_inference() -> u64 {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_data::{train_test_split, Normalizer, UciProfile};
+    use pe_ml::linear::SvmTrainParams;
+    use pe_ml::multiclass::SvmModel;
+    use pe_sim::Simulator;
+
+    fn quantized(scheme: MulticlassScheme, weight_bits: u32) -> (QuantizedSvm, pe_data::Dataset) {
+        let d = UciProfile::Cardio.generate(5);
+        let (train, test) = train_test_split(&d, 0.2, 5);
+        let norm = Normalizer::fit(&train);
+        let (train, test) = (norm.apply(&train), norm.apply(&test));
+        let sub: Vec<usize> = (0..300).collect();
+        let p = SvmTrainParams { max_epochs: 30, ..SvmTrainParams::default() };
+        let m = SvmModel::train(&train.subset(&sub, "-s"), scheme, &p);
+        let q = QuantizedSvm::quantize(&m, 6, weight_bits);
+        let keep: Vec<usize> = (0..40).collect();
+        (q, test.subset(&keep, "-probe"))
+    }
+
+    fn classify(sim: &mut Simulator<'_>, x_q: &[i64]) -> i64 {
+        for (i, &v) in x_q.iter().enumerate() {
+            sim.set_input(&format!("x{i}"), v);
+        }
+        sim.sample_comb();
+        sim.output_unsigned("class")
+    }
+
+    #[test]
+    fn ovr_parallel_matches_golden() {
+        let (q, probe) = quantized(MulticlassScheme::OneVsRest, 7);
+        let nl = build_parallel_svm(&q);
+        nl.validate().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        for x in probe.features() {
+            let x_q = q.quantize_input(x);
+            assert_eq!(classify(&mut sim, &x_q), q.predict_int(&x_q) as i64);
+        }
+    }
+
+    #[test]
+    fn ovo_parallel_matches_golden() {
+        let (q, probe) = quantized(MulticlassScheme::OneVsOne, 7);
+        let nl = build_parallel_svm(&q);
+        nl.validate().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        for x in probe.features() {
+            let x_q = q.quantize_input(x);
+            assert_eq!(classify(&mut sim, &x_q), q.predict_int(&x_q) as i64);
+        }
+    }
+
+    #[test]
+    fn approximated_model_matches_its_own_golden() {
+        let (q, probe) = quantized(MulticlassScheme::OneVsOne, 8);
+        let approx = q.approximate_csd(2);
+        let nl = build_parallel_svm(&approx);
+        let mut sim = Simulator::new(&nl).unwrap();
+        for x in probe.features() {
+            let x_q = approx.quantize_input(x);
+            assert_eq!(classify(&mut sim, &x_q), approx.predict_int(&x_q) as i64);
+        }
+    }
+
+    #[test]
+    fn approximation_shrinks_the_circuit() {
+        let (q, _) = quantized(MulticlassScheme::OneVsOne, 8);
+        let full = build_parallel_svm(&q);
+        let approx = build_parallel_svm(&q.approximate_csd(2));
+        assert!(
+            approx.num_cells() < full.num_cells(),
+            "approx {} should be smaller than exact {}",
+            approx.num_cells(),
+            full.num_cells()
+        );
+    }
+
+    #[test]
+    fn parallel_design_is_combinational() {
+        let (q, _) = quantized(MulticlassScheme::OneVsOne, 6);
+        let nl = build_parallel_svm(&q);
+        assert_eq!(nl.num_seq_cells(), 0, "no registers in a parallel design");
+        assert_eq!(cycles_per_inference(), 1);
+    }
+
+    #[test]
+    fn parallel_is_bigger_than_sequential_per_coefficient_count() {
+        // The area story of the paper: OvO parallel instantiates hardware per
+        // coefficient; the sequential engine is folded.
+        let (q_ovo, _) = quantized(MulticlassScheme::OneVsOne, 7);
+        let (q_ovr, _) = quantized(MulticlassScheme::OneVsRest, 7);
+        let par = build_parallel_svm(&q_ovo);
+        let seq = crate::designs::sequential::build_sequential_ovr(&q_ovr);
+        // Cardio has only 3 classes (3 OvO pairs), yet the parallel design
+        // still instantiates 3 full datapaths at higher input precision.
+        assert!(par.num_cells() > seq.num_cells() / 2);
+    }
+}

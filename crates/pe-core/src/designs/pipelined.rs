@@ -1,0 +1,211 @@
+//! Extension: a two-stage **pipelined** sequential SVM.
+//!
+//! The paper's design computes fetch→multiply→accumulate→compare in one
+//! combinational cone per cycle. Inserting a pipeline register between the
+//! MUX-ROM storage and the compute engine splits that cone: stage 1 fetches
+//! the coefficients of class `c`, stage 2 computes and votes on class `c-1`.
+//! The clock period shrinks to the longer of the two stages, at the price of
+//! one extra cycle of latency (`n + 1` total) and the pipeline registers'
+//! area — the classic throughput-for-latency trade the paper lists as future
+//! work for further battery-life gains.
+//!
+//! Protocol: apply an input sample, clock `n + 1` cycles, read `class`
+//! (assert via `valid`). Between samples, either reset or keep the inputs
+//! stable for one extra alignment cycle; the bundled tests use reset.
+
+use pe_ml::multiclass::MulticlassScheme;
+use pe_ml::QuantizedSvm;
+use pe_netlist::{Builder, Netlist, Word};
+use pe_synth::seq::{counter_mod, WordReg};
+use pe_synth::{cmp, mux, tree};
+
+/// Builds the pipelined sequential OvR SVM.
+///
+/// # Panics
+///
+/// Panics if the model is not One-vs-Rest or has fewer than 2 classes.
+#[must_use]
+pub fn build_pipelined_ovr(q: &QuantizedSvm) -> Netlist {
+    assert_eq!(q.scheme(), MulticlassScheme::OneVsRest, "pipelined design is OvR");
+    let n = q.num_classes();
+    assert!(n >= 2, "need at least two classes");
+    let m = q.num_features();
+    let k = q.input_bits() as usize;
+
+    let mut b = Builder::new(format!("seq_svm_pipe_{n}c_{m}f"));
+    let xs: Vec<Word> = (0..m)
+        .map(|i| Word::new(b.input_bus(format!("x{i}"), k), false))
+        .collect();
+
+    b.group("control");
+    let ctr = counter_mod(&mut b, n, None);
+    let count = ctr.count.clone();
+
+    // ---- Stage 1: fetch. --------------------------------------------------
+    b.group("storage");
+    let weight_words: Vec<Word> = (0..m)
+        .map(|i| {
+            let table: Vec<i64> = (0..n).map(|c| q.classifiers()[c].weights_q[i]).collect();
+            mux::rom_mux(&mut b, &count, &table)
+        })
+        .collect();
+    let bias_table: Vec<i64> = (0..n).map(|c| q.classifiers()[c].bias_q).collect();
+    let bias_word = mux::rom_mux(&mut b, &count, &bias_table);
+
+    // ---- Pipeline registers (weights, bias, class id, first flag). --------
+    b.group("pipeline");
+    let weight_regs: Vec<Word> = weight_words
+        .iter()
+        .map(|w| {
+            let reg = WordReg::new(&mut b, w.width(), w.is_signed(), None, 0);
+            let q_out = reg.q().clone();
+            reg.connect(&mut b, w);
+            q_out
+        })
+        .collect();
+    let bias_reg = {
+        let reg = WordReg::new(&mut b, bias_word.width(), bias_word.is_signed(), None, 0);
+        let q_out = reg.q().clone();
+        reg.connect(&mut b, &bias_word);
+        q_out
+    };
+    let id_reg = {
+        let reg = WordReg::new(&mut b, count.width(), false, None, 0);
+        let q_out = reg.q().clone();
+        reg.connect(&mut b, &count);
+        q_out
+    };
+    let first_now = cmp::eq_const(&mut b, &count, 0);
+    let first_delayed = b.dff(first_now, false);
+    let last_delayed = b.dff(ctr.last, false);
+
+    // ---- Stage 2: compute + vote. -----------------------------------------
+    b.group("engine");
+    let mut terms: Vec<Word> = xs
+        .iter()
+        .zip(&weight_regs)
+        .map(|(x, w)| pe_synth::mult::mul_generic(&mut b, x, w))
+        .collect();
+    terms.push(bias_reg);
+    let score = tree::sum_tree(&mut b, &terms);
+
+    b.group("voter");
+    let score_w = score.width();
+    let best = WordReg::new(&mut b, score_w, score.is_signed(), None, -(1i64 << (score_w - 1)));
+    let challenger_wins = cmp::gt(&mut b, &score, best.q());
+    let update = b.or2(first_delayed, challenger_wins);
+    let new_best = mux::mux_word(&mut b, best.q(), &score, update);
+    best.connect(&mut b, &new_best);
+
+    let best_id = WordReg::new(&mut b, id_reg.width(), false, None, 0);
+    let new_id = mux::mux_word(&mut b, best_id.q(), &id_reg, update);
+    let class_out = best_id.q().clone();
+    best_id.connect(&mut b, &new_id);
+
+    let valid = b.dff(last_delayed, false);
+    b.output_bus("class", class_out.bits());
+    b.output("valid", valid);
+    let nl = b.finish();
+    debug_assert!(nl.validate().is_ok());
+    nl
+}
+
+/// Cycles per classification: `n` support vectors plus one fill cycle.
+#[must_use]
+pub fn cycles_per_inference(q: &QuantizedSvm) -> u64 {
+    q.num_classes() as u64 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::sequential;
+    use pe_cells::{EgfetLibrary, TechParams};
+    use pe_data::{train_test_split, Normalizer, UciProfile};
+    use pe_ml::linear::SvmTrainParams;
+    use pe_ml::multiclass::SvmModel;
+    use pe_sim::Simulator;
+
+    fn quantized(profile: UciProfile) -> (QuantizedSvm, pe_data::Dataset) {
+        let d = profile.generate(31);
+        let (train, test) = train_test_split(&d, 0.2, 31);
+        let norm = Normalizer::fit(&train);
+        let (train, test) = (norm.apply(&train), norm.apply(&test));
+        let sub: Vec<usize> = (0..train.len().min(350)).collect();
+        let p = SvmTrainParams { max_epochs: 35, ..SvmTrainParams::default() };
+        let m = SvmModel::train(
+            &train.subset(&sub, "-s").quantize_inputs(4),
+            MulticlassScheme::OneVsRest,
+            &p,
+        );
+        (QuantizedSvm::quantize(&m, 4, 6), test)
+    }
+
+    fn classify(sim: &mut Simulator<'_>, x_q: &[i64], cycles: u64) -> i64 {
+        sim.reset();
+        for (i, &v) in x_q.iter().enumerate() {
+            sim.set_input(&format!("x{i}"), v);
+        }
+        for _ in 0..cycles {
+            sim.tick();
+        }
+        assert_eq!(sim.output_unsigned("valid"), 1, "valid after n+1 cycles");
+        sim.output_unsigned("class")
+    }
+
+    #[test]
+    fn pipelined_matches_golden_model() {
+        let (q, test) = quantized(UciProfile::Cardio);
+        let nl = build_pipelined_ovr(&q);
+        nl.validate().unwrap();
+        let cycles = cycles_per_inference(&q);
+        let mut sim = Simulator::new(&nl).unwrap();
+        for (i, x) in test.features().iter().take(40).enumerate() {
+            let x_q = q.quantize_input(x);
+            assert_eq!(
+                classify(&mut sim, &x_q, cycles),
+                q.predict_int(&x_q) as i64,
+                "sample {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn pipelining_raises_the_clock() {
+        let (q, _) = quantized(UciProfile::Cardio);
+        let plain = sequential::build_sequential_ovr(&q);
+        let piped = build_pipelined_ovr(&q);
+        let lib = EgfetLibrary::standard();
+        let tech = TechParams::standard();
+        let t_plain = pe_synth::analyze_timing(&plain, &lib, &tech).unwrap();
+        let t_piped = pe_synth::analyze_timing(&piped, &lib, &tech).unwrap();
+        assert!(
+            t_piped.freq_hz > t_plain.freq_hz,
+            "pipelined {:.1} Hz must beat plain {:.1} Hz",
+            t_piped.freq_hz,
+            t_plain.freq_hz
+        );
+    }
+
+    #[test]
+    fn pipelining_costs_registers_and_a_cycle() {
+        let (q, _) = quantized(UciProfile::Cardio);
+        let plain = sequential::build_sequential_ovr(&q);
+        let piped = build_pipelined_ovr(&q);
+        assert!(piped.num_seq_cells() > plain.num_seq_cells());
+        assert_eq!(cycles_per_inference(&q), 4); // 3 classes + 1 fill
+        assert_eq!(sequential::cycles_per_inference(&q), 3);
+    }
+
+    #[test]
+    fn six_class_pipelined_verifies() {
+        let (q, test) = quantized(UciProfile::Dermatology);
+        let nl = build_pipelined_ovr(&q);
+        let cycles = cycles_per_inference(&q);
+        let mut sim = Simulator::new(&nl).unwrap();
+        for x in test.features().iter().take(15) {
+            let x_q = q.quantize_input(x);
+            assert_eq!(classify(&mut sim, &x_q, cycles), q.predict_int(&x_q) as i64);
+        }
+    }
+}

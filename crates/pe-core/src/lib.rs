@@ -1,0 +1,56 @@
+//! The paper's contribution: energy-efficient printed **sequential SVM**
+//! classifier circuits, plus the three state-of-the-art baselines it is
+//! evaluated against, and the end-to-end pipeline that reproduces the
+//! evaluation (DATE'25, arXiv:2501.16828).
+//!
+//! # What is in here
+//!
+//! * [`designs::sequential`] — **ours**: the bespoke sequential One-vs-Rest
+//!   SVM of Fig. 1: a ⌈log2 n⌉-bit control counter, hardwired MUX-ROM
+//!   coefficient storage, a folded compute engine (m generic multipliers +
+//!   one multi-operand adder) computing one support vector per cycle, and a
+//!   sequential-argmax voter (two registers + one comparator).
+//! * [`designs::parallel`] — baseline \[2\] (Mubarik+, MICRO'20) and \[3\]
+//!   (Armeniakos+, TCAD'23): fully-parallel bespoke SVMs, one CSD
+//!   constant-multiplier per coefficient, combinational argmax / OvO-vote
+//!   voter; \[3\] additionally prunes coefficients to few CSD terms.
+//! * [`designs::mlp`] — baseline \[4\] (Armeniakos+, TC'23): a bespoke
+//!   parallel quantized MLP.
+//! * [`pipeline`] — train → quantize (lowest-precision search) → generate →
+//!   **verify bit-exact against the integer golden model** → simulate for
+//!   switching activity → STA/area/power → [`report::DesignReport`] with the
+//!   paper's six metrics (accuracy, area, power, frequency, latency, energy).
+//! * [`report`] — Table-I-shaped rendering plus the derived claims (energy
+//!   ratios, accuracy deltas, printed-battery feasibility).
+//! * [`ablation`] — the design alternatives §II discusses: OvR vs OvO
+//!   storage, MUX-ROM vs crossbar ROM (with ADC cost), and PDK sensitivity.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use pe_core::pipeline::{run_experiment, RunOptions};
+//! use pe_core::styles::DesignStyle;
+//! use pe_data::UciProfile;
+//!
+//! let report = run_experiment(
+//!     UciProfile::Cardio,
+//!     DesignStyle::SequentialSvm,
+//!     &RunOptions::default(),
+//! );
+//! println!("{}", report.one_line());
+//! assert_eq!(report.mismatches, 0); // circuit == golden model, bit for bit
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod designs;
+pub mod pipeline;
+pub mod report;
+pub mod styles;
+pub mod sweep;
+
+pub use pipeline::{run_experiment, RunOptions};
+pub use report::{DesignReport, Table1};
+pub use styles::DesignStyle;

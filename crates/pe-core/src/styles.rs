@@ -1,0 +1,183 @@
+//! The four design styles of Table I and their per-dataset parameters.
+
+use pe_data::UciProfile;
+
+/// A row-family of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignStyle {
+    /// **Ours**: sequential bespoke OvR SVM (one support vector per cycle).
+    SequentialSvm,
+    /// Baseline \[2\]: fully-parallel exact bespoke OvO SVM (MICRO'20).
+    ParallelSvm,
+    /// Baseline \[3\]: fully-parallel cross-approximated OvO SVM (TCAD'23).
+    ApproxParallelSvm,
+    /// Baseline \[4\]: bespoke approximate parallel MLP (TC'23).
+    ParallelMlp,
+}
+
+impl DesignStyle {
+    /// All four styles in the paper's presentation order (baselines first).
+    #[must_use]
+    pub fn all() -> [DesignStyle; 4] {
+        [
+            DesignStyle::ParallelSvm,
+            DesignStyle::ApproxParallelSvm,
+            DesignStyle::ParallelMlp,
+            DesignStyle::SequentialSvm,
+        ]
+    }
+
+    /// The label used in Table I.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            DesignStyle::SequentialSvm => "Ours",
+            DesignStyle::ParallelSvm => "SVM [2]",
+            DesignStyle::ApproxParallelSvm => "SVM [3]*",
+            DesignStyle::ParallelMlp => "MLP [4]*",
+        }
+    }
+
+    /// Whether this style is an approximate model (starred in Table I).
+    #[must_use]
+    pub fn is_approximate(&self) -> bool {
+        matches!(self, DesignStyle::ApproxParallelSvm | DesignStyle::ParallelMlp)
+    }
+}
+
+/// How coefficient precision is chosen for a style.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightPrecision {
+    /// A fixed width (the baselines' published settings).
+    Fixed(u32),
+    /// The paper's procedure: the lowest width within `tolerance` of the
+    /// float model's training accuracy.
+    Search {
+        /// Narrowest candidate width.
+        min: u32,
+        /// Widest candidate width.
+        max: u32,
+        /// Allowed accuracy loss versus the float model.
+        tolerance: f64,
+    },
+}
+
+/// MLP architecture settings (baseline \[4\] only).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MlpArch {
+    /// Hidden-layer width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Hidden-activation precision in bits.
+    pub hidden_bits: u32,
+}
+
+/// Resolved per-style, per-dataset parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StyleParams {
+    /// Input activation precision in bits.
+    pub input_bits: u32,
+    /// Coefficient precision policy.
+    pub weight_precision: WeightPrecision,
+    /// CSD terms kept per coefficient (baseline \[3\]'s approximation).
+    pub csd_terms: Option<usize>,
+    /// MLP architecture (baseline \[4\] only).
+    pub mlp: Option<MlpArch>,
+}
+
+/// The evaluation configuration used throughout this repository.
+///
+/// Precision regimes mirror the source papers: the fully-parallel baselines
+/// train at full precision and quantize to fixed widths (8-bit inputs,
+/// 6-bit coefficients); baseline \[3\] additionally prunes coefficients to
+/// two CSD terms; the sequential design trains on 4-bit inputs and searches
+/// the narrowest coefficient width that retains training accuracy (§II).
+#[must_use]
+pub fn default_params(style: DesignStyle, profile: UciProfile) -> StyleParams {
+    match style {
+        DesignStyle::SequentialSvm => StyleParams {
+            input_bits: 4,
+            weight_precision: WeightPrecision::Search { min: 4, max: 10, tolerance: 0.005 },
+            csd_terms: None,
+            mlp: None,
+        },
+        DesignStyle::ParallelSvm => StyleParams {
+            input_bits: 8,
+            weight_precision: WeightPrecision::Fixed(6),
+            csd_terms: None,
+            mlp: None,
+        },
+        DesignStyle::ApproxParallelSvm => StyleParams {
+            input_bits: 6,
+            weight_precision: WeightPrecision::Fixed(6),
+            csd_terms: Some(2),
+            mlp: None,
+        },
+        DesignStyle::ParallelMlp => {
+            let (hidden, epochs) = match profile {
+                UciProfile::Cardio => (6, 80),
+                UciProfile::Dermatology => (12, 150),
+                UciProfile::PenDigits => (10, 60),
+                UciProfile::RedWine => (4, 60),
+                UciProfile::WhiteWine => (4, 50),
+            };
+            StyleParams {
+                input_bits: 4,
+                weight_precision: WeightPrecision::Fixed(5),
+                csd_terms: None,
+                mlp: Some(MlpArch { hidden, epochs, hidden_bits: 6 }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_table1() {
+        assert_eq!(DesignStyle::SequentialSvm.label(), "Ours");
+        assert_eq!(DesignStyle::ParallelSvm.label(), "SVM [2]");
+        assert!(DesignStyle::ApproxParallelSvm.label().ends_with('*'));
+        assert!(DesignStyle::ParallelMlp.label().ends_with('*'));
+    }
+
+    #[test]
+    fn approximate_flags() {
+        assert!(!DesignStyle::SequentialSvm.is_approximate());
+        assert!(!DesignStyle::ParallelSvm.is_approximate());
+        assert!(DesignStyle::ApproxParallelSvm.is_approximate());
+        assert!(DesignStyle::ParallelMlp.is_approximate());
+    }
+
+    #[test]
+    fn ours_searches_baselines_fix() {
+        let ours = default_params(DesignStyle::SequentialSvm, UciProfile::Cardio);
+        assert!(matches!(ours.weight_precision, WeightPrecision::Search { .. }));
+        assert_eq!(ours.input_bits, 4);
+        let sota = default_params(DesignStyle::ParallelSvm, UciProfile::Cardio);
+        assert!(matches!(sota.weight_precision, WeightPrecision::Fixed(6)));
+        assert_eq!(sota.input_bits, 8);
+        let approx = default_params(DesignStyle::ApproxParallelSvm, UciProfile::Cardio);
+        assert_eq!(approx.csd_terms, Some(2));
+    }
+
+    #[test]
+    fn mlp_arch_varies_by_dataset() {
+        let derm = default_params(DesignStyle::ParallelMlp, UciProfile::Dermatology);
+        let rw = default_params(DesignStyle::ParallelMlp, UciProfile::RedWine);
+        assert!(derm.mlp.unwrap().hidden > rw.mlp.unwrap().hidden);
+        assert!(default_params(DesignStyle::ParallelMlp, UciProfile::PenDigits)
+            .mlp
+            .is_some());
+    }
+
+    #[test]
+    fn all_styles_enumerated_once() {
+        let all = DesignStyle::all();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[3], DesignStyle::SequentialSvm, "ours is the last row per dataset");
+    }
+}

@@ -1,0 +1,189 @@
+//! Scaling studies: how the sequential-vs-parallel trade-off moves with
+//! problem size.
+//!
+//! Table I samples five datasets; this module sweeps the two structural
+//! parameters that actually drive the comparison — the class count `n`
+//! (storage & parallel-datapath count scale with `n` or `n²`) and the
+//! feature count `m` (engine width) — on controlled synthetic data. These
+//! sweeps are the "missing figure" of the 2-page paper: they locate where
+//! the sequential design's energy advantage comes from and where it grows.
+
+use crate::designs::{parallel, sequential};
+use pe_cells::{EgfetLibrary, TechParams};
+use pe_data::synth::{Geometry, SyntheticSpec};
+use pe_data::{train_test_split, Normalizer};
+use pe_ml::linear::SvmTrainParams;
+use pe_ml::multiclass::{MulticlassScheme, SvmModel};
+use pe_ml::QuantizedSvm;
+use pe_sim::Simulator;
+
+/// One point of a scaling sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Number of features.
+    pub n_features: usize,
+    /// Sequential design energy per classification, mJ.
+    pub seq_energy_mj: f64,
+    /// Parallel OvO design energy per classification, mJ.
+    pub par_energy_mj: f64,
+    /// Sequential area, cm².
+    pub seq_area_cm2: f64,
+    /// Parallel area, cm².
+    pub par_area_cm2: f64,
+}
+
+impl SweepPoint {
+    /// Energy advantage of the sequential design.
+    #[must_use]
+    pub fn energy_ratio(&self) -> f64 {
+        self.par_energy_mj / self.seq_energy_mj
+    }
+}
+
+fn spec(n_classes: usize, n_features: usize) -> SyntheticSpec {
+    SyntheticSpec {
+        name: format!("sweep-{n_classes}c-{n_features}f"),
+        n_samples: 900,
+        n_features,
+        n_classes,
+        informative: n_features,
+        class_sep: 0.7,
+        noise: 0.18,
+        label_noise: 0.0,
+        class_weights: vec![],
+        geometry: Geometry::Blobs,
+    }
+}
+
+/// Evaluates one `(n_classes, n_features)` point: trains OvR and OvO models,
+/// elaborates both designs, simulates `sim_samples` test vectors for
+/// activity, and returns measured energies and areas.
+///
+/// # Panics
+///
+/// Panics on internal errors (generated designs are acyclic by
+/// construction).
+#[must_use]
+pub fn sweep_point(
+    n_classes: usize,
+    n_features: usize,
+    sim_samples: usize,
+    lib: &EgfetLibrary,
+    tech: &TechParams,
+    seed: u64,
+) -> SweepPoint {
+    let data = spec(n_classes, n_features).generate(seed);
+    let (train, test) = train_test_split(&data, 0.2, seed);
+    let norm = Normalizer::fit(&train);
+    let (train, test) = (norm.apply(&train), norm.apply(&test));
+    let p = SvmTrainParams { max_epochs: 40, ..SvmTrainParams::default() };
+    let ovr = SvmModel::train(&train.quantize_inputs(4), MulticlassScheme::OneVsRest, &p);
+    let ovo = SvmModel::train(
+        &train.quantize_inputs(8),
+        MulticlassScheme::OneVsOne,
+        &SvmTrainParams { balance_classes: false, ..p },
+    );
+    let q_seq = QuantizedSvm::quantize(&ovr, 4, 6);
+    let q_par = QuantizedSvm::quantize(&ovo, 8, 6);
+
+    let (seq_energy_mj, seq_area_cm2) =
+        measure(&sequential::build_sequential_ovr(&q_seq), &q_seq, true, sim_samples, &test, lib, tech);
+    let (par_energy_mj, par_area_cm2) =
+        measure(&parallel::build_parallel_svm(&q_par), &q_par, false, sim_samples, &test, lib, tech);
+    SweepPoint {
+        n_classes,
+        n_features,
+        seq_energy_mj,
+        par_energy_mj,
+        seq_area_cm2,
+        par_area_cm2,
+    }
+}
+
+fn measure(
+    nl: &pe_netlist::Netlist,
+    q: &QuantizedSvm,
+    sequential: bool,
+    sim_samples: usize,
+    test: &pe_data::Dataset,
+    lib: &EgfetLibrary,
+    tech: &TechParams,
+) -> (f64, f64) {
+    let mut sim = Simulator::new(nl).expect("acyclic");
+    sim.enable_activity();
+    for x in test.features().iter().take(sim_samples) {
+        let x_q = q.quantize_input(x);
+        for (i, &v) in x_q.iter().enumerate() {
+            sim.set_input(&format!("x{i}"), v);
+        }
+        if sequential {
+            for _ in 0..q.num_classes() {
+                sim.tick();
+            }
+        } else {
+            sim.sample_comb();
+        }
+    }
+    let activity = sim.activity();
+    let timing = pe_synth::analyze_timing(nl, lib, tech).expect("acyclic");
+    let area = pe_synth::analyze_area(nl, lib);
+    let power =
+        pe_synth::analyze_power(nl, lib, tech, &activity, timing.freq_hz).expect("acyclic");
+    let cycles = if sequential { q.num_classes() as f64 } else { 1.0 };
+    let energy = power.total_mw * cycles * timing.clock_period_ms / 1000.0;
+    (energy, area.total_cm2)
+}
+
+/// Sweeps the class count at a fixed feature count.
+#[must_use]
+pub fn class_count_sweep(
+    class_counts: &[usize],
+    n_features: usize,
+    sim_samples: usize,
+    lib: &EgfetLibrary,
+    tech: &TechParams,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    class_counts
+        .iter()
+        .map(|&n| sweep_point(n, n_features, sim_samples, lib, tech, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advantage_grows_with_class_count() {
+        let lib = EgfetLibrary::standard();
+        let tech = TechParams::standard();
+        let points = class_count_sweep(&[3, 8], 8, 12, &lib, &tech, 3);
+        assert_eq!(points.len(), 2);
+        let small = &points[0];
+        let large = &points[1];
+        assert!(
+            large.energy_ratio() > small.energy_ratio(),
+            "ratio at n=8 ({:.2}) must exceed n=3 ({:.2}): OvO hardware grows ~n²",
+            large.energy_ratio(),
+            small.energy_ratio()
+        );
+        // Parallel area explodes with n; sequential grows gently (storage
+        // only).
+        assert!(large.par_area_cm2 / small.par_area_cm2 > 2.0);
+        assert!(large.seq_area_cm2 / small.seq_area_cm2 < 2.0);
+    }
+
+    #[test]
+    fn points_carry_consistent_metadata() {
+        let lib = EgfetLibrary::standard();
+        let tech = TechParams::standard();
+        let p = sweep_point(3, 6, 8, &lib, &tech, 11);
+        assert_eq!(p.n_classes, 3);
+        assert_eq!(p.n_features, 6);
+        assert!(p.seq_energy_mj > 0.0 && p.par_energy_mj > 0.0);
+        assert!(p.energy_ratio().is_finite());
+    }
+}

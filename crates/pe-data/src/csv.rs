@@ -1,0 +1,135 @@
+//! Minimal CSV loading for users who have the real UCI files.
+//!
+//! Format: one sample per line, comma-separated numeric features with the
+//! class label in the last column (integer, 0-based or arbitrary integers —
+//! labels are re-indexed densely). Lines starting with `#` and a single
+//! optional non-numeric header line are skipped.
+
+use crate::dataset::{Dataset, DatasetError};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Parses CSV text into a dataset. See the [module docs](self) for the
+/// expected format.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Parse`] with a line number on malformed input and
+/// [`DatasetError`] shape errors on inconsistent rows.
+pub fn parse_csv(name: &str, text: &str) -> Result<Dataset, DatasetError> {
+    let mut features: Vec<Vec<f64>> = Vec::new();
+    let mut raw_labels: Vec<i64> = Vec::new();
+    let mut header_skipped = false;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() < 2 {
+            return Err(DatasetError::Parse(
+                lineno + 1,
+                "need at least one feature and a label".into(),
+            ));
+        }
+        let parsed: Result<Vec<f64>, _> =
+            fields.iter().map(|f| f.parse::<f64>()).collect();
+        match parsed {
+            Err(_) if !header_skipped && features.is_empty() => {
+                // Tolerate one header line.
+                header_skipped = true;
+                continue;
+            }
+            Err(e) => {
+                return Err(DatasetError::Parse(lineno + 1, e.to_string()));
+            }
+            Ok(nums) => {
+                let (label, feats) = nums.split_last().expect("len >= 2");
+                if label.fract() != 0.0 {
+                    return Err(DatasetError::Parse(
+                        lineno + 1,
+                        format!("label {label} is not an integer"),
+                    ));
+                }
+                features.push(feats.to_vec());
+                raw_labels.push(*label as i64);
+            }
+        }
+    }
+    if features.is_empty() {
+        return Err(DatasetError::Empty);
+    }
+    // Re-index labels densely in sorted order (wine quality scores 3..9
+    // become 0..6, etc.).
+    let unique: std::collections::BTreeSet<i64> = raw_labels.iter().copied().collect();
+    let index: BTreeMap<i64, usize> =
+        unique.into_iter().enumerate().map(|(i, l)| (l, i)).collect();
+    let n_classes = index.len();
+    let labels: Vec<usize> = raw_labels.iter().map(|l| index[l]).collect();
+    Dataset::new(name, features, labels, n_classes)
+}
+
+/// Loads a CSV file from disk.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Parse`] (line 0) if the file cannot be read, or
+/// any [`parse_csv`] error.
+pub fn load_csv(name: &str, path: &Path) -> Result<Dataset, DatasetError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| DatasetError::Parse(0, format!("cannot read {}: {e}", path.display())))?;
+    parse_csv(name, &text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_csv() {
+        let d = parse_csv("t", "1.0,2.0,0\n3.0,4.0,1\n5.5,0.5,0\n").unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.num_features(), 2);
+        assert_eq!(d.num_classes(), 2);
+        assert_eq!(d.labels(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn skips_header_comments_and_blanks() {
+        let text = "# wine quality\nfixed_acidity,ph,quality\n\n7.4,3.51,5\n7.8,3.2,6\n";
+        let d = parse_csv("wine", text).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.num_classes(), 2);
+    }
+
+    #[test]
+    fn reindexes_sparse_labels_in_order() {
+        // Quality scores 3..8 map to 0..5 by sorted value.
+        let d = parse_csv("t", "1,8\n2,3\n3,5\n4,3\n").unwrap();
+        assert_eq!(d.num_classes(), 3);
+        assert_eq!(d.labels(), &[2, 0, 1, 0]);
+    }
+
+    #[test]
+    fn rejects_garbage_mid_file() {
+        let e = parse_csv("t", "1,2,0\nfoo,bar,baz\n");
+        assert!(matches!(e, Err(DatasetError::Parse(2, _))));
+    }
+
+    #[test]
+    fn rejects_fractional_labels() {
+        let e = parse_csv("t", "1,0.5\n");
+        assert!(matches!(e, Err(DatasetError::Parse(1, _))));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert_eq!(parse_csv("t", "# nothing\n"), Err(DatasetError::Empty));
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let e = load_csv("t", Path::new("/definitely/not/here.csv"));
+        assert!(matches!(e, Err(DatasetError::Parse(0, _))));
+    }
+}

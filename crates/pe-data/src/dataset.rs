@@ -1,0 +1,372 @@
+//! The in-memory dataset representation and normalization.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by dataset construction and loading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// Rows have inconsistent feature counts.
+    RaggedRows {
+        /// Index of the offending row.
+        row: usize,
+        /// Its feature count.
+        got: usize,
+        /// The expected feature count.
+        expected: usize,
+    },
+    /// The number of labels differs from the number of rows.
+    LabelCountMismatch {
+        /// Number of feature rows.
+        rows: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// A label is outside `0..n_classes`.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// The declared class count.
+        n_classes: usize,
+    },
+    /// The dataset has no samples or no features.
+    Empty,
+    /// A CSV parse problem (line number and message).
+    Parse(usize, String),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::RaggedRows { row, got, expected } => {
+                write!(f, "row {row} has {got} features, expected {expected}")
+            }
+            DatasetError::LabelCountMismatch { rows, labels } => {
+                write!(f, "{rows} rows but {labels} labels")
+            }
+            DatasetError::LabelOutOfRange { label, n_classes } => {
+                write!(f, "label {label} outside 0..{n_classes}")
+            }
+            DatasetError::Empty => write!(f, "dataset has no samples or no features"),
+            DatasetError::Parse(line, msg) => write!(f, "parse error on line {line}: {msg}"),
+        }
+    }
+}
+
+impl Error for DatasetError {}
+
+/// A labeled classification dataset (row-major features).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    name: String,
+    features: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    n_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating shape and label ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DatasetError`] describing the first violated invariant.
+    pub fn new(
+        name: impl Into<String>,
+        features: Vec<Vec<f64>>,
+        labels: Vec<usize>,
+        n_classes: usize,
+    ) -> Result<Self, DatasetError> {
+        if features.is_empty() || features[0].is_empty() || n_classes == 0 {
+            return Err(DatasetError::Empty);
+        }
+        let expected = features[0].len();
+        for (i, row) in features.iter().enumerate() {
+            if row.len() != expected {
+                return Err(DatasetError::RaggedRows { row: i, got: row.len(), expected });
+            }
+        }
+        if labels.len() != features.len() {
+            return Err(DatasetError::LabelCountMismatch {
+                rows: features.len(),
+                labels: labels.len(),
+            });
+        }
+        for &l in &labels {
+            if l >= n_classes {
+                return Err(DatasetError::LabelOutOfRange { label: l, n_classes });
+            }
+        }
+        Ok(Dataset { name: name.into(), features, labels, n_classes })
+    }
+
+    /// Dataset name (used in reports).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the dataset is empty (never true for a validated dataset).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Number of features per sample (the paper's `m`).
+    #[must_use]
+    pub fn num_features(&self) -> usize {
+        self.features[0].len()
+    }
+
+    /// Number of classes (the paper's `n`).
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Feature rows.
+    #[must_use]
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// Labels, parallel to [`Dataset::features`].
+    #[must_use]
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// One sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn sample(&self, i: usize) -> (&[f64], usize) {
+        (&self.features[i], self.labels[i])
+    }
+
+    /// Per-class sample counts.
+    #[must_use]
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// A new dataset keeping only the rows at `indices` (in order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range or `indices` is empty.
+    #[must_use]
+    pub fn subset(&self, indices: &[usize], name_suffix: &str) -> Dataset {
+        assert!(!indices.is_empty(), "subset of zero rows");
+        Dataset {
+            name: format!("{}{name_suffix}", self.name),
+            features: indices.iter().map(|&i| self.features[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            n_classes: self.n_classes,
+        }
+    }
+
+    /// Returns a copy with every feature snapped to an unsigned `bits`-bit
+    /// grid over `[0, 1]` (the paper trains on low-precision inputs). Values
+    /// are clamped to `[0, 1]` first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 16.
+    #[must_use]
+    pub fn quantize_inputs(&self, bits: u32) -> Dataset {
+        assert!(bits >= 1 && bits <= 16, "input precision out of range");
+        let levels = (1u32 << bits) - 1;
+        let q = |v: f64| {
+            let c = v.clamp(0.0, 1.0);
+            (c * f64::from(levels)).round() / f64::from(levels)
+        };
+        Dataset {
+            name: self.name.clone(),
+            features: self
+                .features
+                .iter()
+                .map(|row| row.iter().map(|&v| q(v)).collect())
+                .collect(),
+            labels: self.labels.clone(),
+            n_classes: self.n_classes,
+        }
+    }
+}
+
+/// Min-max normalizer fitted on a training set, mapping each feature to
+/// `[0, 1]` (the paper's input protocol).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normalizer {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl Normalizer {
+    /// Fits per-feature min/max on `train`.
+    #[must_use]
+    pub fn fit(train: &Dataset) -> Self {
+        let d = train.num_features();
+        let mut mins = vec![f64::INFINITY; d];
+        let mut maxs = vec![f64::NEG_INFINITY; d];
+        for row in train.features() {
+            for (j, &v) in row.iter().enumerate() {
+                mins[j] = mins[j].min(v);
+                maxs[j] = maxs[j].max(v);
+            }
+        }
+        Normalizer { mins, maxs }
+    }
+
+    /// Applies the fitted transform; outputs are clamped to `[0, 1]` so test
+    /// samples outside the training range stay representable in unsigned
+    /// hardware inputs. Constant features map to 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset's feature count differs from the fitted one.
+    #[must_use]
+    pub fn apply(&self, data: &Dataset) -> Dataset {
+        assert_eq!(data.num_features(), self.mins.len(), "feature count mismatch");
+        let features = data
+            .features()
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(j, &v)| {
+                        let span = self.maxs[j] - self.mins[j];
+                        if span <= 0.0 {
+                            0.0
+                        } else {
+                            ((v - self.mins[j]) / span).clamp(0.0, 1.0)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Dataset {
+            name: data.name().to_owned(),
+            features,
+            labels: data.labels().to_vec(),
+            n_classes: data.num_classes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            "toy",
+            vec![
+                vec![0.0, 10.0],
+                vec![1.0, 20.0],
+                vec![2.0, 30.0],
+                vec![3.0, 40.0],
+            ],
+            vec![0, 1, 0, 1],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+        assert_eq!(d.num_features(), 2);
+        assert_eq!(d.num_classes(), 2);
+        assert_eq!(d.sample(1), (&[1.0, 20.0][..], 1));
+        assert_eq!(d.class_counts(), vec![2, 2]);
+        assert_eq!(d.name(), "toy");
+    }
+
+    #[test]
+    fn validation_catches_ragged_rows() {
+        let e = Dataset::new("x", vec![vec![1.0], vec![1.0, 2.0]], vec![0, 0], 1);
+        assert!(matches!(e, Err(DatasetError::RaggedRows { row: 1, .. })));
+    }
+
+    #[test]
+    fn validation_catches_label_problems() {
+        let e = Dataset::new("x", vec![vec![1.0]], vec![], 1);
+        assert!(matches!(e, Err(DatasetError::LabelCountMismatch { .. })));
+        let e = Dataset::new("x", vec![vec![1.0]], vec![3], 2);
+        assert!(matches!(e, Err(DatasetError::LabelOutOfRange { label: 3, .. })));
+        let e = Dataset::new("x", vec![], vec![], 1);
+        assert_eq!(e, Err(DatasetError::Empty));
+    }
+
+    #[test]
+    fn subset_keeps_order() {
+        let d = toy();
+        let s = d.subset(&[2, 0], "-sub");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.sample(0).0, &[2.0, 30.0]);
+        assert_eq!(s.sample(1).0, &[0.0, 10.0]);
+        assert_eq!(s.name(), "toy-sub");
+        assert_eq!(s.num_classes(), 2);
+    }
+
+    #[test]
+    fn normalizer_maps_to_unit_interval() {
+        let d = toy();
+        let norm = Normalizer::fit(&d);
+        let n = norm.apply(&d);
+        for row in n.features() {
+            for &v in row {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+        assert_eq!(n.sample(0).0, &[0.0, 0.0]);
+        assert_eq!(n.sample(3).0, &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn normalizer_clamps_out_of_range_test_data() {
+        let train = toy();
+        let norm = Normalizer::fit(&train);
+        let test = Dataset::new("t", vec![vec![-5.0, 100.0]], vec![0], 2).unwrap();
+        let n = norm.apply(&test);
+        assert_eq!(n.sample(0).0, &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn constant_features_normalize_to_zero() {
+        let d = Dataset::new("c", vec![vec![7.0], vec![7.0]], vec![0, 1], 2).unwrap();
+        let n = Normalizer::fit(&d).apply(&d);
+        assert_eq!(n.sample(0).0, &[0.0]);
+    }
+
+    #[test]
+    fn input_quantization_snaps_to_grid() {
+        let d = Dataset::new("q", vec![vec![0.5, 0.24, 1.7, -0.3]], vec![0], 1).unwrap();
+        let q = d.quantize_inputs(2); // levels: 0, 1/3, 2/3, 1
+        let row = q.sample(0).0;
+        assert!((row[0] - 2.0 / 3.0).abs() < 1e-12); // 0.5 -> 1.5/3 rounds to 2/3
+        assert!((row[1] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(row[2], 1.0); // clamped
+        assert_eq!(row[3], 0.0); // clamped
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DatasetError::Empty.to_string().contains("no samples"));
+        assert!(DatasetError::Parse(3, "bad".into()).to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Classification metrics.
+
+/// Fraction of predictions equal to the labels.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+#[must_use]
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    assert!(!labels.is_empty(), "accuracy of zero samples");
+    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Confusion matrix `m[actual][predicted]`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or any value is `>= n_classes`.
+#[must_use]
+pub fn confusion_matrix(
+    predictions: &[usize],
+    labels: &[usize],
+    n_classes: usize,
+) -> Vec<Vec<usize>> {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    let mut m = vec![vec![0usize; n_classes]; n_classes];
+    for (&p, &l) in predictions.iter().zip(labels) {
+        assert!(p < n_classes && l < n_classes, "class index out of range");
+        m[l][p] += 1;
+    }
+    m
+}
+
+/// Per-class recall (diagonal over row sums); classes with no samples get
+/// recall 0.
+#[must_use]
+pub fn per_class_recall(confusion: &[Vec<usize>]) -> Vec<f64> {
+    confusion
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let total: usize = row.iter().sum();
+            if total == 0 {
+                0.0
+            } else {
+                row[i] as f64 / total as f64
+            }
+        })
+        .collect()
+}
+
+/// Macro-averaged recall (the balanced-accuracy analog used when classes are
+/// imbalanced, as in Cardio).
+///
+/// # Panics
+///
+/// Panics if the confusion matrix is empty.
+#[must_use]
+pub fn macro_recall(confusion: &[Vec<usize>]) -> f64 {
+    assert!(!confusion.is_empty(), "empty confusion matrix");
+    let recalls = per_class_recall(confusion);
+    recalls.iter().sum::<f64>() / recalls.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[0, 1, 2, 1], &[0, 1, 1, 1]), 0.75);
+        assert_eq!(accuracy(&[1], &[1]), 1.0);
+        assert_eq!(accuracy(&[0], &[1]), 0.0);
+    }
+
+    #[test]
+    fn confusion_layout_is_actual_by_predicted() {
+        let m = confusion_matrix(&[1, 1, 0], &[0, 1, 0], 2);
+        assert_eq!(m, vec![vec![1, 1], vec![0, 1]]);
+    }
+
+    #[test]
+    fn recall_per_class() {
+        let m = vec![vec![8, 2], vec![1, 9]];
+        let r = per_class_recall(&m);
+        assert!((r[0] - 0.8).abs() < 1e-12);
+        assert!((r[1] - 0.9).abs() < 1e-12);
+        assert!((macro_recall(&m) - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_class_has_zero_recall() {
+        let m = vec![vec![0, 0], vec![0, 5]];
+        assert_eq!(per_class_recall(&m)[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = accuracy(&[0, 1], &[0]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Train/test splitting.
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Seeded random split, `test_fraction` of samples held out (the paper uses
+/// a random 80 %/20 % split).
+///
+/// # Panics
+///
+/// Panics unless `0 < test_fraction < 1` and both resulting sides are
+/// non-empty.
+#[must_use]
+pub fn train_test_split(data: &Dataset, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test fraction must be in (0, 1)"
+    );
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let n_test = ((data.len() as f64) * test_fraction).round() as usize;
+    assert!(
+        n_test >= 1 && n_test < data.len(),
+        "split leaves an empty side ({n_test} test of {})",
+        data.len()
+    );
+    let (test_idx, train_idx) = idx.split_at(n_test);
+    let mut train_sorted = train_idx.to_vec();
+    let mut test_sorted = test_idx.to_vec();
+    train_sorted.sort_unstable();
+    test_sorted.sort_unstable();
+    (data.subset(&train_sorted, "-train"), data.subset(&test_sorted, "-test"))
+}
+
+/// Stratified split: preserves per-class proportions on both sides. Used for
+/// very small datasets (Dermatology has 366 samples over 6 classes) where a
+/// plain random split can starve a class.
+///
+/// # Panics
+///
+/// Panics unless `0 < test_fraction < 1` and every class has at least one
+/// sample on each side.
+#[must_use]
+pub fn stratified_split(data: &Dataset, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test fraction must be in (0, 1)"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut train_idx = Vec::new();
+    let mut test_idx = Vec::new();
+    for class in 0..data.num_classes() {
+        let mut members: Vec<usize> =
+            (0..data.len()).filter(|&i| data.labels()[i] == class).collect();
+        if members.is_empty() {
+            continue;
+        }
+        members.shuffle(&mut rng);
+        let n_test = (((members.len() as f64) * test_fraction).round() as usize)
+            .clamp(1, members.len().saturating_sub(1).max(1));
+        assert!(
+            members.len() >= 2,
+            "class {class} has fewer than 2 samples; cannot split"
+        );
+        test_idx.extend_from_slice(&members[..n_test]);
+        train_idx.extend_from_slice(&members[n_test..]);
+    }
+    train_idx.sort_unstable();
+    test_idx.sort_unstable();
+    (data.subset(&train_idx, "-train"), data.subset(&test_idx, "-test"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> Dataset {
+        Dataset::new(
+            "d",
+            (0..n).map(|i| vec![i as f64]).collect(),
+            (0..n).map(|i| i % 4).collect(),
+            4,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn split_sizes_are_80_20() {
+        let d = data(100);
+        let (train, test) = train_test_split(&d, 0.2, 7);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let d = data(50);
+        let (train, test) = train_test_split(&d, 0.2, 1);
+        let mut seen: Vec<f64> = train
+            .features()
+            .iter()
+            .chain(test.features())
+            .map(|r| r[0])
+            .collect();
+        seen.sort_by(f64::total_cmp);
+        let expect: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let d = data(40);
+        let (a1, _) = train_test_split(&d, 0.25, 42);
+        let (a2, _) = train_test_split(&d, 0.25, 42);
+        assert_eq!(a1, a2);
+        let (b1, _) = train_test_split(&d, 0.25, 43);
+        assert_ne!(a1, b1, "different seeds should shuffle differently");
+    }
+
+    #[test]
+    fn stratified_preserves_class_balance() {
+        let d = data(100); // 25 per class
+        let (train, test) = stratified_split(&d, 0.2, 3);
+        assert_eq!(test.class_counts(), vec![5, 5, 5, 5]);
+        assert_eq!(train.class_counts(), vec![20, 20, 20, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "test fraction")]
+    fn bad_fraction_panics() {
+        let d = data(10);
+        let _ = train_test_split(&d, 1.5, 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Dataset statistics: separability and balance diagnostics used to sanity-
+//! check the synthetic generators against their UCI targets.
+
+use crate::dataset::Dataset;
+
+/// Per-feature mean and standard deviation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureStats {
+    /// Per-feature means.
+    pub means: Vec<f64>,
+    /// Per-feature standard deviations.
+    pub std_devs: Vec<f64>,
+}
+
+/// Computes per-feature statistics.
+///
+/// # Panics
+///
+/// Panics on an empty dataset.
+#[must_use]
+pub fn feature_stats(data: &Dataset) -> FeatureStats {
+    assert!(!data.is_empty(), "empty dataset");
+    let d = data.num_features();
+    let n = data.len() as f64;
+    let mut means = vec![0.0f64; d];
+    for row in data.features() {
+        for (j, &v) in row.iter().enumerate() {
+            means[j] += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n;
+    }
+    let mut vars = vec![0.0f64; d];
+    for row in data.features() {
+        for (j, &v) in row.iter().enumerate() {
+            vars[j] += (v - means[j]).powi(2);
+        }
+    }
+    let std_devs = vars.iter().map(|v| (v / n).sqrt()).collect();
+    FeatureStats { means, std_devs }
+}
+
+/// Fisher-style class separability: mean between-class distance of class
+/// centroids divided by mean within-class spread. Higher = easier for a
+/// linear classifier. Used to verify that e.g. the Dermatology profile is
+/// far more separable than the wine profiles.
+///
+/// # Panics
+///
+/// Panics if some class has no samples.
+#[must_use]
+pub fn separability(data: &Dataset) -> f64 {
+    let k = data.num_classes();
+    let d = data.num_features();
+    let counts = data.class_counts();
+    assert!(counts.iter().all(|&c| c > 0), "every class needs samples");
+    // Class centroids.
+    let mut centroids = vec![vec![0.0f64; d]; k];
+    for (row, &l) in data.features().iter().zip(data.labels()) {
+        for (j, &v) in row.iter().enumerate() {
+            centroids[l][j] += v;
+        }
+    }
+    for (c, &n) in centroids.iter_mut().zip(&counts) {
+        for v in c.iter_mut() {
+            *v /= n as f64;
+        }
+    }
+    // Within-class spread.
+    let mut within = 0.0f64;
+    for (row, &l) in data.features().iter().zip(data.labels()) {
+        let dist: f64 = row
+            .iter()
+            .zip(&centroids[l])
+            .map(|(v, c)| (v - c).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        within += dist;
+    }
+    within /= data.len() as f64;
+    // Between-class centroid distances.
+    let mut between = 0.0f64;
+    let mut pairs = 0usize;
+    for a in 0..k {
+        for b in (a + 1)..k {
+            let dist: f64 = centroids[a]
+                .iter()
+                .zip(&centroids[b])
+                .map(|(x, y)| (x - y).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            between += dist;
+            pairs += 1;
+        }
+    }
+    if pairs == 0 || within <= 0.0 {
+        return f64::INFINITY;
+    }
+    (between / pairs as f64) / within
+}
+
+/// Normalized class imbalance: ratio of the largest class share to the
+/// uniform share (1.0 = perfectly balanced; 3.0 on Cardio-like data where
+/// one class holds ~78 % of three classes).
+#[must_use]
+pub fn imbalance(data: &Dataset) -> f64 {
+    let counts = data.class_counts();
+    let max = counts.iter().copied().max().unwrap_or(0) as f64;
+    let uniform = data.len() as f64 / data.num_classes() as f64;
+    if uniform <= 0.0 {
+        return 1.0;
+    }
+    max / uniform
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::UciProfile;
+    use crate::Dataset;
+
+    #[test]
+    fn feature_stats_match_hand_computation() {
+        let d = Dataset::new(
+            "t",
+            vec![vec![1.0, 10.0], vec![3.0, 10.0]],
+            vec![0, 1],
+            2,
+        )
+        .unwrap();
+        let s = feature_stats(&d);
+        assert_eq!(s.means, vec![2.0, 10.0]);
+        assert!((s.std_devs[0] - 1.0).abs() < 1e-12);
+        assert_eq!(s.std_devs[1], 0.0);
+    }
+
+    #[test]
+    fn separability_orders_profiles_as_designed() {
+        let derm = separability(&UciProfile::Dermatology.generate(5));
+        let ww = separability(&UciProfile::WhiteWine.generate(5));
+        assert!(
+            derm > 2.0 * ww,
+            "Dermatology ({derm:.2}) must be far more separable than WhiteWine ({ww:.2})"
+        );
+    }
+
+    #[test]
+    fn imbalance_detects_cardio_skew() {
+        let cardio = imbalance(&UciProfile::Cardio.generate(5));
+        let pd = imbalance(&UciProfile::PenDigits.generate(5));
+        assert!(cardio > 1.8, "Cardio imbalance {cardio:.2}");
+        assert!(pd < 1.3, "PenDigits should be near-balanced, got {pd:.2}");
+    }
+
+    #[test]
+    fn separability_of_identical_classes_is_low() {
+        // Two classes drawn identically: consecutive pairs share the same
+        // row but opposite labels, so centroids coincide.
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| {
+                let k = i / 2;
+                vec![(k % 10) as f64 / 10.0, ((k * 3) % 10) as f64 / 10.0]
+            })
+            .collect();
+        let labels: Vec<usize> = (0..100).map(|i| i % 2).collect();
+        let d = Dataset::new("same", rows, labels, 2).unwrap();
+        assert!(separability(&d) < 0.3);
+    }
+}

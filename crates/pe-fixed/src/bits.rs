@@ -1,0 +1,312 @@
+//! Two's-complement bit-level helpers shared by circuit generators and
+//! behavioral golden models.
+//!
+//! Everything here works on `i64` raw values and explicit widths, matching the
+//! semantics of the generated datapaths bit for bit.
+
+/// Smallest value representable in a signed two's-complement field of `width` bits.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or greater than 63.
+#[must_use]
+pub fn min_signed(width: u32) -> i64 {
+    assert!(width >= 1 && width <= 63, "width {width} out of range 1..=63");
+    -(1i64 << (width - 1))
+}
+
+/// Largest value representable in a signed two's-complement field of `width` bits.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or greater than 63.
+#[must_use]
+pub fn max_signed(width: u32) -> i64 {
+    assert!(width >= 1 && width <= 63, "width {width} out of range 1..=63");
+    (1i64 << (width - 1)) - 1
+}
+
+/// Largest value representable in an unsigned field of `width` bits.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or greater than 63.
+#[must_use]
+pub fn max_unsigned(width: u32) -> i64 {
+    assert!(width >= 1 && width <= 63, "width {width} out of range 1..=63");
+    (1i64 << width) - 1
+}
+
+/// Returns `true` if `value` fits in a signed field of `width` bits.
+#[must_use]
+pub fn fits_signed(value: i64, width: u32) -> bool {
+    value >= min_signed(width) && value <= max_signed(width)
+}
+
+/// Returns `true` if `value` fits in an unsigned field of `width` bits.
+#[must_use]
+pub fn fits_unsigned(value: i64, width: u32) -> bool {
+    value >= 0 && value <= max_unsigned(width)
+}
+
+/// Number of bits needed to represent `value` in signed two's complement.
+///
+/// `signed_width(0) == 1`; `signed_width(-1) == 1`; `signed_width(1) == 2`.
+#[must_use]
+pub fn signed_width(value: i64) -> u32 {
+    for w in 1..=63 {
+        if fits_signed(value, w) {
+            return w;
+        }
+    }
+    64
+}
+
+/// Number of bits needed to represent a non-negative `value` unsigned.
+///
+/// `unsigned_width(0) == 1`.
+///
+/// # Panics
+///
+/// Panics if `value` is negative.
+#[must_use]
+pub fn unsigned_width(value: i64) -> u32 {
+    assert!(value >= 0, "unsigned_width of negative value {value}");
+    if value == 0 {
+        return 1;
+    }
+    64 - (value as u64).leading_zeros()
+}
+
+/// Extracts bit `index` (LSB = 0) of the two's-complement encoding of `value`.
+///
+/// For negative values this is the bit of the infinitely sign-extended
+/// encoding, so `bit(-1, k) == true` for every `k`.
+#[must_use]
+pub fn bit(value: i64, index: u32) -> bool {
+    if index >= 63 {
+        return value < 0;
+    }
+    (value >> index) & 1 == 1
+}
+
+/// Encodes `value` as `width` two's-complement bits, LSB first.
+///
+/// # Panics
+///
+/// Panics if `value` does not fit in `width` signed bits (use
+/// [`fits_signed`] to check first) unless `value >= 0` and fits unsigned.
+#[must_use]
+pub fn to_bits_lsb_first(value: i64, width: u32) -> Vec<bool> {
+    assert!(
+        fits_signed(value, width) || fits_unsigned(value, width),
+        "value {value} does not fit in {width} bits"
+    );
+    (0..width).map(|i| bit(value, i)).collect()
+}
+
+/// Decodes `width` two's-complement bits (LSB first) into a signed value.
+///
+/// # Panics
+///
+/// Panics if `bits.len() != width as usize` or `width` is 0 or greater than 63.
+#[must_use]
+pub fn from_bits_signed(bits: &[bool], width: u32) -> i64 {
+    assert!(width >= 1 && width <= 63);
+    assert_eq!(bits.len(), width as usize, "bit vector length mismatch");
+    let mut v: i64 = 0;
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            v |= 1i64 << i;
+        }
+    }
+    // Sign-extend from the top bit.
+    if bits[width as usize - 1] {
+        v -= 1i64 << width;
+    }
+    v
+}
+
+/// Decodes `width` bits (LSB first) into an unsigned value.
+///
+/// # Panics
+///
+/// Panics if `bits.len() != width as usize` or `width` is 0 or greater than 63.
+#[must_use]
+pub fn from_bits_unsigned(bits: &[bool], width: u32) -> i64 {
+    assert!(width >= 1 && width <= 63);
+    assert_eq!(bits.len(), width as usize, "bit vector length mismatch");
+    let mut v: i64 = 0;
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            v |= 1i64 << i;
+        }
+    }
+    v
+}
+
+/// Wraps `value` into a signed field of `width` bits (two's-complement
+/// truncation, i.e. what a hardware register of that width stores).
+#[must_use]
+pub fn wrap_signed(value: i64, width: u32) -> i64 {
+    assert!(width >= 1 && width <= 63);
+    let m = 1i64 << width;
+    let mut v = value.rem_euclid(m);
+    if v >= m / 2 {
+        v -= m;
+    }
+    v
+}
+
+/// Saturates `value` into a signed field of `width` bits.
+#[must_use]
+pub fn saturate_signed(value: i64, width: u32) -> i64 {
+    value.clamp(min_signed(width), max_signed(width))
+}
+
+/// Saturates `value` into an unsigned field of `width` bits.
+#[must_use]
+pub fn saturate_unsigned(value: i64, width: u32) -> i64 {
+    value.clamp(0, max_unsigned(width))
+}
+
+/// Canonical Signed Digit (CSD) recoding of an integer constant.
+///
+/// Returns the list of `(shift, positive)` terms such that
+/// `value == Σ ±2^shift`, with no two adjacent non-zero digits. CSD minimizes
+/// the number of add/subtract terms in a bespoke constant-coefficient
+/// multiplier, the core trick of fully-parallel printed classifiers.
+///
+/// # Example
+///
+/// ```
+/// // 7 = 8 - 1 rather than 4 + 2 + 1.
+/// let terms = pe_fixed::bits::csd(7);
+/// assert_eq!(terms, vec![(0, false), (3, true)]);
+/// ```
+#[must_use]
+pub fn csd(value: i64) -> Vec<(u32, bool)> {
+    let mut terms = Vec::new();
+    let mut v = value as i128; // avoid overflow of v+1 at i64::MAX
+    let mut shift = 0u32;
+    while v != 0 {
+        if v & 1 != 0 {
+            // Look at the two LSBs to decide between +1 and -1 digit.
+            let rem = v & 3;
+            if rem == 3 {
+                // ...11 -> digit -1, carry.
+                terms.push((shift, false));
+                v += 1;
+            } else {
+                terms.push((shift, true));
+                v -= 1;
+            }
+        }
+        v >>= 1;
+        shift += 1;
+    }
+    terms
+}
+
+/// Evaluates a CSD term list back to the integer it encodes.
+#[must_use]
+pub fn csd_value(terms: &[(u32, bool)]) -> i64 {
+    terms
+        .iter()
+        .map(|&(s, pos)| {
+            let t = 1i64 << s;
+            if pos {
+                t
+            } else {
+                -t
+            }
+        })
+        .sum()
+}
+
+/// Number of non-zero CSD digits of `value` (the adder cost of a bespoke
+/// constant multiplier for this coefficient).
+#[must_use]
+pub fn csd_cost(value: i64) -> usize {
+    csd(value).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_ranges() {
+        assert_eq!(min_signed(8), -128);
+        assert_eq!(max_signed(8), 127);
+        assert_eq!(max_unsigned(8), 255);
+        assert_eq!(min_signed(1), -1);
+        assert_eq!(max_signed(1), 0);
+    }
+
+    #[test]
+    fn width_of_values() {
+        assert_eq!(signed_width(0), 1);
+        assert_eq!(signed_width(-1), 1);
+        assert_eq!(signed_width(1), 2);
+        assert_eq!(signed_width(127), 8);
+        assert_eq!(signed_width(-128), 8);
+        assert_eq!(signed_width(128), 9);
+        assert_eq!(unsigned_width(0), 1);
+        assert_eq!(unsigned_width(1), 1);
+        assert_eq!(unsigned_width(255), 8);
+        assert_eq!(unsigned_width(256), 9);
+    }
+
+    #[test]
+    fn bit_extraction_and_roundtrip() {
+        assert!(bit(-1, 62));
+        assert!(bit(-1, 63));
+        assert!(!bit(1, 1));
+        let bits = to_bits_lsb_first(-3, 4);
+        assert_eq!(bits, vec![true, false, true, true]);
+        assert_eq!(from_bits_signed(&bits, 4), -3);
+        let ubits = to_bits_lsb_first(11, 4);
+        assert_eq!(from_bits_unsigned(&ubits, 4), 11);
+    }
+
+    #[test]
+    fn wrap_matches_hardware_truncation() {
+        assert_eq!(wrap_signed(128, 8), -128);
+        assert_eq!(wrap_signed(-129, 8), 127);
+        assert_eq!(wrap_signed(255, 8), -1);
+        assert_eq!(wrap_signed(5, 8), 5);
+    }
+
+    #[test]
+    fn saturation() {
+        assert_eq!(saturate_signed(1000, 8), 127);
+        assert_eq!(saturate_signed(-1000, 8), -128);
+        assert_eq!(saturate_unsigned(-5, 4), 0);
+        assert_eq!(saturate_unsigned(99, 4), 15);
+    }
+
+    #[test]
+    fn csd_examples() {
+        assert_eq!(csd(0), vec![]);
+        assert_eq!(csd_value(&csd(7)), 7);
+        assert_eq!(csd(7).len(), 2); // 8 - 1
+        assert_eq!(csd_value(&csd(-7)), -7);
+        assert_eq!(csd_value(&csd(45)), 45);
+        assert_eq!(csd_cost(15), 2); // 16 - 1
+        assert_eq!(csd_cost(85), 4); // 64+16+4+1
+    }
+
+    #[test]
+    fn csd_no_adjacent_nonzero_digits() {
+        for v in -300i64..=300 {
+            let terms = csd(v);
+            assert_eq!(csd_value(&terms), v, "roundtrip failed for {v}");
+            let mut shifts: Vec<u32> = terms.iter().map(|t| t.0).collect();
+            shifts.sort_unstable();
+            for w in shifts.windows(2) {
+                assert!(w[1] > w[0] + 1, "adjacent CSD digits for {v}: {shifts:?}");
+            }
+        }
+    }
+}

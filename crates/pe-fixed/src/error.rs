@@ -1,0 +1,71 @@
+//! Error type for fixed-point construction and quantization.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing fixed-point formats or quantizing data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FixedError {
+    /// The requested bit width is outside the supported `1..=32` range.
+    ///
+    /// Widths are capped at 32 so that products of two values always fit in
+    /// an `i64` without overflow, which keeps every behavioral model exact.
+    InvalidWidth(u32),
+    /// A value does not fit in the requested format and saturation was not
+    /// permitted by the caller.
+    OutOfRange {
+        /// The raw integer that did not fit.
+        value: i64,
+        /// The width of the target format in bits.
+        width: u32,
+        /// Whether the target format was signed.
+        signed: bool,
+    },
+    /// The input slice was empty where at least one element is required
+    /// (e.g. when fitting a quantization scale).
+    EmptyInput,
+    /// The input contained a non-finite value (NaN or infinity).
+    NonFinite(f64),
+}
+
+impl fmt::Display for FixedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixedError::InvalidWidth(w) => {
+                write!(f, "invalid fixed-point width {w}, supported range is 1..=32")
+            }
+            FixedError::OutOfRange { value, width, signed } => write!(
+                f,
+                "value {value} does not fit in {}{width}-bit format",
+                if *signed { "signed " } else { "unsigned " }
+            ),
+            FixedError::EmptyInput => write!(f, "input slice is empty"),
+            FixedError::NonFinite(v) => write!(f, "non-finite input value {v}"),
+        }
+    }
+}
+
+impl Error for FixedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = FixedError::InvalidWidth(40);
+        assert!(e.to_string().contains("40"));
+        let e = FixedError::OutOfRange { value: 300, width: 8, signed: true };
+        assert!(e.to_string().contains("300"));
+        assert!(e.to_string().contains("signed 8"));
+        let e = FixedError::NonFinite(f64::NAN);
+        assert!(e.to_string().contains("non-finite"));
+        assert!(FixedError::EmptyInput.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: Error>(_e: E) {}
+        takes_error(FixedError::EmptyInput);
+    }
+}

@@ -1,0 +1,375 @@
+//! Dynamically-formatted fixed-point values.
+//!
+//! [`Fx`] pairs a raw two's-complement integer with an [`FxFormat`] describing
+//! its width, fractional bits and signedness. Arithmetic derives the result
+//! format the way a hardware datapath would (full-precision products, one
+//! guard bit per addition) so behavioral models built on `Fx` match generated
+//! netlists bit for bit.
+
+use crate::bits;
+use crate::error::FixedError;
+use crate::round::Rounding;
+use std::fmt;
+
+/// The format of a fixed-point value: total width, fractional bits, signedness.
+///
+/// The represented real value of raw integer `r` is `r * 2^-frac`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FxFormat {
+    width: u32,
+    frac: i32,
+    signed: bool,
+}
+
+impl FxFormat {
+    /// Creates a format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::InvalidWidth`] if `width` is outside `1..=32`.
+    pub fn new(width: u32, frac: i32, signed: bool) -> Result<Self, FixedError> {
+        if width == 0 || width > 32 {
+            return Err(FixedError::InvalidWidth(width));
+        }
+        Ok(FxFormat { width, frac, signed })
+    }
+
+    /// Signed format with `width` total bits and `frac` fractional bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=32`. Use [`FxFormat::new`] for a
+    /// fallible constructor.
+    #[must_use]
+    pub fn signed(width: u32, frac: i32) -> Self {
+        Self::new(width, frac, true).expect("invalid width")
+    }
+
+    /// Unsigned format with `width` total bits and `frac` fractional bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=32`.
+    #[must_use]
+    pub fn unsigned(width: u32, frac: i32) -> Self {
+        Self::new(width, frac, false).expect("invalid width")
+    }
+
+    /// Total width in bits (including the sign bit for signed formats).
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Fractional bits. May be negative (scale larger than one).
+    #[must_use]
+    pub fn frac(&self) -> i32 {
+        self.frac
+    }
+
+    /// Whether the format is signed two's complement.
+    #[must_use]
+    pub fn is_signed(&self) -> bool {
+        self.signed
+    }
+
+    /// Smallest representable raw integer.
+    #[must_use]
+    pub fn min_raw(&self) -> i64 {
+        if self.signed {
+            bits::min_signed(self.width)
+        } else {
+            0
+        }
+    }
+
+    /// Largest representable raw integer.
+    #[must_use]
+    pub fn max_raw(&self) -> i64 {
+        if self.signed {
+            bits::max_signed(self.width)
+        } else {
+            bits::max_unsigned(self.width)
+        }
+    }
+
+    /// The real value of one least-significant bit, `2^-frac`.
+    #[must_use]
+    pub fn step(&self) -> f64 {
+        (2.0f64).powi(-self.frac)
+    }
+
+    /// Largest representable real value.
+    #[must_use]
+    pub fn max_value(&self) -> f64 {
+        self.max_raw() as f64 * self.step()
+    }
+
+    /// Smallest representable real value.
+    #[must_use]
+    pub fn min_value(&self) -> f64 {
+        self.min_raw() as f64 * self.step()
+    }
+
+    /// Format of the full-precision product of two operands, as produced by a
+    /// hardware multiplier: widths add, fractional bits add, signed if either
+    /// operand is signed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the product width would exceed 32 bits (wider datapaths are
+    /// outside the printed-electronics regime this crate models).
+    #[must_use]
+    pub fn product(&self, rhs: &FxFormat) -> FxFormat {
+        let width = self.width + rhs.width;
+        assert!(width <= 32, "product width {width} exceeds 32 bits");
+        FxFormat {
+            width,
+            frac: self.frac + rhs.frac,
+            signed: self.signed || rhs.signed,
+        }
+    }
+
+    /// Format of a sum of `n` operands of this format: `ceil(log2(n))` guard
+    /// bits are added, matching a multi-operand adder tree's output width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or the result width would exceed 32 bits.
+    #[must_use]
+    pub fn sum_of(&self, n: usize) -> FxFormat {
+        assert!(n >= 1, "sum of zero operands");
+        let guard = (usize::BITS - (n - 1).leading_zeros()) as u32;
+        let width = self.width + guard;
+        assert!(width <= 32, "sum width {width} exceeds 32 bits");
+        FxFormat { width, frac: self.frac, signed: self.signed }
+    }
+}
+
+impl fmt::Display for FxFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}.{}",
+            if self.signed { "s" } else { "u" },
+            self.width as i64 - self.frac as i64,
+            self.frac
+        )
+    }
+}
+
+/// A fixed-point value: raw two's-complement integer plus its [`FxFormat`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fx {
+    raw: i64,
+    fmt: FxFormat,
+}
+
+impl Fx {
+    /// Wraps a raw integer already known to fit the format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::OutOfRange`] if `raw` does not fit.
+    pub fn from_raw(raw: i64, fmt: FxFormat) -> Result<Self, FixedError> {
+        if raw < fmt.min_raw() || raw > fmt.max_raw() {
+            return Err(FixedError::OutOfRange {
+                value: raw,
+                width: fmt.width(),
+                signed: fmt.is_signed(),
+            });
+        }
+        Ok(Fx { raw, fmt })
+    }
+
+    /// Converts a real value into the format, rounding with `rounding` and
+    /// saturating to the representable range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::NonFinite`] if `value` is NaN or infinite.
+    pub fn from_f64(value: f64, fmt: FxFormat, rounding: Rounding) -> Result<Self, FixedError> {
+        if !value.is_finite() {
+            return Err(FixedError::NonFinite(value));
+        }
+        let scaled = value / fmt.step();
+        let raw = rounding.to_i64(scaled.clamp(fmt.min_raw() as f64, fmt.max_raw() as f64));
+        let raw = raw.clamp(fmt.min_raw(), fmt.max_raw());
+        Ok(Fx { raw, fmt })
+    }
+
+    /// The raw two's-complement integer.
+    #[must_use]
+    pub fn raw(&self) -> i64 {
+        self.raw
+    }
+
+    /// The format of this value.
+    #[must_use]
+    pub fn format(&self) -> FxFormat {
+        self.fmt
+    }
+
+    /// The real value represented.
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        self.raw as f64 * self.fmt.step()
+    }
+
+    /// Full-precision product, with the derived [`FxFormat::product`] format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the product format would exceed 32 bits.
+    #[must_use]
+    pub fn mul_full(&self, rhs: &Fx) -> Fx {
+        let fmt = self.fmt.product(&rhs.fmt);
+        let raw = self.raw * rhs.raw;
+        debug_assert!(raw >= fmt.min_raw() && raw <= fmt.max_raw());
+        Fx { raw, fmt }
+    }
+
+    /// Saturating addition in a common format. Both operands must share the
+    /// same `frac`; the result gains one guard bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fractional bits differ (align first with
+    /// [`Fx::rescale`]) or the result width would exceed 32 bits.
+    #[must_use]
+    pub fn add_grow(&self, rhs: &Fx) -> Fx {
+        assert_eq!(self.fmt.frac(), rhs.fmt.frac(), "fractional bits must match");
+        let width = self.fmt.width().max(rhs.fmt.width()) + 1;
+        assert!(width <= 32, "sum width {width} exceeds 32 bits");
+        let fmt = FxFormat {
+            width,
+            frac: self.fmt.frac(),
+            signed: self.fmt.is_signed() || rhs.fmt.is_signed(),
+        };
+        Fx { raw: self.raw + rhs.raw, fmt }
+    }
+
+    /// Reformats into `target`, shifting the binary point as needed.
+    ///
+    /// Right shifts (losing fractional bits) use the supplied rounding mode;
+    /// out-of-range results saturate, matching a saturating output stage.
+    #[must_use]
+    pub fn rescale(&self, target: FxFormat, rounding: Rounding) -> Fx {
+        let shift = target.frac() - self.fmt.frac();
+        let raw = if shift >= 0 {
+            // Gaining fractional bits: exact left shift (may saturate).
+            let s = shift.min(62) as u32;
+            self.raw.checked_shl(s).unwrap_or(i64::MAX)
+        } else {
+            let s = (-shift).min(62) as u32;
+            let denom = 1i64 << s;
+            rounding.to_i64(self.raw as f64 / denom as f64)
+        };
+        let raw = raw.clamp(target.min_raw(), target.max_raw());
+        Fx { raw, fmt: target }
+    }
+}
+
+impl fmt::Display for Fx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.to_f64(), self.fmt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_ranges() {
+        let f = FxFormat::signed(8, 4);
+        assert_eq!(f.min_raw(), -128);
+        assert_eq!(f.max_raw(), 127);
+        assert!((f.step() - 0.0625).abs() < 1e-12);
+        assert!((f.max_value() - 7.9375).abs() < 1e-12);
+        let u = FxFormat::unsigned(4, 4);
+        assert_eq!(u.max_raw(), 15);
+        assert_eq!(u.min_raw(), 0);
+        assert!((u.max_value() - 0.9375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_width_is_rejected() {
+        assert!(FxFormat::new(0, 0, true).is_err());
+        assert!(FxFormat::new(33, 0, true).is_err());
+        assert!(FxFormat::new(32, 0, true).is_ok());
+    }
+
+    #[test]
+    fn from_f64_rounds_and_saturates() {
+        let f = FxFormat::signed(8, 4);
+        let x = Fx::from_f64(1.0, f, Rounding::NearestTiesAway).unwrap();
+        assert_eq!(x.raw(), 16);
+        let big = Fx::from_f64(100.0, f, Rounding::NearestTiesAway).unwrap();
+        assert_eq!(big.raw(), 127);
+        let small = Fx::from_f64(-100.0, f, Rounding::NearestTiesAway).unwrap();
+        assert_eq!(small.raw(), -128);
+        assert!(Fx::from_f64(f64::NAN, f, Rounding::default()).is_err());
+    }
+
+    #[test]
+    fn product_format_derivation() {
+        let a = FxFormat::unsigned(4, 4); // input activation u0.4
+        let w = FxFormat::signed(8, 6); // weight s2.6
+        let p = a.product(&w);
+        assert_eq!(p.width(), 12);
+        assert_eq!(p.frac(), 10);
+        assert!(p.is_signed());
+    }
+
+    #[test]
+    fn mul_full_is_exact() {
+        let a = Fx::from_raw(13, FxFormat::unsigned(4, 4)).unwrap();
+        let w = Fx::from_raw(-77, FxFormat::signed(8, 6)).unwrap();
+        let p = a.mul_full(&w);
+        assert_eq!(p.raw(), -1001);
+        assert!((p.to_f64() - (13.0 / 16.0) * (-77.0 / 64.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_grow_gains_guard_bit() {
+        let f = FxFormat::signed(8, 0);
+        let a = Fx::from_raw(127, f).unwrap();
+        let b = Fx::from_raw(127, f).unwrap();
+        let s = a.add_grow(&b);
+        assert_eq!(s.raw(), 254);
+        assert_eq!(s.format().width(), 9);
+    }
+
+    #[test]
+    fn sum_of_guard_bits() {
+        let f = FxFormat::signed(12, 10);
+        assert_eq!(f.sum_of(1).width(), 12);
+        assert_eq!(f.sum_of(2).width(), 13);
+        assert_eq!(f.sum_of(21).width(), 17); // ceil(log2(21)) = 5
+    }
+
+    #[test]
+    fn rescale_shifts_binary_point() {
+        let x = Fx::from_raw(100, FxFormat::signed(12, 6)).unwrap();
+        let down = x.rescale(FxFormat::signed(8, 4), Rounding::NearestTiesAway);
+        assert_eq!(down.raw(), 25);
+        let up = down.rescale(FxFormat::signed(12, 6), Rounding::NearestTiesAway);
+        assert_eq!(up.raw(), 100);
+    }
+
+    #[test]
+    fn rescale_saturates() {
+        let x = Fx::from_raw(2000, FxFormat::signed(12, 0)).unwrap();
+        let down = x.rescale(FxFormat::signed(8, 0), Rounding::NearestTiesAway);
+        assert_eq!(down.raw(), 127);
+    }
+
+    #[test]
+    fn display_formats() {
+        let f = FxFormat::signed(8, 6);
+        assert_eq!(f.to_string(), "s2.6");
+        let x = Fx::from_raw(64, f).unwrap();
+        assert!(x.to_string().contains("1 "));
+    }
+}

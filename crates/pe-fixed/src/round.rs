@@ -1,0 +1,100 @@
+//! Rounding modes for float → fixed-point conversion.
+
+/// How a real value is rounded onto the fixed-point grid.
+///
+/// Printed bespoke classifiers use [`Rounding::NearestTiesAway`] (the behavior
+/// of `round()` in the Python flows the papers use) by default; truncation is
+/// provided because approximate variants (baseline \[3\]) truncate instead of
+/// rounding to save hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Rounding {
+    /// Round to nearest; ties away from zero (`f64::round` semantics).
+    #[default]
+    NearestTiesAway,
+    /// Round to nearest; ties to even (IEEE default, lowest bias).
+    NearestTiesEven,
+    /// Round toward zero (hardware truncation of the magnitude).
+    TowardZero,
+    /// Round toward negative infinity (arithmetic shift-right semantics).
+    Floor,
+}
+
+impl Rounding {
+    /// Applies the rounding mode to `x`, producing an integer-valued `f64`.
+    #[must_use]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Rounding::NearestTiesAway => x.round(),
+            Rounding::NearestTiesEven => {
+                let r = x.round();
+                if (x - x.trunc()).abs() == 0.5 {
+                    // Tie: pick the even neighbor.
+                    let below = x.floor();
+                    let above = x.ceil();
+                    if (below as i64) % 2 == 0 {
+                        below
+                    } else {
+                        above
+                    }
+                } else {
+                    r
+                }
+            }
+            Rounding::TowardZero => x.trunc(),
+            Rounding::Floor => x.floor(),
+        }
+    }
+
+    /// Applies the rounding mode and converts to `i64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rounded value overflows `i64` range (debug-quality guard;
+    /// quantizers clamp before this can occur).
+    #[must_use]
+    pub fn to_i64(self, x: f64) -> i64 {
+        let r = self.apply(x);
+        assert!(
+            r >= i64::MIN as f64 && r <= i64::MAX as f64,
+            "rounded value {r} overflows i64"
+        );
+        r as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_ties_away() {
+        let m = Rounding::NearestTiesAway;
+        assert_eq!(m.to_i64(2.5), 3);
+        assert_eq!(m.to_i64(-2.5), -3);
+        assert_eq!(m.to_i64(2.4), 2);
+        assert_eq!(m.to_i64(-2.4), -2);
+    }
+
+    #[test]
+    fn nearest_ties_even() {
+        let m = Rounding::NearestTiesEven;
+        assert_eq!(m.to_i64(2.5), 2);
+        assert_eq!(m.to_i64(3.5), 4);
+        assert_eq!(m.to_i64(-2.5), -2);
+        assert_eq!(m.to_i64(-3.5), -4);
+        assert_eq!(m.to_i64(2.6), 3);
+    }
+
+    #[test]
+    fn toward_zero_and_floor() {
+        assert_eq!(Rounding::TowardZero.to_i64(2.9), 2);
+        assert_eq!(Rounding::TowardZero.to_i64(-2.9), -2);
+        assert_eq!(Rounding::Floor.to_i64(2.9), 2);
+        assert_eq!(Rounding::Floor.to_i64(-2.1), -3);
+    }
+
+    #[test]
+    fn default_is_nearest_ties_away() {
+        assert_eq!(Rounding::default(), Rounding::NearestTiesAway);
+    }
+}

@@ -1,0 +1,127 @@
+//! Lowest-precision search.
+//!
+//! The paper quantizes SVM weights and biases "to the lowest precision that
+//! can retain acceptable accuracy" (§II). This module implements that search
+//! generically: given an evaluation closure mapping a candidate coefficient
+//! width to an accuracy, find the narrowest width whose accuracy is within a
+//! tolerance of the reference (float) accuracy.
+
+/// Parameters of a lowest-width search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchSpec {
+    /// Narrowest width to consider (inclusive).
+    pub min_width: u32,
+    /// Widest width to consider (inclusive); evaluated as the fallback.
+    pub max_width: u32,
+    /// Maximum accuracy loss (absolute, e.g. `0.005` = half a point) allowed
+    /// relative to `reference_accuracy`.
+    pub tolerance: f64,
+    /// The accuracy of the unquantized model that quantized candidates are
+    /// compared against.
+    pub reference_accuracy: f64,
+}
+
+impl SearchSpec {
+    /// Creates a spec covering `min_width..=max_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_width == 0`, `min_width > max_width`, or the tolerance
+    /// is negative or non-finite.
+    #[must_use]
+    pub fn new(min_width: u32, max_width: u32, tolerance: f64, reference_accuracy: f64) -> Self {
+        assert!(min_width >= 1, "min_width must be at least 1");
+        assert!(min_width <= max_width, "min_width must not exceed max_width");
+        assert!(tolerance >= 0.0 && tolerance.is_finite(), "tolerance must be non-negative");
+        SearchSpec { min_width, max_width, tolerance, reference_accuracy }
+    }
+}
+
+/// Result of a lowest-width search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// The chosen coefficient width.
+    pub width: u32,
+    /// Accuracy at the chosen width.
+    pub accuracy: f64,
+    /// `(width, accuracy)` for every candidate evaluated, in evaluation order.
+    pub trace: Vec<(u32, f64)>,
+    /// Whether the chosen width met the tolerance (if `false`, the widest
+    /// candidate was returned as a fallback).
+    pub met_tolerance: bool,
+}
+
+/// Finds the lowest width `w` in `spec.min_width..=spec.max_width` such that
+/// `eval(w) >= spec.reference_accuracy - spec.tolerance`.
+///
+/// Candidates are evaluated in increasing width order and the search stops at
+/// the first acceptable width (accuracy is monotone enough in practice that
+/// this matches an exhaustive scan, and it keeps every evaluation in the
+/// outcome trace for reporting). If no candidate meets the tolerance the
+/// widest width is returned with `met_tolerance == false`.
+pub fn search_lowest_width<F>(spec: SearchSpec, mut eval: F) -> SearchOutcome
+where
+    F: FnMut(u32) -> f64,
+{
+    let threshold = spec.reference_accuracy - spec.tolerance;
+    let mut trace = Vec::new();
+    for width in spec.min_width..=spec.max_width {
+        let acc = eval(width);
+        trace.push((width, acc));
+        if acc >= threshold {
+            return SearchOutcome { width, accuracy: acc, trace, met_tolerance: true };
+        }
+    }
+    let (width, accuracy) = *trace.last().expect("at least one candidate evaluated");
+    SearchOutcome { width, accuracy, trace, met_tolerance: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_first_width_meeting_tolerance() {
+        // Accuracy ramps with width: 4->0.80, 5->0.88, 6->0.92, 7->0.93, 8->0.93.
+        let table = [(4u32, 0.80), (5, 0.88), (6, 0.92), (7, 0.93), (8, 0.93)];
+        let spec = SearchSpec::new(4, 8, 0.01, 0.93);
+        let out = search_lowest_width(spec, |w| {
+            table.iter().find(|(tw, _)| *tw == w).unwrap().1
+        });
+        assert_eq!(out.width, 6);
+        assert!(out.met_tolerance);
+        assert_eq!(out.trace.len(), 3);
+    }
+
+    #[test]
+    fn falls_back_to_widest_when_nothing_meets() {
+        let spec = SearchSpec::new(2, 4, 0.0, 1.0);
+        let out = search_lowest_width(spec, |w| w as f64 * 0.1);
+        assert_eq!(out.width, 4);
+        assert!(!out.met_tolerance);
+        assert!((out.accuracy - 0.4).abs() < 1e-12);
+        assert_eq!(out.trace.len(), 3);
+    }
+
+    #[test]
+    fn single_width_range() {
+        let spec = SearchSpec::new(6, 6, 0.05, 0.9);
+        let out = search_lowest_width(spec, |_| 0.9);
+        assert_eq!(out.width, 6);
+        assert!(out.met_tolerance);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_width must not exceed")]
+    fn invalid_spec_panics() {
+        let _ = SearchSpec::new(8, 4, 0.0, 0.9);
+    }
+
+    #[test]
+    fn tolerance_zero_requires_match() {
+        let spec = SearchSpec::new(1, 3, 0.0, 0.5);
+        let out = search_lowest_width(spec, |w| if w == 3 { 0.5 } else { 0.49 });
+        assert_eq!(out.width, 3);
+        assert!(out.met_tolerance);
+    }
+}

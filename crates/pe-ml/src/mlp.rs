@@ -1,0 +1,270 @@
+//! A small one-hidden-layer MLP — the bespoke printed-MLP baseline \[4\].
+//!
+//! Architecture: `logits = W2 · relu(W1 · x + b1) + b2`, trained with
+//! mini-batch SGD on softmax cross-entropy. Printed MLPs are tiny (a few
+//! hidden neurons), so plain SGD with a seeded init is entirely adequate and
+//! keeps training deterministic.
+
+use pe_data::metrics::accuracy;
+use pe_data::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// MLP training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MlpTrainParams {
+    /// Hidden-layer width (printed MLPs use single-digit counts).
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Seed for init and shuffling.
+    pub seed: u64,
+}
+
+impl Default for MlpTrainParams {
+    fn default() -> Self {
+        MlpTrainParams { hidden: 8, epochs: 150, learning_rate: 0.08, batch: 16, seed: 0x71a9 }
+    }
+}
+
+/// A trained MLP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    /// `w1[h][i]`: input `i` to hidden `h`.
+    w1: Vec<Vec<f64>>,
+    b1: Vec<f64>,
+    /// `w2[o][h]`: hidden `h` to output `o`.
+    w2: Vec<Vec<f64>>,
+    b2: Vec<f64>,
+}
+
+impl Mlp {
+    /// Trains on a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset or zero-sized hyper-parameters.
+    #[must_use]
+    pub fn train(data: &Dataset, params: &MlpTrainParams) -> Self {
+        assert!(params.hidden >= 1 && params.epochs >= 1 && params.batch >= 1);
+        assert!(params.learning_rate > 0.0);
+        let d_in = data.num_features();
+        let d_out = data.num_classes();
+        let h = params.hidden;
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut init = |fan_in: usize| {
+            let scale = (1.0 / fan_in as f64).sqrt();
+            move |rng: &mut StdRng| (rng.gen::<f64>() * 2.0 - 1.0) * scale
+        };
+        let mut i1 = init(d_in);
+        let mut w1: Vec<Vec<f64>> =
+            (0..h).map(|_| (0..d_in).map(|_| i1(&mut rng)).collect()).collect();
+        let mut b1 = vec![0.0f64; h];
+        let mut i2 = init(h);
+        let mut w2: Vec<Vec<f64>> =
+            (0..d_out).map(|_| (0..h).map(|_| i2(&mut rng)).collect()).collect();
+        let mut b2 = vec![0.0f64; d_out];
+
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        for _ in 0..params.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(params.batch) {
+                // Accumulate gradients over the mini-batch.
+                let mut g_w1 = vec![vec![0.0; d_in]; h];
+                let mut g_b1 = vec![0.0; h];
+                let mut g_w2 = vec![vec![0.0; h]; d_out];
+                let mut g_b2 = vec![0.0; d_out];
+                for &i in chunk {
+                    let (x, label) = data.sample(i);
+                    // Forward.
+                    let mut hidden = vec![0.0f64; h];
+                    for (hi, row) in w1.iter().enumerate() {
+                        let z: f64 =
+                            row.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + b1[hi];
+                        hidden[hi] = z.max(0.0);
+                    }
+                    let mut logits = vec![0.0f64; d_out];
+                    for (oi, row) in w2.iter().enumerate() {
+                        logits[oi] =
+                            row.iter().zip(&hidden).map(|(w, v)| w * v).sum::<f64>() + b2[oi];
+                    }
+                    // Softmax + cross-entropy gradient: p - onehot.
+                    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                    let exps: Vec<f64> = logits.iter().map(|&l| (l - max).exp()).collect();
+                    let sum: f64 = exps.iter().sum();
+                    let mut delta_out: Vec<f64> = exps.iter().map(|&e| e / sum).collect();
+                    delta_out[label] -= 1.0;
+                    // Backward.
+                    for oi in 0..d_out {
+                        for hi in 0..h {
+                            g_w2[oi][hi] += delta_out[oi] * hidden[hi];
+                        }
+                        g_b2[oi] += delta_out[oi];
+                    }
+                    for hi in 0..h {
+                        if hidden[hi] <= 0.0 {
+                            continue; // ReLU gate closed
+                        }
+                        let delta_h: f64 =
+                            (0..d_out).map(|oi| delta_out[oi] * w2[oi][hi]).sum();
+                        for (g, &v) in g_w1[hi].iter_mut().zip(x) {
+                            *g += delta_h * v;
+                        }
+                        g_b1[hi] += delta_h;
+                    }
+                }
+                let lr = params.learning_rate / chunk.len() as f64;
+                for hi in 0..h {
+                    for (w, g) in w1[hi].iter_mut().zip(&g_w1[hi]) {
+                        *w -= lr * g;
+                    }
+                    b1[hi] -= lr * g_b1[hi];
+                }
+                for oi in 0..d_out {
+                    for (w, g) in w2[oi].iter_mut().zip(&g_w2[oi]) {
+                        *w -= lr * g;
+                    }
+                    b2[oi] -= lr * g_b2[oi];
+                }
+            }
+        }
+        Mlp { w1, b1, w2, b2 }
+    }
+
+    /// Hidden-layer weights (`[hidden][input]`).
+    #[must_use]
+    pub fn w1(&self) -> &[Vec<f64>] {
+        &self.w1
+    }
+
+    /// Hidden-layer biases.
+    #[must_use]
+    pub fn b1(&self) -> &[f64] {
+        &self.b1
+    }
+
+    /// Output-layer weights (`[output][hidden]`).
+    #[must_use]
+    pub fn w2(&self) -> &[Vec<f64>] {
+        &self.w2
+    }
+
+    /// Output-layer biases.
+    #[must_use]
+    pub fn b2(&self) -> &[f64] {
+        &self.b2
+    }
+
+    /// Hidden activations for one sample (used for quantization
+    /// calibration).
+    #[must_use]
+    pub fn hidden(&self, x: &[f64]) -> Vec<f64> {
+        self.w1
+            .iter()
+            .zip(&self.b1)
+            .map(|(row, &b)| {
+                (row.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + b).max(0.0)
+            })
+            .collect()
+    }
+
+    /// Class prediction: argmax of logits (ties to the lower index).
+    #[must_use]
+    pub fn predict(&self, x: &[f64]) -> usize {
+        let h = self.hidden(x);
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for (oi, (row, &b)) in self.w2.iter().zip(&self.b2).enumerate() {
+            let z = row.iter().zip(&h).map(|(w, v)| w * v).sum::<f64>() + b;
+            if z > best_score {
+                best_score = z;
+                best = oi;
+            }
+        }
+        best
+    }
+
+    /// Test accuracy on a dataset.
+    #[must_use]
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        let preds: Vec<usize> = data.features().iter().map(|x| self.predict(x)).collect();
+        accuracy(&preds, data.labels())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_data::{train_test_split, Normalizer, UciProfile};
+
+    #[test]
+    fn learns_xor_like_blobs() {
+        // Four clusters in XOR arrangement: not linearly separable, an MLP
+        // must solve it.
+        let mut feats = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..200 {
+            let jx = ((i * 13) % 17) as f64 * 0.004;
+            let jy = ((i * 7) % 19) as f64 * 0.004;
+            let (cx, cy, l) = match i % 4 {
+                0 => (0.2, 0.2, 0),
+                1 => (0.8, 0.8, 0),
+                2 => (0.2, 0.8, 1),
+                _ => (0.8, 0.2, 1),
+            };
+            feats.push(vec![cx + jx, cy + jy]);
+            labels.push(l);
+        }
+        let d = Dataset::new("xor", feats, labels, 2).unwrap();
+        let m = Mlp::train(
+            &d,
+            &MlpTrainParams { hidden: 6, epochs: 400, ..MlpTrainParams::default() },
+        );
+        let acc = m.accuracy(&d);
+        assert!(acc > 0.95, "xor accuracy {acc}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let d = UciProfile::Dermatology.generate(3);
+        let (train, _) = train_test_split(&d, 0.2, 3);
+        let norm = Normalizer::fit(&train);
+        let train = norm.apply(&train);
+        let p = MlpTrainParams { epochs: 10, ..MlpTrainParams::default() };
+        let a = Mlp::train(&train, &p);
+        let b = Mlp::train(&train, &p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reasonable_accuracy_on_dermatology() {
+        let d = UciProfile::Dermatology.generate(7);
+        let (train, test) = train_test_split(&d, 0.2, 7);
+        let norm = Normalizer::fit(&train);
+        let (train, test) = (norm.apply(&train), norm.apply(&test));
+        let m = Mlp::train(&train, &MlpTrainParams::default());
+        let acc = m.accuracy(&test);
+        assert!(acc > 0.85, "dermatology MLP accuracy {acc}");
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        let d = UciProfile::Cardio.generate(1);
+        let (train, _) = train_test_split(&d, 0.2, 1);
+        let train = Normalizer::fit(&train).apply(&train);
+        let p = MlpTrainParams { hidden: 5, epochs: 3, ..MlpTrainParams::default() };
+        let m = Mlp::train(&train, &p);
+        assert_eq!(m.w1().len(), 5);
+        assert_eq!(m.w1()[0].len(), 21);
+        assert_eq!(m.w2().len(), 3);
+        assert_eq!(m.w2()[0].len(), 5);
+        assert_eq!(m.b1().len(), 5);
+        assert_eq!(m.b2().len(), 3);
+        assert_eq!(m.hidden(&vec![0.5; 21]).len(), 5);
+    }
+}

@@ -1,0 +1,268 @@
+//! Multi-class SVMs: One-vs-Rest (the paper) and One-vs-One (the baselines).
+
+use crate::linear::{train_one_vs_one, train_one_vs_rest, LinearModel, SvmTrainParams};
+use pe_data::metrics::accuracy;
+use pe_data::Dataset;
+
+/// Multi-class decomposition scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MulticlassScheme {
+    /// `n` classifiers, class `k` vs the rest; prediction is the argmax of
+    /// decision values. Chosen by the paper because it needs the fewest
+    /// stored coefficients and the simplest control.
+    OneVsRest,
+    /// `n(n-1)/2` pairwise classifiers with majority voting; used by the
+    /// fully-parallel state of the art \[2\], \[3\].
+    OneVsOne,
+}
+
+/// A trained multi-class linear SVM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvmModel {
+    scheme: MulticlassScheme,
+    n_classes: usize,
+    /// For OvR: classifier `k` is class `k` vs rest.
+    /// For OvO: classifier for `pairs[k]`, positive = first class.
+    models: Vec<LinearModel>,
+    pairs: Vec<(usize, usize)>,
+}
+
+impl SvmModel {
+    /// Trains on a dataset under the given scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset has fewer than 2 classes or a class has no
+    /// samples (for OvO pairs).
+    #[must_use]
+    pub fn train(data: &Dataset, scheme: MulticlassScheme, params: &SvmTrainParams) -> Self {
+        let n = data.num_classes();
+        assert!(n >= 2, "multi-class training needs at least 2 classes");
+        match scheme {
+            MulticlassScheme::OneVsRest => {
+                let models =
+                    (0..n).map(|k| train_one_vs_rest(data, k, params)).collect();
+                SvmModel { scheme, n_classes: n, models, pairs: Vec::new() }
+            }
+            MulticlassScheme::OneVsOne => {
+                let mut models = Vec::new();
+                let mut pairs = Vec::new();
+                for a in 0..n {
+                    for b in (a + 1)..n {
+                        models.push(train_one_vs_one(data, a, b, params));
+                        pairs.push((a, b));
+                    }
+                }
+                SvmModel { scheme, n_classes: n, models, pairs }
+            }
+        }
+    }
+
+    /// Assembles a One-vs-Rest model from externally-trained binary
+    /// classifiers (classifier `k` separates class `k` from the rest).
+    /// Useful for importing coefficients trained in another framework and
+    /// for randomized hardware testing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two classifiers are given or their feature
+    /// counts disagree.
+    #[must_use]
+    pub fn from_ovr(models: Vec<LinearModel>) -> Self {
+        assert!(models.len() >= 2, "one-vs-rest needs at least two classes");
+        let dim = models[0].weights().len();
+        assert!(
+            models.iter().all(|m| m.weights().len() == dim),
+            "classifiers must share a feature count"
+        );
+        SvmModel {
+            scheme: MulticlassScheme::OneVsRest,
+            n_classes: models.len(),
+            models,
+            pairs: Vec::new(),
+        }
+    }
+
+    /// The decomposition scheme.
+    #[must_use]
+    pub fn scheme(&self) -> MulticlassScheme {
+        self.scheme
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// The underlying binary classifiers (the paper's "support vectors":
+    /// for linear SVMs each binary classifier is one stored weight
+    /// vector + bias).
+    #[must_use]
+    pub fn classifiers(&self) -> &[LinearModel] {
+        &self.models
+    }
+
+    /// Class pairs for OvO (empty for OvR).
+    #[must_use]
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+
+    /// Number of stored classifiers — the storage cost the paper's OvR
+    /// choice minimizes (`n` vs `n(n-1)/2`).
+    #[must_use]
+    pub fn num_classifiers(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Predicts the class of one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimensionality.
+    #[must_use]
+    pub fn predict(&self, x: &[f64]) -> usize {
+        match self.scheme {
+            MulticlassScheme::OneVsRest => {
+                let mut best = 0usize;
+                let mut best_score = f64::NEG_INFINITY;
+                for (k, m) in self.models.iter().enumerate() {
+                    let s = m.decision(x);
+                    if s > best_score {
+                        best_score = s;
+                        best = k;
+                    }
+                }
+                best
+            }
+            MulticlassScheme::OneVsOne => {
+                let mut votes = vec![0usize; self.n_classes];
+                for (m, &(a, b)) in self.models.iter().zip(&self.pairs) {
+                    if m.decision(x) > 0.0 {
+                        votes[a] += 1;
+                    } else {
+                        votes[b] += 1;
+                    }
+                }
+                // Tie resolves to the lower class index, matching the
+                // deterministic hardware voter.
+                let mut best = 0usize;
+                for (k, &v) in votes.iter().enumerate() {
+                    if v > votes[best] {
+                        best = k;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Predictions for every sample of a dataset.
+    #[must_use]
+    pub fn predict_all(&self, data: &Dataset) -> Vec<usize> {
+        data.features().iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Test accuracy on a dataset.
+    #[must_use]
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        accuracy(&self.predict_all(data), data.labels())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_data::{train_test_split, Normalizer, UciProfile};
+
+    fn three_blobs() -> Dataset {
+        let mut feats = Vec::new();
+        let mut labels = Vec::new();
+        let centers = [(0.15, 0.2), (0.85, 0.2), (0.5, 0.85)];
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for i in 0..20 {
+                let dx = ((i * 7) % 10) as f64 * 0.01;
+                let dy = ((i * 3) % 10) as f64 * 0.01;
+                feats.push(vec![cx + dx, cy + dy]);
+                labels.push(c);
+            }
+        }
+        Dataset::new("blobs", feats, labels, 3).unwrap()
+    }
+
+    #[test]
+    fn ovr_classifies_blobs() {
+        let d = three_blobs();
+        let m = SvmModel::train(&d, MulticlassScheme::OneVsRest, &SvmTrainParams::default());
+        assert_eq!(m.num_classifiers(), 3);
+        assert!(m.accuracy(&d) > 0.95);
+    }
+
+    #[test]
+    fn ovo_classifies_blobs() {
+        let d = three_blobs();
+        let m = SvmModel::train(&d, MulticlassScheme::OneVsOne, &SvmTrainParams::default());
+        assert_eq!(m.num_classifiers(), 3); // 3*2/2
+        assert_eq!(m.pairs(), &[(0, 1), (0, 2), (1, 2)]);
+        assert!(m.accuracy(&d) > 0.95);
+    }
+
+    #[test]
+    fn ovo_needs_quadratically_more_classifiers() {
+        let d = UciProfile::PenDigits.generate(11);
+        let (train, _) = train_test_split(&d, 0.2, 1);
+        let small = train.subset(&(0..600).collect::<Vec<_>>(), "-s");
+        let p = SvmTrainParams { max_epochs: 15, ..SvmTrainParams::default() };
+        let ovr = SvmModel::train(&small, MulticlassScheme::OneVsRest, &p);
+        let ovo = SvmModel::train(&small, MulticlassScheme::OneVsOne, &p);
+        assert_eq!(ovr.num_classifiers(), 10);
+        assert_eq!(ovo.num_classifiers(), 45);
+    }
+
+    #[test]
+    fn dermatology_reaches_high_accuracy() {
+        let d = UciProfile::Dermatology.generate(7);
+        let (train, test) = train_test_split(&d, 0.2, 7);
+        let norm = Normalizer::fit(&train);
+        let (train, test) = (norm.apply(&train), norm.apply(&test));
+        let m = SvmModel::train(&train, MulticlassScheme::OneVsRest, &SvmTrainParams::default());
+        let acc = m.accuracy(&test);
+        assert!(acc > 0.90, "dermatology OvR accuracy {acc}");
+    }
+
+    #[test]
+    fn from_ovr_assembles_importable_models() {
+        use crate::linear::LinearModel;
+        let m = SvmModel::from_ovr(vec![
+            LinearModel::new(vec![1.0, 0.0], -0.4),
+            LinearModel::new(vec![-1.0, 0.0], 0.6),
+            LinearModel::new(vec![0.0, 1.0], -0.5),
+        ]);
+        assert_eq!(m.num_classes(), 3);
+        assert_eq!(m.scheme(), MulticlassScheme::OneVsRest);
+        assert_eq!(m.predict(&[0.9, 0.1]), 0);
+        assert_eq!(m.predict(&[0.1, 0.1]), 1);
+        assert_eq!(m.predict(&[0.4, 0.99]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a feature count")]
+    fn from_ovr_checks_dimensions() {
+        use crate::linear::LinearModel;
+        let _ = SvmModel::from_ovr(vec![
+            LinearModel::new(vec![1.0], 0.0),
+            LinearModel::new(vec![1.0, 2.0], 0.0),
+        ]);
+    }
+
+    #[test]
+    fn predictions_cover_all_classes_on_balanced_data() {
+        let d = three_blobs();
+        let m = SvmModel::train(&d, MulticlassScheme::OneVsRest, &SvmTrainParams::default());
+        let preds = m.predict_all(&d);
+        for c in 0..3 {
+            assert!(preds.contains(&c), "class {c} never predicted");
+        }
+    }
+}

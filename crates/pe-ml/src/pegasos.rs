@@ -1,0 +1,166 @@
+//! Pegasos: primal sub-gradient SVM training.
+//!
+//! An independent second solver for the same objective the dual coordinate
+//! descent in [`crate::linear`] optimizes (L2-regularized hinge loss).
+//! Having two structurally different optimizers agree on decision boundaries
+//! is the training-side analog of this repository's dual-netlist hardware
+//! verification — and Pegasos handles streaming settings where the dual's
+//! per-sample state is unavailable.
+//!
+//! Reference: Shalev-Shwartz, Singer, Srebro. "Pegasos: Primal Estimated
+//! sub-GrAdient SOlver for SVM", ICML 2007.
+
+use crate::linear::LinearModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Pegasos hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PegasosParams {
+    /// Regularization strength λ (≈ 1/(C·n) against the dual formulation).
+    pub lambda: f64,
+    /// Number of stochastic iterations.
+    pub iterations: usize,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl Default for PegasosParams {
+    fn default() -> Self {
+        PegasosParams { lambda: 1e-3, iterations: 60_000, seed: 0x9e6a }
+    }
+}
+
+/// Trains a binary SVM on `±1` labels with the Pegasos algorithm.
+///
+/// The bias is learned through feature augmentation, like the dual solver,
+/// so the two produce directly comparable [`LinearModel`]s.
+///
+/// # Panics
+///
+/// Panics if inputs are empty, lengths mismatch, a label is not `±1`, or
+/// the hyper-parameters are non-positive.
+#[must_use]
+pub fn train_pegasos(
+    features: &[Vec<f64>],
+    labels: &[f64],
+    params: &PegasosParams,
+) -> LinearModel {
+    assert!(!features.is_empty(), "no training samples");
+    assert_eq!(features.len(), labels.len(), "sample/label count mismatch");
+    assert!(labels.iter().all(|&y| y == 1.0 || y == -1.0), "labels must be ±1");
+    assert!(params.lambda > 0.0 && params.iterations > 0, "invalid hyper-parameters");
+    let n = features.len();
+    let dim = features[0].len();
+    let mut w = vec![0.0f64; dim + 1]; // last = bias via augmentation
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    for t in 1..=params.iterations {
+        let i = rng.gen_range(0..n);
+        let xi = &features[i];
+        let yi = labels[i];
+        let eta = 1.0 / (params.lambda * t as f64);
+        let wx: f64 =
+            xi.iter().zip(&w).map(|(v, wj)| v * wj).sum::<f64>() + w[dim];
+        // Sub-gradient step: shrink, then (on margin violation) pull.
+        let shrink = 1.0 - eta * params.lambda;
+        for wj in &mut w {
+            *wj *= shrink;
+        }
+        if yi * wx < 1.0 {
+            for (wj, v) in w.iter_mut().zip(xi) {
+                *wj += eta * yi * v;
+            }
+            w[dim] += eta * yi;
+        }
+        // Optional projection onto the 1/sqrt(lambda) ball (keeps the
+        // classic convergence guarantee).
+        let norm = w.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let radius = 1.0 / params.lambda.sqrt();
+        if norm > radius {
+            let scale = radius / norm;
+            for wj in &mut w {
+                *wj *= scale;
+            }
+        }
+    }
+    let bias = w.pop().expect("augmented vector non-empty");
+    LinearModel::new(w, bias)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::{train_binary_svm, SvmTrainParams};
+
+    fn separable(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let t = (i as f64) / (n as f64) * 0.1;
+            if i % 2 == 0 {
+                x.push(vec![0.85 + t, 0.8 - t]);
+                y.push(1.0);
+            } else {
+                x.push(vec![0.2 - t, 0.15 + t]);
+                y.push(-1.0);
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn pegasos_separates_separable_data() {
+        let (x, y) = separable(60);
+        let m = train_pegasos(&x, &y, &PegasosParams::default());
+        for (xi, &yi) in x.iter().zip(&y) {
+            assert!(m.decision(xi) * yi > 0.0, "misclassified {xi:?}");
+        }
+    }
+
+    #[test]
+    fn pegasos_agrees_with_dual_coordinate_descent() {
+        // Two independent optimizers of the same objective must produce
+        // near-identical classifications (not identical weights — different
+        // regularization paths — but the same sign pattern).
+        let (x, y) = separable(60);
+        let dual = train_binary_svm(&x, &y, &SvmTrainParams::default());
+        let primal = train_pegasos(&x, &y, &PegasosParams::default());
+        let mut agree = 0usize;
+        let probe: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0])
+            .collect();
+        for p in &probe {
+            if (dual.decision(p) > 0.0) == (primal.decision(p) > 0.0) {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 92, "solvers agree on only {agree}/100 probe points");
+    }
+
+    #[test]
+    fn pegasos_is_deterministic() {
+        let (x, y) = separable(30);
+        let p = PegasosParams { iterations: 5_000, ..PegasosParams::default() };
+        assert_eq!(train_pegasos(&x, &y, &p), train_pegasos(&x, &y, &p));
+    }
+
+    #[test]
+    fn weight_norm_respects_projection_ball() {
+        let (x, y) = separable(30);
+        let p = PegasosParams { lambda: 0.01, iterations: 10_000, ..PegasosParams::default() };
+        let m = train_pegasos(&x, &y, &p);
+        let norm: f64 = m
+            .weights()
+            .iter()
+            .map(|v| v * v)
+            .sum::<f64>()
+            .sqrt();
+        assert!(norm <= 1.0 / p.lambda.sqrt() + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "±1")]
+    fn rejects_bad_labels() {
+        let _ = train_pegasos(&[vec![0.0]], &[0.5], &PegasosParams::default());
+    }
+}

@@ -1,0 +1,571 @@
+//! Post-training quantization and bit-exact integer inference.
+//!
+//! This module is the contract between training and hardware:
+//!
+//! * Inputs are unsigned `input_bits`-bit integers `x_q = round(x·(2^k−1))`
+//!   for `x ∈ [0, 1]` (the paper's normalized inputs at low precision).
+//! * All of a model's weights share one **global** power-of-two scale
+//!   `2^-f` fitted to the largest weight magnitude at `weight_bits` — a
+//!   per-classifier scale would break One-vs-Rest argmax comparability and
+//!   would force per-classifier binary points into the storage MUX.
+//! * Biases are quantized directly at the accumulator scale
+//!   (`s_w · s_x`), so the integer score `Σ w_q·x_q + b_q` is a positive
+//!   rescaling of the real score — argmax- and sign-preserving.
+//!
+//! [`QuantizedSvm::scores_int`] / [`QuantizedMlp::logits_int`] are the golden
+//! references that generated netlists in `pe-core` are verified against,
+//! sample by sample, bit by bit.
+
+use crate::mlp::Mlp;
+use crate::multiclass::{MulticlassScheme, SvmModel};
+use pe_data::metrics::accuracy;
+use pe_data::Dataset;
+use pe_fixed::bits as fxbits;
+use pe_fixed::QuantScheme;
+
+/// One quantized linear classifier: integer weights plus an integer bias at
+/// accumulator scale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantizedLinear {
+    /// Weights on the global `2^-f` grid.
+    pub weights_q: Vec<i64>,
+    /// Bias at accumulator scale (`s_w · s_x`).
+    pub bias_q: i64,
+}
+
+impl QuantizedLinear {
+    /// Integer decision value `Σ w_q·x_q + b_q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_q` has the wrong dimensionality.
+    #[must_use]
+    pub fn score_int(&self, x_q: &[i64]) -> i64 {
+        assert_eq!(x_q.len(), self.weights_q.len(), "feature count mismatch");
+        self.weights_q.iter().zip(x_q).map(|(w, x)| w * x).sum::<i64>() + self.bias_q
+    }
+}
+
+/// A quantized multi-class SVM with integer-exact inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantizedSvm {
+    scheme: MulticlassScheme,
+    n_classes: usize,
+    pairs: Vec<(usize, usize)>,
+    classifiers: Vec<QuantizedLinear>,
+    input_bits: u32,
+    weight_bits: u32,
+    weight_frac: i32,
+}
+
+impl QuantizedSvm {
+    /// Quantizes a trained [`SvmModel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_bits` or `weight_bits` are outside `1..=16`.
+    #[must_use]
+    pub fn quantize(model: &SvmModel, input_bits: u32, weight_bits: u32) -> Self {
+        assert!((1..=16).contains(&input_bits), "input bits out of range");
+        assert!((1..=16).contains(&weight_bits), "weight bits out of range");
+        let all_weights: Vec<f64> = model
+            .classifiers()
+            .iter()
+            .flat_map(|m| m.weights().iter().copied())
+            .collect();
+        let ws = QuantScheme::fit_signed(&all_weights, weight_bits)
+            .expect("a trained model has weights");
+        let levels = f64::from((1u32 << input_bits) - 1);
+        // bias_q = b / (s_w · s_x) = b · 2^f · (2^k − 1)
+        let bias_scale = (2.0f64).powi(ws.frac()) * levels;
+        let classifiers = model
+            .classifiers()
+            .iter()
+            .map(|m| QuantizedLinear {
+                weights_q: m.weights().iter().map(|&w| ws.quantize(w)).collect(),
+                bias_q: (m.bias() * bias_scale).round() as i64,
+            })
+            .collect();
+        QuantizedSvm {
+            scheme: model.scheme(),
+            n_classes: model.num_classes(),
+            pairs: model.pairs().to_vec(),
+            classifiers,
+            input_bits,
+            weight_bits,
+            weight_frac: ws.frac(),
+        }
+    }
+
+    /// The decomposition scheme.
+    #[must_use]
+    pub fn scheme(&self) -> MulticlassScheme {
+        self.scheme
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// The quantized binary classifiers.
+    #[must_use]
+    pub fn classifiers(&self) -> &[QuantizedLinear] {
+        &self.classifiers
+    }
+
+    /// OvO class pairs (empty for OvR).
+    #[must_use]
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+
+    /// Input precision in bits.
+    #[must_use]
+    pub fn input_bits(&self) -> u32 {
+        self.input_bits
+    }
+
+    /// Weight precision in bits.
+    #[must_use]
+    pub fn weight_bits(&self) -> u32 {
+        self.weight_bits
+    }
+
+    /// The global binary-point position of the weight grid (`scale 2^-f`).
+    #[must_use]
+    pub fn weight_frac(&self) -> i32 {
+        self.weight_frac
+    }
+
+    /// Number of input features.
+    #[must_use]
+    pub fn num_features(&self) -> usize {
+        self.classifiers[0].weights_q.len()
+    }
+
+    /// Quantizes a normalized (`[0,1]`) sample to the input grid.
+    #[must_use]
+    pub fn quantize_input(&self, x: &[f64]) -> Vec<i64> {
+        let levels = f64::from((1u32 << self.input_bits) - 1);
+        x.iter()
+            .map(|&v| (v.clamp(0.0, 1.0) * levels).round() as i64)
+            .collect()
+    }
+
+    /// Integer scores of all classifiers for a quantized sample.
+    #[must_use]
+    pub fn scores_int(&self, x_q: &[i64]) -> Vec<i64> {
+        self.classifiers.iter().map(|c| c.score_int(x_q)).collect()
+    }
+
+    /// Integer-exact class prediction (OvR argmax with ties to the lower
+    /// index; OvO majority vote with ties to the lower class).
+    #[must_use]
+    pub fn predict_int(&self, x_q: &[i64]) -> usize {
+        let scores = self.scores_int(x_q);
+        match self.scheme {
+            MulticlassScheme::OneVsRest => {
+                let mut best = 0usize;
+                for (k, &s) in scores.iter().enumerate() {
+                    if s > scores[best] {
+                        best = k;
+                    }
+                }
+                best
+            }
+            MulticlassScheme::OneVsOne => {
+                let mut votes = vec![0usize; self.n_classes];
+                for (&s, &(a, b)) in scores.iter().zip(&self.pairs) {
+                    if s > 0 {
+                        votes[a] += 1;
+                    } else {
+                        votes[b] += 1;
+                    }
+                }
+                let mut best = 0usize;
+                for (k, &v) in votes.iter().enumerate() {
+                    if v > votes[best] {
+                        best = k;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Prediction from a normalized float sample (quantize, then integer
+    /// inference).
+    #[must_use]
+    pub fn predict(&self, x: &[f64]) -> usize {
+        self.predict_int(&self.quantize_input(x))
+    }
+
+    /// Test accuracy under integer inference.
+    #[must_use]
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        let preds: Vec<usize> =
+            data.features().iter().map(|x| self.predict(x)).collect();
+        accuracy(&preds, data.labels())
+    }
+
+    /// Coefficient approximation in the style of baseline \[3\]: every weight
+    /// keeps only its `max_terms` most significant CSD digits (and biases
+    /// are truncated to the same relative resolution). Fewer CSD terms mean
+    /// cheaper bespoke multipliers at some accuracy cost.
+    #[must_use]
+    pub fn approximate_csd(&self, max_terms: usize) -> QuantizedSvm {
+        let approx = |v: i64| -> i64 {
+            let mut terms = fxbits::csd(v);
+            // Keep the largest-magnitude digits.
+            terms.sort_by(|a, b| b.0.cmp(&a.0));
+            terms.truncate(max_terms);
+            fxbits::csd_value(&terms)
+        };
+        QuantizedSvm {
+            scheme: self.scheme,
+            n_classes: self.n_classes,
+            pairs: self.pairs.clone(),
+            classifiers: self
+                .classifiers
+                .iter()
+                .map(|c| QuantizedLinear {
+                    weights_q: c.weights_q.iter().map(|&w| approx(w)).collect(),
+                    bias_q: c.bias_q,
+                })
+                .collect(),
+            input_bits: self.input_bits,
+            weight_bits: self.weight_bits,
+            weight_frac: self.weight_frac,
+        }
+    }
+}
+
+/// A quantized MLP with integer-exact inference (baseline \[4\]).
+///
+/// Hidden activations are re-quantized by an arithmetic right shift (free in
+/// hardware) calibrated on training data so the layer-2 inputs fit
+/// `hidden_bits` unsigned bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantizedMlp {
+    w1_q: Vec<Vec<i64>>,
+    b1_q: Vec<i64>,
+    w2_q: Vec<Vec<i64>>,
+    b2_q: Vec<i64>,
+    input_bits: u32,
+    weight_bits: u32,
+    hidden_bits: u32,
+    hidden_shift: u32,
+    n_classes: usize,
+}
+
+impl QuantizedMlp {
+    /// Quantizes a trained [`Mlp`], calibrating the hidden-layer shift on
+    /// `calibration` (normalized training data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if precisions are outside `1..=16` or the calibration set is
+    /// empty.
+    #[must_use]
+    pub fn quantize(
+        mlp: &Mlp,
+        calibration: &Dataset,
+        input_bits: u32,
+        weight_bits: u32,
+        hidden_bits: u32,
+    ) -> Self {
+        assert!((1..=16).contains(&input_bits));
+        assert!((1..=16).contains(&weight_bits));
+        assert!((1..=16).contains(&hidden_bits));
+        assert!(!calibration.is_empty(), "calibration data required");
+        let flat1: Vec<f64> = mlp.w1().iter().flatten().copied().collect();
+        let flat2: Vec<f64> = mlp.w2().iter().flatten().copied().collect();
+        let ws1 = QuantScheme::fit_signed(&flat1, weight_bits).expect("non-empty weights");
+        let ws2 = QuantScheme::fit_signed(&flat2, weight_bits).expect("non-empty weights");
+        let levels = f64::from((1u32 << input_bits) - 1);
+        let b1_scale = (2.0f64).powi(ws1.frac()) * levels;
+        let w1_q: Vec<Vec<i64>> = mlp
+            .w1()
+            .iter()
+            .map(|row| row.iter().map(|&w| ws1.quantize(w)).collect())
+            .collect();
+        let b1_q: Vec<i64> =
+            mlp.b1().iter().map(|&b| (b * b1_scale).round() as i64).collect();
+        // Calibrate the hidden shift: find the max integer pre-activation.
+        let mut max_acc = 0i64;
+        for x in calibration.features() {
+            let x_q: Vec<i64> =
+                x.iter().map(|&v| (v.clamp(0.0, 1.0) * levels).round() as i64).collect();
+            for (row, &b) in w1_q.iter().zip(&b1_q) {
+                let acc: i64 = row.iter().zip(&x_q).map(|(w, x)| w * x).sum::<i64>() + b;
+                max_acc = max_acc.max(acc);
+            }
+        }
+        let max_width = fxbits::unsigned_width(max_acc.max(1));
+        let hidden_shift = max_width.saturating_sub(hidden_bits);
+        // Layer-2 bias at layer-2 accumulator scale: s_w2 · s_h where
+        // s_h = s_w1 · s_x · 2^shift.
+        let s_h = (2.0f64).powi(-ws1.frac()) / levels * (2.0f64).powi(hidden_shift as i32);
+        let b2_scale = (2.0f64).powi(ws2.frac()) / s_h;
+        let w2_q: Vec<Vec<i64>> = mlp
+            .w2()
+            .iter()
+            .map(|row| row.iter().map(|&w| ws2.quantize(w)).collect())
+            .collect();
+        let b2_q: Vec<i64> =
+            mlp.b2().iter().map(|&b| (b * b2_scale).round() as i64).collect();
+        QuantizedMlp {
+            w1_q,
+            b1_q,
+            w2_q,
+            b2_q,
+            input_bits,
+            weight_bits,
+            hidden_bits,
+            hidden_shift,
+            n_classes: mlp.w2().len(),
+        }
+    }
+
+    /// Hidden-layer quantized weights.
+    #[must_use]
+    pub fn w1_q(&self) -> &[Vec<i64>] {
+        &self.w1_q
+    }
+
+    /// Hidden-layer quantized biases (accumulator scale).
+    #[must_use]
+    pub fn b1_q(&self) -> &[i64] {
+        &self.b1_q
+    }
+
+    /// Output-layer quantized weights.
+    #[must_use]
+    pub fn w2_q(&self) -> &[Vec<i64>] {
+        &self.w2_q
+    }
+
+    /// Output-layer quantized biases (accumulator scale).
+    #[must_use]
+    pub fn b2_q(&self) -> &[i64] {
+        &self.b2_q
+    }
+
+    /// Input precision in bits.
+    #[must_use]
+    pub fn input_bits(&self) -> u32 {
+        self.input_bits
+    }
+
+    /// The calibrated hidden re-quantization shift.
+    #[must_use]
+    pub fn hidden_shift(&self) -> u32 {
+        self.hidden_shift
+    }
+
+    /// Hidden activation precision in bits.
+    #[must_use]
+    pub fn hidden_bits(&self) -> u32 {
+        self.hidden_bits
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Quantizes a normalized sample to the input grid.
+    #[must_use]
+    pub fn quantize_input(&self, x: &[f64]) -> Vec<i64> {
+        let levels = f64::from((1u32 << self.input_bits) - 1);
+        x.iter()
+            .map(|&v| (v.clamp(0.0, 1.0) * levels).round() as i64)
+            .collect()
+    }
+
+    /// Integer hidden activations after ReLU, shift and saturation.
+    #[must_use]
+    pub fn hidden_int(&self, x_q: &[i64]) -> Vec<i64> {
+        let cap = i64::from((1u32 << self.hidden_bits) - 1);
+        self.w1_q
+            .iter()
+            .zip(&self.b1_q)
+            .map(|(row, &b)| {
+                let acc: i64 = row.iter().zip(x_q).map(|(w, x)| w * x).sum::<i64>() + b;
+                (acc.max(0) >> self.hidden_shift).min(cap)
+            })
+            .collect()
+    }
+
+    /// Integer logits.
+    #[must_use]
+    pub fn logits_int(&self, x_q: &[i64]) -> Vec<i64> {
+        let h = self.hidden_int(x_q);
+        self.w2_q
+            .iter()
+            .zip(&self.b2_q)
+            .map(|(row, &b)| row.iter().zip(&h).map(|(w, x)| w * x).sum::<i64>() + b)
+            .collect()
+    }
+
+    /// Integer-exact prediction (argmax, ties to the lower index).
+    #[must_use]
+    pub fn predict_int(&self, x_q: &[i64]) -> usize {
+        let logits = self.logits_int(x_q);
+        let mut best = 0usize;
+        for (k, &s) in logits.iter().enumerate() {
+            if s > logits[best] {
+                best = k;
+            }
+        }
+        best
+    }
+
+    /// Prediction from a normalized float sample.
+    #[must_use]
+    pub fn predict(&self, x: &[f64]) -> usize {
+        self.predict_int(&self.quantize_input(x))
+    }
+
+    /// Test accuracy under integer inference.
+    #[must_use]
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        let preds: Vec<usize> =
+            data.features().iter().map(|x| self.predict(x)).collect();
+        accuracy(&preds, data.labels())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::SvmTrainParams;
+    use crate::mlp::MlpTrainParams;
+    use pe_data::{train_test_split, Normalizer, UciProfile};
+
+    fn derm_split() -> (Dataset, Dataset) {
+        let d = UciProfile::Dermatology.generate(7);
+        let (train, test) = train_test_split(&d, 0.2, 7);
+        let norm = Normalizer::fit(&train);
+        (norm.apply(&train), norm.apply(&test))
+    }
+
+    #[test]
+    fn quantized_svm_tracks_float_accuracy() {
+        let (train, test) = derm_split();
+        let m = SvmModel::train(&train, MulticlassScheme::OneVsRest, &SvmTrainParams::default());
+        let float_acc = m.accuracy(&test);
+        let q = QuantizedSvm::quantize(&m, 4, 8);
+        let q_acc = q.accuracy(&test);
+        assert!(
+            q_acc >= float_acc - 0.05,
+            "8-bit quantization lost too much: {float_acc} -> {q_acc}"
+        );
+    }
+
+    #[test]
+    fn narrower_weights_degrade_gracefully() {
+        let (train, test) = derm_split();
+        let m = SvmModel::train(&train, MulticlassScheme::OneVsRest, &SvmTrainParams::default());
+        let a8 = QuantizedSvm::quantize(&m, 4, 8).accuracy(&test);
+        let a2 = QuantizedSvm::quantize(&m, 4, 2).accuracy(&test);
+        assert!(a8 >= a2, "8-bit ({a8}) must beat 2-bit ({a2})");
+    }
+
+    #[test]
+    fn integer_scores_match_scaled_float_scores() {
+        let (train, _) = derm_split();
+        let m = SvmModel::train(&train, MulticlassScheme::OneVsRest, &SvmTrainParams::default());
+        let q = QuantizedSvm::quantize(&m, 8, 12);
+        // With generous precision, the integer argmax must equal the float
+        // argmax on nearly all samples.
+        let mut agree = 0usize;
+        for x in train.features().iter().take(120) {
+            if q.predict(x) == m.predict(x) {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 114, "only {agree}/120 agreements at high precision");
+    }
+
+    #[test]
+    fn input_quantization_grid() {
+        let (train, _) = derm_split();
+        let m = SvmModel::train(&train, MulticlassScheme::OneVsRest, &SvmTrainParams::default());
+        let q = QuantizedSvm::quantize(&m, 4, 6);
+        let xq = q.quantize_input(&[0.0, 1.0, 0.5, 2.0, -1.0]);
+        assert_eq!(xq, vec![0, 15, 8, 15, 0]);
+        assert_eq!(q.input_bits(), 4);
+        assert_eq!(q.weight_bits(), 6);
+    }
+
+    #[test]
+    fn weights_fit_declared_precision() {
+        let (train, _) = derm_split();
+        let m = SvmModel::train(&train, MulticlassScheme::OneVsRest, &SvmTrainParams::default());
+        for bits in [3u32, 5, 8] {
+            let q = QuantizedSvm::quantize(&m, 4, bits);
+            let limit = 1i64 << (bits - 1);
+            for c in q.classifiers() {
+                for &w in &c.weights_q {
+                    assert!(w >= -limit && w < limit, "{w} exceeds {bits} bits");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn csd_approximation_reduces_terms() {
+        let (train, test) = derm_split();
+        let m = SvmModel::train(&train, MulticlassScheme::OneVsOne, &SvmTrainParams::default());
+        let q = QuantizedSvm::quantize(&m, 8, 8);
+        let a = q.approximate_csd(2);
+        for (c, ca) in q.classifiers().iter().zip(a.classifiers()) {
+            for (&w, &wa) in c.weights_q.iter().zip(&ca.weights_q) {
+                assert!(fxbits::csd_cost(wa) <= 2, "approximated weight {wa} from {w}");
+            }
+        }
+        // Accuracy drops a little but not catastrophically.
+        let acc_full = q.accuracy(&test);
+        let acc_approx = a.accuracy(&test);
+        assert!(acc_approx >= acc_full - 0.25, "{acc_full} -> {acc_approx}");
+    }
+
+    #[test]
+    fn quantized_mlp_matches_float_reasonably() {
+        let (train, test) = derm_split();
+        let mlp = Mlp::train(&train, &MlpTrainParams::default());
+        let q = QuantizedMlp::quantize(&mlp, &train, 4, 6, 8);
+        let fa = mlp.accuracy(&test);
+        let qa = q.accuracy(&test);
+        assert!(qa >= fa - 0.12, "MLP quantization lost too much: {fa} -> {qa}");
+        assert_eq!(q.num_classes(), 6);
+    }
+
+    #[test]
+    fn mlp_hidden_respects_bits() {
+        let (train, _) = derm_split();
+        let mlp = Mlp::train(&train, &MlpTrainParams { epochs: 20, ..MlpTrainParams::default() });
+        let q = QuantizedMlp::quantize(&mlp, &train, 4, 6, 5);
+        let cap = (1i64 << 5) - 1;
+        for x in train.features().iter().take(50) {
+            let h = q.hidden_int(&q.quantize_input(x));
+            for &v in &h {
+                assert!((0..=cap).contains(&v), "hidden activation {v} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn ovo_quantized_predicts_by_votes() {
+        let (train, test) = derm_split();
+        let m = SvmModel::train(&train, MulticlassScheme::OneVsOne, &SvmTrainParams::default());
+        let q = QuantizedSvm::quantize(&m, 6, 8);
+        assert_eq!(q.pairs().len(), 15); // 6*5/2
+        let acc = q.accuracy(&test);
+        assert!(acc > 0.85, "OvO quantized accuracy {acc}");
+    }
+}

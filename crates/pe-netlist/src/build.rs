@@ -1,0 +1,740 @@
+//! Netlist construction with on-the-fly logic optimization.
+//!
+//! [`Builder`] is the single way to create a [`Netlist`]. Every gate-creation
+//! call goes through two peephole layers:
+//!
+//! 1. **Constant folding** — gates fed by the constant nets are simplified
+//!    away. Because bespoke printed classifiers hardwire coefficients to
+//!    constants, this layer is what turns a generic MUX-ROM or multiplier
+//!    into the pruned "bespoke" structure the papers report.
+//! 2. **Structural hashing (CSE)** — a gate whose kind and (canonicalized)
+//!    inputs already exist returns the existing output net.
+//!
+//! The builder also tracks *architectural groups* so that downstream area and
+//! power reports can be broken down by the paper's Fig. 1 blocks.
+
+use crate::kind::CellKind;
+use crate::netlist::{Cell, CellId, Driver, GroupId, Net, NetId, Netlist, Port, PortDir};
+use std::collections::HashMap;
+
+/// Incremental netlist builder with constant folding and structural hashing.
+///
+/// See the [module documentation](self) for the optimization model.
+#[derive(Debug)]
+pub struct Builder {
+    name: String,
+    nets: Vec<Net>,
+    cells: Vec<Cell>,
+    ports: Vec<Port>,
+    groups: Vec<String>,
+    current_group: GroupId,
+    cse: HashMap<(CellKind, Vec<NetId>), NetId>,
+    pending_dffs: usize,
+}
+
+impl Builder {
+    /// Creates an empty design. Nets 0 and 1 are the constant-0/1 nets.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Builder {
+            name: name.into(),
+            nets: vec![
+                Net { name: Some("const0".into()), driver: Driver::Const(false) },
+                Net { name: Some("const1".into()), driver: Driver::Const(true) },
+            ],
+            cells: Vec::new(),
+            ports: Vec::new(),
+            groups: vec!["top".into()],
+            current_group: GroupId::DEFAULT,
+            cse: HashMap::new(),
+            pending_dffs: 0,
+        }
+    }
+
+    /// The constant net carrying `value`.
+    #[must_use]
+    pub fn constant(&self, value: bool) -> NetId {
+        if value {
+            NetId(1)
+        } else {
+            NetId(0)
+        }
+    }
+
+    /// Returns `Some(value)` if `net` is one of the constant nets.
+    #[must_use]
+    pub fn as_const(&self, net: NetId) -> Option<bool> {
+        match self.nets[net.index()].driver {
+            Driver::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Gets or creates the architectural group `name` and makes it current:
+    /// cells created afterwards belong to it.
+    pub fn group(&mut self, name: &str) -> GroupId {
+        if let Some(i) = self.groups.iter().position(|g| g == name) {
+            let id = GroupId(i as u16);
+            self.current_group = id;
+            return id;
+        }
+        let id = GroupId(self.groups.len() as u16);
+        self.groups.push(name.to_owned());
+        self.current_group = id;
+        id
+    }
+
+    /// Switches back to a previously created group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not created by this builder.
+    pub fn set_group(&mut self, id: GroupId) {
+        assert!(id.index() < self.groups.len(), "unknown group {id:?}");
+        self.current_group = id;
+    }
+
+    /// The group new cells currently belong to.
+    #[must_use]
+    pub fn current_group(&self) -> GroupId {
+        self.current_group
+    }
+
+    /// Declares a 1-bit primary input.
+    pub fn input(&mut self, name: impl Into<String>) -> NetId {
+        let name = name.into();
+        let id = self.fresh_net(Some(name.clone()), Driver::Input);
+        self.ports.push(Port { name, dir: PortDir::Input, bits: vec![id] });
+        id
+    }
+
+    /// Declares a multi-bit primary input (LSB first).
+    pub fn input_bus(&mut self, name: impl Into<String>, width: usize) -> Vec<NetId> {
+        let name = name.into();
+        let bits: Vec<NetId> = (0..width)
+            .map(|i| self.fresh_net(Some(format!("{name}[{i}]")), Driver::Input))
+            .collect();
+        self.ports.push(Port { name, dir: PortDir::Input, bits: bits.clone() });
+        bits
+    }
+
+    /// Declares a 1-bit primary output driven by `net`.
+    pub fn output(&mut self, name: impl Into<String>, net: NetId) {
+        self.ports.push(Port { name: name.into(), dir: PortDir::Output, bits: vec![net] });
+    }
+
+    /// Declares a multi-bit primary output (LSB first).
+    pub fn output_bus(&mut self, name: impl Into<String>, bits: &[NetId]) {
+        self.ports
+            .push(Port { name: name.into(), dir: PortDir::Output, bits: bits.to_vec() });
+    }
+
+    /// Attaches a debug name to a net (keeps any existing name).
+    pub fn name_net(&mut self, net: NetId, name: impl Into<String>) {
+        let slot = &mut self.nets[net.index()].name;
+        if slot.is_none() {
+            *slot = Some(name.into());
+        }
+    }
+
+    fn fresh_net(&mut self, name: Option<String>, driver: Driver) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Net { name, driver });
+        id
+    }
+
+    /// If `net` has a cheap complement (it is a constant, or it is the output
+    /// of an inverter, or an inverter of it already exists), returns it.
+    fn known_complement(&self, net: NetId) -> Option<NetId> {
+        match self.nets[net.index()].driver {
+            Driver::Const(v) => Some(self.constant(!v)),
+            Driver::Cell(c) => {
+                let cell = &self.cells[c.index()];
+                if cell.kind == CellKind::Inv {
+                    Some(cell.inputs[0])
+                } else {
+                    self.cse.get(&(CellKind::Inv, vec![net])).copied()
+                }
+            }
+            Driver::Input => self.cse.get(&(CellKind::Inv, vec![net])).copied(),
+        }
+    }
+
+    fn are_complements(&self, a: NetId, b: NetId) -> bool {
+        self.known_complement(a) == Some(b) || self.known_complement(b) == Some(a)
+    }
+
+    /// Creates a raw cell without folding (but with CSE for combinational
+    /// cells). All public gate helpers funnel through here after folding.
+    fn emit(&mut self, kind: CellKind, inputs: Vec<NetId>, init: bool) -> NetId {
+        debug_assert_eq!(inputs.len(), kind.arity());
+        let key_inputs = if kind.is_commutative() {
+            let mut k = inputs.clone();
+            k.sort_unstable();
+            k
+        } else {
+            inputs.clone()
+        };
+        if !kind.is_sequential() {
+            if let Some(&existing) = self.cse.get(&(kind, key_inputs.clone())) {
+                return existing;
+            }
+        }
+        let cell_id = CellId(self.cells.len() as u32);
+        let out = self.fresh_net(None, Driver::Cell(cell_id));
+        self.cells.push(Cell { kind, inputs, output: out, group: self.current_group, init });
+        if !kind.is_sequential() {
+            self.cse.insert((kind, key_inputs), out);
+        }
+        out
+    }
+
+    /// Inverter with folding: `inv(const) -> const`, `inv(inv(x)) -> x`.
+    pub fn inv(&mut self, a: NetId) -> NetId {
+        if let Some(v) = self.as_const(a) {
+            return self.constant(!v);
+        }
+        if let Driver::Cell(c) = self.nets[a.index()].driver {
+            if self.cells[c.index()].kind == CellKind::Inv {
+                return self.cells[c.index()].inputs[0];
+            }
+        }
+        self.emit(CellKind::Inv, vec![a], false)
+    }
+
+    /// Buffer. Folds to the input itself (buffers are only materialized by
+    /// explicit fanout-repair passes, not by datapath construction).
+    pub fn buf(&mut self, a: NetId) -> NetId {
+        a
+    }
+
+    /// 2-input AND with folding.
+    pub fn and2(&mut self, a: NetId, b: NetId) -> NetId {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(false), _) | (_, Some(false)) => return self.constant(false),
+            (Some(true), _) => return b,
+            (_, Some(true)) => return a,
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        if self.are_complements(a, b) {
+            return self.constant(false);
+        }
+        self.emit(CellKind::And2, vec![a, b], false)
+    }
+
+    /// 2-input OR with folding.
+    pub fn or2(&mut self, a: NetId, b: NetId) -> NetId {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(true), _) | (_, Some(true)) => return self.constant(true),
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        if self.are_complements(a, b) {
+            return self.constant(true);
+        }
+        self.emit(CellKind::Or2, vec![a, b], false)
+    }
+
+    /// 2-input NAND with folding.
+    pub fn nand2(&mut self, a: NetId, b: NetId) -> NetId {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(false), _) | (_, Some(false)) => return self.constant(true),
+            (Some(true), _) => return self.inv(b),
+            (_, Some(true)) => return self.inv(a),
+            _ => {}
+        }
+        if a == b {
+            return self.inv(a);
+        }
+        if self.are_complements(a, b) {
+            return self.constant(true);
+        }
+        self.emit(CellKind::Nand2, vec![a, b], false)
+    }
+
+    /// 2-input NOR with folding.
+    pub fn nor2(&mut self, a: NetId, b: NetId) -> NetId {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(true), _) | (_, Some(true)) => return self.constant(false),
+            (Some(false), _) => return self.inv(b),
+            (_, Some(false)) => return self.inv(a),
+            _ => {}
+        }
+        if a == b {
+            return self.inv(a);
+        }
+        if self.are_complements(a, b) {
+            return self.constant(false);
+        }
+        self.emit(CellKind::Nor2, vec![a, b], false)
+    }
+
+    /// 2-input XOR with folding.
+    pub fn xor2(&mut self, a: NetId, b: NetId) -> NetId {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            (Some(true), _) => return self.inv(b),
+            (_, Some(true)) => return self.inv(a),
+            _ => {}
+        }
+        if a == b {
+            return self.constant(false);
+        }
+        if self.are_complements(a, b) {
+            return self.constant(true);
+        }
+        self.emit(CellKind::Xor2, vec![a, b], false)
+    }
+
+    /// 2-input XNOR with folding.
+    pub fn xnor2(&mut self, a: NetId, b: NetId) -> NetId {
+        let x = self.xor2(a, b);
+        self.inv(x)
+    }
+
+    /// 3-input AND (decomposes constants, emits `And3` otherwise).
+    pub fn and3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        let consts = [self.as_const(a), self.as_const(b), self.as_const(c)];
+        if consts.iter().any(|&v| v == Some(false)) {
+            return self.constant(false);
+        }
+        if consts.iter().any(|v| v.is_some()) || a == b || b == c || a == c {
+            let x = self.and2(a, b);
+            return self.and2(x, c);
+        }
+        self.emit(CellKind::And3, vec![a, b, c], false)
+    }
+
+    /// 3-input OR (decomposes constants, emits `Or3` otherwise).
+    pub fn or3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        let consts = [self.as_const(a), self.as_const(b), self.as_const(c)];
+        if consts.iter().any(|&v| v == Some(true)) {
+            return self.constant(true);
+        }
+        if consts.iter().any(|v| v.is_some()) || a == b || b == c || a == c {
+            let x = self.or2(a, b);
+            return self.or2(x, c);
+        }
+        self.emit(CellKind::Or3, vec![a, b, c], false)
+    }
+
+    /// Majority of three (the full-adder carry function) with folding.
+    pub fn maj3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        // maj(a, b, 0) = a & b ; maj(a, b, 1) = a | b ; maj with two equal
+        // inputs is that input.
+        let fold2 = |this: &mut Self, x: NetId, y: NetId, v: bool| {
+            if v {
+                this.or2(x, y)
+            } else {
+                this.and2(x, y)
+            }
+        };
+        if let Some(v) = self.as_const(a) {
+            return fold2(self, b, c, v);
+        }
+        if let Some(v) = self.as_const(b) {
+            return fold2(self, a, c, v);
+        }
+        if let Some(v) = self.as_const(c) {
+            return fold2(self, a, b, v);
+        }
+        if a == b {
+            return a;
+        }
+        if b == c {
+            return b;
+        }
+        if a == c {
+            return a;
+        }
+        if self.are_complements(a, b) {
+            return c;
+        }
+        if self.are_complements(b, c) {
+            return a;
+        }
+        if self.are_complements(a, c) {
+            return b;
+        }
+        self.emit(CellKind::Maj3, vec![a, b, c], false)
+    }
+
+    /// 2:1 MUX `sel ? b : a` with the folding rules that implement bespoke
+    /// MUX-ROM pruning (constant data inputs collapse to AND/OR/INV/wire).
+    pub fn mux2(&mut self, a: NetId, b: NetId, sel: NetId) -> NetId {
+        if let Some(s) = self.as_const(sel) {
+            return if s { b } else { a };
+        }
+        if a == b {
+            return a;
+        }
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(false), Some(true)) => return sel,
+            (Some(true), Some(false)) => return self.inv(sel),
+            // sel ? b : 0  =  sel & b
+            (Some(false), None) => return self.and2(sel, b),
+            // sel ? 1 : a  =  sel | a
+            (None, Some(true)) => return self.or2(sel, a),
+            // sel ? 0 : a  =  !sel & a
+            (None, Some(false)) => {
+                let ns = self.inv(sel);
+                return self.and2(ns, a);
+            }
+            // sel ? b : 1  =  !sel | b
+            (Some(true), None) => {
+                let ns = self.inv(sel);
+                return self.or2(ns, b);
+            }
+            _ => {}
+        }
+        if self.are_complements(a, b) {
+            // sel ? !a : a = sel ^ a
+            return self.xor2(sel, a);
+        }
+        self.emit(CellKind::Mux2, vec![a, b, sel], false)
+    }
+
+    /// D flip-flop with power-on value `init`.
+    pub fn dff(&mut self, d: NetId, init: bool) -> NetId {
+        self.emit(CellKind::Dff, vec![d], init)
+    }
+
+    /// Enabled D flip-flop (`q' = en ? d : q`) with power-on value `init`.
+    /// Folds to a plain DFF when `en` is constant-1 and to a constant when
+    /// `en` is constant-0 (the register can then never leave `init`).
+    pub fn dffe(&mut self, d: NetId, en: NetId, init: bool) -> NetId {
+        match self.as_const(en) {
+            Some(true) => self.dff(d, init),
+            Some(false) => self.constant(init),
+            None => self.emit(CellKind::DffE, vec![d, en], init),
+        }
+    }
+
+    /// Creates a flip-flop whose data input is connected later, enabling
+    /// feedback structures (counters, accumulators). Returns the register's
+    /// output net and a one-shot handle for [`Builder::connect_dff`].
+    ///
+    /// The flip-flop temporarily reads constant-0; [`Builder::finish`]
+    /// panics if any deferred register is left unconnected.
+    pub fn dff_deferred(&mut self, init: bool) -> (NetId, DeferredDff) {
+        let placeholder = self.constant(false);
+        let q = self.emit(CellKind::Dff, vec![placeholder], init);
+        let cell = match self.nets[q.index()].driver {
+            Driver::Cell(c) => c,
+            _ => unreachable!("dff output is cell-driven"),
+        };
+        self.pending_dffs += 1;
+        (q, DeferredDff { cell })
+    }
+
+    /// Like [`Builder::dff_deferred`] but with a clock enable.
+    pub fn dffe_deferred(&mut self, en: NetId, init: bool) -> (NetId, DeferredDff) {
+        let placeholder = self.constant(false);
+        let q = self.emit(CellKind::DffE, vec![placeholder, en], init);
+        let cell = match self.nets[q.index()].driver {
+            Driver::Cell(c) => c,
+            _ => unreachable!("dffe output is cell-driven"),
+        };
+        self.pending_dffs += 1;
+        (q, DeferredDff { cell })
+    }
+
+    /// Connects the data input of a deferred flip-flop.
+    pub fn connect_dff(&mut self, handle: DeferredDff, d: NetId) {
+        self.cells[handle.cell.index()].inputs[0] = d;
+        self.pending_dffs -= 1;
+    }
+
+    /// Connects both the data and the enable pin of a deferred enabled
+    /// flip-flop (created with [`Builder::dffe_deferred`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not refer to a `DffE` cell.
+    pub fn connect_dffe(&mut self, handle: DeferredDff, d: NetId, en: NetId) {
+        let cell = handle.cell;
+        assert_eq!(
+            self.cells[cell.index()].kind,
+            CellKind::DffE,
+            "connect_dffe requires a DffE register"
+        );
+        self.cells[cell.index()].inputs[0] = d;
+        self.cells[cell.index()].inputs[1] = en;
+        self.pending_dffs -= 1;
+    }
+
+    /// Finalizes the design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any register created with [`Builder::dff_deferred`] was
+    /// never connected.
+    #[must_use]
+    pub fn finish(self) -> Netlist {
+        assert_eq!(
+            self.pending_dffs, 0,
+            "{} deferred flip-flop(s) left unconnected",
+            self.pending_dffs
+        );
+        Netlist {
+            name: self.name,
+            nets: self.nets,
+            cells: self.cells,
+            ports: self.ports,
+            groups: self.groups,
+        }
+    }
+}
+
+/// One-shot handle to the data pin of a deferred flip-flop.
+///
+/// Obtained from [`Builder::dff_deferred`]; consumed by
+/// [`Builder::connect_dff`]. Not `Clone`/`Copy`, so a register can only be
+/// connected once.
+#[derive(Debug)]
+pub struct DeferredDff {
+    cell: CellId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_inputs() -> (Builder, NetId, NetId) {
+        let mut b = Builder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        (b, x, y)
+    }
+
+    #[test]
+    fn constant_folding_and2() {
+        let (mut b, x, _) = two_inputs();
+        let c0 = b.constant(false);
+        let c1 = b.constant(true);
+        assert_eq!(b.and2(x, c0), c0);
+        assert_eq!(b.and2(c1, x), x);
+        assert_eq!(b.and2(x, x), x);
+        assert_eq!(b.finish().num_cells(), 0);
+    }
+
+    #[test]
+    fn complement_detection() {
+        let (mut b, x, _) = two_inputs();
+        let nx = b.inv(x);
+        assert_eq!(b.and2(x, nx), b.constant(false));
+        assert_eq!(b.or2(x, nx), b.constant(true));
+        assert_eq!(b.xor2(x, nx), b.constant(true));
+        assert_eq!(b.maj3(x, nx, x), x);
+        // Only the inverter itself was materialized.
+        assert_eq!(b.finish().num_cells(), 1);
+    }
+
+    #[test]
+    fn double_inversion_cancels() {
+        let (mut b, x, _) = two_inputs();
+        let nx = b.inv(x);
+        let nnx = b.inv(nx);
+        assert_eq!(nnx, x);
+    }
+
+    #[test]
+    fn structural_hashing_shares_gates() {
+        let (mut b, x, y) = two_inputs();
+        let g1 = b.and2(x, y);
+        let g2 = b.and2(y, x); // commutative: same gate
+        assert_eq!(g1, g2);
+        let g3 = b.xor2(x, y);
+        let g4 = b.xor2(x, y);
+        assert_eq!(g3, g4);
+        assert_eq!(b.finish().num_cells(), 2);
+    }
+
+    #[test]
+    fn mux_bespoke_pruning() {
+        let (mut b, a, _) = two_inputs();
+        let sel = b.input("sel");
+        let c0 = b.constant(false);
+        let c1 = b.constant(true);
+        // ROM bit patterns collapse:
+        assert_eq!(b.mux2(c0, c1, sel), sel);
+        let m = b.mux2(c1, c0, sel); // = !sel
+        assert_eq!(b.inv(sel), m);
+        // sel ? a : 0 -> and2
+        let g = b.mux2(c0, a, sel);
+        let nl_cells_before = b.cells.len();
+        let g2 = b.and2(sel, a);
+        assert_eq!(g, g2);
+        assert_eq!(b.cells.len(), nl_cells_before);
+    }
+
+    #[test]
+    fn mux_identical_data_folds() {
+        let (mut b, a, _) = two_inputs();
+        let sel = b.input("sel");
+        assert_eq!(b.mux2(a, a, sel), a);
+    }
+
+    #[test]
+    fn mux_constant_select_folds() {
+        let (mut b, a, y) = two_inputs();
+        let c1 = b.constant(true);
+        let c0 = b.constant(false);
+        assert_eq!(b.mux2(a, y, c1), y);
+        assert_eq!(b.mux2(a, y, c0), a);
+    }
+
+    #[test]
+    fn xnor_is_inverted_xor() {
+        let (mut b, x, y) = two_inputs();
+        let xn = b.xnor2(x, y);
+        let x2 = b.xor2(x, y);
+        let inv = b.inv(x2);
+        assert_eq!(xn, inv);
+    }
+
+    #[test]
+    fn nand_nor_folding() {
+        let (mut b, x, _) = two_inputs();
+        let c0 = b.constant(false);
+        let c1 = b.constant(true);
+        assert_eq!(b.nand2(x, c0), c1);
+        let inv_x = b.inv(x);
+        assert_eq!(b.nand2(x, c1), inv_x);
+        assert_eq!(b.nor2(x, c1), c0);
+        assert_eq!(b.nor2(x, c0), inv_x);
+        assert_eq!(b.nand2(x, x), inv_x);
+    }
+
+    #[test]
+    fn and3_or3_fold_constants() {
+        let mut b = Builder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let z = b.input("z");
+        let c1 = b.constant(true);
+        let c0 = b.constant(false);
+        assert_eq!(b.and3(x, c0, y), c0);
+        let a = b.and3(x, c1, y);
+        let a2 = b.and2(x, y);
+        assert_eq!(a, a2);
+        assert_eq!(b.or3(x, c1, y), c1);
+        let real = b.and3(x, y, z);
+        let nl = b.finish();
+        assert_eq!(nl.cell(match nl.net(real).driver() {
+            crate::netlist::Driver::Cell(c) => c,
+            _ => panic!(),
+        }).kind(), CellKind::And3);
+    }
+
+    #[test]
+    fn dffe_folding() {
+        let (mut b, d, _) = two_inputs();
+        let c1 = b.constant(true);
+        let c0 = b.constant(false);
+        let q = b.dffe(d, c1, false);
+        // folded to plain dff
+        if let Driver::Cell(c) = b.nets[q.index()].driver {
+            assert_eq!(b.cells[c.index()].kind, CellKind::Dff);
+        } else {
+            panic!("expected cell driver");
+        }
+        assert_eq!(b.dffe(d, c0, true), c1);
+        assert_eq!(b.dffe(d, c0, false), c0);
+    }
+
+    #[test]
+    fn dffs_are_never_shared() {
+        let (mut b, d, _) = two_inputs();
+        let q1 = b.dff(d, false);
+        let q2 = b.dff(d, false);
+        assert_ne!(q1, q2);
+    }
+
+    #[test]
+    fn groups_partition_cells() {
+        let (mut b, x, y) = two_inputs();
+        let storage = b.group("storage");
+        let g1 = b.and2(x, y);
+        b.group("voter");
+        let g2 = b.or2(x, y);
+        b.set_group(storage);
+        let g3 = b.xor2(x, y);
+        b.output("a", g1);
+        b.output("b", g2);
+        b.output("c", g3);
+        let nl = b.finish();
+        let by_group = nl.count_by_group();
+        // group 0 "top" empty, storage has 2, voter has 1
+        assert_eq!(by_group.get(&GroupId(1)), Some(&2));
+        assert_eq!(by_group.get(&GroupId(2)), Some(&1));
+        assert_eq!(nl.group_name(GroupId(1)), "storage");
+        assert_eq!(nl.group_names().len(), 3);
+    }
+
+    #[test]
+    fn net_naming_keeps_first() {
+        let (mut b, x, y) = two_inputs();
+        let g = b.and2(x, y);
+        b.name_net(g, "first");
+        b.name_net(g, "second");
+        let nl = b.finish();
+        assert_eq!(nl.net(g).name(), Some("first"));
+    }
+
+    #[test]
+    fn input_bus_is_lsb_first() {
+        let mut b = Builder::new("t");
+        let bus = b.input_bus("data", 4);
+        assert_eq!(bus.len(), 4);
+        let nl = b.finish();
+        let p = nl.port("data").unwrap();
+        assert_eq!(p.width(), 4);
+        assert_eq!(p.bits()[0], bus[0]);
+        assert_eq!(nl.net(bus[0]).name(), Some("data[0]"));
+        assert_eq!(nl.net(bus[3]).name(), Some("data[3]"));
+    }
+
+    #[test]
+    fn deferred_dff_builds_counter_feedback() {
+        let mut b = Builder::new("t");
+        let (q, handle) = b.dff_deferred(false);
+        let nq = b.inv(q);
+        b.connect_dff(handle, nq);
+        b.output("q", q);
+        let nl = b.finish();
+        nl.validate().unwrap();
+        assert_eq!(nl.num_seq_cells(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unconnected")]
+    fn unconnected_deferred_dff_panics() {
+        let mut b = Builder::new("t");
+        let (_q, _handle) = b.dff_deferred(false);
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn deferred_dffe_keeps_enable() {
+        let mut b = Builder::new("t");
+        let en = b.input("en");
+        let (q, handle) = b.dffe_deferred(en, true);
+        let nq = b.inv(q);
+        b.connect_dff(handle, nq);
+        b.output("q", q);
+        let nl = b.finish();
+        nl.validate().unwrap();
+        let (_, cell) = nl.cells().find(|(_, c)| c.kind() == CellKind::DffE).unwrap();
+        assert_eq!(cell.inputs()[1], en);
+        assert!(cell.init());
+    }
+}

@@ -1,0 +1,101 @@
+//! Graphviz DOT export for small netlists (documentation figures and
+//! debugging; classifier-scale netlists are better served by [`crate::stats`]).
+
+use crate::netlist::{Driver, Netlist, PortDir};
+use std::fmt::Write as _;
+
+/// Renders the netlist as a Graphviz digraph. Cells become boxes, ports
+/// become ellipses, constant nets are omitted (they would connect to
+/// everything).
+#[must_use]
+pub fn to_dot(nl: &Netlist) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph {} {{", sanitize(nl.name()));
+    let _ = writeln!(s, "  rankdir=LR;");
+    for p in nl.ports() {
+        let shape = match p.dir() {
+            PortDir::Input => "ellipse",
+            PortDir::Output => "doubleoctagon",
+        };
+        let _ = writeln!(s, "  \"{}\" [shape={shape}];", sanitize(p.name()));
+    }
+    for (id, cell) in nl.cells() {
+        let _ = writeln!(
+            s,
+            "  c{} [shape=box,label=\"{}\\n({})\"];",
+            id.index(),
+            cell.kind().name(),
+            nl.group_name(cell.group())
+        );
+    }
+    // Edges: driver -> sink cell.
+    for (id, cell) in nl.cells() {
+        for &inp in cell.inputs() {
+            match nl.net(inp).driver() {
+                Driver::Cell(src) => {
+                    let _ = writeln!(s, "  c{} -> c{};", src.index(), id.index());
+                }
+                Driver::Input => {
+                    if let Some(port) = nl
+                        .input_ports()
+                        .find(|p| p.bits().contains(&inp))
+                    {
+                        let _ =
+                            writeln!(s, "  \"{}\" -> c{};", sanitize(port.name()), id.index());
+                    }
+                }
+                Driver::Const(_) => {}
+            }
+        }
+    }
+    for p in nl.output_ports() {
+        for &b in p.bits() {
+            if let Driver::Cell(src) = nl.net(b).driver() {
+                let _ = writeln!(s, "  c{} -> \"{}\";", src.index(), sanitize(p.name()));
+            }
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Builder;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut b = Builder::new("half adder");
+        let x = b.input("a");
+        let y = b.input("b");
+        let s1 = b.xor2(x, y);
+        let c1 = b.and2(x, y);
+        b.output("sum", s1);
+        b.output("carry", c1);
+        let dot = to_dot(&b.finish());
+        assert!(dot.starts_with("digraph half_adder {"));
+        assert!(dot.contains("xor2"));
+        assert!(dot.contains("\"a\" -> c0") || dot.contains("\"a\" -> c1"));
+        assert!(dot.contains("-> \"sum\""));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn groups_appear_in_labels() {
+        let mut b = Builder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        b.group("voter");
+        let o = b.and2(x, y);
+        b.output("o", o);
+        let dot = to_dot(&b.finish());
+        assert!(dot.contains("voter"));
+    }
+}

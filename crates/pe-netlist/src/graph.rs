@@ -1,0 +1,305 @@
+//! Graph algorithms over netlists: topological ordering, levelization,
+//! fanout analysis and logic-cone extraction.
+//!
+//! Sequential cells cut the graph: a flip-flop's output is treated as a
+//! source and its input as a sink, so "the combinational core" is a DAG whose
+//! sources are primary inputs, constants and register outputs.
+
+use crate::kind::CellKind;
+use crate::netlist::{CellId, Driver, NetId, Netlist, NetlistError};
+
+/// Topologically orders the **combinational** cells (flip-flops excluded)
+/// such that every cell appears after the drivers of all its inputs.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] if the combinational core is
+/// cyclic.
+pub fn topo_order(nl: &Netlist) -> Result<Vec<CellId>, NetlistError> {
+    let n = nl.num_cells();
+    // in-degree over combinational cells only
+    let mut indeg = vec![0u32; n];
+    let mut is_comb = vec![false; n];
+    for (id, cell) in nl.cells() {
+        if !cell.kind().is_sequential() {
+            is_comb[id.index()] = true;
+            for &inp in cell.inputs() {
+                if let Driver::Cell(src) = nl.net(inp).driver() {
+                    if !nl.cell(src).kind().is_sequential() {
+                        indeg[id.index()] += 1;
+                    }
+                }
+            }
+        }
+    }
+    // Fanout adjacency from combinational cell -> combinational cell.
+    let mut fanout: Vec<Vec<CellId>> = vec![Vec::new(); n];
+    for (id, cell) in nl.cells() {
+        if !is_comb[id.index()] {
+            continue;
+        }
+        for &inp in cell.inputs() {
+            if let Driver::Cell(src) = nl.net(inp).driver() {
+                if is_comb[src.index()] {
+                    fanout[src.index()].push(id);
+                }
+            }
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut queue: Vec<CellId> = (0..n)
+        .filter(|&i| is_comb[i] && indeg[i] == 0)
+        .map(|i| CellId(i as u32))
+        .collect();
+    while let Some(c) = queue.pop() {
+        order.push(c);
+        for &next in &fanout[c.index()] {
+            indeg[next.index()] -= 1;
+            if indeg[next.index()] == 0 {
+                queue.push(next);
+            }
+        }
+    }
+    let comb_total = is_comb.iter().filter(|&&b| b).count();
+    if order.len() != comb_total {
+        // Find one cell stuck in a cycle for the error message.
+        let stuck = (0..n)
+            .find(|&i| is_comb[i] && indeg[i] > 0)
+            .map(|i| CellId(i as u32))
+            .expect("cycle implies a stuck cell");
+        return Err(NetlistError::CombinationalCycle(stuck));
+    }
+    Ok(order)
+}
+
+/// Per-cell logic depth: the number of combinational cells on the longest
+/// path from any source (input, constant or register output) up to and
+/// including the cell. Registers have depth 0.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError::CombinationalCycle`].
+pub fn levelize(nl: &Netlist) -> Result<Vec<u32>, NetlistError> {
+    let order = topo_order(nl)?;
+    let mut depth = vec![0u32; nl.num_cells()];
+    for c in order {
+        let cell = nl.cell(c);
+        let mut d = 0;
+        for &inp in cell.inputs() {
+            if let Driver::Cell(src) = nl.net(inp).driver() {
+                if !nl.cell(src).kind().is_sequential() {
+                    d = d.max(depth[src.index()]);
+                }
+            }
+        }
+        depth[c.index()] = d + 1;
+    }
+    Ok(depth)
+}
+
+/// Maximum combinational depth of the design (0 for an empty / purely
+/// sequential design).
+///
+/// # Errors
+///
+/// Propagates [`NetlistError::CombinationalCycle`].
+pub fn max_depth(nl: &Netlist) -> Result<u32, NetlistError> {
+    Ok(levelize(nl)?.into_iter().max().unwrap_or(0))
+}
+
+/// Number of cell input pins each net drives (its fanout). Indexed by
+/// [`NetId::index`]. Port connections are not counted.
+#[must_use]
+pub fn fanout_counts(nl: &Netlist) -> Vec<u32> {
+    let mut counts = vec![0u32; nl.num_nets()];
+    for (_, cell) in nl.cells() {
+        for &inp in cell.inputs() {
+            counts[inp.index()] += 1;
+        }
+    }
+    counts
+}
+
+/// The set of cells in the transitive fan-in cone of `net`, stopping at
+/// sequential cells (their cone is not entered, but the register itself is
+/// included).
+#[must_use]
+pub fn fanin_cone(nl: &Netlist, net: NetId) -> Vec<CellId> {
+    let mut visited = vec![false; nl.num_cells()];
+    let mut stack = vec![net];
+    let mut cone = Vec::new();
+    while let Some(n) = stack.pop() {
+        if let Driver::Cell(c) = nl.net(n).driver() {
+            if visited[c.index()] {
+                continue;
+            }
+            visited[c.index()] = true;
+            cone.push(c);
+            if !nl.cell(c).kind().is_sequential() {
+                for &inp in nl.cell(c).inputs() {
+                    stack.push(inp);
+                }
+            }
+        }
+    }
+    cone
+}
+
+/// Cells whose outputs reach neither a primary output nor a flip-flop data
+/// pin: dead logic that a synthesis sweep would remove. The builder's
+/// folding usually prevents these, but approximation passes can orphan
+/// cells.
+#[must_use]
+pub fn dead_cells(nl: &Netlist) -> Vec<CellId> {
+    let mut live = vec![false; nl.num_cells()];
+    let mut stack: Vec<NetId> = Vec::new();
+    for p in nl.output_ports() {
+        stack.extend(p.bits().iter().copied());
+    }
+    // Register inputs keep their cones alive (the register feeds state).
+    for (_, cell) in nl.cells() {
+        if cell.kind().is_sequential() {
+            stack.extend(cell.inputs().iter().copied());
+        }
+    }
+    while let Some(n) = stack.pop() {
+        if let Driver::Cell(c) = nl.net(n).driver() {
+            if live[c.index()] {
+                continue;
+            }
+            live[c.index()] = true;
+            for &inp in nl.cell(c).inputs() {
+                stack.push(inp);
+            }
+        }
+    }
+    (0..nl.num_cells())
+        .filter(|&i| !live[i] && !matches!(nl.cell(CellId(i as u32)).kind(), CellKind::Dff | CellKind::DffE))
+        .map(|i| CellId(i as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Builder;
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let mut b = Builder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g1 = b.and2(x, y);
+        let g2 = b.or2(g1, x);
+        let g3 = b.xor2(g2, g1);
+        b.output("o", g3);
+        let nl = b.finish();
+        let order = topo_order(&nl).unwrap();
+        assert_eq!(order.len(), 3);
+        let pos = |c: CellId| order.iter().position(|&o| o == c).unwrap();
+        // g1 < g2 < g3 by construction: map nets back to cells via drivers.
+        let cell_of = |n: NetId| match nl.net(n).driver() {
+            Driver::Cell(c) => c,
+            _ => panic!(),
+        };
+        assert!(pos(cell_of(g1)) < pos(cell_of(g2)));
+        assert!(pos(cell_of(g2)) < pos(cell_of(g3)));
+    }
+
+    #[test]
+    fn levelize_depths() {
+        let mut b = Builder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g1 = b.and2(x, y);
+        let g2 = b.or2(g1, x);
+        let g3 = b.xor2(g2, g1);
+        b.output("o", g3);
+        let nl = b.finish();
+        assert_eq!(max_depth(&nl).unwrap(), 3);
+        let cell_of = |n: NetId| match nl.net(n).driver() {
+            Driver::Cell(c) => c,
+            _ => panic!(),
+        };
+        let depth = levelize(&nl).unwrap();
+        assert_eq!(depth[cell_of(g1).index()], 1);
+        assert_eq!(depth[cell_of(g2).index()], 2);
+        assert_eq!(depth[cell_of(g3).index()], 3);
+    }
+
+    #[test]
+    fn registers_break_paths() {
+        let mut b = Builder::new("t");
+        let x = b.input("x");
+        let g1 = b.inv(x);
+        let q = b.dff(g1, false);
+        let g2 = b.inv(q);
+        b.output("o", g2);
+        let nl = b.finish();
+        // Both inverters are depth 1: the register cuts the path.
+        assert_eq!(max_depth(&nl).unwrap(), 1);
+    }
+
+    #[test]
+    fn register_feedback_loop_is_legal() {
+        // A toggle flip-flop: q' = !q. Cyclic through the register, which is
+        // fine; only combinational cycles are errors.
+        let mut b = Builder::new("t");
+        let placeholder = b.input("seed");
+        let q = b.dff(placeholder, false);
+        let nq = b.inv(q);
+        b.output("o", nq);
+        let nl = b.finish();
+        assert!(topo_order(&nl).is_ok());
+    }
+
+    #[test]
+    fn fanout_counts_pins() {
+        let mut b = Builder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g1 = b.and2(x, y);
+        let g2 = b.or2(g1, x);
+        let _g3 = b.xor2(g2, g1);
+        let nl = b.finish();
+        let counts = fanout_counts(&nl);
+        assert_eq!(counts[x.index()], 2); // and2 + or2
+        assert_eq!(counts[g1.index()], 2); // or2 + xor2
+    }
+
+    #[test]
+    fn fanin_cone_stops_at_registers() {
+        let mut b = Builder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g1 = b.and2(x, y);
+        let q = b.dff(g1, false);
+        let g2 = b.or2(q, x);
+        b.output("o", g2);
+        let nl = b.finish();
+        let cone = fanin_cone(&nl, g2);
+        // or2 + dff, but not the and2 behind the register.
+        assert_eq!(cone.len(), 2);
+    }
+
+    #[test]
+    fn dead_cell_detection() {
+        let mut b = Builder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let live = b.and2(x, y);
+        let _dead = b.xor2(x, y); // never used by any output
+        b.output("o", live);
+        let nl = b.finish();
+        let dead = dead_cells(&nl);
+        assert_eq!(dead.len(), 1);
+    }
+
+    #[test]
+    fn empty_design() {
+        let nl = Builder::new("empty").finish();
+        assert_eq!(max_depth(&nl).unwrap(), 0);
+        assert!(topo_order(&nl).unwrap().is_empty());
+        assert!(dead_cells(&nl).is_empty());
+    }
+}

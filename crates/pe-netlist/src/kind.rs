@@ -1,0 +1,264 @@
+//! Standard-cell vocabulary.
+//!
+//! The printed EGFET libraries used by the papers are tiny (a dozen cells);
+//! this enum mirrors that reality. Every combinational cell has exactly one
+//! output; sequential behavior is expressed with [`CellKind::Dff`] /
+//! [`CellKind::DffE`].
+
+/// The kind of a standard cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CellKind {
+    /// Inverter: `y = !a`.
+    Inv,
+    /// Buffer: `y = a` (used for fanout repair / port isolation).
+    Buf,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 3-input AND.
+    And3,
+    /// 3-input OR.
+    Or3,
+    /// 2:1 multiplexer; inputs `[a, b, sel]`, `y = sel ? b : a`.
+    Mux2,
+    /// AND-OR-invert 2-1 is absent from printed libraries; majority carries
+    /// the full-adder carry: inputs `[a, b, c]`, `y = ab | ac | bc`.
+    Maj3,
+    /// D flip-flop; inputs `[d]`, output `q`, clocked by the implicit clock.
+    Dff,
+    /// D flip-flop with clock enable; inputs `[d, en]`: `q' = en ? d : q`.
+    DffE,
+}
+
+impl CellKind {
+    /// Number of input pins.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        match self {
+            CellKind::Inv | CellKind::Buf | CellKind::Dff => 1,
+            CellKind::Nand2
+            | CellKind::Nor2
+            | CellKind::And2
+            | CellKind::Or2
+            | CellKind::Xor2
+            | CellKind::Xnor2
+            | CellKind::DffE => 2,
+            CellKind::And3 | CellKind::Or3 | CellKind::Mux2 | CellKind::Maj3 => 3,
+        }
+    }
+
+    /// Whether the cell is a state element (flip-flop).
+    #[must_use]
+    pub fn is_sequential(&self) -> bool {
+        matches!(self, CellKind::Dff | CellKind::DffE)
+    }
+
+    /// Combinational truth function. For sequential cells this computes the
+    /// *next-state* function given `[d]` / `[d, en, q]` — see [`CellKind::next_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.arity()` or if called on a sequential
+    /// cell (use [`CellKind::next_state`]).
+    #[must_use]
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        assert!(!self.is_sequential(), "eval called on sequential cell {self:?}");
+        assert_eq!(inputs.len(), self.arity(), "arity mismatch for {self:?}");
+        match self {
+            CellKind::Inv => !inputs[0],
+            CellKind::Buf => inputs[0],
+            CellKind::Nand2 => !(inputs[0] && inputs[1]),
+            CellKind::Nor2 => !(inputs[0] || inputs[1]),
+            CellKind::And2 => inputs[0] && inputs[1],
+            CellKind::Or2 => inputs[0] || inputs[1],
+            CellKind::Xor2 => inputs[0] ^ inputs[1],
+            CellKind::Xnor2 => !(inputs[0] ^ inputs[1]),
+            CellKind::And3 => inputs[0] && inputs[1] && inputs[2],
+            CellKind::Or3 => inputs[0] || inputs[1] || inputs[2],
+            CellKind::Mux2 => {
+                if inputs[2] {
+                    inputs[1]
+                } else {
+                    inputs[0]
+                }
+            }
+            CellKind::Maj3 => {
+                (inputs[0] && inputs[1]) || (inputs[0] && inputs[2]) || (inputs[1] && inputs[2])
+            }
+            CellKind::Dff | CellKind::DffE => unreachable!(),
+        }
+    }
+
+    /// Next-state function of a sequential cell given its data inputs and the
+    /// current state `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a combinational cell or with the wrong number of
+    /// inputs.
+    #[must_use]
+    pub fn next_state(&self, inputs: &[bool], q: bool) -> bool {
+        assert_eq!(inputs.len(), self.arity(), "arity mismatch for {self:?}");
+        match self {
+            CellKind::Dff => inputs[0],
+            CellKind::DffE => {
+                if inputs[1] {
+                    inputs[0]
+                } else {
+                    q
+                }
+            }
+            _ => panic!("next_state called on combinational cell {self:?}"),
+        }
+    }
+
+    /// All cell kinds, for iterating cell libraries.
+    #[must_use]
+    pub fn all() -> &'static [CellKind] {
+        &[
+            CellKind::Inv,
+            CellKind::Buf,
+            CellKind::Nand2,
+            CellKind::Nor2,
+            CellKind::And2,
+            CellKind::Or2,
+            CellKind::Xor2,
+            CellKind::Xnor2,
+            CellKind::And3,
+            CellKind::Or3,
+            CellKind::Mux2,
+            CellKind::Maj3,
+            CellKind::Dff,
+            CellKind::DffE,
+        ]
+    }
+
+    /// Short lower-case name (the cell-library / Verilog name).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            CellKind::Inv => "inv",
+            CellKind::Buf => "buf",
+            CellKind::Nand2 => "nand2",
+            CellKind::Nor2 => "nor2",
+            CellKind::And2 => "and2",
+            CellKind::Or2 => "or2",
+            CellKind::Xor2 => "xor2",
+            CellKind::Xnor2 => "xnor2",
+            CellKind::And3 => "and3",
+            CellKind::Or3 => "or3",
+            CellKind::Mux2 => "mux2",
+            CellKind::Maj3 => "maj3",
+            CellKind::Dff => "dff",
+            CellKind::DffE => "dffe",
+        }
+    }
+
+    /// Whether the inputs of this cell are symmetric (order-insensitive).
+    /// Used by structural hashing to canonicalize input order.
+    #[must_use]
+    pub fn is_commutative(&self) -> bool {
+        matches!(
+            self,
+            CellKind::Nand2
+                | CellKind::Nor2
+                | CellKind::And2
+                | CellKind::Or2
+                | CellKind::Xor2
+                | CellKind::Xnor2
+                | CellKind::And3
+                | CellKind::Or3
+                | CellKind::Maj3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_eval_expectations() {
+        for &k in CellKind::all() {
+            if k.is_sequential() {
+                continue;
+            }
+            let n = k.arity();
+            // Exhaustive truth-table sanity: eval never panics over all input
+            // combinations and is deterministic.
+            for m in 0..(1u32 << n) {
+                let inputs: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+                let a = k.eval(&inputs);
+                let b = k.eval(&inputs);
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn basic_truth_tables() {
+        assert!(CellKind::Nand2.eval(&[false, true]));
+        assert!(!CellKind::Nand2.eval(&[true, true]));
+        assert!(CellKind::Xor2.eval(&[true, false]));
+        assert!(!CellKind::Xor2.eval(&[true, true]));
+        assert!(CellKind::Maj3.eval(&[true, true, false]));
+        assert!(!CellKind::Maj3.eval(&[true, false, false]));
+        assert!(CellKind::Mux2.eval(&[false, true, true]));
+        assert!(!CellKind::Mux2.eval(&[false, true, false]));
+    }
+
+    #[test]
+    fn dff_next_state() {
+        assert!(CellKind::Dff.next_state(&[true], false));
+        assert!(!CellKind::Dff.next_state(&[false], true));
+        assert!(CellKind::DffE.next_state(&[true, true], false));
+        assert!(CellKind::DffE.next_state(&[false, false], true)); // holds
+        assert!(!CellKind::DffE.next_state(&[false, true], true)); // loads
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential")]
+    fn eval_on_dff_panics() {
+        let _ = CellKind::Dff.eval(&[true]);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = CellKind::all().iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CellKind::all().len());
+    }
+
+    #[test]
+    fn commutativity_consistent_with_truth_table() {
+        // For every cell marked commutative, swapping any two inputs must not
+        // change the output.
+        for &k in CellKind::all() {
+            if k.is_sequential() || !k.is_commutative() {
+                continue;
+            }
+            let n = k.arity();
+            for m in 0..(1u32 << n) {
+                let inputs: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+                let base = k.eval(&inputs);
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        let mut sw = inputs.clone();
+                        sw.swap(i, j);
+                        assert_eq!(base, k.eval(&sw), "{k:?} not symmetric in ({i},{j})");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Gate-level netlist intermediate representation for printed bespoke circuits.
+//!
+//! This crate is the in-memory equivalent of a synthesis tool's design
+//! database. Circuits are flat gate-level netlists over a small standard-cell
+//! vocabulary ([`CellKind`]), built through a [`Builder`] that performs the two
+//! optimizations that make *bespoke* printed circuits cheap:
+//!
+//! * **constant folding** — hardwired coefficient bits (the defining feature
+//!   of bespoke printed classifiers) collapse the downstream logic at build
+//!   time, exactly like a logic synthesizer propagating constants;
+//! * **structural hashing** — identical gates over identical inputs are
+//!   created once, giving common-subexpression sharing across e.g. the rows of
+//!   an array multiplier.
+//!
+//! On top of the IR the crate provides graph utilities (topological ordering,
+//! levelization, fanout), cell/area statistics grouped by architectural
+//! component (control / storage / compute engine / voter — the Fig. 1 blocks
+//! of the DATE'25 paper), multi-bit [`Word`] bus helpers used by datapath
+//! generators, netlist validation, and a structural-Verilog exporter for
+//! inspection.
+//!
+//! # Example
+//!
+//! ```
+//! use pe_netlist::{Builder, Netlist};
+//!
+//! let mut b = Builder::new("half_adder");
+//! let a = b.input("a");
+//! let c = b.input("b");
+//! let sum = b.xor2(a, c);
+//! let carry = b.and2(a, c);
+//! b.output("sum", sum);
+//! b.output("carry", carry);
+//! let nl: Netlist = b.finish();
+//! assert_eq!(nl.num_cells(), 2);
+//! nl.validate().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod dot;
+pub mod graph;
+pub mod kind;
+pub mod netlist;
+pub mod opt;
+pub mod stats;
+pub mod testing;
+pub mod verilog;
+pub mod verilog_parse;
+pub mod word;
+
+pub use build::Builder;
+pub use kind::CellKind;
+pub use netlist::{Cell, CellId, Driver, GroupId, Net, NetId, Netlist, NetlistError, Port, PortDir};
+pub use word::Word;

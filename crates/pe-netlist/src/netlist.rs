@@ -1,0 +1,460 @@
+//! The flat gate-level netlist data structure.
+
+use crate::kind::CellKind;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of a net (a single-bit signal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// The dense index of this net, suitable for indexing side tables.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a cell instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub(crate) u32);
+
+impl CellId {
+    /// The dense index of this cell, suitable for indexing side tables.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of an architectural group (e.g. "storage", "voter").
+///
+/// Groups exist so hardware reports can break area/power down by the block
+/// structure of Fig. 1 in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub(crate) u16);
+
+impl GroupId {
+    /// The default group every cell belongs to unless the builder says
+    /// otherwise.
+    pub const DEFAULT: GroupId = GroupId(0);
+
+    /// The dense index of this group.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What drives a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Driver {
+    /// Constant logic value (tie cell).
+    Const(bool),
+    /// Primary input.
+    Input,
+    /// Output of a cell.
+    Cell(CellId),
+}
+
+/// A single-bit signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    pub(crate) name: Option<String>,
+    pub(crate) driver: Driver,
+}
+
+impl Net {
+    /// Optional debug name of the net.
+    #[must_use]
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// What drives this net.
+    #[must_use]
+    pub fn driver(&self) -> Driver {
+        self.driver
+    }
+}
+
+/// A standard-cell instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    pub(crate) kind: CellKind,
+    pub(crate) inputs: Vec<NetId>,
+    pub(crate) output: NetId,
+    pub(crate) group: GroupId,
+    pub(crate) init: bool,
+}
+
+impl Cell {
+    /// The cell's kind.
+    #[must_use]
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// Input nets, in pin order.
+    #[must_use]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// The output net.
+    #[must_use]
+    pub fn output(&self) -> NetId {
+        self.output
+    }
+
+    /// The architectural group this cell belongs to.
+    #[must_use]
+    pub fn group(&self) -> GroupId {
+        self.group
+    }
+
+    /// Power-on value for sequential cells (ignored for combinational cells).
+    #[must_use]
+    pub fn init(&self) -> bool {
+        self.init
+    }
+}
+
+/// Direction of a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortDir {
+    /// Primary input.
+    Input,
+    /// Primary output.
+    Output,
+}
+
+/// A named multi-bit port (bit 0 = LSB).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    pub(crate) name: String,
+    pub(crate) dir: PortDir,
+    pub(crate) bits: Vec<NetId>,
+}
+
+impl Port {
+    /// Port name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Port direction.
+    #[must_use]
+    pub fn dir(&self) -> PortDir {
+        self.dir
+    }
+
+    /// The nets of this port, LSB first.
+    #[must_use]
+    pub fn bits(&self) -> &[NetId] {
+        &self.bits
+    }
+
+    /// Width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+}
+
+/// Validation failures for a [`Netlist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A cell has the wrong number of input pins for its kind.
+    ArityMismatch {
+        /// The offending cell.
+        cell: CellId,
+        /// Its kind.
+        kind: CellKind,
+        /// How many inputs it was given.
+        got: usize,
+    },
+    /// Two drivers contend for one net.
+    MultipleDrivers(NetId),
+    /// A net is referenced but driven by nothing.
+    Undriven(NetId),
+    /// The combinational core contains a cycle through the given cell.
+    CombinationalCycle(CellId),
+    /// An output port references a net that does not exist.
+    DanglingPort(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::ArityMismatch { cell, kind, got } => write!(
+                f,
+                "cell c{} of kind {} has {got} inputs, expected {}",
+                cell.0,
+                kind.name(),
+                kind.arity()
+            ),
+            NetlistError::MultipleDrivers(n) => write!(f, "net n{} has multiple drivers", n.0),
+            NetlistError::Undriven(n) => write!(f, "net n{} is undriven", n.0),
+            NetlistError::CombinationalCycle(c) => {
+                write!(f, "combinational cycle through cell c{}", c.0)
+            }
+            NetlistError::DanglingPort(p) => write!(f, "port {p} references a missing net"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+/// A flat gate-level netlist.
+///
+/// Create one with [`crate::Builder`]; the struct itself is immutable after
+/// [`crate::Builder::finish`], which is what lets analysis passes cache
+/// indices freely.
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    pub(crate) name: String,
+    pub(crate) nets: Vec<Net>,
+    pub(crate) cells: Vec<Cell>,
+    pub(crate) ports: Vec<Port>,
+    pub(crate) groups: Vec<String>,
+}
+
+impl Netlist {
+    /// The design name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nets (including the two constant nets).
+    #[must_use]
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of cell instances.
+    #[must_use]
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of sequential cells (flip-flops).
+    #[must_use]
+    pub fn num_seq_cells(&self) -> usize {
+        self.cells.iter().filter(|c| c.kind.is_sequential()).count()
+    }
+
+    /// The constant-0 net (always net 0).
+    #[must_use]
+    pub fn const0(&self) -> NetId {
+        NetId(0)
+    }
+
+    /// The constant-1 net (always net 1).
+    #[must_use]
+    pub fn const1(&self) -> NetId {
+        NetId(1)
+    }
+
+    /// Looks up a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Looks up a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// Iterates over all cells with their ids.
+    pub fn cells(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells.iter().enumerate().map(|(i, c)| (CellId(i as u32), c))
+    }
+
+    /// Iterates over all nets with their ids.
+    pub fn nets(&self) -> impl Iterator<Item = (NetId, &Net)> {
+        self.nets.iter().enumerate().map(|(i, n)| (NetId(i as u32), n))
+    }
+
+    /// All ports in declaration order.
+    #[must_use]
+    pub fn ports(&self) -> &[Port] {
+        &self.ports
+    }
+
+    /// Input ports in declaration order.
+    pub fn input_ports(&self) -> impl Iterator<Item = &Port> {
+        self.ports.iter().filter(|p| p.dir == PortDir::Input)
+    }
+
+    /// Output ports in declaration order.
+    pub fn output_ports(&self) -> impl Iterator<Item = &Port> {
+        self.ports.iter().filter(|p| p.dir == PortDir::Output)
+    }
+
+    /// Finds a port by name.
+    #[must_use]
+    pub fn port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// The names of all architectural groups (index = [`GroupId`]).
+    #[must_use]
+    pub fn group_names(&self) -> &[String] {
+        &self.groups
+    }
+
+    /// Name of one group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn group_name(&self, id: GroupId) -> &str {
+        &self.groups[id.index()]
+    }
+
+    /// Cell count per kind.
+    #[must_use]
+    pub fn count_by_kind(&self) -> BTreeMap<CellKind, usize> {
+        let mut m = BTreeMap::new();
+        for c in &self.cells {
+            *m.entry(c.kind).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Cell count per architectural group.
+    #[must_use]
+    pub fn count_by_group(&self) -> BTreeMap<GroupId, usize> {
+        let mut m = BTreeMap::new();
+        for c in &self.cells {
+            *m.entry(c.group).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Checks structural invariants: pin arities, single drivers, no
+    /// undriven nets, acyclic combinational core, and resolvable ports.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        // Arity.
+        for (i, c) in self.cells.iter().enumerate() {
+            if c.inputs.len() != c.kind.arity() {
+                return Err(NetlistError::ArityMismatch {
+                    cell: CellId(i as u32),
+                    kind: c.kind,
+                    got: c.inputs.len(),
+                });
+            }
+        }
+        // Single driver per net, and consistency of the driver back-pointer.
+        let mut seen = vec![false; self.nets.len()];
+        for (i, c) in self.cells.iter().enumerate() {
+            let out = c.output.index();
+            if seen[out] {
+                return Err(NetlistError::MultipleDrivers(c.output));
+            }
+            seen[out] = true;
+            if self.nets[out].driver != Driver::Cell(CellId(i as u32)) {
+                return Err(NetlistError::MultipleDrivers(c.output));
+            }
+        }
+        // Every referenced net must have a driver.
+        for c in &self.cells {
+            for &inp in &c.inputs {
+                if matches!(self.nets[inp.index()].driver, Driver::Cell(_))
+                    && !seen[inp.index()]
+                {
+                    return Err(NetlistError::Undriven(inp));
+                }
+            }
+        }
+        for p in &self.ports {
+            for &b in &p.bits {
+                if b.index() >= self.nets.len() {
+                    return Err(NetlistError::DanglingPort(p.name.clone()));
+                }
+            }
+        }
+        // Acyclicity of the combinational core.
+        crate::graph::topo_order(self).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Builder;
+
+    #[test]
+    fn ids_expose_dense_indices() {
+        assert_eq!(NetId(7).index(), 7);
+        assert_eq!(CellId(3).index(), 3);
+        assert_eq!(GroupId(2).index(), 2);
+        assert_eq!(GroupId::DEFAULT.index(), 0);
+    }
+
+    #[test]
+    fn stats_and_lookup() {
+        let mut b = Builder::new("t");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.xor2(a, c);
+        let y = b.and2(a, c);
+        let q = b.dff(x, false);
+        b.output("x", x);
+        b.output("y", y);
+        b.output("q", q);
+        let nl = b.finish();
+        assert_eq!(nl.num_cells(), 3);
+        assert_eq!(nl.num_seq_cells(), 1);
+        let kinds = nl.count_by_kind();
+        assert_eq!(kinds[&CellKind::Xor2], 1);
+        assert_eq!(kinds[&CellKind::And2], 1);
+        assert_eq!(kinds[&CellKind::Dff], 1);
+        assert_eq!(nl.port("x").unwrap().width(), 1);
+        assert!(nl.port("nope").is_none());
+        assert_eq!(nl.input_ports().count(), 2);
+        assert_eq!(nl.output_ports().count(), 3);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn error_display() {
+        let e = NetlistError::ArityMismatch { cell: CellId(4), kind: CellKind::Mux2, got: 2 };
+        assert!(e.to_string().contains("mux2"));
+        assert!(e.to_string().contains('3'));
+        assert!(NetlistError::MultipleDrivers(NetId(9)).to_string().contains("n9"));
+        assert!(NetlistError::CombinationalCycle(CellId(1)).to_string().contains("c1"));
+        assert!(NetlistError::DanglingPort("p".into()).to_string().contains('p'));
+        assert!(NetlistError::Undriven(NetId(2)).to_string().contains("undriven"));
+    }
+
+    #[test]
+    fn const_nets_are_first() {
+        let b = Builder::new("c");
+        let nl = b.finish();
+        assert_eq!(nl.const0(), NetId(0));
+        assert_eq!(nl.const1(), NetId(1));
+        assert_eq!(nl.net(nl.const0()).driver(), Driver::Const(false));
+        assert_eq!(nl.net(nl.const1()).driver(), Driver::Const(true));
+    }
+}

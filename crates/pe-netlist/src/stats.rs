@@ -1,0 +1,147 @@
+//! Netlist statistics: depth profiles, fanout histograms and structural
+//! summaries used by reports and by calibration sanity checks.
+
+use crate::graph;
+use crate::netlist::{Netlist, NetlistError};
+use std::collections::BTreeMap;
+
+/// A structural summary of a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Total cells.
+    pub cells: usize,
+    /// Sequential cells.
+    pub flip_flops: usize,
+    /// Nets (including constants).
+    pub nets: usize,
+    /// Maximum combinational depth.
+    pub max_depth: u32,
+    /// Mean combinational depth over cells.
+    pub mean_depth: f64,
+    /// Maximum fanout of any net.
+    pub max_fanout: u32,
+    /// Mean fanout over cell-driven nets.
+    pub mean_fanout: f64,
+    /// Cell count per depth level (index = depth).
+    pub depth_histogram: Vec<usize>,
+    /// Cell count per kind name.
+    pub kind_histogram: BTreeMap<String, usize>,
+}
+
+/// Computes a [`NetlistStats`] summary.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError::CombinationalCycle`].
+pub fn summarize(nl: &Netlist) -> Result<NetlistStats, NetlistError> {
+    let depths = graph::levelize(nl)?;
+    let fanouts = graph::fanout_counts(nl);
+    let max_depth = depths.iter().copied().max().unwrap_or(0);
+    let comb_cells: Vec<u32> = nl
+        .cells()
+        .filter(|(_, c)| !c.kind().is_sequential())
+        .map(|(id, _)| depths[id.index()])
+        .collect();
+    let mean_depth = if comb_cells.is_empty() {
+        0.0
+    } else {
+        comb_cells.iter().map(|&d| f64::from(d)).sum::<f64>() / comb_cells.len() as f64
+    };
+    let mut depth_histogram = vec![0usize; max_depth as usize + 1];
+    for &d in &comb_cells {
+        depth_histogram[d as usize] += 1;
+    }
+    let driven: Vec<u32> = nl
+        .cells()
+        .map(|(_, c)| fanouts[c.output().index()])
+        .collect();
+    let max_fanout = driven.iter().copied().max().unwrap_or(0);
+    let mean_fanout = if driven.is_empty() {
+        0.0
+    } else {
+        driven.iter().map(|&f| f64::from(f)).sum::<f64>() / driven.len() as f64
+    };
+    let mut kind_histogram = BTreeMap::new();
+    for (_, c) in nl.cells() {
+        *kind_histogram.entry(c.kind().name().to_owned()).or_insert(0) += 1;
+    }
+    Ok(NetlistStats {
+        cells: nl.num_cells(),
+        flip_flops: nl.num_seq_cells(),
+        nets: nl.num_nets(),
+        max_depth,
+        mean_depth,
+        max_fanout,
+        mean_fanout,
+        depth_histogram,
+        kind_histogram,
+    })
+}
+
+impl NetlistStats {
+    /// A compact human-readable rendering.
+    #[must_use]
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "cells      : {} ({} flip-flops)", self.cells, self.flip_flops);
+        let _ = writeln!(s, "nets       : {}", self.nets);
+        let _ = writeln!(s, "depth      : max {} / mean {:.1}", self.max_depth, self.mean_depth);
+        let _ = writeln!(s, "fanout     : max {} / mean {:.1}", self.max_fanout, self.mean_fanout);
+        let _ = writeln!(s, "kinds      :");
+        for (k, n) in &self.kind_histogram {
+            let _ = writeln!(s, "  {k:<8} {n}");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Builder;
+
+    fn sample() -> Netlist {
+        let mut b = Builder::new("s");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g1 = b.and2(x, y);
+        let g2 = b.xor2(g1, x);
+        let g3 = b.or2(g2, g1);
+        let q = b.dff(g3, false);
+        b.output("q", q);
+        b.finish()
+    }
+
+    #[test]
+    fn summary_counts_are_consistent() {
+        let nl = sample();
+        let s = summarize(&nl).unwrap();
+        assert_eq!(s.cells, 4);
+        assert_eq!(s.flip_flops, 1);
+        assert_eq!(s.max_depth, 3);
+        assert_eq!(s.depth_histogram.iter().sum::<usize>(), 3); // comb cells only
+        assert_eq!(s.kind_histogram["and2"], 1);
+        assert_eq!(s.kind_histogram["dff"], 1);
+        assert!(s.mean_depth > 1.0 && s.mean_depth <= 3.0);
+        assert!(s.max_fanout >= 2); // g1 feeds xor and or
+    }
+
+    #[test]
+    fn table_rendering_mentions_everything() {
+        let nl = sample();
+        let t = summarize(&nl).unwrap().to_table();
+        assert!(t.contains("cells"));
+        assert!(t.contains("and2"));
+        assert!(t.contains("flip-flops"));
+    }
+
+    #[test]
+    fn empty_design_summary() {
+        let nl = Builder::new("e").finish();
+        let s = summarize(&nl).unwrap();
+        assert_eq!(s.cells, 0);
+        assert_eq!(s.max_depth, 0);
+        assert_eq!(s.mean_fanout, 0.0);
+    }
+}

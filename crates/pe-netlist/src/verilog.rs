@@ -1,0 +1,223 @@
+//! Structural-Verilog export.
+//!
+//! Emits a flat gate-level module using primitive instances, for eyeballing
+//! generated circuits or feeding them to an external simulator. The output is
+//! deliberately simple: one wire per net, one primitive instance per cell,
+//! `assign` statements for constants and output ports.
+
+use crate::kind::CellKind;
+use crate::netlist::{Driver, Netlist, PortDir};
+use std::fmt::Write as _;
+
+fn net_ref(nl: &Netlist, id: crate::netlist::NetId) -> String {
+    match nl.net(id).driver() {
+        Driver::Const(false) => "1'b0".to_owned(),
+        Driver::Const(true) => "1'b1".to_owned(),
+        _ => format!("n{}", id.index()),
+    }
+}
+
+/// Renders the netlist as structural Verilog.
+///
+/// Sequential cells become `always @(posedge clk)` blocks on an implicit
+/// `clk` port that is added whenever the design contains flip-flops.
+#[must_use]
+pub fn to_verilog(nl: &Netlist) -> String {
+    let mut s = String::new();
+    let has_seq = nl.num_seq_cells() > 0;
+    let mut port_names: Vec<String> = Vec::new();
+    if has_seq {
+        port_names.push("clk".into());
+    }
+    for p in nl.ports() {
+        port_names.push(p.name().to_owned());
+    }
+    let _ = writeln!(s, "module {} ({});", sanitize(nl.name()), port_names.join(", "));
+    if has_seq {
+        let _ = writeln!(s, "  input clk;");
+    }
+    for p in nl.ports() {
+        let dir = match p.dir() {
+            PortDir::Input => "input",
+            PortDir::Output => "output",
+        };
+        if p.width() == 1 {
+            let _ = writeln!(s, "  {} {};", dir, sanitize(p.name()));
+        } else {
+            let _ = writeln!(s, "  {} [{}:0] {};", dir, p.width() - 1, sanitize(p.name()));
+        }
+    }
+    // Wires for every cell-driven or input-driven net.
+    for (id, net) in nl.nets() {
+        if matches!(net.driver(), Driver::Const(_)) {
+            continue;
+        }
+        let _ = writeln!(s, "  wire n{};", id.index());
+    }
+    // Input port bits feed their nets.
+    for p in nl.ports() {
+        if p.dir() == PortDir::Input {
+            for (i, &b) in p.bits().iter().enumerate() {
+                if p.width() == 1 {
+                    let _ = writeln!(s, "  assign n{} = {};", b.index(), sanitize(p.name()));
+                } else {
+                    let _ =
+                        writeln!(s, "  assign n{} = {}[{}];", b.index(), sanitize(p.name()), i);
+                }
+            }
+        }
+    }
+    // Cells.
+    for (id, cell) in nl.cells() {
+        let ins: Vec<String> = cell.inputs().iter().map(|&n| net_ref(nl, n)).collect();
+        let out = format!("n{}", cell.output().index());
+        match cell.kind() {
+            CellKind::Dff => {
+                let _ = writeln!(s, "  reg r{}; // init={}", id.index(), u8::from(cell.init()));
+                let _ = writeln!(s, "  always @(posedge clk) r{} <= {};", id.index(), ins[0]);
+                let _ = writeln!(s, "  assign {out} = r{};", id.index());
+            }
+            CellKind::DffE => {
+                let _ = writeln!(s, "  reg r{}; // init={}", id.index(), u8::from(cell.init()));
+                let _ = writeln!(
+                    s,
+                    "  always @(posedge clk) if ({}) r{} <= {};",
+                    ins[1],
+                    id.index(),
+                    ins[0]
+                );
+                let _ = writeln!(s, "  assign {out} = r{};", id.index());
+            }
+            CellKind::Inv => {
+                let _ = writeln!(s, "  assign {out} = ~{};", ins[0]);
+            }
+            CellKind::Buf => {
+                let _ = writeln!(s, "  assign {out} = {};", ins[0]);
+            }
+            CellKind::And2 => {
+                let _ = writeln!(s, "  assign {out} = {} & {};", ins[0], ins[1]);
+            }
+            CellKind::Or2 => {
+                let _ = writeln!(s, "  assign {out} = {} | {};", ins[0], ins[1]);
+            }
+            CellKind::Nand2 => {
+                let _ = writeln!(s, "  assign {out} = ~({} & {});", ins[0], ins[1]);
+            }
+            CellKind::Nor2 => {
+                let _ = writeln!(s, "  assign {out} = ~({} | {});", ins[0], ins[1]);
+            }
+            CellKind::Xor2 => {
+                let _ = writeln!(s, "  assign {out} = {} ^ {};", ins[0], ins[1]);
+            }
+            CellKind::Xnor2 => {
+                let _ = writeln!(s, "  assign {out} = ~({} ^ {});", ins[0], ins[1]);
+            }
+            CellKind::And3 => {
+                let _ = writeln!(s, "  assign {out} = {} & {} & {};", ins[0], ins[1], ins[2]);
+            }
+            CellKind::Or3 => {
+                let _ = writeln!(s, "  assign {out} = {} | {} | {};", ins[0], ins[1], ins[2]);
+            }
+            CellKind::Mux2 => {
+                let _ = writeln!(s, "  assign {out} = {} ? {} : {};", ins[2], ins[1], ins[0]);
+            }
+            CellKind::Maj3 => {
+                let _ = writeln!(
+                    s,
+                    "  assign {out} = ({a} & {b}) | ({a} & {c}) | ({b} & {c});",
+                    a = ins[0],
+                    b = ins[1],
+                    c = ins[2]
+                );
+            }
+        }
+    }
+    // Output ports.
+    for p in nl.ports() {
+        if p.dir() == PortDir::Output {
+            for (i, &b) in p.bits().iter().enumerate() {
+                let rhs = net_ref(nl, b);
+                if p.width() == 1 {
+                    let _ = writeln!(s, "  assign {} = {};", sanitize(p.name()), rhs);
+                } else {
+                    let _ = writeln!(s, "  assign {}[{}] = {};", sanitize(p.name()), i, rhs);
+                }
+            }
+        }
+    }
+    let _ = writeln!(s, "endmodule");
+    s
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Builder;
+
+    #[test]
+    fn exports_combinational_design() {
+        let mut b = Builder::new("half adder");
+        let a = b.input("a");
+        let c = b.input("b");
+        let sum = b.xor2(a, c);
+        let carry = b.and2(a, c);
+        b.output("sum", sum);
+        b.output("carry", carry);
+        let v = to_verilog(&b.finish());
+        assert!(v.contains("module half_adder (a, b, sum, carry);"));
+        assert!(v.contains('^'));
+        assert!(v.contains('&'));
+        assert!(v.contains("endmodule"));
+        assert!(!v.contains("clk"), "no clock for combinational design");
+    }
+
+    #[test]
+    fn exports_sequential_design_with_clock() {
+        let mut b = Builder::new("reg1");
+        let d = b.input("d");
+        let q = b.dff(d, true);
+        b.output("q", q);
+        let v = to_verilog(&b.finish());
+        assert!(v.contains("input clk;"));
+        assert!(v.contains("always @(posedge clk)"));
+        assert!(v.contains("init=1"));
+    }
+
+    #[test]
+    fn bus_ports_use_indices() {
+        let mut b = Builder::new("bus");
+        let xs = b.input_bus("x", 3);
+        let y = b.and2(xs[0], xs[2]);
+        b.output_bus("y", &[y, xs[1]]);
+        let v = to_verilog(&b.finish());
+        assert!(v.contains("input [2:0] x;"));
+        assert!(v.contains("output [1:0] y;"));
+        assert!(v.contains("assign y[1] ="));
+    }
+
+    #[test]
+    fn constants_render_as_literals() {
+        let mut b = Builder::new("c");
+        let c1 = b.constant(true);
+        b.output("one", c1);
+        let v = to_verilog(&b.finish());
+        assert!(v.contains("assign one = 1'b1;"));
+    }
+
+    #[test]
+    fn dffe_renders_enable() {
+        let mut b = Builder::new("e");
+        let d = b.input("d");
+        let en = b.input("en");
+        let q = b.dffe(d, en, false);
+        b.output("q", q);
+        let v = to_verilog(&b.finish());
+        assert!(v.contains("if ("));
+    }
+}

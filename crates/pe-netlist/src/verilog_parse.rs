@@ -1,0 +1,386 @@
+//! Structural-Verilog import.
+//!
+//! Parses the gate-level subset emitted by [`crate::verilog::to_verilog`]
+//! back into a [`Netlist`], enabling round-trip flows (export → external
+//! tool → re-import) and letting users bring hand-written flat netlists into
+//! the analysis passes. The grammar is exactly the emitted subset: scalar /
+//! bus ports, `wire`/`reg` declarations, `assign` statements over the cell
+//! vocabulary's operator forms, and `always @(posedge clk)` registers.
+
+use crate::build::Builder;
+use crate::netlist::{Netlist, NetId};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from Verilog import.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseVerilogError {
+    /// 1-based line of the offending construct (0 = file level).
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseVerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verilog parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseVerilogError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseVerilogError {
+    ParseVerilogError { line, message: message.into() }
+}
+
+#[derive(Debug, Default)]
+struct PendingReg {
+    init: bool,
+    d: Option<String>,
+    en: Option<String>,
+    q_expr: Option<String>,
+}
+
+/// Parses structural Verilog (the emitted subset) into a netlist.
+///
+/// # Errors
+///
+/// Returns a [`ParseVerilogError`] describing the first unsupported or
+/// malformed construct.
+pub fn from_verilog(text: &str) -> Result<Netlist, ParseVerilogError> {
+    let mut name = String::from("imported");
+    let mut inputs: Vec<(String, usize)> = Vec::new();
+    let mut outputs: Vec<(String, usize)> = Vec::new();
+    // RHS expression for every assigned identifier, with its line number.
+    let mut assigns: Vec<(String, String, usize)> = Vec::new();
+    // reg name -> pending register info.
+    let mut regs: HashMap<String, PendingReg> = HashMap::new();
+    let mut reg_order: Vec<String> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lno = lineno + 1;
+        if line.is_empty() || line.starts_with("//") || line == "endmodule" {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("module ") {
+            let open = rest.find('(').ok_or_else(|| err(lno, "missing port list"))?;
+            name = rest[..open].trim().to_owned();
+            continue;
+        }
+        if line.starts_with("wire ") {
+            continue; // wires are implied by assignments
+        }
+        if let Some(rest) = line.strip_prefix("input ") {
+            if let Some((port, width)) = parse_port_decl(rest) {
+                if port != "clk" {
+                    inputs.push((port, width));
+                }
+                continue;
+            }
+            return Err(err(lno, "malformed input declaration"));
+        }
+        if let Some(rest) = line.strip_prefix("output ") {
+            if let Some((port, width)) = parse_port_decl(rest) {
+                outputs.push((port, width));
+                continue;
+            }
+            return Err(err(lno, "malformed output declaration"));
+        }
+        if let Some(rest) = line.strip_prefix("reg ") {
+            // `reg r12; // init=1`
+            let semi = rest.find(';').ok_or_else(|| err(lno, "missing semicolon"))?;
+            let rname = rest[..semi].trim().to_owned();
+            let init = rest.contains("init=1");
+            regs.entry(rname.clone()).or_default().init = init;
+            reg_order.push(rname);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("always @(posedge clk) ") {
+            // `rX <= d;`  or  `if (en) rX <= d;`
+            let (en, body) = match rest.strip_prefix("if (") {
+                Some(r) => {
+                    let close = r.find(')').ok_or_else(|| err(lno, "missing ) in enable"))?;
+                    (Some(r[..close].trim().to_owned()), r[close + 1..].trim())
+                }
+                None => (None, rest),
+            };
+            let arrow = body.find("<=").ok_or_else(|| err(lno, "missing <= in always"))?;
+            let rname = body[..arrow].trim().to_owned();
+            let d = body[arrow + 2..].trim().trim_end_matches(';').trim().to_owned();
+            let slot = regs.entry(rname).or_default();
+            slot.d = Some(d);
+            slot.en = en;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("assign ") {
+            let eq = rest.find('=').ok_or_else(|| err(lno, "missing = in assign"))?;
+            let lhs = rest[..eq].trim().to_owned();
+            let rhs = rest[eq + 1..].trim().trim_end_matches(';').trim().to_owned();
+            // Register output plumbing `assign nK = rX;` is recorded on the reg.
+            if rhs.starts_with('r') && rhs[1..].chars().all(|c| c.is_ascii_digit()) {
+                if let Some(slot) = regs.get_mut(&rhs) {
+                    slot.q_expr = Some(lhs);
+                    continue;
+                }
+            }
+            assigns.push((lhs, rhs, lno));
+            continue;
+        }
+        return Err(err(lno, format!("unsupported construct: {line}")));
+    }
+
+    // ---- Build. ------------------------------------------------------------
+    let mut b = Builder::new(name);
+    let mut env: HashMap<String, NetId> = HashMap::new();
+    for (port, width) in &inputs {
+        if *width == 1 {
+            let n = b.input(port.clone());
+            env.insert(port.clone(), n);
+        } else {
+            let ns = b.input_bus(port.clone(), *width);
+            for (i, n) in ns.iter().enumerate() {
+                env.insert(format!("{port}[{i}]"), *n);
+            }
+        }
+    }
+    // Registers first (their q feeds combinational logic), deferred.
+    let mut handles = Vec::new();
+    for rname in &reg_order {
+        let info = regs.get(rname).expect("collected");
+        let q_name = info
+            .q_expr
+            .clone()
+            .ok_or_else(|| err(0, format!("register {rname} has no output assign")))?;
+        let placeholder = b.constant(false);
+        let (q, h) = match &info.en {
+            Some(_) => b.dffe_deferred(placeholder, info.init),
+            None => b.dff_deferred(info.init),
+        };
+        env.insert(q_name, q);
+        handles.push((rname.clone(), h));
+    }
+    // Combinational assigns: iterate until all are resolvable (they are a DAG,
+    // so a fixed number of passes suffices; detect no-progress for errors).
+    let mut remaining = assigns;
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        let mut next = Vec::new();
+        for (lhs, rhs, lno) in remaining {
+            match eval_expr(&mut b, &env, &rhs) {
+                Some(net) => {
+                    env.insert(lhs, net);
+                }
+                None => next.push((lhs, rhs, lno)),
+            }
+        }
+        if next.len() == before {
+            let (_, rhs, lno) = &next[0];
+            return Err(err(*lno, format!("unresolvable expression: {rhs}")));
+        }
+        remaining = next;
+    }
+    // Connect registers.
+    for (rname, h) in handles {
+        let info = &regs[&rname];
+        let d_expr = info.d.clone().ok_or_else(|| err(0, format!("register {rname} never driven")))?;
+        let d = eval_expr(&mut b, &env, &d_expr)
+            .ok_or_else(|| err(0, format!("register {rname} data {d_expr} unresolved")))?;
+        match &info.en {
+            Some(en_expr) => {
+                let en = eval_expr(&mut b, &env, en_expr)
+                    .ok_or_else(|| err(0, format!("enable {en_expr} unresolved")))?;
+                b.connect_dffe(h, d, en);
+            }
+            None => b.connect_dff(h, d),
+        }
+    }
+    // Output ports read from env; bits named `port[i]` or scalar `port`.
+    for (port, width) in &outputs {
+        if *width == 1 {
+            let n = *env
+                .get(port)
+                .ok_or_else(|| err(0, format!("output {port} never assigned")))?;
+            b.output(port.clone(), n);
+        } else {
+            let bits: Result<Vec<NetId>, _> = (0..*width)
+                .map(|i| {
+                    env.get(&format!("{port}[{i}]"))
+                        .copied()
+                        .ok_or_else(|| err(0, format!("output {port}[{i}] never assigned")))
+                })
+                .collect();
+            b.output_bus(port.clone(), &bits?);
+        }
+    }
+    Ok(b.finish())
+}
+
+fn parse_port_decl(rest: &str) -> Option<(String, usize)> {
+    let rest = rest.trim().trim_end_matches(';').trim();
+    if let Some(r) = rest.strip_prefix('[') {
+        // `[W-1:0] name`
+        let close = r.find(']')?;
+        let range = &r[..close];
+        let msb: usize = range.split(':').next()?.trim().parse().ok()?;
+        let name = r[close + 1..].trim().to_owned();
+        Some((name, msb + 1))
+    } else {
+        Some((rest.to_owned(), 1))
+    }
+}
+
+/// Resolves an atomic operand: a literal, an identifier, or a bus bit.
+fn atom(b: &Builder, env: &HashMap<String, NetId>, token: &str) -> Option<NetId> {
+    match token {
+        "1'b0" => Some(b.constant(false)),
+        "1'b1" => Some(b.constant(true)),
+        t => env.get(t).copied(),
+    }
+}
+
+/// Evaluates one right-hand side in the emitted grammar. Returns `None` when
+/// an operand is not yet defined (caller retries after other assigns).
+fn eval_expr(b: &mut Builder, env: &HashMap<String, NetId>, rhs: &str) -> Option<NetId> {
+    let rhs = rhs.trim();
+    // Majority form: (a & b) | (a & c) | (b & c)
+    if rhs.starts_with('(') && rhs.matches('&').count() == 3 && rhs.matches('|').count() == 2 {
+        let parts: Vec<&str> = rhs.split('|').map(str::trim).collect();
+        if parts.len() == 3 && parts.iter().all(|p| p.starts_with('(') && p.ends_with(')')) {
+            let first = &parts[0][1..parts[0].len() - 1];
+            let ops: Vec<&str> = first.split('&').map(str::trim).collect();
+            let second = &parts[1][1..parts[1].len() - 1];
+            let ops2: Vec<&str> = second.split('&').map(str::trim).collect();
+            if ops.len() == 2 && ops2.len() == 2 {
+                let a = atom(b, env, ops[0])?;
+                let x = atom(b, env, ops[1])?;
+                let c = atom(b, env, ops2[1])?;
+                return Some(b.maj3(a, x, c));
+            }
+        }
+    }
+    // Mux: `s ? x : y`
+    if let Some(q) = rhs.find('?') {
+        let c = rhs.find(':')?;
+        let sel = atom(b, env, rhs[..q].trim())?;
+        let x = atom(b, env, rhs[q + 1..c].trim())?;
+        let y = atom(b, env, rhs[c + 1..].trim())?;
+        return Some(b.mux2(y, x, sel));
+    }
+    // Inverted group: `~(...)`
+    if let Some(inner) = rhs.strip_prefix("~(").and_then(|r| r.strip_suffix(')')) {
+        let n = eval_binary(b, env, inner)?;
+        return Some(b.inv(n));
+    }
+    // Plain inverter: `~a`
+    if let Some(t) = rhs.strip_prefix('~') {
+        let n = atom(b, env, t.trim())?;
+        return Some(b.inv(n));
+    }
+    // Binary / ternary and-or chains or a bare atom.
+    eval_binary(b, env, rhs)
+}
+
+fn eval_binary(b: &mut Builder, env: &HashMap<String, NetId>, expr: &str) -> Option<NetId> {
+    let expr = expr.trim();
+    for (op, is_and) in [(" & ", true), (" | ", false)] {
+        if expr.contains(op) {
+            let parts: Vec<&str> = expr.split(op).map(str::trim).collect();
+            let mut acc = atom(b, env, parts[0])?;
+            for p in &parts[1..] {
+                let n = atom(b, env, p)?;
+                acc = if is_and { b.and2(acc, n) } else { b.or2(acc, n) };
+            }
+            return Some(acc);
+        }
+    }
+    if expr.contains(" ^ ") {
+        let parts: Vec<&str> = expr.split(" ^ ").map(str::trim).collect();
+        let mut acc = atom(b, env, parts[0])?;
+        for p in &parts[1..] {
+            let n = atom(b, env, p)?;
+            acc = b.xor2(acc, n);
+        }
+        return Some(acc);
+    }
+    atom(b, env, expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verilog::to_verilog;
+    use crate::Builder;
+
+    #[test]
+    fn round_trips_a_half_adder() {
+        let mut b = Builder::new("ha");
+        let x = b.input("a");
+        let y = b.input("b");
+        let s = b.xor2(x, y);
+        let c = b.and2(x, y);
+        b.output("sum", s);
+        b.output("carry", c);
+        let original = b.finish();
+        let text = to_verilog(&original);
+        let imported = from_verilog(&text).unwrap();
+        imported.validate().unwrap();
+        assert_eq!(imported.name(), "ha");
+        assert_eq!(imported.num_cells(), original.num_cells());
+        assert_eq!(imported.input_ports().count(), 2);
+        assert_eq!(imported.output_ports().count(), 2);
+    }
+
+    #[test]
+    fn round_trips_registers_with_init_and_enable() {
+        let mut b = Builder::new("regs");
+        let d = b.input("d");
+        let en = b.input("en");
+        let q1 = b.dff(d, true);
+        let q2 = b.dffe(d, en, false);
+        let o = b.xor2(q1, q2);
+        b.output("o", o);
+        let original = b.finish();
+        let imported = from_verilog(&to_verilog(&original)).unwrap();
+        imported.validate().unwrap();
+        assert_eq!(imported.num_seq_cells(), 2);
+        let inits: Vec<bool> = imported
+            .cells()
+            .filter(|(_, c)| c.kind().is_sequential())
+            .map(|(_, c)| c.init())
+            .collect();
+        assert!(inits.contains(&true) && inits.contains(&false));
+    }
+
+    #[test]
+    fn round_trips_buses_and_mux() {
+        let mut b = Builder::new("busmux");
+        let xs = b.input_bus("x", 3);
+        let sel = b.input("sel");
+        let m = b.mux2(xs[0], xs[1], sel);
+        let mj = b.maj3(xs[0], xs[1], xs[2]);
+        b.output_bus("y", &[m, mj]);
+        let original = b.finish();
+        let imported = from_verilog(&to_verilog(&original)).unwrap();
+        imported.validate().unwrap();
+        assert_eq!(imported.port("x").unwrap().width(), 3);
+        assert_eq!(imported.port("y").unwrap().width(), 2);
+    }
+
+    #[test]
+    fn rejects_unsupported_constructs() {
+        let e = from_verilog("module m (a);\n  initial begin end\nendmodule\n");
+        assert!(e.is_err());
+        let msg = e.unwrap_err().to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+    }
+
+    #[test]
+    fn error_type_is_well_behaved() {
+        let e = err(3, "boom");
+        assert!(e.to_string().contains("line 3"));
+        fn takes<E: std::error::Error>(_: E) {}
+        takes(e);
+    }
+}

@@ -1,0 +1,212 @@
+//! Multi-bit bus values for datapath construction.
+//!
+//! A [`Word`] is an ordered list of nets (LSB first) plus a signedness flag.
+//! Datapath generators in `pe-synth` manipulate `Word`s; the signedness flag
+//! determines how the word is extended when widened (zero- vs sign-extension),
+//! mirroring two's-complement hardware semantics exactly.
+
+use crate::build::Builder;
+use crate::netlist::NetId;
+
+/// A multi-bit signal bundle, LSB first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Word {
+    bits: Vec<NetId>,
+    signed: bool,
+}
+
+impl Word {
+    /// Wraps nets as a word. `bits[0]` is the LSB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty.
+    #[must_use]
+    pub fn new(bits: Vec<NetId>, signed: bool) -> Self {
+        assert!(!bits.is_empty(), "a word needs at least one bit");
+        Word { bits, signed }
+    }
+
+    /// A constant word encoding `value` in `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit `width` bits under the requested
+    /// signedness.
+    #[must_use]
+    pub fn constant(b: &Builder, value: i64, width: u32, signed: bool) -> Self {
+        if signed {
+            assert!(
+                value >= -(1i64 << (width - 1)) && value < (1i64 << (width - 1)),
+                "constant {value} does not fit signed {width} bits"
+            );
+        } else {
+            assert!(
+                value >= 0 && (width >= 63 || value < (1i64 << width)),
+                "constant {value} does not fit unsigned {width} bits"
+            );
+        }
+        let bits = (0..width).map(|i| b.constant((value >> i) & 1 == 1)).collect();
+        Word { bits, signed }
+    }
+
+    /// Width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the word is interpreted as signed two's complement.
+    #[must_use]
+    pub fn is_signed(&self) -> bool {
+        self.signed
+    }
+
+    /// The nets of the word, LSB first.
+    #[must_use]
+    pub fn bits(&self) -> &[NetId] {
+        &self.bits
+    }
+
+    /// One bit of the word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bit(&self, i: usize) -> NetId {
+        self.bits[i]
+    }
+
+    /// The most significant bit.
+    #[must_use]
+    pub fn msb(&self) -> NetId {
+        *self.bits.last().expect("word is non-empty")
+    }
+
+    /// The net that extends this word beyond its MSB: the sign bit for
+    /// signed words, constant 0 for unsigned words.
+    #[must_use]
+    pub fn extension_bit(&self, b: &Builder) -> NetId {
+        if self.signed {
+            self.msb()
+        } else {
+            b.constant(false)
+        }
+    }
+
+    /// Returns this word widened to `width` bits (sign- or zero-extended
+    /// according to signedness). Narrowing is not allowed; use
+    /// [`Word::truncate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is smaller than the current width.
+    #[must_use]
+    pub fn extend_to(&self, b: &Builder, width: usize) -> Word {
+        assert!(width >= self.width(), "extend_to cannot narrow; use truncate");
+        let ext = self.extension_bit(b);
+        let mut bits = self.bits.clone();
+        bits.resize(width, ext);
+        Word { bits, signed: self.signed }
+    }
+
+    /// Keeps the low `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or larger than the current width.
+    #[must_use]
+    pub fn truncate(&self, width: usize) -> Word {
+        assert!(width >= 1 && width <= self.width(), "bad truncate width");
+        Word { bits: self.bits[..width].to_vec(), signed: self.signed }
+    }
+
+    /// Returns the word shifted left by `n` bits (zeros shifted in), i.e.
+    /// multiplied by `2^n`; the width grows by `n`.
+    #[must_use]
+    pub fn shl(&self, b: &Builder, n: usize) -> Word {
+        let mut bits = vec![b.constant(false); n];
+        bits.extend_from_slice(&self.bits);
+        Word { bits, signed: self.signed }
+    }
+
+    /// Reinterprets the word with different signedness (no hardware).
+    #[must_use]
+    pub fn with_signedness(&self, signed: bool) -> Word {
+        Word { bits: self.bits.clone(), signed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_encodes_twos_complement() {
+        let b = Builder::new("t");
+        let w = Word::constant(&b, -3, 4, true);
+        // -3 = 1101b -> bits LSB first: 1,0,1,1
+        let vals: Vec<bool> = w.bits().iter().map(|&n| n == b.constant(true)).collect();
+        assert_eq!(vals, vec![true, false, true, true]);
+        assert!(w.is_signed());
+        assert_eq!(w.width(), 4);
+    }
+
+    #[test]
+    fn constant_unsigned() {
+        let b = Builder::new("t");
+        let w = Word::constant(&b, 10, 4, false);
+        let vals: Vec<bool> = w.bits().iter().map(|&n| n == b.constant(true)).collect();
+        assert_eq!(vals, vec![false, true, false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn constant_overflow_panics() {
+        let b = Builder::new("t");
+        let _ = Word::constant(&b, 8, 4, true);
+    }
+
+    #[test]
+    fn extension_semantics() {
+        let mut b = Builder::new("t");
+        let bus = b.input_bus("x", 3);
+        let w_signed = Word::new(bus.clone(), true);
+        let w_unsigned = Word::new(bus.clone(), false);
+        let es = w_signed.extend_to(&b, 5);
+        let eu = w_unsigned.extend_to(&b, 5);
+        assert_eq!(es.bit(3), w_signed.msb());
+        assert_eq!(es.bit(4), w_signed.msb());
+        assert_eq!(eu.bit(3), b.constant(false));
+        assert_eq!(eu.bit(4), b.constant(false));
+    }
+
+    #[test]
+    fn shl_multiplies_by_power_of_two() {
+        let mut b = Builder::new("t");
+        let bus = b.input_bus("x", 2);
+        let w = Word::new(bus.clone(), false);
+        let s = w.shl(&b, 2);
+        assert_eq!(s.width(), 4);
+        assert_eq!(s.bit(0), b.constant(false));
+        assert_eq!(s.bit(1), b.constant(false));
+        assert_eq!(s.bit(2), bus[0]);
+        assert_eq!(s.bit(3), bus[1]);
+    }
+
+    #[test]
+    fn truncate_keeps_low_bits() {
+        let mut b = Builder::new("t");
+        let bus = b.input_bus("x", 4);
+        let w = Word::new(bus.clone(), true);
+        let t = w.truncate(2);
+        assert_eq!(t.bits(), &bus[..2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn empty_word_panics() {
+        let _ = Word::new(vec![], false);
+    }
+}

@@ -1,0 +1,47 @@
+//! Cycle-based gate-level logic simulation for printed bespoke circuits.
+//!
+//! This crate plays the role gate-level simulation plays in the paper's flow:
+//! it verifies that generated netlists are bit-exact against behavioral golden
+//! models, and it extracts per-net switching activity, the input to dynamic
+//! power analysis (the equivalent of dumping SAIF from a simulator and handing
+//! it to PrimeTime).
+//!
+//! The simulation model is two-valued and zero-delay: combinational cells are
+//! evaluated in topological order until settled, flip-flops update on an
+//! implicit common clock via [`Simulator::tick`]. Per-net toggle counts are
+//! accumulated on every settle pass when activity tracking is enabled.
+//!
+//! # Example
+//!
+//! ```
+//! use pe_netlist::Builder;
+//! use pe_sim::Simulator;
+//!
+//! let mut b = Builder::new("adder1");
+//! let a = b.input("a");
+//! let c = b.input("b");
+//! let sum = b.xor2(a, c);
+//! let carry = b.and2(a, c);
+//! b.output("sum", sum);
+//! b.output("carry", carry);
+//! let nl = b.finish();
+//!
+//! let mut sim = Simulator::new(&nl).unwrap();
+//! sim.set_input("a", 1);
+//! sim.set_input("b", 1);
+//! sim.eval_comb();
+//! assert_eq!(sim.output_unsigned("sum"), 0);
+//! assert_eq!(sim.output_unsigned("carry"), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activity;
+pub mod faults;
+pub mod sim;
+pub mod vcd;
+
+pub use activity::ActivityReport;
+pub use faults::{FaultReport, FaultSite, FaultySimulator};
+pub use sim::Simulator;

@@ -1,0 +1,514 @@
+//! The levelized two-valued simulator.
+
+use crate::activity::ActivityReport;
+use pe_netlist::{CellId, CellKind, Driver, Netlist, NetlistError, PortDir};
+use std::collections::HashMap;
+
+/// A cycle-based simulator over a borrowed [`Netlist`].
+///
+/// Construction performs the topological scheduling once; every subsequent
+/// evaluation is a linear sweep. See the [crate documentation](crate) for the
+/// timing model.
+#[derive(Debug)]
+pub struct Simulator<'nl> {
+    nl: &'nl Netlist,
+    /// Settled value of every net.
+    values: Vec<bool>,
+    /// Topological order of combinational cells.
+    order: Vec<CellId>,
+    /// All sequential cells.
+    regs: Vec<CellId>,
+    /// Current state of each register (parallel to `regs`).
+    state: Vec<bool>,
+    /// Input port name -> bit nets (LSB first).
+    input_ports: HashMap<String, Vec<pe_netlist::NetId>>,
+    /// Output port name -> bit nets (LSB first).
+    output_ports: HashMap<String, Vec<pe_netlist::NetId>>,
+    /// Per-net toggle counters; empty when tracking is disabled.
+    toggles: Vec<u64>,
+    /// Number of clock cycles accounted so far (ticks + sampled comb cycles).
+    cycles: u64,
+    /// Scratch buffer for cell input values.
+    scratch: Vec<bool>,
+    /// Nets pinned by [`Simulator::force_net`]; never updated by evaluation.
+    frozen: Vec<bool>,
+}
+
+impl<'nl> Simulator<'nl> {
+    /// Builds a simulator, scheduling the combinational core.
+    ///
+    /// Registers power on at their declared init values and the combinational
+    /// core is settled once with all primary inputs at 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the design's
+    /// combinational core is cyclic.
+    pub fn new(nl: &'nl Netlist) -> Result<Self, NetlistError> {
+        let order = pe_netlist::graph::topo_order(nl)?;
+        let regs: Vec<CellId> =
+            nl.cells().filter(|(_, c)| c.kind().is_sequential()).map(|(id, _)| id).collect();
+        let mut input_ports = HashMap::new();
+        let mut output_ports = HashMap::new();
+        for p in nl.ports() {
+            match p.dir() {
+                PortDir::Input => {
+                    input_ports.insert(p.name().to_owned(), p.bits().to_vec());
+                }
+                PortDir::Output => {
+                    output_ports.insert(p.name().to_owned(), p.bits().to_vec());
+                }
+            }
+        }
+        let mut values = vec![false; nl.num_nets()];
+        values[nl.const1().index()] = true;
+        let mut sim = Simulator {
+            nl,
+            values,
+            order,
+            regs,
+            state: Vec::new(),
+            input_ports,
+            output_ports,
+            toggles: Vec::new(),
+            cycles: 0,
+            scratch: Vec::new(),
+            frozen: vec![false; nl.num_nets()],
+        };
+        sim.reset();
+        Ok(sim)
+    }
+
+    /// The netlist under simulation.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        self.nl
+    }
+
+    /// Enables per-net toggle counting (and clears any previous counts).
+    pub fn enable_activity(&mut self) {
+        self.toggles = vec![0; self.nl.num_nets()];
+        self.cycles = 0;
+    }
+
+    /// Resets registers to their power-on values and settles the
+    /// combinational core. Toggle counters are not cleared.
+    pub fn reset(&mut self) {
+        self.state = self.regs.iter().map(|&r| self.nl.cell(r).init()).collect();
+        for (i, &r) in self.regs.iter().enumerate() {
+            self.values[self.nl.cell(r).output().index()] = self.state[i];
+        }
+        self.eval_comb();
+    }
+
+    /// Drives an input port with an integer (two's complement, LSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist or `value` does not fit the port
+    /// width (signed or unsigned interpretation both accepted).
+    pub fn set_input(&mut self, port: &str, value: i64) {
+        let bits = self
+            .input_ports
+            .get(port)
+            .unwrap_or_else(|| panic!("no input port named {port:?}"))
+            .clone();
+        let w = bits.len() as u32;
+        assert!(w <= 63, "port {port} too wide");
+        let min = -(1i64 << (w - 1).max(0));
+        let max = (1i64 << w) - 1;
+        assert!(
+            value >= min && value <= max,
+            "value {value} does not fit {w}-bit port {port}"
+        );
+        for (i, &b) in bits.iter().enumerate() {
+            self.values[b.index()] = (value >> i) & 1 == 1;
+        }
+    }
+
+    /// Drives an input port bit-by-bit (LSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist or widths mismatch.
+    pub fn set_input_bits(&mut self, port: &str, bits: &[bool]) {
+        let nets = self
+            .input_ports
+            .get(port)
+            .unwrap_or_else(|| panic!("no input port named {port:?}"))
+            .clone();
+        assert_eq!(nets.len(), bits.len(), "width mismatch for port {port}");
+        for (&n, &v) in nets.iter().zip(bits) {
+            self.values[n.index()] = v;
+        }
+    }
+
+    /// Pins a net to a constant value: evaluation and clocking will never
+    /// change it until [`Simulator::release_net`] is called. This is the
+    /// mechanism behind stuck-at fault injection ([`crate::faults`]) and is
+    /// also handy for interactive debugging.
+    pub fn force_net(&mut self, net: pe_netlist::NetId, value: bool) {
+        self.frozen[net.index()] = true;
+        self.values[net.index()] = value;
+        // Keep register state consistent with a forced register output.
+        for (i, &r) in self.regs.iter().enumerate() {
+            if self.nl.cell(r).output() == net {
+                self.state[i] = value;
+            }
+        }
+    }
+
+    /// Releases a pinned net (its next evaluation recomputes it normally).
+    pub fn release_net(&mut self, net: pe_netlist::NetId) {
+        self.frozen[net.index()] = false;
+    }
+
+    /// Settles the combinational core with current inputs and register
+    /// outputs. Accumulates toggle counts if activity tracking is enabled.
+    pub fn eval_comb(&mut self) {
+        let track = !self.toggles.is_empty();
+        for idx in 0..self.order.len() {
+            let cell_id = self.order[idx];
+            let cell = self.nl.cell(cell_id);
+            let out = cell.output().index();
+            if self.frozen[out] {
+                continue;
+            }
+            self.scratch.clear();
+            for &inp in cell.inputs() {
+                self.scratch.push(self.values[inp.index()]);
+            }
+            let new = cell.kind().eval(&self.scratch);
+            if self.values[out] != new {
+                if track {
+                    self.toggles[out] += 1;
+                }
+                self.values[out] = new;
+            }
+        }
+    }
+
+    /// One clock cycle: settle, capture register next-states, update
+    /// registers, settle again. Increments the cycle counter.
+    pub fn tick(&mut self) {
+        self.eval_comb();
+        let track = !self.toggles.is_empty();
+        // Capture next states from settled values.
+        let mut next = Vec::with_capacity(self.regs.len());
+        for (i, &r) in self.regs.iter().enumerate() {
+            let cell = self.nl.cell(r);
+            self.scratch.clear();
+            for &inp in cell.inputs() {
+                self.scratch.push(self.values[inp.index()]);
+            }
+            next.push(cell.kind().next_state(&self.scratch, self.state[i]));
+        }
+        // Apply.
+        for (i, &r) in self.regs.iter().enumerate() {
+            let out = self.nl.cell(r).output().index();
+            if self.frozen[out] {
+                continue;
+            }
+            if self.values[out] != next[i] {
+                if track {
+                    self.toggles[out] += 1;
+                }
+                self.values[out] = next[i];
+            }
+            self.state[i] = next[i];
+        }
+        self.eval_comb();
+        self.cycles += 1;
+    }
+
+    /// Accounts one clock cycle for a purely combinational design: settles
+    /// the core and increments the cycle counter. Use after driving a new
+    /// input vector on a single-cycle (unregistered) datapath.
+    pub fn sample_comb(&mut self) {
+        self.eval_comb();
+        self.cycles += 1;
+    }
+
+    /// Current value of a net.
+    #[must_use]
+    pub fn net_value(&self, net: pe_netlist::NetId) -> bool {
+        self.values[net.index()]
+    }
+
+    /// Reads an output port as an unsigned integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist or is wider than 63 bits.
+    #[must_use]
+    pub fn output_unsigned(&self, port: &str) -> i64 {
+        let bits = self
+            .output_ports
+            .get(port)
+            .unwrap_or_else(|| panic!("no output port named {port:?}"));
+        assert!(bits.len() <= 63, "port {port} too wide");
+        let mut v = 0i64;
+        for (i, &b) in bits.iter().enumerate() {
+            if self.values[b.index()] {
+                v |= 1i64 << i;
+            }
+        }
+        v
+    }
+
+    /// Reads an output port as a signed (two's complement) integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist or is wider than 63 bits.
+    #[must_use]
+    pub fn output_signed(&self, port: &str) -> i64 {
+        let bits = self
+            .output_ports
+            .get(port)
+            .unwrap_or_else(|| panic!("no output port named {port:?}"));
+        let w = bits.len();
+        let mut v = self.output_unsigned(port);
+        if w > 0 && self.values[bits[w - 1].index()] {
+            v -= 1i64 << w;
+        }
+        v
+    }
+
+    /// Number of clock cycles accounted so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Snapshot of the accumulated switching activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if activity tracking was never enabled.
+    #[must_use]
+    pub fn activity(&self) -> ActivityReport {
+        assert!(
+            !self.toggles.is_empty(),
+            "activity tracking not enabled; call enable_activity() first"
+        );
+        ActivityReport::new(self.toggles.clone(), self.cycles)
+    }
+}
+
+/// Convenience: simulates a purely combinational netlist for one input
+/// vector given as `(port, value)` pairs and returns the signed value of
+/// `out_port`.
+///
+/// # Panics
+///
+/// Panics on unknown ports or on a cyclic design.
+#[must_use]
+pub fn eval_comb_once(nl: &Netlist, inputs: &[(&str, i64)], out_port: &str) -> i64 {
+    let mut sim = Simulator::new(nl).expect("netlist must be acyclic");
+    for &(p, v) in inputs {
+        sim.set_input(p, v);
+    }
+    sim.eval_comb();
+    sim.output_signed(out_port)
+}
+
+/// Identifies nets driven by cells (the ones whose toggles dissipate dynamic
+/// power in the driver cell). Constant and input nets are excluded.
+#[must_use]
+pub fn cell_driven_nets(nl: &Netlist) -> Vec<pe_netlist::NetId> {
+    nl.nets()
+        .filter(|(_, n)| matches!(n.driver(), Driver::Cell(_)))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Returns the driving cell of a net, if any.
+#[must_use]
+pub fn driver_cell(nl: &Netlist, net: pe_netlist::NetId) -> Option<CellId> {
+    match nl.net(net).driver() {
+        Driver::Cell(c) => Some(c),
+        _ => None,
+    }
+}
+
+/// Checks that a netlist contains no sequential cells (useful before
+/// single-pass combinational evaluation).
+#[must_use]
+pub fn is_combinational(nl: &Netlist) -> bool {
+    !nl.cells().any(|(_, c)| matches!(c.kind(), CellKind::Dff | CellKind::DffE))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_netlist::Builder;
+
+    fn full_adder() -> Netlist {
+        let mut b = Builder::new("fa");
+        let a = b.input("a");
+        let x = b.input("b");
+        let cin = b.input("cin");
+        let s1 = b.xor2(a, x);
+        let sum = b.xor2(s1, cin);
+        let carry = b.maj3(a, x, cin);
+        b.output("sum", sum);
+        b.output("carry", carry);
+        b.finish()
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let nl = full_adder();
+        let mut sim = Simulator::new(&nl).unwrap();
+        for a in 0..2 {
+            for x in 0..2 {
+                for c in 0..2 {
+                    sim.set_input("a", a);
+                    sim.set_input("b", x);
+                    sim.set_input("cin", c);
+                    sim.eval_comb();
+                    let total = a + x + c;
+                    assert_eq!(sim.output_unsigned("sum"), total & 1);
+                    assert_eq!(sim.output_unsigned("carry"), total >> 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counter_sequences() {
+        // 2-bit counter: q0' = !q0 ; q1' = q1 ^ q0.
+        let mut b = Builder::new("count2");
+        let seed = b.input("unused");
+        let _ = seed;
+        // Create feedback: build dffs with placeholder inputs is not possible
+        // in a pure builder, so express the counter algebraically:
+        // q0 = dff(!q0) requires a cycle through the register, which is legal.
+        // The builder cannot reference a net before creating it, so build via
+        // two passes: first the registers on dummy nets is impossible; instead
+        // we exploit DffE: hold register feeding itself. For the test we use
+        // a simpler structure: a toggle register from an inverter loop.
+        let mut b = Builder::new("toggle");
+        let q_feedback = b.input("qf"); // stand-in driven externally
+        let q = b.dff(q_feedback, false);
+        b.output("q", q);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+        // Manually close the loop: drive qf with !q each cycle.
+        let mut expected = false;
+        for _ in 0..8 {
+            let q_now = sim.output_unsigned("q") == 1;
+            assert_eq!(q_now, expected);
+            sim.set_input("qf", i64::from(!q_now));
+            sim.tick();
+            expected = !expected;
+        }
+    }
+
+    #[test]
+    fn registers_power_on_at_init() {
+        let mut b = Builder::new("init");
+        let d = b.input("d");
+        let q1 = b.dff(d, true);
+        let q0 = b.dff(d, false);
+        b.output("q1", q1);
+        b.output("q0", q0);
+        let nl = b.finish();
+        let sim = Simulator::new(&nl).unwrap();
+        assert_eq!(sim.output_unsigned("q1"), 1);
+        assert_eq!(sim.output_unsigned("q0"), 0);
+    }
+
+    #[test]
+    fn dffe_holds_without_enable() {
+        let mut b = Builder::new("hold");
+        let d = b.input("d");
+        let en = b.input("en");
+        let q = b.dffe(d, en, false);
+        b.output("q", q);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("d", 1);
+        sim.set_input("en", 0);
+        sim.tick();
+        assert_eq!(sim.output_unsigned("q"), 0, "disabled register must hold");
+        sim.set_input("en", 1);
+        sim.tick();
+        assert_eq!(sim.output_unsigned("q"), 1, "enabled register must load");
+    }
+
+    #[test]
+    fn signed_output_reads() {
+        let mut b = Builder::new("neg");
+        let xs = b.input_bus("x", 4);
+        b.output_bus("y", &xs);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("x", -3);
+        sim.eval_comb();
+        assert_eq!(sim.output_signed("y"), -3);
+        assert_eq!(sim.output_unsigned("y"), 13);
+    }
+
+    #[test]
+    fn activity_counts_toggles() {
+        let nl = full_adder();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.enable_activity();
+        sim.set_input("a", 1);
+        sim.set_input("b", 1);
+        sim.set_input("cin", 0);
+        sim.sample_comb();
+        sim.set_input("a", 0);
+        sim.sample_comb();
+        let act = sim.activity();
+        assert_eq!(act.cycles(), 2);
+        assert!(act.total_toggles() > 0);
+    }
+
+    #[test]
+    fn reset_restores_state() {
+        let mut b = Builder::new("r");
+        let d = b.input("d");
+        let q = b.dff(d, false);
+        b.output("q", q);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("d", 1);
+        sim.tick();
+        assert_eq!(sim.output_unsigned("q"), 1);
+        sim.reset();
+        assert_eq!(sim.output_unsigned("q"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no input port")]
+    fn unknown_port_panics() {
+        let nl = full_adder();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("nope", 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_panics() {
+        let nl = full_adder();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("a", 5);
+    }
+
+    #[test]
+    fn helpers() {
+        let nl = full_adder();
+        assert!(is_combinational(&nl));
+        // A set 1-bit port reads as -1 under two's-complement interpretation.
+        assert_eq!(
+            eval_comb_once(&nl, &[("a", 1), ("b", 0), ("cin", 1)], "carry"),
+            -1
+        );
+        let driven = cell_driven_nets(&nl);
+        assert_eq!(driven.len(), 3); // xor, xor, maj
+        assert!(driver_cell(&nl, driven[0]).is_some());
+    }
+}

@@ -1,0 +1,271 @@
+//! Adders, subtractors and related bit-exact datapath pieces.
+//!
+//! All operations are *exact*: output widths come from [`Range`] analysis, so
+//! results never wrap. Ripple-carry structures are used throughout — with
+//! millisecond-scale printed gates there is no wire/logic-delay imbalance to
+//! justify carry-lookahead, and the papers' bespoke flows do the same.
+
+use crate::range::Range;
+use pe_netlist::{Builder, NetId, Word};
+
+/// One full adder; returns `(sum, carry_out)`.
+pub fn full_adder(b: &mut Builder, a: NetId, x: NetId, cin: NetId) -> (NetId, NetId) {
+    let s1 = b.xor2(a, x);
+    let sum = b.xor2(s1, cin);
+    let cout = b.maj3(a, x, cin);
+    (sum, cout)
+}
+
+/// Ripple-carry addition of two equal-length bit vectors with carry-in.
+/// Returns the sum bits (same length; the final carry is discarded, which is
+/// correct whenever the caller sized the vectors from a value range).
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length.
+pub fn ripple_add_bits(b: &mut Builder, a: &[NetId], x: &[NetId], cin: NetId) -> Vec<NetId> {
+    assert_eq!(a.len(), x.len(), "ripple operands must match in width");
+    let mut carry = cin;
+    let mut out = Vec::with_capacity(a.len());
+    for (&ai, &xi) in a.iter().zip(x) {
+        let (s, c) = full_adder(b, ai, xi, carry);
+        out.push(s);
+        carry = c;
+    }
+    out
+}
+
+/// Exact sum `a + c`. The result width/signedness are derived from the value
+/// ranges of the operands, so the addition can never overflow.
+pub fn add_exact(b: &mut Builder, a: &Word, c: &Word) -> Word {
+    let rng = Range::of_word(a).add(&Range::of_word(c));
+    let w = (rng.width() as usize).max(a.width()).max(c.width());
+    let ae = a.extend_to(b, w);
+    let ce = c.extend_to(b, w);
+    let zero = b.constant(false);
+    let bits = ripple_add_bits(b, ae.bits(), ce.bits(), zero);
+    Word::new(bits, rng.is_signed())
+}
+
+/// Exact sum of a word and an integer constant (the constant bits fold into
+/// half-adder logic).
+///
+/// # Panics
+///
+/// Panics if `k` plus the word's range would exceed `i64` (practically
+/// impossible for datapath widths).
+pub fn add_const(b: &mut Builder, a: &Word, k: i64) -> Word {
+    let ra = Range::of_word(a);
+    let rng = ra.add(&Range::new(k, k));
+    let w = (rng.width() as usize).max(a.width());
+    let ae = a.extend_to(b, w);
+    let kw = Word::constant(b, k, w as u32, k < 0).with_signedness(rng.is_signed());
+    let zero = b.constant(false);
+    let bits = ripple_add_bits(b, ae.bits(), kw.bits(), zero);
+    Word::new(bits, rng.is_signed())
+}
+
+/// Exact difference `a - c` (two's-complement: `a + !c + 1`).
+pub fn sub_exact(b: &mut Builder, a: &Word, c: &Word) -> Word {
+    let rng = Range::of_word(a).sub(&Range::of_word(c));
+    let w = (rng.width() as usize).max(a.width()).max(c.width());
+    let ae = a.extend_to(b, w);
+    let ce = c.extend_to(b, w);
+    let inv_c: Vec<NetId> = ce.bits().iter().map(|&n| b.inv(n)).collect();
+    let one = b.constant(true);
+    let bits = ripple_add_bits(b, ae.bits(), &inv_c, one);
+    Word::new(bits, rng.is_signed())
+}
+
+/// Exact negation `-a`.
+pub fn negate(b: &mut Builder, a: &Word) -> Word {
+    let ra = Range::of_word(a);
+    let rng = Range::new(-ra.hi, -ra.lo);
+    let w = (rng.width() as usize).max(a.width());
+    let ae = a.extend_to(b, w);
+    let inv_a: Vec<NetId> = ae.bits().iter().map(|&n| b.inv(n)).collect();
+    let zeros = vec![b.constant(false); w];
+    let one = b.constant(true);
+    let bits = ripple_add_bits(b, &inv_a, &zeros, one);
+    Word::new(bits, rng.is_signed())
+}
+
+/// Rectified linear unit over a signed word: negative values clamp to zero.
+/// The result is unsigned and one bit narrower (the sign position is gone).
+///
+/// # Panics
+///
+/// Panics if `a` is unsigned (ReLU would be the identity) or 1 bit wide.
+pub fn relu(b: &mut Builder, a: &Word) -> Word {
+    assert!(a.is_signed(), "relu expects a signed word");
+    assert!(a.width() >= 2, "relu needs at least a sign and one magnitude bit");
+    let not_negative = b.inv(a.msb());
+    let bits: Vec<NetId> =
+        a.bits()[..a.width() - 1].iter().map(|&n| b.and2(n, not_negative)).collect();
+    Word::new(bits, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_netlist::Netlist;
+    use pe_sim::Simulator;
+
+    /// Builds a 2-input datapath test harness and exhaustively checks it
+    /// against a reference function.
+    fn check2(
+        wa: usize,
+        sa: bool,
+        wc: usize,
+        sc: bool,
+        gen: impl Fn(&mut Builder, &Word, &Word) -> Word,
+        reference: impl Fn(i64, i64) -> i64,
+    ) {
+        let mut b = Builder::new("dut");
+        let a = Word::new(b.input_bus("a", wa), sa);
+        let c = Word::new(b.input_bus("c", wc), sc);
+        let y = gen(&mut b, &a, &c);
+        let signed_out = y.is_signed();
+        b.output_bus("y", y.bits());
+        let nl: Netlist = b.finish();
+        nl.validate().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let ra = if sa { -(1i64 << (wa - 1))..(1i64 << (wa - 1)) } else { 0..(1i64 << wa) };
+        for va in ra.clone() {
+            let rc = if sc { -(1i64 << (wc - 1))..(1i64 << (wc - 1)) } else { 0..(1i64 << wc) };
+            for vc in rc {
+                sim.set_input("a", va);
+                sim.set_input("c", vc);
+                sim.eval_comb();
+                let got = if signed_out {
+                    sim.output_signed("y")
+                } else {
+                    sim.output_unsigned("y")
+                };
+                assert_eq!(got, reference(va, vc), "a={va} c={vc}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_unsigned_unsigned() {
+        check2(4, false, 3, false, |b, a, c| add_exact(b, a, c), |x, y| x + y);
+    }
+
+    #[test]
+    fn add_signed_signed() {
+        check2(4, true, 4, true, |b, a, c| add_exact(b, a, c), |x, y| x + y);
+    }
+
+    #[test]
+    fn add_mixed_signedness() {
+        check2(4, false, 4, true, |b, a, c| add_exact(b, a, c), |x, y| x + y);
+        check2(3, true, 5, false, |b, a, c| add_exact(b, a, c), |x, y| x + y);
+    }
+
+    #[test]
+    fn sub_all_signedness_combos() {
+        check2(4, false, 4, false, |b, a, c| sub_exact(b, a, c), |x, y| x - y);
+        check2(4, true, 4, true, |b, a, c| sub_exact(b, a, c), |x, y| x - y);
+        check2(4, false, 4, true, |b, a, c| sub_exact(b, a, c), |x, y| x - y);
+        check2(4, true, 4, false, |b, a, c| sub_exact(b, a, c), |x, y| x - y);
+    }
+
+    #[test]
+    fn add_const_folds_and_computes() {
+        for k in [-7i64, -1, 0, 1, 5, 19] {
+            let mut b = Builder::new("dut");
+            let a = Word::new(b.input_bus("a", 4), true);
+            let y = add_const(&mut b, &a, k);
+            let signed_out = y.is_signed();
+            b.output_bus("y", y.bits());
+            let nl = b.finish();
+            let mut sim = Simulator::new(&nl).unwrap();
+            for va in -8i64..8 {
+                sim.set_input("a", va);
+                sim.eval_comb();
+                let got =
+                    if signed_out { sim.output_signed("y") } else { sim.output_unsigned("y") };
+                assert_eq!(got, va + k, "a={va} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_const_zero_is_free() {
+        let mut b = Builder::new("dut");
+        let a = Word::new(b.input_bus("a", 4), true);
+        let _ = add_const(&mut b, &a, 0);
+        assert_eq!(b.finish().num_cells(), 0, "adding zero must cost no gates");
+    }
+
+    #[test]
+    fn negate_is_exact() {
+        let mut b = Builder::new("dut");
+        let a = Word::new(b.input_bus("a", 4), true);
+        let y = negate(&mut b, &a);
+        b.output_bus("y", y.bits());
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+        for va in -8i64..8 {
+            sim.set_input("a", va);
+            sim.eval_comb();
+            assert_eq!(sim.output_signed("y"), -va);
+        }
+    }
+
+    #[test]
+    fn negate_unsigned_becomes_signed() {
+        let mut b = Builder::new("dut");
+        let a = Word::new(b.input_bus("a", 3), false);
+        let y = negate(&mut b, &a);
+        assert!(y.is_signed());
+        b.output_bus("y", y.bits());
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+        for va in 0i64..8 {
+            sim.set_input("a", va);
+            sim.eval_comb();
+            assert_eq!(sim.output_signed("y"), -va);
+        }
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut b = Builder::new("dut");
+        let a = Word::new(b.input_bus("a", 5), true);
+        let y = relu(&mut b, &a);
+        assert!(!y.is_signed());
+        assert_eq!(y.width(), 4);
+        b.output_bus("y", y.bits());
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+        for va in -16i64..16 {
+            sim.set_input("a", va);
+            sim.eval_comb();
+            assert_eq!(sim.output_unsigned("y"), va.max(0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "signed")]
+    fn relu_rejects_unsigned() {
+        let mut b = Builder::new("dut");
+        let a = Word::new(b.input_bus("a", 4), false);
+        let _ = relu(&mut b, &a);
+    }
+
+    #[test]
+    fn exact_widths_are_minimal() {
+        let mut b = Builder::new("dut");
+        let a = Word::new(b.input_bus("a", 4), false); // [0, 15]
+        let c = Word::new(b.input_bus("c", 4), false); // [0, 15]
+        let y = add_exact(&mut b, &a, &c); // [0, 30] -> 5 bits unsigned
+        assert_eq!(y.width(), 5);
+        assert!(!y.is_signed());
+        let s = Word::new(b.input_bus("s", 4), true); // [-8, 7]
+        let d = sub_exact(&mut b, &a, &s); // [-7, 23] -> 6 bits signed
+        assert_eq!(d.width(), 6);
+        assert!(d.is_signed());
+    }
+}

@@ -1,0 +1,122 @@
+//! Area accounting.
+
+use pe_cells::EgfetLibrary;
+use pe_netlist::{CellKind, Netlist};
+use std::collections::BTreeMap;
+
+/// Area report with per-group and per-kind breakdowns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaBreakdown {
+    /// Total printed area in cm².
+    pub total_cm2: f64,
+    /// Cell-instance count.
+    pub num_cells: usize,
+    /// `(group name, area cm²)` in group-declaration order.
+    pub by_group: Vec<(String, f64)>,
+    /// `(cell kind, instances, area cm²)` sorted by kind.
+    pub by_kind: Vec<(CellKind, usize, f64)>,
+}
+
+/// Sums cell areas over the library. 1 cm² = 100 mm².
+#[must_use]
+pub fn analyze_area(nl: &Netlist, lib: &EgfetLibrary) -> AreaBreakdown {
+    let mut total_mm2 = 0.0;
+    let mut group_mm2 = vec![0.0f64; nl.group_names().len()];
+    let mut kind_stats: BTreeMap<CellKind, (usize, f64)> = BTreeMap::new();
+    for (_, cell) in nl.cells() {
+        let a = lib.params(cell.kind()).area_mm2;
+        total_mm2 += a;
+        group_mm2[cell.group().index()] += a;
+        let e = kind_stats.entry(cell.kind()).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += a;
+    }
+    AreaBreakdown {
+        total_cm2: total_mm2 / 100.0,
+        num_cells: nl.num_cells(),
+        by_group: nl
+            .group_names()
+            .iter()
+            .zip(&group_mm2)
+            .map(|(n, &a)| (n.clone(), a / 100.0))
+            .collect(),
+        by_kind: kind_stats
+            .into_iter()
+            .map(|(k, (n, a))| (k, n, a / 100.0))
+            .collect(),
+    }
+}
+
+impl AreaBreakdown {
+    /// Area of one named group (0 if the group does not exist).
+    #[must_use]
+    pub fn group_cm2(&self, name: &str) -> f64 {
+        self.by_group
+            .iter()
+            .find(|(g, _)| g == name)
+            .map(|(_, a)| *a)
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_netlist::Builder;
+
+    #[test]
+    fn sums_match_library() {
+        let mut b = Builder::new("a");
+        let x = b.input("x");
+        let y = b.input("y");
+        b.group("engine");
+        let g1 = b.xor2(x, y);
+        b.group("voter");
+        let g2 = b.and2(x, y);
+        b.output("g1", g1);
+        b.output("g2", g2);
+        let nl = b.finish();
+        let lib = EgfetLibrary::standard();
+        let area = analyze_area(&nl, &lib);
+        let expect =
+            (lib.params(CellKind::Xor2).area_mm2 + lib.params(CellKind::And2).area_mm2) / 100.0;
+        assert!((area.total_cm2 - expect).abs() < 1e-12);
+        assert_eq!(area.num_cells, 2);
+        assert!((area.group_cm2("engine") - lib.params(CellKind::Xor2).area_mm2 / 100.0).abs()
+            < 1e-12);
+        assert!((area.group_cm2("voter") - lib.params(CellKind::And2).area_mm2 / 100.0).abs()
+            < 1e-12);
+        assert_eq!(area.group_cm2("nonexistent"), 0.0);
+        assert_eq!(area.by_kind.len(), 2);
+    }
+
+    #[test]
+    fn group_areas_sum_to_total() {
+        let mut b = Builder::new("a");
+        let xs = b.input_bus("x", 8);
+        b.group("g1");
+        let mut acc = xs[0];
+        for &x in &xs[1..4] {
+            acc = b.xor2(acc, x);
+        }
+        b.group("g2");
+        for &x in &xs[4..] {
+            acc = b.and2(acc, x);
+        }
+        b.output("o", acc);
+        let nl = b.finish();
+        let area = analyze_area(&nl, &EgfetLibrary::standard());
+        let group_sum: f64 = area.by_group.iter().map(|(_, a)| a).sum();
+        assert!((group_sum - area.total_cm2).abs() < 1e-12);
+        let kind_sum: f64 = area.by_kind.iter().map(|(_, _, a)| a).sum();
+        assert!((kind_sum - area.total_cm2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_design_zero_area() {
+        let nl = Builder::new("e").finish();
+        let area = analyze_area(&nl, &EgfetLibrary::standard());
+        assert_eq!(area.total_cm2, 0.0);
+        assert_eq!(area.num_cells, 0);
+    }
+}

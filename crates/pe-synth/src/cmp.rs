@@ -1,0 +1,235 @@
+//! Comparators and argmax blocks.
+//!
+//! The paper's voter is "essentially a sequential argmax — two registers and
+//! a single comparator" (§II); [`gt`] is that comparator. The fully-parallel
+//! baselines need a combinational argmax over all classifier scores at once
+//! ([`max_argmax`]), which is part of why their critical paths are so long.
+
+use crate::adder::sub_exact;
+use crate::mux::mux_word;
+use crate::range::Range;
+use pe_netlist::{Builder, NetId, Word};
+
+/// `a < b`, exact for any signedness combination (computed as the sign of
+/// the exact difference).
+pub fn lt(b: &mut Builder, x: &Word, y: &Word) -> NetId {
+    let diff = sub_exact(b, x, y);
+    if diff.is_signed() {
+        diff.msb()
+    } else {
+        // Difference can never be negative: x >= y always.
+        b.constant(false)
+    }
+}
+
+/// `a > b`.
+pub fn gt(b: &mut Builder, x: &Word, y: &Word) -> NetId {
+    lt(b, y, x)
+}
+
+/// `a >= b`.
+pub fn ge(b: &mut Builder, x: &Word, y: &Word) -> NetId {
+    let l = lt(b, x, y);
+    b.inv(l)
+}
+
+/// Bitwise equality after extension to a common format.
+pub fn eq(b: &mut Builder, x: &Word, y: &Word) -> NetId {
+    let ra = Range::of_word(x);
+    let rb = Range::of_word(y);
+    let w = (Range::new(ra.lo.min(rb.lo), ra.hi.max(rb.hi)).width() as usize)
+        .max(x.width())
+        .max(y.width());
+    let xe = x.extend_to(b, w);
+    let ye = y.extend_to(b, w);
+    let diffs: Vec<NetId> =
+        xe.bits().iter().zip(ye.bits()).map(|(&p, &q)| b.xor2(p, q)).collect();
+    let any = or_reduce(b, &diffs);
+    b.inv(any)
+}
+
+/// Equality against an integer constant (folds to AND/INV network).
+pub fn eq_const(b: &mut Builder, x: &Word, k: i64) -> NetId {
+    let kw = Word::constant(b, k, x.width() as u32, x.is_signed());
+    eq(b, x, &kw)
+}
+
+/// OR-reduction of a bit list (constant-0 for an empty list).
+pub fn or_reduce(b: &mut Builder, bits: &[NetId]) -> NetId {
+    match bits {
+        [] => b.constant(false),
+        [single] => *single,
+        _ => {
+            let mid = bits.len() / 2;
+            let l = or_reduce(b, &bits[..mid]);
+            let r = or_reduce(b, &bits[mid..]);
+            b.or2(l, r)
+        }
+    }
+}
+
+/// Combinational argmax over `scores`: returns `(best_score, best_index)`.
+/// Ties resolve to the lower index (a challenger must be strictly greater to
+/// win), matching the sequential voter's `A > B` semantics.
+///
+/// # Panics
+///
+/// Panics if `scores` is empty.
+pub fn max_argmax(b: &mut Builder, scores: &[Word]) -> (Word, Word) {
+    assert!(!scores.is_empty(), "argmax of zero scores");
+    let idx_w = (usize::BITS - (scores.len() - 1).leading_zeros()).max(1);
+    let mut level: Vec<(Word, Word)> = scores
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.clone(), Word::constant(b, i as i64, idx_w, false)))
+        .collect();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut i = 0;
+        while i < level.len() {
+            if i + 1 < level.len() {
+                let (ls, li) = level[i].clone();
+                let (rs, ri) = level[i + 1].clone();
+                // The right contender has the higher index: it must be
+                // strictly greater to displace the left one.
+                let challenger_wins = gt(b, &rs, &ls);
+                let s = mux_word(b, &ls, &rs, challenger_wins);
+                let ix = mux_word(b, &li, &ri, challenger_wins);
+                next.push((s, ix));
+                i += 2;
+            } else {
+                next.push(level[i].clone());
+                i += 1;
+            }
+        }
+        level = next;
+    }
+    level.pop().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_sim::Simulator;
+
+    fn check_cmp(
+        sa: bool,
+        sb: bool,
+        gen: impl Fn(&mut Builder, &Word, &Word) -> NetId,
+        reference: impl Fn(i64, i64) -> bool,
+    ) {
+        let mut b = Builder::new("cmp");
+        let x = Word::new(b.input_bus("x", 4), sa);
+        let y = Word::new(b.input_bus("y", 4), sb);
+        let r = gen(&mut b, &x, &y);
+        b.output("r", r);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let rx = if sa { -8i64..8 } else { 0i64..16 };
+        for vx in rx.clone() {
+            let ry = if sb { -8i64..8 } else { 0i64..16 };
+            for vy in ry {
+                sim.set_input("x", vx);
+                sim.set_input("y", vy);
+                sim.eval_comb();
+                assert_eq!(
+                    sim.output_unsigned("r") == 1,
+                    reference(vx, vy),
+                    "x={vx} y={vy}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lt_gt_ge_signed() {
+        check_cmp(true, true, lt, |a, b| a < b);
+        check_cmp(true, true, gt, |a, b| a > b);
+        check_cmp(true, true, ge, |a, b| a >= b);
+    }
+
+    #[test]
+    fn comparisons_mixed_signedness() {
+        check_cmp(false, true, lt, |a, b| a < b);
+        check_cmp(true, false, gt, |a, b| a > b);
+        check_cmp(false, false, ge, |a, b| a >= b);
+    }
+
+    #[test]
+    fn eq_matches() {
+        check_cmp(true, true, eq, |a, b| a == b);
+        check_cmp(false, true, eq, |a, b| a == b);
+    }
+
+    #[test]
+    fn eq_const_is_cheap_decode() {
+        let mut b = Builder::new("eqc");
+        let x = Word::new(b.input_bus("x", 3), false);
+        let r = eq_const(&mut b, &x, 5);
+        b.output("r", r);
+        let nl = b.finish();
+        // A 3-bit constant decode costs a handful of gates, not an adder.
+        assert!(nl.num_cells() <= 6, "decode used {} cells", nl.num_cells());
+        let mut sim = Simulator::new(&nl).unwrap();
+        for v in 0i64..8 {
+            sim.set_input("x", v);
+            sim.eval_comb();
+            assert_eq!(sim.output_unsigned("r") == 1, v == 5);
+        }
+    }
+
+    #[test]
+    fn or_reduce_handles_sizes() {
+        let mut b = Builder::new("or");
+        let bits = b.input_bus("x", 5);
+        let r = or_reduce(&mut b, &bits);
+        b.output("r", r);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+        for v in 0i64..32 {
+            sim.set_input("x", v);
+            sim.eval_comb();
+            assert_eq!(sim.output_unsigned("r") == 1, v != 0);
+        }
+    }
+
+    #[test]
+    fn argmax_finds_max_with_tie_to_lowest() {
+        let mut b = Builder::new("am");
+        let scores: Vec<Word> =
+            (0..5).map(|i| Word::new(b.input_bus(format!("s{i}"), 4), true)).collect();
+        let (best, idx) = max_argmax(&mut b, &scores);
+        b.output_bus("best", best.bits());
+        b.output_bus("idx", idx.bits());
+        let nl = b.finish();
+        nl.validate().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let cases: Vec<Vec<i64>> = vec![
+            vec![0, 0, 0, 0, 0],
+            vec![-8, -1, 3, 3, 2],
+            vec![7, -8, 7, 0, 1],
+            vec![-1, -2, -3, -4, -5],
+            vec![1, 2, 3, 4, 5],
+            vec![5, 4, 3, 2, 1],
+        ];
+        for case in cases {
+            for (i, &v) in case.iter().enumerate() {
+                sim.set_input(&format!("s{i}"), v);
+            }
+            sim.eval_comb();
+            let max = *case.iter().max().unwrap();
+            let want_idx = case.iter().position(|&v| v == max).unwrap() as i64;
+            assert_eq!(sim.output_signed("best"), max, "{case:?}");
+            assert_eq!(sim.output_unsigned("idx"), want_idx, "{case:?}");
+        }
+    }
+
+    #[test]
+    fn argmax_single_score() {
+        let mut b = Builder::new("am1");
+        let s = Word::new(b.input_bus("s", 4), true);
+        let (best, idx) = max_argmax(&mut b, &[s.clone()]);
+        assert_eq!(best, s);
+        assert_eq!(idx.width(), 1);
+    }
+}

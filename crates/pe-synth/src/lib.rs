@@ -1,0 +1,50 @@
+//! Datapath generators and a miniature synthesis/analysis flow for printed
+//! bespoke circuits.
+//!
+//! This crate stands in for Synopsys Design Compiler and PrimeTime in the
+//! paper's methodology:
+//!
+//! * **Generators** ([`adder`], [`mult`], [`tree`], [`mux`], [`cmp`], [`seq`])
+//!   elaborate arithmetic RTL directly into optimized gate-level netlists.
+//!   Every generator produces *exact* integer arithmetic — output widths are
+//!   derived from value ranges, so no silent overflow exists anywhere in a
+//!   generated datapath. Bespoke tricks used by the printed-classifier papers
+//!   are first-class: constant-coefficient multipliers are CSD shift-add
+//!   networks, and MUX-ROM tables collapse through the builder's constant
+//!   folding.
+//! * **Analyses** ([`sta`], [`area`], [`power`]) compute clock frequency
+//!   (static timing with a wire-load model), printed area, and power
+//!   (simulation-measured switching activity + depth-dependent glitch model,
+//!   over the [`pe_cells::EgfetLibrary`]).
+//!
+//! # Example: a bespoke constant multiplier
+//!
+//! ```
+//! use pe_netlist::{Builder, Word};
+//! use pe_synth::mult;
+//!
+//! let mut b = Builder::new("x23");
+//! let x = Word::new(b.input_bus("x", 4), false);
+//! let p = mult::mul_const(&mut b, &x, 23); // 23 = 16 + 8 - 1 in CSD
+//! b.output_bus("p", p.bits());
+//! let nl = b.finish();
+//! assert!(nl.num_cells() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adder;
+pub mod area;
+pub mod cmp;
+pub mod mult;
+pub mod mux;
+pub mod power;
+pub mod range;
+pub mod seq;
+pub mod sta;
+pub mod tree;
+
+pub use area::{analyze_area, AreaBreakdown};
+pub use power::{analyze_power, PowerBreakdown};
+pub use sta::{analyze_timing, TimingReport};

@@ -1,0 +1,239 @@
+//! Multipliers: generic array multipliers and bespoke constant-coefficient
+//! (CSD shift-add) multipliers.
+//!
+//! The distinction between these two is the crux of the paper:
+//!
+//! * Fully-parallel bespoke classifiers (baselines \[2\], \[3\]) hardwire
+//!   every trained coefficient, so each product needs only a
+//!   [`mul_const`] — a few shift-adds, very cheap per instance, but one
+//!   instance per coefficient.
+//! * The paper's sequential SVM fetches a *different* coefficient each cycle
+//!   from MUX storage, so its folded compute engine must instantiate
+//!   [`mul_generic`] — costlier per instance, but only `m` instances total
+//!   instead of `m · #classifiers`.
+
+use crate::adder::{add_exact, negate, ripple_add_bits, sub_exact};
+use crate::range::Range;
+use pe_fixed::bits as fxbits;
+use pe_netlist::{Builder, NetId, Word};
+
+/// Exact generic multiplier `x * y` (array of AND partial products reduced by
+/// ripple adders). Both operands may be signed or unsigned; the result range
+/// and signedness are exact.
+pub fn mul_generic(b: &mut Builder, x: &Word, y: &Word) -> Word {
+    let rng = Range::of_word(x).mul(&Range::of_word(y));
+    let w = rng.width() as usize;
+    // Accumulate into `w` bits; every intermediate value fits because the
+    // final range does and partial sums of a shift-add never exceed the
+    // extremes of the full product for these operand ranges... except they
+    // can transiently (e.g. positive partial sums before subtracting the
+    // signed MSB row). Accumulate with one guard bit and truncate: values
+    // are computed mod 2^(w+1) and the final result fits w bits, so
+    // truncation of the exact two's-complement accumulator is correct.
+    let acc_w = w + 1;
+    let ye = y.extend_to(b, acc_w);
+    let zero = b.constant(false);
+    let mut acc: Vec<NetId> = vec![zero; acc_w];
+    for i in 0..x.width() {
+        let xi = x.bit(i);
+        // Partial product: (y << i) gated by x_i, at accumulator width.
+        let mut pp: Vec<NetId> = Vec::with_capacity(acc_w);
+        for j in 0..acc_w {
+            if j < i {
+                pp.push(zero);
+            } else {
+                let yb = ye.bits()[j - i];
+                pp.push(b.and2(xi, yb));
+            }
+        }
+        let top_signed_row = x.is_signed() && i == x.width() - 1;
+        if top_signed_row {
+            // The MSB of a signed multiplicand has weight -2^i: subtract.
+            let inv_pp: Vec<NetId> = pp.iter().map(|&n| b.inv(n)).collect();
+            let one = b.constant(true);
+            acc = ripple_add_bits(b, &acc, &inv_pp, one);
+        } else {
+            acc = ripple_add_bits(b, &acc, &pp, zero);
+        }
+    }
+    acc.truncate(w);
+    Word::new(acc, rng.is_signed())
+}
+
+/// Exact bespoke constant-coefficient multiplier `x * c` as a canonical
+/// signed digit (CSD) shift-add network. `c == 0` yields a 1-bit constant
+/// zero.
+pub fn mul_const(b: &mut Builder, x: &Word, c: i64) -> Word {
+    let rng = Range::of_word(x).mul_const(c);
+    if c == 0 {
+        return Word::new(vec![b.constant(false)], false);
+    }
+    let terms = fxbits::csd(c);
+    let mut acc: Option<Word> = None;
+    for (shift, positive) in terms {
+        let term = x.shl(b, shift as usize);
+        acc = Some(match acc {
+            None => {
+                if positive {
+                    term
+                } else {
+                    negate(b, &term)
+                }
+            }
+            Some(a) => {
+                if positive {
+                    add_exact(b, &a, &term)
+                } else {
+                    sub_exact(b, &a, &term)
+                }
+            }
+        });
+    }
+    let acc = acc.expect("c != 0 has at least one CSD term");
+    // The CSD chain may be a bit wider than the exact range requires
+    // (intermediate terms overshoot); truncate to the minimal width.
+    let w = rng.width() as usize;
+    debug_assert!(acc.width() >= w);
+    acc.truncate(w).with_signedness(rng.is_signed())
+}
+
+/// Gate-cost heuristic of a bespoke constant multiplier: number of CSD
+/// add/subtract terms. Used by approximation passes (baseline \[3\]) to pick
+/// which coefficients to prune.
+#[must_use]
+pub fn const_mult_cost(c: i64) -> usize {
+    fxbits::csd_cost(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_sim::Simulator;
+
+    fn check_generic(wx: usize, sx: bool, wy: usize, sy: bool) {
+        let mut b = Builder::new("mul");
+        let x = Word::new(b.input_bus("x", wx), sx);
+        let y = Word::new(b.input_bus("y", wy), sy);
+        let p = mul_generic(&mut b, &x, &y);
+        let signed_out = p.is_signed();
+        b.output_bus("p", p.bits());
+        let nl = b.finish();
+        nl.validate().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let rx = if sx { -(1i64 << (wx - 1))..(1i64 << (wx - 1)) } else { 0..(1i64 << wx) };
+        for vx in rx.clone() {
+            let ry = if sy { -(1i64 << (wy - 1))..(1i64 << (wy - 1)) } else { 0..(1i64 << wy) };
+            for vy in ry {
+                sim.set_input("x", vx);
+                sim.set_input("y", vy);
+                sim.eval_comb();
+                let got =
+                    if signed_out { sim.output_signed("p") } else { sim.output_unsigned("p") };
+                assert_eq!(got, vx * vy, "x={vx} y={vy}");
+            }
+        }
+    }
+
+    #[test]
+    fn generic_unsigned_x_signed() {
+        // The paper's compute-engine configuration: unsigned activations
+        // times signed weights.
+        check_generic(4, false, 5, true);
+    }
+
+    #[test]
+    fn generic_unsigned_unsigned() {
+        check_generic(4, false, 4, false);
+    }
+
+    #[test]
+    fn generic_signed_signed() {
+        check_generic(4, true, 4, true);
+    }
+
+    #[test]
+    fn generic_signed_x_unsigned() {
+        check_generic(4, true, 3, false);
+    }
+
+    #[test]
+    fn generic_degenerate_widths() {
+        check_generic(1, false, 4, true);
+        check_generic(4, true, 1, false);
+    }
+
+    fn check_const(wx: usize, sx: bool, c: i64) {
+        let mut b = Builder::new("mulc");
+        let x = Word::new(b.input_bus("x", wx), sx);
+        let p = mul_const(&mut b, &x, c);
+        let signed_out = p.is_signed();
+        b.output_bus("p", p.bits());
+        let nl = b.finish();
+        nl.validate().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let rx = if sx { -(1i64 << (wx - 1))..(1i64 << (wx - 1)) } else { 0..(1i64 << wx) };
+        for vx in rx {
+            sim.set_input("x", vx);
+            sim.eval_comb();
+            let got = if signed_out { sim.output_signed("p") } else { sim.output_unsigned("p") };
+            assert_eq!(got, vx * c, "x={vx} c={c}");
+        }
+    }
+
+    #[test]
+    fn const_zero_one_minus_one() {
+        check_const(4, false, 0);
+        check_const(4, false, 1);
+        check_const(4, false, -1);
+        check_const(4, true, 0);
+        check_const(4, true, -1);
+    }
+
+    #[test]
+    fn const_powers_of_two_cost_nothing() {
+        let mut b = Builder::new("mulc");
+        let x = Word::new(b.input_bus("x", 4), false);
+        let p = mul_const(&mut b, &x, 8);
+        b.output_bus("p", p.bits());
+        assert_eq!(b.finish().num_cells(), 0, "x*8 is wiring only");
+        check_const(4, false, 8);
+        check_const(4, true, -16);
+    }
+
+    #[test]
+    fn const_general_coefficients() {
+        for c in [3i64, 7, -7, 23, -23, 45, 100, -127] {
+            check_const(4, false, c);
+            check_const(3, true, c);
+        }
+    }
+
+    #[test]
+    fn const_mult_cheaper_than_generic() {
+        // The bespoke premise: a hardwired coefficient costs far fewer gates
+        // than a generic multiplier of the same width.
+        let mut b1 = Builder::new("c");
+        let x1 = Word::new(b1.input_bus("x", 8), false);
+        let _ = mul_const(&mut b1, &x1, 93);
+        let const_cells = b1.finish().num_cells();
+
+        let mut b2 = Builder::new("g");
+        let x2 = Word::new(b2.input_bus("x", 8), false);
+        let y2 = Word::new(b2.input_bus("y", 8), true);
+        let _ = mul_generic(&mut b2, &x2, &y2);
+        let generic_cells = b2.finish().num_cells();
+
+        assert!(
+            const_cells * 2 < generic_cells,
+            "const mult ({const_cells}) should be well under half of generic ({generic_cells})"
+        );
+    }
+
+    #[test]
+    fn cost_heuristic_matches_csd() {
+        assert_eq!(const_mult_cost(0), 0);
+        assert_eq!(const_mult_cost(8), 1);
+        assert_eq!(const_mult_cost(7), 2);
+        assert_eq!(const_mult_cost(45), 4); // 45 = 32+16-4+1 -> digits at 0,2,4,6? verify: 45=101101b, CSD has 4 terms
+    }
+}

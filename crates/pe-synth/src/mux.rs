@@ -1,0 +1,207 @@
+//! Word-level multiplexing and bespoke MUX-ROM storage.
+//!
+//! [`rom_mux`] is the paper's storage component: a coefficient table whose
+//! entries are *hardwired* into the data inputs of a MUX tree addressed by
+//! the control counter. Because every data input is a constant, the builder's
+//! folding collapses each output bit into a small function of the select
+//! lines — exactly the "bespoke MUX-based storage" §II describes as cheaper
+//! than a crossbar ROM (which would need ADCs).
+
+use crate::range::Range;
+use pe_netlist::{Builder, Word};
+
+/// Word-level 2:1 mux `sel ? b1 : a`. Operands are extended to a common
+/// format first.
+pub fn mux_word(b: &mut Builder, a: &Word, b1: &Word, sel: pe_netlist::NetId) -> Word {
+    let ra = Range::of_word(a);
+    let rb = Range::of_word(b1);
+    let signed = ra.is_signed() || rb.is_signed();
+    let w = {
+        // Common width: widen so both ranges fit under the common signedness.
+        let lo = ra.lo.min(rb.lo);
+        let hi = ra.hi.max(rb.hi);
+        (Range::new(lo, hi).width() as usize).max(a.width()).max(b1.width())
+    };
+    let ae = a.extend_to(b, w);
+    let be = b1.extend_to(b, w);
+    let bits = ae
+        .bits()
+        .iter()
+        .zip(be.bits())
+        .map(|(&x, &y)| b.mux2(x, y, sel))
+        .collect();
+    Word::new(bits, signed)
+}
+
+/// Selects among any number of words with a binary select bus
+/// (`sel = 0` picks `words[0]`). Entries beyond the table repeat the last
+/// entry (those select codes are unreachable when the caller drives `sel`
+/// from a modulo counter).
+///
+/// # Panics
+///
+/// Panics if `words` is empty or `sel` is too narrow to address it.
+pub fn select_word(b: &mut Builder, sel: &Word, words: &[Word]) -> Word {
+    assert!(!words.is_empty(), "empty selection table");
+    let need = usize::BITS - (words.len() - 1).leading_zeros();
+    assert!(
+        words.len() == 1 || sel.width() >= need as usize,
+        "select bus of {} bits cannot address {} entries",
+        sel.width(),
+        words.len()
+    );
+    let mut level: Vec<Word> = words.to_vec();
+    let mut bit = 0;
+    while level.len() > 1 {
+        let s = sel.bit(bit);
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut i = 0;
+        while i < level.len() {
+            if i + 1 < level.len() {
+                let m = mux_word(b, &level[i], &level[i + 1], s);
+                next.push(m);
+                i += 2;
+            } else {
+                // Odd tail: selecting the high half beyond the table keeps
+                // the last entry.
+                next.push(level[i].clone());
+                i += 1;
+            }
+        }
+        level = next;
+        bit += 1;
+    }
+    level.pop().expect("non-empty level")
+}
+
+/// Bespoke MUX-ROM: a table of integer constants addressed by `sel`.
+/// The entry width/signedness covers every table value exactly.
+///
+/// # Panics
+///
+/// Panics if `table` is empty or `sel` cannot address it.
+pub fn rom_mux(b: &mut Builder, sel: &Word, table: &[i64]) -> Word {
+    assert!(!table.is_empty(), "empty ROM table");
+    let lo = *table.iter().min().expect("non-empty");
+    let hi = *table.iter().max().expect("non-empty");
+    let rng = Range::new(lo, hi);
+    let w = rng.width();
+    let words: Vec<Word> =
+        table.iter().map(|&v| Word::constant(b, v, w, rng.is_signed())).collect();
+    select_word(b, sel, &words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_sim::Simulator;
+
+    #[test]
+    fn mux_word_selects_and_extends() {
+        let mut b = Builder::new("m");
+        let a = Word::new(b.input_bus("a", 3), false); // [0,7]
+        let c = Word::new(b.input_bus("c", 3), true); // [-4,3]
+        let s = b.input("s");
+        let y = mux_word(&mut b, &a, &c, s);
+        assert!(y.is_signed());
+        assert_eq!(y.width(), 4); // [-4, 7]
+        b.output_bus("y", y.bits());
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+        for va in 0i64..8 {
+            for vc in -4i64..4 {
+                for vs in 0i64..2 {
+                    sim.set_input("a", va);
+                    sim.set_input("c", vc);
+                    sim.set_input("s", vs);
+                    sim.eval_comb();
+                    let want = if vs == 1 { vc } else { va };
+                    assert_eq!(sim.output_signed("y"), want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rom_returns_table_entries() {
+        let table = [5i64, -3, 0, 7, -8, 2, 2, 1, -1, 4];
+        let mut b = Builder::new("rom");
+        let sel = Word::new(b.input_bus("sel", 4), false);
+        let y = rom_mux(&mut b, &sel, &table);
+        assert!(y.is_signed());
+        b.output_bus("y", y.bits());
+        let nl = b.finish();
+        nl.validate().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        for (i, &want) in table.iter().enumerate() {
+            sim.set_input("sel", i as i64);
+            sim.eval_comb();
+            assert_eq!(sim.output_signed("y"), want, "entry {i}");
+        }
+    }
+
+    #[test]
+    fn rom_of_identical_entries_is_free() {
+        let mut b = Builder::new("rom");
+        let sel = Word::new(b.input_bus("sel", 2), false);
+        let y = rom_mux(&mut b, &sel, &[6, 6, 6, 6]);
+        b.output_bus("y", y.bits());
+        assert_eq!(b.finish().num_cells(), 0, "constant table needs no gates");
+        let _ = y;
+    }
+
+    #[test]
+    fn rom_bit_sharing_keeps_it_small() {
+        // 8 entries of 6 bits: at most ~6 gates per bit after folding; the
+        // bespoke structure must be far below a naive 7-mux-per-bit tree.
+        let table = [17i64, -9, 23, 4, -30, 8, 15, -2];
+        let mut b = Builder::new("rom");
+        let sel = Word::new(b.input_bus("sel", 3), false);
+        let y = rom_mux(&mut b, &sel, &table);
+        b.output_bus("y", y.bits());
+        let cells = b.finish().num_cells();
+        let naive = 7 * y.width();
+        assert!(cells < naive, "bespoke ROM {cells} cells vs naive {naive}");
+    }
+
+    #[test]
+    fn unsigned_table_yields_unsigned_word() {
+        let mut b = Builder::new("rom");
+        let sel = Word::new(b.input_bus("sel", 2), false);
+        let y = rom_mux(&mut b, &sel, &[1, 2, 3, 4]);
+        assert!(!y.is_signed());
+        assert_eq!(y.width(), 3);
+    }
+
+    #[test]
+    fn non_power_of_two_table() {
+        let table = [9i64, -1, 3];
+        let mut b = Builder::new("rom");
+        let sel = Word::new(b.input_bus("sel", 2), false);
+        let y = rom_mux(&mut b, &sel, &table);
+        b.output_bus("y", y.bits());
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+        for (i, &want) in table.iter().enumerate() {
+            sim.set_input("sel", i as i64);
+            sim.eval_comb();
+            assert_eq!(sim.output_signed("y"), want);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot address")]
+    fn narrow_select_panics() {
+        let mut b = Builder::new("rom");
+        let sel = Word::new(b.input_bus("sel", 1), false);
+        let _ = rom_mux(&mut b, &sel, &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty ROM")]
+    fn empty_table_panics() {
+        let mut b = Builder::new("rom");
+        let sel = Word::new(b.input_bus("sel", 1), false);
+        let _ = rom_mux(&mut b, &sel, &[]);
+    }
+}

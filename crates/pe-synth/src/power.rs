@@ -1,0 +1,269 @@
+//! Power analysis: static + activity-based dynamic power with a
+//! depth-dependent glitch model.
+//!
+//! `P = Σ_cells P_static(cell)
+//!    + Σ_cells E_sw(cell) · wire(cell) · glitch(cell) · α(out) · f_clk`
+//!
+//! where `α(out)` is the simulation-measured toggle rate of the cell's output
+//! net (toggles per clock cycle, from [`pe_sim::ActivityReport`]), `wire`
+//! charges extra switched capacitance per fanout pin, and `glitch` amplifies
+//! functional toggles by combinational depth — deep unregistered arithmetic
+//! (the fully-parallel baselines) produces spurious transitions that a
+//! zero-delay functional simulation cannot see, and this factor restores
+//! them. Registers do not glitch (`depth = 0` at their outputs).
+
+use pe_cells::{EgfetLibrary, TechParams};
+use pe_netlist::{Netlist, NetlistError};
+use pe_sim::ActivityReport;
+
+/// Power report with per-group breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerBreakdown {
+    /// Static (resistive-load) power, mW.
+    pub static_mw: f64,
+    /// Activity-dependent dynamic power, mW.
+    pub dynamic_mw: f64,
+    /// Total power, mW.
+    pub total_mw: f64,
+    /// `(group name, total mW)` in group-declaration order.
+    pub by_group: Vec<(String, f64)>,
+}
+
+impl PowerBreakdown {
+    /// Power of one named group (0 if the group does not exist).
+    #[must_use]
+    pub fn group_mw(&self, name: &str) -> f64 {
+        self.by_group
+            .iter()
+            .find(|(g, _)| g == name)
+            .map(|(_, p)| *p)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Runs power analysis at clock frequency `freq_hz` with the given measured
+/// activity.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] for cyclic designs (depths
+/// are needed for the glitch model).
+///
+/// # Panics
+///
+/// Panics if the activity report does not cover the netlist's nets.
+pub fn analyze_power(
+    nl: &Netlist,
+    lib: &EgfetLibrary,
+    tech: &TechParams,
+    activity: &ActivityReport,
+    freq_hz: f64,
+) -> Result<PowerBreakdown, NetlistError> {
+    assert!(
+        activity.num_nets() >= nl.num_nets(),
+        "activity report covers {} nets, netlist has {}",
+        activity.num_nets(),
+        nl.num_nets()
+    );
+    let depth = pe_netlist::graph::levelize(nl)?;
+    let fanout = pe_netlist::graph::fanout_counts(nl);
+    let mut static_uw = 0.0f64;
+    let mut dynamic_nw = 0.0f64;
+    let mut group_uw = vec![0.0f64; nl.group_names().len()];
+    for (id, cell) in nl.cells() {
+        let p = lib.params(cell.kind());
+        static_uw += p.static_power_uw;
+        let alpha = activity.factor(cell.output());
+        let extra_fanout = fanout[cell.output().index()].saturating_sub(1) as f64;
+        let wire = 1.0 + tech.wire_energy_factor_per_fanout * extra_fanout;
+        let glitch = if cell.kind().is_sequential() {
+            1.0
+        } else {
+            1.0 + tech.glitch_per_level * f64::from(depth[id.index()])
+        };
+        let dyn_cell_nw = p.switch_energy_nj * wire * glitch * alpha * freq_hz;
+        dynamic_nw += dyn_cell_nw;
+        group_uw[cell.group().index()] += p.static_power_uw + dyn_cell_nw / 1000.0;
+    }
+    let static_mw = static_uw / 1000.0;
+    let dynamic_mw = dynamic_nw / 1e6;
+    Ok(PowerBreakdown {
+        static_mw,
+        dynamic_mw,
+        total_mw: static_mw + dynamic_mw,
+        by_group: nl
+            .group_names()
+            .iter()
+            .zip(&group_uw)
+            .map(|(n, &p)| (n.clone(), p / 1000.0))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_netlist::Builder;
+    use pe_sim::Simulator;
+
+    fn xor_chain(len: usize) -> Netlist {
+        let mut b = Builder::new("chain");
+        let x = b.input("x");
+        let y = b.input("y");
+        let mut n = x;
+        for i in 0..len {
+            n = b.xor2(n, if i % 2 == 0 { y } else { x });
+            n = b.inv(n);
+        }
+        b.output("o", n);
+        b.finish()
+    }
+
+    fn measure(nl: &Netlist, vectors: &[(i64, i64)]) -> ActivityReport {
+        let mut sim = Simulator::new(nl).unwrap();
+        sim.enable_activity();
+        for &(a, b) in vectors {
+            sim.set_input("x", a);
+            sim.set_input("y", b);
+            sim.sample_comb();
+        }
+        sim.activity()
+    }
+
+    #[test]
+    fn static_power_scales_with_cells() {
+        let small = xor_chain(3);
+        let big = xor_chain(12);
+        let lib = EgfetLibrary::standard();
+        let tech = TechParams::standard();
+        let quiet = |nl: &Netlist| ActivityReport::uniform(nl.num_nets(), 100, 0.0);
+        let ps = analyze_power(&small, &lib, &tech, &quiet(&small), 10.0).unwrap();
+        let pb = analyze_power(&big, &lib, &tech, &quiet(&big), 10.0).unwrap();
+        assert_eq!(ps.dynamic_mw, 0.0);
+        assert!(pb.static_mw > ps.static_mw * 3.0);
+        assert_eq!(ps.total_mw, ps.static_mw);
+    }
+
+    #[test]
+    fn dynamic_power_scales_with_frequency_and_activity() {
+        let nl = xor_chain(6);
+        let lib = EgfetLibrary::standard();
+        let tech = TechParams::standard();
+        // Toggling input every cycle produces activity on every net.
+        let act = measure(&nl, &[(0, 0), (1, 0), (0, 0), (1, 0), (0, 1), (1, 1)]);
+        let p10 = analyze_power(&nl, &lib, &tech, &act, 10.0).unwrap();
+        let p40 = analyze_power(&nl, &lib, &tech, &act, 40.0).unwrap();
+        assert!(p10.dynamic_mw > 0.0);
+        assert!((p40.dynamic_mw / p10.dynamic_mw - 4.0).abs() < 1e-9);
+        assert_eq!(p10.static_mw, p40.static_mw);
+    }
+
+    #[test]
+    fn idle_inputs_mean_no_dynamic_power() {
+        let nl = xor_chain(6);
+        let act = measure(&nl, &[(1, 1), (1, 1), (1, 1), (1, 1)]);
+        let p = analyze_power(
+            &nl,
+            &EgfetLibrary::standard(),
+            &TechParams::standard(),
+            &act,
+            25.0,
+        )
+        .unwrap();
+        // First sample may toggle from the reset state; afterwards nothing
+        // switches, so dynamic power is a small fraction of static.
+        assert!(p.dynamic_mw < p.static_mw);
+    }
+
+    #[test]
+    fn glitch_model_penalizes_depth() {
+        // Same cell count, different depth: a chain vs a balanced tree.
+        let chain = {
+            let mut b = Builder::new("chain");
+            let xs = b.input_bus("x", 8);
+            let mut n = xs[0];
+            for &x in &xs[1..] {
+                n = b.xor2(n, x);
+            }
+            b.output("o", n);
+            b.finish()
+        };
+        let tree = {
+            let mut b = Builder::new("tree");
+            let xs = b.input_bus("x", 8);
+            let mut level = xs;
+            while level.len() > 1 {
+                let mut next = Vec::new();
+                for pair in level.chunks(2) {
+                    next.push(if pair.len() == 2 { b.xor2(pair[0], pair[1]) } else { pair[0] });
+                }
+                level = next;
+            }
+            b.output("o", level[0]);
+            b.finish()
+        };
+        assert_eq!(chain.num_cells(), tree.num_cells());
+        let lib = EgfetLibrary::standard();
+        let tech = TechParams::standard();
+        // Equal uniform activity isolates the glitch factor.
+        let act_c = ActivityReport::uniform(chain.num_nets(), 10, 0.5);
+        let act_t = ActivityReport::uniform(tree.num_nets(), 10, 0.5);
+        let pc = analyze_power(&chain, &lib, &tech, &act_c, 20.0).unwrap();
+        let pt = analyze_power(&tree, &lib, &tech, &act_t, 20.0).unwrap();
+        assert!(
+            pc.dynamic_mw > pt.dynamic_mw,
+            "deep chain must burn more glitch power than balanced tree"
+        );
+    }
+
+    #[test]
+    fn group_breakdown_sums_to_total() {
+        let mut b = Builder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        b.group("a");
+        let g1 = b.xor2(x, y);
+        b.group("b");
+        let g2 = b.and2(g1, x);
+        b.output("o", g2);
+        let nl = b.finish();
+        let act = ActivityReport::uniform(nl.num_nets(), 10, 0.3);
+        let p = analyze_power(
+            &nl,
+            &EgfetLibrary::standard(),
+            &TechParams::standard(),
+            &act,
+            30.0,
+        )
+        .unwrap();
+        let sum: f64 = p.by_group.iter().map(|(_, v)| v).sum();
+        assert!((sum - p.total_mw).abs() < 1e-9);
+        assert!(p.group_mw("a") > 0.0);
+        assert!(p.group_mw("b") > 0.0);
+        assert_eq!(p.group_mw("zzz"), 0.0);
+    }
+
+    #[test]
+    fn registers_do_not_glitch() {
+        let mut b = Builder::new("r");
+        let d = b.input("d");
+        // Bury a register deep in logic; its glitch factor must stay 1.
+        let mut n = d;
+        for _ in 0..5 {
+            let nn = b.xor2(n, d);
+            n = b.inv(nn);
+        }
+        let q = b.dff(n, false);
+        b.output("q", q);
+        let nl = b.finish();
+        let lib = EgfetLibrary::standard();
+        let tech = TechParams::standard().with_glitch(10.0); // exaggerate
+        let act = ActivityReport::uniform(nl.num_nets(), 10, 0.5);
+        let p = analyze_power(&nl, &lib, &tech, &act, 10.0).unwrap();
+        // With glitch=10 and depth ~10, comb dynamic dominates; just verify
+        // the run completes and is finite — the register contributed only
+        // its un-amplified share.
+        assert!(p.total_mw.is_finite());
+        assert!(p.dynamic_mw > 0.0);
+    }
+}

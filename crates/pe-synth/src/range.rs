@@ -1,0 +1,142 @@
+//! Value-range bookkeeping for exact datapath sizing.
+//!
+//! Every generator in this crate sizes its output so the exact result always
+//! fits. The rules live here: a [`Word`]'s representable range follows from
+//! its width and signedness, and the range of a result dictates the minimal
+//! output format.
+
+use pe_fixed::bits;
+use pe_netlist::Word;
+
+/// Inclusive value range `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Range {
+    /// Smallest representable/possible value.
+    pub lo: i64,
+    /// Largest representable/possible value.
+    pub hi: i64,
+}
+
+impl Range {
+    /// Creates a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn new(lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "invalid range [{lo}, {hi}]");
+        Range { lo, hi }
+    }
+
+    /// The representable range of a word given its width and signedness.
+    #[must_use]
+    pub fn of_word(w: &Word) -> Self {
+        let width = w.width() as u32;
+        if w.is_signed() {
+            Range::new(bits::min_signed(width), bits::max_signed(width))
+        } else {
+            Range::new(0, bits::max_unsigned(width))
+        }
+    }
+
+    /// Range of the sum of values from `self` and `other`.
+    #[must_use]
+    pub fn add(&self, other: &Range) -> Range {
+        Range::new(self.lo + other.lo, self.hi + other.hi)
+    }
+
+    /// Range of the difference `self - other`.
+    #[must_use]
+    pub fn sub(&self, other: &Range) -> Range {
+        Range::new(self.lo - other.hi, self.hi - other.lo)
+    }
+
+    /// Range of the product of values from `self` and `other`.
+    #[must_use]
+    pub fn mul(&self, other: &Range) -> Range {
+        let cands = [
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        ];
+        Range::new(
+            *cands.iter().min().expect("non-empty"),
+            *cands.iter().max().expect("non-empty"),
+        )
+    }
+
+    /// Range scaled by an integer constant.
+    #[must_use]
+    pub fn mul_const(&self, c: i64) -> Range {
+        let a = self.lo * c;
+        let b = self.hi * c;
+        Range::new(a.min(b), a.max(b))
+    }
+
+    /// Whether any value in the range is negative (the result must then be a
+    /// signed word).
+    #[must_use]
+    pub fn is_signed(&self) -> bool {
+        self.lo < 0
+    }
+
+    /// Minimal word width holding every value of the range, under the
+    /// signedness implied by [`Range::is_signed`].
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        if self.is_signed() {
+            bits::signed_width(self.lo).max(bits::signed_width(self.hi))
+        } else {
+            bits::unsigned_width(self.hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_netlist::Builder;
+
+    #[test]
+    fn word_ranges() {
+        let mut b = Builder::new("t");
+        let u = Word::new(b.input_bus("u", 4), false);
+        let s = Word::new(b.input_bus("s", 4), true);
+        assert_eq!(Range::of_word(&u), Range::new(0, 15));
+        assert_eq!(Range::of_word(&s), Range::new(-8, 7));
+    }
+
+    #[test]
+    fn arithmetic_ranges() {
+        let a = Range::new(0, 15);
+        let b = Range::new(-8, 7);
+        assert_eq!(a.add(&b), Range::new(-8, 22));
+        assert_eq!(a.sub(&b), Range::new(-7, 23));
+        assert_eq!(a.mul(&b), Range::new(-120, 105));
+        assert_eq!(b.mul_const(-3), Range::new(-21, 24));
+    }
+
+    #[test]
+    fn widths_are_minimal() {
+        assert_eq!(Range::new(0, 15).width(), 4);
+        assert_eq!(Range::new(0, 16).width(), 5);
+        assert_eq!(Range::new(-8, 7).width(), 4);
+        assert_eq!(Range::new(-9, 7).width(), 5);
+        assert_eq!(Range::new(-8, 22).width(), 6);
+        assert_eq!(Range::new(0, 0).width(), 1);
+    }
+
+    #[test]
+    fn signedness_from_lo() {
+        assert!(Range::new(-1, 5).is_signed());
+        assert!(!Range::new(0, 5).is_signed());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn inverted_range_panics() {
+        let _ = Range::new(3, 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! Sequential building blocks: word registers and modulo counters.
+//!
+//! These implement the paper's control and voter state: the ⌈log2(n)⌉-bit
+//! control counter that sequences support vectors, and the score/index
+//! registers of the sequential argmax voter.
+
+use crate::adder::add_const;
+use crate::cmp::eq_const;
+use pe_netlist::{Builder, NetId, Word};
+
+/// A word-wide register created before its data is known (so feedback
+/// structures can be described). Connect exactly once with
+/// [`WordReg::connect`].
+#[derive(Debug)]
+pub struct WordReg {
+    q: Word,
+    handles: Vec<pe_netlist::build::DeferredDff>,
+}
+
+impl WordReg {
+    /// Creates a `width`-bit register with optional clock enable and a
+    /// power-on value `init` (encoded in two's complement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init` does not fit the register format.
+    #[must_use]
+    pub fn new(
+        b: &mut Builder,
+        width: usize,
+        signed: bool,
+        enable: Option<NetId>,
+        init: i64,
+    ) -> Self {
+        assert!(width >= 1, "register needs at least one bit");
+        if signed {
+            assert!(
+                init >= -(1i64 << (width - 1)) && init < (1i64 << (width - 1)),
+                "init {init} does not fit signed {width} bits"
+            );
+        } else {
+            assert!(
+                init >= 0 && (width >= 63 || init < (1i64 << width)),
+                "init {init} does not fit unsigned {width} bits"
+            );
+        }
+        let mut bits = Vec::with_capacity(width);
+        let mut handles = Vec::with_capacity(width);
+        for i in 0..width {
+            let bit_init = (init >> i) & 1 == 1;
+            let (q, h) = match enable {
+                Some(en) => b.dffe_deferred(en, bit_init),
+                None => b.dff_deferred(bit_init),
+            };
+            bits.push(q);
+            handles.push(h);
+        }
+        WordReg { q: Word::new(bits, signed), handles }
+    }
+
+    /// The register's output word.
+    #[must_use]
+    pub fn q(&self) -> &Word {
+        &self.q
+    }
+
+    /// Connects the register's next-state data. `d` is extended to the
+    /// register width if narrower.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is wider than the register.
+    pub fn connect(self, b: &mut Builder, d: &Word) {
+        assert!(
+            d.width() <= self.q.width(),
+            "data of {} bits does not fit a {}-bit register",
+            d.width(),
+            self.q.width()
+        );
+        let de = d.extend_to(b, self.q.width());
+        for (h, &bit) in self.handles.into_iter().zip(de.bits()) {
+            b.connect_dff(h, bit);
+        }
+    }
+}
+
+/// Output bundle of [`counter_mod`].
+#[derive(Debug, Clone)]
+pub struct Counter {
+    /// The current count (unsigned, `⌈log2(modulus)⌉` bits).
+    pub count: Word,
+    /// High during the last count of the sequence (`count == modulus - 1`);
+    /// the paper's "terminate the multi-cycle process" signal.
+    pub last: NetId,
+}
+
+/// A modulo-`modulus` up-counter starting at 0: `0, 1, …, modulus-1, 0, …`.
+/// When `enable` is given, the counter only advances on enabled cycles.
+///
+/// # Panics
+///
+/// Panics if `modulus < 2`.
+pub fn counter_mod(b: &mut Builder, modulus: usize, enable: Option<NetId>) -> Counter {
+    assert!(modulus >= 2, "counter modulus must be at least 2");
+    let width = (usize::BITS - (modulus - 1).leading_zeros()) as usize;
+    let reg = WordReg::new(b, width, false, enable, 0);
+    let count = reg.q().clone();
+    let last = eq_const(b, &count, (modulus - 1) as i64);
+    // next = last ? 0 : count + 1, truncated to the register width.
+    let inc = add_const(b, &count, 1);
+    let not_last = b.inv(last);
+    let next_bits: Vec<NetId> =
+        inc.bits()[..width].iter().map(|&n| b.and2(n, not_last)).collect();
+    let next = Word::new(next_bits, false);
+    reg.connect(b, &next);
+    Counter { count, last }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_sim::Simulator;
+
+    #[test]
+    fn register_holds_and_loads() {
+        let mut b = Builder::new("reg");
+        let d = Word::new(b.input_bus("d", 4), true);
+        let en = b.input("en");
+        let reg = WordReg::new(&mut b, 4, true, Some(en), -3);
+        b.output_bus("q", reg.q().bits());
+        reg.connect(&mut b, &d);
+        let nl = b.finish();
+        nl.validate().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        assert_eq!(sim.output_signed("q"), -3, "power-on value");
+        sim.set_input("d", 5);
+        sim.set_input("en", 0);
+        sim.tick();
+        assert_eq!(sim.output_signed("q"), -3, "hold without enable");
+        sim.set_input("en", 1);
+        sim.tick();
+        assert_eq!(sim.output_signed("q"), 5, "load with enable");
+    }
+
+    #[test]
+    fn register_extends_narrow_data() {
+        let mut b = Builder::new("reg");
+        let d = Word::new(b.input_bus("d", 2), true);
+        let reg = WordReg::new(&mut b, 5, true, None, 0);
+        b.output_bus("q", reg.q().bits());
+        reg.connect(&mut b, &d);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("d", -2);
+        sim.tick();
+        assert_eq!(sim.output_signed("q"), -2, "sign-extended load");
+    }
+
+    #[test]
+    fn counter_wraps_at_modulus() {
+        for modulus in [2usize, 3, 5, 6, 8, 10] {
+            let mut b = Builder::new("cnt");
+            let c = counter_mod(&mut b, modulus, None);
+            b.output_bus("count", c.count.bits());
+            b.output("last", c.last);
+            let nl = b.finish();
+            nl.validate().unwrap();
+            let mut sim = Simulator::new(&nl).unwrap();
+            for step in 0..(3 * modulus) {
+                let want = (step % modulus) as i64;
+                assert_eq!(sim.output_unsigned("count"), want, "modulus {modulus} step {step}");
+                assert_eq!(
+                    sim.output_unsigned("last") == 1,
+                    want == (modulus - 1) as i64,
+                    "last flag at step {step}"
+                );
+                sim.tick();
+            }
+        }
+    }
+
+    #[test]
+    fn counter_with_enable_freezes() {
+        let mut b = Builder::new("cnt");
+        let en = b.input("en");
+        let c = counter_mod(&mut b, 4, Some(en));
+        b.output_bus("count", c.count.bits());
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("en", 1);
+        sim.tick();
+        assert_eq!(sim.output_unsigned("count"), 1);
+        sim.set_input("en", 0);
+        sim.tick();
+        sim.tick();
+        assert_eq!(sim.output_unsigned("count"), 1, "frozen while disabled");
+        sim.set_input("en", 1);
+        sim.tick();
+        assert_eq!(sim.output_unsigned("count"), 2);
+    }
+
+    #[test]
+    fn counter_width_is_log2() {
+        let mut b = Builder::new("cnt");
+        let c = counter_mod(&mut b, 10, None);
+        assert_eq!(c.count.width(), 4);
+        b.output_bus("count", c.count.bits());
+        let c3 = counter_mod(&mut b, 3, None);
+        assert_eq!(c3.count.width(), 2);
+        b.output_bus("count3", c3.count.bits());
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus")]
+    fn tiny_modulus_panics() {
+        let mut b = Builder::new("cnt");
+        let _ = counter_mod(&mut b, 1, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn bad_init_panics() {
+        let mut b = Builder::new("reg");
+        let _ = WordReg::new(&mut b, 3, false, None, 9);
+    }
+}

@@ -1,0 +1,377 @@
+//! Static timing analysis: the PrimeTime stand-in.
+//!
+//! Arrival times propagate through the combinational core in topological
+//! order; cell delays come from the [`EgfetLibrary`], wires add a per-fanout
+//! penalty. The clock period is the worst endpoint arrival (register data
+//! pins plus setup, and primary outputs) divided by the timing guard band,
+//! and the reported frequency is its reciprocal — in the printed regime this
+//! lands in the tens of hertz the paper reports.
+
+use pe_cells::{EgfetLibrary, TechParams};
+use pe_netlist::{CellKind, Driver, Netlist, NetlistError};
+
+/// Result of static timing analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingReport {
+    /// Worst data arrival time (ms) over all timing endpoints.
+    pub critical_path_ms: f64,
+    /// Clock period after the guard band (ms).
+    pub clock_period_ms: f64,
+    /// Achievable clock frequency (Hz).
+    pub freq_hz: f64,
+    /// Maximum combinational logic depth in cells.
+    pub max_depth: u32,
+}
+
+/// Fraction of a flip-flop's propagation delay charged as setup time.
+const SETUP_FRACTION: f64 = 0.5;
+
+/// Runs static timing analysis.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] for cyclic designs.
+pub fn analyze_timing(
+    nl: &Netlist,
+    lib: &EgfetLibrary,
+    tech: &TechParams,
+) -> Result<TimingReport, NetlistError> {
+    let order = pe_netlist::graph::topo_order(nl)?;
+    let fanout = pe_netlist::graph::fanout_counts(nl);
+    let mut arrival = vec![0.0f64; nl.num_nets()];
+    // Register outputs launch at clk->q.
+    for (_, cell) in nl.cells() {
+        if cell.kind().is_sequential() {
+            arrival[cell.output().index()] = lib.params(cell.kind()).delay_ms;
+        }
+    }
+    for c in &order {
+        let cell = nl.cell(*c);
+        let mut t = 0.0f64;
+        for &inp in cell.inputs() {
+            t = t.max(arrival[inp.index()]);
+        }
+        let out = cell.output().index();
+        let extra_fanout = fanout[out].saturating_sub(1) as f64;
+        arrival[out] =
+            t + lib.params(cell.kind()).delay_ms + tech.wire_delay_ms_per_fanout * extra_fanout;
+    }
+    // Endpoints: register data/enable pins (+ setup) and primary outputs.
+    let mut worst = 0.0f64;
+    for (_, cell) in nl.cells() {
+        if cell.kind().is_sequential() {
+            let setup = lib.params(cell.kind()).delay_ms * SETUP_FRACTION;
+            for &inp in cell.inputs() {
+                worst = worst.max(arrival[inp.index()] + setup);
+            }
+        }
+    }
+    for p in nl.output_ports() {
+        for &b in p.bits() {
+            worst = worst.max(arrival[b.index()]);
+        }
+    }
+    let depth = pe_netlist::graph::max_depth(nl)?;
+    // Degenerate (empty) designs: report a nominal fast clock.
+    let critical = if worst > 0.0 { worst } else { lib.params(CellKind::Inv).delay_ms };
+    let period = critical / (1.0 - tech.timing_margin);
+    Ok(TimingReport {
+        critical_path_ms: critical,
+        clock_period_ms: period,
+        freq_hz: 1000.0 / period,
+        max_depth: depth,
+    })
+}
+
+/// Arrival time of every net (ms), exposed for path debugging and for the
+/// power model's glitch weighting.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] for cyclic designs.
+pub fn arrival_times(
+    nl: &Netlist,
+    lib: &EgfetLibrary,
+    tech: &TechParams,
+) -> Result<Vec<f64>, NetlistError> {
+    let order = pe_netlist::graph::topo_order(nl)?;
+    let fanout = pe_netlist::graph::fanout_counts(nl);
+    let mut arrival = vec![0.0f64; nl.num_nets()];
+    for (_, cell) in nl.cells() {
+        if cell.kind().is_sequential() {
+            arrival[cell.output().index()] = lib.params(cell.kind()).delay_ms;
+        }
+    }
+    for c in &order {
+        let cell = nl.cell(*c);
+        let mut t = 0.0f64;
+        for &inp in cell.inputs() {
+            t = t.max(arrival[inp.index()]);
+        }
+        let out = cell.output().index();
+        let extra_fanout = fanout[out].saturating_sub(1) as f64;
+        arrival[out] =
+            t + lib.params(cell.kind()).delay_ms + tech.wire_delay_ms_per_fanout * extra_fanout;
+    }
+    let _ = Driver::Input; // (documents that input nets launch at t=0)
+    Ok(arrival)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_netlist::Builder;
+
+    fn lib() -> EgfetLibrary {
+        EgfetLibrary::standard()
+    }
+
+    fn tech() -> TechParams {
+        TechParams::standard()
+    }
+
+    #[test]
+    fn chain_delay_accumulates() {
+        let mut b = Builder::new("chain");
+        let x = b.input("x");
+        let y = b.input("y");
+        let mut n = x;
+        for i in 0..10 {
+            let other = b.xor2(n, y);
+            n = b.and2(other, if i % 2 == 0 { x } else { y });
+        }
+        b.output("o", n);
+        let nl = b.finish();
+        let t = analyze_timing(&nl, &lib(), &tech()).unwrap();
+        // 10 xor + ~9 inv (first inv may fold), depth ≈ 19-20.
+        assert!(t.max_depth >= 15);
+        let lower_bound = 10.0 * lib().params(CellKind::Xor2).delay_ms;
+        assert!(t.critical_path_ms > lower_bound);
+        assert!(t.freq_hz > 0.0);
+        assert!((t.clock_period_ms - t.critical_path_ms / 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deeper_logic_is_slower() {
+        let build_chain = |len: usize| {
+            let mut b = Builder::new("chain");
+            let x = b.input("x");
+            let y = b.input("y");
+            let mut n = x;
+            for _ in 0..len {
+                n = b.xor2(n, y);
+                n = b.and2(n, x);
+            }
+            b.output("o", n);
+            b.finish()
+        };
+        let short = analyze_timing(&build_chain(3), &lib(), &tech()).unwrap();
+        let long = analyze_timing(&build_chain(12), &lib(), &tech()).unwrap();
+        assert!(long.critical_path_ms > short.critical_path_ms * 2.0);
+        assert!(long.freq_hz < short.freq_hz);
+    }
+
+    #[test]
+    fn registers_cut_the_path() {
+        // comb chain of 8 xors vs the same chain with a register in the middle.
+        let build = |registered: bool| {
+            let mut b = Builder::new("p");
+            let x = b.input("x");
+            let y = b.input("y");
+            let mut n = x;
+            for i in 0..8 {
+                n = b.xor2(n, y);
+                n = b.and2(n, if i % 2 == 0 { x } else { y });
+                if registered && i == 3 {
+                    n = b.dff(n, false);
+                }
+            }
+            b.output("o", n);
+            b.finish()
+        };
+        let comb = analyze_timing(&build(false), &lib(), &tech()).unwrap();
+        let piped = analyze_timing(&build(true), &lib(), &tech()).unwrap();
+        assert!(piped.critical_path_ms < comb.critical_path_ms);
+    }
+
+    #[test]
+    fn register_endpoint_includes_setup() {
+        let mut b = Builder::new("seq");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g = b.xor2(x, y);
+        let q = b.dff(g, false);
+        b.output("q", q);
+        let nl = b.finish();
+        let t = analyze_timing(&nl, &lib(), &tech()).unwrap();
+        let expect = lib().params(CellKind::Xor2).delay_ms
+            + SETUP_FRACTION * lib().params(CellKind::Dff).delay_ms;
+        assert!((t.critical_path_ms - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fanout_costs_wire_delay() {
+        // One driver with fanout 4 vs fanout 1.
+        let build = |fanout: usize| {
+            let mut b = Builder::new("f");
+            let x = b.input("x");
+            let y = b.input("y");
+            let g = b.xor2(x, y);
+            let mut outs = Vec::new();
+            for i in 0..fanout {
+                let o = b.and2(g, if i % 2 == 0 { x } else { y });
+                // Make each sink unique so CSE does not merge them.
+                let o = b.xor2(o, if i < 2 { x } else { y });
+                outs.push(o);
+            }
+            for (i, o) in outs.iter().enumerate() {
+                b.output(format!("o{i}"), *o);
+            }
+            b.finish()
+        };
+        let narrow = analyze_timing(&build(1), &lib(), &tech()).unwrap();
+        let wide = analyze_timing(&build(4), &lib(), &tech()).unwrap();
+        assert!(wide.critical_path_ms > narrow.critical_path_ms);
+    }
+
+    #[test]
+    fn empty_design_reports_nominal_clock() {
+        let nl = Builder::new("empty").finish();
+        let t = analyze_timing(&nl, &lib(), &tech()).unwrap();
+        assert!(t.freq_hz > 0.0);
+        assert_eq!(t.max_depth, 0);
+    }
+
+    #[test]
+    fn printed_frequencies_are_hz_scale() {
+        // A 16-bit ripple adder chain: the classic printed datapath depth.
+        let mut b = Builder::new("rip");
+        let x = Word16::make(&mut b, "x");
+        let y = Word16::make(&mut b, "y");
+        let s = crate::adder::add_exact(&mut b, &x, &y);
+        b.output_bus("s", s.bits());
+        let nl = b.finish();
+        let t = analyze_timing(&nl, &lib(), &tech()).unwrap();
+        assert!(
+            t.freq_hz > 20.0 && t.freq_hz < 2000.0,
+            "16-bit adder should clock in printed Hz range, got {}",
+            t.freq_hz
+        );
+    }
+
+    struct Word16;
+    impl Word16 {
+        fn make(b: &mut Builder, name: &str) -> pe_netlist::Word {
+            pe_netlist::Word::new(b.input_bus(name, 16), true)
+        }
+    }
+
+    #[test]
+    fn critical_path_walks_from_launch_to_endpoint() {
+        let mut b = Builder::new("p");
+        let x = b.input("x");
+        let y = b.input("y");
+        b.group("engine");
+        let g1 = b.xor2(x, y);
+        let g2 = b.and2(g1, x);
+        b.group("voter");
+        let g3 = b.or2(g2, y);
+        b.output("o", g3);
+        let nl = b.finish();
+        let path = report_critical_path(&nl, &lib(), &tech()).unwrap();
+        assert_eq!(path.len(), 3);
+        assert_eq!(path[0].cell, "xor2");
+        assert_eq!(path[2].cell, "or2");
+        assert_eq!(path[2].group, "voter");
+        // Arrivals are monotonically increasing along the path.
+        for w in path.windows(2) {
+            assert!(w[1].arrival_ms > w[0].arrival_ms);
+        }
+        // The last arrival equals the critical path reported by STA.
+        let t = analyze_timing(&nl, &lib(), &tech()).unwrap();
+        assert!((path[2].arrival_ms - t.critical_path_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_path_of_empty_design_is_empty() {
+        let nl = Builder::new("e").finish();
+        assert!(report_critical_path(&nl, &lib(), &tech()).unwrap().is_empty());
+    }
+}
+
+/// One step of a reported critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStep {
+    /// Name of the cell kind at this step.
+    pub cell: &'static str,
+    /// Architectural group of the cell.
+    pub group: String,
+    /// Arrival time at the cell output, ms.
+    pub arrival_ms: f64,
+}
+
+/// Traces the worst path through the design: the sequence of cells from a
+/// launch point to the worst endpoint, with arrival times. This is the
+/// `report_timing` of the mini-flow — used to understand *where* the clock
+/// period of each design style comes from.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError::CombinationalCycle`].
+pub fn report_critical_path(
+    nl: &Netlist,
+    lib: &EgfetLibrary,
+    tech: &TechParams,
+) -> Result<Vec<PathStep>, NetlistError> {
+    let arrival = arrival_times(nl, lib, tech)?;
+    // Find the endpoint: the net with the worst arrival among register data
+    // pins and primary outputs.
+    let mut end: Option<pe_netlist::NetId> = None;
+    let mut worst = f64::NEG_INFINITY;
+    let mut consider = |net: pe_netlist::NetId, t: f64| {
+        if t > worst {
+            worst = t;
+            end = Some(net);
+        }
+    };
+    for (_, cell) in nl.cells() {
+        if cell.kind().is_sequential() {
+            for &inp in cell.inputs() {
+                consider(inp, arrival[inp.index()]);
+            }
+        }
+    }
+    for p in nl.output_ports() {
+        for &b in p.bits() {
+            consider(b, arrival[b.index()]);
+        }
+    }
+    let mut path = Vec::new();
+    let mut cursor = end;
+    while let Some(net) = cursor {
+        match nl.net(net).driver() {
+            Driver::Cell(cid) => {
+                let cell = nl.cell(cid);
+                path.push(PathStep {
+                    cell: cell.kind().name(),
+                    group: nl.group_name(cell.group()).to_owned(),
+                    arrival_ms: arrival[net.index()],
+                });
+                if cell.kind().is_sequential() {
+                    break; // launched from a register
+                }
+                // Walk to the latest-arriving input.
+                cursor = cell
+                    .inputs()
+                    .iter()
+                    .copied()
+                    .max_by(|a, b| {
+                        arrival[a.index()].total_cmp(&arrival[b.index()])
+                    });
+            }
+            _ => break, // launched from an input or constant
+        }
+    }
+    path.reverse();
+    Ok(path)
+}

@@ -1,0 +1,52 @@
+//! Battery-life study: the paper's motivating scenario. Compares how long
+//! each design style runs (and how many classifications it delivers) from
+//! the printed-battery catalog, across all five datasets.
+//!
+//! Run with: `cargo run --release --example battery_life`
+
+use printed_svm::prelude::*;
+
+fn main() {
+    let opts = RunOptions { max_sim_samples: 60, ..RunOptions::default() };
+    let batteries = Battery::catalog();
+
+    println!("| dataset | design | power (mW) | energy (mJ) | battery | verdict | classifications/charge |");
+    println!("|---|---|---|---|---|---|---|");
+    for profile in [UciProfile::Cardio, UciProfile::RedWine] {
+        for style in DesignStyle::all() {
+            let r = run_experiment(profile, style, &opts);
+            for b in &batteries {
+                let (verdict, n) = match b.lifetime_hours(r.power_mw) {
+                    Some(_) => ("powered", format!("{:.0}", b.classifications_per_charge(r.energy_mj))),
+                    None => ("OVER BUDGET", "-".into()),
+                };
+                println!(
+                    "| {} | {} | {:.2} | {:.3} | {} | {} | {} |",
+                    r.dataset, r.style.label(), r.power_mw, r.energy_mj, b.name(), verdict, n
+                );
+            }
+        }
+    }
+
+    // The paper's punchline: the energy advantage is battery life.
+    println!();
+    let molex = Battery::molex_30mw();
+    let ours = run_experiment(UciProfile::Cardio, DesignStyle::SequentialSvm, &opts);
+    let sota = run_experiment(UciProfile::Cardio, DesignStyle::ParallelSvm, &opts);
+    let ours_n = molex.classifications_per_charge(ours.energy_mj);
+    println!(
+        "Cardio on {}: ours delivers {:.0} classifications per charge; SVM [2] at {:.2} mW {}",
+        molex.name(),
+        ours_n,
+        sota.power_mw,
+        if sota.power_mw > molex.max_power_mw() {
+            "cannot run from this battery at all".to_string()
+        } else {
+            format!(
+                "delivers {:.0} ({:.1}x fewer)",
+                molex.classifications_per_charge(sota.energy_mj),
+                ours_n / molex.classifications_per_charge(sota.energy_mj)
+            )
+        }
+    );
+}

@@ -1,0 +1,61 @@
+//! Printed-yield study: inject stuck-at faults into a generated sequential
+//! SVM and measure how many actually flip classifications — the robustness
+//! argument for bespoke printed classifiers.
+//!
+//! Run with: `cargo run --release --example fault_injection`
+
+use printed_svm::core::designs::sequential;
+use printed_svm::prelude::*;
+use printed_svm::sim::faults::{enumerate_fault_sites, fault_campaign_seq};
+
+fn main() {
+    // Train and quantize a small model.
+    let data = UciProfile::Cardio.generate(7);
+    let (train, test) = train_test_split(&data, 0.2, 7);
+    let norm = Normalizer::fit(&train);
+    let (train, test) = (norm.apply(&train), norm.apply(&test));
+    let model = SvmModel::train(
+        &train.quantize_inputs(4),
+        MulticlassScheme::OneVsRest,
+        &SvmTrainParams::default(),
+    );
+    let q = QuantizedSvm::quantize(&model, 4, 5);
+    let nl = sequential::build_sequential_ovr(&q);
+    println!(
+        "design: {} cells, {} candidate single-stuck-at faults",
+        nl.num_cells(),
+        2 * nl.num_cells()
+    );
+
+    // Sample fault sites (full campaigns scale linearly; sample for demo).
+    let sites: Vec<_> = enumerate_fault_sites(&nl).into_iter().step_by(17).collect();
+    let workload: Vec<Vec<(String, i64)>> = test
+        .features()
+        .iter()
+        .take(20)
+        .map(|x| {
+            q.quantize_input(x)
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (format!("x{i}"), v))
+                .collect()
+        })
+        .collect();
+    let report =
+        fault_campaign_seq(&nl, &sites, &workload, "class", q.num_classes() as u64)
+            .expect("generated design is acyclic");
+    println!(
+        "campaign: {} faults x {} samples -> {} critical ({:.1} %), {} masked",
+        report.total,
+        workload.len(),
+        report.critical,
+        100.0 * report.criticality(),
+        report.benign
+    );
+    println!(
+        "\nReading: {:.0} % of sampled printing defects never change a prediction —\n\
+         classification margins absorb them, which is how bespoke printed classifiers\n\
+         live with printing yields that general-purpose logic could not.",
+        100.0 * (1.0 - report.criticality())
+    );
+}

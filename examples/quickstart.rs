@@ -1,0 +1,49 @@
+//! Quickstart: train a sequential printed SVM on one dataset, generate its
+//! bespoke circuit, verify it against the integer golden model, and print
+//! the paper's six hardware metrics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use printed_svm::prelude::*;
+
+fn main() {
+    // 1. Pick a dataset profile (Cardio: 21 features, 3 classes) and run the
+    //    whole pipeline: train -> quantize -> elaborate -> verify -> analyze.
+    let opts = RunOptions::default();
+    let report = run_experiment(UciProfile::Cardio, DesignStyle::SequentialSvm, &opts);
+
+    println!("=== Sequential printed SVM on {} ===\n", report.dataset);
+    println!("accuracy      : {:.1} % (float model: {:.1} %)", report.accuracy_pct, report.float_accuracy_pct);
+    println!("area          : {:.2} cm2 ({} cells, {} flip-flops)", report.area_cm2, report.num_cells, report.num_ffs);
+    println!("power         : {:.2} mW ({:.2} static + {:.2} dynamic)", report.power_mw, report.static_mw, report.dynamic_mw);
+    println!("clock         : {:.1} Hz", report.freq_hz);
+    println!("latency       : {:.1} ms ({} cycles, one support vector per cycle)", report.latency_ms, report.cycles);
+    println!("energy        : {:.3} mJ per classification", report.energy_mj);
+    println!("precision     : {}-bit inputs, {}-bit weights (lowest-precision search)", report.input_bits, report.weight_bits);
+    println!();
+    println!(
+        "gate-level verification: {} samples, {} mismatches vs integer golden model",
+        report.verified_samples, report.mismatches
+    );
+    assert_eq!(report.mismatches, 0, "the circuit must be bit-exact");
+
+    // 2. The Fig. 1 component breakdown.
+    println!("\ncomponent breakdown:");
+    for ((g, a), (_, p)) in report.group_area_cm2.iter().zip(&report.group_power_mw) {
+        if *a > 0.0 || *p > 0.0 {
+            println!("  {:<10} {:>7.3} cm2   {:>7.3} mW", g, a, p);
+        }
+    }
+
+    // 3. Battery feasibility (the paper's headline constraint).
+    let battery = Battery::molex_30mw();
+    match battery.lifetime_hours(report.power_mw) {
+        Some(h) => println!(
+            "\n{}: powered, {:.1} h continuous, {:.0} classifications per charge",
+            battery.name(),
+            h,
+            battery.classifications_per_charge(report.energy_mj)
+        ),
+        None => println!("\n{}: over budget!", battery.name()),
+    }
+}

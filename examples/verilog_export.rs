@@ -1,0 +1,45 @@
+//! Export a generated sequential-SVM netlist as structural Verilog — the
+//! artifact you would hand to a printed-electronics foundry flow (or a
+//! commercial simulator) for sign-off.
+//!
+//! Run with: `cargo run --release --example verilog_export > seq_svm.v`
+
+use printed_svm::core::designs::sequential;
+use printed_svm::netlist::verilog;
+use printed_svm::prelude::*;
+
+fn main() {
+    // A compact model so the Verilog stays human-readable: 4 features,
+    // 3 classes.
+    let spec = printed_svm::data::synth::SyntheticSpec {
+        name: "mini".into(),
+        n_samples: 300,
+        n_features: 4,
+        n_classes: 3,
+        informative: 4,
+        class_sep: 0.6,
+        noise: 0.15,
+        label_noise: 0.0,
+        class_weights: vec![],
+        geometry: printed_svm::data::synth::Geometry::Blobs,
+    };
+    let data = spec.generate(5);
+    let (train, test) = train_test_split(&data, 0.2, 5);
+    let norm = Normalizer::fit(&train);
+    let (train, test) = (norm.apply(&train), norm.apply(&test));
+    let model = SvmModel::train(
+        &train.quantize_inputs(4),
+        MulticlassScheme::OneVsRest,
+        &SvmTrainParams::default(),
+    );
+    let q = QuantizedSvm::quantize(&model, 4, 5);
+    eprintln!("model accuracy: {:.0} %", q.accuracy(&test) * 100.0);
+
+    let nl = sequential::build_sequential_ovr(&q);
+    eprintln!(
+        "netlist: {} cells / {} FFs -> structural Verilog on stdout",
+        nl.num_cells(),
+        nl.num_seq_cells()
+    );
+    print!("{}", verilog::to_verilog(&nl));
+}

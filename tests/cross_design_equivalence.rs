@@ -1,0 +1,119 @@
+//! Functional-equivalence tests across independent hardware realizations:
+//! the same quantized OvR model implemented (a) as the paper's sequential
+//! circuit, (b) as a fully-parallel circuit, and (c) as the integer golden
+//! model must agree on every prediction. Two structurally unrelated
+//! netlists agreeing with each other is a much stronger check than either
+//! one agreeing with the software model alone.
+
+use printed_svm::core::designs::{parallel, sequential};
+use printed_svm::prelude::*;
+
+fn quantized_ovr(profile: UciProfile, seed: u64) -> (QuantizedSvm, Dataset) {
+    let d = profile.generate(seed);
+    let (train, test) = train_test_split(&d, 0.2, seed);
+    let norm = Normalizer::fit(&train);
+    let (train, test) = (norm.apply(&train), norm.apply(&test));
+    let sub: Vec<usize> = (0..train.len().min(350)).collect();
+    let p = SvmTrainParams { max_epochs: 35, ..SvmTrainParams::default() };
+    let model = SvmModel::train(
+        &train.subset(&sub, "-s").quantize_inputs(4),
+        MulticlassScheme::OneVsRest,
+        &p,
+    );
+    (QuantizedSvm::quantize(&model, 4, 6), test)
+}
+
+fn run_sequential(nl: &Netlist, q: &QuantizedSvm, x_q: &[i64]) -> usize {
+    let mut sim = Simulator::new(nl).expect("acyclic");
+    for (i, &v) in x_q.iter().enumerate() {
+        sim.set_input(&format!("x{i}"), v);
+    }
+    for _ in 0..q.num_classes() {
+        sim.tick();
+    }
+    sim.output_unsigned("class") as usize
+}
+
+fn run_parallel(nl: &Netlist, x_q: &[i64]) -> usize {
+    let mut sim = Simulator::new(nl).expect("acyclic");
+    for (i, &v) in x_q.iter().enumerate() {
+        sim.set_input(&format!("x{i}"), v);
+    }
+    sim.eval_comb();
+    sim.output_unsigned("class") as usize
+}
+
+#[test]
+fn three_way_agreement_on_cardio() {
+    let (q, test) = quantized_ovr(UciProfile::Cardio, 99);
+    let seq_nl = sequential::build_sequential_ovr(&q);
+    let par_nl = parallel::build_parallel_svm(&q);
+    for (i, x) in test.features().iter().take(40).enumerate() {
+        let x_q = q.quantize_input(x);
+        let golden = q.predict_int(&x_q);
+        let s = run_sequential(&seq_nl, &q, &x_q);
+        let p = run_parallel(&par_nl, &x_q);
+        assert_eq!(s, golden, "sequential vs golden, sample {i}");
+        assert_eq!(p, golden, "parallel vs golden, sample {i}");
+    }
+}
+
+#[test]
+fn three_way_agreement_on_dermatology_six_classes() {
+    let (q, test) = quantized_ovr(UciProfile::Dermatology, 101);
+    let seq_nl = sequential::build_sequential_ovr(&q);
+    let par_nl = parallel::build_parallel_svm(&q);
+    for (i, x) in test.features().iter().take(25).enumerate() {
+        let x_q = q.quantize_input(x);
+        let golden = q.predict_int(&x_q);
+        assert_eq!(run_sequential(&seq_nl, &q, &x_q), golden, "sequential, sample {i}");
+        assert_eq!(run_parallel(&par_nl, &x_q), golden, "parallel, sample {i}");
+    }
+}
+
+#[test]
+fn equivalence_survives_adversarial_inputs() {
+    // Extreme corners: all-zero, all-max, alternating — inputs that stress
+    // saturation paths and the voter's tie handling.
+    let (q, _) = quantized_ovr(UciProfile::Cardio, 103);
+    let seq_nl = sequential::build_sequential_ovr(&q);
+    let par_nl = parallel::build_parallel_svm(&q);
+    let m = q.num_features();
+    let max = 15i64; // 4-bit inputs
+    let corners: Vec<Vec<i64>> = vec![
+        vec![0; m],
+        vec![max; m],
+        (0..m).map(|i| if i % 2 == 0 { max } else { 0 }).collect(),
+        (0..m).map(|i| (i as i64) % (max + 1)).collect(),
+        (0..m).map(|i| max - (i as i64) % (max + 1)).collect(),
+    ];
+    for (i, x_q) in corners.iter().enumerate() {
+        let golden = q.predict_int(x_q);
+        assert_eq!(run_sequential(&seq_nl, &q, x_q), golden, "corner {i}");
+        assert_eq!(run_parallel(&par_nl, x_q), golden, "corner {i}");
+    }
+}
+
+#[test]
+fn sequential_is_smaller_parallel_is_faster_per_inference() {
+    // The architectural trade the paper folds on.
+    let (q, _) = quantized_ovr(UciProfile::Dermatology, 105);
+    let seq_nl = sequential::build_sequential_ovr(&q);
+    let par_nl = parallel::build_parallel_svm(&q);
+    assert!(
+        seq_nl.num_cells() < par_nl.num_cells(),
+        "folded engine {} cells must be smaller than parallel {} cells (6 classes)",
+        seq_nl.num_cells(),
+        par_nl.num_cells()
+    );
+    let lib = EgfetLibrary::standard();
+    let tech = TechParams::standard();
+    let seq_t = printed_svm::synth::analyze_timing(&seq_nl, &lib, &tech).unwrap();
+    let par_t = printed_svm::synth::analyze_timing(&par_nl, &lib, &tech).unwrap();
+    let seq_latency = 6.0 * seq_t.clock_period_ms;
+    let par_latency = par_t.clock_period_ms;
+    assert!(
+        par_latency < seq_latency,
+        "single-cycle parallel ({par_latency} ms) should be faster per inference than 6-cycle sequential ({seq_latency} ms)"
+    );
+}

@@ -1,0 +1,108 @@
+//! Cross-crate integration tests: the full paper pipeline, run end to end.
+
+use printed_svm::prelude::*;
+
+fn fast_opts() -> RunOptions {
+    RunOptions { max_sim_samples: 30, ..RunOptions::default() }
+}
+
+#[test]
+fn sequential_svm_is_bit_exact_and_within_battery_budget() {
+    let r = run_experiment(UciProfile::Cardio, DesignStyle::SequentialSvm, &fast_opts());
+    assert_eq!(r.mismatches, 0, "gate-level circuit must match the golden model");
+    assert!(r.verified_samples >= 30);
+    let battery = Battery::molex_30mw();
+    assert!(
+        r.power_mw <= battery.max_power_mw(),
+        "the paper's feasibility claim: sequential designs fit the 30 mW budget, got {} mW",
+        r.power_mw
+    );
+}
+
+#[test]
+fn all_four_styles_verify_on_cardio() {
+    for style in DesignStyle::all() {
+        let r = run_experiment(UciProfile::Cardio, style, &fast_opts());
+        assert_eq!(r.mismatches, 0, "{:?} disagreed with its golden model", style);
+        assert!(r.accuracy_pct > 50.0, "{:?} accuracy collapsed: {}", style, r.accuracy_pct);
+        assert!(r.area_cm2 > 0.0 && r.power_mw > 0.0 && r.energy_mj > 0.0);
+    }
+}
+
+#[test]
+fn sequential_latency_structure_matches_the_paper() {
+    // latency = n_classes / f for ours; 1 / f for parallel designs (§III).
+    let ours = run_experiment(UciProfile::Cardio, DesignStyle::SequentialSvm, &fast_opts());
+    assert_eq!(ours.cycles, 3);
+    assert!((ours.latency_ms - 3.0 * 1000.0 / ours.freq_hz).abs() < 1e-9);
+    let sota = run_experiment(UciProfile::Cardio, DesignStyle::ParallelSvm, &fast_opts());
+    assert_eq!(sota.cycles, 1);
+    assert!((sota.latency_ms - 1000.0 / sota.freq_hz).abs() < 1e-9);
+}
+
+#[test]
+fn sequential_clock_beats_parallel_clock() {
+    // The paper's frequency story: the folded engine clocks at tens of Hz
+    // while the deep parallel datapaths clock slower.
+    let ours = run_experiment(UciProfile::Cardio, DesignStyle::SequentialSvm, &fast_opts());
+    let sota = run_experiment(UciProfile::Cardio, DesignStyle::ParallelSvm, &fast_opts());
+    let mlp = run_experiment(UciProfile::Cardio, DesignStyle::ParallelMlp, &fast_opts());
+    assert!(ours.freq_hz > sota.freq_hz, "{} vs {}", ours.freq_hz, sota.freq_hz);
+    assert!(sota.freq_hz > mlp.freq_hz, "{} vs {}", sota.freq_hz, mlp.freq_hz);
+    // All in the printed regime: single-digit to tens of Hz.
+    for f in [ours.freq_hz, sota.freq_hz, mlp.freq_hz] {
+        assert!(f > 1.0 && f < 200.0, "frequency {f} outside the printed regime");
+    }
+}
+
+#[test]
+fn energy_headline_holds_on_cardio() {
+    let ours = run_experiment(UciProfile::Cardio, DesignStyle::SequentialSvm, &fast_opts());
+    for style in [
+        DesignStyle::ParallelSvm,
+        DesignStyle::ApproxParallelSvm,
+        DesignStyle::ParallelMlp,
+    ] {
+        let base = run_experiment(UciProfile::Cardio, style, &fast_opts());
+        assert!(
+            ours.energy_mj < base.energy_mj,
+            "ours {} mJ must beat {:?} {} mJ",
+            ours.energy_mj,
+            style,
+            base.energy_mj
+        );
+    }
+}
+
+#[test]
+fn group_breakdowns_sum_to_totals() {
+    let r = run_experiment(UciProfile::Cardio, DesignStyle::SequentialSvm, &fast_opts());
+    let area_sum: f64 = r.group_area_cm2.iter().map(|(_, a)| a).sum();
+    assert!((area_sum - r.area_cm2).abs() < 1e-9);
+    let power_sum: f64 = r.group_power_mw.iter().map(|(_, p)| p).sum();
+    assert!((power_sum - r.power_mw).abs() < 1e-6);
+    // Fig. 1 blocks all present and the engine dominates.
+    let names: Vec<&str> = r.group_area_cm2.iter().map(|(g, _)| g.as_str()).collect();
+    for g in ["control", "storage", "engine", "voter"] {
+        assert!(names.contains(&g), "missing Fig. 1 block {g}");
+    }
+}
+
+#[test]
+fn seeds_change_data_but_not_conclusions() {
+    let a = run_experiment(
+        UciProfile::Cardio,
+        DesignStyle::SequentialSvm,
+        &RunOptions { seed: 7, max_sim_samples: 20, ..RunOptions::default() },
+    );
+    let b = run_experiment(
+        UciProfile::Cardio,
+        DesignStyle::SequentialSvm,
+        &RunOptions { seed: 1234, max_sim_samples: 20, ..RunOptions::default() },
+    );
+    assert_eq!(a.mismatches, 0);
+    assert_eq!(b.mismatches, 0);
+    // Different seeds give different models but the same regime.
+    assert!((a.accuracy_pct - b.accuracy_pct).abs() < 15.0);
+    assert!(b.power_mw < 30.0);
+}
