@@ -1,8 +1,8 @@
-//! Criterion benches for the §II design-choice ablations: the cost of the
-//! structures the paper argues about (MUX-ROM storage, OvR vs OvO voter
-//! hardware, balanced tree vs serial chain accumulation).
+//! Benches for the §II design-choice ablations: the cost of the structures
+//! the paper argues about (MUX-ROM storage, OvR vs OvO voter hardware,
+//! balanced tree vs serial chain accumulation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pe_bench::harness::{black_box, BenchGroup};
 use pe_core::ablation;
 use pe_data::{train_test_split, Normalizer, UciProfile};
 use pe_ml::linear::SvmTrainParams;
@@ -10,7 +10,6 @@ use pe_ml::multiclass::{MulticlassScheme, SvmModel};
 use pe_ml::QuantizedSvm;
 use pe_netlist::{Builder, Word};
 use pe_synth::tree;
-use std::hint::black_box;
 
 fn model(scheme: MulticlassScheme) -> QuantizedSvm {
     let d = UciProfile::Dermatology.generate(7);
@@ -20,47 +19,41 @@ fn model(scheme: MulticlassScheme) -> QuantizedSvm {
     QuantizedSvm::quantize(&SvmModel::train(&train, scheme, &p), 4, 6)
 }
 
-fn bench_storage(c: &mut Criterion) {
+fn bench_storage(g: &mut BenchGroup) {
     let q_ovr = model(MulticlassScheme::OneVsRest);
     let q_ovo = model(MulticlassScheme::OneVsOne);
-    let mut g = c.benchmark_group("storage_elaboration");
-    g.bench_function("mux_rom_ovr_6class", |b| {
-        b.iter(|| black_box(ablation::build_storage_only(&q_ovr)))
+    g.bench("mux_rom_ovr_6class", || {
+        black_box(ablation::build_storage_only(&q_ovr));
     });
-    g.bench_function("mux_rom_ovo_15pairs", |b| {
-        b.iter(|| black_box(ablation::build_storage_only(&q_ovo)))
+    g.bench("mux_rom_ovo_15pairs", || {
+        black_box(ablation::build_storage_only(&q_ovo));
     });
-    g.finish();
 }
 
-fn bench_accumulation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("accumulation_elaboration");
+fn bench_accumulation(g: &mut BenchGroup) {
     for &n in &[8usize, 21, 34] {
-        g.bench_function(format!("tree_{n}_terms"), |b| {
-            b.iter(|| {
-                let mut bld = Builder::new("t");
-                let words: Vec<Word> = (0..n)
-                    .map(|i| Word::new(bld.input_bus(format!("i{i}"), 10), true))
-                    .collect();
-                let s = tree::sum_tree(&mut bld, &words);
-                bld.output_bus("s", s.bits());
-                black_box(bld.finish())
-            })
+        g.bench(&format!("tree_{n}_terms"), || {
+            let mut bld = Builder::new("t");
+            let words: Vec<Word> =
+                (0..n).map(|i| Word::new(bld.input_bus(format!("i{i}"), 10), true)).collect();
+            let s = tree::sum_tree(&mut bld, &words);
+            bld.output_bus("s", s.bits());
+            black_box(bld.finish());
         });
-        g.bench_function(format!("chain_{n}_terms"), |b| {
-            b.iter(|| {
-                let mut bld = Builder::new("t");
-                let words: Vec<Word> = (0..n)
-                    .map(|i| Word::new(bld.input_bus(format!("i{i}"), 10), true))
-                    .collect();
-                let s = tree::sum_chain(&mut bld, &words);
-                bld.output_bus("s", s.bits());
-                black_box(bld.finish())
-            })
+        g.bench(&format!("chain_{n}_terms"), || {
+            let mut bld = Builder::new("t");
+            let words: Vec<Word> =
+                (0..n).map(|i| Word::new(bld.input_bus(format!("i{i}"), 10), true)).collect();
+            let s = tree::sum_chain(&mut bld, &words);
+            bld.output_bus("s", s.bits());
+            black_box(bld.finish());
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_storage, bench_accumulation);
-criterion_main!(benches);
+fn main() {
+    let mut g = BenchGroup::new("storage_elaboration");
+    bench_storage(&mut g);
+    let mut g = BenchGroup::new("accumulation_elaboration");
+    bench_accumulation(&mut g);
+}

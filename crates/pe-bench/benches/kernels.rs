@@ -1,8 +1,8 @@
-//! Criterion benches for the heavy kernels each pipeline stage runs:
-//! SVM training, netlist elaboration, gate-level simulation and the
-//! STA/area/power analyses.
+//! Benches for the heavy kernels each pipeline stage runs: SVM training,
+//! netlist elaboration, batched gate-level simulation and the STA/area/
+//! power analyses.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pe_bench::harness::{black_box, BenchGroup};
 use pe_cells::{EgfetLibrary, TechParams};
 use pe_core::designs::{parallel, sequential};
 use pe_data::{train_test_split, Normalizer, UciProfile};
@@ -10,7 +10,6 @@ use pe_ml::linear::SvmTrainParams;
 use pe_ml::multiclass::{MulticlassScheme, SvmModel};
 use pe_ml::QuantizedSvm;
 use pe_sim::Simulator;
-use std::hint::black_box;
 
 struct Fixture {
     train: pe_data::Dataset,
@@ -39,88 +38,59 @@ fn fixture() -> Fixture {
     }
 }
 
-fn bench_training(c: &mut Criterion) {
-    let f = fixture();
-    let mut g = c.benchmark_group("training");
-    g.sample_size(10);
-    g.bench_function("svm_ovr_cardio", |b| {
-        b.iter(|| {
-            black_box(SvmModel::train(
-                &f.train,
-                MulticlassScheme::OneVsRest,
-                &SvmTrainParams { max_epochs: 30, ..SvmTrainParams::default() },
-            ))
-        })
+fn bench_training(g: &mut BenchGroup, f: &Fixture) {
+    g.bench("svm_ovr_cardio", || {
+        black_box(SvmModel::train(
+            &f.train,
+            MulticlassScheme::OneVsRest,
+            &SvmTrainParams { max_epochs: 30, ..SvmTrainParams::default() },
+        ));
     });
-    g.finish();
 }
 
-fn bench_elaboration(c: &mut Criterion) {
-    let f = fixture();
-    let mut g = c.benchmark_group("elaboration");
-    g.bench_function("sequential_cardio", |b| {
-        b.iter(|| black_box(sequential::build_sequential_ovr(&f.q_ovr)))
+fn bench_elaboration(g: &mut BenchGroup, f: &Fixture) {
+    g.bench("sequential_cardio", || {
+        black_box(sequential::build_sequential_ovr(&f.q_ovr));
     });
-    g.bench_function("parallel_ovo_cardio", |b| {
-        b.iter(|| black_box(parallel::build_parallel_svm(&f.q_ovo)))
+    g.bench("parallel_ovo_cardio", || {
+        black_box(parallel::build_parallel_svm(&f.q_ovo));
     });
-    g.finish();
 }
 
-fn bench_simulation(c: &mut Criterion) {
-    let f = fixture();
+fn bench_simulation(g: &mut BenchGroup, f: &Fixture) {
     let nl = sequential::build_sequential_ovr(&f.q_ovr);
-    let samples: Vec<Vec<i64>> = f
-        .test
-        .features()
-        .iter()
-        .take(16)
-        .map(|x| f.q_ovr.quantize_input(x))
-        .collect();
-    let mut g = c.benchmark_group("simulation");
-    g.bench_function("sequential_16_classifications", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new(&nl).unwrap();
-            for xq in &samples {
-                for (i, &v) in xq.iter().enumerate() {
-                    sim.set_input(&format!("x{i}"), v);
-                }
-                for _ in 0..3 {
-                    sim.tick();
-                }
-                black_box(sim.output_unsigned("class"));
-            }
-        })
+    let samples: Vec<Vec<i64>> =
+        f.test.features().iter().take(16).map(|x| f.q_ovr.quantize_input(x)).collect();
+    g.bench("sequential_16_classifications", || {
+        let mut sim = Simulator::new(&nl).unwrap();
+        black_box(sim.run_batch(&samples, 3, "class"));
     });
-    g.finish();
 }
 
-fn bench_analysis(c: &mut Criterion) {
-    let f = fixture();
+fn bench_analysis(g: &mut BenchGroup, f: &Fixture) {
     let nl = parallel::build_parallel_svm(&f.q_ovo);
     let lib = EgfetLibrary::standard();
     let tech = TechParams::standard();
-    let mut g = c.benchmark_group("analysis");
-    g.bench_function("sta_parallel_cardio", |b| {
-        b.iter(|| black_box(pe_synth::analyze_timing(&nl, &lib, &tech).unwrap()))
+    g.bench("sta_parallel_cardio", || {
+        black_box(pe_synth::analyze_timing(&nl, &lib, &tech).unwrap());
     });
-    g.bench_function("area_parallel_cardio", |b| {
-        b.iter(|| black_box(pe_synth::analyze_area(&nl, &lib)))
+    g.bench("area_parallel_cardio", || {
+        black_box(pe_synth::analyze_area(&nl, &lib));
     });
     let activity = pe_sim::ActivityReport::uniform(nl.num_nets(), 100, 0.3);
-    g.bench_function("power_parallel_cardio", |b| {
-        b.iter(|| {
-            black_box(pe_synth::analyze_power(&nl, &lib, &tech, &activity, 20.0).unwrap())
-        })
+    g.bench("power_parallel_cardio", || {
+        black_box(pe_synth::analyze_power(&nl, &lib, &tech, &activity, 20.0).unwrap());
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_training,
-    bench_elaboration,
-    bench_simulation,
-    bench_analysis
-);
-criterion_main!(benches);
+fn main() {
+    let f = fixture();
+    let mut g = BenchGroup::new("training");
+    bench_training(&mut g, &f);
+    let mut g = BenchGroup::new("elaboration");
+    bench_elaboration(&mut g, &f);
+    let mut g = BenchGroup::new("simulation");
+    bench_simulation(&mut g, &f);
+    let mut g = BenchGroup::new("analysis");
+    bench_analysis(&mut g, &f);
+}

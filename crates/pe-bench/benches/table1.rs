@@ -1,25 +1,23 @@
-//! Criterion benches over Table-I row generation: the full
-//! train → quantize → elaborate → verify → analyze pipeline per design
-//! style.
+//! Benches over Table-I row generation: the full train → quantize →
+//! elaborate → verify → analyze pipeline per design style, plus the
+//! engine's parallel-grid scaling.
 //!
 //! The `table1` *binary* regenerates the paper's exhibit; this bench
 //! measures how fast the reproduction pipeline itself runs (Cardio and
 //! RedWine are used as the representative small/medium datasets so the
 //! bench suite stays in CI-friendly time).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use pe_core::pipeline::{run_experiment, RunOptions};
+use pe_bench::harness::{black_box, BenchGroup};
+use pe_core::engine::{ExperimentEngine, Job};
+use pe_core::pipeline::RunOptions;
 use pe_core::styles::DesignStyle;
 use pe_data::UciProfile;
-use std::hint::black_box;
 
 fn bench_opts() -> RunOptions {
     RunOptions { max_sim_samples: 20, ..RunOptions::default() }
 }
 
-fn bench_rows(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1_row");
-    g.sample_size(10);
+fn bench_rows(g: &mut BenchGroup) {
     for (profile, style, name) in [
         (UciProfile::Cardio, DesignStyle::SequentialSvm, "cardio_ours"),
         (UciProfile::Cardio, DesignStyle::ParallelSvm, "cardio_svm2"),
@@ -28,13 +26,29 @@ fn bench_rows(c: &mut Criterion) {
         (UciProfile::RedWine, DesignStyle::SequentialSvm, "redwine_ours"),
         (UciProfile::RedWine, DesignStyle::ParallelSvm, "redwine_svm2"),
     ] {
-        let opts = bench_opts();
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(run_experiment(profile, style, &opts)));
+        g.bench(name, || {
+            black_box(ExperimentEngine::single(profile, style, bench_opts()).run());
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_rows);
-criterion_main!(benches);
+fn bench_grid_scaling(g: &mut BenchGroup) {
+    // One dataset, all four styles: how much the scoped-thread engine buys.
+    let jobs: Vec<Job> =
+        DesignStyle::all().into_iter().map(|s| Job::new(UciProfile::Cardio, s)).collect();
+    for (threads, name) in [(1usize, "cardio_grid_1_thread"), (4, "cardio_grid_4_threads")] {
+        let jobs = jobs.clone();
+        g.bench(name, move || {
+            black_box(
+                ExperimentEngine::new(jobs.clone(), bench_opts()).with_threads(threads).run(),
+            );
+        });
+    }
+}
+
+fn main() {
+    let mut g = BenchGroup::new("table1_row");
+    bench_rows(&mut g);
+    let mut g = BenchGroup::new("engine");
+    bench_grid_scaling(&mut g);
+}

@@ -3,16 +3,30 @@
 //! ROM (with printed-ADC cost), and sensitivity of the headline energy
 //! claim to the PDK calibration.
 //!
+//! All hardware evaluation rides on one [`ExperimentEngine`], so the
+//! sequential models are trained once and reused across the MUX-vs-crossbar
+//! analysis and every PDK variant.
+//!
 //! Usage: `cargo run --release -p pe-bench --bin ablations`
 
 use pe_cells::{EgfetLibrary, TechParams};
 use pe_core::ablation;
-use pe_core::pipeline::{prepare_model, run_experiment, PreparedModel, RunOptions};
+use pe_core::engine::{ExperimentEngine, Job};
+use pe_core::pipeline::{PreparedModel, RunOptions};
 use pe_core::styles::DesignStyle;
 use pe_data::UciProfile;
 
 fn main() {
-    let opts = RunOptions::default();
+    let opts = RunOptions { max_sim_samples: 60, ..RunOptions::default() };
+    // One engine for everything: Cardio (ours + [2]) for the PDK study; the
+    // model cache additionally serves the storage ablation for all profiles.
+    let engine = ExperimentEngine::new(
+        vec![
+            Job::new(UciProfile::Cardio, DesignStyle::SequentialSvm),
+            Job::new(UciProfile::Cardio, DesignStyle::ParallelSvm),
+        ],
+        opts,
+    );
 
     println!("# Ablation 1: OvR vs OvO stored classifiers (the paper's storage argument)\n");
     println!("| dataset | classes | OvR classifiers | OvO classifiers |");
@@ -32,15 +46,19 @@ fn main() {
     println!("| dataset | MUX-ROM area (cm2) | crossbar area (cm2) | crossbar ADCs | crossbar power (mW) |");
     println!("|---|---|---|---|---|");
     for profile in UciProfile::all() {
-        let prepared = prepare_model(profile, DesignStyle::SequentialSvm, &opts);
+        let prepared = engine.prepared(profile, DesignStyle::SequentialSvm);
         let PreparedModel::Svm(q) = &prepared.model else {
             unreachable!("sequential style prepares an SVM");
         };
-        let (mux_area, xbar_area) = ablation::mux_vs_crossbar_area(q, &opts.lib);
+        let (mux_area, xbar_area) = ablation::mux_vs_crossbar_area(q, &engine.options().lib);
         let cost = ablation::CrossbarModel::default().cost(q);
         println!(
             "| {} | {:.2} | {:.2} | {} | {:.2} |",
-            profile.name(), mux_area, xbar_area, cost.adcs, cost.power_mw
+            profile.name(),
+            mux_area,
+            xbar_area,
+            cost.adcs,
+            cost.power_mw
         );
     }
 
@@ -53,13 +71,22 @@ fn main() {
         ("2x static power", EgfetLibrary::scaled(1.0, 2.0, 1.0, 1.0), TechParams::standard()),
         ("no glitch model", EgfetLibrary::standard(), TechParams::standard().with_glitch(0.0)),
     ];
-    for (name, lib, tech) in variants {
-        let o = RunOptions { lib: lib.clone(), tech, max_sim_samples: 60, ..RunOptions::default() };
-        let ours = run_experiment(UciProfile::Cardio, DesignStyle::SequentialSvm, &o);
-        let sota = run_experiment(UciProfile::Cardio, DesignStyle::ParallelSvm, &o);
+    for (name, lib, tech) in &variants {
+        // Memoized models: only the hardware half re-runs per variant.
+        let table = engine.run_with_pdk(lib, tech);
+        let ours = &table.rows[0];
+        let sota = &table.rows[1];
         println!(
             "| {} | {:.3} | {:.3} | {:.2}x |",
-            name, ours.energy_mj, sota.energy_mj, sota.energy_mj / ours.energy_mj
+            name,
+            ours.energy_mj,
+            sota.energy_mj,
+            sota.energy_mj / ours.energy_mj
         );
     }
+    eprintln!(
+        "(models trained: {} — shared across {} PDK variants and the storage ablation)",
+        engine.trainings(),
+        variants.len()
+    );
 }

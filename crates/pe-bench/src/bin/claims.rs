@@ -42,7 +42,11 @@ fn main() {
     let f = table.battery_feasibility(&battery);
     println!(
         "\n{}: ours powered {}/{} | state of the art powered {}/{} (paper: 5/5 vs 4/13)",
-        battery.name(), f.ours_ok, f.ours_total, f.sota_ok, f.sota_total
+        battery.name(),
+        f.ours_ok,
+        f.ours_total,
+        f.sota_ok,
+        f.sota_total
     );
     // The PenDigits exception: OvO with many support vectors out-scores OvR.
     if let (Some(ours), Some(sota)) = (
@@ -58,7 +62,12 @@ fn main() {
         for ours in table.style_rows(DesignStyle::SequentialSvm) {
             if let Some(base) = table.row(&ours.dataset, style) {
                 let who = if ours.energy_mj < base.energy_mj { "ours" } else { base.style.label() };
-                println!("energy winner on {:<12} vs {:<9}: {}", ours.dataset, base.style.label(), who);
+                println!(
+                    "energy winner on {:<12} vs {:<9}: {}",
+                    ours.dataset,
+                    base.style.label(),
+                    who
+                );
             }
         }
     }

@@ -18,9 +18,7 @@ fn main() {
     println!("| Dataset | Model | Acc. paper/ours (%) | Area paper/ours (cm2) | Power paper/ours (mW) | Freq paper/ours (Hz) | Latency paper/ours (ms) | Energy paper/ours (mJ) |");
     println!("|---|---|---|---|---|---|---|---|");
     for r in &table.rows {
-        let p = paper
-            .iter()
-            .find(|p| p.dataset == r.dataset && p.style == r.style);
+        let p = paper.iter().find(|p| p.dataset == r.dataset && p.style == r.style);
         match p {
             Some(p) => println!(
                 "| {} | {} | {:.1} / {:.1} | {:.1} / {:.1} | {:.1} / {:.2} | {:.0} / {:.0} | {:.0} / {:.0} | {:.2} / {:.3} |",

@@ -3,20 +3,25 @@
 //! measures how many faults actually flip classifications on a real
 //! workload (faults masked by quantization/argmax margins are benign).
 //!
+//! The model comes from the shared [`ExperimentEngine`] cache and the
+//! campaign fans out over the engine's thread helper, one shard per worker.
+//!
 //! Usage: `cargo run --release -p pe-bench --bin faults [max_faults]`
 
-use pe_core::pipeline::{build_netlist, prepare_model, PreparedModel, RunOptions};
+use pe_core::engine::{self, ExperimentEngine};
+use pe_core::pipeline::{build_netlist, PreparedModel, RunOptions};
 use pe_core::styles::DesignStyle;
 use pe_data::UciProfile;
-use pe_sim::faults::{enumerate_fault_sites, fault_campaign_comb};
+use pe_sim::faults::{enumerate_fault_sites, fault_campaign_comb, FaultReport, FaultSite};
 
 fn main() {
-    let max_faults: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(400);
-    let opts = RunOptions::default();
-    let prepared = prepare_model(UciProfile::Cardio, DesignStyle::ParallelSvm, &opts);
+    let max_faults: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(400);
+    let engine = ExperimentEngine::single(
+        UciProfile::Cardio,
+        DesignStyle::ParallelSvm,
+        RunOptions::default(),
+    );
+    let prepared = engine.prepared(UciProfile::Cardio, DesignStyle::ParallelSvm);
     let nl = build_netlist(DesignStyle::ParallelSvm, &prepared);
     let PreparedModel::Svm(q) = &prepared.model else { unreachable!() };
 
@@ -27,23 +32,35 @@ fn main() {
         .iter()
         .take(40)
         .map(|x| {
-            q.quantize_input(x)
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| (format!("x{i}"), v))
-                .collect()
+            q.quantize_input(x).iter().enumerate().map(|(i, &v)| (format!("x{i}"), v)).collect()
         })
         .collect();
     let mut sites = enumerate_fault_sites(&nl);
     let step = (sites.len() / max_faults).max(1);
     sites = sites.into_iter().step_by(step).collect();
+    let threads = pe_bench::grid_threads();
     eprintln!(
-        "fault campaign: {} sites (of {} cells), {} workload vectors...",
+        "fault campaign: {} sites (of {} cells), {} workload vectors, {} threads...",
         sites.len(),
         nl.num_cells(),
-        workload.len()
+        workload.len(),
+        threads
     );
-    let report = fault_campaign_comb(&nl, &sites, &workload, "class").expect("acyclic");
+    // Shard the site list across workers; each shard is an independent
+    // campaign and the totals merge by addition.
+    let shards: Vec<Vec<FaultSite>> =
+        sites.chunks(sites.len().div_ceil(threads).max(1)).map(<[_]>::to_vec).collect();
+    let partials = engine::parallel_map(&shards, threads, |shard| {
+        fault_campaign_comb(&nl, shard, &workload, "class").expect("acyclic")
+    });
+    let report =
+        partials.into_iter().fold(FaultReport { critical: 0, benign: 0, total: 0 }, |acc, r| {
+            FaultReport {
+                critical: acc.critical + r.critical,
+                benign: acc.benign + r.benign,
+                total: acc.total + r.total,
+            }
+        });
     println!("# Single-stuck-at fault campaign (Cardio, parallel SVM [2])\n");
     println!("faults simulated : {}", report.total);
     println!("critical         : {} ({:.1} %)", report.critical, 100.0 * report.criticality());

@@ -5,7 +5,8 @@
 //!
 //! Usage: `cargo run --release -p pe-bench --bin figure1 [dataset]`
 
-use pe_core::pipeline::{run_experiment, RunOptions};
+use pe_core::engine::ExperimentEngine;
+use pe_core::pipeline::RunOptions;
 use pe_core::styles::DesignStyle;
 use pe_data::UciProfile;
 
@@ -15,7 +16,10 @@ fn main() {
         .into_iter()
         .find(|p| p.name().eq_ignore_ascii_case(&arg))
         .unwrap_or(UciProfile::Cardio);
-    let r = run_experiment(profile, DesignStyle::SequentialSvm, &RunOptions::default());
+    let engine =
+        ExperimentEngine::single(profile, DesignStyle::SequentialSvm, RunOptions::default());
+    let mut table = engine.run();
+    let r = table.rows.remove(0);
 
     println!("# Fig. 1 — sequential SVM architecture ({})\n", profile.name());
     println!("```");

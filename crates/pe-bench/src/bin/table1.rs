@@ -8,7 +8,10 @@ use pe_core::pipeline::RunOptions;
 
 fn main() {
     let opts = RunOptions::default();
-    eprintln!("building Table I (5 datasets x 4 design styles)...");
+    eprintln!(
+        "building Table I (5 datasets x 4 design styles) on {} threads...",
+        pe_bench::grid_threads()
+    );
     let table = build_table1(&opts);
     println!("\n# Table I (reproduced)\n");
     println!("{}", table.to_markdown());

@@ -1,0 +1,114 @@
+//! A tiny self-contained micro-benchmark harness.
+//!
+//! The build environment has no crates.io access, so the Criterion bench
+//! targets are driven by this module instead (`harness = false` in the
+//! manifest). It keeps the parts that matter for this workspace's benches —
+//! warmup, repeated timed runs, min/mean/median reporting, substring
+//! filtering from the command line — and nothing else.
+//!
+//! Environment knobs:
+//!
+//! * `PE_BENCH_ITERS` — fixed iteration count per benchmark (default:
+//!   adaptive, until ~1 s of samples or 30 iterations).
+//! * Positional CLI args act as substring filters on `group/name`, like
+//!   `cargo bench -- <filter>`.
+
+use std::time::{Duration, Instant};
+
+/// A named group of benchmarks with shared configuration.
+pub struct BenchGroup {
+    group: String,
+    filters: Vec<String>,
+    iters_override: Option<usize>,
+}
+
+impl BenchGroup {
+    /// Creates a group, reading filters from the process arguments and
+    /// iteration overrides from the environment.
+    #[must_use]
+    pub fn new(group: &str) -> Self {
+        let filters = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+        let iters_override =
+            std::env::var("PE_BENCH_ITERS").ok().and_then(|s| s.parse().ok()).filter(|&n| n >= 1);
+        BenchGroup { group: group.to_owned(), filters, iters_override }
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    /// Times `f`, printing a one-line summary. The closure should perform
+    /// one complete unit of the measured work per call.
+    pub fn bench(&mut self, name: &str, mut f: impl FnMut()) {
+        let id = format!("{}/{}", self.group, name);
+        if !self.selected(&id) {
+            return;
+        }
+        // Warmup (also primes caches and lazy statics).
+        f();
+        let budget = Duration::from_secs(1);
+        let max_iters = self.iters_override.unwrap_or(30);
+        let mut samples = Vec::new();
+        let started = Instant::now();
+        while samples.len() < max_iters
+            && (self.iters_override.is_some() || started.elapsed() < budget || samples.len() < 3)
+        {
+            let t0 = Instant::now();
+            f();
+            samples.push(t0.elapsed());
+        }
+        samples.sort_unstable();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{id:<44} min {:>10}  median {:>10}  mean {:>10}  ({} iters)",
+            fmt(min),
+            fmt(median),
+            fmt(mean),
+            samples.len()
+        );
+    }
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Prevents the optimizer from deleting a computed value (stable-Rust
+/// equivalent of `criterion::black_box` for our purposes).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_formats() {
+        std::env::set_var("PE_BENCH_ITERS", "2");
+        let mut g = BenchGroup::new("t");
+        let mut calls = 0usize;
+        g.bench("noop", || calls += 1);
+        assert!(calls >= 1);
+        std::env::remove_var("PE_BENCH_ITERS");
+    }
+
+    #[test]
+    fn duration_formatting_covers_scales() {
+        assert!(fmt(Duration::from_nanos(12)).ends_with("ns"));
+        assert!(fmt(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt(Duration::from_secs(2)).ends_with('s'));
+    }
+}

@@ -1,32 +1,46 @@
 //! Benchmark harness for the DATE'25 sequential-SVM paper: shared driver
 //! code used by the `table1`, `claims`, `figure1` and `ablations` binaries
-//! and by the Criterion benches.
+//! and by the bench targets.
+//!
+//! All grid evaluation goes through [`pe_core::engine::ExperimentEngine`]:
+//! one trained model per `(dataset, style)` pair, jobs fanned out over
+//! scoped threads, results in deterministic Table-I order.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
+pub mod harness;
 
-use pe_core::pipeline::{run_experiment, RunOptions};
+use pe_core::engine::{ExperimentEngine, StderrProgress};
+use pe_core::pipeline::RunOptions;
 use pe_core::report::Table1;
-use pe_core::styles::DesignStyle;
-use pe_data::UciProfile;
 
-/// Runs the full evaluation grid (5 datasets × 4 design styles) and collects
-/// the rows in the paper's order (baselines first, ours last, per dataset).
+/// The engine for the paper's full evaluation grid (5 datasets × 4 design
+/// styles) with the default thread count. Binaries that need memoized
+/// models or PDK variants hold on to the engine itself.
+#[must_use]
+pub fn table1_engine(opts: &RunOptions) -> ExperimentEngine {
+    ExperimentEngine::table1_grid(opts.clone()).with_threads(grid_threads())
+}
+
+/// Runs the full evaluation grid and collects the rows in the paper's order
+/// (baselines first, ours last, per dataset), printing per-row progress to
+/// stderr as jobs finish.
 #[must_use]
 pub fn build_table1(opts: &RunOptions) -> Table1 {
-    let mut table = Table1::default();
-    for profile in UciProfile::all() {
-        for style in DesignStyle::all() {
-            let row = run_experiment(profile, style, opts);
-            eprintln!("  done: {}", row.one_line());
-            table.push(row);
-        }
-    }
-    table
+    table1_engine(opts).run_streaming(&mut StderrProgress)
 }
 
 /// Fast options for CI-sized runs (fewer simulated samples).
 #[must_use]
 pub fn quick_options() -> RunOptions {
     RunOptions { max_sim_samples: 60, ..RunOptions::default() }
+}
+
+/// Worker threads for grid runs: `PE_THREADS` if set, else the machine's
+/// parallelism. Thread count never changes results, only wall-clock.
+#[must_use]
+pub fn grid_threads() -> usize {
+    std::env::var("PE_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| pe_core::engine::default_threads(usize::MAX))
 }

@@ -6,10 +6,10 @@
 //! ADCs), and the sequential folding itself. This module quantifies each so
 //! the bench harness can regenerate the arguments.
 
+use pe_cells::EgfetLibrary;
 use pe_ml::QuantizedSvm;
 use pe_netlist::{Builder, Netlist, Word};
 use pe_synth::{analyze_area, mux};
-use pe_cells::EgfetLibrary;
 
 /// Storage demand of a multi-class SVM: how many coefficients must live in
 /// the storage component.
@@ -30,11 +30,7 @@ pub fn storage_demand(q: &QuantizedSvm) -> StorageDemand {
     let classifiers = q.classifiers().len();
     let per = q.num_features() + 1; // weights + bias
     let coefficients = classifiers * per;
-    StorageDemand {
-        classifiers,
-        coefficients,
-        bits: coefficients * q.weight_bits() as usize,
-    }
+    StorageDemand { classifiers, coefficients, bits: coefficients * q.weight_bits() as usize }
 }
 
 /// The OvR-vs-OvO storage argument: for `n` classes OvR stores `n`
@@ -113,8 +109,7 @@ impl CrossbarModel {
     pub fn cost(&self, q: &QuantizedSvm) -> CrossbarCost {
         let demand = storage_demand(q);
         let adcs = q.num_features() + 1;
-        let area_mm2 =
-            demand.bits as f64 * self.bit_area_mm2 + adcs as f64 * self.adc_area_mm2;
+        let area_mm2 = demand.bits as f64 * self.bit_area_mm2 + adcs as f64 * self.adc_area_mm2;
         let power_mw =
             demand.bits as f64 * self.bit_power_uw / 1000.0 + adcs as f64 * self.adc_power_mw;
         CrossbarCost { area_cm2: area_mm2 / 100.0, power_mw, adcs }

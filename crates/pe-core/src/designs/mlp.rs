@@ -24,9 +24,7 @@ pub fn build_parallel_mlp(q: &QuantizedMlp) -> Netlist {
     let m = q.w1_q()[0].len();
     let k = q.input_bits() as usize;
     let mut b = Builder::new(format!("par_mlp_{n}c_{m}f"));
-    let xs: Vec<Word> = (0..m)
-        .map(|i| Word::new(b.input_bus(format!("x{i}"), k), false))
-        .collect();
+    let xs: Vec<Word> = (0..m).map(|i| Word::new(b.input_bus(format!("x{i}"), k), false)).collect();
 
     // ---- Hidden layer. -----------------------------------------------------
     b.group("layer1");
@@ -37,12 +35,9 @@ pub fn build_parallel_mlp(q: &QuantizedMlp) -> Netlist {
         .iter()
         .zip(q.b1_q())
         .map(|(row, &bias)| {
-            let mut terms: Vec<Word> = xs
-                .iter()
-                .zip(row)
-                .map(|(x, &w)| mult::mul_const(&mut b, x, w))
-                .collect();
-            let acc = tree::sum_chain(&mut b, &terms.drain(..).collect::<Vec<_>>());
+            let mut terms: Vec<Word> =
+                xs.iter().zip(row).map(|(x, &w)| mult::mul_const(&mut b, x, w)).collect();
+            let acc = tree::sum_chain(&mut b, &std::mem::take(&mut terms));
             let acc = adder::add_const(&mut b, &acc, bias);
             // ReLU: signed accumulators clamp at zero; already-unsigned
             // accumulators (all-positive weight rows) pass through.
@@ -60,12 +55,9 @@ pub fn build_parallel_mlp(q: &QuantizedMlp) -> Netlist {
         .iter()
         .zip(q.b2_q())
         .map(|(row, &bias)| {
-            let mut terms: Vec<Word> = hidden
-                .iter()
-                .zip(row)
-                .map(|(h, &w)| mult::mul_const(&mut b, h, w))
-                .collect();
-            let acc = tree::sum_chain(&mut b, &terms.drain(..).collect::<Vec<_>>());
+            let mut terms: Vec<Word> =
+                hidden.iter().zip(row).map(|(h, &w)| mult::mul_const(&mut b, h, w)).collect();
+            let acc = tree::sum_chain(&mut b, &std::mem::take(&mut terms));
             adder::add_const(&mut b, &acc, bias)
         })
         .collect();
@@ -93,8 +85,7 @@ fn requantize(b: &mut Builder, x: &Word, shift: usize, cap_bits: usize) -> Word 
     }
     let (low, high) = shifted.split_at(cap_bits);
     let overflow = cmp::or_reduce(b, high);
-    let bits: Vec<pe_netlist::NetId> =
-        low.iter().map(|&n| b.or2(n, overflow)).collect();
+    let bits: Vec<pe_netlist::NetId> = low.iter().map(|&n| b.or2(n, overflow)).collect();
     Word::new(bits, false)
 }
 
@@ -143,11 +134,7 @@ mod tests {
         let mut sim = Simulator::new(&nl).unwrap();
         for (i, x) in probe.features().iter().enumerate() {
             let x_q = q.quantize_input(x);
-            assert_eq!(
-                classify(&mut sim, &x_q),
-                q.predict_int(&x_q) as i64,
-                "sample {i}"
-            );
+            assert_eq!(classify(&mut sim, &x_q), q.predict_int(&x_q) as i64, "sample {i}");
         }
     }
 

@@ -35,9 +35,7 @@ pub fn build_parallel_svm(q: &QuantizedSvm) -> Netlist {
         MulticlassScheme::OneVsOne => "ovo",
     };
     let mut b = Builder::new(format!("par_svm_{style}_{n}c_{m}f"));
-    let xs: Vec<Word> = (0..m)
-        .map(|i| Word::new(b.input_bus(format!("x{i}"), k), false))
-        .collect();
+    let xs: Vec<Word> = (0..m).map(|i| Word::new(b.input_bus(format!("x{i}"), k), false)).collect();
 
     // ---- One bespoke datapath per classifier. -----------------------------
     b.group("classifiers");
@@ -45,12 +43,9 @@ pub fn build_parallel_svm(q: &QuantizedSvm) -> Netlist {
         .classifiers()
         .iter()
         .map(|c| {
-            let mut terms: Vec<Word> = xs
-                .iter()
-                .zip(&c.weights_q)
-                .map(|(x, &w)| mult::mul_const(&mut b, x, w))
-                .collect();
-            let sum = tree::sum_chain(&mut b, &terms.drain(..).collect::<Vec<_>>());
+            let mut terms: Vec<Word> =
+                xs.iter().zip(&c.weights_q).map(|(x, &w)| mult::mul_const(&mut b, x, w)).collect();
+            let sum = tree::sum_chain(&mut b, &std::mem::take(&mut terms));
             adder::add_const(&mut b, &sum, c.bias_q)
         })
         .collect();
@@ -73,10 +68,8 @@ pub fn build_parallel_svm(q: &QuantizedSvm) -> Netlist {
                 let nb = b.inv(*bit);
                 per_class_votes[c].push(nb);
             }
-            let counts: Vec<Word> = per_class_votes
-                .iter()
-                .map(|bits| tree::popcount(&mut b, bits))
-                .collect();
+            let counts: Vec<Word> =
+                per_class_votes.iter().map(|bits| tree::popcount(&mut b, bits)).collect();
             let (_, idx) = cmp::max_argmax(&mut b, &counts);
             idx
         }

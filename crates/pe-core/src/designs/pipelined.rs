@@ -33,9 +33,7 @@ pub fn build_pipelined_ovr(q: &QuantizedSvm) -> Netlist {
     let k = q.input_bits() as usize;
 
     let mut b = Builder::new(format!("seq_svm_pipe_{n}c_{m}f"));
-    let xs: Vec<Word> = (0..m)
-        .map(|i| Word::new(b.input_bus(format!("x{i}"), k), false))
-        .collect();
+    let xs: Vec<Word> = (0..m).map(|i| Word::new(b.input_bus(format!("x{i}"), k), false)).collect();
 
     b.group("control");
     let ctr = counter_mod(&mut b, n, None);
@@ -162,11 +160,7 @@ mod tests {
         let mut sim = Simulator::new(&nl).unwrap();
         for (i, x) in test.features().iter().take(40).enumerate() {
             let x_q = q.quantize_input(x);
-            assert_eq!(
-                classify(&mut sim, &x_q, cycles),
-                q.predict_int(&x_q) as i64,
-                "sample {i}"
-            );
+            assert_eq!(classify(&mut sim, &x_q, cycles), q.predict_int(&x_q) as i64, "sample {i}");
         }
     }
 

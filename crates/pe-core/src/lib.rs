@@ -20,6 +20,9 @@
 //!   **verify bit-exact against the integer golden model** → simulate for
 //!   switching activity → STA/area/power → [`report::DesignReport`] with the
 //!   paper's six metrics (accuracy, area, power, frequency, latency, energy).
+//! * [`engine`] — the shared [`ExperimentEngine`]: a parallel, memoizing
+//!   runner for `(dataset × style)` job grids, used by every reproduction
+//!   binary, bench and example.
 //! * [`report`] — Table-I-shaped rendering plus the derived claims (energy
 //!   ratios, accuracy deltas, printed-battery feasibility).
 //! * [`ablation`] — the design alternatives §II discusses: OvR vs OvO
@@ -46,11 +49,13 @@
 
 pub mod ablation;
 pub mod designs;
+pub mod engine;
 pub mod pipeline;
 pub mod report;
 pub mod styles;
 pub mod sweep;
 
+pub use engine::{ExperimentEngine, Job, ReportSink};
 pub use pipeline::{run_experiment, RunOptions};
 pub use report::{DesignReport, Table1};
 pub use styles::DesignStyle;

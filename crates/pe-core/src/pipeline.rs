@@ -185,8 +185,7 @@ pub fn prepare_model(profile: UciProfile, style: DesignStyle, opts: &RunOptions)
                     let reference = model.accuracy(&train_q);
                     let spec = SearchSpec::new(min, max, tolerance, reference);
                     let outcome = search_lowest_width(spec, |w| {
-                        QuantizedSvm::quantize(&model, params.input_bits, w)
-                            .accuracy(&train_q)
+                        QuantizedSvm::quantize(&model, params.input_bits, w).accuracy(&train_q)
                     });
                     (
                         outcome.width,
@@ -238,26 +237,43 @@ pub fn cycles_per_inference(style: DesignStyle, prepared: &Prepared) -> u64 {
 
 /// Runs one full Table-I cell-row: see the [module docs](self).
 ///
+/// This is the canonical single-job entry point; grid runs go through
+/// [`crate::engine::ExperimentEngine`], which reuses [`prepare_model`]
+/// results across jobs and calls [`run_prepared`] with the memoized model.
+///
 /// # Panics
 ///
 /// Panics if the generated circuit cannot be scheduled (would indicate an
 /// internal bug; generated designs are acyclic by construction).
 #[must_use]
-pub fn run_experiment(
+pub fn run_experiment(profile: UciProfile, style: DesignStyle, opts: &RunOptions) -> DesignReport {
+    let prepared = prepare_model(profile, style, opts);
+    run_prepared(profile, style, &prepared, opts)
+}
+
+/// The hardware half of [`run_experiment`]: elaborate, verify, simulate and
+/// analyze an already-prepared model. Exposed so the engine (and analyses
+/// that sweep PDK variants) can reuse one trained model across runs.
+///
+/// # Panics
+///
+/// Panics if the generated circuit cannot be scheduled (would indicate an
+/// internal bug; generated designs are acyclic by construction).
+#[must_use]
+pub fn run_prepared(
     profile: UciProfile,
     style: DesignStyle,
+    prepared: &Prepared,
     opts: &RunOptions,
 ) -> DesignReport {
-    let prepared = prepare_model(profile, style, opts);
-    let nl = build_netlist(style, &prepared);
-    let cycles = cycles_per_inference(style, &prepared);
+    let nl = build_netlist(style, prepared);
+    let cycles = cycles_per_inference(style, prepared);
 
-    // Gate-level verification + activity extraction over test samples.
-    let mut sim = Simulator::new(&nl).expect("generated designs are acyclic");
-    sim.enable_activity();
-    let mut mismatches = 0usize;
-    let mut verified = 0usize;
+    // Gate-level verification + activity extraction over test samples, in
+    // one batched simulator call.
     let n_sim = prepared.test.len().min(opts.max_sim_samples);
+    let mut vectors = Vec::with_capacity(n_sim);
+    let mut goldens = Vec::with_capacity(n_sim);
     for i in 0..n_sim {
         let (x, _) = prepared.test.sample(i);
         let (x_q, golden) = match &prepared.model {
@@ -272,22 +288,16 @@ pub fn run_experiment(
                 (xq, g)
             }
         };
-        for (j, &v) in x_q.iter().enumerate() {
-            sim.set_input(&format!("x{j}"), v);
-        }
-        if style == DesignStyle::SequentialSvm {
-            for _ in 0..cycles {
-                sim.tick();
-            }
-        } else {
-            sim.sample_comb();
-        }
-        let got = sim.output_unsigned("class") as usize;
-        verified += 1;
-        if got != golden {
-            mismatches += 1;
-        }
+        vectors.push(x_q);
+        goldens.push(golden);
     }
+    let mut sim = Simulator::new(&nl).expect("generated designs are acyclic");
+    sim.enable_activity();
+    let cycles_per_vector = if style == DesignStyle::SequentialSvm { cycles } else { 0 };
+    let batch = sim.run_batch(&vectors, cycles_per_vector, "class");
+    let verified = batch.outputs.len();
+    let mismatches =
+        batch.outputs.iter().zip(&goldens).filter(|(&got, &want)| got as usize != want).count();
     let activity = sim.activity();
 
     let timing = pe_synth::analyze_timing(&nl, &opts.lib, &opts.tech)

@@ -89,9 +89,7 @@ impl Table1 {
     /// The row for a (dataset, style) pair.
     #[must_use]
     pub fn row(&self, dataset: &str, style: DesignStyle) -> Option<&DesignReport> {
-        self.rows
-            .iter()
-            .find(|r| r.dataset == dataset && r.style == style)
+        self.rows.iter().find(|r| r.dataset == dataset && r.style == style)
     }
 
     /// Markdown rendering in the paper's column order.
@@ -249,15 +247,8 @@ pub struct PaperRow {
 #[must_use]
 pub fn paper_table1() -> Vec<PaperRow> {
     use DesignStyle::{ApproxParallelSvm, ParallelMlp, ParallelSvm, SequentialSvm};
-    let r = |dataset, style, acc_pct, area_cm2, power_mw, freq_hz, latency_ms, energy_mj| PaperRow {
-        dataset,
-        style,
-        acc_pct,
-        area_cm2,
-        power_mw,
-        freq_hz,
-        latency_ms,
-        energy_mj,
+    let r = |dataset, style, acc_pct, area_cm2, power_mw, freq_hz, latency_ms, energy_mj| {
+        PaperRow { dataset, style, acc_pct, area_cm2, power_mw, freq_hz, latency_ms, energy_mj }
     };
     vec![
         r("Cardio", ParallelSvm, 90.0, 15.1, 57.4, 13.0, 75.0, 4.31),

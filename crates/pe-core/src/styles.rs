@@ -169,9 +169,7 @@ mod tests {
         let derm = default_params(DesignStyle::ParallelMlp, UciProfile::Dermatology);
         let rw = default_params(DesignStyle::ParallelMlp, UciProfile::RedWine);
         assert!(derm.mlp.unwrap().hidden > rw.mlp.unwrap().hidden);
-        assert!(default_params(DesignStyle::ParallelMlp, UciProfile::PenDigits)
-            .mlp
-            .is_some());
+        assert!(default_params(DesignStyle::ParallelMlp, UciProfile::PenDigits).mlp.is_some());
     }
 
     #[test]

@@ -88,18 +88,25 @@ pub fn sweep_point(
     let q_seq = QuantizedSvm::quantize(&ovr, 4, 6);
     let q_par = QuantizedSvm::quantize(&ovo, 8, 6);
 
-    let (seq_energy_mj, seq_area_cm2) =
-        measure(&sequential::build_sequential_ovr(&q_seq), &q_seq, true, sim_samples, &test, lib, tech);
-    let (par_energy_mj, par_area_cm2) =
-        measure(&parallel::build_parallel_svm(&q_par), &q_par, false, sim_samples, &test, lib, tech);
-    SweepPoint {
-        n_classes,
-        n_features,
-        seq_energy_mj,
-        par_energy_mj,
-        seq_area_cm2,
-        par_area_cm2,
-    }
+    let (seq_energy_mj, seq_area_cm2) = measure(
+        &sequential::build_sequential_ovr(&q_seq),
+        &q_seq,
+        true,
+        sim_samples,
+        &test,
+        lib,
+        tech,
+    );
+    let (par_energy_mj, par_area_cm2) = measure(
+        &parallel::build_parallel_svm(&q_par),
+        &q_par,
+        false,
+        sim_samples,
+        &test,
+        lib,
+        tech,
+    );
+    SweepPoint { n_classes, n_features, seq_energy_mj, par_energy_mj, seq_area_cm2, par_area_cm2 }
 }
 
 fn measure(
@@ -113,30 +120,22 @@ fn measure(
 ) -> (f64, f64) {
     let mut sim = Simulator::new(nl).expect("acyclic");
     sim.enable_activity();
-    for x in test.features().iter().take(sim_samples) {
-        let x_q = q.quantize_input(x);
-        for (i, &v) in x_q.iter().enumerate() {
-            sim.set_input(&format!("x{i}"), v);
-        }
-        if sequential {
-            for _ in 0..q.num_classes() {
-                sim.tick();
-            }
-        } else {
-            sim.sample_comb();
-        }
-    }
+    let vectors: Vec<Vec<i64>> =
+        test.features().iter().take(sim_samples).map(|x| q.quantize_input(x)).collect();
+    let cycles_per_vector = if sequential { q.num_classes() as u64 } else { 0 };
+    sim.run_batch(&vectors, cycles_per_vector, "class");
     let activity = sim.activity();
     let timing = pe_synth::analyze_timing(nl, lib, tech).expect("acyclic");
     let area = pe_synth::analyze_area(nl, lib);
-    let power =
-        pe_synth::analyze_power(nl, lib, tech, &activity, timing.freq_hz).expect("acyclic");
+    let power = pe_synth::analyze_power(nl, lib, tech, &activity, timing.freq_hz).expect("acyclic");
     let cycles = if sequential { q.num_classes() as f64 } else { 1.0 };
     let energy = power.total_mw * cycles * timing.clock_period_ms / 1000.0;
     (energy, area.total_cm2)
 }
 
-/// Sweeps the class count at a fixed feature count.
+/// Sweeps the class count at a fixed feature count. Points are evaluated in
+/// parallel through the engine's fan-out helper; the result order matches
+/// `class_counts` regardless of thread scheduling.
 #[must_use]
 pub fn class_count_sweep(
     class_counts: &[usize],
@@ -146,10 +145,10 @@ pub fn class_count_sweep(
     tech: &TechParams,
     seed: u64,
 ) -> Vec<SweepPoint> {
-    class_counts
-        .iter()
-        .map(|&n| sweep_point(n, n_features, sim_samples, lib, tech, seed))
-        .collect()
+    let threads = crate::engine::default_threads(class_counts.len());
+    crate::engine::parallel_map(class_counts, threads, |&n| {
+        sweep_point(n, n_features, sim_samples, lib, tech, seed)
+    })
 }
 
 #[cfg(test)]

@@ -32,8 +32,7 @@ pub fn parse_csv(name: &str, text: &str) -> Result<Dataset, DatasetError> {
                 "need at least one feature and a label".into(),
             ));
         }
-        let parsed: Result<Vec<f64>, _> =
-            fields.iter().map(|f| f.parse::<f64>()).collect();
+        let parsed: Result<Vec<f64>, _> = fields.iter().map(|f| f.parse::<f64>()).collect();
         match parsed {
             Err(_) if !header_skipped && features.is_empty() => {
                 // Tolerate one header line.
@@ -62,8 +61,7 @@ pub fn parse_csv(name: &str, text: &str) -> Result<Dataset, DatasetError> {
     // Re-index labels densely in sorted order (wine quality scores 3..9
     // become 0..6, etc.).
     let unique: std::collections::BTreeSet<i64> = raw_labels.iter().copied().collect();
-    let index: BTreeMap<i64, usize> =
-        unique.into_iter().enumerate().map(|(i, l)| (l, i)).collect();
+    let index: BTreeMap<i64, usize> = unique.into_iter().enumerate().map(|(i, l)| (l, i)).collect();
     let n_classes = index.len();
     let labels: Vec<usize> = raw_labels.iter().map(|l| index[l]).collect();
     Dataset::new(name, features, labels, n_classes)

@@ -186,7 +186,7 @@ impl Dataset {
     /// Panics if `bits` is 0 or greater than 16.
     #[must_use]
     pub fn quantize_inputs(&self, bits: u32) -> Dataset {
-        assert!(bits >= 1 && bits <= 16, "input precision out of range");
+        assert!((1..=16).contains(&bits), "input precision out of range");
         let levels = (1u32 << bits) - 1;
         let q = |v: f64| {
             let c = v.clamp(0.0, 1.0);
@@ -194,11 +194,7 @@ impl Dataset {
         };
         Dataset {
             name: self.name.clone(),
-            features: self
-                .features
-                .iter()
-                .map(|row| row.iter().map(|&v| q(v)).collect())
-                .collect(),
+            features: self.features.iter().map(|row| row.iter().map(|&v| q(v)).collect()).collect(),
             labels: self.labels.clone(),
             n_classes: self.n_classes,
         }
@@ -272,12 +268,7 @@ mod tests {
     fn toy() -> Dataset {
         Dataset::new(
             "toy",
-            vec![
-                vec![0.0, 10.0],
-                vec![1.0, 20.0],
-                vec![2.0, 30.0],
-                vec![3.0, 40.0],
-            ],
+            vec![vec![0.0, 10.0], vec![1.0, 20.0], vec![2.0, 30.0], vec![3.0, 40.0]],
             vec![0, 1, 0, 1],
             2,
         )

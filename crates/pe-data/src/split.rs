@@ -14,10 +14,7 @@ use rand::SeedableRng;
 /// non-empty.
 #[must_use]
 pub fn train_test_split(data: &Dataset, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
-    assert!(
-        test_fraction > 0.0 && test_fraction < 1.0,
-        "test fraction must be in (0, 1)"
-    );
+    assert!(test_fraction > 0.0 && test_fraction < 1.0, "test fraction must be in (0, 1)");
     let mut idx: Vec<usize> = (0..data.len()).collect();
     let mut rng = StdRng::seed_from_u64(seed);
     idx.shuffle(&mut rng);
@@ -45,10 +42,7 @@ pub fn train_test_split(data: &Dataset, test_fraction: f64, seed: u64) -> (Datas
 /// sample on each side.
 #[must_use]
 pub fn stratified_split(data: &Dataset, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
-    assert!(
-        test_fraction > 0.0 && test_fraction < 1.0,
-        "test fraction must be in (0, 1)"
-    );
+    assert!(test_fraction > 0.0 && test_fraction < 1.0, "test fraction must be in (0, 1)");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut train_idx = Vec::new();
     let mut test_idx = Vec::new();
@@ -61,10 +55,7 @@ pub fn stratified_split(data: &Dataset, test_fraction: f64, seed: u64) -> (Datas
         members.shuffle(&mut rng);
         let n_test = (((members.len() as f64) * test_fraction).round() as usize)
             .clamp(1, members.len().saturating_sub(1).max(1));
-        assert!(
-            members.len() >= 2,
-            "class {class} has fewer than 2 samples; cannot split"
-        );
+        assert!(members.len() >= 2, "class {class} has fewer than 2 samples; cannot split");
         test_idx.extend_from_slice(&members[..n_test]);
         train_idx.extend_from_slice(&members[n_test..]);
     }
@@ -99,12 +90,8 @@ mod tests {
     fn split_is_a_partition() {
         let d = data(50);
         let (train, test) = train_test_split(&d, 0.2, 1);
-        let mut seen: Vec<f64> = train
-            .features()
-            .iter()
-            .chain(test.features())
-            .map(|r| r[0])
-            .collect();
+        let mut seen: Vec<f64> =
+            train.features().iter().chain(test.features()).map(|r| r[0]).collect();
         seen.sort_by(f64::total_cmp);
         let expect: Vec<f64> = (0..50).map(|i| i as f64).collect();
         assert_eq!(seen, expect);

@@ -70,12 +70,8 @@ pub fn separability(data: &Dataset) -> f64 {
     // Within-class spread.
     let mut within = 0.0f64;
     for (row, &l) in data.features().iter().zip(data.labels()) {
-        let dist: f64 = row
-            .iter()
-            .zip(&centroids[l])
-            .map(|(v, c)| (v - c).powi(2))
-            .sum::<f64>()
-            .sqrt();
+        let dist: f64 =
+            row.iter().zip(&centroids[l]).map(|(v, c)| (v - c).powi(2)).sum::<f64>().sqrt();
         within += dist;
     }
     within /= data.len() as f64;
@@ -122,13 +118,7 @@ mod tests {
 
     #[test]
     fn feature_stats_match_hand_computation() {
-        let d = Dataset::new(
-            "t",
-            vec![vec![1.0, 10.0], vec![3.0, 10.0]],
-            vec![0, 1],
-            2,
-        )
-        .unwrap();
+        let d = Dataset::new("t", vec![vec![1.0, 10.0], vec![3.0, 10.0]], vec![0, 1], 2).unwrap();
         let s = feature_stats(&d);
         assert_eq!(s.means, vec![2.0, 10.0]);
         assert!((s.std_devs[0] - 1.0).abs() < 1e-12);

@@ -151,10 +151,7 @@ impl SyntheticSpec {
     }
 
     fn pick_class(cumulative: &[f64], u: f64) -> usize {
-        cumulative
-            .iter()
-            .position(|&c| u < c)
-            .unwrap_or(cumulative.len() - 1)
+        cumulative.iter().position(|&c| u < c).unwrap_or(cumulative.len() - 1)
     }
 }
 
@@ -215,8 +212,8 @@ impl UciProfile {
                 n_features: 21,
                 n_classes: 3,
                 informative: 12,
-                class_sep: 0.55,
-                noise: 0.22,
+                class_sep: 0.68,
+                noise: 0.20,
                 label_noise: 0.035,
                 class_weights: vec![0.78, 0.14, 0.08],
                 geometry: Geometry::Blobs,
@@ -227,8 +224,8 @@ impl UciProfile {
                 n_features: 34,
                 n_classes: 6,
                 informative: 20,
-                class_sep: 0.85,
-                noise: 0.20,
+                class_sep: 1.0,
+                noise: 0.19,
                 label_noise: 0.0,
                 class_weights: vec![0.31, 0.17, 0.20, 0.13, 0.14, 0.05],
                 geometry: Geometry::Blobs,
@@ -381,8 +378,7 @@ mod tests {
             sums[l] += row[0];
             counts[l] += 1;
         }
-        let means: Vec<f64> =
-            sums.iter().zip(&counts).map(|(s, &c)| s / c.max(1) as f64).collect();
+        let means: Vec<f64> = sums.iter().zip(&counts).map(|(s, &c)| s / c.max(1) as f64).collect();
         let spread = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - means.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(spread > spec.class_sep, "ring means should spread, got {spread}");

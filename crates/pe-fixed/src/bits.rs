@@ -11,7 +11,7 @@
 /// Panics if `width` is 0 or greater than 63.
 #[must_use]
 pub fn min_signed(width: u32) -> i64 {
-    assert!(width >= 1 && width <= 63, "width {width} out of range 1..=63");
+    assert!((1..=63).contains(&width), "width {width} out of range 1..=63");
     -(1i64 << (width - 1))
 }
 
@@ -22,7 +22,7 @@ pub fn min_signed(width: u32) -> i64 {
 /// Panics if `width` is 0 or greater than 63.
 #[must_use]
 pub fn max_signed(width: u32) -> i64 {
-    assert!(width >= 1 && width <= 63, "width {width} out of range 1..=63");
+    assert!((1..=63).contains(&width), "width {width} out of range 1..=63");
     (1i64 << (width - 1)) - 1
 }
 
@@ -33,7 +33,7 @@ pub fn max_signed(width: u32) -> i64 {
 /// Panics if `width` is 0 or greater than 63.
 #[must_use]
 pub fn max_unsigned(width: u32) -> i64 {
-    assert!(width >= 1 && width <= 63, "width {width} out of range 1..=63");
+    assert!((1..=63).contains(&width), "width {width} out of range 1..=63");
     (1i64 << width) - 1
 }
 
@@ -112,7 +112,7 @@ pub fn to_bits_lsb_first(value: i64, width: u32) -> Vec<bool> {
 /// Panics if `bits.len() != width as usize` or `width` is 0 or greater than 63.
 #[must_use]
 pub fn from_bits_signed(bits: &[bool], width: u32) -> i64 {
-    assert!(width >= 1 && width <= 63);
+    assert!((1..=63).contains(&width));
     assert_eq!(bits.len(), width as usize, "bit vector length mismatch");
     let mut v: i64 = 0;
     for (i, &b) in bits.iter().enumerate() {
@@ -134,7 +134,7 @@ pub fn from_bits_signed(bits: &[bool], width: u32) -> i64 {
 /// Panics if `bits.len() != width as usize` or `width` is 0 or greater than 63.
 #[must_use]
 pub fn from_bits_unsigned(bits: &[bool], width: u32) -> i64 {
-    assert!(width >= 1 && width <= 63);
+    assert!((1..=63).contains(&width));
     assert_eq!(bits.len(), width as usize, "bit vector length mismatch");
     let mut v: i64 = 0;
     for (i, &b) in bits.iter().enumerate() {
@@ -149,7 +149,7 @@ pub fn from_bits_unsigned(bits: &[bool], width: u32) -> i64 {
 /// truncation, i.e. what a hardware register of that width stores).
 #[must_use]
 pub fn wrap_signed(value: i64, width: u32) -> i64 {
-    assert!(width >= 1 && width <= 63);
+    assert!((1..=63).contains(&width));
     let m = 1i64 << width;
     let mut v = value.rem_euclid(m);
     if v >= m / 2 {

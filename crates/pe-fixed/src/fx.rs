@@ -123,11 +123,7 @@ impl FxFormat {
     pub fn product(&self, rhs: &FxFormat) -> FxFormat {
         let width = self.width + rhs.width;
         assert!(width <= 32, "product width {width} exceeds 32 bits");
-        FxFormat {
-            width,
-            frac: self.frac + rhs.frac,
-            signed: self.signed || rhs.signed,
-        }
+        FxFormat { width, frac: self.frac + rhs.frac, signed: self.signed || rhs.signed }
     }
 
     /// Format of a sum of `n` operands of this format: `ceil(log2(n))` guard
@@ -139,7 +135,7 @@ impl FxFormat {
     #[must_use]
     pub fn sum_of(&self, n: usize) -> FxFormat {
         assert!(n >= 1, "sum of zero operands");
-        let guard = (usize::BITS - (n - 1).leading_zeros()) as u32;
+        let guard = usize::BITS - (n - 1).leading_zeros();
         let width = self.width + guard;
         assert!(width <= 32, "sum width {width} exceeds 32 bits");
         FxFormat { width, frac: self.frac, signed: self.signed }

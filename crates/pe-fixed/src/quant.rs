@@ -28,7 +28,12 @@ impl QuantScheme {
     /// # Errors
     ///
     /// Returns [`FixedError::InvalidWidth`] for widths outside `1..=32`.
-    pub fn new(width: u32, frac: i32, signed: bool, rounding: Rounding) -> Result<Self, FixedError> {
+    pub fn new(
+        width: u32,
+        frac: i32,
+        signed: bool,
+        rounding: Rounding,
+    ) -> Result<Self, FixedError> {
         if width == 0 || width > 32 {
             return Err(FixedError::InvalidWidth(width));
         }
@@ -80,11 +85,8 @@ impl QuantScheme {
         if max_abs == 0.0 {
             return Ok(QuantScheme { width, frac: 0, signed, rounding: Rounding::default() });
         }
-        let limit = if signed {
-            bits::max_signed(width) as f64
-        } else {
-            bits::max_unsigned(width) as f64
-        };
+        let limit =
+            if signed { bits::max_signed(width) as f64 } else { bits::max_unsigned(width) as f64 };
         // Largest frac with round(max_abs * 2^frac) <= limit. Start from the
         // analytic guess and walk down while rounding overflows.
         let mut frac = (limit / max_abs).log2().floor() as i32;

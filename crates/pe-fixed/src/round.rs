@@ -54,10 +54,7 @@ impl Rounding {
     #[must_use]
     pub fn to_i64(self, x: f64) -> i64 {
         let r = self.apply(x);
-        assert!(
-            r >= i64::MIN as f64 && r <= i64::MAX as f64,
-            "rounded value {r} overflows i64"
-        );
+        assert!(r >= i64::MIN as f64 && r <= i64::MAX as f64, "rounded value {r} overflows i64");
         r as i64
     }
 }

@@ -85,9 +85,7 @@ mod tests {
         // Accuracy ramps with width: 4->0.80, 5->0.88, 6->0.92, 7->0.93, 8->0.93.
         let table = [(4u32, 0.80), (5, 0.88), (6, 0.92), (7, 0.93), (8, 0.93)];
         let spec = SearchSpec::new(4, 8, 0.01, 0.93);
-        let out = search_lowest_width(spec, |w| {
-            table.iter().find(|(tw, _)| *tw == w).unwrap().1
-        });
+        let out = search_lowest_width(spec, |w| table.iter().find(|(tw, _)| *tw == w).unwrap().1);
         assert_eq!(out.width, 6);
         assert!(out.met_tolerance);
         assert_eq!(out.trace.len(), 3);

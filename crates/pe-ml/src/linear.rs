@@ -97,10 +97,8 @@ pub fn train_binary_svm(
     // Augmented representation: x' = [x, 1] so the bias is learned as the
     // last weight.
     let aug = dim + 1;
-    let q_diag: Vec<f64> = features
-        .iter()
-        .map(|x| x.iter().map(|v| v * v).sum::<f64>() + 1.0)
-        .collect();
+    let q_diag: Vec<f64> =
+        features.iter().map(|x| x.iter().map(|v| v * v).sum::<f64>() + 1.0).collect();
     let n_pos = labels.iter().filter(|&&y| y > 0.0).count().max(1);
     let n_neg = (n - n_pos).max(1);
     let c_pos = if params.balance_classes {
@@ -167,11 +165,8 @@ pub fn train_one_vs_rest(
     params: &SvmTrainParams,
 ) -> LinearModel {
     assert!(positive_class < data.num_classes(), "class out of range");
-    let labels: Vec<f64> = data
-        .labels()
-        .iter()
-        .map(|&l| if l == positive_class { 1.0 } else { -1.0 })
-        .collect();
+    let labels: Vec<f64> =
+        data.labels().iter().map(|&l| if l == positive_class { 1.0 } else { -1.0 }).collect();
     train_binary_svm(data.features(), &labels, params)
 }
 
@@ -244,11 +239,8 @@ mod tests {
         // |decision| = 1.
         let (x, y) = linearly_separable(40);
         let m = train_binary_svm(&x, &y, &SvmTrainParams::default());
-        let min_margin = x
-            .iter()
-            .zip(&y)
-            .map(|(xi, &yi)| m.decision(xi) * yi)
-            .fold(f64::INFINITY, f64::min);
+        let min_margin =
+            x.iter().zip(&y).map(|(xi, &yi)| m.decision(xi) * yi).fold(f64::INFINITY, f64::min);
         assert!(min_margin > 0.5, "margin {min_margin} too small");
     }
 

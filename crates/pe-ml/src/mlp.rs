@@ -57,15 +57,15 @@ impl Mlp {
         let d_out = data.num_classes();
         let h = params.hidden;
         let mut rng = StdRng::seed_from_u64(params.seed);
-        let mut init = |fan_in: usize| {
+        let init = |fan_in: usize| {
             let scale = (1.0 / fan_in as f64).sqrt();
             move |rng: &mut StdRng| (rng.gen::<f64>() * 2.0 - 1.0) * scale
         };
-        let mut i1 = init(d_in);
+        let i1 = init(d_in);
         let mut w1: Vec<Vec<f64>> =
             (0..h).map(|_| (0..d_in).map(|_| i1(&mut rng)).collect()).collect();
         let mut b1 = vec![0.0f64; h];
-        let mut i2 = init(h);
+        let i2 = init(h);
         let mut w2: Vec<Vec<f64>> =
             (0..d_out).map(|_| (0..h).map(|_| i2(&mut rng)).collect()).collect();
         let mut b2 = vec![0.0f64; d_out];
@@ -84,8 +84,7 @@ impl Mlp {
                     // Forward.
                     let mut hidden = vec![0.0f64; h];
                     for (hi, row) in w1.iter().enumerate() {
-                        let z: f64 =
-                            row.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + b1[hi];
+                        let z: f64 = row.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + b1[hi];
                         hidden[hi] = z.max(0.0);
                     }
                     let mut logits = vec![0.0f64; d_out];
@@ -110,8 +109,7 @@ impl Mlp {
                         if hidden[hi] <= 0.0 {
                             continue; // ReLU gate closed
                         }
-                        let delta_h: f64 =
-                            (0..d_out).map(|oi| delta_out[oi] * w2[oi][hi]).sum();
+                        let delta_h: f64 = (0..d_out).map(|oi| delta_out[oi] * w2[oi][hi]).sum();
                         for (g, &v) in g_w1[hi].iter_mut().zip(x) {
                             *g += delta_h * v;
                         }
@@ -167,9 +165,7 @@ impl Mlp {
         self.w1
             .iter()
             .zip(&self.b1)
-            .map(|(row, &b)| {
-                (row.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + b).max(0.0)
-            })
+            .map(|(row, &b)| (row.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + b).max(0.0))
             .collect()
     }
 
@@ -221,10 +217,8 @@ mod tests {
             labels.push(l);
         }
         let d = Dataset::new("xor", feats, labels, 2).unwrap();
-        let m = Mlp::train(
-            &d,
-            &MlpTrainParams { hidden: 6, epochs: 400, ..MlpTrainParams::default() },
-        );
+        let m =
+            Mlp::train(&d, &MlpTrainParams { hidden: 6, epochs: 400, ..MlpTrainParams::default() });
         let acc = m.accuracy(&d);
         assert!(acc > 0.95, "xor accuracy {acc}");
     }
@@ -265,6 +259,6 @@ mod tests {
         assert_eq!(m.w2()[0].len(), 5);
         assert_eq!(m.b1().len(), 5);
         assert_eq!(m.b2().len(), 3);
-        assert_eq!(m.hidden(&vec![0.5; 21]).len(), 5);
+        assert_eq!(m.hidden(&[0.5; 21]).len(), 5);
     }
 }

@@ -40,8 +40,7 @@ impl SvmModel {
         assert!(n >= 2, "multi-class training needs at least 2 classes");
         match scheme {
             MulticlassScheme::OneVsRest => {
-                let models =
-                    (0..n).map(|k| train_one_vs_rest(data, k, params)).collect();
+                let models = (0..n).map(|k| train_one_vs_rest(data, k, params)).collect();
                 SvmModel { scheme, n_classes: n, models, pairs: Vec::new() }
             }
             MulticlassScheme::OneVsOne => {

@@ -41,11 +41,7 @@ impl Default for PegasosParams {
 /// Panics if inputs are empty, lengths mismatch, a label is not `±1`, or
 /// the hyper-parameters are non-positive.
 #[must_use]
-pub fn train_pegasos(
-    features: &[Vec<f64>],
-    labels: &[f64],
-    params: &PegasosParams,
-) -> LinearModel {
+pub fn train_pegasos(features: &[Vec<f64>], labels: &[f64], params: &PegasosParams) -> LinearModel {
     assert!(!features.is_empty(), "no training samples");
     assert_eq!(features.len(), labels.len(), "sample/label count mismatch");
     assert!(labels.iter().all(|&y| y == 1.0 || y == -1.0), "labels must be ±1");
@@ -59,8 +55,7 @@ pub fn train_pegasos(
         let xi = &features[i];
         let yi = labels[i];
         let eta = 1.0 / (params.lambda * t as f64);
-        let wx: f64 =
-            xi.iter().zip(&w).map(|(v, wj)| v * wj).sum::<f64>() + w[dim];
+        let wx: f64 = xi.iter().zip(&w).map(|(v, wj)| v * wj).sum::<f64>() + w[dim];
         // Sub-gradient step: shrink, then (on margin violation) pull.
         let shrink = 1.0 - eta * params.lambda;
         for wj in &mut w {
@@ -126,9 +121,8 @@ mod tests {
         let dual = train_binary_svm(&x, &y, &SvmTrainParams::default());
         let primal = train_pegasos(&x, &y, &PegasosParams::default());
         let mut agree = 0usize;
-        let probe: Vec<Vec<f64>> = (0..100)
-            .map(|i| vec![(i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0])
-            .collect();
+        let probe: Vec<Vec<f64>> =
+            (0..100).map(|i| vec![(i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0]).collect();
         for p in &probe {
             if (dual.decision(p) > 0.0) == (primal.decision(p) > 0.0) {
                 agree += 1;
@@ -149,12 +143,7 @@ mod tests {
         let (x, y) = separable(30);
         let p = PegasosParams { lambda: 0.01, iterations: 10_000, ..PegasosParams::default() };
         let m = train_pegasos(&x, &y, &p);
-        let norm: f64 = m
-            .weights()
-            .iter()
-            .map(|v| v * v)
-            .sum::<f64>()
-            .sqrt();
+        let norm: f64 = m.weights().iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(norm <= 1.0 / p.lambda.sqrt() + 1e-9);
     }
 

@@ -68,11 +68,8 @@ impl QuantizedSvm {
     pub fn quantize(model: &SvmModel, input_bits: u32, weight_bits: u32) -> Self {
         assert!((1..=16).contains(&input_bits), "input bits out of range");
         assert!((1..=16).contains(&weight_bits), "weight bits out of range");
-        let all_weights: Vec<f64> = model
-            .classifiers()
-            .iter()
-            .flat_map(|m| m.weights().iter().copied())
-            .collect();
+        let all_weights: Vec<f64> =
+            model.classifiers().iter().flat_map(|m| m.weights().iter().copied()).collect();
         let ws = QuantScheme::fit_signed(&all_weights, weight_bits)
             .expect("a trained model has weights");
         let levels = f64::from((1u32 << input_bits) - 1);
@@ -149,9 +146,7 @@ impl QuantizedSvm {
     #[must_use]
     pub fn quantize_input(&self, x: &[f64]) -> Vec<i64> {
         let levels = f64::from((1u32 << self.input_bits) - 1);
-        x.iter()
-            .map(|&v| (v.clamp(0.0, 1.0) * levels).round() as i64)
-            .collect()
+        x.iter().map(|&v| (v.clamp(0.0, 1.0) * levels).round() as i64).collect()
     }
 
     /// Integer scores of all classifiers for a quantized sample.
@@ -205,8 +200,7 @@ impl QuantizedSvm {
     /// Test accuracy under integer inference.
     #[must_use]
     pub fn accuracy(&self, data: &Dataset) -> f64 {
-        let preds: Vec<usize> =
-            data.features().iter().map(|x| self.predict(x)).collect();
+        let preds: Vec<usize> = data.features().iter().map(|x| self.predict(x)).collect();
         accuracy(&preds, data.labels())
     }
 
@@ -219,7 +213,7 @@ impl QuantizedSvm {
         let approx = |v: i64| -> i64 {
             let mut terms = fxbits::csd(v);
             // Keep the largest-magnitude digits.
-            terms.sort_by(|a, b| b.0.cmp(&a.0));
+            terms.sort_by_key(|t| std::cmp::Reverse(t.0));
             terms.truncate(max_terms);
             fxbits::csd_value(&terms)
         };
@@ -286,13 +280,9 @@ impl QuantizedMlp {
         let ws2 = QuantScheme::fit_signed(&flat2, weight_bits).expect("non-empty weights");
         let levels = f64::from((1u32 << input_bits) - 1);
         let b1_scale = (2.0f64).powi(ws1.frac()) * levels;
-        let w1_q: Vec<Vec<i64>> = mlp
-            .w1()
-            .iter()
-            .map(|row| row.iter().map(|&w| ws1.quantize(w)).collect())
-            .collect();
-        let b1_q: Vec<i64> =
-            mlp.b1().iter().map(|&b| (b * b1_scale).round() as i64).collect();
+        let w1_q: Vec<Vec<i64>> =
+            mlp.w1().iter().map(|row| row.iter().map(|&w| ws1.quantize(w)).collect()).collect();
+        let b1_q: Vec<i64> = mlp.b1().iter().map(|&b| (b * b1_scale).round() as i64).collect();
         // Calibrate the hidden shift: find the max integer pre-activation.
         let mut max_acc = 0i64;
         for x in calibration.features() {
@@ -309,13 +299,9 @@ impl QuantizedMlp {
         // s_h = s_w1 · s_x · 2^shift.
         let s_h = (2.0f64).powi(-ws1.frac()) / levels * (2.0f64).powi(hidden_shift as i32);
         let b2_scale = (2.0f64).powi(ws2.frac()) / s_h;
-        let w2_q: Vec<Vec<i64>> = mlp
-            .w2()
-            .iter()
-            .map(|row| row.iter().map(|&w| ws2.quantize(w)).collect())
-            .collect();
-        let b2_q: Vec<i64> =
-            mlp.b2().iter().map(|&b| (b * b2_scale).round() as i64).collect();
+        let w2_q: Vec<Vec<i64>> =
+            mlp.w2().iter().map(|row| row.iter().map(|&w| ws2.quantize(w)).collect()).collect();
+        let b2_q: Vec<i64> = mlp.b2().iter().map(|&b| (b * b2_scale).round() as i64).collect();
         QuantizedMlp {
             w1_q,
             b1_q,
@@ -381,9 +367,7 @@ impl QuantizedMlp {
     #[must_use]
     pub fn quantize_input(&self, x: &[f64]) -> Vec<i64> {
         let levels = f64::from((1u32 << self.input_bits) - 1);
-        x.iter()
-            .map(|&v| (v.clamp(0.0, 1.0) * levels).round() as i64)
-            .collect()
+        x.iter().map(|&v| (v.clamp(0.0, 1.0) * levels).round() as i64).collect()
     }
 
     /// Integer hidden activations after ReLU, shift and saturation.
@@ -433,8 +417,7 @@ impl QuantizedMlp {
     /// Test accuracy under integer inference.
     #[must_use]
     pub fn accuracy(&self, data: &Dataset) -> f64 {
-        let preds: Vec<usize> =
-            data.features().iter().map(|x| self.predict(x)).collect();
+        let preds: Vec<usize> = data.features().iter().map(|x| self.predict(x)).collect();
         accuracy(&preds, data.labels())
     }
 }

@@ -37,12 +37,8 @@ impl CvResult {
             return 0.0;
         }
         let mean = self.mean();
-        let var = self
-            .fold_accuracies
-            .iter()
-            .map(|a| (a - mean).powi(2))
-            .sum::<f64>()
-            / (n - 1) as f64;
+        let var =
+            self.fold_accuracies.iter().map(|a| (a - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
         var.sqrt()
     }
 }
@@ -63,18 +59,10 @@ where
     idx.shuffle(&mut rng);
     let mut fold_accuracies = Vec::with_capacity(k);
     for fold in 0..k {
-        let test_idx: Vec<usize> = idx
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i % k == fold)
-            .map(|(_, &v)| v)
-            .collect();
-        let train_idx: Vec<usize> = idx
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i % k != fold)
-            .map(|(_, &v)| v)
-            .collect();
+        let test_idx: Vec<usize> =
+            idx.iter().enumerate().filter(|(i, _)| i % k == fold).map(|(_, &v)| v).collect();
+        let train_idx: Vec<usize> =
+            idx.iter().enumerate().filter(|(i, _)| i % k != fold).map(|(_, &v)| v).collect();
         let mut train_sorted = train_idx;
         let mut test_sorted = test_idx;
         train_sorted.sort_unstable();

@@ -125,8 +125,7 @@ impl Builder {
 
     /// Declares a multi-bit primary output (LSB first).
     pub fn output_bus(&mut self, name: impl Into<String>, bits: &[NetId]) {
-        self.ports
-            .push(Port { name: name.into(), dir: PortDir::Output, bits: bits.to_vec() });
+        self.ports.push(Port { name: name.into(), dir: PortDir::Output, bits: bits.to_vec() });
     }
 
     /// Attaches a debug name to a net (keeps any existing name).
@@ -303,7 +302,7 @@ impl Builder {
     /// 3-input AND (decomposes constants, emits `And3` otherwise).
     pub fn and3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
         let consts = [self.as_const(a), self.as_const(b), self.as_const(c)];
-        if consts.iter().any(|&v| v == Some(false)) {
+        if consts.contains(&Some(false)) {
             return self.constant(false);
         }
         if consts.iter().any(|v| v.is_some()) || a == b || b == c || a == c {
@@ -316,7 +315,7 @@ impl Builder {
     /// 3-input OR (decomposes constants, emits `Or3` otherwise).
     pub fn or3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
         let consts = [self.as_const(a), self.as_const(b), self.as_const(c)];
-        if consts.iter().any(|&v| v == Some(true)) {
+        if consts.contains(&Some(true)) {
             return self.constant(true);
         }
         if consts.iter().any(|v| v.is_some()) || a == b || b == c || a == c {
@@ -629,10 +628,14 @@ mod tests {
         assert_eq!(b.or3(x, c1, y), c1);
         let real = b.and3(x, y, z);
         let nl = b.finish();
-        assert_eq!(nl.cell(match nl.net(real).driver() {
-            crate::netlist::Driver::Cell(c) => c,
-            _ => panic!(),
-        }).kind(), CellKind::And3);
+        assert_eq!(
+            nl.cell(match nl.net(real).driver() {
+                crate::netlist::Driver::Cell(c) => c,
+                _ => panic!(),
+            })
+            .kind(),
+            CellKind::And3
+        );
     }
 
     #[test]

@@ -36,12 +36,8 @@ pub fn to_dot(nl: &Netlist) -> String {
                     let _ = writeln!(s, "  c{} -> c{};", src.index(), id.index());
                 }
                 Driver::Input => {
-                    if let Some(port) = nl
-                        .input_ports()
-                        .find(|p| p.bits().contains(&inp))
-                    {
-                        let _ =
-                            writeln!(s, "  \"{}\" -> c{};", sanitize(port.name()), id.index());
+                    if let Some(port) = nl.input_ports().find(|p| p.bits().contains(&inp)) {
+                        let _ = writeln!(s, "  \"{}\" -> c{};", sanitize(port.name()), id.index());
                     }
                 }
                 Driver::Const(_) => {}
@@ -60,9 +56,7 @@ pub fn to_dot(nl: &Netlist) -> String {
 }
 
 fn sanitize(name: &str) -> String {
-    name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
-        .collect()
+    name.chars().map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' }).collect()
 }
 
 #[cfg(test)]

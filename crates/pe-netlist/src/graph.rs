@@ -47,10 +47,8 @@ pub fn topo_order(nl: &Netlist) -> Result<Vec<CellId>, NetlistError> {
         }
     }
     let mut order = Vec::with_capacity(n);
-    let mut queue: Vec<CellId> = (0..n)
-        .filter(|&i| is_comb[i] && indeg[i] == 0)
-        .map(|i| CellId(i as u32))
-        .collect();
+    let mut queue: Vec<CellId> =
+        (0..n).filter(|&i| is_comb[i] && indeg[i] == 0).map(|i| CellId(i as u32)).collect();
     while let Some(c) = queue.pop() {
         order.push(c);
         for &next in &fanout[c.index()] {
@@ -174,7 +172,9 @@ pub fn dead_cells(nl: &Netlist) -> Vec<CellId> {
         }
     }
     (0..nl.num_cells())
-        .filter(|&i| !live[i] && !matches!(nl.cell(CellId(i as u32)).kind(), CellKind::Dff | CellKind::DffE))
+        .filter(|&i| {
+            !live[i] && !matches!(nl.cell(CellId(i as u32)).kind(), CellKind::Dff | CellKind::DffE)
+        })
         .map(|i| CellId(i as u32))
         .collect()
 }

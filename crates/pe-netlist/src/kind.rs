@@ -91,9 +91,7 @@ impl CellKind {
                     inputs[0]
                 }
             }
-            CellKind::Maj3 => {
-                (inputs[0] && inputs[1]) || (inputs[0] && inputs[2]) || (inputs[1] && inputs[2])
-            }
+            CellKind::Maj3 => (inputs[0] && (inputs[1] || inputs[2])) || (inputs[1] && inputs[2]),
             CellKind::Dff | CellKind::DffE => unreachable!(),
         }
     }

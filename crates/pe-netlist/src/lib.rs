@@ -53,5 +53,7 @@ pub mod word;
 
 pub use build::Builder;
 pub use kind::CellKind;
-pub use netlist::{Cell, CellId, Driver, GroupId, Net, NetId, Netlist, NetlistError, Port, PortDir};
+pub use netlist::{
+    Cell, CellId, Driver, GroupId, Net, NetId, Netlist, NetlistError, Port, PortDir,
+};
 pub use word::Word;

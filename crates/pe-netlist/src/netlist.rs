@@ -380,9 +380,7 @@ impl Netlist {
         // Every referenced net must have a driver.
         for c in &self.cells {
             for &inp in &c.inputs {
-                if matches!(self.nets[inp.index()].driver, Driver::Cell(_))
-                    && !seen[inp.index()]
-                {
+                if matches!(self.nets[inp.index()].driver, Driver::Cell(_)) && !seen[inp.index()] {
                     return Err(NetlistError::Undriven(inp));
                 }
             }

@@ -7,7 +7,7 @@
 //! netlist-to-netlist rewrite.
 
 use crate::graph;
-use crate::netlist::{Driver, Netlist, NetlistError};
+use crate::netlist::{Netlist, NetlistError};
 use crate::{Builder, CellKind, NetId};
 use std::collections::HashMap;
 
@@ -116,11 +116,8 @@ pub fn sweep(nl: &Netlist) -> Result<(Netlist, SweepStats), NetlistError> {
         }
     }
     for p in nl.output_ports() {
-        let bits: Vec<NetId> = p
-            .bits()
-            .iter()
-            .map(|n| *net_map.get(n).expect("outputs map"))
-            .collect();
+        let bits: Vec<NetId> =
+            p.bits().iter().map(|n| *net_map.get(n).expect("outputs map")).collect();
         if bits.len() == 1 {
             b.output(p.name().to_owned(), bits[0]);
         } else {
@@ -237,11 +234,7 @@ mod tests {
             let mut values = vec![false; nl.num_nets()];
             values[nl.const1().index()] = true;
             // Registers to init.
-            let regs: Vec<_> = nl
-                .cells()
-                .filter(|(_, c)| c.kind().is_sequential())
-                .map(|(id, c)| (id, c))
-                .collect();
+            let regs: Vec<_> = nl.cells().filter(|(_, c)| c.kind().is_sequential()).collect();
             for (_, c) in &regs {
                 values[c.output().index()] = c.init();
             }
@@ -257,8 +250,7 @@ mod tests {
             let eval = |values: &mut Vec<bool>| {
                 for &cid in &order {
                     let c = nl.cell(cid);
-                    let ins: Vec<bool> =
-                        c.inputs().iter().map(|n| values[n.index()]).collect();
+                    let ins: Vec<bool> = c.inputs().iter().map(|n| values[n.index()]).collect();
                     values[c.output().index()] = c.kind().eval(&ins);
                 }
             };
@@ -267,8 +259,7 @@ mod tests {
                 let next: Vec<bool> = regs
                     .iter()
                     .map(|(_, c)| {
-                        let ins: Vec<bool> =
-                            c.inputs().iter().map(|n| values[n.index()]).collect();
+                        let ins: Vec<bool> = c.inputs().iter().map(|n| values[n.index()]).collect();
                         c.kind().next_state(&ins, values[c.output().index()])
                     })
                     .collect();

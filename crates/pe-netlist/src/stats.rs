@@ -51,10 +51,7 @@ pub fn summarize(nl: &Netlist) -> Result<NetlistStats, NetlistError> {
     for &d in &comb_cells {
         depth_histogram[d as usize] += 1;
     }
-    let driven: Vec<u32> = nl
-        .cells()
-        .map(|(_, c)| fanouts[c.output().index()])
-        .collect();
+    let driven: Vec<u32> = nl.cells().map(|(_, c)| fanouts[c.output().index()]).collect();
     let max_fanout = driven.iter().copied().max().unwrap_or(0);
     let mean_fanout = if driven.is_empty() {
         0.0

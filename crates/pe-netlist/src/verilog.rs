@@ -61,8 +61,7 @@ pub fn to_verilog(nl: &Netlist) -> String {
                 if p.width() == 1 {
                     let _ = writeln!(s, "  assign n{} = {};", b.index(), sanitize(p.name()));
                 } else {
-                    let _ =
-                        writeln!(s, "  assign n{} = {}[{}];", b.index(), sanitize(p.name()), i);
+                    let _ = writeln!(s, "  assign n{} = {}[{}];", b.index(), sanitize(p.name()), i);
                 }
             }
         }
@@ -150,9 +149,7 @@ pub fn to_verilog(nl: &Netlist) -> String {
 }
 
 fn sanitize(name: &str) -> String {
-    name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
-        .collect()
+    name.chars().map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' }).collect()
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 //! vocabulary's operator forms, and `always @(posedge clk)` registers.
 
 use crate::build::Builder;
-use crate::netlist::{Netlist, NetId};
+use crate::netlist::{NetId, Netlist};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -184,7 +184,8 @@ pub fn from_verilog(text: &str) -> Result<Netlist, ParseVerilogError> {
     // Connect registers.
     for (rname, h) in handles {
         let info = &regs[&rname];
-        let d_expr = info.d.clone().ok_or_else(|| err(0, format!("register {rname} never driven")))?;
+        let d_expr =
+            info.d.clone().ok_or_else(|| err(0, format!("register {rname} never driven")))?;
         let d = eval_expr(&mut b, &env, &d_expr)
             .ok_or_else(|| err(0, format!("register {rname} data {d_expr} unresolved")))?;
         match &info.en {
@@ -199,9 +200,8 @@ pub fn from_verilog(text: &str) -> Result<Netlist, ParseVerilogError> {
     // Output ports read from env; bits named `port[i]` or scalar `port`.
     for (port, width) in &outputs {
         if *width == 1 {
-            let n = *env
-                .get(port)
-                .ok_or_else(|| err(0, format!("output {port} never assigned")))?;
+            let n =
+                *env.get(port).ok_or_else(|| err(0, format!("output {port} never assigned")))?;
             b.output(port.clone(), n);
         } else {
             let bits: Result<Vec<NetId>, _> = (0..*width)

@@ -179,6 +179,53 @@ pub fn fault_campaign_comb(
     Ok(FaultReport { critical, benign: faults.len() - critical, total: faults.len() })
 }
 
+/// Runs a fault campaign on a **sequential** design: each workload entry is
+/// driven for `cycles` clock ticks (inputs held), and the output port is
+/// compared against the fault-free run. The simulator is reset between
+/// samples so faults are judged per classification.
+///
+/// # Panics
+///
+/// Panics on unknown ports.
+///
+/// # Errors
+///
+/// Propagates scheduling errors.
+pub fn fault_campaign_seq(
+    nl: &Netlist,
+    faults: &[FaultSite],
+    workload: &[Vec<(String, i64)>],
+    out_port: &str,
+    cycles: u64,
+) -> Result<FaultReport, NetlistError> {
+    let run = |sim_faults: Vec<FaultSite>| -> Result<Vec<i64>, NetlistError> {
+        let mut responses = Vec::with_capacity(workload.len());
+        let mut fsim = FaultySimulator::new(nl, sim_faults)?;
+        for vec in workload {
+            fsim.sim.reset();
+            for f in fsim.faults.clone() {
+                fsim.sim.force_net(f.net, f.stuck_at);
+            }
+            for (p, v) in vec {
+                fsim.set_input(p, *v);
+            }
+            for _ in 0..cycles {
+                fsim.tick();
+            }
+            responses.push(fsim.output_unsigned(out_port));
+        }
+        Ok(responses)
+    };
+    let golden = run(Vec::new())?;
+    let mut critical = 0usize;
+    for &fault in faults {
+        if run(vec![fault])? != golden {
+            critical += 1;
+        }
+    }
+    Ok(FaultReport { critical, benign: faults.len() - critical, total: faults.len() })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,11 +273,8 @@ mod tests {
         let sites = enumerate_fault_sites(&nl);
         assert_eq!(sites.len(), 2 * 7, "7 gates -> 14 single-stuck-at faults");
         // Stuck the low sum bit at 0: 1+0 must come out wrong.
-        let s0_site = sites
-            .iter()
-            .find(|s| !s.stuck_at)
-            .copied()
-            .expect("at least one stuck-at-0 site");
+        let s0_site =
+            sites.iter().find(|s| !s.stuck_at).copied().expect("at least one stuck-at-0 site");
         let mut f = FaultySimulator::new(&nl, vec![s0_site]).unwrap();
         f.set_input("x", 1);
         f.set_input("y", 0);
@@ -290,51 +334,4 @@ mod tests {
         assert_eq!(report.total, 0);
         assert_eq!(report.criticality(), 0.0);
     }
-}
-
-/// Runs a fault campaign on a **sequential** design: each workload entry is
-/// driven for `cycles` clock ticks (inputs held), and the output port is
-/// compared against the fault-free run. The simulator is reset between
-/// samples so faults are judged per classification.
-///
-/// # Panics
-///
-/// Panics on unknown ports.
-///
-/// # Errors
-///
-/// Propagates scheduling errors.
-pub fn fault_campaign_seq(
-    nl: &Netlist,
-    faults: &[FaultSite],
-    workload: &[Vec<(String, i64)>],
-    out_port: &str,
-    cycles: u64,
-) -> Result<FaultReport, NetlistError> {
-    let run = |sim_faults: Vec<FaultSite>| -> Result<Vec<i64>, NetlistError> {
-        let mut responses = Vec::with_capacity(workload.len());
-        let mut fsim = FaultySimulator::new(nl, sim_faults)?;
-        for vec in workload {
-            fsim.sim.reset();
-            for f in fsim.faults.clone() {
-                fsim.sim.force_net(f.net, f.stuck_at);
-            }
-            for (p, v) in vec {
-                fsim.set_input(p, *v);
-            }
-            for _ in 0..cycles {
-                fsim.tick();
-            }
-            responses.push(fsim.output_unsigned(out_port));
-        }
-        Ok(responses)
-    };
-    let golden = run(Vec::new())?;
-    let mut critical = 0usize;
-    for &fault in faults {
-        if run(vec![fault])? != golden {
-            critical += 1;
-        }
-    }
-    Ok(FaultReport { critical, benign: faults.len() - critical, total: faults.len() })
 }

@@ -44,4 +44,4 @@ pub mod vcd;
 
 pub use activity::ActivityReport;
 pub use faults::{FaultReport, FaultSite, FaultySimulator};
-pub use sim::Simulator;
+pub use sim::{BatchResult, Simulator};

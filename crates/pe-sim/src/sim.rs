@@ -115,12 +115,9 @@ impl<'nl> Simulator<'nl> {
             .clone();
         let w = bits.len() as u32;
         assert!(w <= 63, "port {port} too wide");
-        let min = -(1i64 << (w - 1).max(0));
+        let min = -(1i64 << (w - 1));
         let max = (1i64 << w) - 1;
-        assert!(
-            value >= min && value <= max,
-            "value {value} does not fit {w}-bit port {port}"
-        );
+        assert!(value >= min && value <= max, "value {value} does not fit {w}-bit port {port}");
         for (i, &b) in bits.iter().enumerate() {
             self.values[b.index()] = (value >> i) & 1 == 1;
         }
@@ -242,10 +239,8 @@ impl<'nl> Simulator<'nl> {
     /// Panics if the port does not exist or is wider than 63 bits.
     #[must_use]
     pub fn output_unsigned(&self, port: &str) -> i64 {
-        let bits = self
-            .output_ports
-            .get(port)
-            .unwrap_or_else(|| panic!("no output port named {port:?}"));
+        let bits =
+            self.output_ports.get(port).unwrap_or_else(|| panic!("no output port named {port:?}"));
         assert!(bits.len() <= 63, "port {port} too wide");
         let mut v = 0i64;
         for (i, &b) in bits.iter().enumerate() {
@@ -263,10 +258,8 @@ impl<'nl> Simulator<'nl> {
     /// Panics if the port does not exist or is wider than 63 bits.
     #[must_use]
     pub fn output_signed(&self, port: &str) -> i64 {
-        let bits = self
-            .output_ports
-            .get(port)
-            .unwrap_or_else(|| panic!("no output port named {port:?}"));
+        let bits =
+            self.output_ports.get(port).unwrap_or_else(|| panic!("no output port named {port:?}"));
         let w = bits.len();
         let mut v = self.output_unsigned(port);
         if w > 0 && self.values[bits[w - 1].index()] {
@@ -279,6 +272,46 @@ impl<'nl> Simulator<'nl> {
     #[must_use]
     pub fn cycles(&self) -> u64 {
         self.cycles
+    }
+
+    /// Drives a whole batch of input vectors through the design and records
+    /// the value of `out_port` after each one — verification plus activity
+    /// extraction in a single call instead of a caller-side loop.
+    ///
+    /// Element `j` of each vector drives input port `x{j}` (the naming
+    /// convention of every generated classifier datapath). For a sequential
+    /// design pass the design's cycles-per-inference as `cycles_per_vector`;
+    /// pass 0 for a purely combinational datapath (the vector is settled and
+    /// accounted as one cycle, like [`Simulator::sample_comb`]). Register
+    /// state intentionally carries over between vectors, exactly as in
+    /// back-to-back classifications on the real circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown ports or out-of-range values, like
+    /// [`Simulator::set_input`].
+    pub fn run_batch(
+        &mut self,
+        vectors: &[Vec<i64>],
+        cycles_per_vector: u64,
+        out_port: &str,
+    ) -> BatchResult {
+        let mut outputs = Vec::with_capacity(vectors.len());
+        let start_cycles = self.cycles;
+        for x in vectors {
+            for (j, &v) in x.iter().enumerate() {
+                self.set_input(&format!("x{j}"), v);
+            }
+            if cycles_per_vector == 0 {
+                self.sample_comb();
+            } else {
+                for _ in 0..cycles_per_vector {
+                    self.tick();
+                }
+            }
+            outputs.push(self.output_unsigned(out_port));
+        }
+        BatchResult { outputs, cycles: self.cycles - start_cycles }
     }
 
     /// Snapshot of the accumulated switching activity.
@@ -294,6 +327,16 @@ impl<'nl> Simulator<'nl> {
         );
         ActivityReport::new(self.toggles.clone(), self.cycles)
     }
+}
+
+/// Result of a [`Simulator::run_batch`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchResult {
+    /// Value of the observed output port after each input vector, in input
+    /// order.
+    pub outputs: Vec<i64>,
+    /// Clock cycles accounted by this batch.
+    pub cycles: u64,
 }
 
 /// Convenience: simulates a purely combinational netlist for one input
@@ -317,10 +360,7 @@ pub fn eval_comb_once(nl: &Netlist, inputs: &[(&str, i64)], out_port: &str) -> i
 /// power in the driver cell). Constant and input nets are excluded.
 #[must_use]
 pub fn cell_driven_nets(nl: &Netlist) -> Vec<pe_netlist::NetId> {
-    nl.nets()
-        .filter(|(_, n)| matches!(n.driver(), Driver::Cell(_)))
-        .map(|(id, _)| id)
-        .collect()
+    nl.nets().filter(|(_, n)| matches!(n.driver(), Driver::Cell(_))).map(|(id, _)| id).collect()
 }
 
 /// Returns the driving cell of a net, if any.
@@ -483,6 +523,56 @@ mod tests {
     }
 
     #[test]
+    fn run_batch_matches_manual_loop() {
+        // Combinational: batch over the full-adder (renamed x-ports).
+        let mut b = Builder::new("fa");
+        let a = b.input("x0");
+        let x = b.input("x1");
+        let cin = b.input("x2");
+        let s1 = b.xor2(a, x);
+        let sum = b.xor2(s1, cin);
+        b.output("sum", sum);
+        let nl = b.finish();
+        let vectors: Vec<Vec<i64>> =
+            (0..8).map(|v| (0..3).map(|i| (v >> i) & 1).collect()).collect();
+
+        let mut manual = Simulator::new(&nl).unwrap();
+        manual.enable_activity();
+        let mut expected = Vec::new();
+        for x in &vectors {
+            for (j, &v) in x.iter().enumerate() {
+                manual.set_input(&format!("x{j}"), v);
+            }
+            manual.sample_comb();
+            expected.push(manual.output_unsigned("sum"));
+        }
+
+        let mut batched = Simulator::new(&nl).unwrap();
+        batched.enable_activity();
+        let r = batched.run_batch(&vectors, 0, "sum");
+        assert_eq!(r.outputs, expected);
+        assert_eq!(r.cycles, 8);
+        assert_eq!(batched.activity().total_toggles(), manual.activity().total_toggles());
+    }
+
+    #[test]
+    fn run_batch_sequential_carries_state() {
+        // q' = q XOR x0: register state must persist across batch entries.
+        let mut b = Builder::new("tog");
+        let x0 = b.input("x0");
+        let fb = b.input("x1"); // externally closed feedback
+        let nxt = b.xor2(x0, fb);
+        let q = b.dff(nxt, false);
+        b.output("q", q);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+        // Drive x1 = current q manually each vector via two-cycle batches.
+        let r = sim.run_batch(&[vec![1, 0], vec![1, 1], vec![0, 0]], 1, "q");
+        assert_eq!(r.cycles, 3);
+        assert_eq!(r.outputs, vec![1, 0, 0]);
+    }
+
+    #[test]
     #[should_panic(expected = "no input port")]
     fn unknown_port_panics() {
         let nl = full_adder();
@@ -503,10 +593,7 @@ mod tests {
         let nl = full_adder();
         assert!(is_combinational(&nl));
         // A set 1-bit port reads as -1 under two's-complement interpretation.
-        assert_eq!(
-            eval_comb_once(&nl, &[("a", 1), ("b", 0), ("cin", 1)], "carry"),
-            -1
-        );
+        assert_eq!(eval_comb_once(&nl, &[("a", 1), ("b", 0), ("cin", 1)], "carry"), -1);
         let driven = cell_driven_nets(&nl);
         assert_eq!(driven.len(), 3); // xor, xor, maj
         assert!(driver_cell(&nl, driven[0]).is_some());

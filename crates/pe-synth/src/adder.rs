@@ -137,11 +137,8 @@ mod tests {
                 sim.set_input("a", va);
                 sim.set_input("c", vc);
                 sim.eval_comb();
-                let got = if signed_out {
-                    sim.output_signed("y")
-                } else {
-                    sim.output_unsigned("y")
-                };
+                let got =
+                    if signed_out { sim.output_signed("y") } else { sim.output_unsigned("y") };
                 assert_eq!(got, reference(va, vc), "a={va} c={vc}");
             }
         }
@@ -149,26 +146,26 @@ mod tests {
 
     #[test]
     fn add_unsigned_unsigned() {
-        check2(4, false, 3, false, |b, a, c| add_exact(b, a, c), |x, y| x + y);
+        check2(4, false, 3, false, add_exact, |x, y| x + y);
     }
 
     #[test]
     fn add_signed_signed() {
-        check2(4, true, 4, true, |b, a, c| add_exact(b, a, c), |x, y| x + y);
+        check2(4, true, 4, true, add_exact, |x, y| x + y);
     }
 
     #[test]
     fn add_mixed_signedness() {
-        check2(4, false, 4, true, |b, a, c| add_exact(b, a, c), |x, y| x + y);
-        check2(3, true, 5, false, |b, a, c| add_exact(b, a, c), |x, y| x + y);
+        check2(4, false, 4, true, add_exact, |x, y| x + y);
+        check2(3, true, 5, false, add_exact, |x, y| x + y);
     }
 
     #[test]
     fn sub_all_signedness_combos() {
-        check2(4, false, 4, false, |b, a, c| sub_exact(b, a, c), |x, y| x - y);
-        check2(4, true, 4, true, |b, a, c| sub_exact(b, a, c), |x, y| x - y);
-        check2(4, false, 4, true, |b, a, c| sub_exact(b, a, c), |x, y| x - y);
-        check2(4, true, 4, false, |b, a, c| sub_exact(b, a, c), |x, y| x - y);
+        check2(4, false, 4, false, sub_exact, |x, y| x - y);
+        check2(4, true, 4, true, sub_exact, |x, y| x - y);
+        check2(4, false, 4, true, sub_exact, |x, y| x - y);
+        check2(4, true, 4, false, sub_exact, |x, y| x - y);
     }
 
     #[test]

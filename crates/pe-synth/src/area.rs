@@ -40,10 +40,7 @@ pub fn analyze_area(nl: &Netlist, lib: &EgfetLibrary) -> AreaBreakdown {
             .zip(&group_mm2)
             .map(|(n, &a)| (n.clone(), a / 100.0))
             .collect(),
-        by_kind: kind_stats
-            .into_iter()
-            .map(|(k, (n, a))| (k, n, a / 100.0))
-            .collect(),
+        by_kind: kind_stats.into_iter().map(|(k, (n, a))| (k, n, a / 100.0)).collect(),
     }
 }
 
@@ -51,11 +48,7 @@ impl AreaBreakdown {
     /// Area of one named group (0 if the group does not exist).
     #[must_use]
     pub fn group_cm2(&self, name: &str) -> f64 {
-        self.by_group
-            .iter()
-            .find(|(g, _)| g == name)
-            .map(|(_, a)| *a)
-            .unwrap_or(0.0)
+        self.by_group.iter().find(|(g, _)| g == name).map(|(_, a)| *a).unwrap_or(0.0)
     }
 }
 
@@ -82,10 +75,12 @@ mod tests {
             (lib.params(CellKind::Xor2).area_mm2 + lib.params(CellKind::And2).area_mm2) / 100.0;
         assert!((area.total_cm2 - expect).abs() < 1e-12);
         assert_eq!(area.num_cells, 2);
-        assert!((area.group_cm2("engine") - lib.params(CellKind::Xor2).area_mm2 / 100.0).abs()
-            < 1e-12);
-        assert!((area.group_cm2("voter") - lib.params(CellKind::And2).area_mm2 / 100.0).abs()
-            < 1e-12);
+        assert!(
+            (area.group_cm2("engine") - lib.params(CellKind::Xor2).area_mm2 / 100.0).abs() < 1e-12
+        );
+        assert!(
+            (area.group_cm2("voter") - lib.params(CellKind::And2).area_mm2 / 100.0).abs() < 1e-12
+        );
         assert_eq!(area.group_cm2("nonexistent"), 0.0);
         assert_eq!(area.by_kind.len(), 2);
     }

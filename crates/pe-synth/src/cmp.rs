@@ -42,8 +42,7 @@ pub fn eq(b: &mut Builder, x: &Word, y: &Word) -> NetId {
         .max(y.width());
     let xe = x.extend_to(b, w);
     let ye = y.extend_to(b, w);
-    let diffs: Vec<NetId> =
-        xe.bits().iter().zip(ye.bits()).map(|(&p, &q)| b.xor2(p, q)).collect();
+    let diffs: Vec<NetId> = xe.bits().iter().zip(ye.bits()).map(|(&p, &q)| b.xor2(p, q)).collect();
     let any = or_reduce(b, &diffs);
     b.inv(any)
 }
@@ -132,11 +131,7 @@ mod tests {
                 sim.set_input("x", vx);
                 sim.set_input("y", vy);
                 sim.eval_comb();
-                assert_eq!(
-                    sim.output_unsigned("r") == 1,
-                    reference(vx, vy),
-                    "x={vx} y={vy}"
-                );
+                assert_eq!(sim.output_unsigned("r") == 1, reference(vx, vy), "x={vx} y={vy}");
             }
         }
     }
@@ -228,7 +223,7 @@ mod tests {
     fn argmax_single_score() {
         let mut b = Builder::new("am1");
         let s = Word::new(b.input_bus("s", 4), true);
-        let (best, idx) = max_argmax(&mut b, &[s.clone()]);
+        let (best, idx) = max_argmax(&mut b, std::slice::from_ref(&s));
         assert_eq!(best, s);
         assert_eq!(idx.width(), 1);
     }

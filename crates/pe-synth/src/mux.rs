@@ -24,12 +24,7 @@ pub fn mux_word(b: &mut Builder, a: &Word, b1: &Word, sel: pe_netlist::NetId) ->
     };
     let ae = a.extend_to(b, w);
     let be = b1.extend_to(b, w);
-    let bits = ae
-        .bits()
-        .iter()
-        .zip(be.bits())
-        .map(|(&x, &y)| b.mux2(x, y, sel))
-        .collect();
+    let bits = ae.bits().iter().zip(be.bits()).map(|(&x, &y)| b.mux2(x, y, sel)).collect();
     Word::new(bits, signed)
 }
 

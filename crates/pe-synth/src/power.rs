@@ -33,11 +33,7 @@ impl PowerBreakdown {
     /// Power of one named group (0 if the group does not exist).
     #[must_use]
     pub fn group_mw(&self, name: &str) -> f64 {
-        self.by_group
-            .iter()
-            .find(|(g, _)| g == name)
-            .map(|(_, p)| *p)
-            .unwrap_or(0.0)
+        self.by_group.iter().find(|(g, _)| g == name).map(|(_, p)| *p).unwrap_or(0.0)
     }
 }
 
@@ -162,14 +158,8 @@ mod tests {
     fn idle_inputs_mean_no_dynamic_power() {
         let nl = xor_chain(6);
         let act = measure(&nl, &[(1, 1), (1, 1), (1, 1), (1, 1)]);
-        let p = analyze_power(
-            &nl,
-            &EgfetLibrary::standard(),
-            &TechParams::standard(),
-            &act,
-            25.0,
-        )
-        .unwrap();
+        let p = analyze_power(&nl, &EgfetLibrary::standard(), &TechParams::standard(), &act, 25.0)
+            .unwrap();
         // First sample may toggle from the reset state; afterwards nothing
         // switches, so dynamic power is a small fraction of static.
         assert!(p.dynamic_mw < p.static_mw);
@@ -228,14 +218,8 @@ mod tests {
         b.output("o", g2);
         let nl = b.finish();
         let act = ActivityReport::uniform(nl.num_nets(), 10, 0.3);
-        let p = analyze_power(
-            &nl,
-            &EgfetLibrary::standard(),
-            &TechParams::standard(),
-            &act,
-            30.0,
-        )
-        .unwrap();
+        let p = analyze_power(&nl, &EgfetLibrary::standard(), &TechParams::standard(), &act, 30.0)
+            .unwrap();
         let sum: f64 = p.by_group.iter().map(|(_, v)| v).sum();
         assert!((sum - p.total_mw).abs() < 1e-9);
         assert!(p.group_mw("a") > 0.0);

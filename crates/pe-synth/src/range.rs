@@ -55,16 +55,9 @@ impl Range {
     /// Range of the product of values from `self` and `other`.
     #[must_use]
     pub fn mul(&self, other: &Range) -> Range {
-        let cands = [
-            self.lo * other.lo,
-            self.lo * other.hi,
-            self.hi * other.lo,
-            self.hi * other.hi,
-        ];
-        Range::new(
-            *cands.iter().min().expect("non-empty"),
-            *cands.iter().max().expect("non-empty"),
-        )
+        let cands =
+            [self.lo * other.lo, self.lo * other.hi, self.hi * other.lo, self.hi * other.hi];
+        Range::new(*cands.iter().min().expect("non-empty"), *cands.iter().max().expect("non-empty"))
     }
 
     /// Range scaled by an integer constant.

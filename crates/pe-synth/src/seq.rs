@@ -109,8 +109,7 @@ pub fn counter_mod(b: &mut Builder, modulus: usize, enable: Option<NetId>) -> Co
     // next = last ? 0 : count + 1, truncated to the register width.
     let inc = add_const(b, &count, 1);
     let not_last = b.inv(last);
-    let next_bits: Vec<NetId> =
-        inc.bits()[..width].iter().map(|&n| b.and2(n, not_last)).collect();
+    let next_bits: Vec<NetId> = inc.bits()[..width].iter().map(|&n| b.and2(n, not_last)).collect();
     let next = Word::new(next_bits, false);
     reg.connect(b, &next);
     Counter { count, last }

@@ -365,9 +365,7 @@ pub fn report_critical_path(
                     .inputs()
                     .iter()
                     .copied()
-                    .max_by(|a, b| {
-                        arrival[a.index()].total_cmp(&arrival[b.index()])
-                    });
+                    .max_by(|a, b| arrival[a.index()].total_cmp(&arrival[b.index()]));
             }
             _ => break, // launched from an input or constant
         }

@@ -63,200 +63,6 @@ pub fn popcount(b: &mut Builder, bits: &[NetId]) -> Word {
     sum_tree(b, &words)
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use pe_sim::Simulator;
-
-    #[test]
-    fn sums_mixed_sign_operands_exhaustively() {
-        let mut b = Builder::new("tree");
-        let a = Word::new(b.input_bus("a", 3), true);
-        let c = Word::new(b.input_bus("c", 3), false);
-        let d = Word::new(b.input_bus("d", 2), true);
-        let y = sum_tree(&mut b, &[a, c, d]);
-        assert!(y.is_signed());
-        b.output_bus("y", y.bits());
-        let nl = b.finish();
-        nl.validate().unwrap();
-        let mut sim = Simulator::new(&nl).unwrap();
-        for va in -4i64..4 {
-            for vc in 0i64..8 {
-                for vd in -2i64..2 {
-                    sim.set_input("a", va);
-                    sim.set_input("c", vc);
-                    sim.set_input("d", vd);
-                    sim.eval_comb();
-                    assert_eq!(sim.output_signed("y"), va + vc + vd);
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn single_operand_is_identity() {
-        let mut b = Builder::new("tree");
-        let a = Word::new(b.input_bus("a", 4), true);
-        let y = sum_tree(&mut b, &[a.clone()]);
-        assert_eq!(y, a);
-        assert_eq!(b.finish().num_cells(), 0);
-    }
-
-    #[test]
-    fn many_operands_stay_exact() {
-        // 9 unsigned 2-bit operands: max sum 27, needs 5 bits.
-        let mut b = Builder::new("tree");
-        let words: Vec<Word> = (0..9)
-            .map(|i| Word::new(b.input_bus(format!("i{i}"), 2), false))
-            .collect();
-        let y = sum_tree(&mut b, &words);
-        // Widths derive from operand *formats* (not value knowledge), so the
-        // result may carry one spare bit over the value-exact minimum of 5.
-        assert!(y.width() <= 6);
-        b.output_bus("y", y.bits());
-        let nl = b.finish();
-        let mut sim = Simulator::new(&nl).unwrap();
-        // Spot-check with a pseudo-pattern.
-        for seed in 0u64..64 {
-            let mut total = 0i64;
-            for i in 0..9 {
-                let v = ((seed.wrapping_mul(2654435761).wrapping_add(i)) >> (i % 3)) as i64 & 3;
-                sim.set_input(&format!("i{i}"), v);
-                total += v;
-            }
-            sim.eval_comb();
-            assert_eq!(sim.output_unsigned("y"), total);
-        }
-    }
-
-    #[test]
-    fn popcount_counts() {
-        let mut b = Builder::new("pc");
-        let bits = b.input_bus("x", 6);
-        let y = popcount(&mut b, &bits);
-        assert!(y.width() <= 4); // value-exact minimum is 3; format-derived may add 1
-        b.output_bus("y", y.bits());
-        let nl = b.finish();
-        let mut sim = Simulator::new(&nl).unwrap();
-        for v in 0i64..64 {
-            sim.set_input("x", v);
-            sim.eval_comb();
-            assert_eq!(sim.output_unsigned("y"), v.count_ones() as i64);
-        }
-    }
-
-    #[test]
-    fn chain_and_tree_agree_on_values() {
-        let mut b = Builder::new("both");
-        let words: Vec<Word> = (0..5)
-            .map(|i| Word::new(b.input_bus(format!("i{i}"), 3), i % 2 == 0))
-            .collect();
-        let t = sum_tree(&mut b, &words);
-        let c = sum_chain(&mut b, &words);
-        b.output_bus("t", t.bits());
-        b.output_bus("c", c.bits());
-        let nl = b.finish();
-        let mut sim = Simulator::new(&nl).unwrap();
-        for seed in 0i64..40 {
-            let mut total = 0i64;
-            for i in 0..5 {
-                let v = (seed * 7 + i * 3) % if i % 2 == 0 { 4 } else { 8 }
-                    - if i % 2 == 0 { 4 } else { 0 };
-                sim.set_input(&format!("i{i}"), v);
-                total += v;
-            }
-            sim.eval_comb();
-            assert_eq!(sim.output_signed("t"), total);
-            assert_eq!(sim.output_signed("c"), total);
-        }
-    }
-
-    #[test]
-    fn chain_is_deeper_than_tree() {
-        // The structural fact behind the baselines' slow clocks.
-        let build = |chain: bool| {
-            let mut b = Builder::new("d");
-            let words: Vec<Word> = (0..16)
-                .map(|i| Word::new(b.input_bus(format!("i{i}"), 6), true))
-                .collect();
-            let s = if chain { sum_chain(&mut b, &words) } else { sum_tree(&mut b, &words) };
-            b.output_bus("s", s.bits());
-            b.finish()
-        };
-        let chain_depth = pe_netlist::graph::max_depth(&build(true)).unwrap();
-        let tree_depth = pe_netlist::graph::max_depth(&build(false)).unwrap();
-        assert!(
-            chain_depth > tree_depth + tree_depth / 2,
-            "chain {chain_depth} vs tree {tree_depth}"
-        );
-    }
-
-    #[test]
-    fn csa_tree_is_exact() {
-        let mut b = Builder::new("csa");
-        let words: Vec<Word> = (0..7)
-            .map(|i| Word::new(b.input_bus(format!("i{i}"), 4), i % 2 == 0))
-            .collect();
-        let y = sum_tree_csa(&mut b, &words);
-        b.output_bus("y", y.bits());
-        let nl = b.finish();
-        nl.validate().unwrap();
-        let mut sim = Simulator::new(&nl).unwrap();
-        for seed in 0i64..60 {
-            let mut total = 0i64;
-            for i in 0..7 {
-                let v = if i % 2 == 0 {
-                    (seed * 5 + i * 3) % 16 - 8
-                } else {
-                    (seed * 3 + i * 7) % 16
-                };
-                sim.set_input(&format!("i{i}"), v);
-                total += v;
-            }
-            sim.eval_comb();
-            assert_eq!(sim.output_signed("y"), total, "seed {seed}");
-        }
-    }
-
-    #[test]
-    fn csa_is_shallower_than_chain_for_many_operands() {
-        let build = |csa: bool| {
-            let mut b = Builder::new("d");
-            let words: Vec<Word> = (0..21)
-                .map(|i| Word::new(b.input_bus(format!("i{i}"), 8), true))
-                .collect();
-            let s = if csa { sum_tree_csa(&mut b, &words) } else { sum_chain(&mut b, &words) };
-            b.output_bus("s", s.bits());
-            b.finish()
-        };
-        let csa_depth = pe_netlist::graph::max_depth(&build(true)).unwrap();
-        let chain_depth = pe_netlist::graph::max_depth(&build(false)).unwrap();
-        assert!(csa_depth < chain_depth, "csa {csa_depth} vs chain {chain_depth}");
-    }
-
-    #[test]
-    fn csa_single_operand_is_identity() {
-        let mut b = Builder::new("csa1");
-        let w = Word::new(b.input_bus("a", 4), true);
-        let y = sum_tree_csa(&mut b, &[w.clone()]);
-        b.output_bus("y", y.bits());
-        let nl = b.finish();
-        let mut sim = Simulator::new(&nl).unwrap();
-        for v in -8i64..8 {
-            sim.set_input("a", v);
-            sim.eval_comb();
-            assert_eq!(sim.output_signed("y"), v);
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "zero operands")]
-    fn empty_sum_panics() {
-        let mut b = Builder::new("tree");
-        let _ = sum_tree(&mut b, &[]);
-    }
-}
-
 /// Carry-save (Wallace-style) multi-operand reduction: 3:2 compressors
 /// reduce the operand count to two, then a single carry-propagate adder
 /// finishes. Shallower than [`sum_tree`] for many operands — the classic
@@ -270,10 +76,8 @@ pub fn sum_tree_csa(b: &mut Builder, words: &[Word]) -> Word {
     assert!(!words.is_empty(), "sum of zero operands");
     use crate::range::Range;
     // Common exact format for all partial results.
-    let total: Range = words
-        .iter()
-        .map(Range::of_word)
-        .fold(Range::new(0, 0), |acc, r| acc.add(&r));
+    let total: Range =
+        words.iter().map(Range::of_word).fold(Range::new(0, 0), |acc, r| acc.add(&r));
     let w = (total.width() as usize).max(words.iter().map(Word::width).max().unwrap_or(1));
     let signed = total.is_signed() || words.iter().any(Word::is_signed);
     // Extend every row under its *own* signedness (zero- vs sign-extension);
@@ -315,4 +119,190 @@ pub fn sum_tree_csa(b: &mut Builder, words: &[Word]) -> Word {
     let zero = b.constant(false);
     let bits = crate::adder::ripple_add_bits(b, &a, &c, zero);
     Word::new(bits, signed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_sim::Simulator;
+
+    #[test]
+    fn sums_mixed_sign_operands_exhaustively() {
+        let mut b = Builder::new("tree");
+        let a = Word::new(b.input_bus("a", 3), true);
+        let c = Word::new(b.input_bus("c", 3), false);
+        let d = Word::new(b.input_bus("d", 2), true);
+        let y = sum_tree(&mut b, &[a, c, d]);
+        assert!(y.is_signed());
+        b.output_bus("y", y.bits());
+        let nl = b.finish();
+        nl.validate().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        for va in -4i64..4 {
+            for vc in 0i64..8 {
+                for vd in -2i64..2 {
+                    sim.set_input("a", va);
+                    sim.set_input("c", vc);
+                    sim.set_input("d", vd);
+                    sim.eval_comb();
+                    assert_eq!(sim.output_signed("y"), va + vc + vd);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_operand_is_identity() {
+        let mut b = Builder::new("tree");
+        let a = Word::new(b.input_bus("a", 4), true);
+        let y = sum_tree(&mut b, std::slice::from_ref(&a));
+        assert_eq!(y, a);
+        assert_eq!(b.finish().num_cells(), 0);
+    }
+
+    #[test]
+    fn many_operands_stay_exact() {
+        // 9 unsigned 2-bit operands: max sum 27, needs 5 bits.
+        let mut b = Builder::new("tree");
+        let words: Vec<Word> =
+            (0..9).map(|i| Word::new(b.input_bus(format!("i{i}"), 2), false)).collect();
+        let y = sum_tree(&mut b, &words);
+        // Widths derive from operand *formats* (not value knowledge), so the
+        // result may carry one spare bit over the value-exact minimum of 5.
+        assert!(y.width() <= 6);
+        b.output_bus("y", y.bits());
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+        // Spot-check with a pseudo-pattern.
+        for seed in 0u64..64 {
+            let mut total = 0i64;
+            for i in 0..9 {
+                let v = ((seed.wrapping_mul(2654435761).wrapping_add(i)) >> (i % 3)) as i64 & 3;
+                sim.set_input(&format!("i{i}"), v);
+                total += v;
+            }
+            sim.eval_comb();
+            assert_eq!(sim.output_unsigned("y"), total);
+        }
+    }
+
+    #[test]
+    fn popcount_counts() {
+        let mut b = Builder::new("pc");
+        let bits = b.input_bus("x", 6);
+        let y = popcount(&mut b, &bits);
+        assert!(y.width() <= 4); // value-exact minimum is 3; format-derived may add 1
+        b.output_bus("y", y.bits());
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+        for v in 0i64..64 {
+            sim.set_input("x", v);
+            sim.eval_comb();
+            assert_eq!(sim.output_unsigned("y"), v.count_ones() as i64);
+        }
+    }
+
+    #[test]
+    fn chain_and_tree_agree_on_values() {
+        let mut b = Builder::new("both");
+        let words: Vec<Word> =
+            (0..5).map(|i| Word::new(b.input_bus(format!("i{i}"), 3), i % 2 == 0)).collect();
+        let t = sum_tree(&mut b, &words);
+        let c = sum_chain(&mut b, &words);
+        b.output_bus("t", t.bits());
+        b.output_bus("c", c.bits());
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+        for seed in 0i64..40 {
+            let mut total = 0i64;
+            for i in 0..5 {
+                let v = (seed * 7 + i * 3) % if i % 2 == 0 { 4 } else { 8 }
+                    - if i % 2 == 0 { 4 } else { 0 };
+                sim.set_input(&format!("i{i}"), v);
+                total += v;
+            }
+            sim.eval_comb();
+            assert_eq!(sim.output_signed("t"), total);
+            assert_eq!(sim.output_signed("c"), total);
+        }
+    }
+
+    #[test]
+    fn chain_is_deeper_than_tree() {
+        // The structural fact behind the baselines' slow clocks.
+        let build = |chain: bool| {
+            let mut b = Builder::new("d");
+            let words: Vec<Word> =
+                (0..16).map(|i| Word::new(b.input_bus(format!("i{i}"), 6), true)).collect();
+            let s = if chain { sum_chain(&mut b, &words) } else { sum_tree(&mut b, &words) };
+            b.output_bus("s", s.bits());
+            b.finish()
+        };
+        let chain_depth = pe_netlist::graph::max_depth(&build(true)).unwrap();
+        let tree_depth = pe_netlist::graph::max_depth(&build(false)).unwrap();
+        assert!(
+            chain_depth > tree_depth + tree_depth / 2,
+            "chain {chain_depth} vs tree {tree_depth}"
+        );
+    }
+
+    #[test]
+    fn csa_tree_is_exact() {
+        let mut b = Builder::new("csa");
+        let words: Vec<Word> =
+            (0..7).map(|i| Word::new(b.input_bus(format!("i{i}"), 4), i % 2 == 0)).collect();
+        let y = sum_tree_csa(&mut b, &words);
+        b.output_bus("y", y.bits());
+        let nl = b.finish();
+        nl.validate().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        for seed in 0i64..60 {
+            let mut total = 0i64;
+            for i in 0..7 {
+                let v =
+                    if i % 2 == 0 { (seed * 5 + i * 3) % 16 - 8 } else { (seed * 3 + i * 7) % 16 };
+                sim.set_input(&format!("i{i}"), v);
+                total += v;
+            }
+            sim.eval_comb();
+            assert_eq!(sim.output_signed("y"), total, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn csa_is_shallower_than_chain_for_many_operands() {
+        let build = |csa: bool| {
+            let mut b = Builder::new("d");
+            let words: Vec<Word> =
+                (0..21).map(|i| Word::new(b.input_bus(format!("i{i}"), 8), true)).collect();
+            let s = if csa { sum_tree_csa(&mut b, &words) } else { sum_chain(&mut b, &words) };
+            b.output_bus("s", s.bits());
+            b.finish()
+        };
+        let csa_depth = pe_netlist::graph::max_depth(&build(true)).unwrap();
+        let chain_depth = pe_netlist::graph::max_depth(&build(false)).unwrap();
+        assert!(csa_depth < chain_depth, "csa {csa_depth} vs chain {chain_depth}");
+    }
+
+    #[test]
+    fn csa_single_operand_is_identity() {
+        let mut b = Builder::new("csa1");
+        let w = Word::new(b.input_bus("a", 4), true);
+        let y = sum_tree_csa(&mut b, std::slice::from_ref(&w));
+        b.output_bus("y", y.bits());
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+        for v in -8i64..8 {
+            sim.set_input("a", v);
+            sim.eval_comb();
+            assert_eq!(sim.output_signed("y"), v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero operands")]
+    fn empty_sum_panics() {
+        let mut b = Builder::new("tree");
+        let _ = sum_tree(&mut b, &[]);
+    }
 }

@@ -10,29 +10,40 @@ fn main() {
     let opts = RunOptions { max_sim_samples: 60, ..RunOptions::default() };
     let batteries = Battery::catalog();
 
+    // One parallel engine run covers every (dataset, style) cell below —
+    // including the punchline comparison, which reuses the same rows.
+    let jobs: Vec<Job> = [UciProfile::Cardio, UciProfile::RedWine]
+        .into_iter()
+        .flat_map(|p| DesignStyle::all().into_iter().map(move |s| Job::new(p, s)))
+        .collect();
+    let table = ExperimentEngine::new(jobs, opts).run();
+
     println!("| dataset | design | power (mW) | energy (mJ) | battery | verdict | classifications/charge |");
     println!("|---|---|---|---|---|---|---|");
-    for profile in [UciProfile::Cardio, UciProfile::RedWine] {
-        for style in DesignStyle::all() {
-            let r = run_experiment(profile, style, &opts);
-            for b in &batteries {
-                let (verdict, n) = match b.lifetime_hours(r.power_mw) {
-                    Some(_) => ("powered", format!("{:.0}", b.classifications_per_charge(r.energy_mj))),
-                    None => ("OVER BUDGET", "-".into()),
-                };
-                println!(
-                    "| {} | {} | {:.2} | {:.3} | {} | {} | {} |",
-                    r.dataset, r.style.label(), r.power_mw, r.energy_mj, b.name(), verdict, n
-                );
-            }
+    for r in &table.rows {
+        for b in &batteries {
+            let (verdict, n) = match b.lifetime_hours(r.power_mw) {
+                Some(_) => ("powered", format!("{:.0}", b.classifications_per_charge(r.energy_mj))),
+                None => ("OVER BUDGET", "-".into()),
+            };
+            println!(
+                "| {} | {} | {:.2} | {:.3} | {} | {} | {} |",
+                r.dataset,
+                r.style.label(),
+                r.power_mw,
+                r.energy_mj,
+                b.name(),
+                verdict,
+                n
+            );
         }
     }
 
     // The paper's punchline: the energy advantage is battery life.
     println!();
     let molex = Battery::molex_30mw();
-    let ours = run_experiment(UciProfile::Cardio, DesignStyle::SequentialSvm, &opts);
-    let sota = run_experiment(UciProfile::Cardio, DesignStyle::ParallelSvm, &opts);
+    let ours = table.row("Cardio", DesignStyle::SequentialSvm).expect("in grid");
+    let sota = table.row("Cardio", DesignStyle::ParallelSvm).expect("in grid");
     let ours_n = molex.classifications_per_charge(ours.energy_mj);
     println!(
         "Cardio on {}: ours delivers {:.0} classifications per charge; SVM [2] at {:.2} mW {}",

@@ -51,20 +51,27 @@ fn main() {
     let area = synth::analyze_area(&nl, &lib);
     println!("printed area: {:.2} cm2", area.total_cm2);
 
-    // Classify one sample in gate-level simulation.
+    // Classify the whole held-out set in one batched gate-level run.
     let mut sim = Simulator::new(&nl).expect("acyclic");
-    let (x, label) = test.sample(0);
-    let x_q = q.quantize_input(x);
-    for (i, &v) in x_q.iter().enumerate() {
-        sim.set_input(&format!("x{i}"), v);
-    }
-    for _ in 0..q.num_classes() {
-        sim.tick();
-    }
+    let vectors: Vec<Vec<i64>> = test.features().iter().map(|x| q.quantize_input(x)).collect();
+    let batch = sim.run_batch(&vectors, q.num_classes() as u64, "class");
+    let mismatches = batch
+        .outputs
+        .iter()
+        .zip(&vectors)
+        .filter(|(&got, xq)| got as usize != q.predict_int(xq))
+        .count();
+    let (_, label) = test.sample(0);
     println!(
         "sample 0: circuit says class {}, golden model says {}, truth is {}",
-        sim.output_unsigned("class"),
-        q.predict_int(&x_q),
+        batch.outputs[0],
+        q.predict_int(&vectors[0]),
         label
+    );
+    println!(
+        "batched verification: {} samples in {} cycles, {} mismatches vs golden model",
+        vectors.len(),
+        batch.cycles,
+        mismatches
     );
 }

@@ -22,12 +22,12 @@ fn main() {
     println!("|---|---|---|---|---|---|---|");
     for input_bits in [3u32, 4, 6] {
         let train_q = train.quantize_inputs(input_bits);
-        let model = SvmModel::train(
-            &train_q,
-            MulticlassScheme::OneVsRest,
-            &SvmTrainParams::default(),
-        );
-        for weight_bits in [4u32, 5, 6, 8] {
+        let model =
+            SvmModel::train(&train_q, MulticlassScheme::OneVsRest, &SvmTrainParams::default());
+        // The per-width evaluations are independent: fan them out over the
+        // engine's thread helper (results stay in width order).
+        let widths = [4u32, 5, 6, 8];
+        let rows = printed_svm::core::engine::parallel_map(&widths, widths.len(), |&weight_bits| {
             let q = QuantizedSvm::quantize(&model, input_bits, weight_bits);
             let acc = q.accuracy(&test) * 100.0;
             let nl = sequential::build_sequential_ovr(&q);
@@ -40,7 +40,7 @@ fn main() {
                 synth::analyze_power(&nl, &lib, &tech, &activity, timing.freq_hz).expect("acyclic");
             let n = q.num_classes() as f64;
             let energy_mj = power.total_mw * n * timing.clock_period_ms / 1000.0;
-            println!(
+            format!(
                 "| {} | {} | {:.1} | {} | {:.2} | {:.1} | {:.3} |",
                 input_bits,
                 weight_bits,
@@ -49,7 +49,10 @@ fn main() {
                 area.total_cm2,
                 timing.freq_hz,
                 energy_mj
-            );
+            )
+        });
+        for row in rows {
+            println!("{row}");
         }
     }
     println!(

@@ -34,16 +34,25 @@ fn main() {
         .iter()
         .take(20)
         .map(|x| {
-            q.quantize_input(x)
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| (format!("x{i}"), v))
-                .collect()
+            q.quantize_input(x).iter().enumerate().map(|(i, &v)| (format!("x{i}"), v)).collect()
         })
         .collect();
-    let report =
-        fault_campaign_seq(&nl, &sites, &workload, "class", q.num_classes() as u64)
-            .expect("generated design is acyclic");
+    // Shard the campaign across the engine's thread helper and merge.
+    let threads = printed_svm::core::engine::default_threads(sites.len());
+    let shards: Vec<Vec<_>> =
+        sites.chunks(sites.len().div_ceil(threads).max(1)).map(<[_]>::to_vec).collect();
+    let partials = printed_svm::core::engine::parallel_map(&shards, threads, |shard| {
+        fault_campaign_seq(&nl, shard, &workload, "class", q.num_classes() as u64)
+            .expect("generated design is acyclic")
+    });
+    let report = partials.into_iter().fold(
+        printed_svm::sim::FaultReport { critical: 0, benign: 0, total: 0 },
+        |acc, r| printed_svm::sim::FaultReport {
+            critical: acc.critical + r.critical,
+            benign: acc.benign + r.benign,
+            total: acc.total + r.total,
+        },
+    );
     println!(
         "campaign: {} faults x {} samples -> {} critical ({:.1} %), {} masked",
         report.total,

@@ -8,18 +8,39 @@ use printed_svm::prelude::*;
 
 fn main() {
     // 1. Pick a dataset profile (Cardio: 21 features, 3 classes) and run the
-    //    whole pipeline: train -> quantize -> elaborate -> verify -> analyze.
-    let opts = RunOptions::default();
-    let report = run_experiment(UciProfile::Cardio, DesignStyle::SequentialSvm, &opts);
+    //    whole pipeline through the experiment engine:
+    //    train -> quantize -> elaborate -> verify -> analyze.
+    let engine = ExperimentEngine::single(
+        UciProfile::Cardio,
+        DesignStyle::SequentialSvm,
+        RunOptions::default(),
+    );
+    let mut table = engine.run();
+    let report = table.rows.remove(0);
 
     println!("=== Sequential printed SVM on {} ===\n", report.dataset);
-    println!("accuracy      : {:.1} % (float model: {:.1} %)", report.accuracy_pct, report.float_accuracy_pct);
-    println!("area          : {:.2} cm2 ({} cells, {} flip-flops)", report.area_cm2, report.num_cells, report.num_ffs);
-    println!("power         : {:.2} mW ({:.2} static + {:.2} dynamic)", report.power_mw, report.static_mw, report.dynamic_mw);
+    println!(
+        "accuracy      : {:.1} % (float model: {:.1} %)",
+        report.accuracy_pct, report.float_accuracy_pct
+    );
+    println!(
+        "area          : {:.2} cm2 ({} cells, {} flip-flops)",
+        report.area_cm2, report.num_cells, report.num_ffs
+    );
+    println!(
+        "power         : {:.2} mW ({:.2} static + {:.2} dynamic)",
+        report.power_mw, report.static_mw, report.dynamic_mw
+    );
     println!("clock         : {:.1} Hz", report.freq_hz);
-    println!("latency       : {:.1} ms ({} cycles, one support vector per cycle)", report.latency_ms, report.cycles);
+    println!(
+        "latency       : {:.1} ms ({} cycles, one support vector per cycle)",
+        report.latency_ms, report.cycles
+    );
     println!("energy        : {:.3} mJ per classification", report.energy_mj);
-    println!("precision     : {}-bit inputs, {}-bit weights (lowest-precision search)", report.input_bits, report.weight_bits);
+    println!(
+        "precision     : {}-bit inputs, {}-bit weights (lowest-precision search)",
+        report.input_bits, report.weight_bits
+    );
     println!();
     println!(
         "gate-level verification: {} samples, {} mismatches vs integer golden model",

@@ -36,10 +36,23 @@ fn main() {
     eprintln!("model accuracy: {:.0} %", q.accuracy(&test) * 100.0);
 
     let nl = sequential::build_sequential_ovr(&q);
+    // Sign-off check before export: the netlist must match the golden model
+    // on the held-out set (one batched simulation call).
+    let mut sim = Simulator::new(&nl).expect("acyclic");
+    let vectors: Vec<Vec<i64>> = test.features().iter().map(|x| q.quantize_input(x)).collect();
+    let batch = sim.run_batch(&vectors, q.num_classes() as u64, "class");
+    let mismatches = batch
+        .outputs
+        .iter()
+        .zip(&vectors)
+        .filter(|(&got, xq)| got as usize != q.predict_int(xq))
+        .count();
+    assert_eq!(mismatches, 0, "netlist must be bit-exact before export");
     eprintln!(
-        "netlist: {} cells / {} FFs -> structural Verilog on stdout",
+        "netlist: {} cells / {} FFs, verified on {} samples -> structural Verilog on stdout",
         nl.num_cells(),
-        nl.num_seq_cells()
+        nl.num_seq_cells(),
+        vectors.len()
     );
     print!("{}", verilog::to_verilog(&nl));
 }

@@ -36,6 +36,17 @@
 //! println!("{}", report.one_line());
 //! assert_eq!(report.mismatches, 0); // gate-level == integer golden model
 //! ```
+//!
+//! Grid runs go through the shared parallel engine — one trained model per
+//! `(dataset, style)` pair, jobs fanned out over scoped threads:
+//!
+//! ```no_run
+//! use printed_svm::prelude::*;
+//!
+//! let engine = ExperimentEngine::table1_grid(RunOptions::default()).with_threads(4);
+//! let table = engine.run();
+//! println!("{}", table.to_markdown());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,8 +63,9 @@ pub use pe_synth as synth;
 /// The most common imports, for examples and quick scripts.
 pub mod prelude {
     pub use pe_cells::{Battery, EgfetLibrary, TechParams};
+    pub use pe_core::engine::{ExperimentEngine, Job, ReportSink};
     pub use pe_core::pipeline::{
-        build_netlist, cycles_per_inference, prepare_model, run_experiment, Prepared,
+        build_netlist, cycles_per_inference, prepare_model, run_experiment, run_prepared, Prepared,
         PreparedModel, RunOptions,
     };
     pub use pe_core::report::{paper_table1, DesignReport, Table1};

@@ -58,11 +58,9 @@ fn sequential_clock_beats_parallel_clock() {
 #[test]
 fn energy_headline_holds_on_cardio() {
     let ours = run_experiment(UciProfile::Cardio, DesignStyle::SequentialSvm, &fast_opts());
-    for style in [
-        DesignStyle::ParallelSvm,
-        DesignStyle::ApproxParallelSvm,
-        DesignStyle::ParallelMlp,
-    ] {
+    for style in
+        [DesignStyle::ParallelSvm, DesignStyle::ApproxParallelSvm, DesignStyle::ParallelMlp]
+    {
         let base = run_experiment(UciProfile::Cardio, style, &fast_opts());
         assert!(
             ours.energy_mj < base.energy_mj,

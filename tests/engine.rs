@@ -1,0 +1,90 @@
+//! Integration tests for the shared experiment engine: determinism under
+//! parallelism, equivalence with the single-job entry point, and model
+//! memoization across jobs and PDK variants.
+
+use printed_svm::prelude::*;
+
+fn grid_opts() -> RunOptions {
+    // Few simulated samples: training still dominates, and determinism must
+    // hold for any sample count.
+    RunOptions { max_sim_samples: 12, ..RunOptions::default() }
+}
+
+#[test]
+fn full_table1_grid_is_bit_identical_serial_vs_parallel() {
+    let serial = ExperimentEngine::table1_grid(grid_opts()).with_threads(1).run();
+    let parallel = ExperimentEngine::table1_grid(grid_opts()).with_threads(4).run();
+    assert_eq!(serial.rows.len(), 20, "5 datasets x 4 styles");
+    assert_eq!(parallel.rows.len(), 20);
+    for (s, p) in serial.rows.iter().zip(&parallel.rows) {
+        assert_eq!(s, p, "row diverged between 1-thread and 4-thread runs");
+    }
+    // Grid order is the paper's: dataset-major, baselines first, ours last.
+    assert_eq!(serial.rows[0].dataset, "Cardio");
+    assert_eq!(serial.rows[3].style, DesignStyle::SequentialSvm);
+    // Every verified cell matches its golden model.
+    for r in &serial.rows {
+        assert_eq!(r.mismatches, 0, "{} / {:?}", r.dataset, r.style);
+    }
+}
+
+#[test]
+fn engine_reproduces_run_experiment_exactly() {
+    let opts = grid_opts();
+    let engine =
+        ExperimentEngine::single(UciProfile::Dermatology, DesignStyle::SequentialSvm, opts.clone());
+    let from_engine = engine.run().rows.pop().expect("one row");
+    let direct = run_experiment(UciProfile::Dermatology, DesignStyle::SequentialSvm, &opts);
+    assert_eq!(from_engine, direct);
+}
+
+#[test]
+fn models_are_memoized_across_duplicate_jobs_and_pdk_variants() {
+    let jobs = vec![
+        Job::new(UciProfile::Cardio, DesignStyle::SequentialSvm),
+        Job::new(UciProfile::Cardio, DesignStyle::ParallelSvm),
+        // Duplicates of both cells: must not retrain.
+        Job::new(UciProfile::Cardio, DesignStyle::SequentialSvm),
+        Job::new(UciProfile::Cardio, DesignStyle::ParallelSvm),
+    ];
+    let engine = ExperimentEngine::new(jobs, grid_opts()).with_threads(4);
+    let table = engine.run();
+    assert_eq!(table.rows.len(), 4);
+    assert_eq!(engine.trainings(), 2, "one training per distinct (profile, style)");
+    assert_eq!(table.rows[0], table.rows[2], "duplicate jobs produce identical reports");
+    assert_eq!(table.rows[1], table.rows[3]);
+
+    // A PDK variant re-runs only the hardware half.
+    let softer = EgfetLibrary::scaled(1.0, 1.0, 0.5, 1.0);
+    let variant = engine.run_with_pdk(&softer, &TechParams::standard());
+    assert_eq!(engine.trainings(), 2, "PDK sweep must reuse trained models");
+    // Halving switching energy must lower dynamic power, never accuracy.
+    for (base, var) in table.rows.iter().zip(&variant.rows) {
+        assert_eq!(base.accuracy_pct, var.accuracy_pct);
+        assert!(var.dynamic_mw < base.dynamic_mw);
+    }
+}
+
+#[test]
+fn streaming_sink_reports_every_grid_cell() {
+    struct Collect(Vec<String>);
+    impl ReportSink for Collect {
+        fn on_report(&mut self, job: Job, report: &DesignReport) {
+            assert_eq!(report.dataset, job.profile.name());
+            self.0.push(format!("{}/{:?}", report.dataset, job.style));
+        }
+    }
+    let jobs: Vec<Job> =
+        DesignStyle::all().into_iter().map(|s| Job::new(UciProfile::Cardio, s)).collect();
+    let engine = ExperimentEngine::new(jobs, grid_opts()).with_threads(2);
+    let mut sink = Collect(Vec::new());
+    let table = engine.run_streaming(&mut sink);
+    assert_eq!(sink.0.len(), table.rows.len());
+    // Completion order may differ from grid order, but the set must match.
+    let mut streamed = sink.0.clone();
+    streamed.sort();
+    let mut expected: Vec<String> =
+        table.rows.iter().map(|r| format!("{}/{:?}", r.dataset, r.style)).collect();
+    expected.sort();
+    assert_eq!(streamed, expected);
+}

@@ -1,10 +1,13 @@
 //! Fuzz-style properties over random netlists: every generated design must
 //! survive validation, sweeping, Verilog round-trip and co-simulation.
+//!
+//! Seeds sweep deterministically (the environment has no crates.io access,
+//! so the `proptest` runner is replaced by explicit seed loops; failures
+//! name the seed).
 
 use printed_svm::netlist::testing::{random_netlist, RandomNetlistSpec};
 use printed_svm::netlist::{opt, verilog, verilog_parse};
 use printed_svm::prelude::*;
-use proptest::prelude::*;
 
 fn co_simulate(a: &Netlist, b: &Netlist, inputs: usize, ticks: usize, stimuli: u64) {
     let mut sa = Simulator::new(a).expect("acyclic");
@@ -30,13 +33,17 @@ fn co_simulate(a: &Netlist, b: &Netlist, inputs: usize, ticks: usize, stimuli: u
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(20))]
+/// Deterministic spread of 20 seeds across the 0..5000 space the old
+/// proptest config explored.
+fn seeds() -> impl Iterator<Item = u64> {
+    (0..20u64).map(|i| (i * 251) % 5000)
+}
 
-    /// Random netlists survive the Verilog export → import round trip with
-    /// identical behavior.
-    #[test]
-    fn verilog_round_trip_preserves_function(seed in 0u64..5000) {
+/// Random netlists survive the Verilog export → import round trip with
+/// identical behavior.
+#[test]
+fn verilog_round_trip_preserves_function() {
+    for seed in seeds() {
         let spec = RandomNetlistSpec { inputs: 4, gates: 35, registers: 2, outputs: 3 };
         let nl = random_netlist(&spec, seed);
         let text = verilog::to_verilog(&nl);
@@ -45,31 +52,35 @@ proptest! {
         imported.validate().unwrap();
         co_simulate(&nl, &imported, 4, 3, 16);
     }
+}
 
-    /// The optimization sweep never changes behavior.
-    #[test]
-    fn sweep_preserves_function(seed in 0u64..5000) {
+/// The optimization sweep never changes behavior.
+#[test]
+fn sweep_preserves_function() {
+    for seed in seeds() {
         let spec = RandomNetlistSpec { inputs: 4, gates: 35, registers: 2, outputs: 3 };
         let nl = random_netlist(&spec, seed);
         let (swept, stats) = opt::sweep(&nl).unwrap();
-        prop_assert!(stats.cells_after <= stats.cells_before);
+        assert!(stats.cells_after <= stats.cells_before, "seed {seed}");
         co_simulate(&nl, &swept, 4, 3, 16);
     }
+}
 
-    /// Stats, DOT export and STA never panic on any valid design.
-    #[test]
-    fn analyses_total_on_random_designs(seed in 0u64..5000) {
+/// Stats, DOT export and STA never panic on any valid design.
+#[test]
+fn analyses_total_on_random_designs() {
+    for seed in seeds() {
         let spec = RandomNetlistSpec { inputs: 3, gates: 25, registers: 1, outputs: 2 };
         let nl = random_netlist(&spec, seed);
         let stats = printed_svm::netlist::stats::summarize(&nl).unwrap();
-        prop_assert_eq!(stats.cells, nl.num_cells());
+        assert_eq!(stats.cells, nl.num_cells(), "seed {seed}");
         let dot = printed_svm::netlist::dot::to_dot(&nl);
-        prop_assert!(dot.starts_with("digraph"));
+        assert!(dot.starts_with("digraph"), "seed {seed}");
         let lib = EgfetLibrary::standard();
         let tech = TechParams::standard();
         let t = printed_svm::synth::analyze_timing(&nl, &lib, &tech).unwrap();
-        prop_assert!(t.freq_hz > 0.0);
+        assert!(t.freq_hz > 0.0, "seed {seed}");
         let area = printed_svm::synth::analyze_area(&nl, &lib);
-        prop_assert!(area.total_cm2 >= 0.0);
+        assert!(area.total_cm2 >= 0.0, "seed {seed}");
     }
 }

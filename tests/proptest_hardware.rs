@@ -2,12 +2,17 @@
 //! through generated netlists must always agree with integer reference
 //! arithmetic. These catch width-derivation and signedness bugs that
 //! hand-picked cases miss.
+//!
+//! Cases are generated from seeded loops (the environment has no crates.io
+//! access, so the `proptest` runner is replaced by explicit deterministic
+//! sweeps; every failure message carries the seed to reproduce it).
 
 use printed_svm::core::designs::sequential;
 use printed_svm::netlist::{Builder, Word};
 use printed_svm::prelude::*;
 use printed_svm::synth::{adder, cmp, mult, mux, tree};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Builds a QuantizedSvm directly from randomized integer tables (bypassing
 /// training) so properties explore the full coefficient space.
@@ -15,7 +20,6 @@ fn svm_from_tables(weights: Vec<Vec<i64>>, biases: Vec<i64>, input_bits: u32) ->
     // Recover a float model on the weight grid and re-quantize: the public
     // API quantizes trained models, so feed it synthetic "trained" floats.
     use printed_svm::ml::linear::LinearModel;
-    let n = weights.len();
     let frac = 6i32;
     let scale = (2.0f64).powi(-frac);
     let classifiers: Vec<LinearModel> = weights
@@ -29,24 +33,18 @@ fn svm_from_tables(weights: Vec<Vec<i64>>, biases: Vec<i64>, input_bits: u32) ->
             )
         })
         .collect();
-    let _ = n;
     let model = SvmModel::from_ovr(classifiers);
     QuantizedSvm::quantize(&model, input_bits, 8)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The sequential circuit equals the golden model for arbitrary small
-    /// models and arbitrary inputs.
-    #[test]
-    fn sequential_circuit_matches_golden(
-        n_classes in 2usize..5,
-        m in 1usize..6,
-        seed in any::<u64>(),
-    ) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// The sequential circuit equals the golden model for arbitrary small
+/// models and arbitrary inputs.
+#[test]
+fn sequential_circuit_matches_golden() {
+    for seed in 0u64..24 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5e9_0001);
+        let n_classes = rng.gen_range(2usize..5);
+        let m = rng.gen_range(1usize..6);
         let weights: Vec<Vec<i64>> =
             (0..n_classes).map(|_| (0..m).map(|_| rng.gen_range(-31i64..32)).collect()).collect();
         let biases: Vec<i64> = (0..n_classes).map(|_| rng.gen_range(-200i64..200)).collect();
@@ -62,24 +60,24 @@ proptest! {
             for _ in 0..n_classes {
                 sim.tick();
             }
-            prop_assert_eq!(
+            assert_eq!(
                 sim.output_unsigned("class") as usize,
                 q.predict_int(&x_q),
-                "model seed {}", seed
+                "model seed {seed}"
             );
         }
     }
+}
 
-    /// Generic multipliers are exact for random widths and signedness.
-    #[test]
-    fn random_width_multipliers_are_exact(
-        wx in 1usize..6,
-        wy in 1usize..6,
-        sx in any::<bool>(),
-        sy in any::<bool>(),
-        seed in any::<u64>(),
-    ) {
-        use rand::{Rng, SeedableRng};
+/// Generic multipliers are exact for random widths and signedness.
+#[test]
+fn random_width_multipliers_are_exact() {
+    for seed in 0u64..24 {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9) ^ 0x4d55);
+        let wx = rng.gen_range(1usize..6);
+        let wy = rng.gen_range(1usize..6);
+        let sx: bool = rng.gen();
+        let sy: bool = rng.gen();
         let mut b = Builder::new("m");
         let x = Word::new(b.input_bus("x", wx), sx);
         let y = Word::new(b.input_bus("y", wy), sy);
@@ -88,23 +86,33 @@ proptest! {
         b.output_bus("p", p.bits());
         let nl = b.finish();
         let mut sim = Simulator::new(&nl).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         for _ in 0..12 {
-            let vx = if sx { rng.gen_range(-(1i64 << (wx-1))..(1i64 << (wx-1))) } else { rng.gen_range(0..(1i64 << wx)) };
-            let vy = if sy { rng.gen_range(-(1i64 << (wy-1))..(1i64 << (wy-1))) } else { rng.gen_range(0..(1i64 << wy)) };
+            let vx = if sx {
+                rng.gen_range(-(1i64 << (wx - 1))..(1i64 << (wx - 1)))
+            } else {
+                rng.gen_range(0..(1i64 << wx))
+            };
+            let vy = if sy {
+                rng.gen_range(-(1i64 << (wy - 1))..(1i64 << (wy - 1)))
+            } else {
+                rng.gen_range(0..(1i64 << wy))
+            };
             sim.set_input("x", vx);
             sim.set_input("y", vy);
             sim.eval_comb();
             let got = if signed_out { sim.output_signed("p") } else { sim.output_unsigned("p") };
-            prop_assert_eq!(got, vx * vy);
+            assert_eq!(got, vx * vy, "seed {seed} wx={wx} wy={wy} sx={sx} sy={sy}");
         }
     }
+}
 
-    /// Constant multipliers agree with generic multiplication for any
-    /// constant.
-    #[test]
-    fn const_mult_matches_reference(c in -200i64..200, seed in any::<u64>()) {
-        use rand::{Rng, SeedableRng};
+/// Constant multipliers agree with generic multiplication for any constant.
+#[test]
+fn const_mult_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(0xC0457);
+    // The stepped grid plus the CSD special cases (0, ±1) and the endpoints.
+    let constants = (-200i64..=200).step_by(7).chain([-200, -1, 0, 1, 200]);
+    for c in constants {
         let mut b = Builder::new("mc");
         let x = Word::new(b.input_bus("x", 5), false);
         let p = mult::mul_const(&mut b, &x, c);
@@ -112,21 +120,23 @@ proptest! {
         b.output_bus("p", p.bits());
         let nl = b.finish();
         let mut sim = Simulator::new(&nl).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         for _ in 0..8 {
             let vx = rng.gen_range(0i64..32);
             sim.set_input("x", vx);
             sim.eval_comb();
             let got = if signed_out { sim.output_signed("p") } else { sim.output_unsigned("p") };
-            prop_assert_eq!(got, vx * c);
+            assert_eq!(got, vx * c, "constant {c}");
         }
     }
+}
 
-    /// ROM tables always return exactly the stored entry.
-    #[test]
-    fn rom_mux_returns_entries(
-        table in proptest::collection::vec(-500i64..500, 1..12),
-    ) {
+/// ROM tables always return exactly the stored entry.
+#[test]
+fn rom_mux_returns_entries() {
+    let mut rng = StdRng::seed_from_u64(0x20);
+    for case in 0..24 {
+        let len = rng.gen_range(1usize..12);
+        let table: Vec<i64> = (0..len).map(|_| rng.gen_range(-500i64..500)).collect();
         let mut b = Builder::new("rom");
         let sel_w = (usize::BITS - (table.len().max(2) - 1).leading_zeros()) as usize;
         let sel = Word::new(b.input_bus("sel", sel_w), false);
@@ -138,21 +148,24 @@ proptest! {
         for (i, &want) in table.iter().enumerate() {
             sim.set_input("sel", i as i64);
             sim.eval_comb();
-            let got = if signed_out { sim.output_signed("out") } else { sim.output_unsigned("out") };
-            prop_assert_eq!(got, want, "entry {}", i);
+            let got =
+                if signed_out { sim.output_signed("out") } else { sim.output_unsigned("out") };
+            assert_eq!(got, want, "case {case} entry {i}");
         }
     }
+}
 
-    /// Tree and chain accumulation compute identical sums (they differ only
-    /// in depth, which is the baselines' timing story).
-    #[test]
-    fn tree_equals_chain(
-        values in proptest::collection::vec(-15i64..16, 2..10),
-    ) {
+/// Tree and chain accumulation compute identical sums (they differ only in
+/// depth, which is the baselines' timing story).
+#[test]
+fn tree_equals_chain() {
+    let mut rng = StdRng::seed_from_u64(0x7ee);
+    for case in 0..24 {
+        let len = rng.gen_range(2usize..10);
+        let values: Vec<i64> = (0..len).map(|_| rng.gen_range(-15i64..16)).collect();
         let mut b = Builder::new("agree");
-        let words: Vec<Word> = (0..values.len())
-            .map(|i| Word::new(b.input_bus(format!("i{i}"), 5), true))
-            .collect();
+        let words: Vec<Word> =
+            (0..values.len()).map(|i| Word::new(b.input_bus(format!("i{i}"), 5), true)).collect();
         let t = tree::sum_tree(&mut b, &words);
         let ch = tree::sum_chain(&mut b, &words);
         let diff_is_zero = {
@@ -167,7 +180,7 @@ proptest! {
             sim.set_input(&format!("i{i}"), v);
         }
         sim.eval_comb();
-        prop_assert_eq!(sim.output_unsigned("same"), 1);
-        prop_assert_eq!(sim.output_signed("t"), values.iter().sum::<i64>());
+        assert_eq!(sim.output_unsigned("same"), 1, "case {case}");
+        assert_eq!(sim.output_signed("t"), values.iter().sum::<i64>(), "case {case}");
     }
 }

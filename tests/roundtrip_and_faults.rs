@@ -50,8 +50,7 @@ fn sequential_svm_survives_verilog_round_trip() {
 fn parallel_svm_survives_verilog_round_trip() {
     let (q, test) = quantized(UciProfile::Cardio, MulticlassScheme::OneVsOne);
     let original = parallel::build_parallel_svm(&q);
-    let imported =
-        verilog_parse::from_verilog(&verilog::to_verilog(&original)).expect("re-parse");
+    let imported = verilog_parse::from_verilog(&verilog::to_verilog(&original)).expect("re-parse");
     let mut sim_a = Simulator::new(&original).unwrap();
     let mut sim_b = Simulator::new(&imported).unwrap();
     for x in test.features().iter().take(20) {
@@ -76,24 +75,15 @@ fn classifiers_mask_a_good_fraction_of_faults() {
         .iter()
         .take(12)
         .map(|x| {
-            q.quantize_input(x)
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| (format!("x{i}"), v))
-                .collect()
+            q.quantize_input(x).iter().enumerate().map(|(i, &v)| (format!("x{i}"), v)).collect()
         })
         .collect();
 
     let seq_nl = sequential::build_sequential_ovr(&q);
     let seq_sites: Vec<_> = enumerate_fault_sites(&seq_nl).into_iter().step_by(23).collect();
-    let seq_report = fault_campaign_seq(
-        &seq_nl,
-        &seq_sites,
-        &workload,
-        "class",
-        q.num_classes() as u64,
-    )
-    .unwrap();
+    let seq_report =
+        fault_campaign_seq(&seq_nl, &seq_sites, &workload, "class", q.num_classes() as u64)
+            .unwrap();
     assert!(seq_report.total > 20);
     assert!(
         seq_report.benign > 0 && seq_report.critical > 0,
