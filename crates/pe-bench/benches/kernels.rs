@@ -9,7 +9,7 @@ use pe_data::{train_test_split, Normalizer, UciProfile};
 use pe_ml::linear::SvmTrainParams;
 use pe_ml::multiclass::{MulticlassScheme, SvmModel};
 use pe_ml::QuantizedSvm;
-use pe_sim::Simulator;
+use pe_sim::{BatchMode, Simulator};
 
 struct Fixture {
     train: pe_data::Dataset,
@@ -67,6 +67,48 @@ fn bench_simulation(g: &mut BenchGroup, f: &Fixture) {
     });
 }
 
+/// Scalar vs. bit-sliced `run_batch` on a full 64-vector chunk of the
+/// Table-I sequential SVM circuit: the kernel the bit-slicing PR exists
+/// for. Reports both engines through the harness and prints the measured
+/// speedup (acceptance floor: 8x on this batch).
+fn bench_bitslice_speedup(g: &mut BenchGroup, f: &Fixture) {
+    let nl = sequential::build_sequential_ovr(&f.q_ovr);
+    let samples: Vec<Vec<i64>> =
+        f.test.features().iter().cycle().take(64).map(|x| f.q_ovr.quantize_input(x)).collect();
+    g.bench("scalar_64_classifications", || {
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_batch_mode(BatchMode::Scalar);
+        black_box(sim.run_batch(&samples, 3, "class"));
+    });
+    g.bench("bitsliced_64_classifications", || {
+        let mut sim = Simulator::new(&nl).unwrap();
+        black_box(sim.run_batch(&samples, 3, "class"));
+    });
+    // Direct head-to-head on identical fresh simulators (batch only, no
+    // scheduling), so the printed ratio isolates the kernel speedup.
+    let time = |mode: BatchMode| {
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_batch_mode(mode);
+        sim.run_batch(&samples, 3, "class"); // warm up
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_batch_mode(mode);
+        let t0 = std::time::Instant::now();
+        let reps = 5;
+        for _ in 0..reps {
+            black_box(sim.run_batch(&samples, 3, "class"));
+        }
+        t0.elapsed() / reps
+    };
+    let scalar = time(BatchMode::Scalar);
+    let sliced = time(BatchMode::BitSliced);
+    println!(
+        "simulation/bitslice_speedup                  {:.1}x  (scalar {:?} / bit-sliced {:?} per 64-vector batch)",
+        scalar.as_secs_f64() / sliced.as_secs_f64(),
+        scalar,
+        sliced
+    );
+}
+
 fn bench_analysis(g: &mut BenchGroup, f: &Fixture) {
     let nl = parallel::build_parallel_svm(&f.q_ovo);
     let lib = EgfetLibrary::standard();
@@ -91,6 +133,7 @@ fn main() {
     bench_elaboration(&mut g, &f);
     let mut g = BenchGroup::new("simulation");
     bench_simulation(&mut g, &f);
+    bench_bitslice_speedup(&mut g, &f);
     let mut g = BenchGroup::new("analysis");
     bench_analysis(&mut g, &f);
 }

@@ -5,6 +5,9 @@
 //!
 //! The model comes from the shared [`ExperimentEngine`] cache and the
 //! campaign fans out over the engine's thread helper, one shard per worker.
+//! Within a shard, one bit-sliced simulator is scheduled once and reused for
+//! every fault site via force/release, driving 64 workload patterns per
+//! machine word — so the campaign parallelizes across threads *and* lanes.
 //!
 //! Usage: `cargo run --release -p pe-bench --bin faults [max_faults]`
 
@@ -47,7 +50,8 @@ fn main() {
         threads
     );
     // Shard the site list across workers; each shard is an independent
-    // campaign and the totals merge by addition.
+    // campaign (one reused force/release simulator) and the totals merge by
+    // addition.
     let shards: Vec<Vec<FaultSite>> =
         sites.chunks(sites.len().div_ceil(threads).max(1)).map(<[_]>::to_vec).collect();
     let partials = engine::parallel_map(&shards, threads, |shard| {

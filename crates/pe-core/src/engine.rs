@@ -20,6 +20,12 @@
 //! * **Streaming** — completed [`DesignReport`]s are pushed through a
 //!   [`ReportSink`] as they finish (progress display, incremental logging),
 //!   while the final table stays in grid order.
+//! * **Word-parallel simulation** — each job's gate-level verify/activity
+//!   batch runs on the bit-sliced engine (64 test vectors per machine word,
+//!   see `pe_sim::bitslice`) selected by
+//!   [`RunOptions::batch_mode`](crate::pipeline::RunOptions); grids can be
+//!   differentially re-run on the scalar reference engine by flipping that
+//!   option.
 //!
 //! # Example
 //!

@@ -20,7 +20,7 @@ use pe_ml::mlp::{Mlp, MlpTrainParams};
 use pe_ml::multiclass::{MulticlassScheme, SvmModel};
 use pe_ml::{QuantizedMlp, QuantizedSvm};
 use pe_netlist::Netlist;
-use pe_sim::Simulator;
+use pe_sim::{BatchMode, Simulator};
 
 /// Options shared by all experiments.
 #[derive(Debug, Clone)]
@@ -37,6 +37,10 @@ pub struct RunOptions {
     pub lib: EgfetLibrary,
     /// Technology parameters.
     pub tech: TechParams,
+    /// Which engine runs the gate-level verification/activity batch. The
+    /// word-parallel bit-sliced engine is the default; the scalar reference
+    /// is selectable so whole-pipeline runs can be differentially checked.
+    pub batch_mode: BatchMode,
 }
 
 impl Default for RunOptions {
@@ -47,6 +51,7 @@ impl Default for RunOptions {
             max_sim_samples: 120,
             lib: EgfetLibrary::standard(),
             tech: TechParams::standard(),
+            batch_mode: BatchMode::default(),
         }
     }
 }
@@ -292,6 +297,7 @@ pub fn run_prepared(
         goldens.push(golden);
     }
     let mut sim = Simulator::new(&nl).expect("generated designs are acyclic");
+    sim.set_batch_mode(opts.batch_mode);
     sim.enable_activity();
     let cycles_per_vector = if style == DesignStyle::SequentialSvm { cycles } else { 0 };
     let batch = sim.run_batch(&vectors, cycles_per_vector, "class");
@@ -388,6 +394,24 @@ mod tests {
         assert_eq!(a.accuracy_pct, b.accuracy_pct);
         assert_eq!(a.area_cm2, b.area_cm2);
         assert_eq!(a.energy_mj, b.energy_mj);
+    }
+
+    #[test]
+    fn scalar_and_bitsliced_engines_agree_end_to_end() {
+        // System-level differential check: the whole Table-I cell must come
+        // out bit-identical whichever batch engine simulates it, energy
+        // included (energy is a pure function of the toggle counts).
+        let sliced = run_experiment(UciProfile::Cardio, DesignStyle::SequentialSvm, &fast_opts());
+        let scalar = run_experiment(
+            UciProfile::Cardio,
+            DesignStyle::SequentialSvm,
+            &RunOptions { batch_mode: pe_sim::BatchMode::Scalar, ..fast_opts() },
+        );
+        assert_eq!(sliced.mismatches, scalar.mismatches);
+        assert_eq!(sliced.accuracy_pct, scalar.accuracy_pct);
+        assert_eq!(sliced.dynamic_mw, scalar.dynamic_mw);
+        assert_eq!(sliced.power_mw, scalar.power_mw);
+        assert_eq!(sliced.energy_mj, scalar.energy_mj);
     }
 
     #[test]

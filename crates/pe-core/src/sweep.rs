@@ -118,6 +118,9 @@ fn measure(
     lib: &EgfetLibrary,
     tech: &TechParams,
 ) -> (f64, f64) {
+    // Sweeps always use the default word-parallel batch engine: every point
+    // simulates the same sample count, so the ~64x kernel speedup applies to
+    // the whole sweep uniformly.
     let mut sim = Simulator::new(nl).expect("acyclic");
     sim.enable_activity();
     let vectors: Vec<Vec<i64>> =

@@ -96,6 +96,37 @@ impl CellKind {
         }
     }
 
+    /// Word-parallel truth function: every bit position of the operands is an
+    /// independent evaluation (one simulation lane), so a single bitwise
+    /// expression computes the cell for up to 64 input vectors at once. This
+    /// is the kernel of `pe-sim`'s bit-sliced simulator; bit `l` of the
+    /// result equals `self.eval(...)` applied to bit `l` of each operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.arity()` or if called on a sequential
+    /// cell (use [`CellKind::next_state_packed`]).
+    #[must_use]
+    pub fn eval_packed(&self, inputs: &[u64]) -> u64 {
+        assert!(!self.is_sequential(), "eval_packed called on sequential cell {self:?}");
+        assert_eq!(inputs.len(), self.arity(), "arity mismatch for {self:?}");
+        match self {
+            CellKind::Inv => !inputs[0],
+            CellKind::Buf => inputs[0],
+            CellKind::Nand2 => !(inputs[0] & inputs[1]),
+            CellKind::Nor2 => !(inputs[0] | inputs[1]),
+            CellKind::And2 => inputs[0] & inputs[1],
+            CellKind::Or2 => inputs[0] | inputs[1],
+            CellKind::Xor2 => inputs[0] ^ inputs[1],
+            CellKind::Xnor2 => !(inputs[0] ^ inputs[1]),
+            CellKind::And3 => inputs[0] & inputs[1] & inputs[2],
+            CellKind::Or3 => inputs[0] | inputs[1] | inputs[2],
+            CellKind::Mux2 => (inputs[0] & !inputs[2]) | (inputs[1] & inputs[2]),
+            CellKind::Maj3 => (inputs[0] & (inputs[1] | inputs[2])) | (inputs[1] & inputs[2]),
+            CellKind::Dff | CellKind::DffE => unreachable!(),
+        }
+    }
+
     /// Next-state function of a sequential cell given its data inputs and the
     /// current state `q`.
     ///
@@ -116,6 +147,23 @@ impl CellKind {
                 }
             }
             _ => panic!("next_state called on combinational cell {self:?}"),
+        }
+    }
+
+    /// Word-parallel next-state function (see [`CellKind::eval_packed`] for
+    /// the lane model): bit `l` of the result is the next state of lane `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a combinational cell or with the wrong number of
+    /// inputs.
+    #[must_use]
+    pub fn next_state_packed(&self, inputs: &[u64], q: u64) -> u64 {
+        assert_eq!(inputs.len(), self.arity(), "arity mismatch for {self:?}");
+        match self {
+            CellKind::Dff => inputs[0],
+            CellKind::DffE => (inputs[0] & inputs[1]) | (q & !inputs[1]),
+            _ => panic!("next_state_packed called on combinational cell {self:?}"),
         }
     }
 
@@ -227,6 +275,54 @@ mod tests {
     #[should_panic(expected = "sequential")]
     fn eval_on_dff_panics() {
         let _ = CellKind::Dff.eval(&[true]);
+    }
+
+    #[test]
+    fn packed_eval_matches_scalar_on_every_lane() {
+        // Fill each operand with a different bit pattern so every lane sees a
+        // distinct input combination, then check all 64 lanes against the
+        // scalar truth function.
+        for &k in CellKind::all() {
+            if k.is_sequential() {
+                continue;
+            }
+            let n = k.arity();
+            let words: Vec<u64> =
+                (0..n).map(|i| 0xA5A5_5A5A_DEAD_BEEFu64.rotate_left(7 * i as u32 + 3)).collect();
+            let packed = k.eval_packed(&words);
+            for lane in 0..64 {
+                let inputs: Vec<bool> = words.iter().map(|w| (w >> lane) & 1 == 1).collect();
+                assert_eq!(
+                    (packed >> lane) & 1 == 1,
+                    k.eval(&inputs),
+                    "{k:?} lane {lane} diverged from scalar eval"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_next_state_matches_scalar_on_every_lane() {
+        let d = 0x0123_4567_89AB_CDEFu64;
+        let en = 0xF0F0_0F0F_3C3C_C3C3u64;
+        let q = 0xFFFF_0000_FF00_00FFu64;
+        for lane in 0..64 {
+            let bit = |w: u64| (w >> lane) & 1 == 1;
+            assert_eq!(
+                bit(CellKind::Dff.next_state_packed(&[d], q)),
+                CellKind::Dff.next_state(&[bit(d)], bit(q))
+            );
+            assert_eq!(
+                bit(CellKind::DffE.next_state_packed(&[d, en], q)),
+                CellKind::DffE.next_state(&[bit(d), bit(en)], bit(q))
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "combinational")]
+    fn packed_next_state_on_gate_panics() {
+        let _ = CellKind::And2.next_state_packed(&[0, 0], 0);
     }
 
     #[test]

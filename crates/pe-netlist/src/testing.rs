@@ -20,11 +20,15 @@ pub struct RandomNetlistSpec {
     pub registers: usize,
     /// Primary outputs to expose.
     pub outputs: usize,
+    /// Name prefix of the input ports (`"i"` yields `i0, i1, …`). Simulator
+    /// batch tests use `"x"` to match the `x{j}` convention of
+    /// `Simulator::run_batch`.
+    pub input_prefix: &'static str,
 }
 
 impl Default for RandomNetlistSpec {
     fn default() -> Self {
-        RandomNetlistSpec { inputs: 4, gates: 30, registers: 2, outputs: 3 }
+        RandomNetlistSpec { inputs: 4, gates: 30, registers: 2, outputs: 3, input_prefix: "i" }
     }
 }
 
@@ -63,7 +67,8 @@ pub fn random_netlist(spec: &RandomNetlistSpec, seed: u64) -> Netlist {
     assert!(spec.outputs >= 1, "need at least one output");
     let mut rng = XorShift::new(seed);
     let mut b = Builder::new(format!("fuzz_{seed:x}"));
-    let mut pool: Vec<NetId> = (0..spec.inputs).map(|i| b.input(format!("i{i}"))).collect();
+    let mut pool: Vec<NetId> =
+        (0..spec.inputs).map(|i| b.input(format!("{}{i}", spec.input_prefix))).collect();
     // Deferred registers give sequential feedback: their data comes from
     // nets created later.
     let mut handles = Vec::new();
@@ -119,7 +124,13 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let spec = RandomNetlistSpec { inputs: 3, gates: 20, registers: 1, outputs: 2 };
+        let spec = RandomNetlistSpec {
+            inputs: 3,
+            gates: 20,
+            registers: 1,
+            outputs: 2,
+            ..RandomNetlistSpec::default()
+        };
         let a = random_netlist(&spec, 9);
         let c = random_netlist(&spec, 9);
         assert_eq!(a.num_cells(), c.num_cells());
@@ -128,7 +139,13 @@ mod tests {
 
     #[test]
     fn respects_shape_parameters() {
-        let spec = RandomNetlistSpec { inputs: 5, gates: 50, registers: 3, outputs: 4 };
+        let spec = RandomNetlistSpec {
+            inputs: 5,
+            gates: 50,
+            registers: 3,
+            outputs: 4,
+            ..RandomNetlistSpec::default()
+        };
         let nl = random_netlist(&spec, 3);
         assert_eq!(nl.input_ports().count(), 5);
         assert_eq!(nl.output_ports().count(), 4);

@@ -3,8 +3,83 @@
 //! An [`ActivityReport`] is the simulator's answer to a SAIF file: per-net
 //! toggle counts over a known number of clock cycles. Power analysis in
 //! `pe-synth` multiplies these by per-cell switching energies.
+//!
+//! [`ToggleCounters`] is the raw accumulator both simulation engines write
+//! into: the scalar engine bumps one net at a time, the bit-sliced engine
+//! ([`crate::bitslice`]) hands in a 64-lane XOR difference word and the
+//! counter popcounts it, so one instruction accounts the toggles of up to 64
+//! test vectors. Because both engines fold into the same counters, activity
+//! (and therefore energy) reports are directly comparable between them.
 
 use pe_netlist::NetId;
+
+/// Per-net toggle accumulator shared by the scalar and bit-sliced engines.
+///
+/// A disabled counter set is an empty vector; every accounting call is a
+/// no-op then, which keeps the simulator hot loops branch-cheap.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ToggleCounters {
+    counts: Vec<u64>,
+}
+
+impl ToggleCounters {
+    /// A disabled accumulator (all accounting calls are no-ops).
+    #[must_use]
+    pub fn disabled() -> Self {
+        ToggleCounters { counts: Vec::new() }
+    }
+
+    /// An enabled accumulator with one zeroed counter per net.
+    #[must_use]
+    pub fn enabled(num_nets: usize) -> Self {
+        ToggleCounters { counts: vec![0; num_nets] }
+    }
+
+    /// Whether tracking is on.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        !self.counts.is_empty()
+    }
+
+    /// Accounts one toggle of one net (the scalar engine's path).
+    #[inline]
+    pub fn bump(&mut self, net_index: usize) {
+        self.counts[net_index] += 1;
+    }
+
+    /// Accounts up to 64 toggles of one net at once: `lanes` is the masked
+    /// XOR of the net's old and new packed values, each set bit one lane
+    /// whose value changed (the bit-sliced engine's path).
+    #[inline]
+    pub fn bump_packed(&mut self, net_index: usize, lanes: u64) {
+        self.counts[net_index] += u64::from(lanes.count_ones());
+    }
+
+    /// Adds another accumulator's counts into this one (used when a
+    /// bit-sliced batch folds its activity back into the owning simulator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net counts differ.
+    pub fn merge(&mut self, other: &ToggleCounters) {
+        assert_eq!(self.counts.len(), other.counts.len(), "net count mismatch in merge");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// The raw counters, indexed by [`NetId::index`].
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Snapshot into an [`ActivityReport`] over `cycles` accounted cycles.
+    #[must_use]
+    pub fn report(&self, cycles: u64) -> ActivityReport {
+        ActivityReport::new(self.counts.clone(), cycles)
+    }
+}
 
 /// Per-net toggle counts over a measured interval.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,6 +174,40 @@ mod tests {
         let r = ActivityReport::new(vec![3], 0);
         assert_eq!(r.factor(NetIdHelper::id(0)), 0.0);
         assert_eq!(r.mean_factor(), 0.0);
+    }
+
+    #[test]
+    fn toggle_counters_scalar_and_packed_agree() {
+        let mut scalar = ToggleCounters::enabled(2);
+        let mut packed = ToggleCounters::enabled(2);
+        // Three lanes toggled on net 0, one on net 1.
+        let diff0 = 0b1011u64;
+        let diff1 = 0b0100u64;
+        for lane in 0..4u64 {
+            if (diff0 >> lane) & 1 == 1 {
+                scalar.bump(0);
+            }
+            if (diff1 >> lane) & 1 == 1 {
+                scalar.bump(1);
+            }
+        }
+        packed.bump_packed(0, diff0);
+        packed.bump_packed(1, diff1);
+        assert_eq!(scalar, packed);
+        assert_eq!(packed.counts(), &[3, 1]);
+        // Merging doubles the counts.
+        let snapshot = packed.clone();
+        packed.merge(&snapshot);
+        assert_eq!(packed.counts(), &[6, 2]);
+        assert_eq!(packed.report(4).total_toggles(), 8);
+    }
+
+    #[test]
+    fn disabled_counters_report_empty() {
+        let c = ToggleCounters::disabled();
+        assert!(!c.is_enabled());
+        assert!(ToggleCounters::enabled(3).is_enabled());
+        assert_eq!(c.report(10).num_nets(), 0);
     }
 
     #[test]

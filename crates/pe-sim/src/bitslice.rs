@@ -1,0 +1,768 @@
+//! Word-parallel bit-sliced simulation: 64 test vectors per machine word.
+//!
+//! The scalar [`Simulator`](crate::Simulator) stores one `bool` per net and
+//! walks the netlist once per test vector — the single hottest loop behind
+//! every Table-I grid run and fault campaign. [`BitSlicedSimulator`] packs up
+//! to 64 vectors into one `u64` per net ("lanes"), so a topological sweep
+//! evaluates every gate for the whole chunk with a single bitwise operation
+//! per cell ([`pe_netlist::CellKind::eval_packed`]).
+//!
+//! # Lane layout
+//!
+//! Bit `l` of every packed word belongs to **lane** `l`, which simulates
+//! vector `l` of the current chunk. A batch of `N` vectors is processed as
+//! `ceil(N / 64)` chunks; the final chunk may be *ragged* (fewer than 64
+//! active lanes) and is handled with a **lane mask** — a word with one bit
+//! set per active lane. Values in masked-off lanes are garbage and are never
+//! allowed to escape: activity accounting ANDs every XOR-difference with the
+//! mask before popcounting, outputs are extracted per active lane only, and
+//! the chunk-exit carry reads exactly the last active lane.
+//!
+//! # Batch semantics (shared with the scalar engine)
+//!
+//! Between chunks every word is a *broadcast* (all 64 lanes hold the same
+//! bit): the serial value carried from the previous chunk.
+//!
+//! * **Combinational batches** (`cycles_per_vector == 0`): settled values are
+//!   pure functions of the inputs, so lanes evaluate independently and the
+//!   result is bit-identical to a caller-side serial loop. Toggle counts are
+//!   serial-exact too: for each net the count of adjacent differences in the
+//!   settled sequence `v_prev, v_0, v_1, …` is
+//!   `popcount((w ^ ((w << 1) | carry)) & mask)` — lane `l` compares against
+//!   lane `l-1`, lane 0 against the carried bit.
+//! * **Sequential batches** (`cycles_per_vector == c > 0`): every lane starts
+//!   the chunk from the chunk-entry net values and register state, all lanes
+//!   tick `c` times in lockstep (packed register update via
+//!   [`pe_netlist::CellKind::next_state_packed`]), and the last active lane's final
+//!   values/state become the carry into the next chunk. The scalar engine
+//!   implements this identical chunked-streaming contract
+//!   ([`Simulator::run_batch`](crate::Simulator::run_batch) with
+//!   [`BatchMode::Scalar`](crate::sim::BatchMode)), which is what makes
+//!   bit-identity — outputs, per-net toggle counts, carried register state —
+//!   testable exactly (see `tests/bitslice_differential.rs`).
+//!
+//! Fault campaigns reuse one `BitSlicedSimulator` across every fault site by
+//! pinning nets with [`BitSlicedSimulator::force_net`] and releasing them
+//! afterwards, instead of rebuilding and rescheduling a simulator per site
+//! (see [`crate::faults`]).
+
+use crate::activity::{ActivityReport, ToggleCounters};
+use crate::sim::BatchResult;
+use pe_netlist::{CellId, Netlist, NetlistError, PortDir};
+use std::collections::HashMap;
+
+/// Number of simulation lanes in one machine word.
+pub const LANES: usize = 64;
+
+/// A mask with one bit set per active lane of a (possibly ragged) chunk.
+#[inline]
+#[must_use]
+pub fn lane_mask(active: usize) -> u64 {
+    debug_assert!((1..=LANES).contains(&active));
+    if active >= LANES {
+        !0
+    } else {
+        (1u64 << active) - 1
+    }
+}
+
+/// Replicates one bit into all 64 lanes.
+#[inline]
+fn broadcast(b: bool) -> u64 {
+    if b {
+        !0
+    } else {
+        0
+    }
+}
+
+/// A word-parallel cycle-based simulator over a borrowed [`Netlist`].
+///
+/// See the [module docs](self) for the lane layout and batch semantics.
+#[derive(Debug)]
+pub struct BitSlicedSimulator<'nl> {
+    nl: &'nl Netlist,
+    /// Topological order of combinational cells.
+    order: Vec<CellId>,
+    /// All sequential cells.
+    regs: Vec<CellId>,
+    /// Packed value of every net, one lane per bit.
+    words: Vec<u64>,
+    /// Packed state of each register (parallel to `regs`).
+    state: Vec<u64>,
+    /// Scratch buffer for packed next-states (parallel to `regs`).
+    next_scratch: Vec<u64>,
+    /// Input port name -> bit nets (LSB first).
+    input_ports: HashMap<String, Vec<pe_netlist::NetId>>,
+    /// Output port name -> bit nets (LSB first).
+    output_ports: HashMap<String, Vec<pe_netlist::NetId>>,
+    /// Per-net toggle counters (disabled when empty).
+    toggles: ToggleCounters,
+    /// Clock cycles accounted so far (summed over active lanes).
+    cycles: u64,
+    /// Nets pinned by [`BitSlicedSimulator::force_net`].
+    frozen: Vec<bool>,
+}
+
+impl<'nl> BitSlicedSimulator<'nl> {
+    /// Builds a bit-sliced simulator, scheduling the combinational core.
+    ///
+    /// Registers power on at their declared init values (broadcast to all
+    /// lanes) and the combinational core is settled once with all primary
+    /// inputs at 0, exactly like the scalar constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the design's
+    /// combinational core is cyclic.
+    pub fn new(nl: &'nl Netlist) -> Result<Self, NetlistError> {
+        let order = pe_netlist::graph::topo_order(nl)?;
+        let regs: Vec<CellId> =
+            nl.cells().filter(|(_, c)| c.kind().is_sequential()).map(|(id, _)| id).collect();
+        let mut sim = Self::assemble(nl, order, regs);
+        for (i, &r) in sim.regs.clone().iter().enumerate() {
+            sim.state[i] = broadcast(nl.cell(r).init());
+            sim.words[nl.cell(r).output().index()] = sim.state[i];
+        }
+        sim.eval_lanes(!0);
+        Ok(sim)
+    }
+
+    /// Builds a simulator from an already-computed schedule, seeding every
+    /// lane with the given (settled) scalar values and register state. Used
+    /// by the scalar [`Simulator`](crate::Simulator) to route `run_batch`
+    /// through the sliced engine without re-scheduling or re-settling.
+    pub(crate) fn from_parts(
+        nl: &'nl Netlist,
+        order: Vec<CellId>,
+        regs: Vec<CellId>,
+        values: &[bool],
+        state: &[bool],
+        frozen: &[bool],
+        track_activity: bool,
+    ) -> Self {
+        let mut sim = Self::assemble(nl, order, regs);
+        for (w, &v) in sim.words.iter_mut().zip(values) {
+            *w = broadcast(v);
+        }
+        for (s, &v) in sim.state.iter_mut().zip(state) {
+            *s = broadcast(v);
+        }
+        sim.frozen.copy_from_slice(frozen);
+        if track_activity {
+            sim.toggles = ToggleCounters::enabled(nl.num_nets());
+        }
+        sim
+    }
+
+    fn assemble(nl: &'nl Netlist, order: Vec<CellId>, regs: Vec<CellId>) -> Self {
+        let mut input_ports = HashMap::new();
+        let mut output_ports = HashMap::new();
+        for p in nl.ports() {
+            match p.dir() {
+                PortDir::Input => {
+                    input_ports.insert(p.name().to_owned(), p.bits().to_vec());
+                }
+                PortDir::Output => {
+                    output_ports.insert(p.name().to_owned(), p.bits().to_vec());
+                }
+            }
+        }
+        let mut words = vec![0u64; nl.num_nets()];
+        words[nl.const1().index()] = !0;
+        let state = vec![0u64; regs.len()];
+        let next_scratch = vec![0u64; regs.len()];
+        BitSlicedSimulator {
+            nl,
+            order,
+            regs,
+            words,
+            state,
+            next_scratch,
+            input_ports,
+            output_ports,
+            toggles: ToggleCounters::disabled(),
+            cycles: 0,
+            frozen: vec![false; nl.num_nets()],
+        }
+    }
+
+    /// The netlist under simulation.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        self.nl
+    }
+
+    /// Enables per-net toggle counting (and clears any previous counts).
+    pub fn enable_activity(&mut self) {
+        self.toggles = ToggleCounters::enabled(self.nl.num_nets());
+        self.cycles = 0;
+    }
+
+    /// Number of clock cycles accounted so far, summed over active lanes so
+    /// the total matches what a serial simulation of the same batch would
+    /// report.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Pins a net to a constant in every lane: evaluation and clocking will
+    /// never change it until [`BitSlicedSimulator::release_net`]. This is
+    /// the force/release mechanism fault campaigns use to reuse one
+    /// scheduled simulator across all fault sites.
+    pub fn force_net(&mut self, net: pe_netlist::NetId, value: bool) {
+        self.frozen[net.index()] = true;
+        self.words[net.index()] = broadcast(value);
+        for (i, &r) in self.regs.iter().enumerate() {
+            if self.nl.cell(r).output() == net {
+                self.state[i] = broadcast(value);
+            }
+        }
+    }
+
+    /// Releases a pinned net (its next evaluation recomputes it normally).
+    pub fn release_net(&mut self, net: pe_netlist::NetId) {
+        self.frozen[net.index()] = false;
+    }
+
+    /// Snapshot of the accumulated switching activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if activity tracking was never enabled.
+    #[must_use]
+    pub fn activity(&self) -> ActivityReport {
+        assert!(
+            self.toggles.is_enabled(),
+            "activity tracking not enabled; call enable_activity() first"
+        );
+        self.toggles.report(self.cycles)
+    }
+
+    /// Writes the carried serial value of every net and register back into
+    /// scalar storage (the batch-glue counterpart of
+    /// [`BitSlicedSimulator::from_parts`]). Words are broadcasts between
+    /// chunks, so lane 0 is the carried value.
+    pub(crate) fn carry_into(&self, values: &mut [bool], state: &mut [bool]) {
+        for (v, &w) in values.iter_mut().zip(&self.words) {
+            *v = w & 1 == 1;
+        }
+        for (s, &w) in state.iter_mut().zip(&self.state) {
+            *s = w & 1 == 1;
+        }
+    }
+
+    /// The raw toggle accumulator (for merging back into a scalar owner).
+    pub(crate) fn toggle_counters(&self) -> &ToggleCounters {
+        &self.toggles
+    }
+
+    // ---- packed kernel ---------------------------------------------------
+
+    /// One lane-parallel settle pass: every combinational cell evaluated as
+    /// a single bitwise op, toggles accounted per lane against the stored
+    /// word (masked, so ragged lanes never leak into activity).
+    fn eval_lanes(&mut self, mask: u64) {
+        let track = self.toggles.is_enabled();
+        let mut ins = [0u64; 3];
+        for idx in 0..self.order.len() {
+            let cell = self.nl.cell(self.order[idx]);
+            let out = cell.output().index();
+            if self.frozen[out] {
+                continue;
+            }
+            for (k, &inp) in cell.inputs().iter().enumerate() {
+                ins[k] = self.words[inp.index()];
+            }
+            let new = cell.kind().eval_packed(&ins[..cell.inputs().len()]);
+            let old = self.words[out];
+            if new != old {
+                if track {
+                    self.toggles.bump_packed(out, (new ^ old) & mask);
+                }
+                self.words[out] = new;
+            }
+        }
+    }
+
+    /// A settle pass with *serial* toggle accounting for combinational
+    /// batches: lane `l` is compared against lane `l-1` (lane 0 against the
+    /// carried broadcast bit), reproducing exactly the adjacent-vector
+    /// toggle sequence of a serial loop.
+    fn settle_serial(&mut self, mask: u64) {
+        let track = self.toggles.is_enabled();
+        let mut ins = [0u64; 3];
+        for idx in 0..self.order.len() {
+            let cell = self.nl.cell(self.order[idx]);
+            let out = cell.output().index();
+            if self.frozen[out] {
+                continue;
+            }
+            for (k, &inp) in cell.inputs().iter().enumerate() {
+                ins[k] = self.words[inp.index()];
+            }
+            let new = cell.kind().eval_packed(&ins[..cell.inputs().len()]);
+            if track {
+                let carry = self.words[out] & 1;
+                self.toggles.bump_packed(out, (new ^ ((new << 1) | carry)) & mask);
+            }
+            self.words[out] = new;
+        }
+    }
+
+    /// One clock cycle for all active lanes: settle, capture packed
+    /// next-states, update registers, settle again — the lane-parallel
+    /// mirror of [`Simulator::tick`](crate::Simulator::tick). The next-state
+    /// capture reuses a persistent scratch buffer: this runs once per clock
+    /// tick of every sequential batch and campaign.
+    fn tick_lanes(&mut self, mask: u64) {
+        self.eval_lanes(mask);
+        let track = self.toggles.is_enabled();
+        let nl = self.nl;
+        let mut ins = [0u64; 3];
+        for i in 0..self.regs.len() {
+            let cell = nl.cell(self.regs[i]);
+            for (k, &inp) in cell.inputs().iter().enumerate() {
+                ins[k] = self.words[inp.index()];
+            }
+            self.next_scratch[i] =
+                cell.kind().next_state_packed(&ins[..cell.inputs().len()], self.state[i]);
+        }
+        for i in 0..self.regs.len() {
+            let out = nl.cell(self.regs[i]).output().index();
+            if self.frozen[out] {
+                continue;
+            }
+            let old = self.words[out];
+            let next = self.next_scratch[i];
+            if old != next {
+                if track {
+                    self.toggles.bump_packed(out, (old ^ next) & mask);
+                }
+                self.words[out] = next;
+            }
+            self.state[i] = next;
+        }
+        self.eval_lanes(mask);
+    }
+
+    /// Collapses every word (and register) to a broadcast of lane `lane`,
+    /// establishing the between-chunk invariant that the carried serial
+    /// value occupies all lanes.
+    fn collapse_to_lane(&mut self, lane: usize) {
+        for w in &mut self.words {
+            *w = broadcast((*w >> lane) & 1 == 1);
+        }
+        for s in &mut self.state {
+            *s = broadcast((*s >> lane) & 1 == 1);
+        }
+    }
+
+    // ---- lane I/O --------------------------------------------------------
+
+    /// Drives an input port with one integer per lane (two's complement,
+    /// LSB first). Lanes beyond `values.len()` are zeroed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist, more than [`LANES`] values are
+    /// given, or a value does not fit the port width.
+    pub fn set_input_lanes(&mut self, port: &str, values: &[i64]) {
+        let nets = self
+            .input_ports
+            .get(port)
+            .unwrap_or_else(|| panic!("no input port named {port:?}"))
+            .clone();
+        assert!(values.len() <= LANES, "more than {LANES} lanes driven on port {port}");
+        let w = nets.len() as u32;
+        assert!(w <= 63, "port {port} too wide");
+        let min = -(1i64 << (w - 1));
+        let max = (1i64 << w) - 1;
+        for &v in values {
+            assert!(v >= min && v <= max, "value {v} does not fit {w}-bit port {port}");
+        }
+        for (j, &net) in nets.iter().enumerate() {
+            let mut word = 0u64;
+            for (l, &v) in values.iter().enumerate() {
+                word |= (((v >> j) & 1) as u64) << l;
+            }
+            self.words[net.index()] = word;
+        }
+    }
+
+    /// Reads an output port of one lane as an unsigned integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist or is wider than 63 bits.
+    #[must_use]
+    pub fn output_unsigned_lane(&self, port: &str, lane: usize) -> i64 {
+        let bits =
+            self.output_ports.get(port).unwrap_or_else(|| panic!("no output port named {port:?}"));
+        assert!(bits.len() <= 63, "port {port} too wide");
+        let mut v = 0i64;
+        for (j, &b) in bits.iter().enumerate() {
+            if (self.words[b.index()] >> lane) & 1 == 1 {
+                v |= 1i64 << j;
+            }
+        }
+        v
+    }
+
+    /// Packs one chunk of port-named workload entries into the lanes. Every
+    /// entry must drive the same ports in the same order (campaign workloads
+    /// always do); the port lists are resolved once per chunk from the first
+    /// entry, so the per-lane loop is pure bit packing.
+    fn drive_port_lanes(&mut self, chunk: &[Vec<(String, i64)>]) {
+        let first = &chunk[0];
+        let ports: Vec<(usize, Vec<pe_netlist::NetId>, i64, i64)> = first
+            .iter()
+            .enumerate()
+            .map(|(k, (p, _))| {
+                let nets = self
+                    .input_ports
+                    .get(p)
+                    .unwrap_or_else(|| panic!("no input port named {p:?}"))
+                    .clone();
+                let w = nets.len() as u32;
+                assert!(w <= 63, "port {p} too wide");
+                (k, nets, -(1i64 << (w - 1)), (1i64 << w) - 1)
+            })
+            .collect();
+        for (_, nets, _, _) in &ports {
+            for &net in nets {
+                self.words[net.index()] = 0;
+            }
+        }
+        for (l, entry) in chunk.iter().enumerate() {
+            assert_eq!(
+                entry.len(),
+                first.len(),
+                "workload entries must drive the same ports in the same order"
+            );
+            for &(k, ref nets, min, max) in &ports {
+                let (p, v) = &entry[k];
+                assert_eq!(
+                    p, &first[k].0,
+                    "workload entries must drive the same ports in the same order"
+                );
+                assert!(*v >= min && *v <= max, "value {v} does not fit port {p}");
+                for (j, &net) in nets.iter().enumerate() {
+                    self.words[net.index()] |= (((v >> j) & 1) as u64) << l;
+                }
+            }
+        }
+    }
+
+    // ---- batch drivers ---------------------------------------------------
+
+    /// Word-parallel counterpart of
+    /// [`Simulator::run_batch`](crate::Simulator::run_batch): element `j` of
+    /// each vector drives input port `x{j}`, the observed output port is
+    /// recorded per vector. See the [module docs](self) for the exact batch
+    /// semantics (serial-identical for combinational batches, chunked
+    /// streaming for sequential ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown ports, out-of-range values, or vectors of unequal
+    /// length.
+    pub fn run_batch(
+        &mut self,
+        vectors: &[Vec<i64>],
+        cycles_per_vector: u64,
+        out_port: &str,
+    ) -> BatchResult {
+        let start_cycles = self.cycles;
+        let mut outputs = Vec::with_capacity(vectors.len());
+        let mut lane_vals = Vec::with_capacity(LANES);
+        for chunk in vectors.chunks(LANES) {
+            let active = chunk.len();
+            let mask = lane_mask(active);
+            let m = chunk[0].len();
+            for x in chunk {
+                assert_eq!(x.len(), m, "all vectors in a batch must have the same arity");
+            }
+            for j in 0..m {
+                lane_vals.clear();
+                lane_vals.extend(chunk.iter().map(|x| x[j]));
+                self.set_input_lanes(&format!("x{j}"), &lane_vals);
+            }
+            if cycles_per_vector == 0 {
+                self.settle_serial(mask);
+                self.cycles += active as u64;
+            } else {
+                for _ in 0..cycles_per_vector {
+                    self.tick_lanes(mask);
+                }
+                self.cycles += active as u64 * cycles_per_vector;
+            }
+            for l in 0..active {
+                outputs.push(self.output_unsigned_lane(out_port, l));
+            }
+            self.collapse_to_lane(active - 1);
+        }
+        BatchResult { outputs, cycles: self.cycles - start_cycles }
+    }
+
+    /// Drives a port-named **combinational** workload through the design and
+    /// returns the output port value per entry — the inner loop of
+    /// [`crate::faults::fault_campaign_comb`], 64 patterns per sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown ports or out-of-range values.
+    pub fn run_workload_comb(
+        &mut self,
+        workload: &[Vec<(String, i64)>],
+        out_port: &str,
+    ) -> Vec<i64> {
+        let mut out = Vec::with_capacity(workload.len());
+        for chunk in workload.chunks(LANES) {
+            let active = chunk.len();
+            let mask = lane_mask(active);
+            self.drive_port_lanes(chunk);
+            self.settle_serial(mask);
+            self.cycles += active as u64;
+            for l in 0..active {
+                out.push(self.output_unsigned_lane(out_port, l));
+            }
+            self.collapse_to_lane(active - 1);
+        }
+        out
+    }
+
+    /// Drives a port-named **sequential** workload where every entry starts
+    /// from power-on register state (frozen nets stay pinned) and is clocked
+    /// for `cycles_per_vector` ticks — the per-classification reset protocol
+    /// of [`crate::faults::fault_campaign_seq`], 64 classifications per
+    /// sweep. Lanes are independent, so the whole chunk resets and ticks in
+    /// lockstep.
+    ///
+    /// Activity tracking must be disabled: the per-entry reset makes toggle
+    /// accounting meaningless here, and campaigns never enable it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown ports, out-of-range values,
+    /// `cycles_per_vector == 0`, or enabled activity tracking.
+    pub fn run_workload_seq_reset(
+        &mut self,
+        workload: &[Vec<(String, i64)>],
+        cycles_per_vector: u64,
+        out_port: &str,
+    ) -> Vec<i64> {
+        assert!(cycles_per_vector >= 1, "sequential workloads need at least one cycle");
+        assert!(
+            !self.toggles.is_enabled(),
+            "run_workload_seq_reset resets state per entry; activity accounting is undefined"
+        );
+        let mut out = Vec::with_capacity(workload.len());
+        for chunk in workload.chunks(LANES) {
+            let active = chunk.len();
+            let mask = lane_mask(active);
+            let nl = self.nl;
+            for i in 0..self.regs.len() {
+                let cell = nl.cell(self.regs[i]);
+                let out_idx = cell.output().index();
+                if self.frozen[out_idx] {
+                    continue;
+                }
+                self.state[i] = broadcast(cell.init());
+                self.words[out_idx] = self.state[i];
+            }
+            self.drive_port_lanes(chunk);
+            for _ in 0..cycles_per_vector {
+                self.tick_lanes(mask);
+            }
+            self.cycles += active as u64 * cycles_per_vector;
+            for l in 0..active {
+                out.push(self.output_unsigned_lane(out_port, l));
+            }
+            // Re-establish the between-chunk broadcast invariant so a later
+            // run_batch on this simulator reads a coherent serial carry.
+            self.collapse_to_lane(active - 1);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{BatchMode, Simulator};
+    use pe_netlist::Builder;
+
+    fn full_adder_x() -> Netlist {
+        let mut b = Builder::new("fa");
+        let a = b.input("x0");
+        let x = b.input("x1");
+        let cin = b.input("x2");
+        let s1 = b.xor2(a, x);
+        let sum = b.xor2(s1, cin);
+        let carry = b.maj3(a, x, cin);
+        b.output("sum", sum);
+        b.output("carry", carry);
+        b.finish()
+    }
+
+    #[test]
+    fn lane_mask_edges() {
+        assert_eq!(lane_mask(1), 1);
+        assert_eq!(lane_mask(63), (1u64 << 63) - 1);
+        assert_eq!(lane_mask(64), !0);
+    }
+
+    #[test]
+    fn comb_batch_matches_scalar_engine_exactly() {
+        let nl = full_adder_x();
+        let vectors: Vec<Vec<i64>> =
+            (0..8).map(|v| (0..3).map(|i| (v >> i) & 1).collect()).collect();
+
+        let mut scalar = Simulator::new(&nl).unwrap();
+        scalar.set_batch_mode(BatchMode::Scalar);
+        scalar.enable_activity();
+        let want = scalar.run_batch(&vectors, 0, "sum");
+
+        let mut sliced = BitSlicedSimulator::new(&nl).unwrap();
+        sliced.enable_activity();
+        let got = sliced.run_batch(&vectors, 0, "sum");
+
+        assert_eq!(got, want);
+        assert_eq!(sliced.activity(), scalar.activity());
+    }
+
+    #[test]
+    fn forced_net_is_pinned_in_every_lane() {
+        let nl = full_adder_x();
+        let site = crate::faults::enumerate_fault_sites(&nl)[0];
+        let mut sliced = BitSlicedSimulator::new(&nl).unwrap();
+        sliced.force_net(site.net, true);
+        let vectors: Vec<Vec<i64>> =
+            (0..8).map(|v| (0..3).map(|i| (v >> i) & 1).collect()).collect();
+        sliced.run_batch(&vectors, 0, "sum");
+        assert_eq!(sliced.words[site.net.index()], !0, "stuck-at-1 must hold in all lanes");
+        sliced.release_net(site.net);
+        let healthy = sliced.run_batch(&vectors, 0, "sum");
+        let mut scalar = Simulator::new(&nl).unwrap();
+        scalar.set_batch_mode(BatchMode::Scalar);
+        assert_eq!(healthy.outputs, scalar.run_batch(&vectors, 0, "sum").outputs);
+    }
+
+    #[test]
+    fn ragged_chunk_never_leaks_garbage_lanes() {
+        // A single vector (1 active lane of 64): totals must match a scalar
+        // run exactly, proving masked lanes contribute nothing.
+        let nl = full_adder_x();
+        let vectors = vec![vec![1, 1, 0]];
+        let mut scalar = Simulator::new(&nl).unwrap();
+        scalar.set_batch_mode(BatchMode::Scalar);
+        scalar.enable_activity();
+        let want = scalar.run_batch(&vectors, 0, "carry");
+        let mut sliced = BitSlicedSimulator::new(&nl).unwrap();
+        sliced.enable_activity();
+        let got = sliced.run_batch(&vectors, 0, "carry");
+        assert_eq!(got, want);
+        assert_eq!(sliced.activity().total_toggles(), scalar.activity().total_toggles());
+        assert_eq!(sliced.cycles(), 1);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let nl = full_adder_x();
+        let mut sliced = BitSlicedSimulator::new(&nl).unwrap();
+        sliced.enable_activity();
+        let r = sliced.run_batch(&[], 0, "sum");
+        assert!(r.outputs.is_empty());
+        assert_eq!(r.cycles, 0);
+        assert_eq!(sliced.activity().total_toggles(), 0);
+    }
+
+    #[test]
+    fn sequential_chunk_streaming_matches_scalar_reference() {
+        // q' = x0 XOR x1 through a register; outputs depend only on the
+        // current vector, so chunked streaming agrees with a serial loop.
+        let mut b = Builder::new("tog");
+        let x0 = b.input("x0");
+        let x1 = b.input("x1");
+        let nxt = b.xor2(x0, x1);
+        let q = b.dff(nxt, false);
+        b.output("q", q);
+        let nl = b.finish();
+        let vectors = vec![vec![1, 0], vec![1, 1], vec![0, 0], vec![0, 1]];
+
+        let mut scalar = Simulator::new(&nl).unwrap();
+        scalar.set_batch_mode(BatchMode::Scalar);
+        scalar.enable_activity();
+        let want = scalar.run_batch(&vectors, 2, "q");
+
+        let mut sliced = BitSlicedSimulator::new(&nl).unwrap();
+        sliced.enable_activity();
+        let got = sliced.run_batch(&vectors, 2, "q");
+        assert_eq!(got, want);
+        assert_eq!(sliced.activity(), scalar.activity());
+        assert_eq!(got.cycles, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "same ports in the same order")]
+    fn heterogeneous_workload_chunk_panics() {
+        let nl = full_adder_x();
+        let mut sliced = BitSlicedSimulator::new(&nl).unwrap();
+        let workload = vec![
+            vec![("x0".to_string(), 1), ("x1".to_string(), 0)],
+            vec![("x1".to_string(), 1), ("x2".to_string(), 0)],
+        ];
+        let _ = sliced.run_workload_comb(&workload, "sum");
+    }
+
+    #[test]
+    fn seq_reset_workload_restores_broadcast_invariant() {
+        // After a reset-per-entry campaign run, a subsequent batch on the
+        // same simulator must still agree with a fresh scalar reference:
+        // the carry words may not stay lane-divergent.
+        let mut b = Builder::new("tog");
+        let x0 = b.input("x0");
+        let x1 = b.input("x1");
+        let nxt = b.xor2(x0, x1);
+        let q = b.dff(nxt, false);
+        b.output("q", q);
+        let nl = b.finish();
+        let mut sliced = BitSlicedSimulator::new(&nl).unwrap();
+        let workload = vec![
+            vec![("x0".to_string(), 1), ("x1".to_string(), 0)],
+            vec![("x0".to_string(), 0), ("x1".to_string(), 1)],
+            vec![("x0".to_string(), 1), ("x1".to_string(), 1)],
+        ];
+        let _ = sliced.run_workload_seq_reset(&workload, 1, "q");
+        for &w in &sliced.words {
+            assert!(w == 0 || w == !0, "word {w:#x} is not a broadcast after the workload");
+        }
+        let vectors = vec![vec![1, 0], vec![1, 1], vec![0, 1]];
+        let got = sliced.run_batch(&vectors, 1, "q");
+        let mut scalar = Simulator::new(&nl).unwrap();
+        scalar.set_batch_mode(BatchMode::Scalar);
+        // Bring the scalar reference to the same carried state first.
+        for (p, v) in &workload[2] {
+            scalar.set_input(p, *v);
+        }
+        scalar.reset();
+        scalar.tick();
+        let want = scalar.run_batch(&vectors, 1, "q");
+        assert_eq!(got.outputs, want.outputs);
+    }
+
+    #[test]
+    #[should_panic(expected = "activity accounting is undefined")]
+    fn seq_reset_workload_rejects_activity() {
+        let mut b = Builder::new("r");
+        let d = b.input("d");
+        let q = b.dff(d, false);
+        b.output("q", q);
+        let nl = b.finish();
+        let mut sliced = BitSlicedSimulator::new(&nl).unwrap();
+        sliced.enable_activity();
+        let _ = sliced.run_workload_seq_reset(&[vec![("d".to_string(), 1)]], 1, "q");
+    }
+}

@@ -3,11 +3,19 @@
 //! Printed fabrication yields are far below silicon's: additively printed
 //! transistors short or open at percent-level rates, so the printed-ML
 //! literature cares which faults actually flip classifications. This module
-//! implements the classic single-stuck-at model on top of [`Simulator`]:
-//! a [`FaultSite`] pins one net to a constant, and [`fault_campaign_comb`]
-//! measures how many injected faults change a design's predictions on a
+//! implements the classic single-stuck-at model: a [`FaultSite`] pins one
+//! net to a constant, and [`fault_campaign_comb`] / [`fault_campaign_seq`]
+//! measure how many injected faults change a design's predictions on a
 //! workload — the robustness analog of test-pattern fault coverage.
+//!
+//! Campaigns reuse **one** scheduled [`BitSlicedSimulator`] for every fault
+//! site, pinning the faulted net with force/release between runs instead of
+//! rebuilding (and re-levelizing) a simulator per site, and they drive the
+//! workload 64 patterns per machine word. The original rebuild-per-site
+//! implementations survive in [`oracle`] as the reference the differential
+//! suite checks the fast campaigns against, site by site.
 
+use crate::bitslice::BitSlicedSimulator;
 use crate::sim::Simulator;
 use pe_netlist::{Driver, NetId, Netlist, NetlistError};
 
@@ -130,9 +138,16 @@ impl FaultReport {
 /// drives every workload vector and compares the output port against the
 /// fault-free run.
 ///
+/// One bit-sliced simulator is scheduled once and reused for the whole
+/// campaign: each site is injected with force, simulated 64 workload
+/// patterns per word, and released. Settled combinational values are pure
+/// functions of the inputs and the pinned net, so the per-site responses
+/// are exactly those of a freshly built faulty simulator
+/// ([`oracle::fault_campaign_comb`]).
+///
 /// # Panics
 ///
-/// Panics if the design is sequential (use a design-specific harness for
+/// Panics if the design is sequential (use [`fault_campaign_seq`] for
 /// clocked circuits) or ports are unknown.
 ///
 /// # Errors
@@ -148,45 +163,46 @@ pub fn fault_campaign_comb(
         crate::sim::is_combinational(nl),
         "fault_campaign_comb requires a combinational design"
     );
-    // Golden responses.
-    let mut golden = Vec::with_capacity(workload.len());
-    let mut sim = Simulator::new(nl)?;
-    for vec in workload {
-        for (p, v) in vec {
-            sim.set_input(p, *v);
-        }
-        sim.eval_comb();
-        golden.push(sim.output_unsigned(out_port));
-    }
+    let mut sim = BitSlicedSimulator::new(nl)?;
+    let golden = sim.run_workload_comb(workload, out_port);
     let mut critical = 0usize;
     for &fault in faults {
-        let mut fsim = FaultySimulator::new(nl, vec![fault])?;
+        sim.force_net(fault.net, fault.stuck_at);
+        // Chunk-wise early exit: the first diverging 64-pattern chunk
+        // already proves the fault critical (settled values are pure
+        // functions of inputs, so skipping later chunks changes nothing).
         let mut differs = false;
-        for (vec, &want) in workload.iter().zip(&golden) {
-            for (p, v) in vec {
-                fsim.set_input(p, *v);
-            }
-            fsim.eval_comb();
-            if fsim.output_unsigned(out_port) != want {
+        let mut done = 0;
+        for chunk in workload.chunks(crate::bitslice::LANES) {
+            if sim.run_workload_comb(chunk, out_port) != golden[done..done + chunk.len()] {
                 differs = true;
                 break;
             }
+            done += chunk.len();
         }
         if differs {
             critical += 1;
         }
+        sim.release_net(fault.net);
     }
     Ok(FaultReport { critical, benign: faults.len() - critical, total: faults.len() })
 }
 
-/// Runs a fault campaign on a **sequential** design: each workload entry is
-/// driven for `cycles` clock ticks (inputs held), and the output port is
-/// compared against the fault-free run. The simulator is reset between
-/// samples so faults are judged per classification.
+/// Runs a fault campaign on a **sequential** design: each workload entry
+/// starts from power-on register state (faults stay pinned across the
+/// reset), is driven for `cycles` clock ticks (inputs held), and the output
+/// port is compared against the fault-free run — faults are judged per
+/// classification.
+///
+/// Like [`fault_campaign_comb`], one bit-sliced simulator is reused across
+/// all sites with force/release, and the per-classification reset makes the
+/// workload entries independent, so 64 of them tick in lockstep per word.
+/// The per-site reports are identical to the rebuild-per-site reference
+/// ([`oracle::fault_campaign_seq`]).
 ///
 /// # Panics
 ///
-/// Panics on unknown ports.
+/// Panics on unknown ports or `cycles == 0`.
 ///
 /// # Errors
 ///
@@ -198,32 +214,137 @@ pub fn fault_campaign_seq(
     out_port: &str,
     cycles: u64,
 ) -> Result<FaultReport, NetlistError> {
-    let run = |sim_faults: Vec<FaultSite>| -> Result<Vec<i64>, NetlistError> {
-        let mut responses = Vec::with_capacity(workload.len());
-        let mut fsim = FaultySimulator::new(nl, sim_faults)?;
-        for vec in workload {
-            fsim.sim.reset();
-            for f in fsim.faults.clone() {
-                fsim.sim.force_net(f.net, f.stuck_at);
-            }
-            for (p, v) in vec {
-                fsim.set_input(p, *v);
-            }
-            for _ in 0..cycles {
-                fsim.tick();
-            }
-            responses.push(fsim.output_unsigned(out_port));
-        }
-        Ok(responses)
-    };
-    let golden = run(Vec::new())?;
+    let mut sim = BitSlicedSimulator::new(nl)?;
+    let golden = sim.run_workload_seq_reset(workload, cycles, out_port);
     let mut critical = 0usize;
     for &fault in faults {
-        if run(vec![fault])? != golden {
+        sim.force_net(fault.net, fault.stuck_at);
+        // Chunk-wise early exit; the per-classification reset makes chunks
+        // independent, so later chunks cannot change the verdict.
+        let mut differs = false;
+        let mut done = 0;
+        for chunk in workload.chunks(crate::bitslice::LANES) {
+            if sim.run_workload_seq_reset(chunk, cycles, out_port)
+                != golden[done..done + chunk.len()]
+            {
+                differs = true;
+                break;
+            }
+            done += chunk.len();
+        }
+        if differs {
             critical += 1;
         }
+        sim.release_net(fault.net);
     }
     Ok(FaultReport { critical, benign: faults.len() - critical, total: faults.len() })
+}
+
+/// The original rebuild-per-site campaign implementations.
+///
+/// These schedule a fresh [`FaultySimulator`] for every fault site and
+/// evaluate one pattern at a time — quadratic-ish work the reused
+/// force/release campaigns above avoid. They are kept **only** as the
+/// reference oracle: the differential suite asserts the fast campaigns
+/// reproduce these reports exactly, site for site.
+pub mod oracle {
+    use super::{FaultReport, FaultSite, FaultySimulator, Netlist, NetlistError};
+
+    /// Reference implementation of [`super::fault_campaign_comb`]: one
+    /// freshly scheduled simulator per fault site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design is sequential or ports are unknown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling errors.
+    pub fn fault_campaign_comb(
+        nl: &Netlist,
+        faults: &[FaultSite],
+        workload: &[Vec<(String, i64)>],
+        out_port: &str,
+    ) -> Result<FaultReport, NetlistError> {
+        assert!(
+            crate::sim::is_combinational(nl),
+            "fault_campaign_comb requires a combinational design"
+        );
+        // Golden responses.
+        let mut golden = Vec::with_capacity(workload.len());
+        let mut sim = crate::sim::Simulator::new(nl)?;
+        for vec in workload {
+            for (p, v) in vec {
+                sim.set_input(p, *v);
+            }
+            sim.eval_comb();
+            golden.push(sim.output_unsigned(out_port));
+        }
+        let mut critical = 0usize;
+        for &fault in faults {
+            let mut fsim = FaultySimulator::new(nl, vec![fault])?;
+            let mut differs = false;
+            for (vec, &want) in workload.iter().zip(&golden) {
+                for (p, v) in vec {
+                    fsim.set_input(p, *v);
+                }
+                fsim.eval_comb();
+                if fsim.output_unsigned(out_port) != want {
+                    differs = true;
+                    break;
+                }
+            }
+            if differs {
+                critical += 1;
+            }
+        }
+        Ok(FaultReport { critical, benign: faults.len() - critical, total: faults.len() })
+    }
+
+    /// Reference implementation of [`super::fault_campaign_seq`]: one
+    /// freshly scheduled simulator per fault site, reset per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown ports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling errors.
+    pub fn fault_campaign_seq(
+        nl: &Netlist,
+        faults: &[FaultSite],
+        workload: &[Vec<(String, i64)>],
+        out_port: &str,
+        cycles: u64,
+    ) -> Result<FaultReport, NetlistError> {
+        let run = |sim_faults: Vec<FaultSite>| -> Result<Vec<i64>, NetlistError> {
+            let mut responses = Vec::with_capacity(workload.len());
+            let mut fsim = FaultySimulator::new(nl, sim_faults)?;
+            for vec in workload {
+                fsim.sim.reset();
+                for f in fsim.faults.clone() {
+                    fsim.sim.force_net(f.net, f.stuck_at);
+                }
+                for (p, v) in vec {
+                    fsim.set_input(p, *v);
+                }
+                for _ in 0..cycles {
+                    fsim.tick();
+                }
+                responses.push(fsim.output_unsigned(out_port));
+            }
+            Ok(responses)
+        };
+        let golden = run(Vec::new())?;
+        let mut critical = 0usize;
+        for &fault in faults {
+            if run(vec![fault])? != golden {
+                critical += 1;
+            }
+        }
+        Ok(FaultReport { critical, benign: faults.len() - critical, total: faults.len() })
+    }
 }
 
 #[cfg(test)]
@@ -333,5 +454,54 @@ mod tests {
         let report = fault_campaign_comb(&nl, &[], &full_workload(), "s").unwrap();
         assert_eq!(report.total, 0);
         assert_eq!(report.criticality(), 0.0);
+    }
+
+    #[test]
+    fn reused_comb_campaign_matches_rebuild_oracle() {
+        let nl = adder2();
+        let sites = enumerate_fault_sites(&nl);
+        let fast = fault_campaign_comb(&nl, &sites, &full_workload(), "s").unwrap();
+        let slow = oracle::fault_campaign_comb(&nl, &sites, &full_workload(), "s").unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn reused_seq_campaign_matches_rebuild_oracle() {
+        let mut b = Builder::new("shift");
+        let d = b.input("d");
+        let q1 = b.dff(d, false);
+        let q2 = b.dff(q1, false);
+        b.output("q", q2);
+        let nl = b.finish();
+        let sites = enumerate_fault_sites(&nl);
+        let workload = vec![vec![("d".to_string(), 1)], vec![("d".to_string(), 0)]];
+        let fast = fault_campaign_seq(&nl, &sites, &workload, "q", 3).unwrap();
+        let slow = oracle::fault_campaign_seq(&nl, &sites, &workload, "q", 3).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn frozen_register_survives_scalar_reset() {
+        // The force/release reuse protocol depends on reset() keeping pinned
+        // nets pinned (the old rebuild flow re-forced after every reset).
+        let mut b = Builder::new("r");
+        let d = b.input("d");
+        let q = b.dff(d, false);
+        b.output("q", q);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let site = enumerate_fault_sites(&nl)
+            .into_iter()
+            .find(|s| s.stuck_at)
+            .expect("stuck-at-1 site on q");
+        sim.force_net(site.net, true);
+        sim.reset();
+        assert_eq!(sim.output_unsigned("q"), 1, "reset must not clobber a forced register");
+        sim.set_input("d", 0);
+        sim.tick();
+        assert_eq!(sim.output_unsigned("q"), 1, "clocking must not clobber a forced register");
+        sim.release_net(site.net);
+        sim.reset();
+        assert_eq!(sim.output_unsigned("q"), 0, "released register resets normally");
     }
 }

@@ -11,6 +11,15 @@
 //! implicit common clock via [`Simulator::tick`]. Per-net toggle counts are
 //! accumulated on every settle pass when activity tracking is enabled.
 //!
+//! Batched workloads ([`Simulator::run_batch`] and the fault campaigns in
+//! [`faults`]) run **word-parallel** by default: [`BitSlicedSimulator`]
+//! packs up to 64 test vectors into one `u64` per net and evaluates every
+//! gate for the whole chunk with a single bitwise operation, counting
+//! toggles by popcount. The scalar engine remains available as
+//! [`BatchMode::Scalar`], the reference oracle the differential test suite
+//! pins the sliced engine against. See [`bitslice`] for the lane layout,
+//! masking rules and batch semantics.
+//!
 //! # Example
 //!
 //! ```
@@ -38,10 +47,12 @@
 #![warn(missing_docs)]
 
 pub mod activity;
+pub mod bitslice;
 pub mod faults;
 pub mod sim;
 pub mod vcd;
 
-pub use activity::ActivityReport;
+pub use activity::{ActivityReport, ToggleCounters};
+pub use bitslice::BitSlicedSimulator;
 pub use faults::{FaultReport, FaultSite, FaultySimulator};
-pub use sim::{BatchResult, Simulator};
+pub use sim::{BatchMode, BatchResult, Simulator};

@@ -1,8 +1,25 @@
 //! The levelized two-valued simulator.
 
-use crate::activity::ActivityReport;
+use crate::activity::{ActivityReport, ToggleCounters};
+use crate::bitslice::{BitSlicedSimulator, LANES};
 use pe_netlist::{CellId, CellKind, Driver, Netlist, NetlistError, PortDir};
 use std::collections::HashMap;
+
+/// Which engine executes [`Simulator::run_batch`].
+///
+/// The bit-sliced engine is the default: it packs up to 64 vectors per
+/// machine word and is what every grid run and fault campaign uses. The
+/// scalar engine implements the identical batch contract with one `bool` per
+/// net and exists as the reference oracle the differential test suite pins
+/// the fast path against (`tests/bitslice_differential.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchMode {
+    /// One vector at a time, one `bool` per net (the reference).
+    Scalar,
+    /// 64 vectors per `u64` per net (see [`crate::bitslice`]).
+    #[default]
+    BitSliced,
+}
 
 /// A cycle-based simulator over a borrowed [`Netlist`].
 ///
@@ -24,14 +41,16 @@ pub struct Simulator<'nl> {
     input_ports: HashMap<String, Vec<pe_netlist::NetId>>,
     /// Output port name -> bit nets (LSB first).
     output_ports: HashMap<String, Vec<pe_netlist::NetId>>,
-    /// Per-net toggle counters; empty when tracking is disabled.
-    toggles: Vec<u64>,
+    /// Per-net toggle counters (disabled until `enable_activity`).
+    toggles: ToggleCounters,
     /// Number of clock cycles accounted so far (ticks + sampled comb cycles).
     cycles: u64,
     /// Scratch buffer for cell input values.
     scratch: Vec<bool>,
     /// Nets pinned by [`Simulator::force_net`]; never updated by evaluation.
     frozen: Vec<bool>,
+    /// Engine selection for [`Simulator::run_batch`].
+    batch_mode: BatchMode,
 }
 
 impl<'nl> Simulator<'nl> {
@@ -70,10 +89,11 @@ impl<'nl> Simulator<'nl> {
             state: Vec::new(),
             input_ports,
             output_ports,
-            toggles: Vec::new(),
+            toggles: ToggleCounters::disabled(),
             cycles: 0,
             scratch: Vec::new(),
             frozen: vec![false; nl.num_nets()],
+            batch_mode: BatchMode::default(),
         };
         sim.reset();
         Ok(sim)
@@ -85,20 +105,58 @@ impl<'nl> Simulator<'nl> {
         self.nl
     }
 
+    /// Selects which engine executes [`Simulator::run_batch`]. The default
+    /// is [`BatchMode::BitSliced`]; tests pin the fast path against
+    /// [`BatchMode::Scalar`], the reference implementation.
+    pub fn set_batch_mode(&mut self, mode: BatchMode) {
+        self.batch_mode = mode;
+    }
+
+    /// The currently selected batch engine.
+    #[must_use]
+    pub fn batch_mode(&self) -> BatchMode {
+        self.batch_mode
+    }
+
     /// Enables per-net toggle counting (and clears any previous counts).
     pub fn enable_activity(&mut self) {
-        self.toggles = vec![0; self.nl.num_nets()];
+        self.toggles = ToggleCounters::enabled(self.nl.num_nets());
         self.cycles = 0;
     }
 
     /// Resets registers to their power-on values and settles the
-    /// combinational core. Toggle counters are not cleared.
+    /// combinational core. Toggle counters are not cleared. Nets pinned by
+    /// [`Simulator::force_net`] stay pinned: a forced register keeps its
+    /// forced state across the reset.
     pub fn reset(&mut self) {
-        self.state = self.regs.iter().map(|&r| self.nl.cell(r).init()).collect();
+        self.state = self
+            .regs
+            .iter()
+            .map(|&r| {
+                let out = self.nl.cell(r).output().index();
+                if self.frozen[out] {
+                    self.values[out]
+                } else {
+                    self.nl.cell(r).init()
+                }
+            })
+            .collect();
         for (i, &r) in self.regs.iter().enumerate() {
-            self.values[self.nl.cell(r).output().index()] = self.state[i];
+            let out = self.nl.cell(r).output().index();
+            if !self.frozen[out] {
+                self.values[out] = self.state[i];
+            }
         }
         self.eval_comb();
+    }
+
+    /// Current register states, in the simulator's internal register order
+    /// (stable for a given netlist). The differential suite uses this to
+    /// assert that both batch engines carry identical sequential state
+    /// across chunks.
+    #[must_use]
+    pub fn register_state(&self) -> Vec<bool> {
+        self.state.clone()
     }
 
     /// Drives an input port with an integer (two's complement, LSB first).
@@ -163,7 +221,7 @@ impl<'nl> Simulator<'nl> {
     /// Settles the combinational core with current inputs and register
     /// outputs. Accumulates toggle counts if activity tracking is enabled.
     pub fn eval_comb(&mut self) {
-        let track = !self.toggles.is_empty();
+        let track = self.toggles.is_enabled();
         for idx in 0..self.order.len() {
             let cell_id = self.order[idx];
             let cell = self.nl.cell(cell_id);
@@ -178,7 +236,7 @@ impl<'nl> Simulator<'nl> {
             let new = cell.kind().eval(&self.scratch);
             if self.values[out] != new {
                 if track {
-                    self.toggles[out] += 1;
+                    self.toggles.bump(out);
                 }
                 self.values[out] = new;
             }
@@ -189,7 +247,7 @@ impl<'nl> Simulator<'nl> {
     /// registers, settle again. Increments the cycle counter.
     pub fn tick(&mut self) {
         self.eval_comb();
-        let track = !self.toggles.is_empty();
+        let track = self.toggles.is_enabled();
         // Capture next states from settled values.
         let mut next = Vec::with_capacity(self.regs.len());
         for (i, &r) in self.regs.iter().enumerate() {
@@ -208,7 +266,7 @@ impl<'nl> Simulator<'nl> {
             }
             if self.values[out] != next[i] {
                 if track {
-                    self.toggles[out] += 1;
+                    self.toggles.bump(out);
                 }
                 self.values[out] = next[i];
             }
@@ -282,9 +340,25 @@ impl<'nl> Simulator<'nl> {
     /// convention of every generated classifier datapath). For a sequential
     /// design pass the design's cycles-per-inference as `cycles_per_vector`;
     /// pass 0 for a purely combinational datapath (the vector is settled and
-    /// accounted as one cycle, like [`Simulator::sample_comb`]). Register
-    /// state intentionally carries over between vectors, exactly as in
-    /// back-to-back classifications on the real circuit.
+    /// accounted as one cycle, like [`Simulator::sample_comb`]).
+    ///
+    /// # Batch semantics
+    ///
+    /// Combinational batches behave exactly like a caller-side serial loop
+    /// (each vector's settled values toggle against the previous vector's).
+    /// Sequential batches use **chunked streaming**: vectors are processed
+    /// in chunks of 64, every vector in a chunk starts from the register
+    /// state and net values carried into the chunk, and the last vector's
+    /// state carries into the next chunk. For the generated classifier
+    /// datapaths — whose control returns to its idle state after every
+    /// inference — the recorded outputs are identical to fully-serial
+    /// back-to-back classification; for a design whose state genuinely
+    /// accumulates across vectors, drive it with the serial
+    /// [`Simulator::set_input`]/[`Simulator::tick`] API instead of a batch.
+    /// Both [`BatchMode`] engines implement
+    /// this contract bit-identically (outputs, per-net toggles, carried
+    /// state); the bit-sliced engine evaluates the 64 lanes of a chunk in
+    /// parallel, one bitwise op per gate (see [`crate::bitslice`]).
     ///
     /// # Panics
     ///
@@ -296,22 +370,81 @@ impl<'nl> Simulator<'nl> {
         cycles_per_vector: u64,
         out_port: &str,
     ) -> BatchResult {
+        match self.batch_mode {
+            BatchMode::Scalar => self.run_batch_scalar(vectors, cycles_per_vector, out_port),
+            BatchMode::BitSliced => self.run_batch_sliced(vectors, cycles_per_vector, out_port),
+        }
+    }
+
+    /// The reference implementation of the [`Simulator::run_batch`]
+    /// contract: plain `bool` evaluation, one vector at a time.
+    fn run_batch_scalar(
+        &mut self,
+        vectors: &[Vec<i64>],
+        cycles_per_vector: u64,
+        out_port: &str,
+    ) -> BatchResult {
         let mut outputs = Vec::with_capacity(vectors.len());
         let start_cycles = self.cycles;
-        for x in vectors {
-            for (j, &v) in x.iter().enumerate() {
-                self.set_input(&format!("x{j}"), v);
-            }
-            if cycles_per_vector == 0 {
+        if cycles_per_vector == 0 {
+            for x in vectors {
+                for (j, &v) in x.iter().enumerate() {
+                    self.set_input(&format!("x{j}"), v);
+                }
                 self.sample_comb();
-            } else {
-                for _ in 0..cycles_per_vector {
-                    self.tick();
+                outputs.push(self.output_unsigned(out_port));
+            }
+        } else {
+            for chunk in vectors.chunks(LANES) {
+                // Chunked streaming: every vector in the chunk starts from
+                // the chunk-entry snapshot; the last vector's state carries.
+                let entry_values = self.values.clone();
+                let entry_state = self.state.clone();
+                for (l, x) in chunk.iter().enumerate() {
+                    if l > 0 {
+                        self.values.copy_from_slice(&entry_values);
+                        self.state.copy_from_slice(&entry_state);
+                    }
+                    for (j, &v) in x.iter().enumerate() {
+                        self.set_input(&format!("x{j}"), v);
+                    }
+                    for _ in 0..cycles_per_vector {
+                        self.tick();
+                    }
+                    outputs.push(self.output_unsigned(out_port));
                 }
             }
-            outputs.push(self.output_unsigned(out_port));
         }
         BatchResult { outputs, cycles: self.cycles - start_cycles }
+    }
+
+    /// The fast path of [`Simulator::run_batch`]: seeds a
+    /// [`BitSlicedSimulator`] with the current values/state (reusing this
+    /// simulator's schedule), runs the batch 64 lanes at a time, and folds
+    /// the carried state, toggle counts and cycles back in.
+    fn run_batch_sliced(
+        &mut self,
+        vectors: &[Vec<i64>],
+        cycles_per_vector: u64,
+        out_port: &str,
+    ) -> BatchResult {
+        let track = self.toggles.is_enabled();
+        let mut sliced = BitSlicedSimulator::from_parts(
+            self.nl,
+            self.order.clone(),
+            self.regs.clone(),
+            &self.values,
+            &self.state,
+            &self.frozen,
+            track,
+        );
+        let result = sliced.run_batch(vectors, cycles_per_vector, out_port);
+        sliced.carry_into(&mut self.values, &mut self.state);
+        if track {
+            self.toggles.merge(sliced.toggle_counters());
+        }
+        self.cycles += result.cycles;
+        result
     }
 
     /// Snapshot of the accumulated switching activity.
@@ -322,10 +455,10 @@ impl<'nl> Simulator<'nl> {
     #[must_use]
     pub fn activity(&self) -> ActivityReport {
         assert!(
-            !self.toggles.is_empty(),
+            self.toggles.is_enabled(),
             "activity tracking not enabled; call enable_activity() first"
         );
-        ActivityReport::new(self.toggles.clone(), self.cycles)
+        self.toggles.report(self.cycles)
     }
 }
 
@@ -557,19 +690,28 @@ mod tests {
 
     #[test]
     fn run_batch_sequential_carries_state() {
-        // q' = q XOR x0: register state must persist across batch entries.
+        // q' = x0 XOR x1 through a register; both engines must agree on the
+        // outputs, the cycle count, and the register state carried out of
+        // the batch.
         let mut b = Builder::new("tog");
         let x0 = b.input("x0");
-        let fb = b.input("x1"); // externally closed feedback
+        let fb = b.input("x1");
         let nxt = b.xor2(x0, fb);
         let q = b.dff(nxt, false);
         b.output("q", q);
         let nl = b.finish();
+        let vectors = vec![vec![1, 0], vec![1, 1], vec![0, 0]];
         let mut sim = Simulator::new(&nl).unwrap();
-        // Drive x1 = current q manually each vector via two-cycle batches.
-        let r = sim.run_batch(&[vec![1, 0], vec![1, 1], vec![0, 0]], 1, "q");
+        let r = sim.run_batch(&vectors, 1, "q");
         assert_eq!(r.cycles, 3);
         assert_eq!(r.outputs, vec![1, 0, 0]);
+
+        let mut reference = Simulator::new(&nl).unwrap();
+        reference.set_batch_mode(BatchMode::Scalar);
+        let want = reference.run_batch(&vectors, 1, "q");
+        assert_eq!(r, want);
+        assert_eq!(sim.register_state(), reference.register_state());
+        assert_eq!(sim.register_state(), vec![false], "last vector leaves q = 0");
     }
 
     #[test]

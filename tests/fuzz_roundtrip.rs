@@ -44,7 +44,13 @@ fn seeds() -> impl Iterator<Item = u64> {
 #[test]
 fn verilog_round_trip_preserves_function() {
     for seed in seeds() {
-        let spec = RandomNetlistSpec { inputs: 4, gates: 35, registers: 2, outputs: 3 };
+        let spec = RandomNetlistSpec {
+            inputs: 4,
+            gates: 35,
+            registers: 2,
+            outputs: 3,
+            ..RandomNetlistSpec::default()
+        };
         let nl = random_netlist(&spec, seed);
         let text = verilog::to_verilog(&nl);
         let imported = verilog_parse::from_verilog(&text)
@@ -58,7 +64,13 @@ fn verilog_round_trip_preserves_function() {
 #[test]
 fn sweep_preserves_function() {
     for seed in seeds() {
-        let spec = RandomNetlistSpec { inputs: 4, gates: 35, registers: 2, outputs: 3 };
+        let spec = RandomNetlistSpec {
+            inputs: 4,
+            gates: 35,
+            registers: 2,
+            outputs: 3,
+            ..RandomNetlistSpec::default()
+        };
         let nl = random_netlist(&spec, seed);
         let (swept, stats) = opt::sweep(&nl).unwrap();
         assert!(stats.cells_after <= stats.cells_before, "seed {seed}");
@@ -70,7 +82,13 @@ fn sweep_preserves_function() {
 #[test]
 fn analyses_total_on_random_designs() {
     for seed in seeds() {
-        let spec = RandomNetlistSpec { inputs: 3, gates: 25, registers: 1, outputs: 2 };
+        let spec = RandomNetlistSpec {
+            inputs: 3,
+            gates: 25,
+            registers: 1,
+            outputs: 2,
+            ..RandomNetlistSpec::default()
+        };
         let nl = random_netlist(&spec, seed);
         let stats = printed_svm::netlist::stats::summarize(&nl).unwrap();
         assert_eq!(stats.cells, nl.num_cells(), "seed {seed}");
