@@ -1,0 +1,61 @@
+//! Benches for the `pe-serve` serving path: coalesced 64-lane batches vs
+//! one-request-per-`run_batch` serving vs the integer fast path, all on the
+//! Table-I sequential SVM (Cardio).
+//!
+//! Run with `cargo bench -p pe-bench --bench serve`; the printed per-batch
+//! times divided by the request counts give the per-request costs whose
+//! ratio `loadgen --ratio` measures end to end.
+
+use pe_bench::harness::{black_box, BenchGroup};
+use pe_core::pipeline::RunOptions;
+use pe_serve::{ModelKey, ModelRegistry, ServeMode, Service, ServiceConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let mut g = BenchGroup::new("serve");
+    let registry = Arc::new(ModelRegistry::new(RunOptions::default()));
+    let key = ModelKey::parse("cardio:seq").expect("key parses");
+    let xs = registry.get(key).sample_requests(256);
+
+    let coalesced = Service::start(
+        Arc::clone(&registry),
+        ServiceConfig {
+            mode: ServeMode::Verify,
+            batch_deadline: Duration::from_millis(1),
+            ..ServiceConfig::default()
+        },
+    );
+    g.bench("coalesced_verify_256_requests", || {
+        let r = coalesced.classify_batch(key, &xs);
+        assert!(r.iter().all(Result::is_ok));
+        black_box(r);
+    });
+
+    let single = Service::start(
+        Arc::clone(&registry),
+        ServiceConfig { mode: ServeMode::Verify, batch_max: 1, ..ServiceConfig::default() },
+    );
+    g.bench("single_lane_verify_32_requests", || {
+        let r = single.classify_batch(key, &xs[..32]);
+        assert!(r.iter().all(Result::is_ok));
+        black_box(r);
+    });
+
+    let fast = Service::start(
+        Arc::clone(&registry),
+        ServiceConfig {
+            mode: ServeMode::Int,
+            batch_deadline: Duration::from_millis(1),
+            ..ServiceConfig::default()
+        },
+    );
+    g.bench("int_fast_path_256_requests", || {
+        let r = fast.classify_batch(key, &xs);
+        assert!(r.iter().all(Result::is_ok));
+        black_box(r);
+    });
+
+    assert_eq!(coalesced.metrics().verify_mismatches, 0);
+    assert_eq!(single.metrics().verify_mismatches, 0);
+}

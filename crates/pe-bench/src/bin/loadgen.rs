@@ -1,0 +1,341 @@
+//! `loadgen` — load generator for the `pe-serve` classification service.
+//!
+//! Three drive modes:
+//!
+//! * **Ratio** (`--ratio`, part of the default run): closed-loop saturation
+//!   throughput of the 64-lane coalescing service versus a
+//!   one-request-per-`run_batch` service (`batch_max = 1`) — the measured
+//!   payoff of batch coalescing. `--expect-ratio R` turns the measurement
+//!   into a gate (exit 1 below `R`).
+//! * **Sweep** (`--sweep`, part of the default run): open-loop arrival
+//!   rates × batch deadlines, reporting served throughput, batch fill and
+//!   p50/p99 latency per cell — the latency/efficiency trade-off curve of
+//!   the deadline knob.
+//! * **TCP** (`--tcp ADDR`): hammers a running `pe-serve` binary over the
+//!   wire protocol with `--conns` concurrent connections, checks every
+//!   reply, then reads `stats` and **fails if the server saw any verify
+//!   mismatches**. `--shutdown` asks the server to drain and exit at the
+//!   end (the CI smoke flow).
+//!
+//! In-process modes serve real held-out test samples; TCP mode generates
+//! uniform `[0,1)` feature vectors (integer-vs-gate equivalence holds for
+//! every input, so random traffic is as strong a check as real traffic).
+
+use pe_core::engine::{NullSink, ProgressSink, StderrProgress};
+use pe_core::pipeline::RunOptions;
+use pe_serve::{MetricsSnapshot, ModelKey, ModelRegistry, ServeMode, Service, ServiceConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    key: ModelKey,
+    mode: ServeMode,
+    requests: usize,
+    batch_max: usize,
+    ratio: bool,
+    sweep: bool,
+    expect_ratio: Option<f64>,
+    tcp: Option<String>,
+    conns: usize,
+    shutdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        // The paper's own design style on the biggest dataset: the most
+        // server-shaped cell of the grid (10 classes -> 10 cycles/request).
+        key: ModelKey::parse("pendigits:seq").expect("default key parses"),
+        mode: ServeMode::Verify,
+        requests: 20_000,
+        // 8 word-parallel chunks per run_batch call: amortizes simulator
+        // construction past the single-chunk floor.
+        batch_max: 512,
+        ratio: false,
+        sweep: false,
+        expect_ratio: None,
+        tcp: None,
+        conns: 16,
+        shutdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--key" => args.key = ModelKey::parse(&value("--key")?)?,
+            "--mode" => args.mode = ServeMode::parse(&value("--mode")?)?,
+            "--requests" => {
+                args.requests = value("--requests")?.parse().map_err(|_| "bad --requests")?;
+            }
+            "--batch-max" => {
+                args.batch_max = value("--batch-max")?.parse().map_err(|_| "bad --batch-max")?;
+            }
+            "--ratio" => args.ratio = true,
+            "--sweep" => args.sweep = true,
+            "--expect-ratio" => {
+                args.expect_ratio =
+                    Some(value("--expect-ratio")?.parse().map_err(|_| "bad --expect-ratio")?);
+            }
+            "--tcp" => args.tcp = Some(value("--tcp")?),
+            "--conns" => args.conns = value("--conns")?.parse().map_err(|_| "bad --conns")?,
+            "--shutdown" => args.shutdown = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if !args.ratio && !args.sweep && args.tcp.is_none() {
+        args.ratio = true;
+        args.sweep = true;
+    }
+    args.requests = args.requests.max(1);
+    args.conns = args.conns.max(1);
+    Ok(args)
+}
+
+/// Held-out test samples for `key`, cycled to `n` vectors.
+fn test_vectors(registry: &ModelRegistry, key: ModelKey, n: usize) -> Vec<Vec<f64>> {
+    registry.get(key).sample_requests(n)
+}
+
+/// Closed-loop saturation: `injectors` threads bulk-submit their whole
+/// slice (backpressure paces them against the bounded queue), then wait
+/// for every reply.
+fn saturation_rps(
+    registry: &Arc<ModelRegistry>,
+    key: ModelKey,
+    cfg: ServiceConfig,
+    xs: &[Vec<f64>],
+    injectors: usize,
+) -> (f64, MetricsSnapshot) {
+    let service = Service::start(Arc::clone(registry), cfg);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for chunk in xs.chunks(xs.len().div_ceil(injectors)) {
+            let service = &service;
+            scope.spawn(move || {
+                for t in service.submit_many(key, chunk) {
+                    t.and_then(pe_serve::Ticket::wait).expect("saturation request failed");
+                }
+            });
+        }
+    });
+    let dt = t0.elapsed().as_secs_f64();
+    let m = service.metrics();
+    service.shutdown();
+    (xs.len() as f64 / dt, m)
+}
+
+/// The batching payoff: coalesced 64-lane serving vs one-request-per-
+/// `run_batch` serving, both at saturation.
+fn run_ratio(registry: &Arc<ModelRegistry>, args: &Args) -> f64 {
+    let base =
+        ServiceConfig { mode: args.mode, batch_max: args.batch_max, ..ServiceConfig::default() };
+    let injectors = 8;
+    let xs_batched = test_vectors(registry, args.key, args.requests);
+    // The unbatched service is ~batch_max× slower; a smaller sample keeps
+    // wall clock sane without changing the per-request cost being measured.
+    let xs_single = test_vectors(registry, args.key, (args.requests / 16).max(512));
+
+    let (rps_b, m_b) = saturation_rps(registry, args.key, base.clone(), &xs_batched, injectors);
+    let (rps_s, m_s) = saturation_rps(
+        registry,
+        args.key,
+        ServiceConfig { batch_max: 1, ..base },
+        &xs_single,
+        injectors,
+    );
+    println!(
+        "== batching payoff ({} @ {:?} mode, batch_max {}, saturation) ==",
+        args.key.token(),
+        args.mode,
+        args.batch_max
+    );
+    println!(
+        "  coalesced:            {rps_b:>10.0} req/s  fill {:>5.1}%  p99 {:>8.1} µs  mismatches {}",
+        m_b.batch_fill * 100.0,
+        m_b.p99.as_secs_f64() * 1e6,
+        m_b.verify_mismatches
+    );
+    println!(
+        "  one-per-run_batch:    {rps_s:>10.0} req/s  fill {:>5.1}%  p99 {:>8.1} µs  mismatches {}",
+        m_s.batch_fill * 100.0,
+        m_s.p99.as_secs_f64() * 1e6,
+        m_s.verify_mismatches
+    );
+    let ratio = rps_b / rps_s;
+    println!("  batching speedup: {ratio:.1}x");
+    assert_eq!(m_b.verify_mismatches + m_s.verify_mismatches, 0, "verify must never fire");
+    ratio
+}
+
+/// Open-loop arrival sweep: rates × deadlines, one fresh service per cell.
+fn run_sweep(registry: &Arc<ModelRegistry>, args: &Args) {
+    let rates = [2_000u64, 10_000, 50_000];
+    let deadlines =
+        [Duration::from_micros(200), Duration::from_millis(1), Duration::from_millis(5)];
+    println!("== open-loop sweep ({} @ {:?} mode) ==", args.key.token(), args.mode);
+    println!(
+        "  {:>9}  {:>9}  {:>8}  {:>8}  {:>6}  {:>9}  {:>9}",
+        "rate r/s", "deadline", "served", "dropped", "fill%", "p50 µs", "p99 µs"
+    );
+    for &rate in &rates {
+        let n = ((rate as f64 * 0.25) as usize).clamp(200, 8_000);
+        let xs = test_vectors(registry, args.key, n);
+        for &deadline in &deadlines {
+            let service = Service::start(
+                Arc::clone(registry),
+                ServiceConfig {
+                    mode: args.mode,
+                    batch_deadline: deadline,
+                    ..ServiceConfig::default()
+                },
+            );
+            let interval = Duration::from_secs_f64(1.0 / rate as f64);
+            let mut tickets = Vec::with_capacity(n);
+            let mut dropped = 0usize;
+            let start = Instant::now();
+            for (i, x) in xs.iter().enumerate() {
+                let due = start + interval * i as u32;
+                while Instant::now() < due {
+                    std::hint::spin_loop();
+                }
+                // Open loop: never block the arrival process on the queue.
+                match service.try_submit(args.key, x) {
+                    Ok(t) => tickets.push(t),
+                    Err(_) => dropped += 1,
+                }
+            }
+            for t in tickets {
+                let _ = t.wait();
+            }
+            let m = service.metrics();
+            println!(
+                "  {:>9}  {:>8.1}ms  {:>8}  {:>8}  {:>6.1}  {:>9.1}  {:>9.1}",
+                rate,
+                deadline.as_secs_f64() * 1e3,
+                m.served,
+                dropped,
+                m.batch_fill * 100.0,
+                m.p50.as_secs_f64() * 1e6,
+                m.p99.as_secs_f64() * 1e6
+            );
+            service.shutdown();
+        }
+    }
+}
+
+/// Drives a running `pe-serve` over TCP; returns an error message on any
+/// failed reply or on server-side verify mismatches.
+fn run_tcp(addr: &str, args: &Args) -> Result<(), String> {
+    let n_features = args.key.profile.spec().n_features;
+    let mut rng = StdRng::seed_from_u64(0x10adf3ed);
+    let per_conn = args.requests.div_ceil(args.conns);
+    let vectors: Vec<Vec<f64>> = (0..args.conns * per_conn)
+        .map(|_| (0..n_features).map(|_| rng.gen::<f64>()).collect())
+        .collect();
+    let t0 = Instant::now();
+    let results: Vec<Result<usize, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = vectors
+            .chunks(per_conn)
+            .map(|chunk| {
+                scope.spawn(move || -> Result<usize, String> {
+                    let stream =
+                        TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+                    let mut reader = BufReader::new(
+                        stream.try_clone().map_err(|e| format!("clone stream: {e}"))?,
+                    );
+                    let mut writer = stream;
+                    let mut reply = String::new();
+                    for x in chunk {
+                        let line = pe_serve::protocol::format_classify(args.key, x);
+                        writeln!(writer, "{line}").map_err(|e| format!("send: {e}"))?;
+                        reply.clear();
+                        reader.read_line(&mut reply).map_err(|e| format!("recv: {e}"))?;
+                        if !reply.starts_with("ok ") {
+                            return Err(format!("unexpected reply {:?}", reply.trim_end()));
+                        }
+                    }
+                    Ok(chunk.len())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("connection thread panicked")).collect()
+    });
+    let dt = t0.elapsed().as_secs_f64();
+    let mut total = 0usize;
+    for r in results {
+        total += r?;
+    }
+
+    // One control connection: stats, then optionally shutdown.
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+    let mut writer = stream;
+    writeln!(writer, "stats").map_err(|e| format!("send: {e}"))?;
+    let mut stats = String::new();
+    reader.read_line(&mut stats).map_err(|e| format!("recv: {e}"))?;
+    println!("{}", stats.trim_end());
+    println!(
+        "tcp: {total} requests over {} connection(s) in {dt:.2}s ({:.0} req/s)",
+        args.conns,
+        total as f64 / dt
+    );
+    let mismatches = MetricsSnapshot::field(&stats, "mismatches")
+        .ok_or_else(|| format!("stats reply unparsable: {stats:?}"))?;
+    if mismatches != 0.0 {
+        return Err(format!("server reported {mismatches} verify mismatches"));
+    }
+    if args.shutdown {
+        writeln!(writer, "shutdown").map_err(|e| format!("send: {e}"))?;
+        let mut bye = String::new();
+        reader.read_line(&mut bye).map_err(|e| format!("recv: {e}"))?;
+        if bye.trim_end() != "bye" {
+            return Err(format!("unexpected shutdown reply {:?}", bye.trim_end()));
+        }
+        println!("tcp: server acknowledged shutdown");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("loadgen: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(addr) = &args.tcp {
+        return match run_tcp(addr, &args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("loadgen: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let registry = Arc::new(ModelRegistry::new(RunOptions::default()));
+    StderrProgress.note(&format!("warming {}...", args.key.token()));
+    registry.warm(&[args.key], 1, &mut NullSink);
+    let mut ok = true;
+    if args.ratio {
+        let ratio = run_ratio(&registry, &args);
+        if let Some(floor) = args.expect_ratio {
+            if ratio < floor {
+                eprintln!("loadgen: batching speedup {ratio:.1}x is below the {floor:.0}x floor");
+                ok = false;
+            }
+        }
+    }
+    if args.sweep {
+        run_sweep(&registry, &args);
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

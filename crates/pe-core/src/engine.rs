@@ -73,6 +73,18 @@ pub trait ReportSink: Send {
     fn on_report(&mut self, job: Job, report: &DesignReport);
 }
 
+/// Line-oriented progress events from long-running stages.
+///
+/// [`ReportSink`] is the engine-specific observer (it sees whole
+/// [`DesignReport`]s); this is the lowest-common-denominator interface
+/// shared with non-engine callers — the serving-path model registry warms
+/// models through it, campaign drivers narrate sweeps — so every driver
+/// reuses one progress printer instead of rolling its own.
+pub trait ProgressSink: Send {
+    /// Called with one human-readable line per completed step.
+    fn note(&mut self, line: &str);
+}
+
 /// A sink that drops every report (the default for [`ExperimentEngine::run`]).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NullSink;
@@ -81,14 +93,24 @@ impl ReportSink for NullSink {
     fn on_report(&mut self, _job: Job, _report: &DesignReport) {}
 }
 
-/// A sink that prints each finished row to stderr — the progress style the
-/// reproduction binaries share.
+impl ProgressSink for NullSink {
+    fn note(&mut self, _line: &str) {}
+}
+
+/// A sink that prints each finished step to stderr — the progress style the
+/// reproduction binaries and the serving front end share.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct StderrProgress;
 
+impl ProgressSink for StderrProgress {
+    fn note(&mut self, line: &str) {
+        eprintln!("  {line}");
+    }
+}
+
 impl ReportSink for StderrProgress {
     fn on_report(&mut self, _job: Job, report: &DesignReport) {
-        eprintln!("  done: {}", report.one_line());
+        self.note(&format!("done: {}", report.one_line()));
     }
 }
 
@@ -241,6 +263,15 @@ pub fn default_threads(jobs: usize) -> usize {
         .min(jobs.max(1))
 }
 
+std::thread_local! {
+    /// Set while the current thread is a [`parallel_map`] worker. Nested
+    /// fan-outs (e.g. the precision search inside `prepare_model`, itself
+    /// running on an engine or registry worker) degrade to the serial path
+    /// instead of multiplying thread counts — results are identical either
+    /// way, only scheduling changes.
+    static IN_PARALLEL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
 /// Maps `f` over `0..n` on `threads` scoped workers and returns results in
 /// index order — the deterministic fan-out primitive the engine, the
 /// scaling sweeps and the fault campaigns share. `observe` fires in
@@ -251,7 +282,8 @@ fn parallel_map_indexed<R: Send>(
     f: impl Fn(usize) -> R + Sync,
     observe: impl FnMut(usize, &R) + Send,
 ) -> Vec<R> {
-    let threads = threads.max(1).min(n.max(1));
+    let nested = IN_PARALLEL_WORKER.with(std::cell::Cell::get);
+    let threads = if nested { 1 } else { threads.max(1).min(n.max(1)) };
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     if threads <= 1 {
         let mut observe = observe;
@@ -265,17 +297,20 @@ fn parallel_map_indexed<R: Send>(
         let observe = Mutex::new(observe);
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::SeqCst);
-                    if i >= n {
-                        break;
+                scope.spawn(|| {
+                    IN_PARALLEL_WORKER.with(|w| w.set(true));
+                    loop {
+                        let i = next.fetch_add(1, Ordering::SeqCst);
+                        if i >= n {
+                            break;
+                        }
+                        let r = f(i);
+                        {
+                            let mut obs = observe.lock().expect("observer poisoned");
+                            obs(i, &r);
+                        }
+                        *slots[i].lock().expect("slot poisoned") = Some(r);
                     }
-                    let r = f(i);
-                    {
-                        let mut obs = observe.lock().expect("observer poisoned");
-                        obs(i, &r);
-                    }
-                    *slots[i].lock().expect("slot poisoned") = Some(r);
                 });
             }
         });
@@ -318,6 +353,24 @@ mod tests {
         let items: Vec<usize> = (0..57).collect();
         let out = parallel_map(&items, 8, |&x| x * x);
         assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_parallel_map_degrades_to_serial() {
+        let outer: Vec<usize> = (0..4).collect();
+        let out = parallel_map(&outer, 4, |&i| {
+            // On an outer worker thread the nested fan-out must run inline
+            // (no thread multiplication) and still produce ordered results.
+            let inner = parallel_map(&[1usize, 2, 3], 3, |&x| {
+                assert!(
+                    IN_PARALLEL_WORKER.with(std::cell::Cell::get),
+                    "nested map must stay on the outer worker thread"
+                );
+                x * 10 + i
+            });
+            inner.iter().sum::<usize>()
+        });
+        assert_eq!(out, vec![60, 63, 66, 69]);
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod report;
 pub mod styles;
 pub mod sweep;
 
-pub use engine::{ExperimentEngine, Job, ReportSink};
+pub use engine::{ExperimentEngine, Job, NullSink, ProgressSink, ReportSink, StderrProgress};
 pub use pipeline::{run_experiment, RunOptions};
 pub use report::{DesignReport, Table1};
 pub use styles::DesignStyle;

@@ -189,9 +189,23 @@ pub fn prepare_model(profile: UciProfile, style: DesignStyle, opts: &RunOptions)
                     // retain acceptable accuracy" — judged on training data.
                     let reference = model.accuracy(&train_q);
                     let spec = SearchSpec::new(min, max, tolerance, reference);
-                    let outcome = search_lowest_width(spec, |w| {
-                        QuantizedSvm::quantize(&model, params.input_bits, w).accuracy(&train_q)
-                    });
+                    // Candidate widths are independent, so quantize-and-score
+                    // them in parallel, then replay the serial early-exit scan
+                    // against the precomputed table: the chosen width and the
+                    // outcome trace stay bit-identical to a serial search.
+                    // With one worker the eager evaluation would only waste
+                    // the scan's early exit, so fall back to the lazy scan.
+                    let score =
+                        |w| QuantizedSvm::quantize(&model, params.input_bits, w).accuracy(&train_q);
+                    let widths: Vec<u32> = (min..=max).collect();
+                    let threads = crate::engine::default_threads(widths.len());
+                    let outcome = if threads <= 1 {
+                        search_lowest_width(spec, score)
+                    } else {
+                        let accuracies =
+                            crate::engine::parallel_map(&widths, threads, |&w| score(w));
+                        search_lowest_width(spec, |w| accuracies[(w - min) as usize])
+                    };
                     (
                         outcome.width,
                         QuantizedSvm::quantize(&model, params.input_bits, outcome.width),
@@ -394,6 +408,20 @@ mod tests {
         assert_eq!(a.accuracy_pct, b.accuracy_pct);
         assert_eq!(a.area_cm2, b.area_cm2);
         assert_eq!(a.energy_mj, b.energy_mj);
+    }
+
+    #[test]
+    fn precision_search_is_deterministic_under_parallel_evaluation() {
+        // The candidate widths are scored on worker threads; the replayed
+        // early-exit scan must make the outcome independent of scheduling.
+        let a = prepare_model(UciProfile::Cardio, DesignStyle::SequentialSvm, &fast_opts());
+        let b = prepare_model(UciProfile::Cardio, DesignStyle::SequentialSvm, &fast_opts());
+        assert_eq!(a.weight_bits, b.weight_bits);
+        assert_eq!(a.quant_accuracy, b.quant_accuracy);
+        match (&a.model, &b.model) {
+            (PreparedModel::Svm(qa), PreparedModel::Svm(qb)) => assert_eq!(qa, qb),
+            _ => panic!("the sequential style always prepares an SVM"),
+        }
     }
 
     #[test]

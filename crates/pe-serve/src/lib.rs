@@ -1,0 +1,58 @@
+//! `pe-serve` — a batch-coalescing classification service over the
+//! bit-sliced gate-level simulator.
+//!
+//! The paper's sequential SVMs exist to classify *streams* of sensor
+//! samples; this crate turns the reproduction into the corresponding
+//! server. The economics come straight from `pe-sim`'s word-parallel
+//! engine: one [`run_batch`](pe_sim::Simulator::run_batch) call evaluates
+//! up to 64 packed requests with a single bitwise op per gate, so a batch
+//! of 64 coalesced requests costs roughly what one request costs served
+//! alone. The service's whole job is to keep those lanes full without
+//! letting tail latency run away.
+//!
+//! # Pieces
+//!
+//! * [`ModelRegistry`] — trains, quantizes and elaborates each
+//!   `(dataset, style)` model exactly once (the engine-style memoization
+//!   from `pe-core`), caching the netlist plus its reusable
+//!   [`Schedule`](pe_sim::Schedule) so workers stamp out simulators
+//!   without re-levelizing.
+//! * [`Service`] — the batcher and hand-rolled worker pool: a bounded
+//!   pending queue with blocking backpressure, per-key coalescing into
+//!   ≤64-lane batches, and a batch deadline so ragged batches still flush
+//!   at low load. Modes: gate-level serving (default), the integer fast
+//!   path, or verify — both paths cross-checked bit-for-bit per batch.
+//! * [`Metrics`] — lock-free counters and a log-scale latency histogram:
+//!   throughput, p50/p99, batch-fill ratio, verify mismatches.
+//! * [`protocol`] / [`Server`] — a line-oriented TCP front end (the
+//!   `pe-serve` binary) for driving the service from outside the process.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use pe_core::pipeline::RunOptions;
+//! use pe_serve::{ModelKey, ModelRegistry, Service, ServiceConfig};
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(ModelRegistry::new(RunOptions::default()));
+//! let service = Service::start(Arc::clone(&registry), ServiceConfig::default());
+//! let key = ModelKey::parse("cardio:seq").unwrap();
+//! let entry = registry.get(key);
+//! let (x, _) = entry.prepared.test.sample(0);
+//! let class = service.classify(key, x).unwrap();
+//! println!("class {class}; {}", service.metrics());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod service;
+
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use registry::{ModelEntry, ModelKey, ModelRegistry};
+pub use server::Server;
+pub use service::{ServeError, ServeMode, Service, ServiceConfig, Ticket};

@@ -1,0 +1,114 @@
+//! The `pe-serve` binary: a TCP classification server over the bit-sliced
+//! gate-level simulator.
+//!
+//! ```text
+//! pe-serve [--addr HOST:PORT] [--mode gate|int|verify] [--batch-max N]
+//!          [--deadline-us N] [--workers N] [--capacity N]
+//!          [--warm key,key,... | --warm-grid]
+//! ```
+//!
+//! Keys are `profile:style` tokens (`cardio:seq`, `pendigits:mlp`, …; see
+//! the protocol docs). Warmed models train before the listener opens, so
+//! the first request never pays training latency. See
+//! [`pe_serve::protocol`] for the wire format.
+
+use pe_core::engine::{ProgressSink, StderrProgress};
+use pe_core::pipeline::RunOptions;
+use pe_serve::{ModelKey, ModelRegistry, ServeMode, Server, Service, ServiceConfig};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    cfg: ServiceConfig,
+    warm: Vec<ModelKey>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pe-serve [--addr HOST:PORT] [--mode gate|int|verify] [--batch-max N]\n\
+         \x20               [--deadline-us N] [--workers N] [--capacity N]\n\
+         \x20               [--warm key,key,... | --warm-grid]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_owned(),
+        cfg: ServiceConfig::default(),
+        warm: vec![ModelKey::parse("cardio:seq").expect("default key parses")],
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--mode" => args.cfg.mode = ServeMode::parse(&value("--mode")?)?,
+            "--batch-max" => {
+                args.cfg.batch_max =
+                    value("--batch-max")?.parse().map_err(|_| "bad --batch-max".to_owned())?;
+            }
+            "--deadline-us" => {
+                let us: u64 =
+                    value("--deadline-us")?.parse().map_err(|_| "bad --deadline-us".to_owned())?;
+                args.cfg.batch_deadline = Duration::from_micros(us);
+            }
+            "--workers" => {
+                args.cfg.workers =
+                    value("--workers")?.parse().map_err(|_| "bad --workers".to_owned())?;
+            }
+            "--capacity" => {
+                args.cfg.queue_capacity =
+                    value("--capacity")?.parse().map_err(|_| "bad --capacity".to_owned())?;
+            }
+            "--warm" => {
+                args.warm =
+                    value("--warm")?.split(',').map(ModelKey::parse).collect::<Result<_, _>>()?;
+            }
+            "--warm-grid" => args.warm = ModelKey::table1_grid(),
+            "--help" | "-h" => usage(),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("pe-serve: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let registry = Arc::new(ModelRegistry::new(RunOptions::default()));
+    let mut progress = StderrProgress;
+    if !args.warm.is_empty() {
+        progress.note(&format!("warming {} model(s)...", args.warm.len()));
+        let threads = pe_core::engine::default_threads(args.warm.len());
+        registry.warm(&args.warm, threads, &mut progress);
+    }
+    let service = Service::start(Arc::clone(&registry), args.cfg);
+    let server = match Server::bind(&args.addr, Arc::clone(&service)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pe-serve: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = service.config();
+    eprintln!(
+        "pe-serve listening on {} (mode {:?}, batch_max {}, deadline {:?}, workers {})",
+        server.local_addr(),
+        cfg.mode,
+        cfg.batch_max,
+        cfg.batch_deadline,
+        cfg.workers
+    );
+    let connections = server.run();
+    eprintln!("pe-serve: clean shutdown after {connections} connection(s)");
+    eprintln!("{}", service.metrics());
+    ExitCode::SUCCESS
+}

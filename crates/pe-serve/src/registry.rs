@@ -1,0 +1,318 @@
+//! The model registry: prepared models, elaborated netlists and reusable
+//! simulator schedules, memoized per `(dataset, style)`.
+//!
+//! Serving a classification request needs everything `pe-core`'s pipeline
+//! produces *before* the per-request work: a trained-and-quantized model
+//! (the integer golden reference), its bespoke netlist, and the netlist's
+//! topological [`Schedule`]. All three are immutable once built, so the
+//! registry computes them exactly once per key — the same
+//! `Mutex<HashMap<_, Arc<OnceLock<_>>>>` discipline as
+//! `pe_core::engine`'s model cache, which keeps concurrent first requests
+//! for the *same* key serialized while distinct keys train in parallel —
+//! and hands out [`Arc`]s that workers hold for the lifetime of a batch.
+
+use pe_core::engine::{parallel_map, ProgressSink};
+use pe_core::pipeline::{
+    build_netlist, cycles_per_inference, prepare_model, Prepared, PreparedModel, RunOptions,
+};
+use pe_core::styles::DesignStyle;
+use pe_data::UciProfile;
+use pe_sim::{Schedule, Simulator};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Which model a request addresses: one cell of the paper's Table-I grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelKey {
+    /// Dataset profile.
+    pub profile: UciProfile,
+    /// Design style.
+    pub style: DesignStyle,
+}
+
+impl ModelKey {
+    /// Creates a key.
+    #[must_use]
+    pub fn new(profile: UciProfile, style: DesignStyle) -> Self {
+        ModelKey { profile, style }
+    }
+
+    /// Every key of the paper's 5 × 4 evaluation grid, in Table-I order.
+    #[must_use]
+    pub fn table1_grid() -> Vec<ModelKey> {
+        UciProfile::all()
+            .into_iter()
+            .flat_map(|p| DesignStyle::all().into_iter().map(move |s| ModelKey::new(p, s)))
+            .collect()
+    }
+
+    /// The wire token for this key: `profile:style`, e.g. `cardio:seq`.
+    #[must_use]
+    pub fn token(&self) -> String {
+        format!("{}:{}", profile_token(self.profile), style_token(self.style))
+    }
+
+    /// Parses a `profile:style` token (the inverse of [`ModelKey::token`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on unknown profiles or styles.
+    pub fn parse(s: &str) -> Result<ModelKey, String> {
+        let (p, st) =
+            s.split_once(':').ok_or_else(|| format!("expected profile:style, got {s:?}"))?;
+        Ok(ModelKey::new(parse_profile(p)?, parse_style(st)?))
+    }
+}
+
+/// The wire token of a dataset profile (lowercase Table-I name).
+#[must_use]
+pub fn profile_token(profile: UciProfile) -> &'static str {
+    match profile {
+        UciProfile::Cardio => "cardio",
+        UciProfile::Dermatology => "dermatology",
+        UciProfile::PenDigits => "pendigits",
+        UciProfile::RedWine => "redwine",
+        UciProfile::WhiteWine => "whitewine",
+    }
+}
+
+/// The wire token of a design style.
+#[must_use]
+pub fn style_token(style: DesignStyle) -> &'static str {
+    match style {
+        DesignStyle::SequentialSvm => "seq",
+        DesignStyle::ParallelSvm => "par",
+        DesignStyle::ApproxParallelSvm => "approx",
+        DesignStyle::ParallelMlp => "mlp",
+    }
+}
+
+/// Parses a dataset-profile token (case-insensitive).
+///
+/// # Errors
+///
+/// Returns a message listing the valid tokens on failure.
+pub fn parse_profile(tok: &str) -> Result<UciProfile, String> {
+    match tok.to_ascii_lowercase().as_str() {
+        "cardio" => Ok(UciProfile::Cardio),
+        "dermatology" => Ok(UciProfile::Dermatology),
+        "pendigits" => Ok(UciProfile::PenDigits),
+        "redwine" => Ok(UciProfile::RedWine),
+        "whitewine" => Ok(UciProfile::WhiteWine),
+        other => Err(format!(
+            "unknown profile {other:?} (expected cardio|dermatology|pendigits|redwine|whitewine)"
+        )),
+    }
+}
+
+/// Parses a design-style token (case-insensitive; long names accepted).
+///
+/// # Errors
+///
+/// Returns a message listing the valid tokens on failure.
+pub fn parse_style(tok: &str) -> Result<DesignStyle, String> {
+    match tok.to_ascii_lowercase().as_str() {
+        "seq" | "sequential" => Ok(DesignStyle::SequentialSvm),
+        "par" | "parallel" => Ok(DesignStyle::ParallelSvm),
+        "approx" => Ok(DesignStyle::ApproxParallelSvm),
+        "mlp" => Ok(DesignStyle::ParallelMlp),
+        other => Err(format!("unknown style {other:?} (expected seq|par|approx|mlp)")),
+    }
+}
+
+/// Everything the serving path needs for one model, built once and shared.
+#[derive(Debug)]
+pub struct ModelEntry {
+    /// The key this entry was built for.
+    pub key: ModelKey,
+    /// The trained-and-quantized model plus its held-out test set (the
+    /// integer golden reference the gate-level path is verified against).
+    pub prepared: Prepared,
+    /// The elaborated bespoke netlist.
+    pub netlist: pe_netlist::Netlist,
+    /// The netlist's topological schedule, computed once; workers stamp out
+    /// per-batch simulators from it without re-levelizing.
+    pub schedule: Schedule,
+    /// `run_batch` cycles per vector: the class count for the sequential
+    /// style, 0 (combinational settle) for the parallel styles.
+    pub cycles_per_vector: u64,
+}
+
+impl ModelEntry {
+    fn build(key: ModelKey, opts: &RunOptions) -> Self {
+        let prepared = prepare_model(key.profile, key.style, opts);
+        let netlist = build_netlist(key.style, &prepared);
+        let schedule = Schedule::new(&netlist).expect("generated designs are acyclic");
+        let cycles_per_vector = if key.style == DesignStyle::SequentialSvm {
+            cycles_per_inference(key.style, &prepared)
+        } else {
+            0
+        };
+        ModelEntry { key, prepared, netlist, schedule, cycles_per_vector }
+    }
+
+    /// A fresh gate-level simulator over this entry's netlist, constructed
+    /// from the cached schedule (no levelization).
+    #[must_use]
+    pub fn simulator(&self) -> Simulator<'_> {
+        Simulator::with_schedule(&self.netlist, &self.schedule)
+    }
+
+    /// Number of input features a request must carry.
+    #[must_use]
+    pub fn num_features(&self) -> usize {
+        match &self.prepared.model {
+            PreparedModel::Svm(q) => q.num_features(),
+            PreparedModel::Mlp(q) => q.w1_q()[0].len(),
+        }
+    }
+
+    /// Quantizes a normalized (`[0,1]`) sample to the model's input grid.
+    #[must_use]
+    pub fn quantize_input(&self, x: &[f64]) -> Vec<i64> {
+        match &self.prepared.model {
+            PreparedModel::Svm(q) => q.quantize_input(x),
+            PreparedModel::Mlp(q) => q.quantize_input(x),
+        }
+    }
+
+    /// The integer golden-model prediction — the serving fast path.
+    #[must_use]
+    pub fn predict_int(&self, x_q: &[i64]) -> usize {
+        match &self.prepared.model {
+            PreparedModel::Svm(q) => q.predict_int(x_q),
+            PreparedModel::Mlp(q) => q.predict_int(x_q),
+        }
+    }
+
+    /// `n` normalized request vectors cycled from the held-out test set —
+    /// the shared request source for benches, load generation and tests.
+    #[must_use]
+    pub fn sample_requests(&self, n: usize) -> Vec<Vec<f64>> {
+        let test = &self.prepared.test;
+        (0..n).map(|i| test.sample(i % test.len()).0.to_vec()).collect()
+    }
+}
+
+/// Loads and memoizes [`ModelEntry`]s per key. Safe for concurrent use;
+/// each key is built exactly once even under simultaneous first requests.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    opts: RunOptions,
+    entries: Mutex<HashMap<ModelKey, Arc<OnceLock<Arc<ModelEntry>>>>>,
+    trainings: AtomicUsize,
+}
+
+impl ModelRegistry {
+    /// A registry preparing models under the given pipeline options.
+    #[must_use]
+    pub fn new(opts: RunOptions) -> Self {
+        ModelRegistry { opts, entries: Mutex::new(HashMap::new()), trainings: AtomicUsize::new(0) }
+    }
+
+    /// The pipeline options models are prepared under.
+    #[must_use]
+    pub fn options(&self) -> &RunOptions {
+        &self.opts
+    }
+
+    /// The entry for `key`, training and elaborating it on first request.
+    #[must_use]
+    pub fn get(&self, key: ModelKey) -> Arc<ModelEntry> {
+        let slot = {
+            let mut map = self.entries.lock().expect("registry poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        // Build outside the map lock; OnceLock serializes per key so other
+        // keys keep building in parallel.
+        Arc::clone(slot.get_or_init(|| {
+            self.trainings.fetch_add(1, Ordering::Relaxed);
+            Arc::new(ModelEntry::build(key, &self.opts))
+        }))
+    }
+
+    /// Pre-builds the entries for `keys` on `threads` workers, narrating
+    /// each finished model through `progress` (the engine's shared
+    /// [`ProgressSink`], so binaries reuse one progress printer).
+    pub fn warm(&self, keys: &[ModelKey], threads: usize, progress: &mut dyn ProgressSink) {
+        let progress = Mutex::new(progress);
+        parallel_map(keys, threads, |&key| {
+            let t0 = Instant::now();
+            let entry = self.get(key);
+            let line = format!(
+                "warmed {:<18} {} cells, {} features, {:.0} ms",
+                key.token(),
+                entry.netlist.num_cells(),
+                entry.num_features(),
+                t0.elapsed().as_secs_f64() * 1e3
+            );
+            progress.lock().expect("progress poisoned").note(&line);
+        });
+    }
+
+    /// How many entries were actually built (memoization accounting).
+    #[must_use]
+    pub fn trainings(&self) -> usize {
+        self.trainings.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_tokens_round_trip() {
+        for key in ModelKey::table1_grid() {
+            assert_eq!(ModelKey::parse(&key.token()).unwrap(), key);
+        }
+        assert!(ModelKey::parse("cardio").is_err());
+        assert!(ModelKey::parse("cardio:nope").is_err());
+        assert!(ModelKey::parse("nope:seq").is_err());
+        assert_eq!(
+            ModelKey::parse("CARDIO:Sequential").unwrap(),
+            ModelKey::new(UciProfile::Cardio, DesignStyle::SequentialSvm)
+        );
+    }
+
+    #[test]
+    fn entries_build_once_and_serve_predictions() {
+        let reg = ModelRegistry::new(RunOptions::default());
+        let key = ModelKey::new(UciProfile::Cardio, DesignStyle::SequentialSvm);
+        let a = reg.get(key);
+        let b = reg.get(key);
+        assert_eq!(reg.trainings(), 1, "second get must hit the cache");
+        assert!(Arc::ptr_eq(&a, &b));
+        let (x, _) = a.prepared.test.sample(0);
+        let x_q = a.quantize_input(x);
+        assert_eq!(x_q.len(), a.num_features());
+        let class = a.predict_int(&x_q);
+        assert!(class < 3, "Cardio has 3 classes");
+        // The cached schedule stamps out working simulators.
+        let mut sim = a.simulator();
+        let r = sim.run_batch(&[x_q], a.cycles_per_vector, "class");
+        assert_eq!(r.outputs[0] as usize, class, "gate level must match the golden model");
+    }
+
+    #[test]
+    fn warm_narrates_progress() {
+        struct Lines(Vec<String>);
+        impl ProgressSink for Lines {
+            fn note(&mut self, line: &str) {
+                self.0.push(line.to_owned());
+            }
+        }
+        let reg = ModelRegistry::new(RunOptions::default());
+        let keys = [
+            ModelKey::new(UciProfile::Cardio, DesignStyle::SequentialSvm),
+            ModelKey::new(UciProfile::Cardio, DesignStyle::ParallelSvm),
+        ];
+        let mut sink = Lines(Vec::new());
+        reg.warm(&keys, 2, &mut sink);
+        assert_eq!(sink.0.len(), 2);
+        assert_eq!(reg.trainings(), 2);
+        assert!(sink.0.iter().any(|l| l.contains("cardio:seq")));
+    }
+}

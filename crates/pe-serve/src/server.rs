@@ -1,0 +1,236 @@
+//! The TCP front end: a thread-per-connection line server over
+//! [`Service`], speaking the [`protocol`](crate::protocol).
+//!
+//! The server is deliberately boring: `accept` on the caller's thread, one
+//! handler thread per connection, blocking I/O everywhere. Concurrency and
+//! batching live in the [`Service`] behind it — any number of connections
+//! feed the same coalescing queue, so 64 independent clients still fill
+//! 64-lane batches. A `shutdown` request stops the accept loop, drains the
+//! service (every queued request is still answered) and joins the handler
+//! threads of already-disconnected clients.
+
+use crate::protocol::{parse_request, Request};
+use crate::service::Service;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A bound-but-not-yet-running TCP front end.
+#[derive(Debug)]
+pub struct Server {
+    service: Arc<Service>,
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7878`; port 0 picks a free port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error.
+    pub fn bind(addr: &str, service: Arc<Service>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server { service, listener, stop: Arc::new(AtomicBool::new(false)) })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the listener's local address cannot be read (never happens
+    /// for a successfully bound socket).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has an address")
+    }
+
+    /// Runs the accept loop on the calling thread until a `shutdown`
+    /// request arrives, then drains the service and joins connection
+    /// handlers. Returns the number of connections served.
+    pub fn run(self) -> usize {
+        let addr = self.local_addr();
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut connections = 0usize;
+        for stream in self.listener.incoming() {
+            if self.stop.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            connections += 1;
+            let service = Arc::clone(&self.service);
+            let stop = Arc::clone(&self.stop);
+            handles.retain(|h| !h.is_finished());
+            handles
+                .push(std::thread::spawn(move || handle_connection(stream, &service, &stop, addr)));
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        self.service.shutdown();
+        connections
+    }
+}
+
+/// How often a blocked connection handler re-checks the stop flag. Idle
+/// clients must not pin shutdown, so reads time out and poll.
+const READ_POLL: std::time::Duration = std::time::Duration::from_millis(250);
+
+/// Serves one connection until EOF, `shutdown`, or server stop.
+fn handle_connection(stream: TcpStream, service: &Service, stop: &AtomicBool, addr: SocketAddr) {
+    // Timed reads/writes so neither an idle connection nor a client that
+    // stopped reading pins the server's handler join on shutdown.
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_write_timeout(Some(READ_POLL));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        // Checked between requests too, so a client streaming lines
+        // back-to-back (never hitting a read timeout) cannot outlive a
+        // shutdown.
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        line.clear();
+        // A timeout can deliver a partial line into `line`; keep reading
+        // (without clearing) until the newline arrives or the server stops.
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => return, // EOF
+                Ok(_) => break,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                }
+                Err(_) => return, // connection reset
+            }
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match parse_request(&line) {
+            Ok(Request::Classify { key, features }) => match service.classify(key, &features) {
+                Ok(class) => format!("ok {class}"),
+                Err(e) => format!("err {e}"),
+            },
+            Ok(Request::Stats) => format!("stats {}", service.metrics().to_line()),
+            Ok(Request::Ping) => "pong".to_owned(),
+            Ok(Request::Shutdown) => {
+                let _ = writeln!(writer, "bye");
+                stop.store(true, Ordering::Release);
+                // Wake the accept loop with a throwaway connection so it
+                // observes the stop flag without waiting for a real client.
+                // A wildcard bind (0.0.0.0 / ::) is not connectable on some
+                // stacks; reach it through the matching loopback instead.
+                let wake = if addr.ip().is_unspecified() {
+                    let loopback: std::net::IpAddr = if addr.is_ipv4() {
+                        std::net::Ipv4Addr::LOCALHOST.into()
+                    } else {
+                        std::net::Ipv6Addr::LOCALHOST.into()
+                    };
+                    SocketAddr::new(loopback, addr.port())
+                } else {
+                    addr
+                };
+                let _ = TcpStream::connect(wake);
+                return;
+            }
+            Err(msg) => format!("err {msg}"),
+        };
+        if writeln!(writer, "{reply}").is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{ModelKey, ModelRegistry};
+    use crate::service::{ServeMode, ServiceConfig};
+    use pe_core::pipeline::RunOptions;
+    use pe_core::styles::DesignStyle;
+    use pe_data::UciProfile;
+    use std::io::BufRead;
+
+    fn send(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+        writeln!(stream, "{line}").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        reply.trim_end().to_owned()
+    }
+
+    #[test]
+    fn tcp_round_trip_classify_stats_shutdown() {
+        let registry = Arc::new(ModelRegistry::new(RunOptions::default()));
+        let key = ModelKey::new(UciProfile::Cardio, DesignStyle::SequentialSvm);
+        let entry = registry.get(key);
+        let service = Service::start(
+            Arc::clone(&registry),
+            ServiceConfig { mode: ServeMode::Verify, ..ServiceConfig::default() },
+        );
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&service)).unwrap();
+        let addr = server.local_addr();
+        let server_thread = std::thread::spawn(move || server.run());
+
+        let mut conn = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        assert_eq!(send(&mut conn, &mut reader, "ping"), "pong");
+
+        let (x, _) = entry.prepared.test.sample(0);
+        let want = entry.predict_int(&entry.quantize_input(x));
+        let line = crate::protocol::format_classify(key, x);
+        assert_eq!(send(&mut conn, &mut reader, &line), format!("ok {want}"));
+
+        let stats = send(&mut conn, &mut reader, "stats");
+        assert!(stats.starts_with("stats "), "{stats}");
+        assert!(stats.contains("mismatches=0"), "{stats}");
+
+        assert_eq!(
+            send(&mut conn, &mut reader, "classify cardio seq 0.5"),
+            "err expected 21 features, got 1"
+        );
+        assert!(send(&mut conn, &mut reader, "nonsense").starts_with("err "));
+
+        assert_eq!(send(&mut conn, &mut reader, "shutdown"), "bye");
+        drop(conn);
+        let connections = server_thread.join().unwrap();
+        assert!(connections >= 1);
+        assert!(service.is_stopped(), "shutdown must drain the service");
+    }
+
+    #[test]
+    fn idle_connection_does_not_hang_shutdown() {
+        let registry = Arc::new(ModelRegistry::new(RunOptions::default()));
+        let service = Service::start(Arc::clone(&registry), ServiceConfig::default());
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&service)).unwrap();
+        let addr = server.local_addr();
+        let server_thread = std::thread::spawn(move || server.run());
+
+        // A client that connects and never sends anything...
+        let idle = TcpStream::connect(addr).unwrap();
+        // ...must not pin the handler join when another client shuts down.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        assert_eq!(send(&mut conn, &mut reader, "shutdown"), "bye");
+        let t0 = std::time::Instant::now();
+        let _ = server_thread.join().unwrap();
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(10),
+            "shutdown waited on an idle connection"
+        );
+        assert!(service.is_stopped());
+        drop(idle);
+    }
+}

@@ -1,0 +1,599 @@
+//! The batch-coalescing classification service.
+//!
+//! Requests are submitted per [`ModelKey`] and coalesced into lanes of one
+//! word-parallel [`run_batch`](pe_sim::Simulator::run_batch) call: the
+//! bit-sliced engine evaluates up to 64 requests with a single bitwise op
+//! per gate, which is the entire economic argument for batching. A batch is
+//! flushed when it reaches [`ServiceConfig::batch_max`] lanes **or** when
+//! its oldest request has waited [`ServiceConfig::batch_deadline`] — ragged
+//! batches still flush promptly at low load, full batches flush immediately
+//! at saturation.
+//!
+//! The worker pool is hand-rolled on `std` primitives: one bounded pending
+//! queue (a `Mutex` + two condvars, [`ServiceConfig::queue_capacity`]
+//! requests across all keys), [`Service::submit`] blocking for space —
+//! backpressure, not unbounded buffering — and [`Service::try_submit`]
+//! rejecting instead for callers that must not block.
+//!
+//! Three serving modes ([`ServeMode`]):
+//!
+//! * [`Gate`](ServeMode::Gate) — classify on the gate-level simulator (the
+//!   default: this service exists to put traffic through the hardware).
+//! * [`Int`](ServeMode::Int) — the integer golden model only
+//!   ([`QuantizedSvm::predict_int`](pe_ml::QuantizedSvm::predict_int)-class
+//!   fast path, no simulation).
+//! * [`Verify`](ServeMode::Verify) — both per batch, cross-checked
+//!   bit-for-bit; disagreements are counted in
+//!   [`MetricsSnapshot::verify_mismatches`] and must stay zero.
+
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::registry::{ModelKey, ModelRegistry};
+use pe_sim::bitslice::LANES;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Which path answers classification requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeMode {
+    /// Gate-level simulation of the bespoke netlist (the default).
+    #[default]
+    Gate,
+    /// Integer golden model only — the fast path, no simulation.
+    Int,
+    /// Gate-level **and** integer paths, cross-checked per batch.
+    Verify,
+}
+
+impl ServeMode {
+    /// Parses a mode token (`gate`, `int`, `verify`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid tokens on failure.
+    pub fn parse(tok: &str) -> Result<Self, String> {
+        match tok.to_ascii_lowercase().as_str() {
+            "gate" => Ok(ServeMode::Gate),
+            "int" => Ok(ServeMode::Int),
+            "verify" => Ok(ServeMode::Verify),
+            other => Err(format!("unknown mode {other:?} (expected gate|int|verify)")),
+        }
+    }
+}
+
+/// Tunables of one [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Which path answers requests.
+    pub mode: ServeMode,
+    /// Requests per `run_batch` call, clamped to `1..=1024`. Values above
+    /// 64 run as several 64-lane chunks inside **one** call, amortizing
+    /// simulator construction further; 1 degenerates to
+    /// one-request-per-`run_batch` serving (the loadgen baseline).
+    pub batch_max: usize,
+    /// How long the oldest queued request may wait before its (possibly
+    /// ragged) batch is flushed anyway.
+    pub batch_deadline: Duration,
+    /// Bound on queued requests across all keys; beyond it `submit` blocks
+    /// and `try_submit` rejects.
+    pub queue_capacity: usize,
+    /// Worker threads executing batches.
+    pub workers: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            mode: ServeMode::default(),
+            batch_max: LANES,
+            batch_deadline: Duration::from_millis(2),
+            queue_capacity: 4096,
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(2)
+                .min(8),
+        }
+    }
+}
+
+/// Why a request was not answered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The feature vector had the wrong arity for the addressed model.
+    WrongArity {
+        /// Features the model expects.
+        expected: usize,
+        /// Features the request carried.
+        got: usize,
+    },
+    /// The queue was full (`try_submit` only; `submit` blocks instead).
+    Busy,
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::WrongArity { expected, got } => {
+                write!(f, "expected {expected} features, got {got}")
+            }
+            ServeError::Busy => write!(f, "queue full"),
+            ServeError::ShuttingDown => write!(f, "service shutting down"),
+        }
+    }
+}
+
+/// A pending reply: wait on it to get the predicted class.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<usize, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the batch containing this request was executed.
+    pub fn wait(self) -> Result<usize, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+}
+
+/// The sending half of one request's reply channel.
+type ReplyTx = mpsc::Sender<Result<usize, ServeError>>;
+
+struct Pending {
+    x_q: Vec<i64>,
+    enqueued: Instant,
+    tx: ReplyTx,
+}
+
+#[derive(Default)]
+struct QueueState {
+    pending: HashMap<ModelKey, VecDeque<Pending>>,
+    total: usize,
+    stopping: bool,
+}
+
+struct Shared {
+    registry: Arc<ModelRegistry>,
+    cfg: ServiceConfig,
+    metrics: Metrics,
+    state: Mutex<QueueState>,
+    work_ready: Condvar,
+    space_ready: Condvar,
+    stopped: AtomicBool,
+}
+
+/// The in-process classification service. See the [module docs](self).
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Starts the worker pool. Models are built lazily on first request per
+    /// key; call [`ModelRegistry::warm`] first to front-load training.
+    #[must_use]
+    pub fn start(registry: Arc<ModelRegistry>, mut cfg: ServiceConfig) -> Arc<Service> {
+        cfg.batch_max = cfg.batch_max.clamp(1, 16 * LANES);
+        cfg.workers = cfg.workers.max(1);
+        cfg.queue_capacity = cfg.queue_capacity.max(1);
+        let shared = Arc::new(Shared {
+            registry,
+            cfg,
+            metrics: Metrics::new(),
+            state: Mutex::new(QueueState::default()),
+            work_ready: Condvar::new(),
+            space_ready: Condvar::new(),
+            stopped: AtomicBool::new(false),
+        });
+        let workers = (0..shared.cfg.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Arc::new(Service { shared, workers: Mutex::new(workers) })
+    }
+
+    /// The registry serving this service's models.
+    #[must_use]
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.shared.registry
+    }
+
+    /// The effective (clamped) configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.shared.cfg
+    }
+
+    /// Enqueues one request, blocking while the queue is full
+    /// (backpressure). The returned [`Ticket`] resolves when the batch
+    /// containing the request was executed.
+    ///
+    /// `x` is a normalized (`[0,1]`) feature vector; quantization to the
+    /// model's input grid happens here, on the submitter's thread.
+    pub fn submit(&self, key: ModelKey, x: &[f64]) -> Result<Ticket, ServeError> {
+        self.submit_inner(key, x, true)
+    }
+
+    /// Like [`Service::submit`] but returns [`ServeError::Busy`] instead of
+    /// blocking when the queue is full.
+    pub fn try_submit(&self, key: ModelKey, x: &[f64]) -> Result<Ticket, ServeError> {
+        self.submit_inner(key, x, false)
+    }
+
+    fn submit_inner(&self, key: ModelKey, x: &[f64], block: bool) -> Result<Ticket, ServeError> {
+        // Resolve the model outside the queue lock: the first request for a
+        // key pays its training cost here, not under the lock.
+        let entry = self.shared.registry.get(key);
+        if x.len() != entry.num_features() {
+            return Err(ServeError::WrongArity { expected: entry.num_features(), got: x.len() });
+        }
+        let x_q = entry.quantize_input(x);
+        let (tx, rx) = mpsc::channel();
+        let mut st = self.shared.state.lock().expect("service queue poisoned");
+        loop {
+            if st.stopping {
+                return Err(ServeError::ShuttingDown);
+            }
+            if st.total < self.shared.cfg.queue_capacity {
+                break;
+            }
+            if !block {
+                self.shared.metrics.on_reject();
+                return Err(ServeError::Busy);
+            }
+            st = self.shared.space_ready.wait(st).expect("service queue poisoned");
+        }
+        st.pending.entry(key).or_default().push_back(Pending { x_q, enqueued: Instant::now(), tx });
+        st.total += 1;
+        self.shared.metrics.on_submit();
+        drop(st);
+        self.shared.work_ready.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// Submit-and-wait for one request.
+    pub fn classify(&self, key: ModelKey, x: &[f64]) -> Result<usize, ServeError> {
+        self.submit(key, x)?.wait()
+    }
+
+    /// Bulk intake: enqueues a whole slice of requests under **one** queue
+    /// lock acquisition (blocking for space as needed), with one registry
+    /// resolve and one worker wake-up for the slice. This is the
+    /// high-throughput front door — per-request locking is what caps
+    /// [`Service::submit`] at saturation.
+    pub fn submit_many(&self, key: ModelKey, xs: &[Vec<f64>]) -> Vec<Result<Ticket, ServeError>> {
+        let entry = self.shared.registry.get(key);
+        // Validate and quantize outside the lock.
+        let mut out: Vec<Result<Ticket, ServeError>> = Vec::with_capacity(xs.len());
+        let mut ready: Vec<(usize, Vec<i64>, ReplyTx)> = Vec::with_capacity(xs.len());
+        for (i, x) in xs.iter().enumerate() {
+            if x.len() == entry.num_features() {
+                let (tx, rx) = mpsc::channel();
+                out.push(Ok(Ticket { rx }));
+                ready.push((i, entry.quantize_input(x), tx));
+            } else {
+                out.push(Err(ServeError::WrongArity {
+                    expected: entry.num_features(),
+                    got: x.len(),
+                }));
+            }
+        }
+        let mut st = self.shared.state.lock().expect("service queue poisoned");
+        for (i, x_q, tx) in ready {
+            // Wait for space before pushing. Workers may not have been woken
+            // for the requests that filled the queue yet, so wake them
+            // before sleeping — or no one ever frees space.
+            while !st.stopping && st.total >= self.shared.cfg.queue_capacity {
+                self.shared.work_ready.notify_all();
+                st = self.shared.space_ready.wait(st).expect("service queue poisoned");
+            }
+            if st.stopping {
+                out[i] = Err(ServeError::ShuttingDown);
+                continue;
+            }
+            st.pending.entry(key).or_default().push_back(Pending {
+                x_q,
+                enqueued: Instant::now(),
+                tx,
+            });
+            st.total += 1;
+            self.shared.metrics.on_submit();
+        }
+        drop(st);
+        self.shared.work_ready.notify_all();
+        out
+    }
+
+    /// Submits a whole slice of requests before waiting on any of them, so
+    /// they coalesce into as few batches as the configuration allows.
+    #[must_use]
+    pub fn classify_batch(&self, key: ModelKey, xs: &[Vec<f64>]) -> Vec<Result<usize, ServeError>> {
+        self.submit_many(key, xs).into_iter().map(|t| t.and_then(Ticket::wait)).collect()
+    }
+
+    /// Requests queued right now (all keys).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().expect("service queue poisoned").total
+    }
+
+    /// A point-in-time metrics view.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot(self.shared.cfg.batch_max, self.queue_depth())
+    }
+
+    /// Stops accepting requests, drains every queued batch (deadlines are
+    /// ignored — everything flushes), answers the stragglers and joins the
+    /// workers. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.shared.state.lock().expect("service queue poisoned");
+            st.stopping = true;
+        }
+        self.shared.work_ready.notify_all();
+        self.shared.space_ready.notify_all();
+        let workers = std::mem::take(&mut *self.workers.lock().expect("worker list poisoned"));
+        for w in workers {
+            let _ = w.join();
+        }
+        self.shared.stopped.store(true, Ordering::Release);
+    }
+
+    /// Whether [`Service::shutdown`] has completed.
+    #[must_use]
+    pub fn is_stopped(&self) -> bool {
+        self.shared.stopped.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl fmt::Debug for Service {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Service")
+            .field("cfg", &self.shared.cfg)
+            .field("queue_depth", &self.queue_depth())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Picks a key whose batch should flush now: any full batch first, else —
+/// when stopping — any non-empty batch, else the key whose oldest request
+/// has exceeded the deadline.
+fn pick_ready_key(st: &QueueState, cfg: &ServiceConfig, now: Instant) -> Option<ModelKey> {
+    let mut expired: Option<(ModelKey, Instant)> = None;
+    for (&key, q) in &st.pending {
+        if q.len() >= cfg.batch_max {
+            return Some(key);
+        }
+        if let Some(front) = q.front() {
+            if st.stopping {
+                return Some(key);
+            }
+            if now.duration_since(front.enqueued) >= cfg.batch_deadline
+                && expired.map_or(true, |(_, oldest)| front.enqueued < oldest)
+            {
+                expired = Some((key, front.enqueued));
+            }
+        }
+    }
+    expired.map(|(key, _)| key)
+}
+
+/// The next deadline any queued request will hit (for the worker's timed
+/// wait).
+fn earliest_deadline(st: &QueueState, deadline: Duration) -> Option<Instant> {
+    st.pending.values().filter_map(|q| q.front()).map(|p| p.enqueued + deadline).min()
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let batch = {
+            let mut st = shared.state.lock().expect("service queue poisoned");
+            loop {
+                let now = Instant::now();
+                if let Some(key) = pick_ready_key(&st, &shared.cfg, now) {
+                    let q = st.pending.get_mut(&key).expect("picked key exists");
+                    let n = q.len().min(shared.cfg.batch_max);
+                    let reqs: Vec<Pending> = q.drain(..n).collect();
+                    if q.is_empty() {
+                        st.pending.remove(&key);
+                    }
+                    st.total -= n;
+                    shared.space_ready.notify_all();
+                    break Some((key, reqs));
+                }
+                if st.stopping {
+                    debug_assert_eq!(st.total, 0, "stopping with no ready key means empty queues");
+                    break None;
+                }
+                match earliest_deadline(&st, shared.cfg.batch_deadline) {
+                    Some(when) => {
+                        let wait = when.saturating_duration_since(Instant::now());
+                        let (guard, _) = shared
+                            .work_ready
+                            .wait_timeout(st, wait)
+                            .expect("service queue poisoned");
+                        st = guard;
+                    }
+                    None => {
+                        st = shared.work_ready.wait(st).expect("service queue poisoned");
+                    }
+                }
+            }
+        };
+        let Some((key, reqs)) = batch else { return };
+        run_one_batch(shared, key, reqs);
+    }
+}
+
+/// Executes one coalesced batch and answers its requests.
+fn run_one_batch(shared: &Shared, key: ModelKey, mut reqs: Vec<Pending>) {
+    let entry = shared.registry.get(key);
+    let vectors: Vec<Vec<i64>> = reqs.iter_mut().map(|r| std::mem::take(&mut r.x_q)).collect();
+    let int_preds: Vec<usize> = match shared.cfg.mode {
+        ServeMode::Gate => Vec::new(),
+        ServeMode::Int | ServeMode::Verify => {
+            vectors.iter().map(|x_q| entry.predict_int(x_q)).collect()
+        }
+    };
+    let (preds, gate_cycles, mismatches) = match shared.cfg.mode {
+        ServeMode::Int => (int_preds, 0, 0),
+        ServeMode::Gate | ServeMode::Verify => {
+            let mut sim = entry.simulator();
+            let result = sim.run_batch(&vectors, entry.cycles_per_vector, "class");
+            let gate: Vec<usize> = result.outputs.iter().map(|&v| v as usize).collect();
+            let mismatches = if shared.cfg.mode == ServeMode::Verify {
+                gate.iter().zip(&int_preds).filter(|(g, i)| g != i).count()
+            } else {
+                0
+            };
+            (gate, result.cycles, mismatches)
+        }
+    };
+    shared.metrics.on_batch(reqs.len(), gate_cycles, mismatches);
+    let now = Instant::now();
+    for (req, pred) in reqs.into_iter().zip(preds) {
+        shared.metrics.on_served(now.saturating_duration_since(req.enqueued));
+        // A dropped ticket (caller gave up) is fine; ignore send errors.
+        let _ = req.tx.send(Ok(pred));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_core::pipeline::RunOptions;
+    use pe_core::styles::DesignStyle;
+    use pe_data::UciProfile;
+
+    fn cardio_seq() -> ModelKey {
+        ModelKey::new(UciProfile::Cardio, DesignStyle::SequentialSvm)
+    }
+
+    fn test_registry() -> Arc<ModelRegistry> {
+        Arc::new(ModelRegistry::new(RunOptions::default()))
+    }
+
+    fn samples(registry: &ModelRegistry, key: ModelKey, n: usize) -> Vec<Vec<f64>> {
+        registry.get(key).sample_requests(n)
+    }
+
+    #[test]
+    fn classify_matches_golden_model_in_every_mode() {
+        let registry = test_registry();
+        let key = cardio_seq();
+        let entry = registry.get(key);
+        let xs = samples(&registry, key, 5);
+        for mode in [ServeMode::Gate, ServeMode::Int, ServeMode::Verify] {
+            let svc = Service::start(
+                Arc::clone(&registry),
+                ServiceConfig { mode, ..ServiceConfig::default() },
+            );
+            for x in &xs {
+                let want = entry.predict_int(&entry.quantize_input(x));
+                assert_eq!(svc.classify(key, x), Ok(want), "mode {mode:?}");
+            }
+            let m = svc.metrics();
+            assert_eq!(m.verify_mismatches, 0);
+            assert_eq!(m.served, 5);
+            svc.shutdown();
+            assert!(svc.is_stopped());
+        }
+    }
+
+    #[test]
+    fn ragged_batch_flushes_at_the_deadline() {
+        let registry = test_registry();
+        let key = cardio_seq();
+        let xs = samples(&registry, key, 3);
+        let svc = Service::start(
+            Arc::clone(&registry),
+            ServiceConfig {
+                mode: ServeMode::Verify,
+                batch_deadline: Duration::from_millis(5),
+                ..ServiceConfig::default()
+            },
+        );
+        let t0 = Instant::now();
+        let results = svc.classify_batch(key, &xs);
+        assert!(results.iter().all(Result::is_ok));
+        // 3 requests never fill a 64-lane batch: only the deadline flushes
+        // them. Generous upper bound to stay robust on loaded CI machines.
+        assert!(t0.elapsed() >= Duration::from_millis(4), "flushed before the deadline");
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        let m = svc.metrics();
+        assert_eq!(m.served, 3);
+        assert_eq!(m.batches, 1, "3 requests must coalesce into one ragged batch");
+    }
+
+    #[test]
+    fn wrong_arity_is_rejected_at_submit() {
+        let registry = test_registry();
+        let svc = Service::start(Arc::clone(&registry), ServiceConfig::default());
+        let err = svc.classify(cardio_seq(), &[0.5, 0.5]).unwrap_err();
+        assert!(matches!(err, ServeError::WrongArity { expected: 21, got: 2 }), "{err:?}");
+    }
+
+    #[test]
+    fn try_submit_rejects_when_full_and_submit_after_shutdown_errors() {
+        let registry = test_registry();
+        let key = cardio_seq();
+        let xs = samples(&registry, key, 4);
+        // One worker, capacity 2, a deadline long enough that nothing
+        // flushes while we overfill.
+        let svc = Service::start(
+            Arc::clone(&registry),
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 2,
+                batch_deadline: Duration::from_secs(5),
+                ..ServiceConfig::default()
+            },
+        );
+        let t1 = svc.try_submit(key, &xs[0]).expect("first fits");
+        let t2 = svc.try_submit(key, &xs[1]).expect("second fits");
+        let err = svc.try_submit(key, &xs[2]).unwrap_err();
+        assert_eq!(err, ServeError::Busy);
+        assert_eq!(svc.metrics().rejected, 1);
+        // Shutdown drains the two queued requests and answers them.
+        svc.shutdown();
+        assert!(t1.wait().is_ok());
+        assert!(t2.wait().is_ok());
+        assert_eq!(svc.classify(key, &xs[3]), Err(ServeError::ShuttingDown));
+    }
+
+    #[test]
+    fn full_batches_coalesce_to_64_lanes() {
+        let registry = test_registry();
+        let key = cardio_seq();
+        let xs = samples(&registry, key, 128);
+        let svc = Service::start(
+            Arc::clone(&registry),
+            ServiceConfig {
+                mode: ServeMode::Verify,
+                workers: 2,
+                batch_deadline: Duration::from_millis(50),
+                ..ServiceConfig::default()
+            },
+        );
+        let results = svc.classify_batch(key, &xs);
+        assert!(results.iter().all(Result::is_ok));
+        let m = svc.metrics();
+        assert_eq!(m.served, 128);
+        assert_eq!(m.verify_mismatches, 0);
+        assert!(m.batches <= 4, "128 requests should land in few batches, got {}", m.batches);
+        assert!(m.batch_fill > 0.5, "fill {}", m.batch_fill);
+    }
+}

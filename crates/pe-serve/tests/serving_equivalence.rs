@@ -1,0 +1,63 @@
+//! The serving-path equivalence suite: for **every** cell of the paper's
+//! Table-I grid, the integer fast path (`predict_int`) and the gate-level
+//! simulated path must agree bit for bit through the service — including
+//! ragged batch sizes around the 64-lane word boundary (1/63/64/65), which
+//! exercise the bit-sliced engine's lane masking and chunk streaming.
+//!
+//! This is the serving twin of `pe-sim`'s differential suite: that one pins
+//! the fast simulator to the scalar oracle; this one pins the whole
+//! coalescing service (quantize → batch → simulate → reply) to the integer
+//! golden model.
+
+use pe_core::engine::NullSink;
+use pe_core::pipeline::RunOptions;
+use pe_serve::{ModelKey, ModelRegistry, ServeMode, Service, ServiceConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Batch sizes around the word boundary: a singleton, one short of a full
+/// word, exactly one word, and one into the second chunk.
+const RAGGED_SIZES: [usize; 4] = [1, 63, 64, 65];
+
+#[test]
+fn predict_int_matches_gate_level_across_the_table1_grid() {
+    let registry = Arc::new(ModelRegistry::new(RunOptions::default()));
+    let keys = ModelKey::table1_grid();
+    assert_eq!(keys.len(), 20, "5 datasets x 4 styles");
+    // Train every cell up front, in parallel (the suite's dominant cost).
+    registry.warm(&keys, pe_core::engine::default_threads(keys.len()), &mut NullSink);
+    assert_eq!(registry.trainings(), 20);
+
+    let service = Service::start(
+        Arc::clone(&registry),
+        ServiceConfig {
+            mode: ServeMode::Verify,
+            batch_deadline: Duration::from_millis(1),
+            ..ServiceConfig::default()
+        },
+    );
+    let mut served = 0u64;
+    for &key in &keys {
+        let entry = registry.get(key);
+        for size in RAGGED_SIZES {
+            let xs = entry.sample_requests(size);
+            let replies = service.classify_batch(key, &xs);
+            for (i, (reply, x)) in replies.iter().zip(&xs).enumerate() {
+                let want = entry.predict_int(&entry.quantize_input(x));
+                assert_eq!(
+                    *reply,
+                    Ok(want),
+                    "{} batch size {size} sample {i}: gate-level reply diverged",
+                    key.token()
+                );
+            }
+            served += size as u64;
+        }
+    }
+    let m = service.metrics();
+    assert_eq!(m.verify_mismatches, 0, "per-batch verify must never fire");
+    assert_eq!(m.served, served);
+    assert!(m.batches >= 20 * RAGGED_SIZES.len() as u64, "batches {}", m.batches);
+    service.shutdown();
+    assert!(service.is_stopped());
+}

@@ -55,4 +55,4 @@ pub mod vcd;
 pub use activity::{ActivityReport, ToggleCounters};
 pub use bitslice::BitSlicedSimulator;
 pub use faults::{FaultReport, FaultSite, FaultySimulator};
-pub use sim::{BatchMode, BatchResult, Simulator};
+pub use sim::{BatchMode, BatchResult, Schedule, Simulator};

@@ -21,12 +21,71 @@ pub enum BatchMode {
     BitSliced,
 }
 
+/// The reusable scheduling of a netlist: the topological order of its
+/// combinational cells plus its sequential cells, computed once by
+/// [`Schedule::new`] and shared by every simulator built over the same
+/// netlist.
+///
+/// Levelization is the only super-linear part of simulator construction, so
+/// long-lived owners of a netlist (the serving-path model registry, fault
+/// campaigns spawning per-worker simulators) compute a `Schedule` once and
+/// stamp out simulators with [`Simulator::with_schedule`] — a pure
+/// allocation, no graph traversal.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Topological order of combinational cells.
+    order: Vec<CellId>,
+    /// All sequential cells.
+    regs: Vec<CellId>,
+    /// Connectivity fingerprint of the netlist this schedule was computed
+    /// for (guards against pairing a schedule with the wrong netlist).
+    fingerprint: u64,
+}
+
+/// Hashes a netlist's cell connectivity (every cell's output and input
+/// nets, in id order) — cheap, and two structurally different netlists
+/// virtually never collide.
+fn connectivity_fingerprint(nl: &Netlist) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    nl.num_nets().hash(&mut h);
+    for (id, cell) in nl.cells() {
+        id.hash(&mut h);
+        cell.output().hash(&mut h);
+        cell.inputs().hash(&mut h);
+    }
+    h.finish()
+}
+
+impl Schedule {
+    /// Levelizes a netlist: topological order of the combinational core plus
+    /// the sequential cell list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the design's
+    /// combinational core is cyclic.
+    pub fn new(nl: &Netlist) -> Result<Self, NetlistError> {
+        let order = pe_netlist::graph::topo_order(nl)?;
+        let regs: Vec<CellId> =
+            nl.cells().filter(|(_, c)| c.kind().is_sequential()).map(|(id, _)| id).collect();
+        Ok(Schedule { order, regs, fingerprint: connectivity_fingerprint(nl) })
+    }
+
+    /// Whether this schedule was computed for a netlist with this exact
+    /// cell connectivity.
+    #[must_use]
+    pub fn matches(&self, nl: &Netlist) -> bool {
+        self.fingerprint == connectivity_fingerprint(nl)
+    }
+}
+
 /// A cycle-based simulator over a borrowed [`Netlist`].
 ///
 /// Construction performs the topological scheduling once; every subsequent
 /// evaluation is a linear sweep. See the [crate documentation](crate) for the
 /// timing model.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Simulator<'nl> {
     nl: &'nl Netlist,
     /// Settled value of every net.
@@ -64,9 +123,28 @@ impl<'nl> Simulator<'nl> {
     /// Returns [`NetlistError::CombinationalCycle`] if the design's
     /// combinational core is cyclic.
     pub fn new(nl: &'nl Netlist) -> Result<Self, NetlistError> {
-        let order = pe_netlist::graph::topo_order(nl)?;
-        let regs: Vec<CellId> =
-            nl.cells().filter(|(_, c)| c.kind().is_sequential()).map(|(id, _)| id).collect();
+        Ok(Self::with_schedule(nl, &Schedule::new(nl)?))
+    }
+
+    /// Builds a simulator from an already-computed [`Schedule`], skipping
+    /// levelization. This is the cheap path for serving workers and
+    /// campaigns that stamp out many simulators over one long-lived netlist;
+    /// behavior is identical to [`Simulator::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schedule` was computed for a different netlist shape.
+    #[must_use]
+    pub fn with_schedule(nl: &'nl Netlist, schedule: &Schedule) -> Self {
+        assert!(
+            schedule.matches(nl),
+            "schedule was computed for a different netlist than {:?} ({} nets / {} cells)",
+            nl.name(),
+            nl.num_nets(),
+            nl.num_cells()
+        );
+        let order = schedule.order.clone();
+        let regs = schedule.regs.clone();
         let mut input_ports = HashMap::new();
         let mut output_ports = HashMap::new();
         for p in nl.ports() {
@@ -96,7 +174,17 @@ impl<'nl> Simulator<'nl> {
             batch_mode: BatchMode::default(),
         };
         sim.reset();
-        Ok(sim)
+        sim
+    }
+
+    /// A deep copy of this simulator — schedule, settled net values,
+    /// register state, forced nets, batch-mode selection and toggle counts
+    /// included — without re-levelizing the netlist. Service workers use
+    /// this to fan one scheduled simulator out across threads; the copies
+    /// share nothing and diverge independently.
+    #[must_use]
+    pub fn clone_scheduled(&self) -> Simulator<'nl> {
+        self.clone()
     }
 
     /// The netlist under simulation.
@@ -712,6 +800,58 @@ mod tests {
         assert_eq!(r, want);
         assert_eq!(sim.register_state(), reference.register_state());
         assert_eq!(sim.register_state(), vec![false], "last vector leaves q = 0");
+    }
+
+    #[test]
+    fn with_schedule_matches_fresh_construction() {
+        // Ports follow the x{j} batch convention so run_batch can drive them.
+        let mut b = Builder::new("fa");
+        let a = b.input("x0");
+        let x = b.input("x1");
+        let cin = b.input("x2");
+        let s1 = b.xor2(a, x);
+        let sum = b.xor2(s1, cin);
+        b.output("sum", sum);
+        let nl = b.finish();
+        let vectors: Vec<Vec<i64>> =
+            (0..8).map(|v| vec![v & 1, (v >> 1) & 1, (v >> 2) & 1]).collect();
+        let schedule = Schedule::new(&nl).unwrap();
+        let mut fresh = Simulator::new(&nl).unwrap();
+        let mut reused = Simulator::with_schedule(&nl, &schedule);
+        let want = fresh.run_batch(&vectors, 0, "sum");
+        let got = reused.run_batch(&vectors, 0, "sum");
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn clone_scheduled_copies_state_and_diverges_independently() {
+        let mut b = Builder::new("r");
+        let d = b.input("d");
+        let q = b.dff(d, false);
+        b.output("q", q);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("d", 1);
+        sim.tick();
+        let mut copy = sim.clone_scheduled();
+        assert_eq!(copy.output_unsigned("q"), 1, "clone carries register state");
+        copy.set_input("d", 0);
+        copy.tick();
+        assert_eq!(copy.output_unsigned("q"), 0);
+        assert_eq!(sim.output_unsigned("q"), 1, "original is untouched by the clone");
+    }
+
+    #[test]
+    #[should_panic(expected = "different netlist")]
+    fn mismatched_schedule_panics() {
+        let nl = full_adder();
+        let mut b = Builder::new("r");
+        let d = b.input("d");
+        let q = b.dff(d, false);
+        b.output("q", q);
+        let other = b.finish();
+        let schedule = Schedule::new(&other).unwrap();
+        let _ = Simulator::with_schedule(&nl, &schedule);
     }
 
     #[test]

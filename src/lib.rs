@@ -21,6 +21,7 @@
 //! | EDA flow | [`synth`] | datapath generators, STA, area, power |
 //! | simulation | [`sim`] | cycle-based gate-level simulator, activity |
 //! | the paper | [`core`] | sequential SVM + baselines + pipeline + claims |
+//! | serving | [`serve`] | batch-coalescing classification service + TCP front end |
 //!
 //! # Quickstart
 //!
@@ -57,13 +58,14 @@ pub use pe_data as data;
 pub use pe_fixed as fixed;
 pub use pe_ml as ml;
 pub use pe_netlist as netlist;
+pub use pe_serve as serve;
 pub use pe_sim as sim;
 pub use pe_synth as synth;
 
 /// The most common imports, for examples and quick scripts.
 pub mod prelude {
     pub use pe_cells::{Battery, EgfetLibrary, TechParams};
-    pub use pe_core::engine::{ExperimentEngine, Job, ReportSink};
+    pub use pe_core::engine::{ExperimentEngine, Job, ProgressSink, ReportSink};
     pub use pe_core::pipeline::{
         build_netlist, cycles_per_inference, prepare_model, run_experiment, run_prepared, Prepared,
         PreparedModel, RunOptions,
@@ -75,5 +77,6 @@ pub mod prelude {
     pub use pe_ml::multiclass::{MulticlassScheme, SvmModel};
     pub use pe_ml::{QuantizedMlp, QuantizedSvm};
     pub use pe_netlist::{Builder, Netlist, Word};
-    pub use pe_sim::Simulator;
+    pub use pe_serve::{ModelKey, ModelRegistry, ServeMode, Service, ServiceConfig};
+    pub use pe_sim::{Schedule, Simulator};
 }
