@@ -1,75 +1,235 @@
-//! Yield/robustness study: single-stuck-at fault campaign on a parallel
-//! classifier datapath. Printed fabrication defects are frequent; this
+//! Yield/robustness study: single-stuck-at fault campaigns on the Table-I
+//! classifier circuits. Printed fabrication defects are frequent; this
 //! measures how many faults actually flip classifications on a real
-//! workload (faults masked by quantization/argmax margins are benign).
+//! workload (faults masked by quantization/argmax margins are benign) — on
+//! both a fully-parallel baseline datapath **and** the paper's headline
+//! sequential SVM, whose clocked campaign judges faults per classification
+//! under the per-classification reset protocol.
 //!
-//! The model comes from the shared [`ExperimentEngine`] cache and the
-//! campaign fans out over the engine's thread helper, one shard per worker.
-//! Within a shard, one bit-sliced simulator is scheduled once and reused for
-//! every fault site via force/release, driving 64 workload patterns per
-//! machine word — so the campaign parallelizes across threads *and* lanes.
+//! Campaigns run PPSFP-style (`pe_sim::faults`): 64 fault sites per machine
+//! word, one faulty machine per bit-sliced lane, every workload pattern
+//! driven broadcast — and the site list is additionally sharded across
+//! `parallel_map` workers in word-aligned chunks, so the campaign
+//! parallelizes across threads *and* lanes. Each worker schedules one
+//! simulator and reuses it for its whole shard via per-lane force/release.
 //!
-//! Usage: `cargo run --release -p pe-bench --bin faults [max_faults]`
+//! Usage: `cargo run --release -p pe-bench --bin faults [max_sites] [--compare]`
+//!
+//! `--compare` re-runs the same sites through the two reference paths — the
+//! previous pattern-parallel site-serial campaign, and (on a subsample) the
+//! rebuild-per-site serial oracle — asserts the reports agree, and prints
+//! the measured speedups.
 
-use pe_core::engine::{self, ExperimentEngine};
-use pe_core::pipeline::{build_netlist, PreparedModel, RunOptions};
+use pe_core::engine::{self, ExperimentEngine, Job};
+use pe_core::pipeline::{build_netlist, cycles_per_inference, fault_workload, RunOptions};
 use pe_core::styles::DesignStyle;
 use pe_data::UciProfile;
-use pe_sim::faults::{enumerate_fault_sites, fault_campaign_comb, FaultReport, FaultSite};
+use pe_netlist::Netlist;
+use pe_sim::faults::{
+    enumerate_fault_sites, fault_campaign_comb, fault_campaign_seq, oracle, pattern_parallel,
+    FaultReport, FaultSite,
+};
+use std::time::Instant;
 
-fn main() {
-    let max_faults: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(400);
-    let engine = ExperimentEngine::single(
-        UciProfile::Cardio,
-        DesignStyle::ParallelSvm,
-        RunOptions::default(),
-    );
-    let prepared = engine.prepared(UciProfile::Cardio, DesignStyle::ParallelSvm);
-    let nl = build_netlist(DesignStyle::ParallelSvm, &prepared);
-    let PreparedModel::Svm(q) = &prepared.model else { unreachable!() };
+/// Workload size: real test samples driven per fault site.
+const WORKLOAD: usize = 40;
 
-    // Workload: 40 real test samples.
-    let workload: Vec<Vec<(String, i64)>> = prepared
-        .test
-        .features()
-        .iter()
-        .take(40)
-        .map(|x| {
-            q.quantize_input(x).iter().enumerate().map(|(i, &v)| (format!("x{i}"), v)).collect()
-        })
-        .collect();
+/// Site cap for the rebuild-per-site oracle timing (it is slow by design).
+const ORACLE_CAP: usize = 192;
+
+/// One campaign flavor: combinational (settle per pattern) or sequential
+/// (reset + `cycles` ticks per pattern).
+#[derive(Clone, Copy)]
+enum Flavor {
+    Comb,
+    Seq { cycles: u64 },
+}
+
+/// Splits the site list into per-worker shards whose sizes are multiples of
+/// 64 (except the last), so no worker simulates half-empty PPSFP words.
+fn word_aligned_shards(sites: &[FaultSite], threads: usize) -> Vec<Vec<FaultSite>> {
+    let per_worker = sites.len().div_ceil(threads.max(1)).next_multiple_of(64);
+    sites.chunks(per_worker.max(64)).map(<[_]>::to_vec).collect()
+}
+
+fn merge(partials: Vec<FaultReport>) -> FaultReport {
+    partials.into_iter().fold(FaultReport { critical: 0, benign: 0, total: 0 }, |acc, r| {
+        FaultReport {
+            critical: acc.critical + r.critical,
+            benign: acc.benign + r.benign,
+            total: acc.total + r.total,
+        }
+    })
+}
+
+/// One campaign implementation driven by [`run_sharded`]: the PPSFP
+/// default, the pattern-parallel dual, or the rebuild-per-site oracle.
+type CampaignPath = fn(&Netlist, &[FaultSite], &[Vec<(String, i64)>], &str, Flavor) -> FaultReport;
+
+/// Runs one campaign over site shards on the worker pool and returns the
+/// merged report with its wall-clock seconds.
+fn run_sharded(
+    nl: &Netlist,
+    shards: &[Vec<FaultSite>],
+    workload: &[Vec<(String, i64)>],
+    flavor: Flavor,
+    threads: usize,
+    path: CampaignPath,
+) -> (FaultReport, f64) {
+    let t0 = Instant::now();
+    let partials =
+        engine::parallel_map(shards, threads, |shard| path(nl, shard, workload, "class", flavor));
+    (merge(partials), t0.elapsed().as_secs_f64())
+}
+
+fn ppsfp_path(
+    nl: &Netlist,
+    sites: &[FaultSite],
+    workload: &[Vec<(String, i64)>],
+    out: &str,
+    flavor: Flavor,
+) -> FaultReport {
+    match flavor {
+        Flavor::Comb => fault_campaign_comb(nl, sites, workload, out).expect("acyclic"),
+        Flavor::Seq { cycles } => {
+            fault_campaign_seq(nl, sites, workload, out, cycles).expect("acyclic")
+        }
+    }
+}
+
+fn patpar_path(
+    nl: &Netlist,
+    sites: &[FaultSite],
+    workload: &[Vec<(String, i64)>],
+    out: &str,
+    flavor: Flavor,
+) -> FaultReport {
+    match flavor {
+        Flavor::Comb => {
+            pattern_parallel::fault_campaign_comb(nl, sites, workload, out).expect("acyclic")
+        }
+        Flavor::Seq { cycles } => {
+            pattern_parallel::fault_campaign_seq(nl, sites, workload, out, cycles).expect("acyclic")
+        }
+    }
+}
+
+fn oracle_path(
+    nl: &Netlist,
+    sites: &[FaultSite],
+    workload: &[Vec<(String, i64)>],
+    out: &str,
+    flavor: Flavor,
+) -> FaultReport {
+    match flavor {
+        Flavor::Comb => oracle::fault_campaign_comb(nl, sites, workload, out).expect("acyclic"),
+        Flavor::Seq { cycles } => {
+            oracle::fault_campaign_seq(nl, sites, workload, out, cycles).expect("acyclic")
+        }
+    }
+}
+
+fn campaign(
+    engine: &ExperimentEngine,
+    profile: UciProfile,
+    style: DesignStyle,
+    max_sites: usize,
+    compare: bool,
+    threads: usize,
+) {
+    let prepared = engine.prepared(profile, style);
+    let nl = build_netlist(style, &prepared);
+    let flavor = match style {
+        DesignStyle::SequentialSvm => {
+            Flavor::Seq { cycles: cycles_per_inference(style, &prepared) }
+        }
+        _ => Flavor::Comb,
+    };
+    let workload = fault_workload(&prepared, WORKLOAD);
     let mut sites = enumerate_fault_sites(&nl);
-    let step = (sites.len() / max_faults).max(1);
+    let all = sites.len();
+    let step = pe_bench::sample_step(all, max_sites);
     sites = sites.into_iter().step_by(step).collect();
-    let threads = pe_bench::grid_threads();
+    let shards = word_aligned_shards(&sites, threads);
     eprintln!(
-        "fault campaign: {} sites (of {} cells), {} workload vectors, {} threads...",
+        "[{} {}] {} sites (of {} candidates), {} workload vectors, {} threads, {} shards...",
+        profile.name(),
+        style.label(),
         sites.len(),
-        nl.num_cells(),
+        all,
         workload.len(),
-        threads
+        threads,
+        shards.len()
     );
-    // Shard the site list across workers; each shard is an independent
-    // campaign (one reused force/release simulator) and the totals merge by
-    // addition.
-    let shards: Vec<Vec<FaultSite>> =
-        sites.chunks(sites.len().div_ceil(threads).max(1)).map(<[_]>::to_vec).collect();
-    let partials = engine::parallel_map(&shards, threads, |shard| {
-        fault_campaign_comb(&nl, shard, &workload, "class").expect("acyclic")
-    });
-    let report =
-        partials.into_iter().fold(FaultReport { critical: 0, benign: 0, total: 0 }, |acc, r| {
-            FaultReport {
-                critical: acc.critical + r.critical,
-                benign: acc.benign + r.benign,
-                total: acc.total + r.total,
-            }
-        });
-    println!("# Single-stuck-at fault campaign (Cardio, parallel SVM [2])\n");
-    println!("faults simulated : {}", report.total);
+    let (report, secs) = run_sharded(&nl, &shards, &workload, flavor, threads, ppsfp_path);
+
+    let kind = match flavor {
+        Flavor::Comb => "combinational".to_owned(),
+        Flavor::Seq { cycles } => format!("sequential, {cycles} cycles/classification"),
+    };
+    println!(
+        "# Single-stuck-at fault campaign ({}, {}; {})\n",
+        profile.name(),
+        style.label(),
+        kind
+    );
+    println!("faults simulated : {} ({:.2} s PPSFP)", report.total, secs);
     println!("critical         : {} ({:.1} %)", report.critical, 100.0 * report.criticality());
     println!("benign (masked)  : {}", report.benign);
-    println!("\nReading: a substantial fraction of printed defects never flips a");
+
+    if compare {
+        let (pp, pp_secs) = run_sharded(&nl, &shards, &workload, flavor, threads, patpar_path);
+        assert_eq!(pp, report, "pattern-parallel report must match PPSFP");
+        let oracle_sites: Vec<FaultSite> =
+            sites.iter().copied().step_by(pe_bench::sample_step(sites.len(), ORACLE_CAP)).collect();
+        let oracle_shards = word_aligned_shards(&oracle_sites, threads);
+        let (ora, ora_secs) =
+            run_sharded(&nl, &oracle_shards, &workload, flavor, threads, oracle_path);
+        let (ppsfp_sub, ppsfp_sub_secs) =
+            run_sharded(&nl, &oracle_shards, &workload, flavor, threads, ppsfp_path);
+        assert_eq!(ora, ppsfp_sub, "oracle report must match PPSFP on the subsample");
+        let per_site = |s: f64, n: usize| 1e6 * s / n.max(1) as f64;
+        println!("\nper-site cost    : {:.1} µs PPSFP | {:.1} µs pattern-parallel | {:.1} µs rebuild oracle",
+            per_site(secs, report.total),
+            per_site(pp_secs, pp.total),
+            per_site(ora_secs, ora.total));
+        println!(
+            "speedup          : {:.1}x vs pattern-parallel, {:.0}x vs serial-site rebuild oracle",
+            pp_secs / secs.max(1e-9),
+            per_site(ora_secs, ora.total) / per_site(ppsfp_sub_secs, ppsfp_sub.total).max(1e-9)
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let mut max_sites: usize = 0; // 0 = the full site list
+    let mut compare = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--compare" {
+            compare = true;
+        } else if let Ok(n) = arg.parse() {
+            max_sites = n;
+        } else {
+            eprintln!("usage: faults [max_sites] [--compare]");
+            std::process::exit(2);
+        }
+    }
+    let profile = UciProfile::Cardio;
+    let engine = ExperimentEngine::new(
+        vec![
+            Job::new(profile, DesignStyle::ParallelSvm),
+            Job::new(profile, DesignStyle::SequentialSvm),
+        ],
+        RunOptions::default(),
+    );
+    let threads = pe_bench::grid_threads();
+    // The fully-parallel baseline (combinational campaign) and the paper's
+    // sequential SVM (clocked campaign) — the headline design's robustness
+    // was previously never measured here.
+    campaign(&engine, profile, DesignStyle::ParallelSvm, max_sites, compare, threads);
+    campaign(&engine, profile, DesignStyle::SequentialSvm, max_sites, compare, threads);
+    println!("Reading: a substantial fraction of printed defects never flips a");
     println!("prediction — classification margins absorb them — which is why bespoke");
     println!("printed classifiers tolerate printing yields that would kill a CPU.");
 }

@@ -44,3 +44,42 @@ pub fn grid_threads() -> usize {
         .filter(|&n| n >= 1)
         .unwrap_or_else(|| pe_core::engine::default_threads(usize::MAX))
 }
+
+/// The stride that subsamples at most `cap` evenly spaced items out of
+/// `total` via `step_by`: `ceil(total / cap)`.
+///
+/// Flooring the division here was a real bug: `(total / cap).max(1)` keeps
+/// up to `2 * cap - 1` items (1000 sites at cap 400 → step 2 → 500 kept);
+/// the ceiling guarantees `ceil(total / step) <= cap`. A `cap` of zero
+/// degrades to keeping everything (step 1) rather than dividing by zero.
+#[must_use]
+pub fn sample_step(total: usize, cap: usize) -> usize {
+    if cap == 0 {
+        1
+    } else {
+        total.div_ceil(cap).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sample_step;
+
+    #[test]
+    fn sample_step_respects_the_cap() {
+        // The motivating case: flooring kept 500 of 1000 at cap 400.
+        assert_eq!(sample_step(1000, 400), 3);
+        for (total, cap) in [(1000, 400), (1, 1), (7, 3), (64, 64), (65, 64), (10_000, 1)] {
+            let step = sample_step(total, cap);
+            let kept = (0..total).step_by(step).count();
+            assert!(kept <= cap, "{total} sites at cap {cap}: step {step} keeps {kept}");
+        }
+    }
+
+    #[test]
+    fn sample_step_keeps_everything_when_uncapped() {
+        assert_eq!(sample_step(123, 0), 1);
+        assert_eq!(sample_step(123, 1000), 1);
+        assert_eq!(sample_step(0, 10), 1);
+    }
+}

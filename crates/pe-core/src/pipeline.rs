@@ -241,6 +241,27 @@ pub fn build_netlist(style: DesignStyle, prepared: &Prepared) -> Netlist {
     }
 }
 
+/// Builds a port-named fault-campaign workload from the first `n` test
+/// samples of a prepared model: each entry quantizes one sample onto the
+/// model's input grid and names the `x{i}` input ports the generated
+/// datapaths use — the format `pe_sim::faults` campaigns drive.
+#[must_use]
+pub fn fault_workload(prepared: &Prepared, n: usize) -> Vec<Vec<(String, i64)>> {
+    prepared
+        .test
+        .features()
+        .iter()
+        .take(n)
+        .map(|x| {
+            let xq = match &prepared.model {
+                PreparedModel::Svm(q) => q.quantize_input(x),
+                PreparedModel::Mlp(q) => q.quantize_input(x),
+            };
+            xq.iter().enumerate().map(|(i, &v)| (format!("x{i}"), v)).collect()
+        })
+        .collect()
+}
+
 /// Cycles one classification occupies: `n` for the sequential design (one
 /// support vector per cycle), 1 for every parallel design.
 #[must_use]

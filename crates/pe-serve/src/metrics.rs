@@ -15,6 +15,24 @@ use std::time::{Duration, Instant};
 /// Number of log-scale latency buckets (covers 1 ns .. ~2^63 ns).
 const BUCKETS: usize = 64;
 
+/// The bucket covering a duration: `floor(log2(ns))`, with sub-nanosecond
+/// samples landing in bucket 0 and everything from 2^63 ns up saturating
+/// into the last bucket. [`bucket_value`] is the inverse mapping; keeping
+/// them adjacent is what guarantees `record` and `quantile` agree on every
+/// bucket, the top one included.
+fn bucket_index(d: Duration) -> usize {
+    let ns = (d.as_nanos() as u64).max(1);
+    (ns.ilog2() as usize).min(BUCKETS - 1)
+}
+
+/// The representative duration of bucket `i`: the arithmetic midpoint
+/// `1.5 * 2^i` of the covered range `[2^i, 2^(i+1))`. For the top bucket
+/// (`i = 63`) the midpoint still fits a `u64` nanosecond count.
+fn bucket_value(i: usize) -> Duration {
+    let lo = 1u64 << i;
+    Duration::from_nanos(lo + lo / 2)
+}
+
 /// A lock-free histogram over power-of-two nanosecond buckets.
 #[derive(Debug)]
 struct LatencyHistogram {
@@ -27,13 +45,11 @@ impl LatencyHistogram {
     }
 
     fn record(&self, d: Duration) {
-        let ns = (d.as_nanos() as u64).max(1);
-        let idx = (ns.ilog2() as usize).min(BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.buckets[bucket_index(d)].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// The `q`-quantile as the geometric midpoint of the covering bucket
-    /// (zero when nothing was recorded).
+    /// The `q`-quantile as the arithmetic midpoint of the covering bucket
+    /// ([`bucket_value`]; zero when nothing was recorded).
     fn quantile(&self, q: f64) -> Duration {
         let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
         let total: u64 = counts.iter().sum();
@@ -45,8 +61,7 @@ impl LatencyHistogram {
         for (i, &c) in counts.iter().enumerate() {
             seen += c;
             if c > 0 && seen > rank {
-                let lo = 1u64 << i.min(62);
-                return Duration::from_nanos(lo + lo / 2);
+                return bucket_value(i);
             }
         }
         Duration::ZERO
@@ -237,6 +252,32 @@ mod tests {
         let p99 = h.quantile(0.99);
         assert!(p99 >= Duration::from_millis(8) && p99 <= Duration::from_millis(25), "{p99:?}");
         assert_eq!(LatencyHistogram::new().quantile(0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn top_bucket_samples_are_not_misreported() {
+        // The satellite bug: record() saturated into bucket 63 but
+        // quantile() capped the exponent at 62, so a top-bucket sample
+        // reported a quarter of its actual magnitude.
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(u64::MAX)); // bucket 63
+        let q = h.quantile(0.5);
+        assert_eq!(q, bucket_value(63));
+        assert!(q >= Duration::from_nanos(1u64 << 63), "{q:?} must be in the top bucket");
+    }
+
+    #[test]
+    fn bucket_mapping_round_trips() {
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_value(i)), i, "bucket {i} must map to itself");
+        }
+        // Edges: sub-ns clamps to bucket 0, the 2^(i+1) boundary belongs to
+        // the next bucket.
+        assert_eq!(bucket_index(Duration::ZERO), 0);
+        assert_eq!(bucket_index(Duration::from_nanos(1)), 0);
+        assert_eq!(bucket_index(Duration::from_nanos(2)), 1);
+        assert_eq!(bucket_index(Duration::from_nanos((1 << 10) - 1)), 9);
+        assert_eq!(bucket_index(Duration::from_nanos(1 << 10)), 10);
     }
 
     #[test]

@@ -48,7 +48,16 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             let profile = parse_profile(toks.next().ok_or("missing profile")?)?;
             let style = parse_style(toks.next().ok_or("missing style")?)?;
             let features: Vec<f64> = toks
-                .map(|t| t.parse::<f64>().map_err(|_| format!("bad feature {t:?}")))
+                .map(|t| {
+                    let f = t.parse::<f64>().map_err(|_| format!("bad feature {t:?}"))?;
+                    // NaN/±inf would flow straight into input quantization;
+                    // reject them at the parse boundary instead.
+                    if f.is_finite() {
+                        Ok(f)
+                    } else {
+                        Err(format!("non-finite feature {t:?}"))
+                    }
+                })
                 .collect::<Result<_, _>>()?;
             if features.is_empty() {
                 return Err("missing features".to_owned());
@@ -108,5 +117,17 @@ mod tests {
         assert!(parse_request("classify cardio seq").unwrap_err().contains("missing features"));
         assert!(parse_request("classify cardio seq 0.5 x").unwrap_err().contains("bad feature"));
         assert!(parse_request("classify mars seq 0.5").unwrap_err().contains("unknown profile"));
+    }
+
+    #[test]
+    fn non_finite_features_are_rejected() {
+        for tok in ["NaN", "nan", "inf", "-inf", "infinity", "-Infinity"] {
+            let line = format!("classify cardio seq 0.5 {tok}");
+            let err = parse_request(&line).unwrap_err();
+            assert!(err.contains("non-finite"), "{tok} must be rejected, got {err:?}");
+        }
+        // Finite edge values still parse.
+        let req = parse_request("classify cardio seq 0 1 1e-300").unwrap();
+        assert!(matches!(req, Request::Classify { ref features, .. } if features.len() == 3));
     }
 }

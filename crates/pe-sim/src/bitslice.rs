@@ -100,8 +100,15 @@ pub struct BitSlicedSimulator<'nl> {
     toggles: ToggleCounters,
     /// Clock cycles accounted so far (summed over active lanes).
     cycles: u64,
-    /// Nets pinned by [`BitSlicedSimulator::force_net`].
-    frozen: Vec<bool>,
+    /// Per-net mask of lanes pinned by [`BitSlicedSimulator::force_lanes`]
+    /// (all-ones for a broadcast [`BitSlicedSimulator::force_net`]).
+    forced_mask: Vec<u64>,
+    /// Per-net pinned values in the lanes selected by `forced_mask`.
+    forced_vals: Vec<u64>,
+    /// Register index (into `regs`/`state`) driving each net, or
+    /// `usize::MAX` for nets not driven by a sequential cell. Lets
+    /// force/release target register state without scanning every register.
+    reg_of_net: Vec<usize>,
 }
 
 impl<'nl> BitSlicedSimulator<'nl> {
@@ -148,7 +155,12 @@ impl<'nl> BitSlicedSimulator<'nl> {
         for (s, &v) in sim.state.iter_mut().zip(state) {
             *s = broadcast(v);
         }
-        sim.frozen.copy_from_slice(frozen);
+        for (i, &f) in frozen.iter().enumerate() {
+            if f {
+                sim.forced_mask[i] = !0;
+                sim.forced_vals[i] = sim.words[i];
+            }
+        }
         if track_activity {
             sim.toggles = ToggleCounters::enabled(nl.num_nets());
         }
@@ -172,6 +184,10 @@ impl<'nl> BitSlicedSimulator<'nl> {
         words[nl.const1().index()] = !0;
         let state = vec![0u64; regs.len()];
         let next_scratch = vec![0u64; regs.len()];
+        let mut reg_of_net = vec![usize::MAX; nl.num_nets()];
+        for (i, &r) in regs.iter().enumerate() {
+            reg_of_net[nl.cell(r).output().index()] = i;
+        }
         BitSlicedSimulator {
             nl,
             order,
@@ -183,7 +199,9 @@ impl<'nl> BitSlicedSimulator<'nl> {
             output_ports,
             toggles: ToggleCounters::disabled(),
             cycles: 0,
-            frozen: vec![false; nl.num_nets()],
+            forced_mask: vec![0; nl.num_nets()],
+            forced_vals: vec![0; nl.num_nets()],
+            reg_of_net,
         }
     }
 
@@ -212,18 +230,48 @@ impl<'nl> BitSlicedSimulator<'nl> {
     /// the force/release mechanism fault campaigns use to reuse one
     /// scheduled simulator across all fault sites.
     pub fn force_net(&mut self, net: pe_netlist::NetId, value: bool) {
-        self.frozen[net.index()] = true;
-        self.words[net.index()] = broadcast(value);
-        for (i, &r) in self.regs.iter().enumerate() {
-            if self.nl.cell(r).output() == net {
-                self.state[i] = broadcast(value);
-            }
+        self.force_lanes(net, broadcast(value), !0);
+    }
+
+    /// Pins a net per lane: in every lane selected by `mask` the net is held
+    /// at the corresponding bit of `values`; unselected lanes keep evaluating
+    /// normally. Pinned lanes are re-merged after every cell evaluation and
+    /// register update, so 64 *different* faulty machines can tick in
+    /// lockstep in one word — the PPSFP mechanism behind
+    /// [`crate::faults::fault_campaign_comb_ppsfp`] and
+    /// [`crate::faults::fault_campaign_seq_ppsfp`]. Repeated calls merge:
+    /// forcing the same net in different lanes (e.g. its stuck-at-0 and
+    /// stuck-at-1 sites packed into one chunk) accumulates.
+    pub fn force_lanes(&mut self, net: pe_netlist::NetId, values: u64, mask: u64) {
+        let i = net.index();
+        self.forced_mask[i] |= mask;
+        self.forced_vals[i] = (self.forced_vals[i] & !mask) | (values & mask);
+        self.words[i] = (self.words[i] & !mask) | (values & mask);
+        let r = self.reg_of_net[i];
+        if r != usize::MAX {
+            self.state[r] = (self.state[r] & !mask) | (values & mask);
         }
     }
 
-    /// Releases a pinned net (its next evaluation recomputes it normally).
+    /// Releases a pinned net in every lane (its next evaluation recomputes
+    /// it normally). A released *register* output is restored to its
+    /// power-on init value — not left at the stale forced value — so a
+    /// post-campaign batch on a sequential design starts from sane state
+    /// (combinational nets need no restore: the next settle recomputes
+    /// them).
     pub fn release_net(&mut self, net: pe_netlist::NetId) {
-        self.frozen[net.index()] = false;
+        let i = net.index();
+        if self.forced_mask[i] == 0 {
+            return;
+        }
+        self.forced_mask[i] = 0;
+        self.forced_vals[i] = 0;
+        let r = self.reg_of_net[i];
+        if r != usize::MAX {
+            let init = broadcast(self.nl.cell(self.regs[r]).init());
+            self.state[r] = init;
+            self.words[i] = init;
+        }
     }
 
     /// Snapshot of the accumulated switching activity.
@@ -269,13 +317,14 @@ impl<'nl> BitSlicedSimulator<'nl> {
         for idx in 0..self.order.len() {
             let cell = self.nl.cell(self.order[idx]);
             let out = cell.output().index();
-            if self.frozen[out] {
-                continue;
-            }
             for (k, &inp) in cell.inputs().iter().enumerate() {
                 ins[k] = self.words[inp.index()];
             }
-            let new = cell.kind().eval_packed(&ins[..cell.inputs().len()]);
+            let mut new = cell.kind().eval_packed(&ins[..cell.inputs().len()]);
+            let fm = self.forced_mask[out];
+            if fm != 0 {
+                new = (new & !fm) | (self.forced_vals[out] & fm);
+            }
             let old = self.words[out];
             if new != old {
                 if track {
@@ -296,13 +345,14 @@ impl<'nl> BitSlicedSimulator<'nl> {
         for idx in 0..self.order.len() {
             let cell = self.nl.cell(self.order[idx]);
             let out = cell.output().index();
-            if self.frozen[out] {
-                continue;
-            }
             for (k, &inp) in cell.inputs().iter().enumerate() {
                 ins[k] = self.words[inp.index()];
             }
-            let new = cell.kind().eval_packed(&ins[..cell.inputs().len()]);
+            let mut new = cell.kind().eval_packed(&ins[..cell.inputs().len()]);
+            let fm = self.forced_mask[out];
+            if fm != 0 {
+                new = (new & !fm) | (self.forced_vals[out] & fm);
+            }
             if track {
                 let carry = self.words[out] & 1;
                 self.toggles.bump_packed(out, (new ^ ((new << 1) | carry)) & mask);
@@ -331,11 +381,12 @@ impl<'nl> BitSlicedSimulator<'nl> {
         }
         for i in 0..self.regs.len() {
             let out = nl.cell(self.regs[i]).output().index();
-            if self.frozen[out] {
-                continue;
-            }
             let old = self.words[out];
-            let next = self.next_scratch[i];
+            let mut next = self.next_scratch[i];
+            let fm = self.forced_mask[out];
+            if fm != 0 {
+                next = (next & !fm) | (self.forced_vals[out] & fm);
+            }
             if old != next {
                 if track {
                     self.toggles.bump_packed(out, (old ^ next) & mask);
@@ -347,15 +398,37 @@ impl<'nl> BitSlicedSimulator<'nl> {
         self.eval_lanes(mask);
     }
 
+    /// Resets every register to its power-on init value in all lanes except
+    /// the ones pinned by [`BitSlicedSimulator::force_lanes`], which keep
+    /// their forced values — the lane-aware per-classification reset shared
+    /// by [`BitSlicedSimulator::run_workload_seq_reset`] and the PPSFP
+    /// campaign driver.
+    fn reset_regs_lanes(&mut self) {
+        for i in 0..self.regs.len() {
+            let cell = self.nl.cell(self.regs[i]);
+            let out = cell.output().index();
+            let fm = self.forced_mask[out];
+            self.state[i] = (broadcast(cell.init()) & !fm) | (self.forced_vals[out] & fm);
+            self.words[out] = self.state[i];
+        }
+    }
+
     /// Collapses every word (and register) to a broadcast of lane `lane`,
     /// establishing the between-chunk invariant that the carried serial
-    /// value occupies all lanes.
+    /// value occupies all lanes. Lanes pinned by
+    /// [`BitSlicedSimulator::force_lanes`] are re-merged afterwards so a
+    /// collapse never un-pins them.
     fn collapse_to_lane(&mut self, lane: usize) {
-        for w in &mut self.words {
-            *w = broadcast((*w >> lane) & 1 == 1);
+        for (i, w) in self.words.iter_mut().enumerate() {
+            let b = broadcast((*w >> lane) & 1 == 1);
+            let fm = self.forced_mask[i];
+            *w = (b & !fm) | (self.forced_vals[i] & fm);
         }
-        for s in &mut self.state {
-            *s = broadcast((*s >> lane) & 1 == 1);
+        for (r, s) in self.state.iter_mut().enumerate() {
+            let out = self.nl.cell(self.regs[r]).output().index();
+            let b = broadcast((*s >> lane) & 1 == 1);
+            let fm = self.forced_mask[out];
+            *s = (b & !fm) | (self.forced_vals[out] & fm);
         }
     }
 
@@ -410,13 +483,13 @@ impl<'nl> BitSlicedSimulator<'nl> {
         v
     }
 
-    /// Packs one chunk of port-named workload entries into the lanes. Every
-    /// entry must drive the same ports in the same order (campaign workloads
-    /// always do); the port lists are resolved once per chunk from the first
-    /// entry, so the per-lane loop is pure bit packing.
-    fn drive_port_lanes(&mut self, chunk: &[Vec<(String, i64)>]) {
-        let first = &chunk[0];
-        let ports: Vec<(usize, Vec<pe_netlist::NetId>, i64, i64)> = first
+    /// Resolves the port list of a workload entry to nets and value ranges,
+    /// done once per chunk/campaign so per-entry driving is pure bit packing.
+    fn resolve_entry_ports(
+        &self,
+        first: &[(String, i64)],
+    ) -> Vec<(usize, Vec<pe_netlist::NetId>, i64, i64)> {
+        first
             .iter()
             .enumerate()
             .map(|(k, (p, _))| {
@@ -429,7 +502,16 @@ impl<'nl> BitSlicedSimulator<'nl> {
                 assert!(w <= 63, "port {p} too wide");
                 (k, nets, -(1i64 << (w - 1)), (1i64 << w) - 1)
             })
-            .collect();
+            .collect()
+    }
+
+    /// Packs one chunk of port-named workload entries into the lanes. Every
+    /// entry must drive the same ports in the same order (campaign workloads
+    /// always do); the port lists are resolved once per chunk from the first
+    /// entry, so the per-lane loop is pure bit packing.
+    fn drive_port_lanes(&mut self, chunk: &[Vec<(String, i64)>]) {
+        let first = &chunk[0];
+        let ports = self.resolve_entry_ports(first);
         for (_, nets, _, _) in &ports {
             for &net in nets {
                 self.words[net.index()] = 0;
@@ -562,16 +644,7 @@ impl<'nl> BitSlicedSimulator<'nl> {
         for chunk in workload.chunks(LANES) {
             let active = chunk.len();
             let mask = lane_mask(active);
-            let nl = self.nl;
-            for i in 0..self.regs.len() {
-                let cell = nl.cell(self.regs[i]);
-                let out_idx = cell.output().index();
-                if self.frozen[out_idx] {
-                    continue;
-                }
-                self.state[i] = broadcast(cell.init());
-                self.words[out_idx] = self.state[i];
-            }
+            self.reset_regs_lanes();
             self.drive_port_lanes(chunk);
             for _ in 0..cycles_per_vector {
                 self.tick_lanes(mask);
@@ -585,6 +658,164 @@ impl<'nl> BitSlicedSimulator<'nl> {
             self.collapse_to_lane(active - 1);
         }
         out
+    }
+
+    // ---- PPSFP drivers (one fault site per lane) -------------------------
+
+    /// Drives one entry's value broadcast into every lane of its ports.
+    fn drive_entry_broadcast(
+        &mut self,
+        ports: &[(usize, Vec<pe_netlist::NetId>, i64, i64)],
+        first: &[(String, i64)],
+        entry: &[(String, i64)],
+    ) {
+        assert_eq!(
+            entry.len(),
+            first.len(),
+            "workload entries must drive the same ports in the same order"
+        );
+        for &(k, ref nets, min, max) in ports {
+            let (p, v) = &entry[k];
+            assert_eq!(
+                p, &first[k].0,
+                "workload entries must drive the same ports in the same order"
+            );
+            assert!(*v >= min && *v <= max, "value {v} does not fit port {p}");
+            for (j, &net) in nets.iter().enumerate() {
+                self.words[net.index()] = broadcast((v >> j) & 1 == 1);
+            }
+        }
+    }
+
+    /// Mask of lanes whose current value of `out_port` differs from
+    /// `golden` (compared over the port's bits, like
+    /// [`BitSlicedSimulator::output_unsigned_lane`] per lane).
+    fn output_diff_lanes(&self, out_bits: &[pe_netlist::NetId], golden: i64) -> u64 {
+        let mut diff = 0u64;
+        for (j, &b) in out_bits.iter().enumerate() {
+            diff |= self.words[b.index()] ^ broadcast((golden >> j) & 1 == 1);
+        }
+        diff
+    }
+
+    /// PPSFP inner loop for **combinational** designs: every workload entry
+    /// is driven *broadcast* across all lanes (each lane is one faulty
+    /// machine, pinned per lane via [`BitSlicedSimulator::force_lanes`]) and
+    /// compared against the fault-free `golden` response. Returns the mask
+    /// of `watch` lanes whose output differed on at least one entry,
+    /// early-exiting once every watched lane has diverged.
+    ///
+    /// Settled values are lane-wise pure functions of the (broadcast) inputs
+    /// and the lane's pinned net, so lane `l`'s responses are exactly those
+    /// of a scalar simulator with only fault `l` injected — which is what
+    /// makes the campaign bit-identical to the rebuild-per-site oracle.
+    ///
+    /// Cycle accounting: each driven entry counts one cycle per watched
+    /// lane (one classification per faulty machine).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown ports, out-of-range values, `golden` shorter than
+    /// the workload, or enabled activity tracking (lanes hold different
+    /// machines; toggle accounting is undefined).
+    pub fn lanes_diverging_comb(
+        &mut self,
+        workload: &[Vec<(String, i64)>],
+        out_port: &str,
+        golden: &[i64],
+        watch: u64,
+    ) -> u64 {
+        self.lanes_diverging(workload, None, out_port, golden, watch)
+    }
+
+    /// PPSFP inner loop for **sequential** designs under the
+    /// per-classification reset protocol: every workload entry resets the
+    /// registers to power-on state (lanes pinned by
+    /// [`BitSlicedSimulator::force_lanes`] keep their forced values), is
+    /// driven broadcast and clocked for `cycles_per_vector` ticks, and the
+    /// output is compared against the fault-free `golden` response — the
+    /// 64-faulty-machines-in-lockstep counterpart of
+    /// [`BitSlicedSimulator::run_workload_seq_reset`]. Returns the mask of
+    /// `watch` lanes that diverged, early-exiting once all of them have.
+    ///
+    /// On return the registers are reset to power-on state again (pinned
+    /// lanes still pinned): the run leaves every lane a different faulty
+    /// machine, and a later batch on this simulator must not observe one
+    /// lane's leftover register state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown ports, out-of-range values, `cycles_per_vector ==
+    /// 0`, a short `golden`, or enabled activity tracking.
+    pub fn lanes_diverging_seq_reset(
+        &mut self,
+        workload: &[Vec<(String, i64)>],
+        cycles_per_vector: u64,
+        out_port: &str,
+        golden: &[i64],
+        watch: u64,
+    ) -> u64 {
+        assert!(cycles_per_vector >= 1, "sequential workloads need at least one cycle");
+        self.lanes_diverging(workload, Some(cycles_per_vector), out_port, golden, watch)
+    }
+
+    /// The shared PPSFP frame: `cycles` selects the per-entry step — `None`
+    /// settles combinationally, `Some(c)` resets the registers and ticks
+    /// `c` times.
+    fn lanes_diverging(
+        &mut self,
+        workload: &[Vec<(String, i64)>],
+        cycles: Option<u64>,
+        out_port: &str,
+        golden: &[i64],
+        watch: u64,
+    ) -> u64 {
+        assert!(
+            !self.toggles.is_enabled(),
+            "PPSFP lanes hold different machines; activity accounting is undefined"
+        );
+        assert!(golden.len() >= workload.len(), "golden response shorter than the workload");
+        if workload.is_empty() || watch == 0 {
+            return 0;
+        }
+        let first = &workload[0];
+        let ports = self.resolve_entry_ports(first);
+        let out_bits = self
+            .output_ports
+            .get(out_port)
+            .unwrap_or_else(|| panic!("no output port named {out_port:?}"))
+            .clone();
+        assert!(out_bits.len() <= 63, "port {out_port} too wide");
+        let mut diverged = 0u64;
+        for (entry, &want) in workload.iter().zip(golden) {
+            match cycles {
+                None => {
+                    self.drive_entry_broadcast(&ports, first, entry);
+                    self.eval_lanes(!0);
+                    self.cycles += u64::from(watch.count_ones());
+                }
+                Some(c) => {
+                    self.reset_regs_lanes();
+                    self.drive_entry_broadcast(&ports, first, entry);
+                    for _ in 0..c {
+                        self.tick_lanes(!0);
+                    }
+                    self.cycles += u64::from(watch.count_ones()) * c;
+                }
+            }
+            diverged |= self.output_diff_lanes(&out_bits, want) & watch;
+            if diverged == watch {
+                break;
+            }
+        }
+        if cycles.is_some() {
+            // Leave the registers at power-on instead of 64 different faulty
+            // machines' leftovers: non-forced registers would otherwise stay
+            // lane-divergent after the campaign chunk, and release_net only
+            // heals the *forced* nets.
+            self.reset_regs_lanes();
+        }
+        diverged
     }
 }
 
@@ -648,6 +879,51 @@ mod tests {
         let mut scalar = Simulator::new(&nl).unwrap();
         scalar.set_batch_mode(BatchMode::Scalar);
         assert_eq!(healthy.outputs, scalar.run_batch(&vectors, 0, "sum").outputs);
+    }
+
+    #[test]
+    fn force_lanes_pins_only_the_masked_lanes() {
+        // Pin `sum`'s driving net to 1 in lane 2 only: lanes 0/1/3.. keep
+        // evaluating normally while lane 2 behaves as its own faulty machine.
+        let nl = full_adder_x();
+        let sum_net = nl.ports().iter().find(|p| p.name() == "sum").unwrap().bits()[0];
+        let vectors: Vec<Vec<i64>> =
+            (0..8).map(|v| (0..3).map(|i| (v >> i) & 1).collect()).collect();
+        let mut healthy = BitSlicedSimulator::new(&nl).unwrap();
+        let want = healthy.run_batch(&vectors, 0, "sum");
+
+        let mut sliced = BitSlicedSimulator::new(&nl).unwrap();
+        sliced.force_lanes(sum_net, !0, 1 << 2);
+        let golden: Vec<i64> = want.outputs.clone();
+        let diverged = sliced.lanes_diverging_comb(
+            &(0..8)
+                .map(|v| (0..3).map(|i| (format!("x{i}"), (v >> i) & 1)).collect::<Vec<_>>())
+                .collect::<Vec<_>>(),
+            "sum",
+            &golden,
+            0b1111,
+        );
+        // Only lane 2 is faulty; sum=1 disagrees with golden on the four
+        // even-parity vectors, so lane 2 must diverge and no other lane may.
+        assert_eq!(diverged, 1 << 2);
+        sliced.release_net(sum_net);
+        let got = sliced.run_batch(&vectors, 0, "sum");
+        assert_eq!(got.outputs, want.outputs, "release must fully heal the lane");
+    }
+
+    #[test]
+    fn force_lanes_merges_conflicting_values_per_lane() {
+        let nl = full_adder_x();
+        let site = crate::faults::enumerate_fault_sites(&nl)[0];
+        let mut sliced = BitSlicedSimulator::new(&nl).unwrap();
+        // Stuck-at-0 in lane 0, stuck-at-1 in lane 1 on the same net.
+        sliced.force_lanes(site.net, 0, 1 << 0);
+        sliced.force_lanes(site.net, !0, 1 << 1);
+        let vectors: Vec<Vec<i64>> =
+            (0..8).map(|v| (0..3).map(|i| (v >> i) & 1).collect()).collect();
+        sliced.run_batch(&vectors, 0, "sum");
+        let w = sliced.words[site.net.index()];
+        assert_eq!(w & 0b11, 0b10, "lane 0 pinned low, lane 1 pinned high");
     }
 
     #[test]

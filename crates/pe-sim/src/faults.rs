@@ -9,13 +9,26 @@
 //! workload — the robustness analog of test-pattern fault coverage.
 //!
 //! Campaigns reuse **one** scheduled [`BitSlicedSimulator`] for every fault
-//! site, pinning the faulted net with force/release between runs instead of
-//! rebuilding (and re-levelizing) a simulator per site, and they drive the
-//! workload 64 patterns per machine word. The original rebuild-per-site
-//! implementations survive in [`oracle`] as the reference the differential
-//! suite checks the fast campaigns against, site by site.
+//! site and run **PPSFP-style** (parallel-pattern single-fault propagation,
+//! flipped): each of the 64 bit-sliced lanes carries a *different* fault
+//! site, pinned per lane via [`BitSlicedSimulator::force_lanes`], and every
+//! workload pattern is driven broadcast across the lanes — 64 faulty
+//! machines evaluating (or, under the per-classification reset protocol,
+//! ticking) in lockstep per word. A per-lane divergence mask against the
+//! fault-free golden response accumulates the verdicts, early-exiting once
+//! every site in the word has diverged.
+//!
+//! Two slower implementations survive as references the differential suite
+//! checks the PPSFP campaigns against, site by site:
+//!
+//! * [`pattern_parallel`] — the previous fast path: sites iterated serially,
+//!   64 workload *patterns* per word (the dual packing; it wastes lanes
+//!   whenever the workload is shorter than 64 and pays per-site
+//!   force/run/release overhead on every single site).
+//! * [`oracle`] — the original flow: a freshly scheduled [`FaultySimulator`]
+//!   per site, one pattern at a time.
 
-use crate::bitslice::BitSlicedSimulator;
+use crate::bitslice::{lane_mask, BitSlicedSimulator, LANES};
 use crate::sim::Simulator;
 use pe_netlist::{Driver, NetId, Netlist, NetlistError};
 
@@ -136,14 +149,8 @@ impl FaultReport {
 
 /// Runs a fault campaign on a **combinational** design: for each fault,
 /// drives every workload vector and compares the output port against the
-/// fault-free run.
-///
-/// One bit-sliced simulator is scheduled once and reused for the whole
-/// campaign: each site is injected with force, simulated 64 workload
-/// patterns per word, and released. Settled combinational values are pure
-/// functions of the inputs and the pinned net, so the per-site responses
-/// are exactly those of a freshly built faulty simulator
-/// ([`oracle::fault_campaign_comb`]).
+/// fault-free run. This is the PPSFP path
+/// ([`fault_campaign_comb_ppsfp`]) — one fault site per bit-sliced lane.
 ///
 /// # Panics
 ///
@@ -159,46 +166,15 @@ pub fn fault_campaign_comb(
     workload: &[Vec<(String, i64)>],
     out_port: &str,
 ) -> Result<FaultReport, NetlistError> {
-    assert!(
-        crate::sim::is_combinational(nl),
-        "fault_campaign_comb requires a combinational design"
-    );
-    let mut sim = BitSlicedSimulator::new(nl)?;
-    let golden = sim.run_workload_comb(workload, out_port);
-    let mut critical = 0usize;
-    for &fault in faults {
-        sim.force_net(fault.net, fault.stuck_at);
-        // Chunk-wise early exit: the first diverging 64-pattern chunk
-        // already proves the fault critical (settled values are pure
-        // functions of inputs, so skipping later chunks changes nothing).
-        let mut differs = false;
-        let mut done = 0;
-        for chunk in workload.chunks(crate::bitslice::LANES) {
-            if sim.run_workload_comb(chunk, out_port) != golden[done..done + chunk.len()] {
-                differs = true;
-                break;
-            }
-            done += chunk.len();
-        }
-        if differs {
-            critical += 1;
-        }
-        sim.release_net(fault.net);
-    }
-    Ok(FaultReport { critical, benign: faults.len() - critical, total: faults.len() })
+    fault_campaign_comb_ppsfp(nl, faults, workload, out_port)
 }
 
 /// Runs a fault campaign on a **sequential** design: each workload entry
 /// starts from power-on register state (faults stay pinned across the
 /// reset), is driven for `cycles` clock ticks (inputs held), and the output
 /// port is compared against the fault-free run — faults are judged per
-/// classification.
-///
-/// Like [`fault_campaign_comb`], one bit-sliced simulator is reused across
-/// all sites with force/release, and the per-classification reset makes the
-/// workload entries independent, so 64 of them tick in lockstep per word.
-/// The per-site reports are identical to the rebuild-per-site reference
-/// ([`oracle::fault_campaign_seq`]).
+/// classification. This is the PPSFP path
+/// ([`fault_campaign_seq_ppsfp`]) — one fault site per bit-sliced lane.
 ///
 /// # Panics
 ///
@@ -214,30 +190,198 @@ pub fn fault_campaign_seq(
     out_port: &str,
     cycles: u64,
 ) -> Result<FaultReport, NetlistError> {
+    fault_campaign_seq_ppsfp(nl, faults, workload, out_port, cycles)
+}
+
+/// Pins one chunk of fault sites, one per lane, and returns the watch mask.
+fn force_site_lanes(sim: &mut BitSlicedSimulator<'_>, chunk: &[FaultSite]) -> u64 {
+    for (l, f) in chunk.iter().enumerate() {
+        sim.force_lanes(f.net, if f.stuck_at { !0 } else { 0 }, 1u64 << l);
+    }
+    lane_mask(chunk.len())
+}
+
+/// PPSFP fault campaign on a **combinational** design: fault sites are
+/// packed 64 per machine word (site `l` of a chunk pinned in lane `l` via
+/// [`BitSlicedSimulator::force_lanes`]), every workload pattern is driven
+/// broadcast across the lanes, and a per-lane divergence mask against the
+/// fault-free golden response collects the verdicts — with an early exit
+/// once every site in the word has diverged. One simulator is scheduled for
+/// the whole campaign.
+///
+/// Settled values are lane-wise pure functions of the broadcast inputs and
+/// the lane's pinned net, so the verdicts are bit-identical to the
+/// rebuild-per-site reference ([`oracle::fault_campaign_comb`]), site for
+/// site.
+///
+/// # Panics
+///
+/// Panics if the design is sequential or ports are unknown.
+///
+/// # Errors
+///
+/// Propagates scheduling errors.
+pub fn fault_campaign_comb_ppsfp(
+    nl: &Netlist,
+    faults: &[FaultSite],
+    workload: &[Vec<(String, i64)>],
+    out_port: &str,
+) -> Result<FaultReport, NetlistError> {
+    assert!(
+        crate::sim::is_combinational(nl),
+        "fault_campaign_comb requires a combinational design"
+    );
+    let mut sim = BitSlicedSimulator::new(nl)?;
+    let golden = sim.run_workload_comb(workload, out_port);
+    let mut critical = 0usize;
+    for chunk in faults.chunks(LANES) {
+        let watch = force_site_lanes(&mut sim, chunk);
+        let diverged = sim.lanes_diverging_comb(workload, out_port, &golden, watch);
+        critical += diverged.count_ones() as usize;
+        for f in chunk {
+            sim.release_net(f.net);
+        }
+    }
+    Ok(FaultReport { critical, benign: faults.len() - critical, total: faults.len() })
+}
+
+/// PPSFP fault campaign on a **sequential** design under the
+/// per-classification reset protocol: 64 faulty machines — one fault site
+/// per lane — reset, load the broadcast pattern and tick in lockstep, per
+/// workload entry, against the fault-free golden response
+/// ([`BitSlicedSimulator::lanes_diverging_seq_reset`]). The reset keeps
+/// pinned lanes pinned, so the verdicts are bit-identical to the
+/// rebuild-per-site reference ([`oracle::fault_campaign_seq`]), site for
+/// site.
+///
+/// # Panics
+///
+/// Panics on unknown ports or `cycles == 0`.
+///
+/// # Errors
+///
+/// Propagates scheduling errors.
+pub fn fault_campaign_seq_ppsfp(
+    nl: &Netlist,
+    faults: &[FaultSite],
+    workload: &[Vec<(String, i64)>],
+    out_port: &str,
+    cycles: u64,
+) -> Result<FaultReport, NetlistError> {
     let mut sim = BitSlicedSimulator::new(nl)?;
     let golden = sim.run_workload_seq_reset(workload, cycles, out_port);
     let mut critical = 0usize;
-    for &fault in faults {
-        sim.force_net(fault.net, fault.stuck_at);
-        // Chunk-wise early exit; the per-classification reset makes chunks
-        // independent, so later chunks cannot change the verdict.
-        let mut differs = false;
-        let mut done = 0;
-        for chunk in workload.chunks(crate::bitslice::LANES) {
-            if sim.run_workload_seq_reset(chunk, cycles, out_port)
-                != golden[done..done + chunk.len()]
-            {
-                differs = true;
-                break;
-            }
-            done += chunk.len();
+    for chunk in faults.chunks(LANES) {
+        let watch = force_site_lanes(&mut sim, chunk);
+        let diverged = sim.lanes_diverging_seq_reset(workload, cycles, out_port, &golden, watch);
+        critical += diverged.count_ones() as usize;
+        for f in chunk {
+            sim.release_net(f.net);
         }
-        if differs {
-            critical += 1;
-        }
-        sim.release_net(fault.net);
     }
     Ok(FaultReport { critical, benign: faults.len() - critical, total: faults.len() })
+}
+
+/// The previous fast campaign implementations: fault sites iterated
+/// **serially**, workload patterns packed 64 per word — the dual of the
+/// PPSFP packing. Kept as the mid-speed reference the differential suite
+/// cross-checks (PPSFP == pattern-parallel == oracle): the two fast paths
+/// fail differently, so agreement is strong evidence both are right.
+///
+/// Pattern packing wastes lanes whenever the workload holds fewer than 64
+/// patterns (a 40-sample campaign uses 40 of 64 lanes on every one of
+/// thousands of sites) and pays the per-site force/run/release overhead on
+/// every site; the PPSFP path amortizes both 64 sites at a time.
+pub mod pattern_parallel {
+    use super::{BitSlicedSimulator, FaultReport, FaultSite, Netlist, NetlistError, LANES};
+
+    /// Pattern-parallel, site-serial counterpart of
+    /// [`super::fault_campaign_comb_ppsfp`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design is sequential or ports are unknown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling errors.
+    pub fn fault_campaign_comb(
+        nl: &Netlist,
+        faults: &[FaultSite],
+        workload: &[Vec<(String, i64)>],
+        out_port: &str,
+    ) -> Result<FaultReport, NetlistError> {
+        assert!(
+            crate::sim::is_combinational(nl),
+            "fault_campaign_comb requires a combinational design"
+        );
+        let mut sim = BitSlicedSimulator::new(nl)?;
+        let golden = sim.run_workload_comb(workload, out_port);
+        let mut critical = 0usize;
+        for &fault in faults {
+            sim.force_net(fault.net, fault.stuck_at);
+            // Chunk-wise early exit: the first diverging 64-pattern chunk
+            // already proves the fault critical (settled values are pure
+            // functions of inputs, so skipping later chunks changes nothing).
+            let mut differs = false;
+            let mut done = 0;
+            for chunk in workload.chunks(LANES) {
+                if sim.run_workload_comb(chunk, out_port) != golden[done..done + chunk.len()] {
+                    differs = true;
+                    break;
+                }
+                done += chunk.len();
+            }
+            if differs {
+                critical += 1;
+            }
+            sim.release_net(fault.net);
+        }
+        Ok(FaultReport { critical, benign: faults.len() - critical, total: faults.len() })
+    }
+
+    /// Pattern-parallel, site-serial counterpart of
+    /// [`super::fault_campaign_seq_ppsfp`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown ports or `cycles == 0`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling errors.
+    pub fn fault_campaign_seq(
+        nl: &Netlist,
+        faults: &[FaultSite],
+        workload: &[Vec<(String, i64)>],
+        out_port: &str,
+        cycles: u64,
+    ) -> Result<FaultReport, NetlistError> {
+        let mut sim = BitSlicedSimulator::new(nl)?;
+        let golden = sim.run_workload_seq_reset(workload, cycles, out_port);
+        let mut critical = 0usize;
+        for &fault in faults {
+            sim.force_net(fault.net, fault.stuck_at);
+            // Chunk-wise early exit; the per-classification reset makes
+            // chunks independent, so later chunks cannot change the verdict.
+            let mut differs = false;
+            let mut done = 0;
+            for chunk in workload.chunks(LANES) {
+                if sim.run_workload_seq_reset(chunk, cycles, out_port)
+                    != golden[done..done + chunk.len()]
+                {
+                    differs = true;
+                    break;
+                }
+                done += chunk.len();
+            }
+            if differs {
+                critical += 1;
+            }
+            sim.release_net(fault.net);
+        }
+        Ok(FaultReport { critical, benign: faults.len() - critical, total: faults.len() })
+    }
 }
 
 /// The original rebuild-per-site campaign implementations.
@@ -478,6 +622,121 @@ mod tests {
         let fast = fault_campaign_seq(&nl, &sites, &workload, "q", 3).unwrap();
         let slow = oracle::fault_campaign_seq(&nl, &sites, &workload, "q", 3).unwrap();
         assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn release_restores_scalar_register_state() {
+        // The satellite bug: release_net used to clear the frozen flag but
+        // leave the forced value in the register, so a post-campaign batch
+        // started from stale state.
+        let mut b = Builder::new("r");
+        let d = b.input("x0");
+        let q = b.dff(d, false);
+        b.output("q", q);
+        let nl = b.finish();
+        let site = enumerate_fault_sites(&nl)
+            .into_iter()
+            .find(|s| s.stuck_at)
+            .expect("stuck-at-1 site on q");
+        let vectors = vec![vec![0i64], vec![1], vec![0]];
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.force_net(site.net, true);
+        sim.set_input("x0", 0);
+        sim.tick();
+        sim.release_net(site.net);
+        let got = sim.run_batch(&vectors, 1, "q");
+        let want = Simulator::new(&nl).unwrap().run_batch(&vectors, 1, "q");
+        assert_eq!(got.outputs, want.outputs, "released register must not leak forced state");
+        assert_eq!(sim.register_state(), vec![false]);
+    }
+
+    #[test]
+    fn release_restores_bitsliced_register_state() {
+        let mut b = Builder::new("r");
+        let d = b.input("x0");
+        let q = b.dff(d, false);
+        b.output("q", q);
+        let nl = b.finish();
+        let site = enumerate_fault_sites(&nl)
+            .into_iter()
+            .find(|s| s.stuck_at)
+            .expect("stuck-at-1 site on q");
+        let workload = vec![vec![("x0".to_string(), 0i64)], vec![("x0".to_string(), 1)]];
+        let mut sim = BitSlicedSimulator::new(&nl).unwrap();
+        sim.force_net(site.net, true);
+        let _ = sim.run_workload_seq_reset(&workload, 2, "q");
+        sim.release_net(site.net);
+        let vectors = vec![vec![0i64], vec![1], vec![0]];
+        let got = sim.run_batch(&vectors, 1, "q");
+        let want = BitSlicedSimulator::new(&nl).unwrap().run_batch(&vectors, 1, "q");
+        assert_eq!(got, want, "post-campaign batch must start from power-on state");
+    }
+
+    #[test]
+    fn ppsfp_seq_run_leaves_unforced_registers_coherent() {
+        // Multi-register hazard: a PPSFP sequential run leaves every lane a
+        // different faulty machine, and release_net only heals the *forced*
+        // net — the driver itself must restore the other registers, or a
+        // post-campaign batch reads 64 different leftover states. The
+        // holding register (enable low) is what keeps the leftover alive
+        // into the batch: a plain shift register would flush it.
+        let mut b = Builder::new("hold");
+        let d = b.input("x0");
+        let en = b.input("x1");
+        let q1 = b.dff(d, false);
+        let q2 = b.dffe(q1, en, false);
+        b.output("q", q2);
+        let nl = b.finish();
+        let q1_sites: Vec<FaultSite> =
+            enumerate_fault_sites(&nl).into_iter().filter(|s| s.net == q1).collect();
+        assert_eq!(q1_sites.len(), 2, "stuck-at-0 and stuck-at-1 on q1");
+        // Campaign workload loads q2 (enable high) so each lane's q2 captures
+        // its own faulty q1.
+        let workload = vec![
+            vec![("x0".to_string(), 0i64), ("x1".to_string(), 1)],
+            vec![("x0".to_string(), 1), ("x1".to_string(), 1)],
+        ];
+        let mut sim = BitSlicedSimulator::new(&nl).unwrap();
+        let golden = sim.run_workload_seq_reset(&workload, 2, "q");
+        for (l, s) in q1_sites.iter().enumerate() {
+            sim.force_lanes(s.net, if s.stuck_at { !0 } else { 0 }, 1 << l);
+        }
+        let _ = sim.lanes_diverging_seq_reset(&workload, 2, "q", &golden, 0b11);
+        sim.release_net(q1);
+        // Post-campaign batch with enable low: q2 holds, so any leftover
+        // lane-divergent state would surface directly in the outputs.
+        let vectors = vec![vec![0i64, 0], vec![0, 0], vec![0, 0]];
+        let got = sim.run_batch(&vectors, 1, "q");
+        let want = BitSlicedSimulator::new(&nl).unwrap().run_batch(&vectors, 1, "q");
+        assert_eq!(got, want, "unforced registers must not leak lane-divergent state");
+    }
+
+    #[test]
+    fn ppsfp_campaigns_match_pattern_parallel_and_oracle() {
+        let nl = adder2();
+        let sites = enumerate_fault_sites(&nl);
+        let ppsfp = fault_campaign_comb_ppsfp(&nl, &sites, &full_workload(), "s").unwrap();
+        let patpar =
+            pattern_parallel::fault_campaign_comb(&nl, &sites, &full_workload(), "s").unwrap();
+        let slow = oracle::fault_campaign_comb(&nl, &sites, &full_workload(), "s").unwrap();
+        assert_eq!(ppsfp, patpar);
+        assert_eq!(ppsfp, slow);
+    }
+
+    #[test]
+    fn ppsfp_packs_both_stuck_values_of_one_net_in_one_word() {
+        // enumerate_fault_sites emits stuck-at-0 and stuck-at-1 of each net
+        // adjacently, so every chunk forces the same net in two lanes with
+        // opposite values — the force_lanes merge must keep them distinct.
+        let nl = adder2();
+        let sites = enumerate_fault_sites(&nl);
+        assert!(sites.len() <= 64, "all sites must share one word for this test");
+        for (a, b) in sites.iter().zip(sites.iter().skip(1)).step_by(2) {
+            assert_eq!(a.net, b.net, "paired sites share a net");
+            assert_ne!(a.stuck_at, b.stuck_at);
+        }
+        let report = fault_campaign_comb_ppsfp(&nl, &sites, &full_workload(), "s").unwrap();
+        assert_eq!(report.benign, 0, "adders are fully testable: {report:?}");
     }
 
     #[test]

@@ -302,8 +302,21 @@ impl<'nl> Simulator<'nl> {
     }
 
     /// Releases a pinned net (its next evaluation recomputes it normally).
+    /// A released *register* output is restored to its power-on init value —
+    /// not left at the stale forced value — so a post-campaign batch on a
+    /// sequential design starts from sane state; combinational nets need no
+    /// restore because the next settle recomputes them.
     pub fn release_net(&mut self, net: pe_netlist::NetId) {
+        if !self.frozen[net.index()] {
+            return;
+        }
         self.frozen[net.index()] = false;
+        for (i, &r) in self.regs.iter().enumerate() {
+            if self.nl.cell(r).output() == net {
+                self.state[i] = self.nl.cell(r).init();
+                self.values[net.index()] = self.state[i];
+            }
+        }
     }
 
     /// Settles the combinational core with current inputs and register

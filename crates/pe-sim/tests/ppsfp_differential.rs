@@ -1,0 +1,263 @@
+//! Differential lockdown of the PPSFP fault-parallel campaigns.
+//!
+//! The PPSFP path packs one fault *site* per bit-sliced lane
+//! (`force_lanes`), drives every workload pattern broadcast across the
+//! lanes, and accumulates a per-lane divergence mask — 64 faulty machines
+//! per word. These tests assert the campaign reports are **identical, site
+//! for site**, to both references: the rebuild-per-site serial
+//! [`oracle`](pe_sim::faults::oracle) and the previous
+//! [`pattern_parallel`](pe_sim::faults::pattern_parallel) site-serial path.
+//! Coverage spans every generated design style, seeded-random netlists with
+//! registered feedback, ragged site counts around the 64-lane word boundary
+//! (1/63/64/65), and words whose lanes mix faults on register-driving nets
+//! with ordinary combinational sites.
+//!
+//! Like the batch differential suite, CI runs this in debug and release:
+//! release strips the debug assertions that would otherwise mask
+//! wrapping/shift mistakes in the lane-masked merge.
+
+use pe_core::designs::{mlp, parallel, sequential};
+use pe_data::{train_test_split, Dataset, Normalizer, UciProfile};
+use pe_ml::linear::SvmTrainParams;
+use pe_ml::mlp::{Mlp, MlpTrainParams};
+use pe_ml::multiclass::{MulticlassScheme, SvmModel};
+use pe_ml::{QuantizedMlp, QuantizedSvm};
+use pe_netlist::testing::{random_netlist, RandomNetlistSpec};
+use pe_netlist::{Driver, Netlist};
+use pe_sim::faults::{
+    enumerate_fault_sites, fault_campaign_comb_ppsfp, fault_campaign_seq_ppsfp, oracle,
+    pattern_parallel, FaultSite,
+};
+
+// ---- model / workload helpers -------------------------------------------
+
+fn normalized_split(seed: u64) -> (Dataset, Dataset) {
+    let d = UciProfile::Cardio.generate(seed);
+    let (train, test) = train_test_split(&d, 0.2, seed);
+    let norm = Normalizer::fit(&train);
+    (norm.apply(&train), norm.apply(&test))
+}
+
+fn svm_model(scheme: MulticlassScheme, seed: u64) -> (QuantizedSvm, Dataset) {
+    let (train, test) = normalized_split(seed);
+    let sub: Vec<usize> = (0..train.len().min(300)).collect();
+    let p = SvmTrainParams { max_epochs: 25, ..SvmTrainParams::default() };
+    let m = SvmModel::train(&train.subset(&sub, "-s").quantize_inputs(4), scheme, &p);
+    (QuantizedSvm::quantize(&m, 4, 5), test)
+}
+
+fn mlp_model(seed: u64) -> (QuantizedMlp, Dataset) {
+    let (train, test) = normalized_split(seed);
+    let sub: Vec<usize> = (0..train.len().min(300)).collect();
+    let train = train.subset(&sub, "-s");
+    let m = Mlp::train(&train, &MlpTrainParams { hidden: 4, epochs: 25, ..Default::default() });
+    (QuantizedMlp::quantize(&m, &train, 4, 5, 6), test)
+}
+
+fn svm_workload(q: &QuantizedSvm, test: &Dataset, take: usize) -> Vec<Vec<(String, i64)>> {
+    test.features()
+        .iter()
+        .take(take)
+        .map(|x| {
+            q.quantize_input(x).iter().enumerate().map(|(i, &v)| (format!("x{i}"), v)).collect()
+        })
+        .collect()
+}
+
+fn fuzz_spec(registers: usize) -> RandomNetlistSpec {
+    RandomNetlistSpec { inputs: 5, gates: 60, registers, outputs: 3, input_prefix: "x" }
+}
+
+fn fuzz_workload(inputs: usize, count: usize, seed: u64) -> Vec<Vec<(String, i64)>> {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..count)
+        .map(|_| {
+            (0..inputs)
+                .map(|i| {
+                    s ^= s >> 12;
+                    s ^= s << 25;
+                    s ^= s >> 27;
+                    (format!("x{i}"), (s.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 60) as i64 & 1)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Asserts the PPSFP combinational campaign agrees with both references,
+/// in aggregate and site for site.
+fn assert_comb_agrees(
+    nl: &Netlist,
+    sites: &[FaultSite],
+    workload: &[Vec<(String, i64)>],
+    out: &str,
+) {
+    let ppsfp = fault_campaign_comb_ppsfp(nl, sites, workload, out).unwrap();
+    let patpar = pattern_parallel::fault_campaign_comb(nl, sites, workload, out).unwrap();
+    let slow = oracle::fault_campaign_comb(nl, sites, workload, out).unwrap();
+    assert_eq!(ppsfp, patpar, "PPSFP vs pattern-parallel on {}", nl.name());
+    assert_eq!(ppsfp, slow, "PPSFP vs oracle on {}", nl.name());
+    for &site in sites {
+        let f = fault_campaign_comb_ppsfp(nl, &[site], workload, out).unwrap();
+        let s = oracle::fault_campaign_comb(nl, &[site], workload, out).unwrap();
+        assert_eq!(f, s, "site {site:?} diverged from the rebuild oracle on {}", nl.name());
+    }
+}
+
+/// Sequential counterpart of [`assert_comb_agrees`].
+fn assert_seq_agrees(
+    nl: &Netlist,
+    sites: &[FaultSite],
+    workload: &[Vec<(String, i64)>],
+    out: &str,
+    cycles: u64,
+) {
+    let ppsfp = fault_campaign_seq_ppsfp(nl, sites, workload, out, cycles).unwrap();
+    let patpar = pattern_parallel::fault_campaign_seq(nl, sites, workload, out, cycles).unwrap();
+    let slow = oracle::fault_campaign_seq(nl, sites, workload, out, cycles).unwrap();
+    assert_eq!(ppsfp, patpar, "PPSFP vs pattern-parallel on {}", nl.name());
+    assert_eq!(ppsfp, slow, "PPSFP vs oracle on {}", nl.name());
+    for &site in sites {
+        let f = fault_campaign_seq_ppsfp(nl, &[site], workload, out, cycles).unwrap();
+        let s = oracle::fault_campaign_seq(nl, &[site], workload, out, cycles).unwrap();
+        assert_eq!(f, s, "site {site:?} diverged from the rebuild oracle on {}", nl.name());
+    }
+}
+
+// ---- random netlists, every site ----------------------------------------
+
+#[test]
+fn random_combinational_netlists_agree_per_site() {
+    for seed in 0..6 {
+        let nl = random_netlist(&fuzz_spec(0), seed);
+        let sites = enumerate_fault_sites(&nl);
+        assert!(sites.len() > 64, "need more than one PPSFP word");
+        assert_comb_agrees(&nl, &sites, &fuzz_workload(5, 20, seed), "o0");
+    }
+}
+
+#[test]
+fn random_sequential_netlists_agree_per_site() {
+    for seed in 0..6 {
+        let nl = random_netlist(&fuzz_spec(3), seed);
+        let sites = enumerate_fault_sites(&nl);
+        assert_seq_agrees(&nl, &sites, &fuzz_workload(5, 12, seed ^ 0xBEEF), "o1", 3);
+    }
+}
+
+// ---- ragged site counts around the word boundary ------------------------
+
+#[test]
+fn ragged_site_counts_agree() {
+    let nl = random_netlist(&fuzz_spec(2), 107);
+    let all = enumerate_fault_sites(&nl);
+    assert!(all.len() >= 65, "spec must yield at least 65 sites, got {}", all.len());
+    let workload = fuzz_workload(5, 10, 21);
+    for count in [1usize, 63, 64, 65] {
+        let sites = &all[..count];
+        let ppsfp = fault_campaign_seq_ppsfp(&nl, sites, &workload, "o0", 2).unwrap();
+        let slow = oracle::fault_campaign_seq(&nl, sites, &workload, "o0", 2).unwrap();
+        assert_eq!(ppsfp, slow, "{count} sites diverged");
+        assert_eq!(ppsfp.total, count);
+    }
+    // Zero sites: an empty report, no simulation.
+    let empty = fault_campaign_seq_ppsfp(&nl, &[], &workload, "o0", 2).unwrap();
+    assert_eq!(empty.total, 0);
+    assert_eq!(empty.criticality(), 0.0);
+}
+
+// ---- register-driving nets sharing a word with ordinary sites -----------
+
+#[test]
+fn register_sites_share_a_word_with_combinational_sites() {
+    // Order the site list so register outputs and their stuck-at pairs land
+    // in the same PPSFP word as plain combinational sites: the per-lane
+    // state merge in tick/reset must keep every lane independent.
+    let nl = random_netlist(&fuzz_spec(3), 109);
+    let mut sites = enumerate_fault_sites(&nl);
+    sites.sort_by_key(|s| {
+        let is_reg = match nl.net(s.net).driver() {
+            Driver::Cell(c) => nl.cell(c).kind().is_sequential(),
+            _ => false,
+        };
+        // Interleave: register sites first, then alternate.
+        (!is_reg, s.net)
+    });
+    let reg_sites = sites
+        .iter()
+        .filter(|s| match nl.net(s.net).driver() {
+            Driver::Cell(c) => nl.cell(c).kind().is_sequential(),
+            _ => false,
+        })
+        .count();
+    assert!(reg_sites >= 2, "need register-output sites in the first word");
+    assert!(sites.len() > 64, "the first word must also hold combinational sites");
+    assert_seq_agrees(&nl, &sites, &fuzz_workload(5, 10, 33), "o2", 2);
+}
+
+// ---- generated design styles --------------------------------------------
+
+#[test]
+fn parallel_svm_style_agrees() {
+    let (q, test) = svm_model(MulticlassScheme::OneVsOne, 43);
+    let nl = parallel::build_parallel_svm(&q);
+    // Sampled sites (the oracle reference is slow), full word + ragged tail.
+    let sites: Vec<FaultSite> =
+        enumerate_fault_sites(&nl).into_iter().step_by(37).take(90).collect();
+    let workload = svm_workload(&q, &test, 12);
+    assert_comb_agrees(&nl, &sites, &workload, "class");
+}
+
+#[test]
+fn mlp_style_agrees() {
+    let (q, test) = mlp_model(53);
+    let nl = mlp::build_parallel_mlp(&q);
+    let sites: Vec<FaultSite> =
+        enumerate_fault_sites(&nl).into_iter().step_by(41).take(80).collect();
+    let workload: Vec<Vec<(String, i64)>> = test
+        .features()
+        .iter()
+        .take(10)
+        .map(|x| {
+            q.quantize_input(x).iter().enumerate().map(|(i, &v)| (format!("x{i}"), v)).collect()
+        })
+        .collect();
+    let ppsfp = fault_campaign_comb_ppsfp(&nl, &sites, &workload, "class").unwrap();
+    let slow = oracle::fault_campaign_comb(&nl, &sites, &workload, "class").unwrap();
+    assert_eq!(ppsfp, slow);
+}
+
+#[test]
+fn sequential_svm_style_agrees() {
+    // The paper's headline circuit: clocked campaign, per-classification
+    // reset, faults pinned across the reset.
+    let (q, test) = svm_model(MulticlassScheme::OneVsRest, 61);
+    let nl = sequential::build_sequential_ovr(&q);
+    let sites: Vec<FaultSite> = enumerate_fault_sites(&nl).into_iter().step_by(97).collect();
+    let workload = svm_workload(&q, &test, 8);
+    let n = q.num_classes() as u64;
+    let ppsfp = fault_campaign_seq_ppsfp(&nl, &sites, &workload, "class", n).unwrap();
+    let patpar = pattern_parallel::fault_campaign_seq(&nl, &sites, &workload, "class", n).unwrap();
+    let slow = oracle::fault_campaign_seq(&nl, &sites, &workload, "class", n).unwrap();
+    assert_eq!(ppsfp, patpar);
+    assert_eq!(ppsfp, slow);
+}
+
+// ---- campaign reuse: one simulator across divergent-lane chunks ---------
+
+#[test]
+fn ppsfp_chunks_do_not_contaminate_each_other() {
+    // Running the same sites as one multi-chunk campaign and as per-site
+    // singleton campaigns must agree: forced lanes from one chunk may not
+    // leak into the next (release + re-force between chunks).
+    let nl = random_netlist(&fuzz_spec(2), 113);
+    let sites = enumerate_fault_sites(&nl);
+    assert!(sites.len() > 128, "need at least three chunks");
+    let workload = fuzz_workload(5, 8, 55);
+    let whole = fault_campaign_seq_ppsfp(&nl, &sites, &workload, "o0", 2).unwrap();
+    let mut critical = 0;
+    for &site in &sites {
+        critical += fault_campaign_seq_ppsfp(&nl, &[site], &workload, "o0", 2).unwrap().critical;
+    }
+    assert_eq!(whole.critical, critical);
+}
