@@ -9,7 +9,9 @@ use pe_data::{train_test_split, Normalizer, UciProfile};
 use pe_ml::linear::SvmTrainParams;
 use pe_ml::multiclass::{MulticlassScheme, SvmModel};
 use pe_ml::QuantizedSvm;
-use pe_sim::{BatchMode, Simulator};
+use pe_sim::faults::{enumerate_fault_sites, fault_campaign_seq_ppsfp_wide};
+use pe_sim::{BatchMode, LaneWidth, Simulator};
+use std::time::Instant;
 
 struct Fixture {
     train: pe_data::Dataset,
@@ -109,6 +111,150 @@ fn bench_bitslice_speedup(g: &mut BenchGroup, f: &Fixture) {
     );
 }
 
+/// One row of the lane-width sweep: `run_batch` over the same 512-vector
+/// Table-I workload at each slab width.
+struct WidthRow {
+    words: usize,
+    secs: f64,
+    vectors_per_sec: f64,
+    speedup_vs_scalar: f64,
+    speedup_vs_w1: f64,
+}
+
+/// Times one closure as the median of `reps` runs.
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm up
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// The tentpole measurement: the same 512-classification sequential-SVM
+/// batch at every slab width (64–512 packed vectors per sweep), against the
+/// scalar engine; plus the PPSFP sweep-count payoff on a >64-site fault
+/// campaign. Writes `BENCH_kernels.json` with the raw numbers.
+fn bench_width_sweep(g: &mut BenchGroup, f: &Fixture) {
+    let nl = sequential::build_sequential_ovr(&f.q_ovr);
+    let samples: Vec<Vec<i64>> =
+        f.test.features().iter().cycle().take(512).map(|x| f.q_ovr.quantize_input(x)).collect();
+    let reps = 5;
+    let time_width = |width: LaneWidth| {
+        median_secs(reps, || {
+            let mut sim = Simulator::new(&nl).unwrap();
+            sim.set_lane_width(width);
+            black_box(sim.run_batch(&samples, 3, "class"));
+        })
+    };
+    let scalar_secs = median_secs(reps, || {
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_batch_mode(BatchMode::Scalar);
+        black_box(sim.run_batch(&samples, 3, "class"));
+    });
+    for width in LaneWidth::ALL {
+        g.bench(&format!("bitsliced_512_classifications_w{width}"), || {
+            let mut sim = Simulator::new(&nl).unwrap();
+            sim.set_lane_width(width);
+            black_box(sim.run_batch(&samples, 3, "class"));
+        });
+    }
+    let w1_secs = time_width(LaneWidth::W1);
+    let rows: Vec<WidthRow> = LaneWidth::ALL
+        .into_iter()
+        .map(|width| {
+            let secs = if width == LaneWidth::W1 { w1_secs } else { time_width(width) };
+            WidthRow {
+                words: width.words(),
+                secs,
+                vectors_per_sec: samples.len() as f64 / secs,
+                speedup_vs_scalar: scalar_secs / secs,
+                speedup_vs_w1: w1_secs / secs,
+            }
+        })
+        .collect();
+    let best = rows.iter().max_by(|a, b| a.speedup_vs_w1.total_cmp(&b.speedup_vs_w1)).unwrap();
+    println!(
+        "simulation/width_sweep                       best W={} ({:.2}x vs W=1, {:.1}x vs scalar, {:.0} vectors/s on 512x3-cycle cardio:seq)",
+        best.words, best.speedup_vs_w1, best.speedup_vs_scalar, best.vectors_per_sec
+    );
+
+    // PPSFP occupancy: a campaign with more than 64 sites needs
+    // ceil(sites / 64W) sweeps — wider slabs finish in fewer sweeps.
+    let sites = enumerate_fault_sites(&nl);
+    let workload: Vec<Vec<(String, i64)>> = samples
+        .iter()
+        .take(12)
+        .map(|x| x.iter().enumerate().map(|(i, &v)| (format!("x{i}"), v)).collect())
+        .collect();
+    assert!(sites.len() > 64, "cardio:seq must expose a >64-site campaign");
+    let ppsfp: Vec<(usize, usize, f64)> = LaneWidth::ALL
+        .into_iter()
+        .map(|width| {
+            let sweeps = sites.len().div_ceil(width.lanes());
+            let secs = median_secs(3, || {
+                black_box(
+                    fault_campaign_seq_ppsfp_wide(&nl, &sites, &workload, "class", 3, width)
+                        .unwrap(),
+                );
+            });
+            (width.words(), sweeps, secs)
+        })
+        .collect();
+    println!(
+        "faults/ppsfp_width_sweep                     {} sites: {} sweeps at W=1 -> {} at W=8 ({:.2}x faster)",
+        sites.len(),
+        ppsfp[0].1,
+        ppsfp[3].1,
+        ppsfp[0].2 / ppsfp[3].2
+    );
+
+    // Machine-readable record for the acceptance gates and the README.
+    let width_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"words\": {}, \"secs\": {:.6}, \"vectors_per_sec\": {:.0}, \
+                 \"speedup_vs_scalar\": {:.3}, \"speedup_vs_w1\": {:.3}}}",
+                r.words, r.secs, r.vectors_per_sec, r.speedup_vs_scalar, r.speedup_vs_w1
+            )
+        })
+        .collect();
+    let ppsfp_json: Vec<String> = ppsfp
+        .iter()
+        .map(|(words, sweeps, secs)| {
+            format!("{{\"words\": {words}, \"sweeps\": {sweeps}, \"secs\": {secs:.6}}}")
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"workload\": \"cardio:seq, 512 classifications x 3 cycles\",\n  \
+         \"scalar_secs\": {:.6},\n  \"scalar_vectors_per_sec\": {:.0},\n  \
+         \"widths\": [\n    {}\n  ],\n  \"best_words\": {},\n  \
+         \"best_speedup_vs_w1\": {:.3},\n  \"ppsfp\": {{\n    \"sites\": {},\n    \
+         \"workload_vectors\": {},\n    \"sweep\": [\n      {}\n    ]\n  }}\n}}\n",
+        scalar_secs,
+        samples.len() as f64 / scalar_secs,
+        width_json.join(",\n    "),
+        best.words,
+        best.speedup_vs_w1,
+        sites.len(),
+        workload.len(),
+        ppsfp_json.join(",\n      "),
+    );
+    // Anchor to the workspace root: cargo runs bench binaries with the
+    // package directory as cwd.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("kernels: cannot write BENCH_kernels.json: {e}");
+    } else {
+        println!("wrote BENCH_kernels.json");
+    }
+}
+
 fn bench_analysis(g: &mut BenchGroup, f: &Fixture) {
     let nl = parallel::build_parallel_svm(&f.q_ovo);
     let lib = EgfetLibrary::standard();
@@ -134,6 +280,7 @@ fn main() {
     let mut g = BenchGroup::new("simulation");
     bench_simulation(&mut g, &f);
     bench_bitslice_speedup(&mut g, &f);
+    bench_width_sweep(&mut g, &f);
     let mut g = BenchGroup::new("analysis");
     bench_analysis(&mut g, &f);
 }

@@ -6,19 +6,22 @@
 //! sequential SVM, whose clocked campaign judges faults per classification
 //! under the per-classification reset protocol.
 //!
-//! Campaigns run PPSFP-style (`pe_sim::faults`): 64 fault sites per machine
-//! word, one faulty machine per bit-sliced lane, every workload pattern
+//! Campaigns run PPSFP-style (`pe_sim::faults`): up to `64 * W` fault sites
+//! per bit-sliced slab (the lane width `W` auto-picked per shard, or forced
+//! with `--width`), one faulty machine per lane, every workload pattern
 //! driven broadcast — and the site list is additionally sharded across
-//! `parallel_map` workers in word-aligned chunks, so the campaign
+//! `parallel_map` workers in slab-aligned chunks, so the campaign
 //! parallelizes across threads *and* lanes. Each worker schedules one
 //! simulator and reuses it for its whole shard via per-lane force/release.
 //!
-//! Usage: `cargo run --release -p pe-bench --bin faults [max_sites] [--compare]`
+//! Usage: `cargo run --release -p pe-bench --bin faults
+//!         [max_sites] [--compare] [--width 1|2|4|8]`
 //!
 //! `--compare` re-runs the same sites through the two reference paths — the
 //! previous pattern-parallel site-serial campaign, and (on a subsample) the
 //! rebuild-per-site serial oracle — asserts the reports agree, and prints
-//! the measured speedups.
+//! the measured speedups. Verdicts are width-invariant, so `--compare` at a
+//! widened occupancy checks the wide engine against both references.
 
 use pe_core::engine::{self, ExperimentEngine, Job};
 use pe_core::pipeline::{build_netlist, cycles_per_inference, fault_workload, RunOptions};
@@ -26,9 +29,10 @@ use pe_core::styles::DesignStyle;
 use pe_data::UciProfile;
 use pe_netlist::Netlist;
 use pe_sim::faults::{
-    enumerate_fault_sites, fault_campaign_comb, fault_campaign_seq, oracle, pattern_parallel,
-    FaultReport, FaultSite,
+    enumerate_fault_sites, fault_campaign_comb, fault_campaign_comb_ppsfp_wide, fault_campaign_seq,
+    fault_campaign_seq_ppsfp_wide, oracle, pattern_parallel, FaultReport, FaultSite,
 };
+use pe_sim::LaneWidth;
 use std::time::Instant;
 
 /// Workload size: real test samples driven per fault site.
@@ -46,10 +50,16 @@ enum Flavor {
 }
 
 /// Splits the site list into per-worker shards whose sizes are multiples of
-/// 64 (except the last), so no worker simulates half-empty PPSFP words.
-fn word_aligned_shards(sites: &[FaultSite], threads: usize) -> Vec<Vec<FaultSite>> {
-    let per_worker = sites.len().div_ceil(threads.max(1)).next_multiple_of(64);
-    sites.chunks(per_worker.max(64)).map(<[_]>::to_vec).collect()
+/// the sweep's lane capacity (except the last) — `64 * W` when a width is
+/// forced, 64 otherwise — so no worker simulates half-empty PPSFP sweeps.
+fn sweep_aligned_shards(
+    sites: &[FaultSite],
+    threads: usize,
+    width: Option<LaneWidth>,
+) -> Vec<Vec<FaultSite>> {
+    let lanes = width.map_or(64, LaneWidth::lanes);
+    let per_worker = sites.len().div_ceil(threads.max(1)).next_multiple_of(lanes);
+    sites.chunks(per_worker.max(lanes)).map(<[_]>::to_vec).collect()
 }
 
 fn merge(partials: Vec<FaultReport>) -> FaultReport {
@@ -63,8 +73,17 @@ fn merge(partials: Vec<FaultReport>) -> FaultReport {
 }
 
 /// One campaign implementation driven by [`run_sharded`]: the PPSFP
-/// default, the pattern-parallel dual, or the rebuild-per-site oracle.
-type CampaignPath = fn(&Netlist, &[FaultSite], &[Vec<(String, i64)>], &str, Flavor) -> FaultReport;
+/// default, the pattern-parallel dual, or the rebuild-per-site oracle. The
+/// [`LaneWidth`] override only matters to the PPSFP path; the reference
+/// paths ignore it.
+type CampaignPath = fn(
+    &Netlist,
+    &[FaultSite],
+    &[Vec<(String, i64)>],
+    &str,
+    Flavor,
+    Option<LaneWidth>,
+) -> FaultReport;
 
 /// Runs one campaign over site shards on the worker pool and returns the
 /// merged report with its wall-clock seconds.
@@ -73,12 +92,14 @@ fn run_sharded(
     shards: &[Vec<FaultSite>],
     workload: &[Vec<(String, i64)>],
     flavor: Flavor,
+    width: Option<LaneWidth>,
     threads: usize,
     path: CampaignPath,
 ) -> (FaultReport, f64) {
     let t0 = Instant::now();
-    let partials =
-        engine::parallel_map(shards, threads, |shard| path(nl, shard, workload, "class", flavor));
+    let partials = engine::parallel_map(shards, threads, |shard| {
+        path(nl, shard, workload, "class", flavor, width)
+    });
     (merge(partials), t0.elapsed().as_secs_f64())
 }
 
@@ -88,11 +109,18 @@ fn ppsfp_path(
     workload: &[Vec<(String, i64)>],
     out: &str,
     flavor: Flavor,
+    width: Option<LaneWidth>,
 ) -> FaultReport {
-    match flavor {
-        Flavor::Comb => fault_campaign_comb(nl, sites, workload, out).expect("acyclic"),
-        Flavor::Seq { cycles } => {
+    match (flavor, width) {
+        (Flavor::Comb, None) => fault_campaign_comb(nl, sites, workload, out).expect("acyclic"),
+        (Flavor::Comb, Some(w)) => {
+            fault_campaign_comb_ppsfp_wide(nl, sites, workload, out, w).expect("acyclic")
+        }
+        (Flavor::Seq { cycles }, None) => {
             fault_campaign_seq(nl, sites, workload, out, cycles).expect("acyclic")
+        }
+        (Flavor::Seq { cycles }, Some(w)) => {
+            fault_campaign_seq_ppsfp_wide(nl, sites, workload, out, cycles, w).expect("acyclic")
         }
     }
 }
@@ -103,6 +131,7 @@ fn patpar_path(
     workload: &[Vec<(String, i64)>],
     out: &str,
     flavor: Flavor,
+    _width: Option<LaneWidth>,
 ) -> FaultReport {
     match flavor {
         Flavor::Comb => {
@@ -120,6 +149,7 @@ fn oracle_path(
     workload: &[Vec<(String, i64)>],
     out: &str,
     flavor: Flavor,
+    _width: Option<LaneWidth>,
 ) -> FaultReport {
     match flavor {
         Flavor::Comb => oracle::fault_campaign_comb(nl, sites, workload, out).expect("acyclic"),
@@ -135,6 +165,7 @@ fn campaign(
     style: DesignStyle,
     max_sites: usize,
     compare: bool,
+    width: Option<LaneWidth>,
     threads: usize,
 ) {
     let prepared = engine.prepared(profile, style);
@@ -150,18 +181,20 @@ fn campaign(
     let all = sites.len();
     let step = pe_bench::sample_step(all, max_sites);
     sites = sites.into_iter().step_by(step).collect();
-    let shards = word_aligned_shards(&sites, threads);
+    let shards = sweep_aligned_shards(&sites, threads, width);
     eprintln!(
-        "[{} {}] {} sites (of {} candidates), {} workload vectors, {} threads, {} shards...",
+        "[{} {}] {} sites (of {} candidates), {} workload vectors, {} threads, {} shards, \
+         width {}...",
         profile.name(),
         style.label(),
         sites.len(),
         all,
         workload.len(),
         threads,
-        shards.len()
+        shards.len(),
+        width.map_or("auto".to_owned(), |w| format!("{w} ({} lanes/sweep)", w.lanes())),
     );
-    let (report, secs) = run_sharded(&nl, &shards, &workload, flavor, threads, ppsfp_path);
+    let (report, secs) = run_sharded(&nl, &shards, &workload, flavor, width, threads, ppsfp_path);
 
     let kind = match flavor {
         Flavor::Comb => "combinational".to_owned(),
@@ -178,15 +211,16 @@ fn campaign(
     println!("benign (masked)  : {}", report.benign);
 
     if compare {
-        let (pp, pp_secs) = run_sharded(&nl, &shards, &workload, flavor, threads, patpar_path);
+        let (pp, pp_secs) =
+            run_sharded(&nl, &shards, &workload, flavor, width, threads, patpar_path);
         assert_eq!(pp, report, "pattern-parallel report must match PPSFP");
         let oracle_sites: Vec<FaultSite> =
             sites.iter().copied().step_by(pe_bench::sample_step(sites.len(), ORACLE_CAP)).collect();
-        let oracle_shards = word_aligned_shards(&oracle_sites, threads);
+        let oracle_shards = sweep_aligned_shards(&oracle_sites, threads, width);
         let (ora, ora_secs) =
-            run_sharded(&nl, &oracle_shards, &workload, flavor, threads, oracle_path);
+            run_sharded(&nl, &oracle_shards, &workload, flavor, width, threads, oracle_path);
         let (ppsfp_sub, ppsfp_sub_secs) =
-            run_sharded(&nl, &oracle_shards, &workload, flavor, threads, ppsfp_path);
+            run_sharded(&nl, &oracle_shards, &workload, flavor, width, threads, ppsfp_path);
         assert_eq!(ora, ppsfp_sub, "oracle report must match PPSFP on the subsample");
         let per_site = |s: f64, n: usize| 1e6 * s / n.max(1) as f64;
         println!("\nper-site cost    : {:.1} µs PPSFP | {:.1} µs pattern-parallel | {:.1} µs rebuild oracle",
@@ -205,13 +239,23 @@ fn campaign(
 fn main() {
     let mut max_sites: usize = 0; // 0 = the full site list
     let mut compare = false;
-    for arg in std::env::args().skip(1) {
+    let mut width: Option<LaneWidth> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
         if arg == "--compare" {
             compare = true;
+        } else if arg == "--width" {
+            width = match it.next().as_deref().and_then(LaneWidth::parse) {
+                Some(w) => Some(w),
+                None => {
+                    eprintln!("faults: --width needs 1|2|4|8 (words) or 64|128|256|512 (lanes)");
+                    std::process::exit(2);
+                }
+            };
         } else if let Ok(n) = arg.parse() {
             max_sites = n;
         } else {
-            eprintln!("usage: faults [max_sites] [--compare]");
+            eprintln!("usage: faults [max_sites] [--compare] [--width 1|2|4|8]");
             std::process::exit(2);
         }
     }
@@ -227,8 +271,8 @@ fn main() {
     // The fully-parallel baseline (combinational campaign) and the paper's
     // sequential SVM (clocked campaign) — the headline design's robustness
     // was previously never measured here.
-    campaign(&engine, profile, DesignStyle::ParallelSvm, max_sites, compare, threads);
-    campaign(&engine, profile, DesignStyle::SequentialSvm, max_sites, compare, threads);
+    campaign(&engine, profile, DesignStyle::ParallelSvm, max_sites, compare, width, threads);
+    campaign(&engine, profile, DesignStyle::SequentialSvm, max_sites, compare, width, threads);
     println!("Reading: a substantial fraction of printed defects never flips a");
     println!("prediction — classification margins absorb them — which is why bespoke");
     println!("printed classifiers tolerate printing yields that would kill a CPU.");

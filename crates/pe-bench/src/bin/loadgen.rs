@@ -3,10 +3,12 @@
 //! Three drive modes:
 //!
 //! * **Ratio** (`--ratio`, part of the default run): closed-loop saturation
-//!   throughput of the 64-lane coalescing service versus a
+//!   throughput of the lane-coalescing service (up to `64 * W` requests per
+//!   sweep; `--width` forces the slab width) versus a
 //!   one-request-per-`run_batch` service (`batch_max = 1`) — the measured
 //!   payoff of batch coalescing. `--expect-ratio R` turns the measurement
-//!   into a gate (exit 1 below `R`).
+//!   into a gate (exit 1 below `R`), and the measured figures land in
+//!   `BENCH_serve.json` at the workspace root.
 //! * **Sweep** (`--sweep`, part of the default run): open-loop arrival
 //!   rates × batch deadlines, reporting served throughput, batch fill and
 //!   p50/p99 latency per cell — the latency/efficiency trade-off curve of
@@ -24,6 +26,7 @@
 use pe_core::engine::{NullSink, ProgressSink, StderrProgress};
 use pe_core::pipeline::RunOptions;
 use pe_serve::{MetricsSnapshot, ModelKey, ModelRegistry, ServeMode, Service, ServiceConfig};
+use pe_sim::LaneWidth;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::io::{BufRead, BufReader, Write};
@@ -37,6 +40,7 @@ struct Args {
     mode: ServeMode,
     requests: usize,
     batch_max: usize,
+    width: Option<LaneWidth>,
     ratio: bool,
     sweep: bool,
     expect_ratio: Option<f64>,
@@ -52,9 +56,11 @@ fn parse_args() -> Result<Args, String> {
         key: ModelKey::parse("pendigits:seq").expect("default key parses"),
         mode: ServeMode::Verify,
         requests: 20_000,
-        // 8 word-parallel chunks per run_batch call: amortizes simulator
-        // construction past the single-chunk floor.
+        // One full 8-word slab per run_batch call (a single 512-lane sweep
+        // at the default auto width): amortizes simulator construction past
+        // the single-chunk floor without splitting the batch.
         batch_max: 512,
+        width: None,
         ratio: false,
         sweep: false,
         expect_ratio: None,
@@ -73,6 +79,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--batch-max" => {
                 args.batch_max = value("--batch-max")?.parse().map_err(|_| "bad --batch-max")?;
+            }
+            "--width" => {
+                let spec = value("--width")?;
+                args.width = Some(
+                    LaneWidth::parse(&spec)
+                        .ok_or(format!("bad --width {spec:?} (expected 1|2|4|8 words)"))?,
+                );
             }
             "--ratio" => args.ratio = true,
             "--sweep" => args.sweep = true,
@@ -128,11 +141,16 @@ fn saturation_rps(
     (xs.len() as f64 / dt, m)
 }
 
-/// The batching payoff: coalesced 64-lane serving vs one-request-per-
-/// `run_batch` serving, both at saturation.
+/// The batching payoff: coalesced wide-lane serving vs one-request-per-
+/// `run_batch` serving, both at saturation. Records the figures in
+/// `BENCH_serve.json` at the workspace root.
 fn run_ratio(registry: &Arc<ModelRegistry>, args: &Args) -> f64 {
-    let base =
-        ServiceConfig { mode: args.mode, batch_max: args.batch_max, ..ServiceConfig::default() };
+    let base = ServiceConfig {
+        mode: args.mode,
+        batch_max: args.batch_max,
+        lane_width: args.width,
+        ..ServiceConfig::default()
+    };
     let injectors = 8;
     let xs_batched = test_vectors(registry, args.key, args.requests);
     // The unbatched service is ~batch_max× slower; a smaller sample keeps
@@ -166,8 +184,42 @@ fn run_ratio(registry: &Arc<ModelRegistry>, args: &Args) -> f64 {
         m_s.verify_mismatches
     );
     let ratio = rps_b / rps_s;
-    println!("  batching speedup: {ratio:.1}x");
+    println!(
+        "  batching speedup: {ratio:.1}x  (lane_width {} words, lane_fill {:.1}%, {} sweeps)",
+        m_b.lane_width,
+        m_b.lane_fill * 100.0,
+        m_b.sweeps
+    );
     assert_eq!(m_b.verify_mismatches + m_s.verify_mismatches, 0, "verify must never fire");
+
+    // Machine-readable record for the acceptance gates and the README.
+    let json = format!(
+        "{{\n  \"workload\": \"{} @ {:?} mode, {} requests, batch_max {}, saturation\",\n  \
+         \"coalesced_rps\": {:.0},\n  \"single_rps\": {:.0},\n  \"batching_speedup\": {:.2},\n  \
+         \"coalesced_p99_us\": {:.1},\n  \"single_p99_us\": {:.1},\n  \
+         \"batch_fill\": {:.3},\n  \"lane_width_words\": {},\n  \"lane_fill\": {:.3},\n  \
+         \"sweeps\": {}\n}}\n",
+        args.key.token(),
+        args.mode,
+        args.requests,
+        args.batch_max,
+        rps_b,
+        rps_s,
+        ratio,
+        m_b.p99.as_secs_f64() * 1e6,
+        m_s.p99.as_secs_f64() * 1e6,
+        m_b.batch_fill,
+        m_b.lane_width,
+        m_b.lane_fill,
+        m_b.sweeps,
+    );
+    // Anchor to the workspace root: cargo runs bin targets with varying cwd.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("loadgen: cannot write BENCH_serve.json: {e}");
+    } else {
+        println!("  wrote BENCH_serve.json");
+    }
     ratio
 }
 

@@ -20,7 +20,7 @@ use pe_ml::mlp::{Mlp, MlpTrainParams};
 use pe_ml::multiclass::{MulticlassScheme, SvmModel};
 use pe_ml::{QuantizedMlp, QuantizedSvm};
 use pe_netlist::Netlist;
-use pe_sim::{BatchMode, Simulator};
+use pe_sim::{BatchMode, LaneWidth, Simulator};
 
 /// Options shared by all experiments.
 #[derive(Debug, Clone)]
@@ -41,6 +41,11 @@ pub struct RunOptions {
     /// word-parallel bit-sliced engine is the default; the scalar reference
     /// is selectable so whole-pipeline runs can be differentially checked.
     pub batch_mode: BatchMode,
+    /// Slab width for the bit-sliced engine: how many 64-lane words each
+    /// net's packed value spans (64–512 vectors per topological sweep).
+    /// `None` picks a per-model default from the netlist size
+    /// ([`LaneWidth::auto_for_netlist`]); `Some` forces a width.
+    pub lane_width: Option<LaneWidth>,
 }
 
 impl Default for RunOptions {
@@ -52,6 +57,7 @@ impl Default for RunOptions {
             lib: EgfetLibrary::standard(),
             tech: TechParams::standard(),
             batch_mode: BatchMode::default(),
+            lane_width: None,
         }
     }
 }
@@ -333,6 +339,7 @@ pub fn run_prepared(
     }
     let mut sim = Simulator::new(&nl).expect("generated designs are acyclic");
     sim.set_batch_mode(opts.batch_mode);
+    sim.set_lane_width(opts.lane_width.unwrap_or_else(|| LaneWidth::auto_for_netlist(&nl)));
     sim.enable_activity();
     let cycles_per_vector = if style == DesignStyle::SequentialSvm { cycles } else { 0 };
     let batch = sim.run_batch(&vectors, cycles_per_vector, "class");
@@ -461,6 +468,31 @@ mod tests {
         assert_eq!(sliced.dynamic_mw, scalar.dynamic_mw);
         assert_eq!(sliced.power_mw, scalar.power_mw);
         assert_eq!(sliced.energy_mj, scalar.energy_mj);
+    }
+
+    #[test]
+    fn wide_lanes_agree_with_scalar_end_to_end() {
+        // Same differential check at an explicit wide slab: the sequential
+        // chunk size (64·W vectors) is part of the batch contract, so both
+        // engines must be pinned to the same width to compare energies.
+        let wide = run_experiment(
+            UciProfile::Cardio,
+            DesignStyle::SequentialSvm,
+            &RunOptions { lane_width: Some(LaneWidth::W4), ..fast_opts() },
+        );
+        let scalar = run_experiment(
+            UciProfile::Cardio,
+            DesignStyle::SequentialSvm,
+            &RunOptions {
+                batch_mode: pe_sim::BatchMode::Scalar,
+                lane_width: Some(LaneWidth::W4),
+                ..fast_opts()
+            },
+        );
+        assert_eq!(wide.mismatches, 0);
+        assert_eq!(wide.accuracy_pct, scalar.accuracy_pct);
+        assert_eq!(wide.dynamic_mw, scalar.dynamic_mw);
+        assert_eq!(wide.energy_mj, scalar.energy_mj);
     }
 
     #[test]

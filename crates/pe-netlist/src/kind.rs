@@ -127,6 +127,44 @@ impl CellKind {
         }
     }
 
+    /// Width-generic word-parallel truth function: a `[u64; W]` slab packs
+    /// `64 * W` lanes per net (word `i` holds lanes `64*i .. 64*i+63`), and
+    /// one call evaluates the cell for all of them. The match on the cell
+    /// kind happens once per call, outside the word loop, so each arm
+    /// monomorphizes to `W` straight-line bitwise ops — at `W = 1` this
+    /// compiles to exactly [`CellKind::eval_packed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.arity()` or if called on a sequential
+    /// cell (use [`CellKind::next_state_packed_wide`]).
+    #[must_use]
+    #[inline]
+    pub fn eval_packed_wide<const W: usize>(&self, inputs: &[[u64; W]]) -> [u64; W] {
+        assert!(!self.is_sequential(), "eval_packed_wide called on sequential cell {self:?}");
+        assert_eq!(inputs.len(), self.arity(), "arity mismatch for {self:?}");
+        use core::array::from_fn;
+        match self {
+            CellKind::Inv => from_fn(|i| !inputs[0][i]),
+            CellKind::Buf => inputs[0],
+            CellKind::Nand2 => from_fn(|i| !(inputs[0][i] & inputs[1][i])),
+            CellKind::Nor2 => from_fn(|i| !(inputs[0][i] | inputs[1][i])),
+            CellKind::And2 => from_fn(|i| inputs[0][i] & inputs[1][i]),
+            CellKind::Or2 => from_fn(|i| inputs[0][i] | inputs[1][i]),
+            CellKind::Xor2 => from_fn(|i| inputs[0][i] ^ inputs[1][i]),
+            CellKind::Xnor2 => from_fn(|i| !(inputs[0][i] ^ inputs[1][i])),
+            CellKind::And3 => from_fn(|i| inputs[0][i] & inputs[1][i] & inputs[2][i]),
+            CellKind::Or3 => from_fn(|i| inputs[0][i] | inputs[1][i] | inputs[2][i]),
+            CellKind::Mux2 => {
+                from_fn(|i| (inputs[0][i] & !inputs[2][i]) | (inputs[1][i] & inputs[2][i]))
+            }
+            CellKind::Maj3 => from_fn(|i| {
+                (inputs[0][i] & (inputs[1][i] | inputs[2][i])) | (inputs[1][i] & inputs[2][i])
+            }),
+            CellKind::Dff | CellKind::DffE => unreachable!(),
+        }
+    }
+
     /// Next-state function of a sequential cell given its data inputs and the
     /// current state `q`.
     ///
@@ -164,6 +202,30 @@ impl CellKind {
             CellKind::Dff => inputs[0],
             CellKind::DffE => (inputs[0] & inputs[1]) | (q & !inputs[1]),
             _ => panic!("next_state_packed called on combinational cell {self:?}"),
+        }
+    }
+
+    /// Width-generic word-parallel next-state function (see
+    /// [`CellKind::eval_packed_wide`] for the slab model): word `i`, bit `l`
+    /// of the result is the next state of lane `64*i + l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a combinational cell or with the wrong number of
+    /// inputs.
+    #[must_use]
+    #[inline]
+    pub fn next_state_packed_wide<const W: usize>(
+        &self,
+        inputs: &[[u64; W]],
+        q: &[u64; W],
+    ) -> [u64; W] {
+        assert_eq!(inputs.len(), self.arity(), "arity mismatch for {self:?}");
+        use core::array::from_fn;
+        match self {
+            CellKind::Dff => inputs[0],
+            CellKind::DffE => from_fn(|i| (inputs[0][i] & inputs[1][i]) | (q[i] & !inputs[1][i])),
+            _ => panic!("next_state_packed_wide called on combinational cell {self:?}"),
         }
     }
 
@@ -323,6 +385,62 @@ mod tests {
     #[should_panic(expected = "combinational")]
     fn packed_next_state_on_gate_panics() {
         let _ = CellKind::And2.next_state_packed(&[0, 0], 0);
+    }
+
+    fn wide_eval_matches_word_at_a_time<const W: usize>() {
+        for &k in CellKind::all() {
+            if k.is_sequential() {
+                continue;
+            }
+            let n = k.arity();
+            let slabs: Vec<[u64; W]> = (0..n)
+                .map(|i| {
+                    core::array::from_fn(|w| {
+                        0xA5A5_5A5A_DEAD_BEEFu64.rotate_left((7 * i + 13 * w + 3) as u32)
+                    })
+                })
+                .collect();
+            let wide = k.eval_packed_wide::<W>(&slabs);
+            for w in 0..W {
+                let words: Vec<u64> = slabs.iter().map(|s| s[w]).collect();
+                assert_eq!(wide[w], k.eval_packed(&words), "{k:?} word {w} diverged at W={W}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_eval_matches_narrow_eval_per_word() {
+        wide_eval_matches_word_at_a_time::<1>();
+        wide_eval_matches_word_at_a_time::<2>();
+        wide_eval_matches_word_at_a_time::<4>();
+        wide_eval_matches_word_at_a_time::<8>();
+    }
+
+    #[test]
+    fn wide_next_state_matches_narrow_per_word() {
+        let d: [u64; 4] = core::array::from_fn(|w| 0x0123_4567_89AB_CDEFu64.rotate_left(w as u32));
+        let en: [u64; 4] =
+            core::array::from_fn(|w| 0xF0F0_0F0F_3C3C_C3C3u64.rotate_right(w as u32));
+        let q: [u64; 4] =
+            core::array::from_fn(|w| 0xFFFF_0000_FF00_00FFu64.rotate_left(2 * w as u32));
+        let dff = CellKind::Dff.next_state_packed_wide::<4>(&[d], &q);
+        let dffe = CellKind::DffE.next_state_packed_wide::<4>(&[d, en], &q);
+        for w in 0..4 {
+            assert_eq!(dff[w], CellKind::Dff.next_state_packed(&[d[w]], q[w]));
+            assert_eq!(dffe[w], CellKind::DffE.next_state_packed(&[d[w], en[w]], q[w]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "combinational")]
+    fn wide_next_state_on_gate_panics() {
+        let _ = CellKind::And2.next_state_packed_wide::<2>(&[[0; 2], [0; 2]], &[0; 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential")]
+    fn wide_eval_on_dff_panics() {
+        let _ = CellKind::Dff.eval_packed_wide::<2>(&[[0; 2]]);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! pe-serve [--addr HOST:PORT] [--mode gate|int|verify] [--batch-max N]
-//!          [--deadline-us N] [--workers N] [--capacity N]
+//!          [--width 1|2|4|8] [--deadline-us N] [--workers N] [--capacity N]
 //!          [--warm key,key,... | --warm-grid]
 //! ```
 //!
@@ -28,8 +28,10 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: pe-serve [--addr HOST:PORT] [--mode gate|int|verify] [--batch-max N]\n\
-         \x20               [--deadline-us N] [--workers N] [--capacity N]\n\
-         \x20               [--warm key,key,... | --warm-grid]"
+         \x20               [--width 1|2|4|8] [--deadline-us N] [--workers N] [--capacity N]\n\
+         \x20               [--warm key,key,... | --warm-grid]\n\
+         --width forces the bit-sliced slab width in words (64-512 lanes per\n\
+         sweep; lane counts accepted); default: per-model auto"
     );
     std::process::exit(2)
 }
@@ -49,6 +51,13 @@ fn parse_args() -> Result<Args, String> {
             "--batch-max" => {
                 args.cfg.batch_max =
                     value("--batch-max")?.parse().map_err(|_| "bad --batch-max".to_owned())?;
+            }
+            "--width" => {
+                let spec = value("--width")?;
+                args.cfg.lane_width = Some(
+                    pe_sim::LaneWidth::parse(&spec)
+                        .ok_or(format!("bad --width {spec:?} (expected 1|2|4|8 words)"))?,
+                );
             }
             "--deadline-us" => {
                 let us: u64 =
@@ -99,11 +108,13 @@ fn main() -> ExitCode {
         }
     };
     let cfg = service.config();
+    let width = cfg.lane_width.map_or("auto".to_owned(), |w| w.to_string());
     eprintln!(
-        "pe-serve listening on {} (mode {:?}, batch_max {}, deadline {:?}, workers {})",
+        "pe-serve listening on {} (mode {:?}, batch_max {}, width {}, deadline {:?}, workers {})",
         server.local_addr(),
         cfg.mode,
         cfg.batch_max,
+        width,
         cfg.batch_deadline,
         cfg.workers
     );

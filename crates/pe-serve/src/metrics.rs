@@ -78,6 +78,9 @@ pub struct Metrics {
     verify_mismatches: AtomicU64,
     batches: AtomicU64,
     batch_lanes: AtomicU64,
+    sweeps: AtomicU64,
+    sweep_capacity: AtomicU64,
+    lane_words: AtomicU64,
     gate_cycles: AtomicU64,
     latency: LatencyHistogram,
 }
@@ -92,6 +95,9 @@ impl Metrics {
             verify_mismatches: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batch_lanes: AtomicU64::new(0),
+            sweeps: AtomicU64::new(0),
+            sweep_capacity: AtomicU64::new(0),
+            lane_words: AtomicU64::new(0),
             gate_cycles: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
         }
@@ -105,9 +111,26 @@ impl Metrics {
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn on_batch(&self, lanes: usize, gate_cycles: u64, mismatches: usize) {
+    /// Accounts one executed batch. `lane_words` is the slab width (in
+    /// words) the gate-level simulator ran at — 0 for integer-only batches,
+    /// which do no sweeps. Sweep occupancy is accounted against the
+    /// **effective** lane capacity `64 * lane_words`, not a hardcoded 64.
+    pub(crate) fn on_batch(
+        &self,
+        lanes: usize,
+        lane_words: usize,
+        gate_cycles: u64,
+        mismatches: usize,
+    ) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batch_lanes.fetch_add(lanes as u64, Ordering::Relaxed);
+        if lane_words > 0 && lanes > 0 {
+            let capacity = (lane_words * 64) as u64;
+            let sweeps = (lanes as u64).div_ceil(capacity);
+            self.sweeps.fetch_add(sweeps, Ordering::Relaxed);
+            self.sweep_capacity.fetch_add(sweeps * capacity, Ordering::Relaxed);
+            self.lane_words.store(lane_words as u64, Ordering::Relaxed);
+        }
         self.gate_cycles.fetch_add(gate_cycles, Ordering::Relaxed);
         if mismatches > 0 {
             self.verify_mismatches.fetch_add(mismatches as u64, Ordering::Relaxed);
@@ -127,6 +150,8 @@ impl Metrics {
         let served = self.served.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
         let lanes = self.batch_lanes.load(Ordering::Relaxed);
+        let sweeps = self.sweeps.load(Ordering::Relaxed);
+        let sweep_capacity = self.sweep_capacity.load(Ordering::Relaxed);
         let elapsed = self.started.elapsed();
         MetricsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -140,6 +165,9 @@ impl Metrics {
             } else {
                 lanes as f64 / (batches as f64 * batch_max.max(1) as f64)
             },
+            lane_width: self.lane_words.load(Ordering::Relaxed),
+            sweeps,
+            lane_fill: if sweep_capacity == 0 { 0.0 } else { lanes as f64 / sweep_capacity as f64 },
             p50: self.latency.quantile(0.50),
             p99: self.latency.quantile(0.99),
             throughput_rps: if elapsed.as_secs_f64() > 0.0 {
@@ -167,8 +195,18 @@ pub struct MetricsSnapshot {
     pub batches: u64,
     /// Gate-level clock cycles simulated.
     pub gate_cycles: u64,
-    /// Mean fraction of the 64 lanes a batch actually filled.
+    /// Mean fraction of `batch_max` a batch actually filled.
     pub batch_fill: f64,
+    /// Slab width (in 64-lane words) of the most recent gate-level batch:
+    /// how many packed vectors one topological sweep carries, divided
+    /// by 64. Zero until a gate-level batch ran (e.g. in `int` mode).
+    pub lane_width: u64,
+    /// Bit-sliced sweeps executed (one sweep evaluates up to
+    /// `64 * lane_width` requests in lockstep).
+    pub sweeps: u64,
+    /// Mean fraction of the **effective** lane capacity (`64 * lane_width`,
+    /// not a hardcoded 64) the executed sweeps actually filled.
+    pub lane_fill: f64,
     /// Median request latency (enqueue to reply; 2× bucket resolution).
     pub p50: Duration,
     /// 99th-percentile request latency.
@@ -185,7 +223,8 @@ impl MetricsSnapshot {
     pub fn to_line(&self) -> String {
         format!(
             "submitted={} served={} rejected={} mismatches={} batches={} gate_cycles={} \
-             fill={:.3} p50_us={:.1} p99_us={:.1} rps={:.1} qdepth={}",
+             fill={:.3} lane_width={} sweeps={} lane_fill={:.3} p50_us={:.1} p99_us={:.1} \
+             rps={:.1} qdepth={}",
             self.submitted,
             self.served,
             self.rejected,
@@ -193,6 +232,9 @@ impl MetricsSnapshot {
             self.batches,
             self.gate_cycles,
             self.batch_fill,
+            self.lane_width,
+            self.sweeps,
+            self.lane_fill,
             self.p50.as_secs_f64() * 1e6,
             self.p99.as_secs_f64() * 1e6,
             self.throughput_rps,
@@ -218,9 +260,14 @@ impl fmt::Display for MetricsSnapshot {
         )?;
         writeln!(
             f,
-            "batches {} (mean fill {:.1}%), gate cycles {}",
+            "batches {} (mean fill {:.1}%), {} sweeps at width {} ({:.1}% of {} lanes), \
+             gate cycles {}",
             self.batches,
             self.batch_fill * 100.0,
+            self.sweeps,
+            self.lane_width,
+            self.lane_fill * 100.0,
+            self.lane_width * 64,
             self.gate_cycles
         )?;
         writeln!(
@@ -284,19 +331,43 @@ mod tests {
     fn snapshot_line_round_trips_fields() {
         let m = Metrics::new();
         m.on_submit();
-        m.on_batch(32, 96, 0);
+        m.on_batch(32, 1, 96, 0);
         m.on_served(Duration::from_micros(500));
         let snap = m.snapshot(64, 0);
         assert_eq!(snap.submitted, 1);
         assert_eq!(snap.served, 1);
         assert!((snap.batch_fill - 0.5).abs() < 1e-9);
+        assert_eq!(snap.lane_width, 1);
+        assert_eq!(snap.sweeps, 1);
+        assert!((snap.lane_fill - 0.5).abs() < 1e-9);
         let line = snap.to_line();
         assert_eq!(MetricsSnapshot::field(&line, "served"), Some(1.0));
         assert_eq!(MetricsSnapshot::field(&line, "mismatches"), Some(0.0));
         assert_eq!(MetricsSnapshot::field(&line, "gate_cycles"), Some(96.0));
+        assert_eq!(MetricsSnapshot::field(&line, "lane_width"), Some(1.0));
         assert_eq!(MetricsSnapshot::field(&line, "nope"), None);
         // Display renders without panicking and mentions the key figures.
         let text = snap.to_string();
         assert!(text.contains("verify mismatches 0"));
+    }
+
+    #[test]
+    fn lane_fill_accounts_against_effective_capacity() {
+        // 300 requests in one batch at an 8-word slab (512-lane sweeps): one
+        // sweep, 300/512 full. The old hardcoded-64 accounting would report
+        // five "batches" worth of lanes instead.
+        let m = Metrics::new();
+        m.on_batch(300, 8, 0, 0);
+        let snap = m.snapshot(512, 0);
+        assert_eq!(snap.lane_width, 8);
+        assert_eq!(snap.sweeps, 1);
+        assert!((snap.lane_fill - 300.0 / 512.0).abs() < 1e-9, "lane_fill {}", snap.lane_fill);
+        // Integer-only batches do no sweeps and leave lane accounting alone.
+        let int_only = Metrics::new();
+        int_only.on_batch(10, 0, 0, 0);
+        let snap = int_only.snapshot(64, 0);
+        assert_eq!(snap.lane_width, 0);
+        assert_eq!(snap.sweeps, 0);
+        assert_eq!(snap.lane_fill, 0.0);
     }
 }

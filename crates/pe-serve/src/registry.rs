@@ -17,7 +17,7 @@ use pe_core::pipeline::{
 };
 use pe_core::styles::DesignStyle;
 use pe_data::UciProfile;
-use pe_sim::{Schedule, Simulator};
+use pe_sim::{LaneWidth, Schedule, Simulator};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -138,6 +138,12 @@ pub struct ModelEntry {
     /// `run_batch` cycles per vector: the class count for the sequential
     /// style, 0 (combinational settle) for the parallel styles.
     pub cycles_per_vector: u64,
+    /// The bit-sliced slab width batches over this model run at: the
+    /// registry's [`RunOptions::lane_width`] override when set, else the
+    /// per-model default ([`LaneWidth::auto_for_netlist`] — printed
+    /// classifiers are small enough that this is almost always the full
+    /// 8-word slab, 512 lanes per sweep).
+    pub lane_width: LaneWidth,
 }
 
 impl ModelEntry {
@@ -150,14 +156,18 @@ impl ModelEntry {
         } else {
             0
         };
-        ModelEntry { key, prepared, netlist, schedule, cycles_per_vector }
+        let lane_width = opts.lane_width.unwrap_or_else(|| LaneWidth::auto_for_netlist(&netlist));
+        ModelEntry { key, prepared, netlist, schedule, cycles_per_vector, lane_width }
     }
 
     /// A fresh gate-level simulator over this entry's netlist, constructed
-    /// from the cached schedule (no levelization).
+    /// from the cached schedule (no levelization) and set to the entry's
+    /// slab width.
     #[must_use]
     pub fn simulator(&self) -> Simulator<'_> {
-        Simulator::with_schedule(&self.netlist, &self.schedule)
+        let mut sim = Simulator::with_schedule(&self.netlist, &self.schedule);
+        sim.set_lane_width(self.lane_width);
+        sim
     }
 
     /// Number of input features a request must carry.

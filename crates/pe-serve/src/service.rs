@@ -2,8 +2,10 @@
 //!
 //! Requests are submitted per [`ModelKey`] and coalesced into lanes of one
 //! word-parallel [`run_batch`](pe_sim::Simulator::run_batch) call: the
-//! bit-sliced engine evaluates up to 64 requests with a single bitwise op
-//! per gate, which is the entire economic argument for batching. A batch is
+//! bit-sliced engine evaluates up to `64 * W` requests (64–512, the slab
+//! width `W` per-model auto-picked or forced via
+//! [`ServiceConfig::lane_width`]) with `W` bitwise ops per gate, which is
+//! the entire economic argument for batching. A batch is
 //! flushed when it reaches [`ServiceConfig::batch_max`] lanes **or** when
 //! its oldest request has waited [`ServiceConfig::batch_deadline`] — ragged
 //! batches still flush promptly at low load, full batches flush immediately
@@ -29,6 +31,7 @@
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::registry::{ModelKey, ModelRegistry};
 use pe_sim::bitslice::LANES;
+use pe_sim::LaneWidth;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -70,10 +73,18 @@ pub struct ServiceConfig {
     /// Which path answers requests.
     pub mode: ServeMode,
     /// Requests per `run_batch` call, clamped to `1..=1024`. Values above
-    /// 64 run as several 64-lane chunks inside **one** call, amortizing
-    /// simulator construction further; 1 degenerates to
-    /// one-request-per-`run_batch` serving (the loadgen baseline).
+    /// the slab's `64 * W` lane capacity run as several sweeps inside
+    /// **one** call, amortizing simulator construction further; 1
+    /// degenerates to one-request-per-`run_batch` serving (the loadgen
+    /// baseline). At the default 8-word slab a batch of 512 is a single
+    /// sweep — no splitting.
     pub batch_max: usize,
+    /// Bit-sliced slab width override. `None` (the default) uses each
+    /// model's auto-picked width ([`ModelEntry::lane_width`]); `Some`
+    /// forces every gate-level batch to this width.
+    ///
+    /// [`ModelEntry::lane_width`]: crate::registry::ModelEntry::lane_width
+    pub lane_width: Option<LaneWidth>,
     /// How long the oldest queued request may wait before its (possibly
     /// ragged) batch is flushed anyway.
     pub batch_deadline: Duration,
@@ -89,6 +100,7 @@ impl Default for ServiceConfig {
         ServiceConfig {
             mode: ServeMode::default(),
             batch_max: LANES,
+            lane_width: None,
             batch_deadline: Duration::from_millis(2),
             queue_capacity: 4096,
             workers: std::thread::available_parallelism()
@@ -448,10 +460,14 @@ fn run_one_batch(shared: &Shared, key: ModelKey, mut reqs: Vec<Pending>) {
             vectors.iter().map(|x_q| entry.predict_int(x_q)).collect()
         }
     };
-    let (preds, gate_cycles, mismatches) = match shared.cfg.mode {
-        ServeMode::Int => (int_preds, 0, 0),
+    let (preds, lane_words, gate_cycles, mismatches) = match shared.cfg.mode {
+        ServeMode::Int => (int_preds, 0, 0, 0),
         ServeMode::Gate | ServeMode::Verify => {
             let mut sim = entry.simulator();
+            if let Some(w) = shared.cfg.lane_width {
+                sim.set_lane_width(w);
+            }
+            let lane_words = sim.lane_width().words();
             let result = sim.run_batch(&vectors, entry.cycles_per_vector, "class");
             let gate: Vec<usize> = result.outputs.iter().map(|&v| v as usize).collect();
             let mismatches = if shared.cfg.mode == ServeMode::Verify {
@@ -459,10 +475,10 @@ fn run_one_batch(shared: &Shared, key: ModelKey, mut reqs: Vec<Pending>) {
             } else {
                 0
             };
-            (gate, result.cycles, mismatches)
+            (gate, lane_words, result.cycles, mismatches)
         }
     };
-    shared.metrics.on_batch(reqs.len(), gate_cycles, mismatches);
+    shared.metrics.on_batch(reqs.len(), lane_words, gate_cycles, mismatches);
     let now = Instant::now();
     for (req, pred) in reqs.into_iter().zip(preds) {
         shared.metrics.on_served(now.saturating_duration_since(req.enqueued));
@@ -595,5 +611,33 @@ mod tests {
         assert_eq!(m.verify_mismatches, 0);
         assert!(m.batches <= 4, "128 requests should land in few batches, got {}", m.batches);
         assert!(m.batch_fill > 0.5, "fill {}", m.batch_fill);
+    }
+
+    #[test]
+    fn widened_batch_max_serves_one_batch_in_one_sweep() {
+        // batch_max beyond 64 used to split into several 64-lane chunks; at
+        // an 8-word slab a 300-request batch is a single 512-lane sweep.
+        let registry = test_registry();
+        let key = cardio_seq();
+        let xs = samples(&registry, key, 300);
+        let svc = Service::start(
+            Arc::clone(&registry),
+            ServiceConfig {
+                mode: ServeMode::Verify,
+                batch_max: 512,
+                lane_width: Some(LaneWidth::W8),
+                batch_deadline: Duration::from_millis(20),
+                ..ServiceConfig::default()
+            },
+        );
+        let results = svc.classify_batch(key, &xs);
+        assert!(results.iter().all(Result::is_ok));
+        let m = svc.metrics();
+        assert_eq!(m.served, 300);
+        assert_eq!(m.verify_mismatches, 0);
+        assert_eq!(m.lane_width, 8, "stats must surface the slab width");
+        assert!(m.batches <= 2, "300 requests at batch_max 512, got {} batches", m.batches);
+        assert!(m.sweeps <= 2, "one 512-lane sweep should cover 300 lanes, got {}", m.sweeps);
+        assert!(m.lane_fill > 0.5, "lane_fill {} must be against 512, not 64", m.lane_fill);
     }
 }

@@ -55,6 +55,20 @@ impl ToggleCounters {
         self.counts[net_index] += u64::from(lanes.count_ones());
     }
 
+    /// Accounts up to `64 * W` toggles of one net at once: `lanes` is a
+    /// masked XOR-difference slab (see [`crate::bitslice`] for the slab
+    /// layout), each set bit one lane whose value changed. The popcounts are
+    /// summed before the single counter add, so widening the slab does not
+    /// multiply the accounting cost per net.
+    #[inline]
+    pub fn bump_packed_wide<const W: usize>(&mut self, net_index: usize, lanes: &[u64; W]) {
+        let mut n = 0u64;
+        for &w in lanes {
+            n += u64::from(w.count_ones());
+        }
+        self.counts[net_index] += n;
+    }
+
     /// Adds another accumulator's counts into this one (used when a
     /// bit-sliced batch folds its activity back into the owning simulator).
     ///
@@ -200,6 +214,19 @@ mod tests {
         packed.merge(&snapshot);
         assert_eq!(packed.counts(), &[6, 2]);
         assert_eq!(packed.report(4).total_toggles(), 8);
+    }
+
+    #[test]
+    fn wide_bump_sums_popcounts_across_words() {
+        let mut narrow = ToggleCounters::enabled(1);
+        let mut wide = ToggleCounters::enabled(1);
+        let slab = [0b1011u64, !0, 0, 1 << 63];
+        for &w in &slab {
+            narrow.bump_packed(0, w);
+        }
+        wide.bump_packed_wide(0, &slab);
+        assert_eq!(narrow, wide);
+        assert_eq!(wide.counts(), &[3 + 64 + 1]);
     }
 
     #[test]

@@ -1,58 +1,175 @@
-//! Word-parallel bit-sliced simulation: 64 test vectors per machine word.
+//! Word-parallel bit-sliced simulation: up to 512 test vectors per sweep.
 //!
 //! The scalar [`Simulator`](crate::Simulator) stores one `bool` per net and
 //! walks the netlist once per test vector — the single hottest loop behind
-//! every Table-I grid run and fault campaign. [`BitSlicedSimulator`] packs up
-//! to 64 vectors into one `u64` per net ("lanes"), so a topological sweep
-//! evaluates every gate for the whole chunk with a single bitwise operation
-//! per cell ([`pe_netlist::CellKind::eval_packed`]).
+//! every Table-I grid run and fault campaign. [`BitSlicedSimulator`] packs
+//! test vectors into a **slab** of `W` machine words (`[u64; W]`, the const
+//! generic `W` one of 1/2/4/8) per net, so a topological sweep evaluates
+//! every gate for `64 * W` vectors at once with `W` bitwise operations per
+//! cell ([`pe_netlist::CellKind::eval_packed_wide`]). The slabs are stored
+//! structure-of-arrays: each net owns `W` contiguous words, so a cell eval
+//! touches whole cache lines (a `[u64; 8]` slab is exactly one 64-byte
+//! line). `W = 1` compiles to exactly the original one-word engine; the
+//! runtime knob picking among the monomorphized widths is [`LaneWidth`].
 //!
 //! # Lane layout
 //!
-//! Bit `l` of every packed word belongs to **lane** `l`, which simulates
-//! vector `l` of the current chunk. A batch of `N` vectors is processed as
-//! `ceil(N / 64)` chunks; the final chunk may be *ragged* (fewer than 64
-//! active lanes) and is handled with a **lane mask** — a word with one bit
-//! set per active lane. Values in masked-off lanes are garbage and are never
-//! allowed to escape: activity accounting ANDs every XOR-difference with the
-//! mask before popcounting, outputs are extracted per active lane only, and
-//! the chunk-exit carry reads exactly the last active lane.
+//! Bit `l` of word `i` of every slab belongs to **lane** `64*i + l`, which
+//! simulates vector `64*i + l` of the current chunk. A batch of `N` vectors
+//! is processed as `ceil(N / (64*W))` chunks; the final chunk may be
+//! *ragged* (fewer than `64*W` active lanes) and is handled with a **lane
+//! mask** — a slab with one bit set per active lane ([`lane_mask_wide`]).
+//! Values in masked-off lanes are garbage and are never allowed to escape:
+//! activity accounting ANDs every XOR-difference with the mask before
+//! popcounting, outputs are extracted per active lane only, and the
+//! chunk-exit carry reads exactly the last active lane.
 //!
 //! # Batch semantics (shared with the scalar engine)
 //!
-//! Between chunks every word is a *broadcast* (all 64 lanes hold the same
-//! bit): the serial value carried from the previous chunk.
+//! Between chunks every slab is a *broadcast* (all `64*W` lanes hold the
+//! same bit): the serial value carried from the previous chunk.
 //!
 //! * **Combinational batches** (`cycles_per_vector == 0`): settled values are
 //!   pure functions of the inputs, so lanes evaluate independently and the
-//!   result is bit-identical to a caller-side serial loop. Toggle counts are
-//!   serial-exact too: for each net the count of adjacent differences in the
-//!   settled sequence `v_prev, v_0, v_1, …` is
-//!   `popcount((w ^ ((w << 1) | carry)) & mask)` — lane `l` compares against
-//!   lane `l-1`, lane 0 against the carried bit.
+//!   result is bit-identical to a caller-side serial loop *at every width*.
+//!   Toggle counts are serial-exact too: for each net the count of adjacent
+//!   differences in the settled sequence `v_prev, v_0, v_1, …` is
+//!   `popcount((w ^ ((w << 1) | carry)) & mask)` per word — lane `l`
+//!   compares against lane `l-1`, lane 0 of word `i` against bit 63 of word
+//!   `i-1` (word 0 against the carried broadcast bit), chaining the shift
+//!   carry across the slab.
 //! * **Sequential batches** (`cycles_per_vector == c > 0`): every lane starts
 //!   the chunk from the chunk-entry net values and register state, all lanes
 //!   tick `c` times in lockstep (packed register update via
-//!   [`pe_netlist::CellKind::next_state_packed`]), and the last active lane's final
-//!   values/state become the carry into the next chunk. The scalar engine
-//!   implements this identical chunked-streaming contract
+//!   [`pe_netlist::CellKind::next_state_packed_wide`]), and the last active
+//!   lane's final values/state become the carry into the next chunk. The
+//!   chunk size `64*W` is part of this contract: the scalar engine
+//!   implements the identical chunked-streaming semantics at the *same*
+//!   configured [`LaneWidth`]
 //!   ([`Simulator::run_batch`](crate::Simulator::run_batch) with
 //!   [`BatchMode::Scalar`](crate::sim::BatchMode)), which is what makes
 //!   bit-identity — outputs, per-net toggle counts, carried register state —
-//!   testable exactly (see `tests/bitslice_differential.rs`).
+//!   testable exactly (see `tests/bitslice_differential.rs`). Sequential
+//!   *outputs* are additionally width-invariant whenever each
+//!   classification's result depends only on its own input vector (true for
+//!   the paper's classifier datapaths); sequential *toggle counts* are
+//!   defined per width because chunk boundaries move.
 //!
 //! Fault campaigns reuse one `BitSlicedSimulator` across every fault site by
 //! pinning nets with [`BitSlicedSimulator::force_net`] and releasing them
-//! afterwards, instead of rebuilding and rescheduling a simulator per site
-//! (see [`crate::faults`]).
+//! afterwards, instead of rebuilding and rescheduling a simulator per site;
+//! at `W = 8` a PPSFP sweep carries 512 faulty machines in lockstep (see
+//! [`crate::faults`]).
 
 use crate::activity::{ActivityReport, ToggleCounters};
 use crate::sim::BatchResult;
 use pe_netlist::{CellId, Netlist, NetlistError, PortDir};
 use std::collections::HashMap;
 
-/// Number of simulation lanes in one machine word.
+/// Number of simulation lanes in one machine word (one slab holds
+/// `LANES * W` lanes).
 pub const LANES: usize = 64;
+
+/// Largest supported slab width in words (`MAX_WIDTH * LANES` lanes).
+pub const MAX_WIDTH: usize = 8;
+
+/// Runtime-selectable slab width of the bit-sliced engine: how many `u64`
+/// words (and therefore how many `64 * W` packed test vectors) one
+/// topological sweep carries. Each variant selects a monomorphized
+/// `[u64; W]` engine; [`LaneWidth::W1`] is exactly the original one-word
+/// engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LaneWidth {
+    /// One word per net: 64 lanes per sweep.
+    #[default]
+    W1,
+    /// Two words per net: 128 lanes per sweep.
+    W2,
+    /// Four words per net: 256 lanes per sweep.
+    W4,
+    /// Eight words per net (a full 64-byte cache line): 512 lanes per sweep.
+    W8,
+}
+
+impl LaneWidth {
+    /// Every supported width, narrowest first (the width-sweep order used by
+    /// benches and differential tests).
+    pub const ALL: [LaneWidth; 4] = [LaneWidth::W1, LaneWidth::W2, LaneWidth::W4, LaneWidth::W8];
+
+    /// Slab width in words.
+    #[must_use]
+    pub fn words(self) -> usize {
+        match self {
+            LaneWidth::W1 => 1,
+            LaneWidth::W2 => 2,
+            LaneWidth::W4 => 4,
+            LaneWidth::W8 => 8,
+        }
+    }
+
+    /// Packed vectors per sweep (`64 * words`).
+    #[must_use]
+    pub fn lanes(self) -> usize {
+        LANES * self.words()
+    }
+
+    /// The width with the given word count, if supported.
+    #[must_use]
+    pub fn from_words(words: usize) -> Option<Self> {
+        match words {
+            1 => Some(LaneWidth::W1),
+            2 => Some(LaneWidth::W2),
+            4 => Some(LaneWidth::W4),
+            8 => Some(LaneWidth::W8),
+            _ => None,
+        }
+    }
+
+    /// Parses a CLI-style width spec: a word count (`1`/`2`/`4`/`8`) or a
+    /// lane count (`64`/`128`/`256`/`512`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim() {
+            "1" | "64" => Some(LaneWidth::W1),
+            "2" | "128" => Some(LaneWidth::W2),
+            "4" | "256" => Some(LaneWidth::W4),
+            "8" | "512" => Some(LaneWidth::W8),
+            _ => None,
+        }
+    }
+
+    /// Smallest width whose sweep covers `n` fault sites (capped at
+    /// [`LaneWidth::W8`]) — the auto choice of the PPSFP campaigns, which
+    /// are width-invariant in their verdicts, so wider is purely fewer
+    /// sweeps.
+    #[must_use]
+    pub fn for_sites(n: usize) -> Self {
+        Self::ALL.into_iter().find(|w| n <= w.lanes()).unwrap_or(LaneWidth::W8)
+    }
+
+    /// Netlist-size heuristic for batch classification: the widest slab
+    /// whose hot working set (three slabs per net: values, forced masks,
+    /// forced values) still fits comfortably in a per-core L2. Tiny printed
+    /// classifiers (hundreds of nets) always get [`LaneWidth::W8`]; very
+    /// large netlists fall back toward [`LaneWidth::W1`], where the extra
+    /// words would just thrash the cache for no occupancy win.
+    #[must_use]
+    pub fn auto_for_netlist(nl: &Netlist) -> Self {
+        const BUDGET_BYTES: usize = 512 * 1024;
+        let per_net_per_word = 3 * std::mem::size_of::<u64>();
+        Self::ALL
+            .into_iter()
+            .rev()
+            .find(|w| nl.num_nets() * per_net_per_word * w.words() <= BUDGET_BYTES)
+            .unwrap_or(LaneWidth::W1)
+    }
+}
+
+impl std::fmt::Display for LaneWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.words())
+    }
+}
 
 /// A mask with one bit set per active lane of a (possibly ragged) chunk.
 #[inline]
@@ -66,7 +183,36 @@ pub fn lane_mask(active: usize) -> u64 {
     }
 }
 
-/// Replicates one bit into all 64 lanes.
+/// A slab mask with one bit set per active lane of a (possibly ragged)
+/// chunk of up to `64 * W` lanes.
+#[inline]
+#[must_use]
+pub fn lane_mask_wide<const W: usize>(active: usize) -> [u64; W] {
+    debug_assert!((1..=LANES * W).contains(&active));
+    core::array::from_fn(|i| {
+        let lo = i * LANES;
+        if active >= lo + LANES {
+            !0
+        } else if active <= lo {
+            0
+        } else {
+            (1u64 << (active - lo)) - 1
+        }
+    })
+}
+
+/// Number of set lanes in a slab mask.
+#[inline]
+#[must_use]
+pub fn popcount_wide<const W: usize>(mask: &[u64; W]) -> u64 {
+    let mut n = 0u64;
+    for &w in mask {
+        n += u64::from(w.count_ones());
+    }
+    n
+}
+
+/// Replicates one bit into all 64 lanes of one word.
 #[inline]
 fn broadcast(b: bool) -> u64 {
     if b {
@@ -76,22 +222,32 @@ fn broadcast(b: bool) -> u64 {
     }
 }
 
-/// A word-parallel cycle-based simulator over a borrowed [`Netlist`].
+/// Replicates one bit into every lane of a slab.
+#[inline]
+fn broadcast_wide<const W: usize>(b: bool) -> [u64; W] {
+    [broadcast(b); W]
+}
+
+/// A word-parallel cycle-based simulator over a borrowed [`Netlist`],
+/// carrying `64 * W` packed test vectors per sweep.
 ///
-/// See the [module docs](self) for the lane layout and batch semantics.
+/// The default `W = 1` is the original one-word engine; see the
+/// [module docs](self) for the slab layout and batch semantics, and
+/// [`LaneWidth`] for the runtime width knob callers dispatch over.
 #[derive(Debug)]
-pub struct BitSlicedSimulator<'nl> {
+pub struct BitSlicedSimulator<'nl, const W: usize = 1> {
     nl: &'nl Netlist,
     /// Topological order of combinational cells.
     order: Vec<CellId>,
     /// All sequential cells.
     regs: Vec<CellId>,
-    /// Packed value of every net, one lane per bit.
-    words: Vec<u64>,
-    /// Packed state of each register (parallel to `regs`).
-    state: Vec<u64>,
+    /// Packed value slab of every net, one lane per bit (structure of
+    /// arrays: the `W` words of one net are contiguous).
+    words: Vec<[u64; W]>,
+    /// Packed state slab of each register (parallel to `regs`).
+    state: Vec<[u64; W]>,
     /// Scratch buffer for packed next-states (parallel to `regs`).
-    next_scratch: Vec<u64>,
+    next_scratch: Vec<[u64; W]>,
     /// Input port name -> bit nets (LSB first).
     input_ports: HashMap<String, Vec<pe_netlist::NetId>>,
     /// Output port name -> bit nets (LSB first).
@@ -100,18 +256,19 @@ pub struct BitSlicedSimulator<'nl> {
     toggles: ToggleCounters,
     /// Clock cycles accounted so far (summed over active lanes).
     cycles: u64,
-    /// Per-net mask of lanes pinned by [`BitSlicedSimulator::force_lanes`]
-    /// (all-ones for a broadcast [`BitSlicedSimulator::force_net`]).
-    forced_mask: Vec<u64>,
+    /// Per-net slab mask of lanes pinned by
+    /// [`BitSlicedSimulator::force_lanes`] (all-ones for a broadcast
+    /// [`BitSlicedSimulator::force_net`]).
+    forced_mask: Vec<[u64; W]>,
     /// Per-net pinned values in the lanes selected by `forced_mask`.
-    forced_vals: Vec<u64>,
+    forced_vals: Vec<[u64; W]>,
     /// Register index (into `regs`/`state`) driving each net, or
     /// `usize::MAX` for nets not driven by a sequential cell. Lets
     /// force/release target register state without scanning every register.
     reg_of_net: Vec<usize>,
 }
 
-impl<'nl> BitSlicedSimulator<'nl> {
+impl<'nl, const W: usize> BitSlicedSimulator<'nl, W> {
     /// Builds a bit-sliced simulator, scheduling the combinational core.
     ///
     /// Registers power on at their declared init values (broadcast to all
@@ -128,10 +285,10 @@ impl<'nl> BitSlicedSimulator<'nl> {
             nl.cells().filter(|(_, c)| c.kind().is_sequential()).map(|(id, _)| id).collect();
         let mut sim = Self::assemble(nl, order, regs);
         for (i, &r) in sim.regs.clone().iter().enumerate() {
-            sim.state[i] = broadcast(nl.cell(r).init());
+            sim.state[i] = broadcast_wide(nl.cell(r).init());
             sim.words[nl.cell(r).output().index()] = sim.state[i];
         }
-        sim.eval_lanes(!0);
+        sim.eval_lanes(&[!0; W]);
         Ok(sim)
     }
 
@@ -150,14 +307,14 @@ impl<'nl> BitSlicedSimulator<'nl> {
     ) -> Self {
         let mut sim = Self::assemble(nl, order, regs);
         for (w, &v) in sim.words.iter_mut().zip(values) {
-            *w = broadcast(v);
+            *w = broadcast_wide(v);
         }
         for (s, &v) in sim.state.iter_mut().zip(state) {
-            *s = broadcast(v);
+            *s = broadcast_wide(v);
         }
         for (i, &f) in frozen.iter().enumerate() {
             if f {
-                sim.forced_mask[i] = !0;
+                sim.forced_mask[i] = [!0; W];
                 sim.forced_vals[i] = sim.words[i];
             }
         }
@@ -180,10 +337,10 @@ impl<'nl> BitSlicedSimulator<'nl> {
                 }
             }
         }
-        let mut words = vec![0u64; nl.num_nets()];
-        words[nl.const1().index()] = !0;
-        let state = vec![0u64; regs.len()];
-        let next_scratch = vec![0u64; regs.len()];
+        let mut words = vec![[0u64; W]; nl.num_nets()];
+        words[nl.const1().index()] = [!0; W];
+        let state = vec![[0u64; W]; regs.len()];
+        let next_scratch = vec![[0u64; W]; regs.len()];
         let mut reg_of_net = vec![usize::MAX; nl.num_nets()];
         for (i, &r) in regs.iter().enumerate() {
             reg_of_net[nl.cell(r).output().index()] = i;
@@ -199,8 +356,8 @@ impl<'nl> BitSlicedSimulator<'nl> {
             output_ports,
             toggles: ToggleCounters::disabled(),
             cycles: 0,
-            forced_mask: vec![0; nl.num_nets()],
-            forced_vals: vec![0; nl.num_nets()],
+            forced_mask: vec![[0; W]; nl.num_nets()],
+            forced_vals: vec![[0; W]; nl.num_nets()],
             reg_of_net,
         }
     }
@@ -209,6 +366,12 @@ impl<'nl> BitSlicedSimulator<'nl> {
     #[must_use]
     pub fn netlist(&self) -> &Netlist {
         self.nl
+    }
+
+    /// Packed vectors one sweep of this simulator carries (`64 * W`).
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        LANES * W
     }
 
     /// Enables per-net toggle counting (and clears any previous counts).
@@ -230,26 +393,48 @@ impl<'nl> BitSlicedSimulator<'nl> {
     /// the force/release mechanism fault campaigns use to reuse one
     /// scheduled simulator across all fault sites.
     pub fn force_net(&mut self, net: pe_netlist::NetId, value: bool) {
-        self.force_lanes(net, broadcast(value), !0);
+        self.force_lanes(net, broadcast_wide(value), [!0; W]);
+    }
+
+    /// Pins a net in a single lane (lane `64*i + l` is bit `l` of slab word
+    /// `i`) — the per-site convenience the PPSFP campaigns use to pack one
+    /// fault site per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64 * W`.
+    pub fn force_lane(&mut self, net: pe_netlist::NetId, lane: usize, value: bool) {
+        assert!(lane < LANES * W, "lane {lane} out of range for width {W}");
+        let mut vals = [0u64; W];
+        let mut mask = [0u64; W];
+        mask[lane / LANES] = 1u64 << (lane % LANES);
+        if value {
+            vals[lane / LANES] = 1u64 << (lane % LANES);
+        }
+        self.force_lanes(net, vals, mask);
     }
 
     /// Pins a net per lane: in every lane selected by `mask` the net is held
     /// at the corresponding bit of `values`; unselected lanes keep evaluating
     /// normally. Pinned lanes are re-merged after every cell evaluation and
-    /// register update, so 64 *different* faulty machines can tick in
-    /// lockstep in one word — the PPSFP mechanism behind
+    /// register update, so `64 * W` *different* faulty machines can tick in
+    /// lockstep in one slab — the PPSFP mechanism behind
     /// [`crate::faults::fault_campaign_comb_ppsfp`] and
     /// [`crate::faults::fault_campaign_seq_ppsfp`]. Repeated calls merge:
     /// forcing the same net in different lanes (e.g. its stuck-at-0 and
     /// stuck-at-1 sites packed into one chunk) accumulates.
-    pub fn force_lanes(&mut self, net: pe_netlist::NetId, values: u64, mask: u64) {
+    pub fn force_lanes(&mut self, net: pe_netlist::NetId, values: [u64; W], mask: [u64; W]) {
         let i = net.index();
-        self.forced_mask[i] |= mask;
-        self.forced_vals[i] = (self.forced_vals[i] & !mask) | (values & mask);
-        self.words[i] = (self.words[i] & !mask) | (values & mask);
+        for w in 0..W {
+            self.forced_mask[i][w] |= mask[w];
+            self.forced_vals[i][w] = (self.forced_vals[i][w] & !mask[w]) | (values[w] & mask[w]);
+            self.words[i][w] = (self.words[i][w] & !mask[w]) | (values[w] & mask[w]);
+        }
         let r = self.reg_of_net[i];
         if r != usize::MAX {
-            self.state[r] = (self.state[r] & !mask) | (values & mask);
+            for w in 0..W {
+                self.state[r][w] = (self.state[r][w] & !mask[w]) | (values[w] & mask[w]);
+            }
         }
     }
 
@@ -261,14 +446,14 @@ impl<'nl> BitSlicedSimulator<'nl> {
     /// them).
     pub fn release_net(&mut self, net: pe_netlist::NetId) {
         let i = net.index();
-        if self.forced_mask[i] == 0 {
+        if self.forced_mask[i] == [0; W] {
             return;
         }
-        self.forced_mask[i] = 0;
-        self.forced_vals[i] = 0;
+        self.forced_mask[i] = [0; W];
+        self.forced_vals[i] = [0; W];
         let r = self.reg_of_net[i];
         if r != usize::MAX {
-            let init = broadcast(self.nl.cell(self.regs[r]).init());
+            let init = broadcast_wide(self.nl.cell(self.regs[r]).init());
             self.state[r] = init;
             self.words[i] = init;
         }
@@ -290,14 +475,14 @@ impl<'nl> BitSlicedSimulator<'nl> {
 
     /// Writes the carried serial value of every net and register back into
     /// scalar storage (the batch-glue counterpart of
-    /// [`BitSlicedSimulator::from_parts`]). Words are broadcasts between
+    /// [`BitSlicedSimulator::from_parts`]). Slabs are broadcasts between
     /// chunks, so lane 0 is the carried value.
     pub(crate) fn carry_into(&self, values: &mut [bool], state: &mut [bool]) {
-        for (v, &w) in values.iter_mut().zip(&self.words) {
-            *v = w & 1 == 1;
+        for (v, w) in values.iter_mut().zip(&self.words) {
+            *v = w[0] & 1 == 1;
         }
-        for (s, &w) in state.iter_mut().zip(&self.state) {
-            *s = w & 1 == 1;
+        for (s, w) in state.iter_mut().zip(&self.state) {
+            *s = w[0] & 1 == 1;
         }
     }
 
@@ -309,26 +494,30 @@ impl<'nl> BitSlicedSimulator<'nl> {
     // ---- packed kernel ---------------------------------------------------
 
     /// One lane-parallel settle pass: every combinational cell evaluated as
-    /// a single bitwise op, toggles accounted per lane against the stored
-    /// word (masked, so ragged lanes never leak into activity).
-    fn eval_lanes(&mut self, mask: u64) {
+    /// `W` bitwise ops, toggles accounted per lane against the stored slab
+    /// (masked, so ragged lanes never leak into activity).
+    fn eval_lanes(&mut self, mask: &[u64; W]) {
         let track = self.toggles.is_enabled();
-        let mut ins = [0u64; 3];
+        let mut ins = [[0u64; W]; 3];
         for idx in 0..self.order.len() {
             let cell = self.nl.cell(self.order[idx]);
             let out = cell.output().index();
             for (k, &inp) in cell.inputs().iter().enumerate() {
                 ins[k] = self.words[inp.index()];
             }
-            let mut new = cell.kind().eval_packed(&ins[..cell.inputs().len()]);
-            let fm = self.forced_mask[out];
-            if fm != 0 {
-                new = (new & !fm) | (self.forced_vals[out] & fm);
+            let mut new = cell.kind().eval_packed_wide::<W>(&ins[..cell.inputs().len()]);
+            let fm = &self.forced_mask[out];
+            if *fm != [0; W] {
+                let fv = &self.forced_vals[out];
+                for w in 0..W {
+                    new[w] = (new[w] & !fm[w]) | (fv[w] & fm[w]);
+                }
             }
             let old = self.words[out];
             if new != old {
                 if track {
-                    self.toggles.bump_packed(out, (new ^ old) & mask);
+                    let diff: [u64; W] = core::array::from_fn(|w| (new[w] ^ old[w]) & mask[w]);
+                    self.toggles.bump_packed_wide(out, &diff);
                 }
                 self.words[out] = new;
             }
@@ -336,26 +525,35 @@ impl<'nl> BitSlicedSimulator<'nl> {
     }
 
     /// A settle pass with *serial* toggle accounting for combinational
-    /// batches: lane `l` is compared against lane `l-1` (lane 0 against the
-    /// carried broadcast bit), reproducing exactly the adjacent-vector
-    /// toggle sequence of a serial loop.
-    fn settle_serial(&mut self, mask: u64) {
+    /// batches: lane `l` is compared against lane `l-1` (lane 0 of word `i`
+    /// against bit 63 of word `i-1`, lane 0 of word 0 against the carried
+    /// broadcast bit), reproducing exactly the adjacent-vector toggle
+    /// sequence of a serial loop across the whole slab.
+    fn settle_serial(&mut self, mask: &[u64; W]) {
         let track = self.toggles.is_enabled();
-        let mut ins = [0u64; 3];
+        let mut ins = [[0u64; W]; 3];
         for idx in 0..self.order.len() {
             let cell = self.nl.cell(self.order[idx]);
             let out = cell.output().index();
             for (k, &inp) in cell.inputs().iter().enumerate() {
                 ins[k] = self.words[inp.index()];
             }
-            let mut new = cell.kind().eval_packed(&ins[..cell.inputs().len()]);
-            let fm = self.forced_mask[out];
-            if fm != 0 {
-                new = (new & !fm) | (self.forced_vals[out] & fm);
+            let mut new = cell.kind().eval_packed_wide::<W>(&ins[..cell.inputs().len()]);
+            let fm = &self.forced_mask[out];
+            if *fm != [0; W] {
+                let fv = &self.forced_vals[out];
+                for w in 0..W {
+                    new[w] = (new[w] & !fm[w]) | (fv[w] & fm[w]);
+                }
             }
             if track {
-                let carry = self.words[out] & 1;
-                self.toggles.bump_packed(out, (new ^ ((new << 1) | carry)) & mask);
+                let mut carry = self.words[out][0] & 1;
+                let mut diff = [0u64; W];
+                for w in 0..W {
+                    diff[w] = (new[w] ^ ((new[w] << 1) | carry)) & mask[w];
+                    carry = new[w] >> 63;
+                }
+                self.toggles.bump_packed_wide(out, &diff);
             }
             self.words[out] = new;
         }
@@ -366,30 +564,35 @@ impl<'nl> BitSlicedSimulator<'nl> {
     /// mirror of [`Simulator::tick`](crate::Simulator::tick). The next-state
     /// capture reuses a persistent scratch buffer: this runs once per clock
     /// tick of every sequential batch and campaign.
-    fn tick_lanes(&mut self, mask: u64) {
+    fn tick_lanes(&mut self, mask: &[u64; W]) {
         self.eval_lanes(mask);
         let track = self.toggles.is_enabled();
         let nl = self.nl;
-        let mut ins = [0u64; 3];
+        let mut ins = [[0u64; W]; 3];
         for i in 0..self.regs.len() {
             let cell = nl.cell(self.regs[i]);
             for (k, &inp) in cell.inputs().iter().enumerate() {
                 ins[k] = self.words[inp.index()];
             }
-            self.next_scratch[i] =
-                cell.kind().next_state_packed(&ins[..cell.inputs().len()], self.state[i]);
+            self.next_scratch[i] = cell
+                .kind()
+                .next_state_packed_wide::<W>(&ins[..cell.inputs().len()], &self.state[i]);
         }
         for i in 0..self.regs.len() {
             let out = nl.cell(self.regs[i]).output().index();
             let old = self.words[out];
             let mut next = self.next_scratch[i];
-            let fm = self.forced_mask[out];
-            if fm != 0 {
-                next = (next & !fm) | (self.forced_vals[out] & fm);
+            let fm = &self.forced_mask[out];
+            if *fm != [0; W] {
+                let fv = &self.forced_vals[out];
+                for w in 0..W {
+                    next[w] = (next[w] & !fm[w]) | (fv[w] & fm[w]);
+                }
             }
             if old != next {
                 if track {
-                    self.toggles.bump_packed(out, (old ^ next) & mask);
+                    let diff: [u64; W] = core::array::from_fn(|w| (old[w] ^ next[w]) & mask[w]);
+                    self.toggles.bump_packed_wide(out, &diff);
                 }
                 self.words[out] = next;
             }
@@ -407,28 +610,39 @@ impl<'nl> BitSlicedSimulator<'nl> {
         for i in 0..self.regs.len() {
             let cell = self.nl.cell(self.regs[i]);
             let out = cell.output().index();
-            let fm = self.forced_mask[out];
-            self.state[i] = (broadcast(cell.init()) & !fm) | (self.forced_vals[out] & fm);
+            let init = broadcast(cell.init());
+            let fm = &self.forced_mask[out];
+            let fv = &self.forced_vals[out];
+            for w in 0..W {
+                self.state[i][w] = (init & !fm[w]) | (fv[w] & fm[w]);
+            }
             self.words[out] = self.state[i];
         }
     }
 
-    /// Collapses every word (and register) to a broadcast of lane `lane`,
+    /// Collapses every slab (and register) to a broadcast of lane `lane`,
     /// establishing the between-chunk invariant that the carried serial
     /// value occupies all lanes. Lanes pinned by
     /// [`BitSlicedSimulator::force_lanes`] are re-merged afterwards so a
     /// collapse never un-pins them.
     fn collapse_to_lane(&mut self, lane: usize) {
+        let (wi, bi) = (lane / LANES, lane % LANES);
         for (i, w) in self.words.iter_mut().enumerate() {
-            let b = broadcast((*w >> lane) & 1 == 1);
-            let fm = self.forced_mask[i];
-            *w = (b & !fm) | (self.forced_vals[i] & fm);
+            let b = broadcast((w[wi] >> bi) & 1 == 1);
+            let fm = &self.forced_mask[i];
+            let fv = &self.forced_vals[i];
+            for k in 0..W {
+                w[k] = (b & !fm[k]) | (fv[k] & fm[k]);
+            }
         }
         for (r, s) in self.state.iter_mut().enumerate() {
             let out = self.nl.cell(self.regs[r]).output().index();
-            let b = broadcast((*s >> lane) & 1 == 1);
-            let fm = self.forced_mask[out];
-            *s = (b & !fm) | (self.forced_vals[out] & fm);
+            let b = broadcast((s[wi] >> bi) & 1 == 1);
+            let fm = &self.forced_mask[out];
+            let fv = &self.forced_vals[out];
+            for k in 0..W {
+                s[k] = (b & !fm[k]) | (fv[k] & fm[k]);
+            }
         }
     }
 
@@ -439,7 +653,7 @@ impl<'nl> BitSlicedSimulator<'nl> {
     ///
     /// # Panics
     ///
-    /// Panics if the port does not exist, more than [`LANES`] values are
+    /// Panics if the port does not exist, more than `64 * W` values are
     /// given, or a value does not fit the port width.
     pub fn set_input_lanes(&mut self, port: &str, values: &[i64]) {
         let nets = self
@@ -447,7 +661,7 @@ impl<'nl> BitSlicedSimulator<'nl> {
             .get(port)
             .unwrap_or_else(|| panic!("no input port named {port:?}"))
             .clone();
-        assert!(values.len() <= LANES, "more than {LANES} lanes driven on port {port}");
+        assert!(values.len() <= LANES * W, "more than {} lanes driven on port {port}", LANES * W);
         let w = nets.len() as u32;
         assert!(w <= 63, "port {port} too wide");
         let min = -(1i64 << (w - 1));
@@ -456,11 +670,11 @@ impl<'nl> BitSlicedSimulator<'nl> {
             assert!(v >= min && v <= max, "value {v} does not fit {w}-bit port {port}");
         }
         for (j, &net) in nets.iter().enumerate() {
-            let mut word = 0u64;
+            let mut slab = [0u64; W];
             for (l, &v) in values.iter().enumerate() {
-                word |= (((v >> j) & 1) as u64) << l;
+                slab[l / LANES] |= (((v >> j) & 1) as u64) << (l % LANES);
             }
-            self.words[net.index()] = word;
+            self.words[net.index()] = slab;
         }
     }
 
@@ -474,9 +688,10 @@ impl<'nl> BitSlicedSimulator<'nl> {
         let bits =
             self.output_ports.get(port).unwrap_or_else(|| panic!("no output port named {port:?}"));
         assert!(bits.len() <= 63, "port {port} too wide");
+        let (wi, bi) = (lane / LANES, lane % LANES);
         let mut v = 0i64;
         for (j, &b) in bits.iter().enumerate() {
-            if (self.words[b.index()] >> lane) & 1 == 1 {
+            if (self.words[b.index()][wi] >> bi) & 1 == 1 {
                 v |= 1i64 << j;
             }
         }
@@ -514,7 +729,7 @@ impl<'nl> BitSlicedSimulator<'nl> {
         let ports = self.resolve_entry_ports(first);
         for (_, nets, _, _) in &ports {
             for &net in nets {
-                self.words[net.index()] = 0;
+                self.words[net.index()] = [0; W];
             }
         }
         for (l, entry) in chunk.iter().enumerate() {
@@ -523,6 +738,7 @@ impl<'nl> BitSlicedSimulator<'nl> {
                 first.len(),
                 "workload entries must drive the same ports in the same order"
             );
+            let (wi, bi) = (l / LANES, l % LANES);
             for &(k, ref nets, min, max) in &ports {
                 let (p, v) = &entry[k];
                 assert_eq!(
@@ -531,7 +747,7 @@ impl<'nl> BitSlicedSimulator<'nl> {
                 );
                 assert!(*v >= min && *v <= max, "value {v} does not fit port {p}");
                 for (j, &net) in nets.iter().enumerate() {
-                    self.words[net.index()] |= (((v >> j) & 1) as u64) << l;
+                    self.words[net.index()][wi] |= (((v >> j) & 1) as u64) << bi;
                 }
             }
         }
@@ -544,7 +760,7 @@ impl<'nl> BitSlicedSimulator<'nl> {
     /// each vector drives input port `x{j}`, the observed output port is
     /// recorded per vector. See the [module docs](self) for the exact batch
     /// semantics (serial-identical for combinational batches, chunked
-    /// streaming for sequential ones).
+    /// streaming with `64 * W`-lane chunks for sequential ones).
     ///
     /// # Panics
     ///
@@ -558,10 +774,10 @@ impl<'nl> BitSlicedSimulator<'nl> {
     ) -> BatchResult {
         let start_cycles = self.cycles;
         let mut outputs = Vec::with_capacity(vectors.len());
-        let mut lane_vals = Vec::with_capacity(LANES);
-        for chunk in vectors.chunks(LANES) {
+        let mut lane_vals = Vec::with_capacity(LANES * W);
+        for chunk in vectors.chunks(LANES * W) {
             let active = chunk.len();
-            let mask = lane_mask(active);
+            let mask = lane_mask_wide::<W>(active);
             let m = chunk[0].len();
             for x in chunk {
                 assert_eq!(x.len(), m, "all vectors in a batch must have the same arity");
@@ -572,11 +788,11 @@ impl<'nl> BitSlicedSimulator<'nl> {
                 self.set_input_lanes(&format!("x{j}"), &lane_vals);
             }
             if cycles_per_vector == 0 {
-                self.settle_serial(mask);
+                self.settle_serial(&mask);
                 self.cycles += active as u64;
             } else {
                 for _ in 0..cycles_per_vector {
-                    self.tick_lanes(mask);
+                    self.tick_lanes(&mask);
                 }
                 self.cycles += active as u64 * cycles_per_vector;
             }
@@ -590,7 +806,7 @@ impl<'nl> BitSlicedSimulator<'nl> {
 
     /// Drives a port-named **combinational** workload through the design and
     /// returns the output port value per entry — the inner loop of
-    /// [`crate::faults::fault_campaign_comb`], 64 patterns per sweep.
+    /// [`crate::faults::fault_campaign_comb`], `64 * W` patterns per sweep.
     ///
     /// # Panics
     ///
@@ -601,11 +817,11 @@ impl<'nl> BitSlicedSimulator<'nl> {
         out_port: &str,
     ) -> Vec<i64> {
         let mut out = Vec::with_capacity(workload.len());
-        for chunk in workload.chunks(LANES) {
+        for chunk in workload.chunks(LANES * W) {
             let active = chunk.len();
-            let mask = lane_mask(active);
+            let mask = lane_mask_wide::<W>(active);
             self.drive_port_lanes(chunk);
-            self.settle_serial(mask);
+            self.settle_serial(&mask);
             self.cycles += active as u64;
             for l in 0..active {
                 out.push(self.output_unsigned_lane(out_port, l));
@@ -618,9 +834,9 @@ impl<'nl> BitSlicedSimulator<'nl> {
     /// Drives a port-named **sequential** workload where every entry starts
     /// from power-on register state (frozen nets stay pinned) and is clocked
     /// for `cycles_per_vector` ticks — the per-classification reset protocol
-    /// of [`crate::faults::fault_campaign_seq`], 64 classifications per
-    /// sweep. Lanes are independent, so the whole chunk resets and ticks in
-    /// lockstep.
+    /// of [`crate::faults::fault_campaign_seq`], `64 * W` classifications
+    /// per sweep. Lanes are independent, so the whole chunk resets and ticks
+    /// in lockstep.
     ///
     /// Activity tracking must be disabled: the per-entry reset makes toggle
     /// accounting meaningless here, and campaigns never enable it.
@@ -641,13 +857,13 @@ impl<'nl> BitSlicedSimulator<'nl> {
             "run_workload_seq_reset resets state per entry; activity accounting is undefined"
         );
         let mut out = Vec::with_capacity(workload.len());
-        for chunk in workload.chunks(LANES) {
+        for chunk in workload.chunks(LANES * W) {
             let active = chunk.len();
-            let mask = lane_mask(active);
+            let mask = lane_mask_wide::<W>(active);
             self.reset_regs_lanes();
             self.drive_port_lanes(chunk);
             for _ in 0..cycles_per_vector {
-                self.tick_lanes(mask);
+                self.tick_lanes(&mask);
             }
             self.cycles += active as u64 * cycles_per_vector;
             for l in 0..active {
@@ -682,18 +898,22 @@ impl<'nl> BitSlicedSimulator<'nl> {
             );
             assert!(*v >= min && *v <= max, "value {v} does not fit port {p}");
             for (j, &net) in nets.iter().enumerate() {
-                self.words[net.index()] = broadcast((v >> j) & 1 == 1);
+                self.words[net.index()] = broadcast_wide((v >> j) & 1 == 1);
             }
         }
     }
 
-    /// Mask of lanes whose current value of `out_port` differs from
+    /// Slab mask of lanes whose current value of `out_port` differs from
     /// `golden` (compared over the port's bits, like
     /// [`BitSlicedSimulator::output_unsigned_lane`] per lane).
-    fn output_diff_lanes(&self, out_bits: &[pe_netlist::NetId], golden: i64) -> u64 {
-        let mut diff = 0u64;
+    fn output_diff_lanes(&self, out_bits: &[pe_netlist::NetId], golden: i64) -> [u64; W] {
+        let mut diff = [0u64; W];
         for (j, &b) in out_bits.iter().enumerate() {
-            diff |= self.words[b.index()] ^ broadcast((golden >> j) & 1 == 1);
+            let want = broadcast((golden >> j) & 1 == 1);
+            let slab = &self.words[b.index()];
+            for w in 0..W {
+                diff[w] |= slab[w] ^ want;
+            }
         }
         diff
     }
@@ -701,14 +921,15 @@ impl<'nl> BitSlicedSimulator<'nl> {
     /// PPSFP inner loop for **combinational** designs: every workload entry
     /// is driven *broadcast* across all lanes (each lane is one faulty
     /// machine, pinned per lane via [`BitSlicedSimulator::force_lanes`]) and
-    /// compared against the fault-free `golden` response. Returns the mask
-    /// of `watch` lanes whose output differed on at least one entry,
+    /// compared against the fault-free `golden` response. Returns the slab
+    /// mask of `watch` lanes whose output differed on at least one entry,
     /// early-exiting once every watched lane has diverged.
     ///
     /// Settled values are lane-wise pure functions of the (broadcast) inputs
     /// and the lane's pinned net, so lane `l`'s responses are exactly those
     /// of a scalar simulator with only fault `l` injected — which is what
-    /// makes the campaign bit-identical to the rebuild-per-site oracle.
+    /// makes the campaign bit-identical to the rebuild-per-site oracle at
+    /// every width.
     ///
     /// Cycle accounting: each driven entry counts one cycle per watched
     /// lane (one classification per faulty machine).
@@ -723,8 +944,8 @@ impl<'nl> BitSlicedSimulator<'nl> {
         workload: &[Vec<(String, i64)>],
         out_port: &str,
         golden: &[i64],
-        watch: u64,
-    ) -> u64 {
+        watch: [u64; W],
+    ) -> [u64; W] {
         self.lanes_diverging(workload, None, out_port, golden, watch)
     }
 
@@ -734,9 +955,9 @@ impl<'nl> BitSlicedSimulator<'nl> {
     /// [`BitSlicedSimulator::force_lanes`] keep their forced values), is
     /// driven broadcast and clocked for `cycles_per_vector` ticks, and the
     /// output is compared against the fault-free `golden` response — the
-    /// 64-faulty-machines-in-lockstep counterpart of
-    /// [`BitSlicedSimulator::run_workload_seq_reset`]. Returns the mask of
-    /// `watch` lanes that diverged, early-exiting once all of them have.
+    /// `64 * W`-faulty-machines-in-lockstep counterpart of
+    /// [`BitSlicedSimulator::run_workload_seq_reset`]. Returns the slab mask
+    /// of `watch` lanes that diverged, early-exiting once all of them have.
     ///
     /// On return the registers are reset to power-on state again (pinned
     /// lanes still pinned): the run leaves every lane a different faulty
@@ -753,8 +974,8 @@ impl<'nl> BitSlicedSimulator<'nl> {
         cycles_per_vector: u64,
         out_port: &str,
         golden: &[i64],
-        watch: u64,
-    ) -> u64 {
+        watch: [u64; W],
+    ) -> [u64; W] {
         assert!(cycles_per_vector >= 1, "sequential workloads need at least one cycle");
         self.lanes_diverging(workload, Some(cycles_per_vector), out_port, golden, watch)
     }
@@ -768,15 +989,15 @@ impl<'nl> BitSlicedSimulator<'nl> {
         cycles: Option<u64>,
         out_port: &str,
         golden: &[i64],
-        watch: u64,
-    ) -> u64 {
+        watch: [u64; W],
+    ) -> [u64; W] {
         assert!(
             !self.toggles.is_enabled(),
             "PPSFP lanes hold different machines; activity accounting is undefined"
         );
         assert!(golden.len() >= workload.len(), "golden response shorter than the workload");
-        if workload.is_empty() || watch == 0 {
-            return 0;
+        if workload.is_empty() || watch == [0; W] {
+            return [0; W];
         }
         let first = &workload[0];
         let ports = self.resolve_entry_ports(first);
@@ -786,33 +1007,37 @@ impl<'nl> BitSlicedSimulator<'nl> {
             .unwrap_or_else(|| panic!("no output port named {out_port:?}"))
             .clone();
         assert!(out_bits.len() <= 63, "port {out_port} too wide");
-        let mut diverged = 0u64;
+        let watched = popcount_wide(&watch);
+        let mut diverged = [0u64; W];
         for (entry, &want) in workload.iter().zip(golden) {
             match cycles {
                 None => {
                     self.drive_entry_broadcast(&ports, first, entry);
-                    self.eval_lanes(!0);
-                    self.cycles += u64::from(watch.count_ones());
+                    self.eval_lanes(&[!0; W]);
+                    self.cycles += watched;
                 }
                 Some(c) => {
                     self.reset_regs_lanes();
                     self.drive_entry_broadcast(&ports, first, entry);
                     for _ in 0..c {
-                        self.tick_lanes(!0);
+                        self.tick_lanes(&[!0; W]);
                     }
-                    self.cycles += u64::from(watch.count_ones()) * c;
+                    self.cycles += watched * c;
                 }
             }
-            diverged |= self.output_diff_lanes(&out_bits, want) & watch;
+            let diff = self.output_diff_lanes(&out_bits, want);
+            for w in 0..W {
+                diverged[w] |= diff[w] & watch[w];
+            }
             if diverged == watch {
                 break;
             }
         }
         if cycles.is_some() {
-            // Leave the registers at power-on instead of 64 different faulty
-            // machines' leftovers: non-forced registers would otherwise stay
-            // lane-divergent after the campaign chunk, and release_net only
-            // heals the *forced* nets.
+            // Leave the registers at power-on instead of 64*W different
+            // faulty machines' leftovers: non-forced registers would
+            // otherwise stay lane-divergent after the campaign chunk, and
+            // release_net only heals the *forced* nets.
             self.reset_regs_lanes();
         }
         diverged
@@ -846,6 +1071,44 @@ mod tests {
     }
 
     #[test]
+    fn wide_lane_mask_straddles_word_boundaries() {
+        assert_eq!(lane_mask_wide::<1>(64), [!0]);
+        assert_eq!(lane_mask_wide::<2>(63), [(1u64 << 63) - 1, 0]);
+        assert_eq!(lane_mask_wide::<2>(64), [!0, 0]);
+        assert_eq!(lane_mask_wide::<2>(65), [!0, 1]);
+        assert_eq!(lane_mask_wide::<4>(128), [!0, !0, 0, 0]);
+        assert_eq!(lane_mask_wide::<4>(129), [!0, !0, 1, 0]);
+        assert_eq!(lane_mask_wide::<8>(512), [!0; 8]);
+        assert_eq!(lane_mask_wide::<8>(511), {
+            let mut m = [!0u64; 8];
+            m[7] = (1u64 << 63) - 1;
+            m
+        });
+        assert_eq!(popcount_wide(&lane_mask_wide::<8>(300)), 300);
+    }
+
+    #[test]
+    fn lane_width_knob_round_trips() {
+        for w in LaneWidth::ALL {
+            assert_eq!(LaneWidth::from_words(w.words()), Some(w));
+            assert_eq!(LaneWidth::parse(&w.to_string()), Some(w));
+            assert_eq!(LaneWidth::parse(&w.lanes().to_string()), Some(w));
+            assert_eq!(w.lanes(), 64 * w.words());
+        }
+        assert_eq!(LaneWidth::parse("3"), None);
+        assert_eq!(LaneWidth::from_words(16), None);
+        assert_eq!(LaneWidth::default(), LaneWidth::W1);
+        assert_eq!(LaneWidth::for_sites(1), LaneWidth::W1);
+        assert_eq!(LaneWidth::for_sites(64), LaneWidth::W1);
+        assert_eq!(LaneWidth::for_sites(65), LaneWidth::W2);
+        assert_eq!(LaneWidth::for_sites(256), LaneWidth::W4);
+        assert_eq!(LaneWidth::for_sites(257), LaneWidth::W8);
+        assert_eq!(LaneWidth::for_sites(10_000), LaneWidth::W8);
+        // A tiny netlist always earns the full cache-line slab.
+        assert_eq!(LaneWidth::auto_for_netlist(&full_adder_x()), LaneWidth::W8);
+    }
+
+    #[test]
     fn comb_batch_matches_scalar_engine_exactly() {
         let nl = full_adder_x();
         let vectors: Vec<Vec<i64>> =
@@ -856,7 +1119,7 @@ mod tests {
         scalar.enable_activity();
         let want = scalar.run_batch(&vectors, 0, "sum");
 
-        let mut sliced = BitSlicedSimulator::new(&nl).unwrap();
+        let mut sliced: BitSlicedSimulator<'_> = BitSlicedSimulator::new(&nl).unwrap();
         sliced.enable_activity();
         let got = sliced.run_batch(&vectors, 0, "sum");
 
@@ -865,15 +1128,39 @@ mod tests {
     }
 
     #[test]
+    fn wide_comb_batch_matches_narrow_engine_exactly() {
+        // Combinational outputs *and* serial toggle accounting are
+        // width-invariant: sweep every width over the same batch.
+        let nl = full_adder_x();
+        let vectors: Vec<Vec<i64>> =
+            (0..8).map(|v| (0..3).map(|i| (v >> i) & 1).collect()).collect();
+        let mut narrow = BitSlicedSimulator::<1>::new(&nl).unwrap();
+        narrow.enable_activity();
+        let want = narrow.run_batch(&vectors, 0, "sum");
+        macro_rules! check {
+            ($w:literal) => {
+                let mut wide = BitSlicedSimulator::<'_, $w>::new(&nl).unwrap();
+                wide.enable_activity();
+                let got = wide.run_batch(&vectors, 0, "sum");
+                assert_eq!(got, want, "W={} diverged", $w);
+                assert_eq!(wide.activity(), narrow.activity(), "W={} toggles diverged", $w);
+            };
+        }
+        check!(2);
+        check!(4);
+        check!(8);
+    }
+
+    #[test]
     fn forced_net_is_pinned_in_every_lane() {
         let nl = full_adder_x();
         let site = crate::faults::enumerate_fault_sites(&nl)[0];
-        let mut sliced = BitSlicedSimulator::new(&nl).unwrap();
+        let mut sliced = BitSlicedSimulator::<'_, 2>::new(&nl).unwrap();
         sliced.force_net(site.net, true);
         let vectors: Vec<Vec<i64>> =
             (0..8).map(|v| (0..3).map(|i| (v >> i) & 1).collect()).collect();
         sliced.run_batch(&vectors, 0, "sum");
-        assert_eq!(sliced.words[site.net.index()], !0, "stuck-at-1 must hold in all lanes");
+        assert_eq!(sliced.words[site.net.index()], [!0; 2], "stuck-at-1 must hold in all lanes");
         sliced.release_net(site.net);
         let healthy = sliced.run_batch(&vectors, 0, "sum");
         let mut scalar = Simulator::new(&nl).unwrap();
@@ -889,11 +1176,11 @@ mod tests {
         let sum_net = nl.ports().iter().find(|p| p.name() == "sum").unwrap().bits()[0];
         let vectors: Vec<Vec<i64>> =
             (0..8).map(|v| (0..3).map(|i| (v >> i) & 1).collect()).collect();
-        let mut healthy = BitSlicedSimulator::new(&nl).unwrap();
+        let mut healthy = BitSlicedSimulator::<1>::new(&nl).unwrap();
         let want = healthy.run_batch(&vectors, 0, "sum");
 
-        let mut sliced = BitSlicedSimulator::new(&nl).unwrap();
-        sliced.force_lanes(sum_net, !0, 1 << 2);
+        let mut sliced = BitSlicedSimulator::<1>::new(&nl).unwrap();
+        sliced.force_lanes(sum_net, [!0], [1 << 2]);
         let golden: Vec<i64> = want.outputs.clone();
         let diverged = sliced.lanes_diverging_comb(
             &(0..8)
@@ -901,34 +1188,56 @@ mod tests {
                 .collect::<Vec<_>>(),
             "sum",
             &golden,
-            0b1111,
+            [0b1111],
         );
         // Only lane 2 is faulty; sum=1 disagrees with golden on the four
         // even-parity vectors, so lane 2 must diverge and no other lane may.
-        assert_eq!(diverged, 1 << 2);
+        assert_eq!(diverged, [1 << 2]);
         sliced.release_net(sum_net);
         let got = sliced.run_batch(&vectors, 0, "sum");
         assert_eq!(got.outputs, want.outputs, "release must fully heal the lane");
     }
 
     #[test]
+    fn force_lane_pins_across_word_boundaries() {
+        // The same single-lane fault behaves identically whether the lane
+        // lives in word 0 or word 3 of a wide slab.
+        let nl = full_adder_x();
+        let sum_net = nl.ports().iter().find(|p| p.name() == "sum").unwrap().bits()[0];
+        let workload: Vec<Vec<(String, i64)>> = (0..8)
+            .map(|v| (0..3).map(|i| (format!("x{i}"), (v >> i) & 1)).collect::<Vec<_>>())
+            .collect();
+        let mut healthy = BitSlicedSimulator::<1>::new(&nl).unwrap();
+        let golden = healthy.run_workload_comb(&workload, "sum");
+
+        let mut sliced = BitSlicedSimulator::<'_, 4>::new(&nl).unwrap();
+        let lane = 3 * 64 + 17;
+        sliced.force_lane(sum_net, lane, true);
+        let watch = lane_mask_wide::<4>(256);
+        let diverged = sliced.lanes_diverging_comb(&workload, "sum", &golden, watch);
+        let mut want = [0u64; 4];
+        want[3] = 1 << 17;
+        assert_eq!(diverged, want, "only the forced lane may diverge");
+    }
+
+    #[test]
     fn force_lanes_merges_conflicting_values_per_lane() {
         let nl = full_adder_x();
         let site = crate::faults::enumerate_fault_sites(&nl)[0];
-        let mut sliced = BitSlicedSimulator::new(&nl).unwrap();
+        let mut sliced = BitSlicedSimulator::<1>::new(&nl).unwrap();
         // Stuck-at-0 in lane 0, stuck-at-1 in lane 1 on the same net.
-        sliced.force_lanes(site.net, 0, 1 << 0);
-        sliced.force_lanes(site.net, !0, 1 << 1);
+        sliced.force_lanes(site.net, [0], [1 << 0]);
+        sliced.force_lanes(site.net, [!0], [1 << 1]);
         let vectors: Vec<Vec<i64>> =
             (0..8).map(|v| (0..3).map(|i| (v >> i) & 1).collect()).collect();
         sliced.run_batch(&vectors, 0, "sum");
-        let w = sliced.words[site.net.index()];
+        let w = sliced.words[site.net.index()][0];
         assert_eq!(w & 0b11, 0b10, "lane 0 pinned low, lane 1 pinned high");
     }
 
     #[test]
     fn ragged_chunk_never_leaks_garbage_lanes() {
-        // A single vector (1 active lane of 64): totals must match a scalar
+        // A single vector (1 active lane of 512): totals must match a scalar
         // run exactly, proving masked lanes contribute nothing.
         let nl = full_adder_x();
         let vectors = vec![vec![1, 1, 0]];
@@ -936,7 +1245,7 @@ mod tests {
         scalar.set_batch_mode(BatchMode::Scalar);
         scalar.enable_activity();
         let want = scalar.run_batch(&vectors, 0, "carry");
-        let mut sliced = BitSlicedSimulator::new(&nl).unwrap();
+        let mut sliced = BitSlicedSimulator::<'_, 8>::new(&nl).unwrap();
         sliced.enable_activity();
         let got = sliced.run_batch(&vectors, 0, "carry");
         assert_eq!(got, want);
@@ -947,7 +1256,7 @@ mod tests {
     #[test]
     fn empty_batch_is_a_no_op() {
         let nl = full_adder_x();
-        let mut sliced = BitSlicedSimulator::new(&nl).unwrap();
+        let mut sliced: BitSlicedSimulator<'_> = BitSlicedSimulator::new(&nl).unwrap();
         sliced.enable_activity();
         let r = sliced.run_batch(&[], 0, "sum");
         assert!(r.outputs.is_empty());
@@ -973,7 +1282,7 @@ mod tests {
         scalar.enable_activity();
         let want = scalar.run_batch(&vectors, 2, "q");
 
-        let mut sliced = BitSlicedSimulator::new(&nl).unwrap();
+        let mut sliced: BitSlicedSimulator<'_> = BitSlicedSimulator::new(&nl).unwrap();
         sliced.enable_activity();
         let got = sliced.run_batch(&vectors, 2, "q");
         assert_eq!(got, want);
@@ -985,7 +1294,7 @@ mod tests {
     #[should_panic(expected = "same ports in the same order")]
     fn heterogeneous_workload_chunk_panics() {
         let nl = full_adder_x();
-        let mut sliced = BitSlicedSimulator::new(&nl).unwrap();
+        let mut sliced: BitSlicedSimulator<'_> = BitSlicedSimulator::new(&nl).unwrap();
         let workload = vec![
             vec![("x0".to_string(), 1), ("x1".to_string(), 0)],
             vec![("x1".to_string(), 1), ("x2".to_string(), 0)],
@@ -1005,15 +1314,17 @@ mod tests {
         let q = b.dff(nxt, false);
         b.output("q", q);
         let nl = b.finish();
-        let mut sliced = BitSlicedSimulator::new(&nl).unwrap();
+        let mut sliced = BitSlicedSimulator::<'_, 2>::new(&nl).unwrap();
         let workload = vec![
             vec![("x0".to_string(), 1), ("x1".to_string(), 0)],
             vec![("x0".to_string(), 0), ("x1".to_string(), 1)],
             vec![("x0".to_string(), 1), ("x1".to_string(), 1)],
         ];
         let _ = sliced.run_workload_seq_reset(&workload, 1, "q");
-        for &w in &sliced.words {
-            assert!(w == 0 || w == !0, "word {w:#x} is not a broadcast after the workload");
+        for w in &sliced.words {
+            for &word in w {
+                assert!(word == 0 || word == !0, "word {word:#x} not a broadcast after workload");
+            }
         }
         let vectors = vec![vec![1, 0], vec![1, 1], vec![0, 1]];
         let got = sliced.run_batch(&vectors, 1, "q");
@@ -1037,7 +1348,7 @@ mod tests {
         let q = b.dff(d, false);
         b.output("q", q);
         let nl = b.finish();
-        let mut sliced = BitSlicedSimulator::new(&nl).unwrap();
+        let mut sliced: BitSlicedSimulator<'_> = BitSlicedSimulator::new(&nl).unwrap();
         sliced.enable_activity();
         let _ = sliced.run_workload_seq_reset(&[vec![("d".to_string(), 1)]], 1, "q");
     }

@@ -10,13 +10,20 @@
 //!
 //! Campaigns reuse **one** scheduled [`BitSlicedSimulator`] for every fault
 //! site and run **PPSFP-style** (parallel-pattern single-fault propagation,
-//! flipped): each of the 64 bit-sliced lanes carries a *different* fault
-//! site, pinned per lane via [`BitSlicedSimulator::force_lanes`], and every
-//! workload pattern is driven broadcast across the lanes — 64 faulty
-//! machines evaluating (or, under the per-classification reset protocol,
-//! ticking) in lockstep per word. A per-lane divergence mask against the
+//! flipped): each bit-sliced lane carries a *different* fault site, pinned
+//! per lane via [`BitSlicedSimulator::force_lane`], and every workload
+//! pattern is driven broadcast across the lanes — up to `64 * W` faulty
+//! machines (one slab word holds 64 lanes; the [`LaneWidth`] slab carries
+//! 64–512) evaluating (or, under the per-classification reset protocol,
+//! ticking) in lockstep per sweep. A per-lane divergence mask against the
 //! fault-free golden response accumulates the verdicts, early-exiting once
-//! every site in the word has diverged.
+//! every site in the sweep has diverged.
+//!
+//! Campaign verdicts are **width-invariant** — each lane is an independent
+//! faulty machine reset per entry — so the default campaigns auto-pick the
+//! smallest slab covering the site list ([`LaneWidth::for_sites`]): a
+//! campaign with more than 64 sites automatically completes in fewer
+//! sweeps. The `_ppsfp_wide` variants take an explicit width.
 //!
 //! Two slower implementations survive as references the differential suite
 //! checks the PPSFP campaigns against, site by site:
@@ -28,7 +35,7 @@
 //! * [`oracle`] — the original flow: a freshly scheduled [`FaultySimulator`]
 //!   per site, one pattern at a time.
 
-use crate::bitslice::{lane_mask, BitSlicedSimulator, LANES};
+use crate::bitslice::{lane_mask_wide, popcount_wide, BitSlicedSimulator, LaneWidth, LANES};
 use crate::sim::Simulator;
 use pe_netlist::{Driver, NetId, Netlist, NetlistError};
 
@@ -194,25 +201,90 @@ pub fn fault_campaign_seq(
 }
 
 /// Pins one chunk of fault sites, one per lane, and returns the watch mask.
-fn force_site_lanes(sim: &mut BitSlicedSimulator<'_>, chunk: &[FaultSite]) -> u64 {
+fn force_site_lanes<const W: usize>(
+    sim: &mut BitSlicedSimulator<'_, W>,
+    chunk: &[FaultSite],
+) -> [u64; W] {
     for (l, f) in chunk.iter().enumerate() {
-        sim.force_lanes(f.net, if f.stuck_at { !0 } else { 0 }, 1u64 << l);
+        sim.force_lane(f.net, l, f.stuck_at);
     }
-    lane_mask(chunk.len())
+    lane_mask_wide::<W>(chunk.len())
 }
 
-/// PPSFP fault campaign on a **combinational** design: fault sites are
-/// packed 64 per machine word (site `l` of a chunk pinned in lane `l` via
-/// [`BitSlicedSimulator::force_lanes`]), every workload pattern is driven
-/// broadcast across the lanes, and a per-lane divergence mask against the
-/// fault-free golden response collects the verdicts — with an early exit
-/// once every site in the word has diverged. One simulator is scheduled for
-/// the whole campaign.
+/// The width-monomorphized PPSFP campaign frame shared by the comb and seq
+/// entry points: pin `64 * W` sites per sweep, drive the workload broadcast,
+/// accumulate divergence, release.
+fn fault_campaign_ppsfp_w<const W: usize>(
+    nl: &Netlist,
+    faults: &[FaultSite],
+    workload: &[Vec<(String, i64)>],
+    out_port: &str,
+    cycles: Option<u64>,
+) -> Result<FaultReport, NetlistError> {
+    let mut sim = BitSlicedSimulator::<'_, W>::new(nl)?;
+    let golden = match cycles {
+        None => sim.run_workload_comb(workload, out_port),
+        Some(c) => sim.run_workload_seq_reset(workload, c, out_port),
+    };
+    let mut critical = 0usize;
+    for chunk in faults.chunks(LANES * W) {
+        let watch = force_site_lanes(&mut sim, chunk);
+        let diverged = match cycles {
+            None => sim.lanes_diverging_comb(workload, out_port, &golden, watch),
+            Some(c) => sim.lanes_diverging_seq_reset(workload, c, out_port, &golden, watch),
+        };
+        critical += popcount_wide(&diverged) as usize;
+        for f in chunk {
+            sim.release_net(f.net);
+        }
+    }
+    Ok(FaultReport { critical, benign: faults.len() - critical, total: faults.len() })
+}
+
+/// PPSFP fault campaign on a **combinational** design at an explicit
+/// [`LaneWidth`]: fault sites are packed `64 * W` per slab (site `l` of a
+/// chunk pinned in lane `l` via [`BitSlicedSimulator::force_lane`]), every
+/// workload pattern is driven broadcast across the lanes, and a per-lane
+/// divergence mask against the fault-free golden response collects the
+/// verdicts — with an early exit once every site in the sweep has diverged.
+/// One simulator is scheduled for the whole campaign.
 ///
 /// Settled values are lane-wise pure functions of the broadcast inputs and
 /// the lane's pinned net, so the verdicts are bit-identical to the
 /// rebuild-per-site reference ([`oracle::fault_campaign_comb`]), site for
-/// site.
+/// site, at every width.
+///
+/// # Panics
+///
+/// Panics if the design is sequential or ports are unknown.
+///
+/// # Errors
+///
+/// Propagates scheduling errors.
+pub fn fault_campaign_comb_ppsfp_wide(
+    nl: &Netlist,
+    faults: &[FaultSite],
+    workload: &[Vec<(String, i64)>],
+    out_port: &str,
+    width: LaneWidth,
+) -> Result<FaultReport, NetlistError> {
+    assert!(
+        crate::sim::is_combinational(nl),
+        "fault_campaign_comb requires a combinational design"
+    );
+    match width {
+        LaneWidth::W1 => fault_campaign_ppsfp_w::<1>(nl, faults, workload, out_port, None),
+        LaneWidth::W2 => fault_campaign_ppsfp_w::<2>(nl, faults, workload, out_port, None),
+        LaneWidth::W4 => fault_campaign_ppsfp_w::<4>(nl, faults, workload, out_port, None),
+        LaneWidth::W8 => fault_campaign_ppsfp_w::<8>(nl, faults, workload, out_port, None),
+    }
+}
+
+/// PPSFP fault campaign on a **combinational** design at the auto-picked
+/// width: the smallest slab covering the site list
+/// ([`LaneWidth::for_sites`]), so campaigns with more than 64 sites finish
+/// in fewer sweeps at identical verdicts. See
+/// [`fault_campaign_comb_ppsfp_wide`].
 ///
 /// # Panics
 ///
@@ -227,32 +299,49 @@ pub fn fault_campaign_comb_ppsfp(
     workload: &[Vec<(String, i64)>],
     out_port: &str,
 ) -> Result<FaultReport, NetlistError> {
-    assert!(
-        crate::sim::is_combinational(nl),
-        "fault_campaign_comb requires a combinational design"
-    );
-    let mut sim = BitSlicedSimulator::new(nl)?;
-    let golden = sim.run_workload_comb(workload, out_port);
-    let mut critical = 0usize;
-    for chunk in faults.chunks(LANES) {
-        let watch = force_site_lanes(&mut sim, chunk);
-        let diverged = sim.lanes_diverging_comb(workload, out_port, &golden, watch);
-        critical += diverged.count_ones() as usize;
-        for f in chunk {
-            sim.release_net(f.net);
-        }
-    }
-    Ok(FaultReport { critical, benign: faults.len() - critical, total: faults.len() })
+    fault_campaign_comb_ppsfp_wide(
+        nl,
+        faults,
+        workload,
+        out_port,
+        LaneWidth::for_sites(faults.len()),
+    )
 }
 
-/// PPSFP fault campaign on a **sequential** design under the
-/// per-classification reset protocol: 64 faulty machines — one fault site
-/// per lane — reset, load the broadcast pattern and tick in lockstep, per
-/// workload entry, against the fault-free golden response
-/// ([`BitSlicedSimulator::lanes_diverging_seq_reset`]). The reset keeps
-/// pinned lanes pinned, so the verdicts are bit-identical to the
+/// PPSFP fault campaign on a **sequential** design at an explicit
+/// [`LaneWidth`], under the per-classification reset protocol: `64 * W`
+/// faulty machines — one fault site per lane — reset, load the broadcast
+/// pattern and tick in lockstep, per workload entry, against the fault-free
+/// golden response ([`BitSlicedSimulator::lanes_diverging_seq_reset`]). The
+/// reset keeps pinned lanes pinned, so the verdicts are bit-identical to the
 /// rebuild-per-site reference ([`oracle::fault_campaign_seq`]), site for
-/// site.
+/// site, at every width.
+///
+/// # Panics
+///
+/// Panics on unknown ports or `cycles == 0`.
+///
+/// # Errors
+///
+/// Propagates scheduling errors.
+pub fn fault_campaign_seq_ppsfp_wide(
+    nl: &Netlist,
+    faults: &[FaultSite],
+    workload: &[Vec<(String, i64)>],
+    out_port: &str,
+    cycles: u64,
+    width: LaneWidth,
+) -> Result<FaultReport, NetlistError> {
+    match width {
+        LaneWidth::W1 => fault_campaign_ppsfp_w::<1>(nl, faults, workload, out_port, Some(cycles)),
+        LaneWidth::W2 => fault_campaign_ppsfp_w::<2>(nl, faults, workload, out_port, Some(cycles)),
+        LaneWidth::W4 => fault_campaign_ppsfp_w::<4>(nl, faults, workload, out_port, Some(cycles)),
+        LaneWidth::W8 => fault_campaign_ppsfp_w::<8>(nl, faults, workload, out_port, Some(cycles)),
+    }
+}
+
+/// PPSFP fault campaign on a **sequential** design at the auto-picked width
+/// ([`LaneWidth::for_sites`]). See [`fault_campaign_seq_ppsfp_wide`].
 ///
 /// # Panics
 ///
@@ -268,18 +357,14 @@ pub fn fault_campaign_seq_ppsfp(
     out_port: &str,
     cycles: u64,
 ) -> Result<FaultReport, NetlistError> {
-    let mut sim = BitSlicedSimulator::new(nl)?;
-    let golden = sim.run_workload_seq_reset(workload, cycles, out_port);
-    let mut critical = 0usize;
-    for chunk in faults.chunks(LANES) {
-        let watch = force_site_lanes(&mut sim, chunk);
-        let diverged = sim.lanes_diverging_seq_reset(workload, cycles, out_port, &golden, watch);
-        critical += diverged.count_ones() as usize;
-        for f in chunk {
-            sim.release_net(f.net);
-        }
-    }
-    Ok(FaultReport { critical, benign: faults.len() - critical, total: faults.len() })
+    fault_campaign_seq_ppsfp_wide(
+        nl,
+        faults,
+        workload,
+        out_port,
+        cycles,
+        LaneWidth::for_sites(faults.len()),
+    )
 }
 
 /// The previous fast campaign implementations: fault sites iterated
@@ -315,7 +400,7 @@ pub mod pattern_parallel {
             crate::sim::is_combinational(nl),
             "fault_campaign_comb requires a combinational design"
         );
-        let mut sim = BitSlicedSimulator::new(nl)?;
+        let mut sim: BitSlicedSimulator<'_> = BitSlicedSimulator::new(nl)?;
         let golden = sim.run_workload_comb(workload, out_port);
         let mut critical = 0usize;
         for &fault in faults {
@@ -357,7 +442,7 @@ pub mod pattern_parallel {
         out_port: &str,
         cycles: u64,
     ) -> Result<FaultReport, NetlistError> {
-        let mut sim = BitSlicedSimulator::new(nl)?;
+        let mut sim: BitSlicedSimulator<'_> = BitSlicedSimulator::new(nl)?;
         let golden = sim.run_workload_seq_reset(workload, cycles, out_port);
         let mut critical = 0usize;
         for &fault in faults {
@@ -662,13 +747,13 @@ mod tests {
             .find(|s| s.stuck_at)
             .expect("stuck-at-1 site on q");
         let workload = vec![vec![("x0".to_string(), 0i64)], vec![("x0".to_string(), 1)]];
-        let mut sim = BitSlicedSimulator::new(&nl).unwrap();
+        let mut sim: BitSlicedSimulator<'_> = BitSlicedSimulator::new(&nl).unwrap();
         sim.force_net(site.net, true);
         let _ = sim.run_workload_seq_reset(&workload, 2, "q");
         sim.release_net(site.net);
         let vectors = vec![vec![0i64], vec![1], vec![0]];
         let got = sim.run_batch(&vectors, 1, "q");
-        let want = BitSlicedSimulator::new(&nl).unwrap().run_batch(&vectors, 1, "q");
+        let want = BitSlicedSimulator::<1>::new(&nl).unwrap().run_batch(&vectors, 1, "q");
         assert_eq!(got, want, "post-campaign batch must start from power-on state");
     }
 
@@ -696,18 +781,18 @@ mod tests {
             vec![("x0".to_string(), 0i64), ("x1".to_string(), 1)],
             vec![("x0".to_string(), 1), ("x1".to_string(), 1)],
         ];
-        let mut sim = BitSlicedSimulator::new(&nl).unwrap();
+        let mut sim: BitSlicedSimulator<'_> = BitSlicedSimulator::new(&nl).unwrap();
         let golden = sim.run_workload_seq_reset(&workload, 2, "q");
         for (l, s) in q1_sites.iter().enumerate() {
-            sim.force_lanes(s.net, if s.stuck_at { !0 } else { 0 }, 1 << l);
+            sim.force_lane(s.net, l, s.stuck_at);
         }
-        let _ = sim.lanes_diverging_seq_reset(&workload, 2, "q", &golden, 0b11);
+        let _ = sim.lanes_diverging_seq_reset(&workload, 2, "q", &golden, [0b11]);
         sim.release_net(q1);
         // Post-campaign batch with enable low: q2 holds, so any leftover
         // lane-divergent state would surface directly in the outputs.
         let vectors = vec![vec![0i64, 0], vec![0, 0], vec![0, 0]];
         let got = sim.run_batch(&vectors, 1, "q");
-        let want = BitSlicedSimulator::new(&nl).unwrap().run_batch(&vectors, 1, "q");
+        let want = BitSlicedSimulator::<1>::new(&nl).unwrap().run_batch(&vectors, 1, "q");
         assert_eq!(got, want, "unforced registers must not leak lane-divergent state");
     }
 
@@ -721,6 +806,37 @@ mod tests {
         let slow = oracle::fault_campaign_comb(&nl, &sites, &full_workload(), "s").unwrap();
         assert_eq!(ppsfp, patpar);
         assert_eq!(ppsfp, slow);
+    }
+
+    #[test]
+    fn ppsfp_verdicts_are_width_invariant() {
+        // Same campaign at every explicit slab width: per-lane verdicts must
+        // not depend on how many faulty machines share a sweep.
+        let nl = adder2();
+        let sites = enumerate_fault_sites(&nl);
+        let baseline =
+            fault_campaign_comb_ppsfp_wide(&nl, &sites, &full_workload(), "s", LaneWidth::W1)
+                .unwrap();
+        for width in LaneWidth::ALL {
+            let wide =
+                fault_campaign_comb_ppsfp_wide(&nl, &sites, &full_workload(), "s", width).unwrap();
+            assert_eq!(wide, baseline, "comb verdicts diverge at {width} words");
+        }
+
+        let mut b = Builder::new("seqwide");
+        let d = b.input("x0");
+        let q1 = b.dff(d, false);
+        let q2 = b.dff(q1, false);
+        b.output("q", q2);
+        let snl = b.finish();
+        let ssites = enumerate_fault_sites(&snl);
+        let wl: Vec<Vec<(String, i64)>> = (0..4).map(|v| vec![("x0".to_string(), v & 1)]).collect();
+        let sbase =
+            fault_campaign_seq_ppsfp_wide(&snl, &ssites, &wl, "q", 3, LaneWidth::W1).unwrap();
+        for width in LaneWidth::ALL {
+            let wide = fault_campaign_seq_ppsfp_wide(&snl, &ssites, &wl, "q", 3, width).unwrap();
+            assert_eq!(wide, sbase, "seq verdicts diverge at {width} words");
+        }
     }
 
     #[test]

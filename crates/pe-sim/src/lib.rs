@@ -13,12 +13,14 @@
 //!
 //! Batched workloads ([`Simulator::run_batch`] and the fault campaigns in
 //! [`faults`]) run **word-parallel** by default: [`BitSlicedSimulator`]
-//! packs up to 64 test vectors into one `u64` per net and evaluates every
-//! gate for the whole chunk with a single bitwise operation, counting
-//! toggles by popcount. The scalar engine remains available as
-//! [`BatchMode::Scalar`], the reference oracle the differential test suite
-//! pins the sliced engine against. See [`bitslice`] for the lane layout,
-//! masking rules and batch semantics.
+//! packs test vectors into a `[u64; W]` slab per net — 64 lanes per word,
+//! with the runtime-selectable [`LaneWidth`] choosing `W` in 1/2/4/8 (64 to
+//! 512 vectors per topological sweep) — and evaluates every gate for the
+//! whole chunk with `W` bitwise operations, counting toggles by popcount.
+//! The scalar engine remains available as [`BatchMode::Scalar`], the
+//! reference oracle the differential test suite pins the sliced engine
+//! against at every width. See [`bitslice`] for the slab layout, masking
+//! rules and batch semantics.
 //!
 //! # Example
 //!
@@ -53,6 +55,6 @@ pub mod sim;
 pub mod vcd;
 
 pub use activity::{ActivityReport, ToggleCounters};
-pub use bitslice::BitSlicedSimulator;
+pub use bitslice::{BitSlicedSimulator, LaneWidth};
 pub use faults::{FaultReport, FaultSite, FaultySimulator};
 pub use sim::{BatchMode, BatchResult, Schedule, Simulator};

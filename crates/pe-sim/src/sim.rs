@@ -1,7 +1,7 @@
 //! The levelized two-valued simulator.
 
 use crate::activity::{ActivityReport, ToggleCounters};
-use crate::bitslice::{BitSlicedSimulator, LANES};
+use crate::bitslice::{BitSlicedSimulator, LaneWidth};
 use pe_netlist::{CellId, CellKind, Driver, Netlist, NetlistError, PortDir};
 use std::collections::HashMap;
 
@@ -110,6 +110,11 @@ pub struct Simulator<'nl> {
     frozen: Vec<bool>,
     /// Engine selection for [`Simulator::run_batch`].
     batch_mode: BatchMode,
+    /// Slab width of [`Simulator::run_batch`]: how many vectors one chunk
+    /// carries (`64 * W`). Part of the sequential chunked-streaming
+    /// contract, so *both* engines honor it — the scalar reference chunks
+    /// by the same effective lane count.
+    lane_width: LaneWidth,
 }
 
 impl<'nl> Simulator<'nl> {
@@ -172,6 +177,7 @@ impl<'nl> Simulator<'nl> {
             scratch: Vec::new(),
             frozen: vec![false; nl.num_nets()],
             batch_mode: BatchMode::default(),
+            lane_width: LaneWidth::default(),
         };
         sim.reset();
         sim
@@ -204,6 +210,22 @@ impl<'nl> Simulator<'nl> {
     #[must_use]
     pub fn batch_mode(&self) -> BatchMode {
         self.batch_mode
+    }
+
+    /// Selects the slab width of [`Simulator::run_batch`]: `64 * W` vectors
+    /// per chunk (see [`LaneWidth`]). The width is part of the sequential
+    /// chunked-streaming contract, so it applies to *both* engines — the
+    /// scalar reference chunks by the same effective lane count, keeping
+    /// scalar/bit-sliced bit-identity at every width. The default is
+    /// [`LaneWidth::W1`] (the original 64-lane engine).
+    pub fn set_lane_width(&mut self, width: LaneWidth) {
+        self.lane_width = width;
+    }
+
+    /// The currently selected slab width.
+    #[must_use]
+    pub fn lane_width(&self) -> LaneWidth {
+        self.lane_width
     }
 
     /// Enables per-net toggle counting (and clears any previous counts).
@@ -446,11 +468,12 @@ impl<'nl> Simulator<'nl> {
     /// # Batch semantics
     ///
     /// Combinational batches behave exactly like a caller-side serial loop
-    /// (each vector's settled values toggle against the previous vector's).
-    /// Sequential batches use **chunked streaming**: vectors are processed
-    /// in chunks of 64, every vector in a chunk starts from the register
-    /// state and net values carried into the chunk, and the last vector's
-    /// state carries into the next chunk. For the generated classifier
+    /// (each vector's settled values toggle against the previous vector's),
+    /// at every configured [`LaneWidth`]. Sequential batches use **chunked
+    /// streaming**: vectors are processed in chunks of `64 * W` (the
+    /// configured [`LaneWidth`], default 64), every vector in a chunk starts
+    /// from the register state and net values carried into the chunk, and
+    /// the last vector's state carries into the next chunk. For the generated classifier
     /// datapaths — whose control returns to its idle state after every
     /// inference — the recorded outputs are identical to fully-serial
     /// back-to-back classification; for a design whose state genuinely
@@ -496,7 +519,7 @@ impl<'nl> Simulator<'nl> {
                 outputs.push(self.output_unsigned(out_port));
             }
         } else {
-            for chunk in vectors.chunks(LANES) {
+            for chunk in vectors.chunks(self.lane_width.lanes()) {
                 // Chunked streaming: every vector in the chunk starts from
                 // the chunk-entry snapshot; the last vector's state carries.
                 let entry_values = self.values.clone();
@@ -521,16 +544,32 @@ impl<'nl> Simulator<'nl> {
 
     /// The fast path of [`Simulator::run_batch`]: seeds a
     /// [`BitSlicedSimulator`] with the current values/state (reusing this
-    /// simulator's schedule), runs the batch 64 lanes at a time, and folds
-    /// the carried state, toggle counts and cycles back in.
+    /// simulator's schedule), runs the batch `64 * W` lanes at a time, and
+    /// folds the carried state, toggle counts and cycles back in. The
+    /// configured [`LaneWidth`] picks which monomorphized slab engine runs.
     fn run_batch_sliced(
         &mut self,
         vectors: &[Vec<i64>],
         cycles_per_vector: u64,
         out_port: &str,
     ) -> BatchResult {
+        match self.lane_width {
+            LaneWidth::W1 => self.run_batch_sliced_w::<1>(vectors, cycles_per_vector, out_port),
+            LaneWidth::W2 => self.run_batch_sliced_w::<2>(vectors, cycles_per_vector, out_port),
+            LaneWidth::W4 => self.run_batch_sliced_w::<4>(vectors, cycles_per_vector, out_port),
+            LaneWidth::W8 => self.run_batch_sliced_w::<8>(vectors, cycles_per_vector, out_port),
+        }
+    }
+
+    /// The width-monomorphized body of [`Simulator::run_batch_sliced`].
+    fn run_batch_sliced_w<const W: usize>(
+        &mut self,
+        vectors: &[Vec<i64>],
+        cycles_per_vector: u64,
+        out_port: &str,
+    ) -> BatchResult {
         let track = self.toggles.is_enabled();
-        let mut sliced = BitSlicedSimulator::from_parts(
+        let mut sliced = BitSlicedSimulator::<'_, W>::from_parts(
             self.nl,
             self.order.clone(),
             self.regs.clone(),
@@ -813,6 +852,34 @@ mod tests {
         assert_eq!(r, want);
         assert_eq!(sim.register_state(), reference.register_state());
         assert_eq!(sim.register_state(), vec![false], "last vector leaves q = 0");
+    }
+
+    #[test]
+    fn wide_lane_width_keeps_both_engines_in_lockstep() {
+        // Sequential design, batch longer than one 64-lane word: at W=4 both
+        // engines chunk by 256 and must stay bit-identical on outputs,
+        // cycles, toggles and carried state.
+        let mut b = Builder::new("tog");
+        let x0 = b.input("x0");
+        let fb = b.input("x1");
+        let nxt = b.xor2(x0, fb);
+        let q = b.dff(nxt, false);
+        b.output("q", q);
+        let nl = b.finish();
+        let vectors: Vec<Vec<i64>> = (0..300).map(|v| vec![v & 1, (v >> 1) & 1]).collect();
+        let mut fast = Simulator::new(&nl).unwrap();
+        fast.set_lane_width(LaneWidth::W4);
+        fast.enable_activity();
+        let got = fast.run_batch(&vectors, 2, "q");
+        let mut reference = Simulator::new(&nl).unwrap();
+        reference.set_batch_mode(BatchMode::Scalar);
+        reference.set_lane_width(LaneWidth::W4);
+        reference.enable_activity();
+        let want = reference.run_batch(&vectors, 2, "q");
+        assert_eq!(got, want);
+        assert_eq!(fast.activity(), reference.activity());
+        assert_eq!(fast.register_state(), reference.register_state());
+        assert_eq!(fast.lane_width(), LaneWidth::W4);
     }
 
     #[test]

@@ -1,13 +1,20 @@
 //! Differential lockdown of the word-parallel bit-sliced engine.
 //!
 //! Every test drives the same workload through [`BatchMode::Scalar`] (the
-//! bool-per-net reference) and [`BatchMode::BitSliced`] (the 64-lane fast
+//! bool-per-net reference) and [`BatchMode::BitSliced`] (the wide-lane fast
 //! path) and asserts **bit identity**: recorded outputs, accounted cycles,
 //! per-net toggle counts, and the register state carried out of the batch.
 //! Circuits cover every generated design style (sequential, parallel,
 //! pipelined, MLP) plus seeded-random netlists with registered feedback,
 //! batch sizes sweep the ragged-chunk edge cases, and the force/release
 //! fault campaigns are pinned against the old rebuild-per-site oracle.
+//!
+//! The engine is width-generic (`[u64; W]` slabs, 64–512 lanes per sweep),
+//! so the suite additionally sweeps every [`LaneWidth`] with batch sizes
+//! straddling every slab boundary (64W ± 1), and pins cross-width identity
+//! on combinational circuits. Setting `PE_LANE_WIDTH=1|2|4|8` re-runs every
+//! scalar-vs-sliced test at that forced width (the CI non-default-width
+//! pass uses 4).
 //!
 //! CI runs this suite in both debug and release: release builds strip the
 //! debug assertions that would otherwise mask wrapping/shift mistakes in the
@@ -22,7 +29,7 @@ use pe_ml::{QuantizedMlp, QuantizedSvm};
 use pe_netlist::testing::{random_netlist, RandomNetlistSpec};
 use pe_netlist::Netlist;
 use pe_sim::faults::{enumerate_fault_sites, fault_campaign_comb, fault_campaign_seq, oracle};
-use pe_sim::{BatchMode, BatchResult, Simulator};
+use pe_sim::{BatchMode, BatchResult, LaneWidth, Simulator};
 
 // ---- model / workload helpers -------------------------------------------
 
@@ -53,21 +60,38 @@ fn svm_vectors(q: &QuantizedSvm, test: &Dataset, take: usize) -> Vec<Vec<i64>> {
     test.features().iter().take(take).map(|x| q.quantize_input(x)).collect()
 }
 
-/// Runs the same batch through both engines on fresh simulators and asserts
-/// full bit identity; returns the (shared) result.
-fn assert_engines_agree(
+/// The slab width under test: `PE_LANE_WIDTH=1|2|4|8` (words) forces it so
+/// CI can replay the whole suite at a non-default width; unset keeps the
+/// simulator default.
+fn env_width() -> Option<LaneWidth> {
+    std::env::var("PE_LANE_WIDTH").ok().as_deref().and_then(LaneWidth::parse)
+}
+
+/// Runs the same batch through both engines on fresh simulators — at
+/// `width` if given (both sides, since the sequential chunk size is part of
+/// the batch contract), else at the `PE_LANE_WIDTH`/default width — and
+/// asserts full bit identity; returns the (shared) result.
+fn assert_engines_agree_at(
     nl: &Netlist,
     vectors: &[Vec<i64>],
     cycles_per_vector: u64,
     out_port: &str,
+    width: Option<LaneWidth>,
 ) -> BatchResult {
+    let width = width.or_else(env_width);
     let mut reference = Simulator::new(nl).unwrap();
     reference.set_batch_mode(BatchMode::Scalar);
+    if let Some(w) = width {
+        reference.set_lane_width(w);
+    }
     reference.enable_activity();
     let want = reference.run_batch(vectors, cycles_per_vector, out_port);
 
     let mut fast = Simulator::new(nl).unwrap();
     assert_eq!(fast.batch_mode(), BatchMode::BitSliced, "bit-slicing must be the default");
+    if let Some(w) = width {
+        fast.set_lane_width(w);
+    }
     fast.enable_activity();
     let got = fast.run_batch(vectors, cycles_per_vector, out_port);
 
@@ -86,6 +110,17 @@ fn assert_engines_agree(
         nl.name()
     );
     got
+}
+
+/// [`assert_engines_agree_at`] at the suite-wide (`PE_LANE_WIDTH`/default)
+/// width.
+fn assert_engines_agree(
+    nl: &Netlist,
+    vectors: &[Vec<i64>],
+    cycles_per_vector: u64,
+    out_port: &str,
+) -> BatchResult {
+    assert_engines_agree_at(nl, vectors, cycles_per_vector, out_port, None)
 }
 
 // ---- design styles -------------------------------------------------------
@@ -246,6 +281,59 @@ fn sequential_state_carries_across_chunks() {
     }
     assert_eq!(fast.output_unsigned("class"), reference.output_unsigned("class"));
     assert_eq!(fast.register_state(), reference.register_state());
+}
+
+// ---- lane-width sweep ----------------------------------------------------
+
+/// Batch sizes straddling every slab boundary: 64W ± 1 and the exact
+/// boundary for W = 1, 2, 4, 8.
+const WIDTH_BOUNDARY_SIZES: [usize; 12] = [63, 64, 65, 127, 128, 129, 255, 256, 257, 511, 512, 513];
+
+#[test]
+fn every_width_agrees_on_ragged_combinational_batches() {
+    let nl = random_netlist(&fuzz_spec(0), 131);
+    for width in LaneWidth::ALL {
+        for size in WIDTH_BOUNDARY_SIZES {
+            let vectors = fuzz_vectors(5, size, size as u64 ^ 0x51AB);
+            let r = assert_engines_agree_at(&nl, &vectors, 0, "o0", Some(width));
+            assert_eq!(r.outputs.len(), size, "W={width} size={size}");
+        }
+    }
+}
+
+#[test]
+fn every_width_agrees_on_ragged_sequential_batches() {
+    let nl = random_netlist(&fuzz_spec(3), 137);
+    for width in LaneWidth::ALL {
+        for size in WIDTH_BOUNDARY_SIZES {
+            let vectors = fuzz_vectors(5, size, size as u64 ^ 0xC0DE);
+            let r = assert_engines_agree_at(&nl, &vectors, 2, "o1", Some(width));
+            assert_eq!(r.cycles, 2 * size as u64, "W={width} size={size}");
+        }
+    }
+}
+
+#[test]
+fn combinational_results_are_width_invariant() {
+    // Same batch at every width: outputs, cycle accounting, and per-net
+    // toggle counts must be identical — widening the slab may change how
+    // many sweeps run, never what they compute. (Sequential batches are
+    // excluded by design: the chunk size 64W is part of the streaming
+    // contract, so each width is locked to its own scalar reference above.)
+    let nl = random_netlist(&fuzz_spec(0), 139);
+    let vectors = fuzz_vectors(5, 300, 77);
+    let run_at = |width: LaneWidth| {
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_lane_width(width);
+        sim.enable_activity();
+        (sim.run_batch(&vectors, 0, "o0"), sim.activity())
+    };
+    let (want, want_activity) = run_at(LaneWidth::W1);
+    for width in [LaneWidth::W2, LaneWidth::W4, LaneWidth::W8] {
+        let (got, got_activity) = run_at(width);
+        assert_eq!(got, want, "outputs changed at W={width}");
+        assert_eq!(got_activity, want_activity, "toggle counts changed at W={width}");
+    }
 }
 
 // ---- fault campaigns vs. the rebuild-per-site oracle --------------------

@@ -12,6 +12,11 @@
 //! (1/63/64/65), and words whose lanes mix faults on register-driving nets
 //! with ordinary combinational sites.
 //!
+//! The slab is width-generic (`[u64; W]`, up to 512 faulty machines per
+//! sweep) and fault verdicts are width-invariant, so the suite additionally
+//! sweeps every [`LaneWidth`] with site counts straddling every slab
+//! boundary (64W ± 1) and pins each width to the same per-site verdicts.
+//!
 //! Like the batch differential suite, CI runs this in debug and release:
 //! release strips the debug assertions that would otherwise mask
 //! wrapping/shift mistakes in the lane-masked merge.
@@ -25,9 +30,10 @@ use pe_ml::{QuantizedMlp, QuantizedSvm};
 use pe_netlist::testing::{random_netlist, RandomNetlistSpec};
 use pe_netlist::{Driver, Netlist};
 use pe_sim::faults::{
-    enumerate_fault_sites, fault_campaign_comb_ppsfp, fault_campaign_seq_ppsfp, oracle,
-    pattern_parallel, FaultSite,
+    enumerate_fault_sites, fault_campaign_comb_ppsfp, fault_campaign_comb_ppsfp_wide,
+    fault_campaign_seq_ppsfp, fault_campaign_seq_ppsfp_wide, oracle, pattern_parallel, FaultSite,
 };
+use pe_sim::LaneWidth;
 
 // ---- model / workload helpers -------------------------------------------
 
@@ -164,6 +170,58 @@ fn ragged_site_counts_agree() {
     let empty = fault_campaign_seq_ppsfp(&nl, &[], &workload, "o0", 2).unwrap();
     assert_eq!(empty.total, 0);
     assert_eq!(empty.criticality(), 0.0);
+}
+
+// ---- lane-width sweep ----------------------------------------------------
+
+/// Site counts straddling every slab boundary: 64W ± 1 and the exact
+/// boundary for W = 1, 2, 4, 8.
+const WIDTH_BOUNDARY_COUNTS: [usize; 12] =
+    [63, 64, 65, 127, 128, 129, 255, 256, 257, 511, 512, 513];
+
+#[test]
+fn every_width_matches_w1_on_ragged_site_counts() {
+    // W = 1 verdicts are locked to the rebuild oracle by the tests above;
+    // this pins every wider slab to the same reports across site counts
+    // that leave every word of the widest slab ragged, full, or
+    // one-past-full. Lanes are independent machines, so the verdicts must
+    // not depend on how many share a sweep.
+    let spec =
+        RandomNetlistSpec { inputs: 6, gates: 300, registers: 3, outputs: 3, input_prefix: "x" };
+    let nl = random_netlist(&spec, 149);
+    let all = enumerate_fault_sites(&nl);
+    assert!(all.len() >= 513, "need 513+ sites for the widest boundary, got {}", all.len());
+    let workload = fuzz_workload(6, 6, 91);
+    for count in WIDTH_BOUNDARY_COUNTS {
+        let sites = &all[..count];
+        let w1 =
+            fault_campaign_seq_ppsfp_wide(&nl, sites, &workload, "o0", 2, LaneWidth::W1).unwrap();
+        assert_eq!(w1.total, count);
+        for width in [LaneWidth::W2, LaneWidth::W4, LaneWidth::W8] {
+            let wide =
+                fault_campaign_seq_ppsfp_wide(&nl, sites, &workload, "o0", 2, width).unwrap();
+            assert_eq!(wide, w1, "{count} sites diverged at W={width}");
+        }
+    }
+}
+
+#[test]
+fn every_width_matches_the_oracle_on_a_full_comb_slab() {
+    // Combinational counterpart, anchored straight to the rebuild-per-site
+    // oracle: 257 sites leave a 1-site ragged tail word at W = 4 and a
+    // half-full slab at W = 8.
+    let spec =
+        RandomNetlistSpec { inputs: 6, gates: 160, registers: 0, outputs: 3, input_prefix: "x" };
+    let nl = random_netlist(&spec, 151);
+    let all = enumerate_fault_sites(&nl);
+    assert!(all.len() >= 257, "need 257+ sites, got {}", all.len());
+    let sites = &all[..257];
+    let workload = fuzz_workload(6, 10, 17);
+    let slow = oracle::fault_campaign_comb(&nl, sites, &workload, "o0").unwrap();
+    for width in LaneWidth::ALL {
+        let wide = fault_campaign_comb_ppsfp_wide(&nl, sites, &workload, "o0", width).unwrap();
+        assert_eq!(wide, slow, "verdicts diverged from the oracle at W={width}");
+    }
 }
 
 // ---- register-driving nets sharing a word with ordinary sites -----------
