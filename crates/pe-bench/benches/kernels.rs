@@ -9,8 +9,10 @@ use pe_data::{train_test_split, Normalizer, UciProfile};
 use pe_ml::linear::SvmTrainParams;
 use pe_ml::multiclass::{MulticlassScheme, SvmModel};
 use pe_ml::QuantizedSvm;
-use pe_sim::faults::{enumerate_fault_sites, fault_campaign_seq_ppsfp_wide};
-use pe_sim::{BatchMode, LaneWidth, Simulator};
+use pe_sim::faults::{
+    enumerate_fault_sites, fault_campaign_seq_ppsfp_wide, fault_campaign_seq_ppsfp_wide_opts,
+};
+use pe_sim::{BatchMode, ConeMode, LaneWidth, Simulator};
 use std::time::Instant;
 
 struct Fixture {
@@ -213,6 +215,70 @@ fn bench_width_sweep(g: &mut BenchGroup, f: &Fixture) {
         ppsfp[0].2 / ppsfp[3].2
     );
 
+    // Cone-scheduled PPSFP on the same full Table-I campaign: chunks whose
+    // union fanout cone is sparse run through the cone pass, the rest fall
+    // back to the dense sweep — verdicts identical, cell evaluations
+    // counted both ways. Sites enumerate in netlist (≈ topological) order,
+    // so the output-side chunks are the ones with small cones.
+    let cone_width = LaneWidth::W8;
+    let (auto_report, auto_stats) = fault_campaign_seq_ppsfp_wide_opts(
+        &nl,
+        &sites,
+        &workload,
+        "class",
+        3,
+        cone_width,
+        ConeMode::Auto,
+    )
+    .unwrap();
+    let (never_report, never_stats) = fault_campaign_seq_ppsfp_wide_opts(
+        &nl,
+        &sites,
+        &workload,
+        "class",
+        3,
+        cone_width,
+        ConeMode::Never,
+    )
+    .unwrap();
+    assert_eq!(auto_report, never_report, "cone-scheduled verdicts must be bit-identical");
+    let avoided_pct = 100.0 * (1.0 - auto_stats.cell_evals as f64 / never_stats.cell_evals as f64);
+    let auto_secs = median_secs(3, || {
+        black_box(
+            fault_campaign_seq_ppsfp_wide_opts(
+                &nl,
+                &sites,
+                &workload,
+                "class",
+                3,
+                cone_width,
+                ConeMode::Auto,
+            )
+            .unwrap(),
+        );
+    });
+    let never_secs = median_secs(3, || {
+        black_box(
+            fault_campaign_seq_ppsfp_wide_opts(
+                &nl,
+                &sites,
+                &workload,
+                "class",
+                3,
+                cone_width,
+                ConeMode::Never,
+            )
+            .unwrap(),
+        );
+    });
+    println!(
+        "faults/cone_scheduling                       {}/{} chunks through cones at W=8, {:.1}% cell evals avoided ({:.2}x faster)",
+        auto_stats.cone_chunks,
+        auto_stats.chunks,
+        avoided_pct,
+        never_secs / auto_secs
+    );
+
     // Machine-readable record for the acceptance gates and the README.
     let width_json: Vec<String> = rows
         .iter()
@@ -235,7 +301,12 @@ fn bench_width_sweep(g: &mut BenchGroup, f: &Fixture) {
          \"scalar_secs\": {:.6},\n  \"scalar_vectors_per_sec\": {:.0},\n  \
          \"widths\": [\n    {}\n  ],\n  \"best_words\": {},\n  \
          \"best_speedup_vs_w1\": {:.3},\n  \"ppsfp\": {{\n    \"sites\": {},\n    \
-         \"workload_vectors\": {},\n    \"sweep\": [\n      {}\n    ]\n  }}\n}}\n",
+         \"workload_vectors\": {},\n    \"sweep\": [\n      {}\n    ]\n  }},\n  \
+         \"cone\": {{\n    \"width_words\": {},\n    \"chunks\": {},\n    \
+         \"cone_chunks\": {},\n    \"fallback_chunks\": {},\n    \
+         \"cell_evals_auto\": {},\n    \"cell_evals_full\": {},\n    \
+         \"cell_evals_avoided_pct\": {:.1},\n    \"auto_secs\": {:.6},\n    \
+         \"full_secs\": {:.6}\n  }}\n}}\n",
         scalar_secs,
         samples.len() as f64 / scalar_secs,
         width_json.join(",\n    "),
@@ -244,6 +315,15 @@ fn bench_width_sweep(g: &mut BenchGroup, f: &Fixture) {
         sites.len(),
         workload.len(),
         ppsfp_json.join(",\n      "),
+        cone_width.words(),
+        auto_stats.chunks,
+        auto_stats.cone_chunks,
+        auto_stats.fallback_chunks,
+        auto_stats.cell_evals,
+        never_stats.cell_evals,
+        avoided_pct,
+        auto_secs,
+        never_secs,
     );
     // Anchor to the workspace root: cargo runs bench binaries with the
     // package directory as cwd.

@@ -15,13 +15,19 @@
 //! simulator and reuses it for its whole shard via per-lane force/release.
 //!
 //! Usage: `cargo run --release -p pe-bench --bin faults
-//!         [max_sites] [--compare] [--width 1|2|4|8]`
+//!         [max_sites] [--compare] [--width 1|2|4|8] [--events]`
 //!
 //! `--compare` re-runs the same sites through the two reference paths — the
 //! previous pattern-parallel site-serial campaign, and (on a subsample) the
 //! rebuild-per-site serial oracle — asserts the reports agree, and prints
 //! the measured speedups. Verdicts are width-invariant, so `--compare` at a
 //! widened occupancy checks the wide engine against both references.
+//! `--compare` also cross-checks **toggle/activity counters** (not just
+//! classifications) between the scalar and bit-sliced engines on the same
+//! workload batch; `--events` adds the event-driven (dirty-cell worklist)
+//! engine to that cross-check. Every campaign additionally reports its
+//! cone-scheduling stats: chunks evaluated through their fanout cone vs
+//! full-sweep fallbacks, and the cell evaluations saved vs cone-off.
 
 use pe_core::engine::{self, ExperimentEngine, Job};
 use pe_core::pipeline::{build_netlist, cycles_per_inference, fault_workload, RunOptions};
@@ -29,10 +35,12 @@ use pe_core::styles::DesignStyle;
 use pe_data::UciProfile;
 use pe_netlist::Netlist;
 use pe_sim::faults::{
-    enumerate_fault_sites, fault_campaign_comb, fault_campaign_comb_ppsfp_wide, fault_campaign_seq,
-    fault_campaign_seq_ppsfp_wide, oracle, pattern_parallel, FaultReport, FaultSite,
+    enumerate_fault_sites, fault_campaign_comb, fault_campaign_comb_ppsfp_wide,
+    fault_campaign_comb_ppsfp_wide_opts, fault_campaign_seq, fault_campaign_seq_ppsfp_wide,
+    fault_campaign_seq_ppsfp_wide_opts, oracle, pattern_parallel, ConeMode, ConeStats, FaultReport,
+    FaultSite,
 };
-use pe_sim::LaneWidth;
+use pe_sim::{BatchMode, LaneWidth, Simulator};
 use std::time::Instant;
 
 /// Workload size: real test samples driven per fault site.
@@ -159,15 +167,87 @@ fn oracle_path(
     }
 }
 
+/// Runs the whole (unsharded) campaign through the `_opts` path at one
+/// explicit [`ConeMode`], returning the report with its work accounting.
+fn cone_run(
+    nl: &Netlist,
+    sites: &[FaultSite],
+    workload: &[Vec<(String, i64)>],
+    flavor: Flavor,
+    width: LaneWidth,
+    mode: ConeMode,
+) -> (FaultReport, ConeStats) {
+    match flavor {
+        Flavor::Comb => {
+            fault_campaign_comb_ppsfp_wide_opts(nl, sites, workload, "class", width, mode)
+                .expect("acyclic")
+        }
+        Flavor::Seq { cycles } => {
+            fault_campaign_seq_ppsfp_wide_opts(nl, sites, workload, "class", cycles, width, mode)
+                .expect("acyclic")
+        }
+    }
+}
+
+/// The counter gate `--compare` was missing: classifications *and*
+/// toggle/activity counters must be bit-identical between the scalar
+/// reference and the bit-sliced full-sweep engine at the same width — and,
+/// with `--events`, the event-driven worklist engine too.
+fn activity_crosscheck(
+    nl: &Netlist,
+    workload: &[Vec<(String, i64)>],
+    flavor: Flavor,
+    width: LaneWidth,
+    events: bool,
+) {
+    let vectors: Vec<Vec<i64>> =
+        workload.iter().map(|e| e.iter().map(|(_, v)| *v).collect()).collect();
+    let cycles = match flavor {
+        Flavor::Comb => 0,
+        Flavor::Seq { cycles } => cycles,
+    };
+    let run = |mode: BatchMode, ev: bool| {
+        let mut sim = Simulator::new(nl).expect("acyclic");
+        sim.set_batch_mode(mode);
+        sim.set_lane_width(width);
+        sim.set_event_driven(ev);
+        sim.enable_activity();
+        let batch = sim.run_batch(&vectors, cycles, "class");
+        (batch, sim.activity())
+    };
+    let (want_batch, want_act) = run(BatchMode::Scalar, false);
+    let (full_batch, full_act) = run(BatchMode::BitSliced, false);
+    assert_eq!(full_batch, want_batch, "bit-sliced batch diverged from scalar");
+    assert_eq!(full_act, want_act, "bit-sliced toggle counters diverged from scalar");
+    if events {
+        let (ev_batch, ev_act) = run(BatchMode::BitSliced, true);
+        assert_eq!(ev_batch, want_batch, "event-driven batch diverged from scalar");
+        assert_eq!(ev_act, want_act, "event-driven toggle counters diverged from scalar");
+    }
+    println!(
+        "activity check   : scalar == bit-sliced{} ({} toggles over {} vectors)",
+        if events { " == event-driven" } else { "" },
+        want_act.total_toggles(),
+        vectors.len()
+    );
+}
+
+/// The CLI knobs, shared verbatim by both campaign styles.
+struct CampaignOpts {
+    max_sites: usize,
+    compare: bool,
+    events: bool,
+    width: Option<LaneWidth>,
+    threads: usize,
+}
+
 fn campaign(
     engine: &ExperimentEngine,
     profile: UciProfile,
     style: DesignStyle,
-    max_sites: usize,
-    compare: bool,
-    width: Option<LaneWidth>,
-    threads: usize,
+    opts: &CampaignOpts,
 ) {
+    let CampaignOpts { max_sites, compare, events, width, threads } = *opts;
     let prepared = engine.prepared(profile, style);
     let nl = build_netlist(style, &prepared);
     let flavor = match style {
@@ -210,6 +290,26 @@ fn campaign(
     println!("critical         : {} ({:.1} %)", report.critical, 100.0 * report.criticality());
     println!("benign (masked)  : {}", report.benign);
 
+    // Cone-scheduling accounting: one unsharded pass with cones on and one
+    // with cones off, both asserted bit-identical to the sharded campaign.
+    let eff_width = width.unwrap_or_else(|| LaneWidth::for_sites(sites.len()));
+    let (auto_report, auto_stats) =
+        cone_run(&nl, &sites, &workload, flavor, eff_width, ConeMode::Auto);
+    assert_eq!(auto_report, report, "cone-scheduled report must match the sharded campaign");
+    let (never_report, never_stats) =
+        cone_run(&nl, &sites, &workload, flavor, eff_width, ConeMode::Never);
+    assert_eq!(never_report, report, "cone-off report must match the sharded campaign");
+    let avoided =
+        100.0 * (1.0 - auto_stats.cell_evals as f64 / never_stats.cell_evals.max(1) as f64);
+    println!(
+        "cone scheduling  : {}/{} chunks through fanout cones ({} full-sweep fallback)",
+        auto_stats.cone_chunks, auto_stats.chunks, auto_stats.fallback_chunks
+    );
+    println!(
+        "cell evaluations : {} cone-scheduled vs {} full-sweep ({:.1} % avoided)",
+        auto_stats.cell_evals, never_stats.cell_evals, avoided
+    );
+
     if compare {
         let (pp, pp_secs) =
             run_sharded(&nl, &shards, &workload, flavor, width, threads, patpar_path);
@@ -232,6 +332,13 @@ fn campaign(
             pp_secs / secs.max(1e-9),
             per_site(ora_secs, ora.total) / per_site(ppsfp_sub_secs, ppsfp_sub.total).max(1e-9)
         );
+        activity_crosscheck(
+            &nl,
+            &workload,
+            flavor,
+            width.unwrap_or_else(|| LaneWidth::auto_for_netlist(&nl)),
+            events,
+        );
     }
     println!();
 }
@@ -239,11 +346,14 @@ fn campaign(
 fn main() {
     let mut max_sites: usize = 0; // 0 = the full site list
     let mut compare = false;
+    let mut events = false;
     let mut width: Option<LaneWidth> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         if arg == "--compare" {
             compare = true;
+        } else if arg == "--events" {
+            events = true;
         } else if arg == "--width" {
             width = match it.next().as_deref().and_then(LaneWidth::parse) {
                 Some(w) => Some(w),
@@ -255,7 +365,7 @@ fn main() {
         } else if let Ok(n) = arg.parse() {
             max_sites = n;
         } else {
-            eprintln!("usage: faults [max_sites] [--compare] [--width 1|2|4|8]");
+            eprintln!("usage: faults [max_sites] [--compare] [--width 1|2|4|8] [--events]");
             std::process::exit(2);
         }
     }
@@ -267,12 +377,13 @@ fn main() {
         ],
         RunOptions::default(),
     );
-    let threads = pe_bench::grid_threads();
+    let opts =
+        CampaignOpts { max_sites, compare, events, width, threads: pe_bench::grid_threads() };
     // The fully-parallel baseline (combinational campaign) and the paper's
     // sequential SVM (clocked campaign) — the headline design's robustness
     // was previously never measured here.
-    campaign(&engine, profile, DesignStyle::ParallelSvm, max_sites, compare, width, threads);
-    campaign(&engine, profile, DesignStyle::SequentialSvm, max_sites, compare, width, threads);
+    campaign(&engine, profile, DesignStyle::ParallelSvm, &opts);
+    campaign(&engine, profile, DesignStyle::SequentialSvm, &opts);
     println!("Reading: a substantial fraction of printed defects never flips a");
     println!("prediction — classification margins absorb them — which is why bespoke");
     println!("printed classifiers tolerate printing yields that would kill a CPU.");

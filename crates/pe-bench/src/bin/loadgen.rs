@@ -2,6 +2,10 @@
 //!
 //! Three drive modes:
 //!
+//! `--events` routes every in-process service through the event-driven
+//! (dirty-cell worklist) sweep mode; with `--ratio` it additionally
+//! measures the low-activity payoff on a repeated-request stream.
+//!
 //! * **Ratio** (`--ratio`, part of the default run): closed-loop saturation
 //!   throughput of the lane-coalescing service (up to `64 * W` requests per
 //!   sweep; `--width` forces the slab width) versus a
@@ -41,6 +45,7 @@ struct Args {
     requests: usize,
     batch_max: usize,
     width: Option<LaneWidth>,
+    events: bool,
     ratio: bool,
     sweep: bool,
     expect_ratio: Option<f64>,
@@ -61,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
         // the single-chunk floor without splitting the batch.
         batch_max: 512,
         width: None,
+        events: false,
         ratio: false,
         sweep: false,
         expect_ratio: None,
@@ -87,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or(format!("bad --width {spec:?} (expected 1|2|4|8 words)"))?,
                 );
             }
+            "--events" => args.events = true,
             "--ratio" => args.ratio = true,
             "--sweep" => args.sweep = true,
             "--expect-ratio" => {
@@ -149,6 +156,7 @@ fn run_ratio(registry: &Arc<ModelRegistry>, args: &Args) -> f64 {
         mode: args.mode,
         batch_max: args.batch_max,
         lane_width: args.width,
+        event_driven: args.events,
         ..ServiceConfig::default()
     };
     let injectors = 8;
@@ -191,6 +199,28 @@ fn run_ratio(registry: &Arc<ModelRegistry>, args: &Args) -> f64 {
         m_b.sweeps
     );
     assert_eq!(m_b.verify_mismatches + m_s.verify_mismatches, 0, "verify must never fire");
+
+    // Low-activity delta: the same request repeated fills every lane of a
+    // slab with identical bits, so the event-driven worklist drains after
+    // the first sweep's settling — the best case for `--events`. Served
+    // predictions must match bit-for-bit either way (Verify mode checks).
+    if args.events {
+        let xs_low: Vec<Vec<f64>> = vec![xs_batched[0].clone(); args.requests];
+        let (rps_full, m_full) = saturation_rps(
+            registry,
+            args.key,
+            ServiceConfig { event_driven: false, ..base.clone() },
+            &xs_low,
+            injectors,
+        );
+        let (rps_ev, m_ev) = saturation_rps(registry, args.key, base.clone(), &xs_low, injectors);
+        assert_eq!(m_full.verify_mismatches + m_ev.verify_mismatches, 0, "verify must never fire");
+        println!(
+            "  low-activity (repeated request): {rps_ev:.0} req/s event-driven vs {rps_full:.0} \
+             full-sweep ({:+.1}%)",
+            (rps_ev / rps_full - 1.0) * 100.0
+        );
+    }
 
     // Machine-readable record for the acceptance gates and the README.
     let json = format!(
@@ -242,6 +272,7 @@ fn run_sweep(registry: &Arc<ModelRegistry>, args: &Args) {
                 ServiceConfig {
                     mode: args.mode,
                     batch_deadline: deadline,
+                    event_driven: args.events,
                     ..ServiceConfig::default()
                 },
             );

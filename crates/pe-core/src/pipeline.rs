@@ -46,6 +46,10 @@ pub struct RunOptions {
     /// `None` picks a per-model default from the netlist size
     /// ([`LaneWidth::auto_for_netlist`]); `Some` forces a width.
     pub lane_width: Option<LaneWidth>,
+    /// Event-driven sweeps for the bit-sliced engine: only re-evaluate cells
+    /// whose input slabs changed ([`pe_sim::Simulator::set_event_driven`]).
+    /// Bit-identical to full sweeps; pays off on low-activity batches.
+    pub event_driven: bool,
 }
 
 impl Default for RunOptions {
@@ -58,6 +62,7 @@ impl Default for RunOptions {
             tech: TechParams::standard(),
             batch_mode: BatchMode::default(),
             lane_width: None,
+            event_driven: false,
         }
     }
 }
@@ -340,6 +345,7 @@ pub fn run_prepared(
     let mut sim = Simulator::new(&nl).expect("generated designs are acyclic");
     sim.set_batch_mode(opts.batch_mode);
     sim.set_lane_width(opts.lane_width.unwrap_or_else(|| LaneWidth::auto_for_netlist(&nl)));
+    sim.set_event_driven(opts.event_driven);
     sim.enable_activity();
     let cycles_per_vector = if style == DesignStyle::SequentialSvm { cycles } else { 0 };
     let batch = sim.run_batch(&vectors, cycles_per_vector, "class");

@@ -143,6 +143,80 @@ pub fn fanin_cone(nl: &Netlist, net: NetId) -> Vec<CellId> {
     cone
 }
 
+/// Precomputed net → sink-cell adjacency for fanout-cone extraction: which
+/// cells read each net, over **all** cells (combinational and sequential).
+///
+/// Built once per netlist and reused across many [`FanoutCones::cone`]
+/// queries — fault campaigns ask for the union cone of every chunk of
+/// pinned sites, so the adjacency scan must not be repeated per chunk.
+#[derive(Debug, Clone)]
+pub struct FanoutCones {
+    /// `sinks[net.index()]` = cells with `net` on an input pin.
+    sinks: Vec<Vec<CellId>>,
+}
+
+impl FanoutCones {
+    /// Scans the netlist's cell input pins into a net-indexed sink table.
+    #[must_use]
+    pub fn new(nl: &Netlist) -> Self {
+        let mut sinks: Vec<Vec<CellId>> = vec![Vec::new(); nl.num_nets()];
+        for (id, cell) in nl.cells() {
+            for &inp in cell.inputs() {
+                let s = &mut sinks[inp.index()];
+                if s.last() != Some(&id) {
+                    s.push(id);
+                }
+            }
+        }
+        FanoutCones { sinks }
+    }
+
+    /// The cells reading `net` (each sink cell listed once per distinct
+    /// cell, even when `net` feeds several of its pins).
+    #[must_use]
+    pub fn sinks_of(&self, net: NetId) -> &[CellId] {
+        &self.sinks[net.index()]
+    }
+
+    /// Transitive fanout cone of a set of root nets: a cell-indexed
+    /// membership vector where `cone[cell.index()]` is true iff the cell's
+    /// output can be affected by some root net.
+    ///
+    /// Sequential cells do **not** cut the traversal: reaching a flip-flop's
+    /// data (or enable) pin puts the flip-flop in the cone and continues
+    /// from its output net, which closes register feedback loops — a fault
+    /// feeding a register can corrupt state that re-enters the
+    /// combinational core on the next cycle, possibly back upstream of the
+    /// fault site itself. The BFS visits each cell once, so cyclic feedback
+    /// terminates.
+    #[must_use]
+    pub fn cone(&self, nl: &Netlist, roots: &[NetId]) -> Vec<bool> {
+        let mut in_cone = vec![false; nl.num_cells()];
+        let mut queued = vec![false; nl.num_nets()];
+        let mut frontier: Vec<NetId> = Vec::new();
+        for &r in roots {
+            if !queued[r.index()] {
+                queued[r.index()] = true;
+                frontier.push(r);
+            }
+        }
+        while let Some(n) = frontier.pop() {
+            for &c in self.sinks_of(n) {
+                if in_cone[c.index()] {
+                    continue;
+                }
+                in_cone[c.index()] = true;
+                let out = nl.cell(c).output();
+                if !queued[out.index()] {
+                    queued[out.index()] = true;
+                    frontier.push(out);
+                }
+            }
+        }
+        in_cone
+    }
+}
+
 /// Cells whose outputs reach neither a primary output nor a flip-flop data
 /// pin: dead logic that a synthesis sweep would remove. The builder's
 /// folding usually prevents these, but approximation passes can orphan
@@ -280,6 +354,70 @@ mod tests {
         let cone = fanin_cone(&nl, g2);
         // or2 + dff, but not the and2 behind the register.
         assert_eq!(cone.len(), 2);
+    }
+
+    #[test]
+    fn fanout_cone_reaches_transitive_sinks_only() {
+        let mut b = Builder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g1 = b.and2(x, y);
+        let g2 = b.or2(g1, x);
+        let g3 = b.xor2(g2, g1);
+        let side = b.inv(y); // not downstream of g1
+        b.output("o", g3);
+        b.output("s", side);
+        let nl = b.finish();
+        let cones = FanoutCones::new(&nl);
+        let cell_of = |n: NetId| match nl.net(n).driver() {
+            Driver::Cell(c) => c,
+            _ => panic!(),
+        };
+        let cone = cones.cone(&nl, &[g1]);
+        assert!(!cone[cell_of(g1).index()], "the root's own driver is upstream, not in the cone");
+        assert!(cone[cell_of(g2).index()]);
+        assert!(cone[cell_of(g3).index()]);
+        assert!(!cone[cell_of(side).index()]);
+        // A multi-root query unions the cones.
+        let both = cones.cone(&nl, &[g1, y]);
+        assert!(both[cell_of(side).index()]);
+        assert!(both[cell_of(g1).index()], "y feeds the and2 directly");
+    }
+
+    #[test]
+    fn fanout_cone_closes_register_feedback() {
+        // q feeds logic that feeds q's own data pin: the cone of the
+        // feedback net must include the register *and* everything its
+        // output reaches, wrapping around the cycle exactly once.
+        let mut b = Builder::new("t");
+        let x = b.input("x");
+        let (q, h) = b.dff_deferred(false);
+        let fb = b.xor2(q, x);
+        b.connect_dff(h, fb);
+        let downstream = b.inv(q);
+        b.output("o", downstream);
+        let nl = b.finish();
+        let cones = FanoutCones::new(&nl);
+        let cell_of = |n: NetId| match nl.net(n).driver() {
+            Driver::Cell(c) => c,
+            _ => panic!(),
+        };
+        let cone = cones.cone(&nl, &[fb]);
+        assert!(cone[cell_of(q).index()], "register captures the faulted feedback net");
+        assert!(cone[cell_of(downstream).index()], "and its output cone follows");
+        assert!(cone[cell_of(fb).index()], "feedback wraps back through the xor");
+    }
+
+    #[test]
+    fn fanout_sinks_dedup_multi_pin_cells() {
+        let mut b = Builder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g = b.mux2(x, y, x); // x on two pins of one cell
+        b.output("o", g);
+        let nl = b.finish();
+        let cones = FanoutCones::new(&nl);
+        assert_eq!(cones.sinks_of(x).len(), 1, "one cell, even with x on two pins");
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! pe-serve [--addr HOST:PORT] [--mode gate|int|verify] [--batch-max N]
-//!          [--width 1|2|4|8] [--deadline-us N] [--workers N] [--capacity N]
-//!          [--warm key,key,... | --warm-grid]
+//!          [--width 1|2|4|8] [--events] [--deadline-us N] [--workers N]
+//!          [--capacity N] [--warm key,key,... | --warm-grid]
 //! ```
 //!
 //! Keys are `profile:style` tokens (`cardio:seq`, `pendigits:mlp`, …; see
@@ -28,10 +28,12 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: pe-serve [--addr HOST:PORT] [--mode gate|int|verify] [--batch-max N]\n\
-         \x20               [--width 1|2|4|8] [--deadline-us N] [--workers N] [--capacity N]\n\
-         \x20               [--warm key,key,... | --warm-grid]\n\
+         \x20               [--width 1|2|4|8] [--events] [--deadline-us N] [--workers N]\n\
+         \x20               [--capacity N] [--warm key,key,... | --warm-grid]\n\
          --width forces the bit-sliced slab width in words (64-512 lanes per\n\
-         sweep; lane counts accepted); default: per-model auto"
+         sweep; lane counts accepted); default: per-model auto\n\
+         --events enables event-driven sweeps (dirty-cell worklist; identical\n\
+         predictions, fewer cell evaluations on low-activity batches)"
     );
     std::process::exit(2)
 }
@@ -59,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or(format!("bad --width {spec:?} (expected 1|2|4|8 words)"))?,
                 );
             }
+            "--events" => args.cfg.event_driven = true,
             "--deadline-us" => {
                 let us: u64 =
                     value("--deadline-us")?.parse().map_err(|_| "bad --deadline-us".to_owned())?;
@@ -110,11 +113,13 @@ fn main() -> ExitCode {
     let cfg = service.config();
     let width = cfg.lane_width.map_or("auto".to_owned(), |w| w.to_string());
     eprintln!(
-        "pe-serve listening on {} (mode {:?}, batch_max {}, width {}, deadline {:?}, workers {})",
+        "pe-serve listening on {} (mode {:?}, batch_max {}, width {}, sweeps {}, deadline {:?}, \
+         workers {})",
         server.local_addr(),
         cfg.mode,
         cfg.batch_max,
         width,
+        if cfg.event_driven { "event-driven" } else { "full" },
         cfg.batch_deadline,
         cfg.workers
     );

@@ -85,6 +85,12 @@ pub struct ServiceConfig {
     ///
     /// [`ModelEntry::lane_width`]: crate::registry::ModelEntry::lane_width
     pub lane_width: Option<LaneWidth>,
+    /// Event-driven sweeps for gate-level batches: the slab engine only
+    /// re-evaluates cells whose input slabs changed, which pays off on
+    /// low-activity batches (repeated or near-constant feature rows) and is
+    /// bit-identical to the full-sweep default — predictions *and* toggle
+    /// accounting.
+    pub event_driven: bool,
     /// How long the oldest queued request may wait before its (possibly
     /// ragged) batch is flushed anyway.
     pub batch_deadline: Duration,
@@ -101,6 +107,7 @@ impl Default for ServiceConfig {
             mode: ServeMode::default(),
             batch_max: LANES,
             lane_width: None,
+            event_driven: false,
             batch_deadline: Duration::from_millis(2),
             queue_capacity: 4096,
             workers: std::thread::available_parallelism()
@@ -467,6 +474,7 @@ fn run_one_batch(shared: &Shared, key: ModelKey, mut reqs: Vec<Pending>) {
             if let Some(w) = shared.cfg.lane_width {
                 sim.set_lane_width(w);
             }
+            sim.set_event_driven(shared.cfg.event_driven);
             let lane_words = sim.lane_width().words();
             let result = sim.run_batch(&vectors, entry.cycles_per_vector, "class");
             let gate: Vec<usize> = result.outputs.iter().map(|&v| v as usize).collect();

@@ -8,6 +8,11 @@
 //! the fast simulator to the scalar oracle; this one pins the whole
 //! coalescing service (quantize → batch → simulate → reply) to the integer
 //! golden model.
+//!
+//! The low-activity tests cover the event-driven (dirty-cell worklist)
+//! sweep mode on its target traffic shape — repeated and near-constant
+//! feature rows — asserting zero verify mismatches through the service and
+//! bit-identical [`pe_sim::ToggleCounters`] against the full sweep.
 
 use pe_core::engine::NullSink;
 use pe_core::pipeline::RunOptions;
@@ -60,4 +65,89 @@ fn predict_int_matches_gate_level_across_the_table1_grid() {
     assert!(m.batches >= 20 * RAGGED_SIZES.len() as u64, "batches {}", m.batches);
     service.shutdown();
     assert!(service.is_stopped());
+}
+
+/// `n` low-activity request rows: one held-out sample repeated, with a
+/// single feature nudged every `period`-th row so the batch is *near*-
+/// constant rather than perfectly constant (both edges of the worklist's
+/// best case).
+fn low_activity_rows(entry: &pe_serve::ModelEntry, n: usize, period: usize) -> Vec<Vec<f64>> {
+    let base = entry.sample_requests(1).remove(0);
+    (0..n)
+        .map(|i| {
+            let mut x = base.clone();
+            if i % period == 0 {
+                let j = (i / period) % x.len();
+                x[j] = 1.0 - x[j];
+            }
+            x
+        })
+        .collect()
+}
+
+#[test]
+fn event_driven_service_matches_full_sweep_on_low_activity_batches() {
+    // Two Verify-mode services over the same registry — one event-driven,
+    // one full-sweep — fed repeated / near-constant rows: replies must
+    // match the integer model on both, with zero verify mismatches.
+    let registry = Arc::new(ModelRegistry::new(RunOptions::default()));
+    let keys = [ModelKey::parse("cardio:seq").unwrap(), ModelKey::parse("cardio:par").unwrap()];
+    registry.warm(&keys, pe_core::engine::default_threads(keys.len()), &mut NullSink);
+    let base = ServiceConfig {
+        mode: ServeMode::Verify,
+        batch_deadline: Duration::from_millis(1),
+        ..ServiceConfig::default()
+    };
+    let full = Service::start(Arc::clone(&registry), base.clone());
+    let events =
+        Service::start(Arc::clone(&registry), ServiceConfig { event_driven: true, ..base });
+    for &key in &keys {
+        let entry = registry.get(key);
+        for size in RAGGED_SIZES {
+            let xs = low_activity_rows(&entry, size, 17);
+            let want: Vec<_> =
+                xs.iter().map(|x| Ok(entry.predict_int(&entry.quantize_input(x)))).collect();
+            assert_eq!(full.classify_batch(key, &xs), want, "{} full sweep", key.token());
+            assert_eq!(events.classify_batch(key, &xs), want, "{} event-driven", key.token());
+        }
+    }
+    assert_eq!(full.metrics().verify_mismatches, 0);
+    assert_eq!(events.metrics().verify_mismatches, 0, "event-driven verify must never fire");
+    full.shutdown();
+    events.shutdown();
+}
+
+#[test]
+fn event_driven_toggle_counters_match_full_sweep_on_low_activity_batches() {
+    // The service doesn't surface per-net toggle counters, so the parity
+    // claim — event-driven sweeps keep the *activity accounting* of the
+    // dense sweep bit-identical, not just the classifications — is pinned
+    // on the entry's own simulator, over the exact batches the service
+    // would coalesce.
+    let registry = Arc::new(ModelRegistry::new(RunOptions::default()));
+    let keys = [ModelKey::parse("cardio:seq").unwrap(), ModelKey::parse("cardio:par").unwrap()];
+    registry.warm(&keys, pe_core::engine::default_threads(keys.len()), &mut NullSink);
+    for &key in &keys {
+        let entry = registry.get(key);
+        for (size, period) in [(64usize, 64), (130, 17), (65, 1)] {
+            let vectors: Vec<Vec<i64>> = low_activity_rows(&entry, size, period)
+                .iter()
+                .map(|x| entry.quantize_input(x))
+                .collect();
+            let mut full = entry.simulator();
+            full.enable_activity();
+            let want = full.run_batch(&vectors, entry.cycles_per_vector, "class");
+            let mut ev = entry.simulator();
+            ev.set_event_driven(true);
+            ev.enable_activity();
+            let got = ev.run_batch(&vectors, entry.cycles_per_vector, "class");
+            assert_eq!(got, want, "{} size {size} outputs diverged", key.token());
+            assert_eq!(
+                ev.activity(),
+                full.activity(),
+                "{} size {size}: event-driven toggle counters diverged",
+                key.token()
+            );
+        }
+    }
 }

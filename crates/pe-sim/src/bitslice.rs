@@ -63,8 +63,10 @@
 
 use crate::activity::{ActivityReport, ToggleCounters};
 use crate::sim::BatchResult;
+use pe_netlist::graph::FanoutCones;
 use pe_netlist::{CellId, Netlist, NetlistError, PortDir};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Number of simulation lanes in one machine word (one slab holds
 /// `LANES * W` lanes).
@@ -266,6 +268,113 @@ pub struct BitSlicedSimulator<'nl, const W: usize = 1> {
     /// `usize::MAX` for nets not driven by a sequential cell. Lets
     /// force/release target register state without scanning every register.
     reg_of_net: Vec<usize>,
+    /// Combinational cell evaluations performed so far (each cell of each
+    /// settle pass counts one, at every width — the work metric the
+    /// cone-scheduled and event-driven modes exist to shrink).
+    cell_evals: u64,
+    /// Dirty-cell worklist state when event-driven sweeps are enabled
+    /// ([`BitSlicedSimulator::set_event_driven`]); `None` runs full sweeps.
+    events: Option<Events>,
+}
+
+/// Worklist bookkeeping of the event-driven sweep mode: instead of
+/// re-evaluating every combinational cell per settle pass, only cells at
+/// least one of whose input slabs changed since their last evaluation are
+/// visited, in topological-position order. Every site that mutates a net
+/// slab outside evaluation (input driving, forcing/releasing, register
+/// updates and resets, chunk collapse of partially forced nets) marks the
+/// net's sink cells dirty, which is what keeps the skip bit-exact — see the
+/// invariant on [`BitSlicedSimulator::set_event_driven`].
+#[derive(Debug)]
+struct Events {
+    /// `net.index()` → positions (into `order`) of the net's combinational
+    /// sink cells.
+    sinks_of_net: Vec<Vec<u32>>,
+    /// `cell.index()` → its position in `order` (`u32::MAX` for sequential
+    /// cells, which are never on the worklist).
+    pos_of_cell: Vec<u32>,
+    /// Per-position "queued on the worklist" flag (deduplicates pushes).
+    dirty: Vec<bool>,
+    /// Min-heap of dirty positions: popping in ascending topological
+    /// position guarantees a cell runs after every dirty cell upstream of
+    /// it, so one drain settles the core.
+    heap: BinaryHeap<Reverse<u32>>,
+}
+
+impl Events {
+    fn new(nl: &Netlist, order: &[CellId]) -> Self {
+        let mut pos_of_cell = vec![u32::MAX; nl.num_cells()];
+        for (p, &c) in order.iter().enumerate() {
+            pos_of_cell[c.index()] = p as u32;
+        }
+        let mut sinks_of_net: Vec<Vec<u32>> = vec![Vec::new(); nl.num_nets()];
+        for (p, &c) in order.iter().enumerate() {
+            for &inp in nl.cell(c).inputs() {
+                let s = &mut sinks_of_net[inp.index()];
+                if s.last() != Some(&(p as u32)) {
+                    s.push(p as u32);
+                }
+            }
+        }
+        // Start all-dirty: the first settle is a full sweep, which makes
+        // enabling the mode safe in any simulator state.
+        let dirty = vec![true; order.len()];
+        let heap = (0..order.len() as u32).map(Reverse).collect();
+        Events { sinks_of_net, pos_of_cell, dirty, heap }
+    }
+
+    /// Queues one position (no-op if already queued).
+    #[inline]
+    fn mark(&mut self, pos: u32) {
+        let p = pos as usize;
+        if !self.dirty[p] {
+            self.dirty[p] = true;
+            self.heap.push(Reverse(pos));
+        }
+    }
+
+    /// Queues every combinational sink of a net whose slab just changed.
+    #[inline]
+    fn mark_sinks(&mut self, net: usize) {
+        for i in 0..self.sinks_of_net[net].len() {
+            let p = self.sinks_of_net[net][i];
+            if !self.dirty[p as usize] {
+                self.dirty[p as usize] = true;
+                self.heap.push(Reverse(p));
+            }
+        }
+    }
+}
+
+/// The per-chunk cone schedule of a cone-scheduled PPSFP sweep: the subset
+/// of the topological order downstream of the chunk's pinned fault sites,
+/// plus the *frontier* — the nets feeding that subset from outside it, whose
+/// fault-free values are loaded from a precomputed golden trajectory instead
+/// of being recomputed. Built by [`BitSlicedSimulator::cone_schedule`],
+/// consumed by [`BitSlicedSimulator::lanes_diverging_cone`].
+#[derive(Debug)]
+pub(crate) struct ConeSchedule {
+    /// Positions (into `order`) of the cone's combinational cells, ascending
+    /// — a valid topological order of the cone.
+    comb: Vec<u32>,
+    /// Indices (into `regs`) of the cone's sequential cells.
+    regs: Vec<u32>,
+    /// Nets read by cone cells but not driven by one, plus root (fault
+    /// site) nets not driven by a cone cell: everything the cone consumes
+    /// from the fault-free world. Loaded broadcast from the golden
+    /// trajectory (forced lanes keep their pinned values).
+    frontier: Vec<pe_netlist::NetId>,
+    /// Net-indexed: true iff the net's slab is meaningful after a cone pass
+    /// (cone-driven or frontier-loaded). Output bits outside this set are
+    /// provably fault-free and are skipped by the divergence diff.
+    valid_net: Vec<bool>,
+}
+
+impl ConeSchedule {
+    /// Number of combinational cells a cone pass evaluates.
+    pub(crate) fn comb_cells(&self) -> usize {
+        self.comb.len()
+    }
 }
 
 impl<'nl, const W: usize> BitSlicedSimulator<'nl, W> {
@@ -359,7 +468,53 @@ impl<'nl, const W: usize> BitSlicedSimulator<'nl, W> {
             forced_mask: vec![[0; W]; nl.num_nets()],
             forced_vals: vec![[0; W]; nl.num_nets()],
             reg_of_net,
+            cell_evals: 0,
+            events: None,
         }
+    }
+
+    /// Combinational cell evaluations performed since construction: each
+    /// cell visited by each settle pass counts one, regardless of width.
+    /// Full sweeps evaluate the whole scheduled core per pass; the
+    /// cone-scheduled and event-driven modes exist to make this counter
+    /// grow slower at identical outputs.
+    #[must_use]
+    pub fn cell_evals(&self) -> u64 {
+        self.cell_evals
+    }
+
+    /// Number of combinational cells one full settle pass evaluates.
+    #[must_use]
+    pub fn scheduled_cells(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Switches the engine between full topological sweeps (the default)
+    /// and **event-driven** sweeps: a dirty-cell worklist that only
+    /// re-evaluates cells whose input slabs changed since their last
+    /// evaluation, popping in topological-position order.
+    ///
+    /// The skip is bit-exact — outputs *and* toggle accounting — because the
+    /// engine maintains the invariant *clean cell ⇒ stored output slab ==
+    /// forced-merge(eval(stored input slabs))*: every mutation outside
+    /// evaluation (driving inputs, forcing/releasing nets, register updates
+    /// and resets, collapsing chunks with partially forced nets) marks the
+    /// affected sinks dirty. Enabling starts all-dirty, so the first settle
+    /// is one full sweep and the mode is safe to flip in any state. The
+    /// payoff is proportional to batch inactivity: repeated or near-constant
+    /// vectors leave most of the core clean.
+    pub fn set_event_driven(&mut self, on: bool) {
+        if on {
+            self.events = Some(Events::new(self.nl, &self.order));
+        } else {
+            self.events = None;
+        }
+    }
+
+    /// Whether event-driven sweeps are enabled.
+    #[must_use]
+    pub fn event_driven(&self) -> bool {
+        self.events.is_some()
     }
 
     /// The netlist under simulation.
@@ -425,6 +580,7 @@ impl<'nl, const W: usize> BitSlicedSimulator<'nl, W> {
     /// stuck-at-1 sites packed into one chunk) accumulates.
     pub fn force_lanes(&mut self, net: pe_netlist::NetId, values: [u64; W], mask: [u64; W]) {
         let i = net.index();
+        let old = self.words[i];
         for w in 0..W {
             self.forced_mask[i][w] |= mask[w];
             self.forced_vals[i][w] = (self.forced_vals[i][w] & !mask[w]) | (values[w] & mask[w]);
@@ -434,6 +590,19 @@ impl<'nl, const W: usize> BitSlicedSimulator<'nl, W> {
         if r != usize::MAX {
             for w in 0..W {
                 self.state[r][w] = (self.state[r][w] & !mask[w]) | (values[w] & mask[w]);
+            }
+        }
+        if let Some(ev) = &mut self.events {
+            // The pin overrides the net's own evaluation too, so the driver
+            // must re-merge on its next visit, not only the sinks.
+            if let pe_netlist::Driver::Cell(c) = self.nl.net(net).driver() {
+                let p = ev.pos_of_cell[c.index()];
+                if p != u32::MAX {
+                    ev.mark(p);
+                }
+            }
+            if self.words[i] != old {
+                ev.mark_sinks(i);
             }
         }
     }
@@ -449,6 +618,7 @@ impl<'nl, const W: usize> BitSlicedSimulator<'nl, W> {
         if self.forced_mask[i] == [0; W] {
             return;
         }
+        let old = self.words[i];
         self.forced_mask[i] = [0; W];
         self.forced_vals[i] = [0; W];
         let r = self.reg_of_net[i];
@@ -456,6 +626,19 @@ impl<'nl, const W: usize> BitSlicedSimulator<'nl, W> {
             let init = broadcast_wide(self.nl.cell(self.regs[r]).init());
             self.state[r] = init;
             self.words[i] = init;
+        }
+        if let Some(ev) = &mut self.events {
+            // A released combinational net must be recomputed by its driver;
+            // a released register output may have jumped back to init.
+            if let pe_netlist::Driver::Cell(c) = self.nl.net(net).driver() {
+                let p = ev.pos_of_cell[c.index()];
+                if p != u32::MAX {
+                    ev.mark(p);
+                }
+            }
+            if self.words[i] != old {
+                ev.mark_sinks(i);
+            }
         }
     }
 
@@ -497,6 +680,9 @@ impl<'nl, const W: usize> BitSlicedSimulator<'nl, W> {
     /// `W` bitwise ops, toggles accounted per lane against the stored slab
     /// (masked, so ragged lanes never leak into activity).
     fn eval_lanes(&mut self, mask: &[u64; W]) {
+        if self.events.is_some() {
+            return self.eval_worklist(mask, false);
+        }
         let track = self.toggles.is_enabled();
         let mut ins = [[0u64; W]; 3];
         for idx in 0..self.order.len() {
@@ -522,6 +708,7 @@ impl<'nl, const W: usize> BitSlicedSimulator<'nl, W> {
                 self.words[out] = new;
             }
         }
+        self.cell_evals += self.order.len() as u64;
     }
 
     /// A settle pass with *serial* toggle accounting for combinational
@@ -530,6 +717,9 @@ impl<'nl, const W: usize> BitSlicedSimulator<'nl, W> {
     /// broadcast bit), reproducing exactly the adjacent-vector toggle
     /// sequence of a serial loop across the whole slab.
     fn settle_serial(&mut self, mask: &[u64; W]) {
+        if self.events.is_some() {
+            return self.eval_worklist(mask, true);
+        }
         let track = self.toggles.is_enabled();
         let mut ins = [[0u64; W]; 3];
         for idx in 0..self.order.len() {
@@ -557,6 +747,69 @@ impl<'nl, const W: usize> BitSlicedSimulator<'nl, W> {
             }
             self.words[out] = new;
         }
+        self.cell_evals += self.order.len() as u64;
+    }
+
+    /// The event-driven settle shared by [`BitSlicedSimulator::eval_lanes`]
+    /// and [`BitSlicedSimulator::settle_serial`]: drains the dirty worklist
+    /// in ascending topological position, re-queueing the sinks of every
+    /// changed output. `serial` selects the serial (adjacent-lane) toggle
+    /// formula of `settle_serial` over the slab-difference formula of
+    /// `eval_lanes`.
+    ///
+    /// Skipping a clean cell is exact under both formulas: clean means its
+    /// recomputation would reproduce the stored slab, so the slab-difference
+    /// contribution is zero; and between chunks every slab is a broadcast,
+    /// so the serial formula over an unchanged broadcast is zero as well.
+    fn eval_worklist(&mut self, mask: &[u64; W], serial: bool) {
+        let track = self.toggles.is_enabled();
+        let mut ins = [[0u64; W]; 3];
+        let mut ev = self.events.take().expect("eval_worklist requires event mode");
+        while let Some(Reverse(p)) = ev.heap.pop() {
+            let idx = p as usize;
+            if !ev.dirty[idx] {
+                continue;
+            }
+            ev.dirty[idx] = false;
+            let cell = self.nl.cell(self.order[idx]);
+            let out = cell.output().index();
+            for (k, &inp) in cell.inputs().iter().enumerate() {
+                ins[k] = self.words[inp.index()];
+            }
+            let mut new = cell.kind().eval_packed_wide::<W>(&ins[..cell.inputs().len()]);
+            let fm = &self.forced_mask[out];
+            if *fm != [0; W] {
+                let fv = &self.forced_vals[out];
+                for w in 0..W {
+                    new[w] = (new[w] & !fm[w]) | (fv[w] & fm[w]);
+                }
+            }
+            self.cell_evals += 1;
+            let old = self.words[out];
+            if serial {
+                if track {
+                    let mut carry = old[0] & 1;
+                    let mut diff = [0u64; W];
+                    for w in 0..W {
+                        diff[w] = (new[w] ^ ((new[w] << 1) | carry)) & mask[w];
+                        carry = new[w] >> 63;
+                    }
+                    self.toggles.bump_packed_wide(out, &diff);
+                }
+                self.words[out] = new;
+                if new != old {
+                    ev.mark_sinks(out);
+                }
+            } else if new != old {
+                if track {
+                    let diff: [u64; W] = core::array::from_fn(|w| (new[w] ^ old[w]) & mask[w]);
+                    self.toggles.bump_packed_wide(out, &diff);
+                }
+                self.words[out] = new;
+                ev.mark_sinks(out);
+            }
+        }
+        self.events = Some(ev);
     }
 
     /// One clock cycle for all active lanes: settle, capture packed
@@ -595,6 +848,9 @@ impl<'nl, const W: usize> BitSlicedSimulator<'nl, W> {
                     self.toggles.bump_packed_wide(out, &diff);
                 }
                 self.words[out] = next;
+                if let Some(ev) = &mut self.events {
+                    ev.mark_sinks(out);
+                }
             }
             self.state[i] = next;
         }
@@ -613,10 +869,16 @@ impl<'nl, const W: usize> BitSlicedSimulator<'nl, W> {
             let init = broadcast(cell.init());
             let fm = &self.forced_mask[out];
             let fv = &self.forced_vals[out];
+            let old = self.words[out];
             for w in 0..W {
                 self.state[i][w] = (init & !fm[w]) | (fv[w] & fm[w]);
             }
             self.words[out] = self.state[i];
+            if self.words[out] != old {
+                if let Some(ev) = &mut self.events {
+                    ev.mark_sinks(out);
+                }
+            }
         }
     }
 
@@ -633,6 +895,28 @@ impl<'nl, const W: usize> BitSlicedSimulator<'nl, W> {
             let fv = &self.forced_vals[i];
             for k in 0..W {
                 w[k] = (b & !fm[k]) | (fv[k] & fm[k]);
+            }
+        }
+        // Collapsing preserves the clean-cell invariant lane-wise: every net
+        // becomes the broadcast of lane `lane`, and a clean cell's broadcast
+        // output is exactly its evaluation of the broadcast inputs — except
+        // where a *partially* forced net mixes the pinned value into the
+        // collapsed lane. Those nets (never present on the serving path,
+        // which only pins whole nets) get their driver and sinks re-queued.
+        if let Some(ev) = &mut self.events {
+            for (id, net) in self.nl.nets() {
+                let i = id.index();
+                let fm = &self.forced_mask[i];
+                if *fm == [0; W] || *fm == [!0; W] {
+                    continue;
+                }
+                if let pe_netlist::Driver::Cell(c) = net.driver() {
+                    let p = ev.pos_of_cell[c.index()];
+                    if p != u32::MAX {
+                        ev.mark(p);
+                    }
+                }
+                ev.mark_sinks(i);
             }
         }
         for (r, s) in self.state.iter_mut().enumerate() {
@@ -674,7 +958,12 @@ impl<'nl, const W: usize> BitSlicedSimulator<'nl, W> {
             for (l, &v) in values.iter().enumerate() {
                 slab[l / LANES] |= (((v >> j) & 1) as u64) << (l % LANES);
             }
-            self.words[net.index()] = slab;
+            if self.words[net.index()] != slab {
+                self.words[net.index()] = slab;
+                if let Some(ev) = &mut self.events {
+                    ev.mark_sinks(net.index());
+                }
+            }
         }
     }
 
@@ -727,6 +1016,16 @@ impl<'nl, const W: usize> BitSlicedSimulator<'nl, W> {
     fn drive_port_lanes(&mut self, chunk: &[Vec<(String, i64)>]) {
         let first = &chunk[0];
         let ports = self.resolve_entry_ports(first);
+        // Event mode needs before/after comparison: the fill below is
+        // zero-then-OR, so the old slabs are snapshotted first.
+        let old: Vec<(usize, [u64; W])> = if self.events.is_some() {
+            ports
+                .iter()
+                .flat_map(|(_, nets, _, _)| nets.iter().map(|n| (n.index(), self.words[n.index()])))
+                .collect()
+        } else {
+            Vec::new()
+        };
         for (_, nets, _, _) in &ports {
             for &net in nets {
                 self.words[net.index()] = [0; W];
@@ -748,6 +1047,13 @@ impl<'nl, const W: usize> BitSlicedSimulator<'nl, W> {
                 assert!(*v >= min && *v <= max, "value {v} does not fit port {p}");
                 for (j, &net) in nets.iter().enumerate() {
                     self.words[net.index()][wi] |= (((v >> j) & 1) as u64) << bi;
+                }
+            }
+        }
+        if let Some(ev) = &mut self.events {
+            for (i, before) in old {
+                if self.words[i] != before {
+                    ev.mark_sinks(i);
                 }
             }
         }
@@ -995,6 +1301,10 @@ impl<'nl, const W: usize> BitSlicedSimulator<'nl, W> {
             !self.toggles.is_enabled(),
             "PPSFP lanes hold different machines; activity accounting is undefined"
         );
+        assert!(
+            self.events.is_none(),
+            "PPSFP campaigns drive their own sweep schedule; disable event mode"
+        );
         assert!(golden.len() >= workload.len(), "golden response shorter than the workload");
         if workload.is_empty() || watch == [0; W] {
             return [0; W];
@@ -1039,6 +1349,248 @@ impl<'nl, const W: usize> BitSlicedSimulator<'nl, W> {
             // otherwise stay lane-divergent after the campaign chunk, and
             // release_net only heals the *forced* nets.
             self.reset_regs_lanes();
+        }
+        diverged
+    }
+
+    // ---- cone-scheduled PPSFP (evaluate only downstream of the sites) ----
+
+    /// Builds the cone schedule of one PPSFP chunk: the cells downstream of
+    /// the chunk's pinned `roots` (per [`FanoutCones::cone`], register
+    /// feedback included), split into combinational positions and register
+    /// indices, plus the frontier nets the cone reads from the fault-free
+    /// world.
+    ///
+    /// A net is *cone-driven* when its driver is in the cone; every other
+    /// net holds its fault-free value in all lanes throughout the chunk —
+    /// no pinned site can reach it — which is what makes loading the
+    /// frontier from a golden trajectory exact. Root nets whose driver is
+    /// outside the cone (the common case: the fault's upstream cell) join
+    /// the frontier so the pinned lanes merge against golden values, and
+    /// join `valid_net` so sites on dead-end nets wired straight to an
+    /// output port are still observed by the divergence diff.
+    pub(crate) fn cone_schedule(
+        &self,
+        cones: &FanoutCones,
+        roots: &[pe_netlist::NetId],
+    ) -> ConeSchedule {
+        let in_cone = cones.cone(self.nl, roots);
+        let mut cone_driven = vec![false; self.nl.num_nets()];
+        let mut comb = Vec::new();
+        for (p, &c) in self.order.iter().enumerate() {
+            if in_cone[c.index()] {
+                comb.push(p as u32);
+                cone_driven[self.nl.cell(c).output().index()] = true;
+            }
+        }
+        let mut regs = Vec::new();
+        for (i, &r) in self.regs.iter().enumerate() {
+            if in_cone[r.index()] {
+                regs.push(i as u32);
+                cone_driven[self.nl.cell(r).output().index()] = true;
+            }
+        }
+        let mut valid_net = cone_driven.clone();
+        let mut frontier = Vec::new();
+        let mut queued = vec![false; self.nl.num_nets()];
+        let mut add_frontier = |n: pe_netlist::NetId, frontier: &mut Vec<pe_netlist::NetId>| {
+            let i = n.index();
+            if !cone_driven[i] && !queued[i] {
+                queued[i] = true;
+                valid_net[i] = true;
+                frontier.push(n);
+            }
+        };
+        for &p in &comb {
+            for &inp in self.nl.cell(self.order[p as usize]).inputs() {
+                add_frontier(inp, &mut frontier);
+            }
+        }
+        for &i in &regs {
+            for &inp in self.nl.cell(self.regs[i as usize]).inputs() {
+                add_frontier(inp, &mut frontier);
+            }
+        }
+        for &r in roots {
+            add_frontier(r, &mut frontier);
+        }
+        ConeSchedule { comb, regs, frontier, valid_net }
+    }
+
+    /// Loads every frontier net from one bit-packed golden state (bit
+    /// `net.index()` of `state`), broadcast across the lanes with pinned
+    /// lanes re-merged — the cone counterpart of driving an entry broadcast.
+    fn load_frontier(&mut self, sched: &ConeSchedule, state: &[u64]) {
+        for &n in &sched.frontier {
+            let i = n.index();
+            let b = broadcast((state[i / LANES] >> (i % LANES)) & 1 == 1);
+            let fm = &self.forced_mask[i];
+            let fv = &self.forced_vals[i];
+            let w = &mut self.words[i];
+            for k in 0..W {
+                w[k] = (b & !fm[k]) | (fv[k] & fm[k]);
+            }
+        }
+    }
+
+    /// One settle pass over the cone's combinational cells only. Positions
+    /// ascend, so this is a valid topological sweep of the cone; inputs from
+    /// outside the cone were frontier-loaded.
+    fn eval_cone(&mut self, sched: &ConeSchedule) {
+        let mut ins = [[0u64; W]; 3];
+        for &p in &sched.comb {
+            let cell = self.nl.cell(self.order[p as usize]);
+            let out = cell.output().index();
+            for (k, &inp) in cell.inputs().iter().enumerate() {
+                ins[k] = self.words[inp.index()];
+            }
+            let mut new = cell.kind().eval_packed_wide::<W>(&ins[..cell.inputs().len()]);
+            let fm = &self.forced_mask[out];
+            if *fm != [0; W] {
+                let fv = &self.forced_vals[out];
+                for w in 0..W {
+                    new[w] = (new[w] & !fm[w]) | (fv[w] & fm[w]);
+                }
+            }
+            self.words[out] = new;
+        }
+        self.cell_evals += sched.comb.len() as u64;
+    }
+
+    /// Resets the cone's registers to power-on init (pinned lanes keep
+    /// their forced values). Non-cone registers need no reset: if the cone
+    /// reads them their output nets are frontier-loaded, and the golden
+    /// trajectory's first state *is* the post-reset state.
+    fn reset_cone_regs(&mut self, sched: &ConeSchedule) {
+        for &ri in &sched.regs {
+            let i = ri as usize;
+            let cell = self.nl.cell(self.regs[i]);
+            let out = cell.output().index();
+            let init = broadcast(cell.init());
+            let fm = &self.forced_mask[out];
+            let fv = &self.forced_vals[out];
+            for w in 0..W {
+                self.state[i][w] = (init & !fm[w]) | (fv[w] & fm[w]);
+            }
+            self.words[out] = self.state[i];
+        }
+    }
+
+    /// One register update restricted to the cone's registers: capture
+    /// packed next-states from the settled slabs, then apply with the
+    /// forced-lane merge — the cone counterpart of the register phase of
+    /// [`BitSlicedSimulator::tick_lanes`].
+    fn update_cone_regs(&mut self, sched: &ConeSchedule) {
+        let nl = self.nl;
+        let mut ins = [[0u64; W]; 3];
+        for &ri in &sched.regs {
+            let i = ri as usize;
+            let cell = nl.cell(self.regs[i]);
+            for (k, &inp) in cell.inputs().iter().enumerate() {
+                ins[k] = self.words[inp.index()];
+            }
+            self.next_scratch[i] = cell
+                .kind()
+                .next_state_packed_wide::<W>(&ins[..cell.inputs().len()], &self.state[i]);
+        }
+        for &ri in &sched.regs {
+            let i = ri as usize;
+            let out = nl.cell(self.regs[i]).output().index();
+            let mut next = self.next_scratch[i];
+            let fm = &self.forced_mask[out];
+            if *fm != [0; W] {
+                let fv = &self.forced_vals[out];
+                for w in 0..W {
+                    next[w] = (next[w] & !fm[w]) | (fv[w] & fm[w]);
+                }
+            }
+            self.words[out] = next;
+            self.state[i] = next;
+        }
+    }
+
+    /// Cone-scheduled PPSFP inner loop: the exact counterpart of
+    /// [`BitSlicedSimulator::lanes_diverging_comb`] /
+    /// [`BitSlicedSimulator::lanes_diverging_seq_reset`] that evaluates only
+    /// the chunk's fanout cone. Per workload entry the frontier is loaded
+    /// from the precomputed fault-free `traj` states (and for sequential
+    /// designs the cone registers are reset, then capture/update/settle per
+    /// cycle tracks the trajectory state by state), so every net outside the
+    /// cone provably holds its golden value — the divergence diff therefore
+    /// only inspects output bits in `valid_net`. Verdicts, early exit and
+    /// cycle accounting are bit-identical to the full-sweep path.
+    pub(crate) fn lanes_diverging_cone(
+        &mut self,
+        sched: &ConeSchedule,
+        traj: &crate::faults::GoldenTrajectory,
+        out_port: &str,
+        golden: &[i64],
+        watch: [u64; W],
+    ) -> [u64; W] {
+        assert!(
+            !self.toggles.is_enabled(),
+            "PPSFP lanes hold different machines; activity accounting is undefined"
+        );
+        assert!(
+            self.events.is_none(),
+            "PPSFP campaigns drive their own sweep schedule; disable event mode"
+        );
+        assert!(golden.len() >= traj.entries(), "golden response shorter than the workload");
+        if traj.entries() == 0 || watch == [0; W] {
+            return [0; W];
+        }
+        let out_bits = self
+            .output_ports
+            .get(out_port)
+            .unwrap_or_else(|| panic!("no output port named {out_port:?}"))
+            .clone();
+        assert!(out_bits.len() <= 63, "port {out_port} too wide");
+        // Only output bits the cone can reach (or frontier-loaded root
+        // nets wired straight to the port) can diverge; the rest may hold
+        // stale slabs and are provably golden anyway.
+        let cone_bits: Vec<(usize, pe_netlist::NetId)> = out_bits
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| sched.valid_net[b.index()])
+            .map(|(j, &b)| (j, b))
+            .collect();
+        let cycles = traj.cycles_per_entry();
+        let watched = popcount_wide(&watch);
+        let mut diverged = [0u64; W];
+        for (e, &want) in golden.iter().enumerate().take(traj.entries()) {
+            let states = traj.entry_states(e);
+            match cycles {
+                None => {
+                    self.load_frontier(sched, &states[0]);
+                    self.eval_cone(sched);
+                    self.cycles += watched;
+                }
+                Some(c) => {
+                    self.reset_cone_regs(sched);
+                    self.load_frontier(sched, &states[0]);
+                    self.eval_cone(sched);
+                    for state in states.iter().take(c as usize + 1).skip(1) {
+                        self.update_cone_regs(sched);
+                        self.load_frontier(sched, state);
+                        self.eval_cone(sched);
+                    }
+                    self.cycles += watched * c;
+                }
+            }
+            let mut diff = [0u64; W];
+            for &(j, b) in &cone_bits {
+                let want_b = broadcast((want >> j) & 1 == 1);
+                let slab = &self.words[b.index()];
+                for w in 0..W {
+                    diff[w] |= slab[w] ^ want_b;
+                }
+            }
+            for w in 0..W {
+                diverged[w] |= diff[w] & watch[w];
+            }
+            if diverged == watch {
+                break;
+            }
         }
         diverged
     }
@@ -1338,6 +1890,101 @@ mod tests {
         scalar.tick();
         let want = scalar.run_batch(&vectors, 1, "q");
         assert_eq!(got.outputs, want.outputs);
+    }
+
+    #[test]
+    fn event_driven_batch_matches_full_sweep_exactly() {
+        // Outputs *and* serial toggle accounting must be bit-identical
+        // between the worklist sweep and the dense sweep, comb and seq,
+        // at narrow and wide slab widths.
+        let comb = full_adder_x();
+        let comb_vectors: Vec<Vec<i64>> =
+            (0..8).map(|v| (0..3).map(|i| (v >> i) & 1).collect()).collect();
+        let mut b = Builder::new("tog");
+        let x0 = b.input("x0");
+        let x1 = b.input("x1");
+        let nxt = b.xor2(x0, x1);
+        let q = b.dff(nxt, false);
+        b.output("q", q);
+        let seq = b.finish();
+        let seq_vectors = vec![vec![1, 0], vec![1, 1], vec![0, 0], vec![0, 1]];
+        macro_rules! check {
+            ($w:literal) => {
+                let mut full = BitSlicedSimulator::<'_, $w>::new(&comb).unwrap();
+                full.enable_activity();
+                let want = full.run_batch(&comb_vectors, 0, "sum");
+                let mut ev = BitSlicedSimulator::<'_, $w>::new(&comb).unwrap();
+                ev.set_event_driven(true);
+                ev.enable_activity();
+                let got = ev.run_batch(&comb_vectors, 0, "sum");
+                assert_eq!(got, want, "W={} comb diverged", $w);
+                assert_eq!(ev.activity(), full.activity(), "W={} comb toggles diverged", $w);
+
+                let mut full = BitSlicedSimulator::<'_, $w>::new(&seq).unwrap();
+                full.enable_activity();
+                let want = full.run_batch(&seq_vectors, 2, "q");
+                let mut ev = BitSlicedSimulator::<'_, $w>::new(&seq).unwrap();
+                ev.set_event_driven(true);
+                ev.enable_activity();
+                let got = ev.run_batch(&seq_vectors, 2, "q");
+                assert_eq!(got, want, "W={} seq diverged", $w);
+                assert_eq!(ev.activity(), full.activity(), "W={} seq toggles diverged", $w);
+            };
+        }
+        check!(1);
+        check!(2);
+        check!(8);
+    }
+
+    #[test]
+    fn event_driven_skips_clean_cells_on_repeated_batches() {
+        // The first batch dirties everything (cold start); an identical
+        // second batch leaves every input slab unchanged, so the worklist
+        // must drain without re-evaluating the whole netlist.
+        let nl = full_adder_x();
+        let vectors = vec![vec![1, 0, 1]; 5];
+        let mut ev: BitSlicedSimulator<'_> = BitSlicedSimulator::new(&nl).unwrap();
+        ev.set_event_driven(true);
+        let first = ev.run_batch(&vectors, 0, "sum");
+        let after_first = ev.cell_evals();
+        let second = ev.run_batch(&vectors, 0, "sum");
+        let delta = ev.cell_evals() - after_first;
+        assert_eq!(first.outputs, second.outputs);
+        assert!(
+            delta < after_first,
+            "repeat batch re-evaluated {delta} cells, cold start took {after_first}"
+        );
+
+        let mut full: BitSlicedSimulator<'_> = BitSlicedSimulator::new(&nl).unwrap();
+        full.run_batch(&vectors, 0, "sum");
+        assert_eq!(after_first, full.cell_evals(), "cold start must cost a full sweep");
+    }
+
+    #[test]
+    fn event_driven_tracks_force_and_release() {
+        // force_lanes / release_net mutate net slabs behind the scheduler's
+        // back; both must dirty the affected fanout so a worklist sweep
+        // still agrees with a dense sweep.
+        let nl = full_adder_x();
+        let site = crate::faults::enumerate_fault_sites(&nl)[0];
+        let vectors: Vec<Vec<i64>> =
+            (0..8).map(|v| (0..3).map(|i| (v >> i) & 1).collect()).collect();
+
+        let mut full = BitSlicedSimulator::<'_, 2>::new(&nl).unwrap();
+        full.force_net(site.net, true);
+        let want_forced = full.run_batch(&vectors, 0, "sum");
+        full.release_net(site.net);
+        let want_healed = full.run_batch(&vectors, 0, "sum");
+
+        let mut ev = BitSlicedSimulator::<'_, 2>::new(&nl).unwrap();
+        ev.set_event_driven(true);
+        // Warm up so the net slabs are settled (worklist empty), *then*
+        // inject the fault: the force itself must wake the fanout.
+        ev.run_batch(&vectors, 0, "sum");
+        ev.force_net(site.net, true);
+        assert_eq!(ev.run_batch(&vectors, 0, "sum"), want_forced);
+        ev.release_net(site.net);
+        assert_eq!(ev.run_batch(&vectors, 0, "sum"), want_healed);
     }
 
     #[test]

@@ -37,6 +37,7 @@
 
 use crate::bitslice::{lane_mask_wide, popcount_wide, BitSlicedSimulator, LaneWidth, LANES};
 use crate::sim::Simulator;
+use pe_netlist::graph::FanoutCones;
 use pe_netlist::{Driver, NetId, Netlist, NetlistError};
 
 /// One single-stuck-at fault.
@@ -154,6 +155,127 @@ impl FaultReport {
     }
 }
 
+/// Cone-scheduling policy of the PPSFP campaigns.
+///
+/// A cone-scheduled chunk evaluates only the cells downstream of its `64 * W`
+/// pinned sites (the union fanout cone, register feedback included), loading
+/// everything the cone reads from a precomputed fault-free trajectory — the
+/// verdicts are bit-identical to the full sweep either way, so this knob is
+/// purely about work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConeMode {
+    /// Cone-schedule a chunk unless its union cone covers more than 3/4 of
+    /// the combinational core, where a full sweep's better locality wins.
+    #[default]
+    Auto,
+    /// Cone-schedule every chunk, however dense (benchmark / test knob).
+    Always,
+    /// Full sweeps only — the pre-cone campaign behavior (the reference the
+    /// differential suites compare against).
+    Never,
+}
+
+/// Work accounting of one PPSFP campaign (second element of the `_opts`
+/// campaign results): how many sweep chunks took the cone-scheduled path and
+/// the total combinational cell evaluations spent, the metric cone
+/// scheduling exists to shrink at identical verdicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConeStats {
+    /// Total `64 * W`-site sweep chunks in the campaign.
+    pub chunks: usize,
+    /// Chunks evaluated through their fanout cone.
+    pub cone_chunks: usize,
+    /// Chunks that fell back to full sweeps (density threshold exceeded, or
+    /// [`ConeMode::Never`]).
+    pub fallback_chunks: usize,
+    /// Combinational cell evaluations over the whole campaign, golden run
+    /// included (see [`BitSlicedSimulator::cell_evals`]).
+    pub cell_evals: u64,
+}
+
+/// The fault-free net-value trajectory of a campaign workload, captured once
+/// with the scalar reference simulator: one bit-packed snapshot of **every**
+/// net (bit `net.index()`) per settle point — one per entry for combinational
+/// workloads, `cycles + 1` per entry (post-reset, then after each tick) under
+/// the sequential per-classification reset protocol. Cone-scheduled chunks
+/// load their frontier nets from these snapshots instead of recomputing the
+/// fault-free world per sweep.
+#[derive(Debug)]
+pub(crate) struct GoldenTrajectory {
+    /// `entries * per_entry` snapshots, each entry's consecutive.
+    states: Vec<Vec<u64>>,
+    /// Snapshots per workload entry (`1` comb, `cycles + 1` seq).
+    per_entry: usize,
+    /// `Some(cycles)` for sequential workloads, `None` for combinational.
+    cycles: Option<u64>,
+}
+
+impl GoldenTrajectory {
+    /// Runs the workload on a fresh scalar simulator, snapshotting every
+    /// settle point of every entry. The settle points are exactly the ones
+    /// the bit-sliced PPSFP driver visits: sequential entries reset the
+    /// registers to power-on, settle (snapshot 0), then tick `cycles` times
+    /// (snapshots `1..=cycles`); combinational entries drive and settle.
+    pub(crate) fn capture(
+        nl: &Netlist,
+        workload: &[Vec<(String, i64)>],
+        cycles: Option<u64>,
+    ) -> Result<Self, NetlistError> {
+        let mut sim = Simulator::new(nl)?;
+        let words = nl.num_nets().div_ceil(64);
+        let per_entry = match cycles {
+            None => 1,
+            Some(c) => c as usize + 1,
+        };
+        let mut states = Vec::with_capacity(workload.len() * per_entry);
+        for entry in workload {
+            for (p, v) in entry {
+                sim.set_input(p, *v);
+            }
+            match cycles {
+                None => {
+                    sim.eval_comb();
+                    states.push(Self::snapshot(&sim, nl, words));
+                }
+                Some(c) => {
+                    sim.reset();
+                    states.push(Self::snapshot(&sim, nl, words));
+                    for _ in 0..c {
+                        sim.tick();
+                        states.push(Self::snapshot(&sim, nl, words));
+                    }
+                }
+            }
+        }
+        Ok(GoldenTrajectory { states, per_entry, cycles })
+    }
+
+    fn snapshot(sim: &Simulator<'_>, nl: &Netlist, words: usize) -> Vec<u64> {
+        let mut s = vec![0u64; words];
+        for (id, _) in nl.nets() {
+            if sim.net_value(id) {
+                s[id.index() / 64] |= 1u64 << (id.index() % 64);
+            }
+        }
+        s
+    }
+
+    /// Number of workload entries captured.
+    pub(crate) fn entries(&self) -> usize {
+        self.states.len() / self.per_entry
+    }
+
+    /// The consecutive snapshots of one entry (`per_entry` of them).
+    pub(crate) fn entry_states(&self, e: usize) -> &[Vec<u64>] {
+        &self.states[e * self.per_entry..(e + 1) * self.per_entry]
+    }
+
+    /// `Some(cycles)` for sequential workloads, `None` for combinational.
+    pub(crate) fn cycles_per_entry(&self) -> Option<u64> {
+        self.cycles
+    }
+}
+
 /// Runs a fault campaign on a **combinational** design: for each fault,
 /// drives every workload vector and compares the output port against the
 /// fault-free run. This is the PPSFP path
@@ -213,32 +335,68 @@ fn force_site_lanes<const W: usize>(
 
 /// The width-monomorphized PPSFP campaign frame shared by the comb and seq
 /// entry points: pin `64 * W` sites per sweep, drive the workload broadcast,
-/// accumulate divergence, release.
+/// accumulate divergence, release. Under [`ConeMode::Auto`] /
+/// [`ConeMode::Always`] each chunk is evaluated through its fanout cone
+/// (frontier loaded from a once-captured [`GoldenTrajectory`]) whenever the
+/// cone is sparse enough to pay; every chunk's verdicts are bit-identical
+/// either way.
 fn fault_campaign_ppsfp_w<const W: usize>(
     nl: &Netlist,
     faults: &[FaultSite],
     workload: &[Vec<(String, i64)>],
     out_port: &str,
     cycles: Option<u64>,
-) -> Result<FaultReport, NetlistError> {
+    mode: ConeMode,
+) -> Result<(FaultReport, ConeStats), NetlistError> {
     let mut sim = BitSlicedSimulator::<'_, W>::new(nl)?;
     let golden = match cycles {
         None => sim.run_workload_comb(workload, out_port),
         Some(c) => sim.run_workload_seq_reset(workload, c, out_port),
     };
+    let prep = if mode != ConeMode::Never && !faults.is_empty() {
+        Some((FanoutCones::new(nl), GoldenTrajectory::capture(nl, workload, cycles)?))
+    } else {
+        None
+    };
+    let mut stats = ConeStats::default();
     let mut critical = 0usize;
     for chunk in faults.chunks(LANES * W) {
+        stats.chunks += 1;
         let watch = force_site_lanes(&mut sim, chunk);
-        let diverged = match cycles {
-            None => sim.lanes_diverging_comb(workload, out_port, &golden, watch),
-            Some(c) => sim.lanes_diverging_seq_reset(workload, c, out_port, &golden, watch),
+        let mut cone_diverged = None;
+        if let Some((cones, traj)) = &prep {
+            let mut roots: Vec<NetId> = chunk.iter().map(|f| f.net).collect();
+            roots.dedup();
+            let sched = sim.cone_schedule(cones, &roots);
+            // Density threshold: past ~3/4 of the core a cone pass does
+            // nearly a full sweep's work with worse locality, so Auto falls
+            // back to the plain path.
+            let dense = sched.comb_cells() * 4 > sim.scheduled_cells() * 3;
+            if mode == ConeMode::Always || !dense {
+                cone_diverged =
+                    Some(sim.lanes_diverging_cone(&sched, traj, out_port, &golden, watch));
+            }
+        }
+        let diverged = match cone_diverged {
+            Some(d) => {
+                stats.cone_chunks += 1;
+                d
+            }
+            None => {
+                stats.fallback_chunks += 1;
+                match cycles {
+                    None => sim.lanes_diverging_comb(workload, out_port, &golden, watch),
+                    Some(c) => sim.lanes_diverging_seq_reset(workload, c, out_port, &golden, watch),
+                }
+            }
         };
         critical += popcount_wide(&diverged) as usize;
         for f in chunk {
             sim.release_net(f.net);
         }
     }
-    Ok(FaultReport { critical, benign: faults.len() - critical, total: faults.len() })
+    stats.cell_evals = sim.cell_evals();
+    Ok((FaultReport { critical, benign: faults.len() - critical, total: faults.len() }, stats))
 }
 
 /// PPSFP fault campaign on a **combinational** design at an explicit
@@ -268,15 +426,38 @@ pub fn fault_campaign_comb_ppsfp_wide(
     out_port: &str,
     width: LaneWidth,
 ) -> Result<FaultReport, NetlistError> {
+    fault_campaign_comb_ppsfp_wide_opts(nl, faults, workload, out_port, width, ConeMode::Auto)
+        .map(|(report, _)| report)
+}
+
+/// [`fault_campaign_comb_ppsfp_wide`] with an explicit [`ConeMode`],
+/// additionally returning the campaign's [`ConeStats`]. Verdicts are
+/// bit-identical across every mode; only the work accounting differs.
+///
+/// # Panics
+///
+/// Panics if the design is sequential or ports are unknown.
+///
+/// # Errors
+///
+/// Propagates scheduling errors.
+pub fn fault_campaign_comb_ppsfp_wide_opts(
+    nl: &Netlist,
+    faults: &[FaultSite],
+    workload: &[Vec<(String, i64)>],
+    out_port: &str,
+    width: LaneWidth,
+    mode: ConeMode,
+) -> Result<(FaultReport, ConeStats), NetlistError> {
     assert!(
         crate::sim::is_combinational(nl),
         "fault_campaign_comb requires a combinational design"
     );
     match width {
-        LaneWidth::W1 => fault_campaign_ppsfp_w::<1>(nl, faults, workload, out_port, None),
-        LaneWidth::W2 => fault_campaign_ppsfp_w::<2>(nl, faults, workload, out_port, None),
-        LaneWidth::W4 => fault_campaign_ppsfp_w::<4>(nl, faults, workload, out_port, None),
-        LaneWidth::W8 => fault_campaign_ppsfp_w::<8>(nl, faults, workload, out_port, None),
+        LaneWidth::W1 => fault_campaign_ppsfp_w::<1>(nl, faults, workload, out_port, None, mode),
+        LaneWidth::W2 => fault_campaign_ppsfp_w::<2>(nl, faults, workload, out_port, None, mode),
+        LaneWidth::W4 => fault_campaign_ppsfp_w::<4>(nl, faults, workload, out_port, None, mode),
+        LaneWidth::W8 => fault_campaign_ppsfp_w::<8>(nl, faults, workload, out_port, None, mode),
     }
 }
 
@@ -332,11 +513,44 @@ pub fn fault_campaign_seq_ppsfp_wide(
     cycles: u64,
     width: LaneWidth,
 ) -> Result<FaultReport, NetlistError> {
+    fault_campaign_seq_ppsfp_wide_opts(
+        nl,
+        faults,
+        workload,
+        out_port,
+        cycles,
+        width,
+        ConeMode::Auto,
+    )
+    .map(|(report, _)| report)
+}
+
+/// [`fault_campaign_seq_ppsfp_wide`] with an explicit [`ConeMode`],
+/// additionally returning the campaign's [`ConeStats`]. Verdicts are
+/// bit-identical across every mode; only the work accounting differs.
+///
+/// # Panics
+///
+/// Panics on unknown ports or `cycles == 0`.
+///
+/// # Errors
+///
+/// Propagates scheduling errors.
+pub fn fault_campaign_seq_ppsfp_wide_opts(
+    nl: &Netlist,
+    faults: &[FaultSite],
+    workload: &[Vec<(String, i64)>],
+    out_port: &str,
+    cycles: u64,
+    width: LaneWidth,
+    mode: ConeMode,
+) -> Result<(FaultReport, ConeStats), NetlistError> {
+    let c = Some(cycles);
     match width {
-        LaneWidth::W1 => fault_campaign_ppsfp_w::<1>(nl, faults, workload, out_port, Some(cycles)),
-        LaneWidth::W2 => fault_campaign_ppsfp_w::<2>(nl, faults, workload, out_port, Some(cycles)),
-        LaneWidth::W4 => fault_campaign_ppsfp_w::<4>(nl, faults, workload, out_port, Some(cycles)),
-        LaneWidth::W8 => fault_campaign_ppsfp_w::<8>(nl, faults, workload, out_port, Some(cycles)),
+        LaneWidth::W1 => fault_campaign_ppsfp_w::<1>(nl, faults, workload, out_port, c, mode),
+        LaneWidth::W2 => fault_campaign_ppsfp_w::<2>(nl, faults, workload, out_port, c, mode),
+        LaneWidth::W4 => fault_campaign_ppsfp_w::<4>(nl, faults, workload, out_port, c, mode),
+        LaneWidth::W8 => fault_campaign_ppsfp_w::<8>(nl, faults, workload, out_port, c, mode),
     }
 }
 
@@ -853,6 +1067,143 @@ mod tests {
         }
         let report = fault_campaign_comb_ppsfp(&nl, &sites, &full_workload(), "s").unwrap();
         assert_eq!(report.benign, 0, "adders are fully testable: {report:?}");
+    }
+
+    #[test]
+    fn cone_modes_agree_on_comb_and_seq_campaigns() {
+        // Always / Never / Auto are three routes to the same verdicts; the
+        // stats must also confirm each route actually ran where claimed.
+        let nl = adder2();
+        let sites = enumerate_fault_sites(&nl);
+        let wl = full_workload();
+        let (never, sn) = fault_campaign_comb_ppsfp_wide_opts(
+            &nl,
+            &sites,
+            &wl,
+            "s",
+            LaneWidth::W1,
+            ConeMode::Never,
+        )
+        .unwrap();
+        let (always, sa) = fault_campaign_comb_ppsfp_wide_opts(
+            &nl,
+            &sites,
+            &wl,
+            "s",
+            LaneWidth::W1,
+            ConeMode::Always,
+        )
+        .unwrap();
+        let (auto, _) = fault_campaign_comb_ppsfp_wide_opts(
+            &nl,
+            &sites,
+            &wl,
+            "s",
+            LaneWidth::W1,
+            ConeMode::Auto,
+        )
+        .unwrap();
+        assert_eq!(always, never, "cone-scheduled comb verdicts diverged");
+        assert_eq!(auto, never, "auto comb verdicts diverged");
+        assert_eq!(sn.cone_chunks, 0, "Never must not take the cone path");
+        assert_eq!(sa.fallback_chunks, 0, "Always must never fall back");
+        assert_eq!(sa.cone_chunks, sa.chunks);
+
+        let mut b = Builder::new("shift");
+        let d = b.input("x0");
+        let q1 = b.dff(d, false);
+        let q2 = b.dff(q1, false);
+        b.output("q", q2);
+        let snl = b.finish();
+        let ssites = enumerate_fault_sites(&snl);
+        let swl: Vec<Vec<(String, i64)>> =
+            (0..4).map(|v| vec![("x0".to_string(), v & 1)]).collect();
+        let (snever, _) = fault_campaign_seq_ppsfp_wide_opts(
+            &snl,
+            &ssites,
+            &swl,
+            "q",
+            3,
+            LaneWidth::W1,
+            ConeMode::Never,
+        )
+        .unwrap();
+        let (salways, st) = fault_campaign_seq_ppsfp_wide_opts(
+            &snl,
+            &ssites,
+            &swl,
+            "q",
+            3,
+            LaneWidth::W1,
+            ConeMode::Always,
+        )
+        .unwrap();
+        assert_eq!(salways, snever, "cone-scheduled seq verdicts diverged");
+        assert_eq!(st.cone_chunks, st.chunks, "Always must run every chunk through cones");
+        assert_eq!(
+            snever,
+            oracle::fault_campaign_seq(&snl, &ssites, &swl, "q", 3).unwrap(),
+            "both routes must agree with the rebuild oracle"
+        );
+    }
+
+    #[test]
+    fn cone_scheduling_cuts_cell_evals_near_the_outputs() {
+        // A deep xor chain feeding a masked and-gate, with fault sites only
+        // on the and output: that site's cone is empty, so each workload
+        // entry costs the cone pass nothing while the dense sweep re-settles
+        // the whole chain. The stuck-at-0 site is benign (z is held low, o
+        // is constant 0), which keeps the dense sweep from early-exiting —
+        // this is exactly the shape where cone scheduling pays.
+        let mut b = Builder::new("chain");
+        let x = b.input("x0");
+        let t = b.input("x1");
+        let z = b.input("x2");
+        let mut n = x;
+        for _ in 0..64 {
+            n = b.xor2(n, t);
+        }
+        let o = b.and2(n, z);
+        b.output("o", o);
+        let nl = b.finish();
+        let tail: Vec<FaultSite> =
+            enumerate_fault_sites(&nl).into_iter().filter(|s| s.net == o).collect();
+        assert_eq!(tail.len(), 2);
+        let wl: Vec<Vec<(String, i64)>> = (0..16)
+            .map(|v| {
+                vec![
+                    ("x0".to_string(), v & 1),
+                    ("x1".to_string(), (v >> 1) & 1),
+                    ("x2".to_string(), 0),
+                ]
+            })
+            .collect();
+        let (always, sa) = fault_campaign_comb_ppsfp_wide_opts(
+            &nl,
+            &tail,
+            &wl,
+            "o",
+            LaneWidth::W1,
+            ConeMode::Always,
+        )
+        .unwrap();
+        let (never, sn) = fault_campaign_comb_ppsfp_wide_opts(
+            &nl,
+            &tail,
+            &wl,
+            "o",
+            LaneWidth::W1,
+            ConeMode::Never,
+        )
+        .unwrap();
+        assert_eq!(always, never);
+        assert_eq!(always.critical, 1, "stuck-at-1 critical, stuck-at-0 masked by z=0");
+        assert!(
+            sa.cell_evals * 4 < sn.cell_evals,
+            "tail-site cone sweep should be >4x cheaper: {} vs {}",
+            sa.cell_evals,
+            sn.cell_evals
+        );
     }
 
     #[test]

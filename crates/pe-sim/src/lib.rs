@@ -56,5 +56,5 @@ pub mod vcd;
 
 pub use activity::{ActivityReport, ToggleCounters};
 pub use bitslice::{BitSlicedSimulator, LaneWidth};
-pub use faults::{FaultReport, FaultSite, FaultySimulator};
+pub use faults::{ConeMode, ConeStats, FaultReport, FaultSite, FaultySimulator};
 pub use sim::{BatchMode, BatchResult, Schedule, Simulator};

@@ -115,6 +115,9 @@ pub struct Simulator<'nl> {
     /// contract, so *both* engines honor it — the scalar reference chunks
     /// by the same effective lane count.
     lane_width: LaneWidth,
+    /// Event-driven sweeps for bit-sliced batches (see
+    /// [`Simulator::set_event_driven`]).
+    event_driven: bool,
 }
 
 impl<'nl> Simulator<'nl> {
@@ -178,6 +181,7 @@ impl<'nl> Simulator<'nl> {
             frozen: vec![false; nl.num_nets()],
             batch_mode: BatchMode::default(),
             lane_width: LaneWidth::default(),
+            event_driven: false,
         };
         sim.reset();
         sim
@@ -226,6 +230,22 @@ impl<'nl> Simulator<'nl> {
     #[must_use]
     pub fn lane_width(&self) -> LaneWidth {
         self.lane_width
+    }
+
+    /// Enables **event-driven** sweeps for bit-sliced batches: the slab
+    /// engine only re-evaluates cells whose input slabs changed since their
+    /// last evaluation ([`BitSlicedSimulator::set_event_driven`]), which pays
+    /// off on low-activity batches (repeated or near-constant vectors) and is
+    /// bit-identical — outputs, cycles, toggle accounting — to the full-sweep
+    /// default. Ignored under [`BatchMode::Scalar`].
+    pub fn set_event_driven(&mut self, on: bool) {
+        self.event_driven = on;
+    }
+
+    /// Whether bit-sliced batches run event-driven.
+    #[must_use]
+    pub fn event_driven(&self) -> bool {
+        self.event_driven
     }
 
     /// Enables per-net toggle counting (and clears any previous counts).
@@ -578,6 +598,9 @@ impl<'nl> Simulator<'nl> {
             &self.frozen,
             track,
         );
+        if self.event_driven {
+            sliced.set_event_driven(true);
+        }
         let result = sliced.run_batch(vectors, cycles_per_vector, out_port);
         sliced.carry_into(&mut self.values, &mut self.state);
         if track {

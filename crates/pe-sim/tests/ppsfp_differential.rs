@@ -31,9 +31,10 @@ use pe_netlist::testing::{random_netlist, RandomNetlistSpec};
 use pe_netlist::{Driver, Netlist};
 use pe_sim::faults::{
     enumerate_fault_sites, fault_campaign_comb_ppsfp, fault_campaign_comb_ppsfp_wide,
-    fault_campaign_seq_ppsfp, fault_campaign_seq_ppsfp_wide, oracle, pattern_parallel, FaultSite,
+    fault_campaign_comb_ppsfp_wide_opts, fault_campaign_seq_ppsfp, fault_campaign_seq_ppsfp_wide,
+    fault_campaign_seq_ppsfp_wide_opts, oracle, pattern_parallel, FaultSite,
 };
-use pe_sim::LaneWidth;
+use pe_sim::{ConeMode, LaneWidth};
 
 // ---- model / workload helpers -------------------------------------------
 
@@ -299,6 +300,132 @@ fn sequential_svm_style_agrees() {
     let slow = oracle::fault_campaign_seq(&nl, &sites, &workload, "class", n).unwrap();
     assert_eq!(ppsfp, patpar);
     assert_eq!(ppsfp, slow);
+}
+
+// ---- cone-scheduled campaigns vs the same references --------------------
+
+#[test]
+fn cone_scheduled_campaigns_agree_with_references_at_every_width() {
+    // ConeMode::Always forces every chunk through the fanout-cone pass
+    // (frontier loaded from the golden trajectory); ConeMode::Never is the
+    // dense sweep the suite above locks to the oracle. Both must produce
+    // the same report at every slab width, comb and seq.
+    let cnl = random_netlist(&fuzz_spec(0), 3);
+    let csites = enumerate_fault_sites(&cnl);
+    let cwl = fuzz_workload(5, 14, 77);
+    let coracle = oracle::fault_campaign_comb(&cnl, &csites, &cwl, "o0").unwrap();
+
+    let snl = random_netlist(&fuzz_spec(3), 5);
+    let ssites = enumerate_fault_sites(&snl);
+    let swl = fuzz_workload(5, 10, 79);
+    let soracle = oracle::fault_campaign_seq(&snl, &ssites, &swl, "o1", 3).unwrap();
+
+    for width in LaneWidth::ALL {
+        for mode in [ConeMode::Always, ConeMode::Never, ConeMode::Auto] {
+            let (comb, cs) =
+                fault_campaign_comb_ppsfp_wide_opts(&cnl, &csites, &cwl, "o0", width, mode)
+                    .unwrap();
+            assert_eq!(comb, coracle, "comb {mode:?} at W={width} diverged from the oracle");
+            let (seq, ss) =
+                fault_campaign_seq_ppsfp_wide_opts(&snl, &ssites, &swl, "o1", 3, width, mode)
+                    .unwrap();
+            assert_eq!(seq, soracle, "seq {mode:?} at W={width} diverged from the oracle");
+            match mode {
+                ConeMode::Always => {
+                    assert_eq!(cs.fallback_chunks + ss.fallback_chunks, 0, "Always fell back");
+                }
+                ConeMode::Never => {
+                    assert_eq!(cs.cone_chunks + ss.cone_chunks, 0, "Never took the cone path");
+                }
+                ConeMode::Auto => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn cone_scheduled_ragged_site_counts_agree() {
+    // Ragged chunk tails exercise the watch-masked diff of the cone pass:
+    // 1/63/64/65 straddle the word boundary at W1, 511/513 the slab
+    // boundary at W8. Verdicts locked to the dense sweep, which the suite
+    // above locks to the oracle on this exact netlist (seed 149).
+    let spec =
+        RandomNetlistSpec { inputs: 6, gates: 300, registers: 3, outputs: 3, input_prefix: "x" };
+    let nl = random_netlist(&spec, 149);
+    let all = enumerate_fault_sites(&nl);
+    assert!(all.len() >= 513, "need 513+ sites, got {}", all.len());
+    let workload = fuzz_workload(6, 6, 91);
+    for count in [1usize, 63, 64, 65, 511, 513] {
+        let sites = &all[..count];
+        let width = if count > 64 { LaneWidth::W8 } else { LaneWidth::W1 };
+        let (cone, stats) = fault_campaign_seq_ppsfp_wide_opts(
+            &nl,
+            sites,
+            &workload,
+            "o0",
+            2,
+            width,
+            ConeMode::Always,
+        )
+        .unwrap();
+        let (dense, _) = fault_campaign_seq_ppsfp_wide_opts(
+            &nl,
+            sites,
+            &workload,
+            "o0",
+            2,
+            width,
+            ConeMode::Never,
+        )
+        .unwrap();
+        assert_eq!(cone, dense, "{count} sites diverged under cone scheduling");
+        assert_eq!(cone.total, count);
+        assert_eq!(stats.cone_chunks, stats.chunks, "Always must run every chunk through cones");
+    }
+}
+
+#[test]
+fn cone_scheduled_mixed_register_and_comb_sites_agree() {
+    // Register sites and combinational sites packed into the same PPSFP
+    // word: the cone pass must reset/update the cone's registers per lane
+    // exactly like the dense sweep's full tick. Site-for-site against the
+    // rebuild oracle, in cone mode.
+    let nl = random_netlist(&fuzz_spec(3), 109);
+    let mut sites = enumerate_fault_sites(&nl);
+    sites.sort_by_key(|s| {
+        let is_reg = match nl.net(s.net).driver() {
+            Driver::Cell(c) => nl.cell(c).kind().is_sequential(),
+            _ => false,
+        };
+        (!is_reg, s.net)
+    });
+    assert!(sites.len() > 64, "the first word must mix register and comb sites");
+    let workload = fuzz_workload(5, 10, 33);
+    let (whole, _) = fault_campaign_seq_ppsfp_wide_opts(
+        &nl,
+        &sites,
+        &workload,
+        "o2",
+        2,
+        LaneWidth::W1,
+        ConeMode::Always,
+    )
+    .unwrap();
+    assert_eq!(whole, oracle::fault_campaign_seq(&nl, &sites, &workload, "o2", 2).unwrap());
+    for &site in &sites {
+        let (f, _) = fault_campaign_seq_ppsfp_wide_opts(
+            &nl,
+            &[site],
+            &workload,
+            "o2",
+            2,
+            LaneWidth::W1,
+            ConeMode::Always,
+        )
+        .unwrap();
+        let s = oracle::fault_campaign_seq(&nl, &[site], &workload, "o2", 2).unwrap();
+        assert_eq!(f, s, "site {site:?} diverged from the rebuild oracle under cone scheduling");
+    }
 }
 
 // ---- campaign reuse: one simulator across divergent-lane chunks ---------
