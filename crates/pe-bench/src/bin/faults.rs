@@ -34,10 +34,11 @@ use pe_core::pipeline::{build_netlist, cycles_per_inference, fault_workload, Run
 use pe_core::styles::DesignStyle;
 use pe_data::UciProfile;
 use pe_netlist::Netlist;
+use pe_obs::{ProfileRecorder, ProfileSnapshot, SimProfile};
 use pe_sim::faults::{
     enumerate_fault_sites, fault_campaign_comb, fault_campaign_comb_ppsfp_wide,
-    fault_campaign_comb_ppsfp_wide_opts, fault_campaign_seq, fault_campaign_seq_ppsfp_wide,
-    fault_campaign_seq_ppsfp_wide_opts, oracle, pattern_parallel, ConeMode, ConeStats, FaultReport,
+    fault_campaign_comb_ppsfp_wide_obs, fault_campaign_seq, fault_campaign_seq_ppsfp_wide,
+    fault_campaign_seq_ppsfp_wide_obs, oracle, pattern_parallel, ConeMode, ConeStats, FaultReport,
     FaultSite,
 };
 use pe_sim::{BatchMode, LaneWidth, Simulator};
@@ -167,8 +168,10 @@ fn oracle_path(
     }
 }
 
-/// Runs the whole (unsharded) campaign through the `_opts` path at one
-/// explicit [`ConeMode`], returning the report with its work accounting.
+/// Runs the whole (unsharded) campaign through the `_obs` path at one
+/// explicit [`ConeMode`] with a live [`ProfileRecorder`] installed,
+/// returning the report, the campaign's exit work accounting, and the
+/// recorder's view of the same run (the reconciliation pair).
 fn cone_run(
     nl: &Netlist,
     sites: &[FaultSite],
@@ -176,17 +179,35 @@ fn cone_run(
     flavor: Flavor,
     width: LaneWidth,
     mode: ConeMode,
-) -> (FaultReport, ConeStats) {
-    match flavor {
+) -> (FaultReport, ConeStats, ProfileSnapshot) {
+    let recorder = ProfileRecorder::new();
+    let profile = Some(&recorder as &dyn SimProfile);
+    let (report, stats) = match flavor {
         Flavor::Comb => {
-            fault_campaign_comb_ppsfp_wide_opts(nl, sites, workload, "class", width, mode)
+            fault_campaign_comb_ppsfp_wide_obs(nl, sites, workload, "class", width, mode, profile)
                 .expect("acyclic")
         }
-        Flavor::Seq { cycles } => {
-            fault_campaign_seq_ppsfp_wide_opts(nl, sites, workload, "class", cycles, width, mode)
-                .expect("acyclic")
-        }
-    }
+        Flavor::Seq { cycles } => fault_campaign_seq_ppsfp_wide_obs(
+            nl, sites, workload, "class", cycles, width, mode, profile,
+        )
+        .expect("acyclic"),
+    };
+    (report, stats, recorder.snapshot())
+}
+
+/// The `--compare` gate for the observability layer: the [`SimProfile`]
+/// recorder fed chunk-by-chunk during the campaign must reconcile exactly
+/// with the campaign's exit-summary [`ConeStats`] — same chunk counts, same
+/// cone/fallback split, same total cell evaluations (golden run included).
+fn assert_profile_reconciles(label: &str, prof: &ProfileSnapshot, stats: &ConeStats, sites: usize) {
+    assert_eq!(prof.chunks, stats.chunks as u64, "{label}: recorder chunk count");
+    assert_eq!(prof.cone_chunks, stats.cone_chunks as u64, "{label}: recorder cone chunks");
+    assert_eq!(
+        prof.fallback_chunks, stats.fallback_chunks as u64,
+        "{label}: recorder fallback chunks"
+    );
+    assert_eq!(prof.campaign_cell_evals, stats.cell_evals, "{label}: recorder cell evals");
+    assert_eq!(prof.campaign_sites, sites as u64, "{label}: recorder site count");
 }
 
 /// The counter gate `--compare` was missing: classifications *and*
@@ -293,10 +314,10 @@ fn campaign(
     // Cone-scheduling accounting: one unsharded pass with cones on and one
     // with cones off, both asserted bit-identical to the sharded campaign.
     let eff_width = width.unwrap_or_else(|| LaneWidth::for_sites(sites.len()));
-    let (auto_report, auto_stats) =
+    let (auto_report, auto_stats, auto_prof) =
         cone_run(&nl, &sites, &workload, flavor, eff_width, ConeMode::Auto);
     assert_eq!(auto_report, report, "cone-scheduled report must match the sharded campaign");
-    let (never_report, never_stats) =
+    let (never_report, never_stats, never_prof) =
         cone_run(&nl, &sites, &workload, flavor, eff_width, ConeMode::Never);
     assert_eq!(never_report, report, "cone-off report must match the sharded campaign");
     let avoided =
@@ -309,6 +330,17 @@ fn campaign(
         "cell evaluations : {} cone-scheduled vs {} full-sweep ({:.1} % avoided)",
         auto_stats.cell_evals, never_stats.cell_evals, avoided
     );
+    // The same numbers as seen *during* the run by the SimProfile hook —
+    // what a live dashboard would read mid-campaign.
+    println!(
+        "live profile     : {} chunks over {} sites, {} cell evals (SimProfile recorder)",
+        auto_prof.chunks, auto_prof.campaign_sites, auto_prof.campaign_cell_evals
+    );
+    if compare {
+        assert_profile_reconciles("cone auto", &auto_prof, &auto_stats, sites.len());
+        assert_profile_reconciles("cone never", &never_prof, &never_stats, sites.len());
+        println!("profile check    : SimProfile recorder == exit ConeStats (auto and never)");
+    }
 
     if compare {
         let (pp, pp_secs) =

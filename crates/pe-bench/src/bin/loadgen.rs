@@ -12,16 +12,22 @@
 //!   one-request-per-`run_batch` service (`batch_max = 1`) — the measured
 //!   payoff of batch coalescing. `--expect-ratio R` turns the measurement
 //!   into a gate (exit 1 below `R`), and the measured figures land in
-//!   `BENCH_serve.json` at the workspace root.
+//!   `BENCH_serve.json` at the workspace root. The main saturation run
+//!   prints one line per `--sample-ms` interval — windowed throughput plus
+//!   the queue-wait / service-time quantiles of just that interval
+//!   (`HistSnapshot::delta_since`) — and the run is repeated with the
+//!   observability layer disabled (`trace_capacity 0`, no `SimProfile`) to
+//!   measure the instrumentation cost, recorded as `obs_overhead_pct`.
 //! * **Sweep** (`--sweep`, part of the default run): open-loop arrival
 //!   rates × batch deadlines, reporting served throughput, batch fill and
 //!   p50/p99 latency per cell — the latency/efficiency trade-off curve of
 //!   the deadline knob.
 //! * **TCP** (`--tcp ADDR`): hammers a running `pe-serve` binary over the
 //!   wire protocol with `--conns` concurrent connections, checks every
-//!   reply, then reads `stats` and **fails if the server saw any verify
-//!   mismatches**. `--shutdown` asks the server to drain and exit at the
-//!   end (the CI smoke flow).
+//!   reply, **scrapes the `metrics` exposition mid-run** (failing unless
+//!   the per-model series are present and non-zero), then reads `stats`
+//!   and **fails if the server saw any verify mismatches**. `--shutdown`
+//!   asks the server to drain and exit at the end (the CI smoke flow).
 //!
 //! In-process modes serve real held-out test samples; TCP mode generates
 //! uniform `[0,1)` feature vectors (integer-vs-gate equivalence holds for
@@ -36,6 +42,7 @@ use rand::{Rng, SeedableRng};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -52,6 +59,7 @@ struct Args {
     tcp: Option<String>,
     conns: usize,
     shutdown: bool,
+    sample_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -73,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
         tcp: None,
         conns: 16,
         shutdown: false,
+        sample_ms: 500,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -103,6 +112,9 @@ fn parse_args() -> Result<Args, String> {
             "--tcp" => args.tcp = Some(value("--tcp")?),
             "--conns" => args.conns = value("--conns")?.parse().map_err(|_| "bad --conns")?,
             "--shutdown" => args.shutdown = true,
+            "--sample-ms" => {
+                args.sample_ms = value("--sample-ms")?.parse().map_err(|_| "bad --sample-ms")?;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -122,27 +134,78 @@ fn test_vectors(registry: &ModelRegistry, key: ModelKey, n: usize) -> Vec<Vec<f6
 
 /// Closed-loop saturation: `injectors` threads bulk-submit their whole
 /// slice (backpressure paces them against the bounded queue), then wait
-/// for every reply.
+/// for every reply. With `sample`, a sampler thread prints one line per
+/// interval: windowed throughput plus the queue-wait / service-time
+/// quantiles of **just that interval** — per-model shard snapshots
+/// subtracted with [`pe_obs::HistSnapshot::delta_since`].
 fn saturation_rps(
     registry: &Arc<ModelRegistry>,
     key: ModelKey,
     cfg: ServiceConfig,
     xs: &[Vec<f64>],
     injectors: usize,
+    sample: Option<Duration>,
 ) -> (f64, MetricsSnapshot) {
     let service = Service::start(Arc::clone(registry), cfg);
+    let batch_max = service.config().batch_max;
+    let done = AtomicBool::new(false);
     let t0 = Instant::now();
+    let mut dt = 0.0;
     std::thread::scope(|scope| {
-        for chunk in xs.chunks(xs.len().div_ceil(injectors)) {
+        if let Some(every) = sample {
             let service = &service;
+            let done = &done;
             scope.spawn(move || {
-                for t in service.submit_many(key, chunk) {
-                    t.and_then(pe_serve::Ticket::wait).expect("saturation request failed");
+                let us = |d: Duration| d.as_secs_f64() * 1e6;
+                let shard = service.metrics_store().shard(key);
+                let mut prev = shard.snapshot(batch_max);
+                let mut prev_t = Instant::now();
+                loop {
+                    std::thread::sleep(every);
+                    let cur = shard.snapshot(batch_max);
+                    let stop = done.load(Ordering::Acquire);
+                    let served = cur.served - prev.served;
+                    if served > 0 {
+                        let queue = cur.queue_wait.delta_since(&prev.queue_wait);
+                        let svc = cur.service_time.delta_since(&prev.service_time);
+                        println!(
+                            "    t+{:<5.1}s {:>8.0} req/s  queue p50/p99 {:>7.1}/{:>9.1} µs  \
+                             service p50/p99 {:>7.1}/{:>9.1} µs",
+                            t0.elapsed().as_secs_f64(),
+                            served as f64 / prev_t.elapsed().as_secs_f64(),
+                            us(queue.quantile(0.5)),
+                            us(queue.quantile(0.99)),
+                            us(svc.quantile(0.5)),
+                            us(svc.quantile(0.99)),
+                        );
+                    }
+                    if stop {
+                        break;
+                    }
+                    prev = cur;
+                    prev_t = Instant::now();
                 }
             });
         }
+        let handles: Vec<_> = xs
+            .chunks(xs.len().div_ceil(injectors))
+            .map(|chunk| {
+                let service = &service;
+                scope.spawn(move || {
+                    for t in service.submit_many(key, chunk) {
+                        t.and_then(pe_serve::Ticket::wait).expect("saturation request failed");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("injector panicked");
+        }
+        // Stop the clock before the sampler's final interval drains, so the
+        // reported rate covers exactly the injection window.
+        dt = t0.elapsed().as_secs_f64();
+        done.store(true, Ordering::Release);
     });
-    let dt = t0.elapsed().as_secs_f64();
     let m = service.metrics();
     service.shutdown();
     (xs.len() as f64 / dt, m)
@@ -165,19 +228,27 @@ fn run_ratio(registry: &Arc<ModelRegistry>, args: &Args) -> f64 {
     // wall clock sane without changing the per-request cost being measured.
     let xs_single = test_vectors(registry, args.key, (args.requests / 16).max(512));
 
-    let (rps_b, m_b) = saturation_rps(registry, args.key, base.clone(), &xs_batched, injectors);
-    let (rps_s, m_s) = saturation_rps(
-        registry,
-        args.key,
-        ServiceConfig { batch_max: 1, ..base },
-        &xs_single,
-        injectors,
-    );
+    let sample =
+        if args.sample_ms > 0 { Some(Duration::from_millis(args.sample_ms)) } else { None };
     println!(
         "== batching payoff ({} @ {:?} mode, batch_max {}, saturation) ==",
         args.key.token(),
         args.mode,
         args.batch_max
+    );
+    // A short discarded pass first: first-touch allocation and frequency
+    // ramp-up deflate whichever run goes first by 2x or more, which would
+    // otherwise be charged to the headline figure.
+    let _ = saturation_rps(registry, args.key, base.clone(), &xs_single, injectors, None);
+    let (rps_b, m_b) =
+        saturation_rps(registry, args.key, base.clone(), &xs_batched, injectors, sample);
+    let (rps_s, m_s) = saturation_rps(
+        registry,
+        args.key,
+        ServiceConfig { batch_max: 1, ..base.clone() },
+        &xs_single,
+        injectors,
+        None,
     );
     println!(
         "  coalesced:            {rps_b:>10.0} req/s  fill {:>5.1}%  p99 {:>8.1} µs  mismatches {}",
@@ -191,6 +262,15 @@ fn run_ratio(registry: &Arc<ModelRegistry>, args: &Args) -> f64 {
         m_s.p99.as_secs_f64() * 1e6,
         m_s.verify_mismatches
     );
+    let us = |d: Duration| d.as_secs_f64() * 1e6;
+    println!(
+        "  decomposition:        queue p50/p99 {:.1}/{:.1} µs, service p50/p99 {:.1}/{:.1} µs \
+         (coalesced)",
+        us(m_b.queue_p50),
+        us(m_b.queue_p99),
+        us(m_b.service_p50),
+        us(m_b.service_p99)
+    );
     let ratio = rps_b / rps_s;
     println!(
         "  batching speedup: {ratio:.1}x  (lane_width {} words, lane_fill {:.1}%, {} sweeps)",
@@ -199,6 +279,26 @@ fn run_ratio(registry: &Arc<ModelRegistry>, args: &Args) -> f64 {
         m_b.sweeps
     );
     assert_eq!(m_b.verify_mismatches + m_s.verify_mismatches, 0, "verify must never fire");
+
+    // Instrumentation cost: the same saturation workload with the
+    // observability layer fully on (the default) vs fully off (no trace
+    // ring, no SimProfile clocks). Best-of-two interleaved trials push
+    // scheduler noise below the effect being measured.
+    let bare_cfg = ServiceConfig { trace_capacity: 0, sim_profile: false, ..base.clone() };
+    let mut rps_obs = 0.0f64;
+    let mut rps_bare = 0.0f64;
+    for _ in 0..2 {
+        rps_obs = rps_obs
+            .max(saturation_rps(registry, args.key, base.clone(), &xs_batched, injectors, None).0);
+        rps_bare = rps_bare.max(
+            saturation_rps(registry, args.key, bare_cfg.clone(), &xs_batched, injectors, None).0,
+        );
+    }
+    let obs_overhead_pct = (1.0 - rps_obs / rps_bare) * 100.0;
+    println!(
+        "  instrumentation cost: {rps_obs:.0} req/s instrumented vs {rps_bare:.0} req/s bare \
+         ({obs_overhead_pct:+.2}% throughput)"
+    );
 
     // Low-activity delta: the same request repeated fills every lane of a
     // slab with identical bits, so the event-driven worklist drains after
@@ -212,8 +312,10 @@ fn run_ratio(registry: &Arc<ModelRegistry>, args: &Args) -> f64 {
             ServiceConfig { event_driven: false, ..base.clone() },
             &xs_low,
             injectors,
+            None,
         );
-        let (rps_ev, m_ev) = saturation_rps(registry, args.key, base.clone(), &xs_low, injectors);
+        let (rps_ev, m_ev) =
+            saturation_rps(registry, args.key, base.clone(), &xs_low, injectors, None);
         assert_eq!(m_full.verify_mismatches + m_ev.verify_mismatches, 0, "verify must never fire");
         println!(
             "  low-activity (repeated request): {rps_ev:.0} req/s event-driven vs {rps_full:.0} \
@@ -227,8 +329,12 @@ fn run_ratio(registry: &Arc<ModelRegistry>, args: &Args) -> f64 {
         "{{\n  \"workload\": \"{} @ {:?} mode, {} requests, batch_max {}, saturation\",\n  \
          \"coalesced_rps\": {:.0},\n  \"single_rps\": {:.0},\n  \"batching_speedup\": {:.2},\n  \
          \"coalesced_p99_us\": {:.1},\n  \"single_p99_us\": {:.1},\n  \
+         \"coalesced_queue_p50_us\": {:.1},\n  \"coalesced_queue_p99_us\": {:.1},\n  \
+         \"coalesced_service_p50_us\": {:.1},\n  \"coalesced_service_p99_us\": {:.1},\n  \
          \"batch_fill\": {:.3},\n  \"lane_width_words\": {},\n  \"lane_fill\": {:.3},\n  \
-         \"sweeps\": {}\n}}\n",
+         \"sweeps\": {},\n  \
+         \"instrumented_rps\": {:.0},\n  \"bare_rps\": {:.0},\n  \
+         \"obs_overhead_pct\": {:.2}\n}}\n",
         args.key.token(),
         args.mode,
         args.requests,
@@ -238,10 +344,17 @@ fn run_ratio(registry: &Arc<ModelRegistry>, args: &Args) -> f64 {
         ratio,
         m_b.p99.as_secs_f64() * 1e6,
         m_s.p99.as_secs_f64() * 1e6,
+        us(m_b.queue_p50),
+        us(m_b.queue_p99),
+        us(m_b.service_p50),
+        us(m_b.service_p99),
         m_b.batch_fill,
         m_b.lane_width,
         m_b.lane_fill,
         m_b.sweeps,
+        rps_obs,
+        rps_bare,
+        obs_overhead_pct,
     );
     // Anchor to the workspace root: cargo runs bin targets with varying cwd.
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
@@ -310,8 +423,54 @@ fn run_sweep(registry: &Arc<ModelRegistry>, args: &Args) {
     }
 }
 
+/// Scrapes the `metrics` exposition from a running server (reading to the
+/// `# EOF` sentinel) and fails unless the per-model series for `key` are
+/// present and non-zero — the CI smoke assertion that the observability
+/// plumbing is actually live, not just parseable.
+fn scrape_metrics(addr: &str, key: ModelKey) -> Result<(), String> {
+    // Let the classify connections land some traffic first, so the scrape
+    // reads a genuinely mid-run exposition rather than a cold server.
+    std::thread::sleep(Duration::from_millis(200));
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+    let mut writer = stream;
+    writeln!(writer, "metrics").map_err(|e| format!("send: {e}"))?;
+    let mut text = String::new();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Err(format!("metrics reply ended before # EOF:\n{text}"));
+        }
+        let done = line.trim_end() == "# EOF";
+        text.push_str(&line);
+        if done {
+            break;
+        }
+    }
+    let model = key.token();
+    let series_value = |name: &str| -> Option<f64> {
+        let prefix = format!("{name}{{model=\"{model}\"}} ");
+        text.lines().find_map(|l| l.strip_prefix(&prefix)).and_then(|v| v.parse().ok())
+    };
+    for name in ["pe_submitted_total", "pe_served_total", "pe_latency_us_count"] {
+        let v = series_value(name)
+            .ok_or_else(|| format!("metrics exposition missing {name} for {model}"))?;
+        if v <= 0.0 {
+            return Err(format!("mid-run {name}{{model=\"{model}\"}} is {v}, expected non-zero"));
+        }
+    }
+    println!(
+        "tcp: mid-run metrics scrape ok ({} series; {:.0} served so far)",
+        text.lines().filter(|l| !l.starts_with('#')).count(),
+        series_value("pe_served_total").unwrap_or(0.0),
+    );
+    Ok(())
+}
+
 /// Drives a running `pe-serve` over TCP; returns an error message on any
-/// failed reply or on server-side verify mismatches.
+/// failed reply, a failed mid-run `metrics` scrape, or server-side verify
+/// mismatches.
 fn run_tcp(addr: &str, args: &Args) -> Result<(), String> {
     let n_features = args.key.profile.spec().n_features;
     let mut rng = StdRng::seed_from_u64(0x10adf3ed);
@@ -321,6 +480,9 @@ fn run_tcp(addr: &str, args: &Args) -> Result<(), String> {
         .collect();
     let t0 = Instant::now();
     let results: Vec<Result<usize, String>> = std::thread::scope(|scope| {
+        // While the connection threads hammer the server, one extra thread
+        // scrapes the `metrics` exposition mid-run.
+        let scrape = scope.spawn(|| scrape_metrics(addr, args.key));
         let handles: Vec<_> = vectors
             .chunks(per_conn)
             .map(|chunk| {
@@ -345,7 +507,10 @@ fn run_tcp(addr: &str, args: &Args) -> Result<(), String> {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("connection thread panicked")).collect()
+        let mut results: Vec<Result<usize, String>> =
+            handles.into_iter().map(|h| h.join().expect("connection thread panicked")).collect();
+        results.push(scrape.join().expect("metrics scrape thread panicked").map(|()| 0));
+        results
     });
     let dt = t0.elapsed().as_secs_f64();
     let mut total = 0usize;

@@ -22,10 +22,15 @@
 //!   ≤64-lane batches, and a batch deadline so ragged batches still flush
 //!   at low load. Modes: gate-level serving (default), the integer fast
 //!   path, or verify — both paths cross-checked bit-for-bit per batch.
-//! * [`Metrics`] — lock-free counters and a log-scale latency histogram:
-//!   throughput, p50/p99, batch-fill ratio, verify mismatches.
+//! * [`Metrics`] — per-model-key shards of lock-free counters and
+//!   log-scale histograms (built on [`pe_obs`]): throughput (windowed and
+//!   lifetime), queue-wait vs. service-time latency split, batch-fill
+//!   ratio, verify mismatches, and the simulator's per-batch profile; plus
+//!   a Prometheus-style text exposition and a per-request span trace ring.
 //! * [`protocol`] / [`Server`] — a line-oriented TCP front end (the
 //!   `pe-serve` binary) for driving the service from outside the process.
+//!   `stats` returns one aggregate line; `metrics` and `trace` return
+//!   multi-line observability dumps terminated by `# EOF`.
 //!
 //! # Example
 //!
@@ -52,7 +57,7 @@ pub mod registry;
 pub mod server;
 pub mod service;
 
-pub use metrics::{Metrics, MetricsSnapshot};
+pub use metrics::{Metrics, MetricsSnapshot, ModelMetrics, ModelMetricsSnapshot};
 pub use registry::{ModelEntry, ModelKey, ModelRegistry};
 pub use server::Server;
 pub use service::{ServeError, ServeMode, Service, ServiceConfig, Ticket};

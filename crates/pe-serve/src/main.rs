@@ -5,6 +5,7 @@
 //! pe-serve [--addr HOST:PORT] [--mode gate|int|verify] [--batch-max N]
 //!          [--width 1|2|4|8] [--events] [--deadline-us N] [--workers N]
 //!          [--capacity N] [--warm key,key,... | --warm-grid]
+//!          [--trace-capacity N] [--trace-slow-us N] [--no-sim-profile]
 //! ```
 //!
 //! Keys are `profile:style` tokens (`cardio:seq`, `pendigits:mlp`, …; see
@@ -30,10 +31,17 @@ fn usage() -> ! {
         "usage: pe-serve [--addr HOST:PORT] [--mode gate|int|verify] [--batch-max N]\n\
          \x20               [--width 1|2|4|8] [--events] [--deadline-us N] [--workers N]\n\
          \x20               [--capacity N] [--warm key,key,... | --warm-grid]\n\
+         \x20               [--trace-capacity N] [--trace-slow-us N] [--no-sim-profile]\n\
          --width forces the bit-sliced slab width in words (64-512 lanes per\n\
          sweep; lane counts accepted); default: per-model auto\n\
          --events enables event-driven sweeps (dirty-cell worklist; identical\n\
-         predictions, fewer cell evaluations on low-activity batches)"
+         predictions, fewer cell evaluations on low-activity batches)\n\
+         --trace-capacity sizes the request trace ring (`trace` command;\n\
+         0 disables tracing; default 256)\n\
+         --trace-slow-us only traces batches whose oldest request waited at\n\
+         least this long end to end (default 0: trace every batch)\n\
+         --no-sim-profile skips the simulator's per-batch phase clocks\n\
+         (the pe_sim_* series of the `metrics` command read zero)"
     );
     std::process::exit(2)
 }
@@ -75,6 +83,18 @@ fn parse_args() -> Result<Args, String> {
                 args.cfg.queue_capacity =
                     value("--capacity")?.parse().map_err(|_| "bad --capacity".to_owned())?;
             }
+            "--trace-capacity" => {
+                args.cfg.trace_capacity = value("--trace-capacity")?
+                    .parse()
+                    .map_err(|_| "bad --trace-capacity".to_owned())?;
+            }
+            "--trace-slow-us" => {
+                let us: u64 = value("--trace-slow-us")?
+                    .parse()
+                    .map_err(|_| "bad --trace-slow-us".to_owned())?;
+                args.cfg.trace_slow = Duration::from_micros(us);
+            }
+            "--no-sim-profile" => args.cfg.sim_profile = false,
             "--warm" => {
                 args.warm =
                     value("--warm")?.split(',').map(ModelKey::parse).collect::<Result<_, _>>()?;

@@ -1,114 +1,77 @@
-//! Service metrics: counters, batch-fill accounting and a lock-free
-//! log-scale latency histogram with p50/p99 estimation.
+//! Service metrics on the [`pe_obs`] kit: per-model-key shards of lock-free
+//! counters and log-scale histograms, with an aggregate snapshot, a
+//! windowed throughput rate and a Prometheus-style text exposition.
 //!
-//! Every figure is an atomic, updated by submitters and batch workers
-//! without any shared lock, and read by [`Metrics::snapshot`] at any time.
-//! Latencies land in power-of-two nanosecond buckets, so quantiles are
-//! estimates with at most 2× resolution error — plenty for spotting the
-//! knee of a latency curve, and immune to coordinated omission caused by a
-//! locked histogram.
+//! Every model key served gets its own [`ModelMetrics`] shard — counters,
+//! a **queue-wait** histogram (submission until a worker drained the
+//! request's batch), a **service-time** histogram (drain until reply), the
+//! total-latency histogram, and a [`ProfileRecorder`] fed by the gate-level
+//! simulator's [`SimProfile`](pe_obs::SimProfile) hook. Sharding is what
+//! makes `lane_width` honest under mixed-model traffic: each model reports
+//! the slab width *it* ran at, instead of whichever model's batch happened
+//! to land last. The aggregate snapshot reports the **maximum** width
+//! across shards (documented on [`MetricsSnapshot::lane_width`]).
+//!
+//! Two throughput figures: [`MetricsSnapshot::throughput_rps`] is the rate
+//! over the interval since the previous snapshot (a [`RateWindow`]), so a
+//! long warm-up no longer deflates the number forever;
+//! [`MetricsSnapshot::lifetime_rps`] keeps the since-start figure.
 
+use crate::registry::ModelKey;
+use pe_obs::{Counter, HistSnapshot, Histogram, ProfileRecorder, ProfileSnapshot, RateWindow};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-/// Number of log-scale latency buckets (covers 1 ns .. ~2^63 ns).
-const BUCKETS: usize = 64;
-
-/// The bucket covering a duration: `floor(log2(ns))`, with sub-nanosecond
-/// samples landing in bucket 0 and everything from 2^63 ns up saturating
-/// into the last bucket. [`bucket_value`] is the inverse mapping; keeping
-/// them adjacent is what guarantees `record` and `quantile` agree on every
-/// bucket, the top one included.
-fn bucket_index(d: Duration) -> usize {
-    let ns = (d.as_nanos() as u64).max(1);
-    (ns.ilog2() as usize).min(BUCKETS - 1)
-}
-
-/// The representative duration of bucket `i`: the arithmetic midpoint
-/// `1.5 * 2^i` of the covered range `[2^i, 2^(i+1))`. For the top bucket
-/// (`i = 63`) the midpoint still fits a `u64` nanosecond count.
-fn bucket_value(i: usize) -> Duration {
-    let lo = 1u64 << i;
-    Duration::from_nanos(lo + lo / 2)
-}
-
-/// A lock-free histogram over power-of-two nanosecond buckets.
+/// One model key's metric shard. All figures are atomics; submitters and
+/// batch workers update them without any shared lock.
 #[derive(Debug)]
-struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-}
-
-impl LatencyHistogram {
-    fn new() -> Self {
-        LatencyHistogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
-    }
-
-    fn record(&self, d: Duration) {
-        self.buckets[bucket_index(d)].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// The `q`-quantile as the arithmetic midpoint of the covering bucket
-    /// ([`bucket_value`]; zero when nothing was recorded).
-    fn quantile(&self, q: f64) -> Duration {
-        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((total as f64 - 1.0) * q.clamp(0.0, 1.0)).floor() as u64;
-        let mut seen = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if c > 0 && seen > rank {
-                return bucket_value(i);
-            }
-        }
-        Duration::ZERO
-    }
-}
-
-/// Live counters for one [`Service`](crate::Service).
-#[derive(Debug)]
-pub struct Metrics {
-    started: Instant,
-    submitted: AtomicU64,
-    served: AtomicU64,
-    rejected: AtomicU64,
-    verify_mismatches: AtomicU64,
-    batches: AtomicU64,
-    batch_lanes: AtomicU64,
-    sweeps: AtomicU64,
-    sweep_capacity: AtomicU64,
+pub struct ModelMetrics {
+    submitted: Counter,
+    served: Counter,
+    rejected: Counter,
+    verify_mismatches: Counter,
+    batches: Counter,
+    batch_lanes: Counter,
+    sweeps: Counter,
+    sweep_capacity: Counter,
+    /// Slab width (words) of this model's most recent gate-level batch —
+    /// honest per key, unlike the old single global cell.
     lane_words: AtomicU64,
-    gate_cycles: AtomicU64,
-    latency: LatencyHistogram,
+    gate_cycles: Counter,
+    queue_wait: Histogram,
+    service_time: Histogram,
+    latency: Histogram,
+    profile: Arc<ProfileRecorder>,
 }
 
-impl Metrics {
-    pub(crate) fn new() -> Self {
-        Metrics {
-            started: Instant::now(),
-            submitted: AtomicU64::new(0),
-            served: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            verify_mismatches: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            batch_lanes: AtomicU64::new(0),
-            sweeps: AtomicU64::new(0),
-            sweep_capacity: AtomicU64::new(0),
+impl ModelMetrics {
+    fn new() -> Self {
+        ModelMetrics {
+            submitted: Counter::new(),
+            served: Counter::new(),
+            rejected: Counter::new(),
+            verify_mismatches: Counter::new(),
+            batches: Counter::new(),
+            batch_lanes: Counter::new(),
+            sweeps: Counter::new(),
+            sweep_capacity: Counter::new(),
             lane_words: AtomicU64::new(0),
-            gate_cycles: AtomicU64::new(0),
-            latency: LatencyHistogram::new(),
+            gate_cycles: Counter::new(),
+            queue_wait: Histogram::new(),
+            service_time: Histogram::new(),
+            latency: Histogram::new(),
+            profile: Arc::new(ProfileRecorder::new()),
         }
     }
 
-    pub(crate) fn on_submit(&self) {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub(crate) fn on_reject(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+    /// The simulator-profile recorder workers install on this model's
+    /// batches ([`pe_sim::Simulator::set_profile`]).
+    #[must_use]
+    pub fn profile(&self) -> &Arc<ProfileRecorder> {
+        &self.profile
     }
 
     /// Accounts one executed batch. `lane_words` is the slab width (in
@@ -122,44 +85,47 @@ impl Metrics {
         gate_cycles: u64,
         mismatches: usize,
     ) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batch_lanes.fetch_add(lanes as u64, Ordering::Relaxed);
+        self.batches.inc();
+        self.batch_lanes.add(lanes as u64);
         if lane_words > 0 && lanes > 0 {
             let capacity = (lane_words * 64) as u64;
             let sweeps = (lanes as u64).div_ceil(capacity);
-            self.sweeps.fetch_add(sweeps, Ordering::Relaxed);
-            self.sweep_capacity.fetch_add(sweeps * capacity, Ordering::Relaxed);
+            self.sweeps.add(sweeps);
+            self.sweep_capacity.add(sweeps * capacity);
             self.lane_words.store(lane_words as u64, Ordering::Relaxed);
         }
-        self.gate_cycles.fetch_add(gate_cycles, Ordering::Relaxed);
+        self.gate_cycles.add(gate_cycles);
         if mismatches > 0 {
-            self.verify_mismatches.fetch_add(mismatches as u64, Ordering::Relaxed);
+            self.verify_mismatches.add(mismatches as u64);
         }
     }
 
-    pub(crate) fn on_served(&self, latency: Duration) {
-        self.served.fetch_add(1, Ordering::Relaxed);
-        self.latency.record(latency);
+    /// Accounts one answered request with its latency decomposition.
+    pub(crate) fn on_served(&self, queue_wait: Duration, service: Duration) {
+        self.served.inc();
+        self.queue_wait.record(queue_wait);
+        self.service_time.record(service);
+        self.latency.record(queue_wait + service);
     }
 
-    /// A consistent-enough point-in-time view (counters are read
-    /// individually; they may straddle an in-flight batch by a request or
-    /// two, which is fine for monitoring).
+    /// A point-in-time copy of this shard.
     #[must_use]
-    pub fn snapshot(&self, batch_max: usize, queue_depth: usize) -> MetricsSnapshot {
-        let served = self.served.load(Ordering::Relaxed);
-        let batches = self.batches.load(Ordering::Relaxed);
-        let lanes = self.batch_lanes.load(Ordering::Relaxed);
-        let sweeps = self.sweeps.load(Ordering::Relaxed);
-        let sweep_capacity = self.sweep_capacity.load(Ordering::Relaxed);
-        let elapsed = self.started.elapsed();
-        MetricsSnapshot {
-            submitted: self.submitted.load(Ordering::Relaxed),
+    pub fn snapshot(&self, batch_max: usize) -> ModelMetricsSnapshot {
+        let served = self.served.get();
+        let batches = self.batches.get();
+        let lanes = self.batch_lanes.get();
+        let sweeps = self.sweeps.get();
+        let sweep_capacity = self.sweep_capacity.get();
+        let queue_wait = self.queue_wait.snapshot();
+        let service_time = self.service_time.snapshot();
+        let latency = self.latency.snapshot();
+        ModelMetricsSnapshot {
+            submitted: self.submitted.get(),
             served,
-            rejected: self.rejected.load(Ordering::Relaxed),
-            verify_mismatches: self.verify_mismatches.load(Ordering::Relaxed),
+            rejected: self.rejected.get(),
+            verify_mismatches: self.verify_mismatches.get(),
             batches,
-            gate_cycles: self.gate_cycles.load(Ordering::Relaxed),
+            gate_cycles: self.gate_cycles.get(),
             batch_fill: if batches == 0 {
                 0.0
             } else {
@@ -168,19 +134,266 @@ impl Metrics {
             lane_width: self.lane_words.load(Ordering::Relaxed),
             sweeps,
             lane_fill: if sweep_capacity == 0 { 0.0 } else { lanes as f64 / sweep_capacity as f64 },
-            p50: self.latency.quantile(0.50),
-            p99: self.latency.quantile(0.99),
-            throughput_rps: if elapsed.as_secs_f64() > 0.0 {
-                served as f64 / elapsed.as_secs_f64()
-            } else {
-                0.0
-            },
-            queue_depth,
+            batch_lanes: lanes,
+            sweep_capacity,
+            queue_wait,
+            service_time,
+            latency,
+            profile: self.profile.snapshot(),
         }
     }
 }
 
-/// A point-in-time metrics view (see [`Metrics::snapshot`]).
+/// A point-in-time copy of one model shard (see [`ModelMetrics::snapshot`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelMetricsSnapshot {
+    /// Requests accepted into the queue for this model.
+    pub submitted: u64,
+    /// Requests answered.
+    pub served: u64,
+    /// Requests rejected for backpressure.
+    pub rejected: u64,
+    /// Integer-vs-gate-level disagreements (must stay 0).
+    pub verify_mismatches: u64,
+    /// `run_batch` calls issued.
+    pub batches: u64,
+    /// Gate-level clock cycles simulated.
+    pub gate_cycles: u64,
+    /// Mean fraction of `batch_max` a batch actually filled.
+    pub batch_fill: f64,
+    /// Slab width (words) of this model's most recent gate-level batch.
+    pub lane_width: u64,
+    /// Bit-sliced sweeps executed.
+    pub sweeps: u64,
+    /// Mean fraction of the effective lane capacity the sweeps filled.
+    pub lane_fill: f64,
+    /// Raw lanes (requests) across all batches — the exact numerator the
+    /// fill ratios derive from (lets the aggregate merge without float
+    /// reconstruction).
+    pub batch_lanes: u64,
+    /// Raw lane capacity across all executed sweeps.
+    pub sweep_capacity: u64,
+    /// Queue-wait histogram (submission → batch drained).
+    pub queue_wait: HistSnapshot,
+    /// Service-time histogram (batch drained → reply).
+    pub service_time: HistSnapshot,
+    /// Total-latency histogram (submission → reply).
+    pub latency: HistSnapshot,
+    /// Simulator profile totals (phase ns, sweeps, cell evals, event-driven
+    /// work) fed through [`pe_obs::SimProfile`].
+    pub profile: ProfileSnapshot,
+}
+
+/// Live metrics for one [`Service`](crate::Service): per-model shards plus
+/// the windowed throughput clock.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    shards: RwLock<HashMap<ModelKey, Arc<ModelMetrics>>>,
+    /// Interval clock for the windowed `rps` figure; ticked by
+    /// [`Metrics::snapshot`].
+    rate: Mutex<RateWindow>,
+}
+
+impl Metrics {
+    pub(crate) fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            shards: RwLock::new(HashMap::new()),
+            rate: Mutex::new(RateWindow::new(0)),
+        }
+    }
+
+    /// The shard for `key`, created on first use.
+    #[must_use]
+    pub fn shard(&self, key: ModelKey) -> Arc<ModelMetrics> {
+        if let Some(s) = self.shards.read().expect("metrics shards poisoned").get(&key) {
+            return Arc::clone(s);
+        }
+        let mut w = self.shards.write().expect("metrics shards poisoned");
+        Arc::clone(w.entry(key).or_insert_with(|| Arc::new(ModelMetrics::new())))
+    }
+
+    pub(crate) fn on_submit(&self, key: ModelKey) {
+        self.shard(key).submitted.inc();
+    }
+
+    pub(crate) fn on_reject(&self, key: ModelKey) {
+        self.shard(key).rejected.inc();
+    }
+
+    /// Every shard's snapshot, sorted by model token (stable output for the
+    /// exposition and tests).
+    #[must_use]
+    pub fn model_snapshots(&self, batch_max: usize) -> Vec<(ModelKey, ModelMetricsSnapshot)> {
+        let mut out: Vec<(ModelKey, ModelMetricsSnapshot)> = self
+            .shards
+            .read()
+            .expect("metrics shards poisoned")
+            .iter()
+            .map(|(k, s)| (*k, s.snapshot(batch_max)))
+            .collect();
+        out.sort_by_key(|(k, _)| k.token());
+        out
+    }
+
+    /// A consistent-enough point-in-time aggregate over every shard
+    /// (counters are read individually; they may straddle an in-flight
+    /// batch by a request or two, which is fine for monitoring).
+    ///
+    /// Ticks the interval clock: `throughput_rps` is the rate since the
+    /// previous `snapshot` call (all callers share one window).
+    #[must_use]
+    pub fn snapshot(&self, batch_max: usize, queue_depth: usize) -> MetricsSnapshot {
+        let shards = self.model_snapshots(batch_max);
+        let mut agg = MetricsSnapshot {
+            submitted: 0,
+            served: 0,
+            rejected: 0,
+            verify_mismatches: 0,
+            batches: 0,
+            gate_cycles: 0,
+            batch_fill: 0.0,
+            lane_width: 0,
+            sweeps: 0,
+            lane_fill: 0.0,
+            p50: Duration::ZERO,
+            p99: Duration::ZERO,
+            queue_p50: Duration::ZERO,
+            queue_p99: Duration::ZERO,
+            service_p50: Duration::ZERO,
+            service_p99: Duration::ZERO,
+            throughput_rps: 0.0,
+            lifetime_rps: 0.0,
+            queue_depth,
+        };
+        let mut lanes = 0u64;
+        let mut sweep_capacity = 0u64;
+        let mut latency = HistSnapshot::default();
+        let mut queue_wait = HistSnapshot::default();
+        let mut service_time = HistSnapshot::default();
+        for (_, s) in &shards {
+            agg.submitted += s.submitted;
+            agg.served += s.served;
+            agg.rejected += s.rejected;
+            agg.verify_mismatches += s.verify_mismatches;
+            agg.batches += s.batches;
+            agg.gate_cycles += s.gate_cycles;
+            agg.lane_width = agg.lane_width.max(s.lane_width);
+            agg.sweeps += s.sweeps;
+            lanes += s.batch_lanes;
+            sweep_capacity += s.sweep_capacity;
+            latency.merge(&s.latency);
+            queue_wait.merge(&s.queue_wait);
+            service_time.merge(&s.service_time);
+        }
+        agg.batch_fill = if agg.batches == 0 {
+            0.0
+        } else {
+            lanes as f64 / (agg.batches as f64 * batch_max.max(1) as f64)
+        };
+        agg.lane_fill =
+            if sweep_capacity == 0 { 0.0 } else { lanes as f64 / sweep_capacity as f64 };
+        agg.p50 = latency.quantile(0.50);
+        agg.p99 = latency.quantile(0.99);
+        agg.queue_p50 = queue_wait.quantile(0.50);
+        agg.queue_p99 = queue_wait.quantile(0.99);
+        agg.service_p50 = service_time.quantile(0.50);
+        agg.service_p99 = service_time.quantile(0.99);
+        let (rate, _window) = self.rate.lock().expect("metrics rate poisoned").tick(agg.served);
+        agg.throughput_rps = rate;
+        let elapsed = self.started.elapsed();
+        agg.lifetime_rps = if elapsed.as_secs_f64() > 0.0 {
+            agg.served as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        };
+        agg
+    }
+
+    /// Prometheus-style text exposition: one line per series, `model=`
+    /// labels, terminated by `# EOF` (the `metrics` wire reply). Gauges
+    /// carry the aggregate queue depth and both throughput figures;
+    /// per-model series carry the shard counters, the queue-wait /
+    /// service-time / latency quantiles, and the simulator profile series
+    /// (phase nanoseconds, sweeps, cell evaluations, event-driven work,
+    /// cone-campaign counters).
+    #[must_use]
+    pub fn prometheus(&self, batch_max: usize, queue_depth: usize) -> String {
+        use std::fmt::Write as _;
+        let shards = self.model_snapshots(batch_max);
+        let mut out = String::new();
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let served: u64 = shards.iter().map(|(_, s)| s.served).sum();
+        let _ = writeln!(out, "pe_queue_depth {queue_depth}");
+        let _ = writeln!(
+            out,
+            "pe_lifetime_rps {:.3}",
+            if elapsed > 0.0 { served as f64 / elapsed } else { 0.0 }
+        );
+        for (key, s) in &shards {
+            let m = key.token();
+            let us = |d: Duration| d.as_secs_f64() * 1e6;
+            let _ = writeln!(out, "pe_submitted_total{{model=\"{m}\"}} {}", s.submitted);
+            let _ = writeln!(out, "pe_served_total{{model=\"{m}\"}} {}", s.served);
+            let _ = writeln!(out, "pe_rejected_total{{model=\"{m}\"}} {}", s.rejected);
+            let _ = writeln!(
+                out,
+                "pe_verify_mismatches_total{{model=\"{m}\"}} {}",
+                s.verify_mismatches
+            );
+            let _ = writeln!(out, "pe_batches_total{{model=\"{m}\"}} {}", s.batches);
+            let _ = writeln!(out, "pe_gate_cycles_total{{model=\"{m}\"}} {}", s.gate_cycles);
+            let _ = writeln!(out, "pe_batch_fill{{model=\"{m}\"}} {:.4}", s.batch_fill);
+            let _ = writeln!(out, "pe_lane_width_words{{model=\"{m}\"}} {}", s.lane_width);
+            let _ = writeln!(out, "pe_sweeps_total{{model=\"{m}\"}} {}", s.sweeps);
+            let _ = writeln!(out, "pe_lane_fill{{model=\"{m}\"}} {:.4}", s.lane_fill);
+            for (name, h) in [
+                ("pe_queue_wait_us", &s.queue_wait),
+                ("pe_service_time_us", &s.service_time),
+                ("pe_latency_us", &s.latency),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "{name}{{model=\"{m}\",quantile=\"0.5\"}} {:.1}",
+                    us(h.quantile(0.5))
+                );
+                let _ = writeln!(
+                    out,
+                    "{name}{{model=\"{m}\",quantile=\"0.99\"}} {:.1}",
+                    us(h.quantile(0.99))
+                );
+                let _ = writeln!(out, "{name}_count{{model=\"{m}\"}} {}", h.count());
+            }
+            let p = &s.profile;
+            let _ = writeln!(out, "pe_sim_batches_total{{model=\"{m}\"}} {}", p.batches);
+            let _ = writeln!(out, "pe_sim_lanes_total{{model=\"{m}\"}} {}", p.lanes);
+            let _ = writeln!(out, "pe_sim_sweeps_total{{model=\"{m}\"}} {}", p.sweeps);
+            let _ = writeln!(out, "pe_sim_cycles_total{{model=\"{m}\"}} {}", p.cycles);
+            let _ = writeln!(out, "pe_sim_cell_evals_total{{model=\"{m}\"}} {}", p.cell_evals);
+            let _ = writeln!(out, "pe_sim_drive_ns_total{{model=\"{m}\"}} {}", p.drive_ns);
+            let _ = writeln!(out, "pe_sim_eval_ns_total{{model=\"{m}\"}} {}", p.eval_ns);
+            let _ = writeln!(out, "pe_sim_readout_ns_total{{model=\"{m}\"}} {}", p.readout_ns);
+            let _ =
+                writeln!(out, "pe_sim_event_batches_total{{model=\"{m}\"}} {}", p.event_batches);
+            let _ = writeln!(
+                out,
+                "pe_sim_event_cell_evals_total{{model=\"{m}\"}} {}",
+                p.event_cell_evals
+            );
+            let _ = writeln!(out, "pe_sim_cone_chunks_total{{model=\"{m}\"}} {}", p.cone_chunks);
+            let _ = writeln!(
+                out,
+                "pe_sim_fallback_chunks_total{{model=\"{m}\"}} {}",
+                p.fallback_chunks
+            );
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+}
+
+/// A point-in-time aggregate metrics view (see [`Metrics::snapshot`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
     /// Requests accepted into the queue.
@@ -197,9 +410,12 @@ pub struct MetricsSnapshot {
     pub gate_cycles: u64,
     /// Mean fraction of `batch_max` a batch actually filled.
     pub batch_fill: f64,
-    /// Slab width (in 64-lane words) of the most recent gate-level batch:
-    /// how many packed vectors one topological sweep carries, divided
-    /// by 64. Zero until a gate-level batch ran (e.g. in `int` mode).
+    /// Largest slab width (in 64-lane words) any model's most recent
+    /// gate-level batch ran at. Mixed-model traffic serves different widths
+    /// concurrently; the per-model figure lives in the `metrics` exposition
+    /// ([`Metrics::prometheus`]) — the aggregate reports the maximum, not
+    /// whichever batch happened to land last. Zero until a gate-level batch
+    /// ran (e.g. in `int` mode).
     pub lane_width: u64,
     /// Bit-sliced sweeps executed (one sweep evaluates up to
     /// `64 * lane_width` requests in lockstep).
@@ -211,8 +427,20 @@ pub struct MetricsSnapshot {
     pub p50: Duration,
     /// 99th-percentile request latency.
     pub p99: Duration,
-    /// Served requests per second since service start.
+    /// Median queue wait (submission until a worker drained the batch).
+    pub queue_p50: Duration,
+    /// 99th-percentile queue wait.
+    pub queue_p99: Duration,
+    /// Median service time (batch drained until reply).
+    pub service_p50: Duration,
+    /// 99th-percentile service time.
+    pub service_p99: Duration,
+    /// Served requests per second over the interval since the **previous**
+    /// snapshot (windowed — a long warm-up no longer deflates it; all
+    /// snapshot callers share one window). Zero on the first snapshot.
     pub throughput_rps: f64,
+    /// Served requests per second since service start (the old figure).
+    pub lifetime_rps: f64,
     /// Requests queued at snapshot time.
     pub queue_depth: usize,
 }
@@ -224,7 +452,8 @@ impl MetricsSnapshot {
         format!(
             "submitted={} served={} rejected={} mismatches={} batches={} gate_cycles={} \
              fill={:.3} lane_width={} sweeps={} lane_fill={:.3} p50_us={:.1} p99_us={:.1} \
-             rps={:.1} qdepth={}",
+             queue_p50_us={:.1} queue_p99_us={:.1} svc_p50_us={:.1} svc_p99_us={:.1} \
+             rps={:.1} rps_life={:.1} qdepth={}",
             self.submitted,
             self.served,
             self.rejected,
@@ -237,7 +466,12 @@ impl MetricsSnapshot {
             self.lane_fill,
             self.p50.as_secs_f64() * 1e6,
             self.p99.as_secs_f64() * 1e6,
+            self.queue_p50.as_secs_f64() * 1e6,
+            self.queue_p99.as_secs_f64() * 1e6,
+            self.service_p50.as_secs_f64() * 1e6,
+            self.service_p99.as_secs_f64() * 1e6,
             self.throughput_rps,
+            self.lifetime_rps,
             self.queue_depth
         )
     }
@@ -272,10 +506,15 @@ impl fmt::Display for MetricsSnapshot {
         )?;
         writeln!(
             f,
-            "latency p50 {:.1} µs, p99 {:.1} µs; throughput {:.1} req/s",
+            "latency p50 {:.1} µs, p99 {:.1} µs (queue {:.1}/{:.1} µs, service {:.1}/{:.1} µs); \
+             throughput {:.1} req/s lifetime",
             self.p50.as_secs_f64() * 1e6,
             self.p99.as_secs_f64() * 1e6,
-            self.throughput_rps
+            self.queue_p50.as_secs_f64() * 1e6,
+            self.queue_p99.as_secs_f64() * 1e6,
+            self.service_p50.as_secs_f64() * 1e6,
+            self.service_p99.as_secs_f64() * 1e6,
+            self.lifetime_rps
         )?;
         write!(f, "verify mismatches {}", self.verify_mismatches)
     }
@@ -284,55 +523,24 @@ impl fmt::Display for MetricsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pe_core::styles::DesignStyle;
+    use pe_data::UciProfile;
 
-    #[test]
-    fn histogram_quantiles_bracket_recorded_values() {
-        let h = LatencyHistogram::new();
-        for _ in 0..90 {
-            h.record(Duration::from_micros(100)); // bucket [65.5, 131] µs
-        }
-        for _ in 0..10 {
-            h.record(Duration::from_millis(10));
-        }
-        let p50 = h.quantile(0.5);
-        assert!(p50 >= Duration::from_micros(64) && p50 <= Duration::from_micros(200), "{p50:?}");
-        let p99 = h.quantile(0.99);
-        assert!(p99 >= Duration::from_millis(8) && p99 <= Duration::from_millis(25), "{p99:?}");
-        assert_eq!(LatencyHistogram::new().quantile(0.5), Duration::ZERO);
+    fn cardio() -> ModelKey {
+        ModelKey::new(UciProfile::Cardio, DesignStyle::SequentialSvm)
     }
 
-    #[test]
-    fn top_bucket_samples_are_not_misreported() {
-        // The satellite bug: record() saturated into bucket 63 but
-        // quantile() capped the exponent at 62, so a top-bucket sample
-        // reported a quarter of its actual magnitude.
-        let h = LatencyHistogram::new();
-        h.record(Duration::from_nanos(u64::MAX)); // bucket 63
-        let q = h.quantile(0.5);
-        assert_eq!(q, bucket_value(63));
-        assert!(q >= Duration::from_nanos(1u64 << 63), "{q:?} must be in the top bucket");
-    }
-
-    #[test]
-    fn bucket_mapping_round_trips() {
-        for i in 0..BUCKETS {
-            assert_eq!(bucket_index(bucket_value(i)), i, "bucket {i} must map to itself");
-        }
-        // Edges: sub-ns clamps to bucket 0, the 2^(i+1) boundary belongs to
-        // the next bucket.
-        assert_eq!(bucket_index(Duration::ZERO), 0);
-        assert_eq!(bucket_index(Duration::from_nanos(1)), 0);
-        assert_eq!(bucket_index(Duration::from_nanos(2)), 1);
-        assert_eq!(bucket_index(Duration::from_nanos((1 << 10) - 1)), 9);
-        assert_eq!(bucket_index(Duration::from_nanos(1 << 10)), 10);
+    fn pendigits() -> ModelKey {
+        ModelKey::new(UciProfile::PenDigits, DesignStyle::SequentialSvm)
     }
 
     #[test]
     fn snapshot_line_round_trips_fields() {
         let m = Metrics::new();
-        m.on_submit();
-        m.on_batch(32, 1, 96, 0);
-        m.on_served(Duration::from_micros(500));
+        m.on_submit(cardio());
+        let shard = m.shard(cardio());
+        shard.on_batch(32, 1, 96, 0);
+        shard.on_served(Duration::from_micros(400), Duration::from_micros(100));
         let snap = m.snapshot(64, 0);
         assert_eq!(snap.submitted, 1);
         assert_eq!(snap.served, 1);
@@ -340,11 +548,16 @@ mod tests {
         assert_eq!(snap.lane_width, 1);
         assert_eq!(snap.sweeps, 1);
         assert!((snap.lane_fill - 0.5).abs() < 1e-9);
+        assert!(snap.queue_p50 > Duration::ZERO);
+        assert!(snap.service_p50 > Duration::ZERO);
         let line = snap.to_line();
         assert_eq!(MetricsSnapshot::field(&line, "served"), Some(1.0));
         assert_eq!(MetricsSnapshot::field(&line, "mismatches"), Some(0.0));
         assert_eq!(MetricsSnapshot::field(&line, "gate_cycles"), Some(96.0));
         assert_eq!(MetricsSnapshot::field(&line, "lane_width"), Some(1.0));
+        assert!(MetricsSnapshot::field(&line, "queue_p50_us").is_some());
+        assert!(MetricsSnapshot::field(&line, "svc_p99_us").is_some());
+        assert!(MetricsSnapshot::field(&line, "rps_life").is_some());
         assert_eq!(MetricsSnapshot::field(&line, "nope"), None);
         // Display renders without panicking and mentions the key figures.
         let text = snap.to_string();
@@ -357,17 +570,80 @@ mod tests {
         // sweep, 300/512 full. The old hardcoded-64 accounting would report
         // five "batches" worth of lanes instead.
         let m = Metrics::new();
-        m.on_batch(300, 8, 0, 0);
+        m.shard(cardio()).on_batch(300, 8, 0, 0);
         let snap = m.snapshot(512, 0);
         assert_eq!(snap.lane_width, 8);
         assert_eq!(snap.sweeps, 1);
         assert!((snap.lane_fill - 300.0 / 512.0).abs() < 1e-9, "lane_fill {}", snap.lane_fill);
         // Integer-only batches do no sweeps and leave lane accounting alone.
         let int_only = Metrics::new();
-        int_only.on_batch(10, 0, 0, 0);
+        int_only.shard(cardio()).on_batch(10, 0, 0, 0);
         let snap = int_only.snapshot(64, 0);
         assert_eq!(snap.lane_width, 0);
         assert_eq!(snap.sweeps, 0);
         assert_eq!(snap.lane_fill, 0.0);
+    }
+
+    #[test]
+    fn per_model_lane_width_survives_mixed_traffic() {
+        // The satellite bug: a single global `lane_words` cell meant the
+        // last model's batch overwrote every other model's width. Shards
+        // keep each model honest; the aggregate reports the max.
+        let m = Metrics::new();
+        m.shard(cardio()).on_batch(300, 8, 0, 0);
+        m.shard(pendigits()).on_batch(10, 1, 0, 0);
+        let per_model = m.model_snapshots(512);
+        let widths: HashMap<String, u64> =
+            per_model.iter().map(|(k, s)| (k.token(), s.lane_width)).collect();
+        assert_eq!(widths["cardio:seq"], 8);
+        assert_eq!(widths["pendigits:seq"], 1);
+        assert_eq!(m.snapshot(512, 0).lane_width, 8, "aggregate reports the max width");
+    }
+
+    #[test]
+    fn windowed_rps_recovers_after_warmup_lifetime_does_not() {
+        let m = Metrics::new();
+        // Simulate a long dead warm-up: the first snapshot's window opens
+        // at Metrics::new(); serve everything "now" and snapshot twice.
+        let shard = m.shard(cardio());
+        let first = m.snapshot(64, 0);
+        assert_eq!(first.served, 0);
+        for _ in 0..100 {
+            shard.on_served(Duration::from_micros(10), Duration::from_micros(10));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        let snap = m.snapshot(64, 0);
+        assert_eq!(snap.served, 100);
+        assert!(snap.throughput_rps > 0.0, "windowed rate must see the interval's serves");
+        assert!(
+            snap.throughput_rps >= snap.lifetime_rps,
+            "interval rate {} must not be deflated below the lifetime figure {}",
+            snap.throughput_rps,
+            snap.lifetime_rps
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_is_per_model_and_eof_terminated() {
+        let m = Metrics::new();
+        let c = m.shard(cardio());
+        c.on_batch(32, 1, 96, 0);
+        c.on_served(Duration::from_micros(100), Duration::from_micros(50));
+        m.shard(pendigits()).on_batch(10, 2, 40, 0);
+        let text = m.prometheus(64, 3);
+        assert!(text.ends_with("# EOF\n"), "{text}");
+        assert!(text.contains("pe_queue_depth 3"), "{text}");
+        assert!(text.contains("pe_served_total{model=\"cardio:seq\"} 1"), "{text}");
+        assert!(text.contains("pe_lane_width_words{model=\"pendigits:seq\"} 2"), "{text}");
+        assert!(text.contains("pe_queue_wait_us{model=\"cardio:seq\",quantile=\"0.5\"}"), "{text}");
+        assert!(text.contains("pe_service_time_us{model=\"cardio:seq\",quantile=\"0.99\"}"));
+        assert!(text.contains("pe_sim_cell_evals_total{model=\"cardio:seq\"} 0"));
+        // Every non-comment line is `name{labels} value` or `name value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in {line:?}");
+            assert!(parts.next().is_some(), "no series name in {line:?}");
+        }
     }
 }

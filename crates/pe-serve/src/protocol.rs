@@ -6,9 +6,18 @@
 //! ```text
 //! classify <profile> <style> <f0> <f1> ... <fn>   -> ok <class> | err <msg>
 //! stats                                           -> stats <key=value ...>
+//! metrics                                         -> <exposition lines> ... # EOF
+//! trace [limit]                                   -> <trace lines> ... # EOF
 //! ping                                            -> pong
 //! shutdown                                        -> bye   (server drains and exits)
 //! ```
+//!
+//! `metrics` and `trace` are the only **multi-line** replies: one series /
+//! trace per line, terminated by a literal `# EOF` line, so a line-oriented
+//! client reads until that sentinel. `metrics` is the Prometheus-style
+//! per-model exposition ([`Metrics::prometheus`](crate::Metrics::prometheus));
+//! `trace` dumps the most recent request span traces, newest first
+//! (default limit 16).
 //!
 //! Features are the model's normalized `[0,1]` inputs; profile/style tokens
 //! are those of [`ModelKey::token`](crate::ModelKey::token) (e.g.
@@ -26,8 +35,15 @@ pub enum Request {
         /// Normalized feature vector.
         features: Vec<f64>,
     },
-    /// Report a metrics snapshot.
+    /// Report a one-line aggregate metrics snapshot.
     Stats,
+    /// Report the multi-line per-model metrics exposition (`# EOF` ends it).
+    Metrics,
+    /// Dump the most recent request span traces (`# EOF` ends it).
+    Trace {
+        /// Maximum traces to return, newest first.
+        limit: usize,
+    },
     /// Liveness probe.
     Ping,
     /// Drain and stop the server.
@@ -65,9 +81,19 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Classify { key: ModelKey::new(profile, style), features })
         }
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
+        "trace" => {
+            let limit = match toks.next() {
+                None => 16,
+                Some(t) => t.parse::<usize>().map_err(|_| format!("bad trace limit {t:?}"))?,
+            };
+            Ok(Request::Trace { limit })
+        }
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
-        other => Err(format!("unknown verb {other:?} (expected classify|stats|ping|shutdown)")),
+        other => Err(format!(
+            "unknown verb {other:?} (expected classify|stats|metrics|trace|ping|shutdown)"
+        )),
     }
 }
 
@@ -106,6 +132,10 @@ mod tests {
         assert_eq!(parse_request("PING").unwrap(), Request::Ping);
         assert_eq!(parse_request("Stats").unwrap(), Request::Stats);
         assert_eq!(parse_request("shutdown").unwrap(), Request::Shutdown);
+        assert_eq!(parse_request("METRICS").unwrap(), Request::Metrics);
+        assert_eq!(parse_request("trace").unwrap(), Request::Trace { limit: 16 });
+        assert_eq!(parse_request("Trace 5").unwrap(), Request::Trace { limit: 5 });
+        assert!(parse_request("trace five").unwrap_err().contains("bad trace limit"));
     }
 
     #[test]

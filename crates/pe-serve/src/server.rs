@@ -125,6 +125,34 @@ fn handle_connection(stream: TcpStream, service: &Service, stop: &AtomicBool, ad
                 Err(e) => format!("err {e}"),
             },
             Ok(Request::Stats) => format!("stats {}", service.metrics().to_line()),
+            Ok(Request::Metrics) => {
+                // Multi-line reply, `# EOF`-terminated (metrics_text ends
+                // with the sentinel and a newline already).
+                let text = service.metrics_text();
+                if writer.write_all(text.as_bytes()).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Ok(Request::Trace { limit }) => {
+                let now = std::time::Instant::now();
+                let mut text = String::new();
+                for t in service.traces(limit) {
+                    text.push_str(&t.to_line(now));
+                    text.push('\n');
+                }
+                // `recorded` counts every trace ever offered, including
+                // ones that have since wrapped away.
+                text.push_str(&format!(
+                    "# recorded={} dropped={}\n# EOF\n",
+                    service.traces_recorded(),
+                    service.traces_dropped()
+                ));
+                if writer.write_all(text.as_bytes()).is_err() {
+                    return;
+                }
+                continue;
+            }
             Ok(Request::Ping) => "pong".to_owned(),
             Ok(Request::Shutdown) => {
                 let _ = writeln!(writer, "bye");
@@ -171,6 +199,22 @@ mod tests {
         reply.trim_end().to_owned()
     }
 
+    /// Sends a multi-line request (`metrics` / `trace`) and reads until the
+    /// `# EOF` sentinel line — the client side of the multi-line framing.
+    fn send_multi(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+        writeln!(stream, "{line}").unwrap();
+        let mut text = String::new();
+        loop {
+            let mut reply = String::new();
+            assert!(reader.read_line(&mut reply).unwrap() > 0, "EOF before sentinel:\n{text}");
+            let done = reply.trim_end() == "# EOF";
+            text.push_str(&reply);
+            if done {
+                return text;
+            }
+        }
+    }
+
     #[test]
     fn tcp_round_trip_classify_stats_shutdown() {
         let registry = Arc::new(ModelRegistry::new(RunOptions::default()));
@@ -196,6 +240,20 @@ mod tests {
         let stats = send(&mut conn, &mut reader, "stats");
         assert!(stats.starts_with("stats "), "{stats}");
         assert!(stats.contains("mismatches=0"), "{stats}");
+
+        // The multi-line observability replies, read to the `# EOF` sentinel
+        // on the same connection — the next one-line request still works.
+        let metrics = send_multi(&mut conn, &mut reader, "metrics");
+        assert!(metrics.contains("pe_served_total{model=\"cardio:seq\"} 1"), "{metrics}");
+        assert!(
+            metrics.contains("pe_queue_wait_us{model=\"cardio:seq\",quantile=\"0.5\"}"),
+            "{metrics}"
+        );
+        assert!(metrics.contains("pe_sim_batches_total{model=\"cardio:seq\"}"), "{metrics}");
+        let trace = send_multi(&mut conn, &mut reader, "trace 8");
+        assert!(trace.contains("model=cardio:seq"), "{trace}");
+        assert!(trace.contains("# recorded="), "{trace}");
+        assert_eq!(send(&mut conn, &mut reader, "ping"), "pong");
 
         assert_eq!(
             send(&mut conn, &mut reader, "classify cardio seq 0.5"),

@@ -30,6 +30,7 @@
 
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::registry::{ModelKey, ModelRegistry};
+use pe_obs::{RequestTrace, SimProfile, TraceRing};
 use pe_sim::bitslice::LANES;
 use pe_sim::LaneWidth;
 use std::collections::{HashMap, VecDeque};
@@ -99,6 +100,20 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Worker threads executing batches.
     pub workers: usize,
+    /// Capacity of the request trace ring ([`Service::traces`], the `trace`
+    /// wire command). Each executed batch records one span trace for its
+    /// **oldest** request — the worst queue wait of the batch. 0 disables
+    /// tracing entirely (the instrumentation-off baseline).
+    pub trace_capacity: usize,
+    /// Only record traces whose total latency is at least this long. The
+    /// default [`Duration::ZERO`] traces every batch's oldest request;
+    /// raising it turns the ring into a slow-request sampler.
+    pub trace_slow: Duration,
+    /// Feed each model's [`pe_obs::ProfileRecorder`] from the gate-level
+    /// simulator (per-batch phase timings, sweep and cell-evaluation
+    /// counts — the `pe_sim_*` series of the `metrics` exposition). Off
+    /// skips every phase clock read inside `run_batch`.
+    pub sim_profile: bool,
 }
 
 impl Default for ServiceConfig {
@@ -114,6 +129,9 @@ impl Default for ServiceConfig {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(2)
                 .min(8),
+            trace_capacity: 256,
+            trace_slow: Duration::ZERO,
+            sim_profile: true,
         }
     }
 }
@@ -179,6 +197,7 @@ struct Shared {
     registry: Arc<ModelRegistry>,
     cfg: ServiceConfig,
     metrics: Metrics,
+    traces: TraceRing,
     state: Mutex<QueueState>,
     work_ready: Condvar,
     space_ready: Condvar,
@@ -201,6 +220,7 @@ impl Service {
         cfg.queue_capacity = cfg.queue_capacity.max(1);
         let shared = Arc::new(Shared {
             registry,
+            traces: TraceRing::new(cfg.trace_capacity),
             cfg,
             metrics: Metrics::new(),
             state: Mutex::new(QueueState::default()),
@@ -263,14 +283,14 @@ impl Service {
                 break;
             }
             if !block {
-                self.shared.metrics.on_reject();
+                self.shared.metrics.on_reject(key);
                 return Err(ServeError::Busy);
             }
             st = self.shared.space_ready.wait(st).expect("service queue poisoned");
         }
         st.pending.entry(key).or_default().push_back(Pending { x_q, enqueued: Instant::now(), tx });
         st.total += 1;
-        self.shared.metrics.on_submit();
+        self.shared.metrics.on_submit(key);
         drop(st);
         self.shared.work_ready.notify_one();
         Ok(Ticket { rx })
@@ -322,7 +342,7 @@ impl Service {
                 tx,
             });
             st.total += 1;
-            self.shared.metrics.on_submit();
+            self.shared.metrics.on_submit(key);
         }
         drop(st);
         self.shared.work_ready.notify_all();
@@ -342,10 +362,46 @@ impl Service {
         self.shared.state.lock().expect("service queue poisoned").total
     }
 
-    /// A point-in-time metrics view.
+    /// A point-in-time aggregate metrics view. Ticks the interval clock:
+    /// [`MetricsSnapshot::throughput_rps`] covers the span since the
+    /// previous `metrics()` call.
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.metrics.snapshot(self.shared.cfg.batch_max, self.queue_depth())
+    }
+
+    /// The live metrics store: per-model shards, snapshots and the
+    /// Prometheus-style exposition.
+    #[must_use]
+    pub fn metrics_store(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// The Prometheus-style text exposition over every model shard (the
+    /// `metrics` wire reply), `# EOF`-terminated.
+    #[must_use]
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics.prometheus(self.shared.cfg.batch_max, self.queue_depth())
+    }
+
+    /// The most recent `limit` request traces, newest first (the `trace`
+    /// wire reply). Empty when [`ServiceConfig::trace_capacity`] is 0.
+    #[must_use]
+    pub fn traces(&self, limit: usize) -> Vec<RequestTrace> {
+        self.shared.traces.recent(limit)
+    }
+
+    /// Traces dropped to ring-slot contention (never blocks the hot path).
+    #[must_use]
+    pub fn traces_dropped(&self) -> u64 {
+        self.shared.traces.dropped()
+    }
+
+    /// Traces ever offered to the ring (accepted + dropped), including ones
+    /// that have since wrapped away.
+    #[must_use]
+    pub fn traces_recorded(&self) -> u64 {
+        self.shared.traces.recorded()
     }
 
     /// Stops accepting requests, drains every queued batch (deadlines are
@@ -457,8 +513,14 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Executes one coalesced batch and answers its requests.
+/// Executes one coalesced batch and answers its requests, decomposing the
+/// batch into the five trace spans (`queue_wait → setup → sweep → verify →
+/// reply`; see [`pe_obs::trace`]) and feeding the model's metric shard.
 fn run_one_batch(shared: &Shared, key: ModelKey, mut reqs: Vec<Pending>) {
+    // `drained` splits every request's latency: submission → here is queue
+    // wait (coalescing delay), here → reply is service time.
+    let drained = Instant::now();
+    let shard = shared.metrics.shard(key);
     let entry = shared.registry.get(key);
     let vectors: Vec<Vec<i64>> = reqs.iter_mut().map(|r| std::mem::take(&mut r.x_q)).collect();
     let int_preds: Vec<usize> = match shared.cfg.mode {
@@ -467,31 +529,72 @@ fn run_one_batch(shared: &Shared, key: ModelKey, mut reqs: Vec<Pending>) {
             vectors.iter().map(|x_q| entry.predict_int(x_q)).collect()
         }
     };
+    let mut sweep = Duration::ZERO;
+    let mut verify = Duration::ZERO;
+    let setup_end;
     let (preds, lane_words, gate_cycles, mismatches) = match shared.cfg.mode {
-        ServeMode::Int => (int_preds, 0, 0, 0),
+        ServeMode::Int => {
+            setup_end = Instant::now();
+            (int_preds, 0, 0, 0)
+        }
         ServeMode::Gate | ServeMode::Verify => {
             let mut sim = entry.simulator();
             if let Some(w) = shared.cfg.lane_width {
                 sim.set_lane_width(w);
             }
             sim.set_event_driven(shared.cfg.event_driven);
+            if shared.cfg.sim_profile {
+                let profile: Arc<dyn SimProfile> = Arc::clone(shard.profile()) as _;
+                sim.set_profile(Some(profile));
+            }
             let lane_words = sim.lane_width().words();
+            setup_end = Instant::now();
             let result = sim.run_batch(&vectors, entry.cycles_per_vector, "class");
+            let sweep_end = Instant::now();
+            sweep = sweep_end.saturating_duration_since(setup_end);
             let gate: Vec<usize> = result.outputs.iter().map(|&v| v as usize).collect();
             let mismatches = if shared.cfg.mode == ServeMode::Verify {
-                gate.iter().zip(&int_preds).filter(|(g, i)| g != i).count()
+                let n = gate.iter().zip(&int_preds).filter(|(g, i)| g != i).count();
+                verify = sweep_end.elapsed();
+                n
             } else {
                 0
             };
             (gate, lane_words, result.cycles, mismatches)
         }
     };
-    shared.metrics.on_batch(reqs.len(), lane_words, gate_cycles, mismatches);
-    let now = Instant::now();
+    shard.on_batch(reqs.len(), lane_words, gate_cycles, mismatches);
+    let lanes = reqs.len();
+    let oldest = reqs.iter().map(|r| r.enqueued).min();
+    let reply_start = Instant::now();
     for (req, pred) in reqs.into_iter().zip(preds) {
-        shared.metrics.on_served(now.saturating_duration_since(req.enqueued));
+        let queue_wait = drained.saturating_duration_since(req.enqueued);
+        let service = reply_start.saturating_duration_since(drained);
+        shard.on_served(queue_wait, service);
         // A dropped ticket (caller gave up) is fine; ignore send errors.
         let _ = req.tx.send(Ok(pred));
+    }
+    if shared.traces.enabled() {
+        // One trace per batch, for its oldest request — the worst queue
+        // wait this batch inflicted.
+        let now = Instant::now();
+        let queue_wait =
+            oldest.map_or(Duration::ZERO, |enq| drained.saturating_duration_since(enq));
+        let total = oldest.map_or(Duration::ZERO, |enq| now.saturating_duration_since(enq));
+        if total >= shared.cfg.trace_slow {
+            shared.traces.record(RequestTrace {
+                seq: 0,
+                model: key.token(),
+                batch_lanes: lanes,
+                queue_wait,
+                setup: setup_end.saturating_duration_since(drained),
+                sweep,
+                verify,
+                reply: now.saturating_duration_since(reply_start),
+                total,
+                at: now,
+            });
+        }
     }
 }
 

@@ -16,6 +16,7 @@
 
 use pe_core::engine::NullSink;
 use pe_core::pipeline::RunOptions;
+use pe_obs::HistSnapshot;
 use pe_serve::{ModelKey, ModelRegistry, ServeMode, Service, ServiceConfig};
 use std::sync::Arc;
 use std::time::Duration;
@@ -115,6 +116,132 @@ fn event_driven_service_matches_full_sweep_on_low_activity_batches() {
     assert_eq!(events.metrics().verify_mismatches, 0, "event-driven verify must never fire");
     full.shutdown();
     events.shutdown();
+}
+
+#[test]
+fn concurrent_model_shards_stay_disjoint_and_merge_into_the_aggregate() {
+    // The observability satellite: two model keys hammered from many
+    // threads at once. Each metric shard must account exactly its own
+    // key's traffic (disjoint histograms), the aggregate snapshot must be
+    // the bucket-wise merge of the shards, and the `metrics` exposition
+    // must parse back field-for-field against the shard snapshots.
+    let registry = Arc::new(ModelRegistry::new(RunOptions::default()));
+    let keys = [ModelKey::parse("cardio:seq").unwrap(), ModelKey::parse("cardio:par").unwrap()];
+    registry.warm(&keys, pe_core::engine::default_threads(keys.len()), &mut NullSink);
+    let service = Service::start(
+        Arc::clone(&registry),
+        ServiceConfig {
+            mode: ServeMode::Verify,
+            batch_deadline: Duration::from_millis(1),
+            ..ServiceConfig::default()
+        },
+    );
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 6; // even, so every thread hits both keys equally
+    const BATCH: usize = 5;
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let service = Arc::clone(&service);
+        let registry = Arc::clone(&registry);
+        handles.push(std::thread::spawn(move || {
+            for r in 0..ROUNDS {
+                let key = keys[(t + r) % keys.len()];
+                let entry = registry.get(key);
+                let xs = entry.sample_requests(BATCH);
+                let replies = service.classify_batch(key, &xs);
+                for (i, (reply, x)) in replies.iter().zip(&xs).enumerate() {
+                    let want = entry.predict_int(&entry.quantize_input(x));
+                    assert_eq!(*reply, Ok(want), "{} round {r} sample {i}", key.token());
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let per_key = (THREADS * ROUNDS / keys.len() * BATCH) as u64;
+
+    let batch_max = service.config().batch_max;
+    let shards = service.metrics_store().model_snapshots(batch_max);
+    assert_eq!(shards.len(), keys.len(), "one shard per model key");
+    for (key, s) in &shards {
+        assert_eq!(s.submitted, per_key, "{} submitted", key.token());
+        assert_eq!(s.served, per_key, "{} served", key.token());
+        assert_eq!(s.verify_mismatches, 0, "{}", key.token());
+        // Disjoint histograms: each shard holds exactly its own key's
+        // samples, with no bleed from the other model's traffic.
+        assert_eq!(s.queue_wait.count(), per_key, "{} queue-wait samples", key.token());
+        assert_eq!(s.service_time.count(), per_key, "{} service-time samples", key.token());
+        assert_eq!(s.latency.count(), per_key, "{} latency samples", key.token());
+        assert!(s.batches >= 1, "{} ran batches", key.token());
+        assert!(s.lane_width >= 1, "{} ran gate-level", key.token());
+        // Verify mode runs the simulator with the shard's profile installed.
+        assert!(s.profile.batches >= 1, "{} sim profile fed", key.token());
+        assert!(s.profile.cell_evals > 0, "{} sim profile cell evals", key.token());
+    }
+
+    // The aggregate is the merge of the shards: counters sum, the width is
+    // the max, quantiles come from the bucket-wise merged histograms.
+    let agg = service.metrics();
+    assert_eq!(agg.submitted, per_key * keys.len() as u64);
+    assert_eq!(agg.served, per_key * keys.len() as u64);
+    assert_eq!(agg.batches, shards.iter().map(|(_, s)| s.batches).sum::<u64>());
+    assert_eq!(agg.gate_cycles, shards.iter().map(|(_, s)| s.gate_cycles).sum::<u64>());
+    assert_eq!(agg.sweeps, shards.iter().map(|(_, s)| s.sweeps).sum::<u64>());
+    assert_eq!(agg.lane_width, shards.iter().map(|(_, s)| s.lane_width).max().unwrap());
+    let mut latency = HistSnapshot::default();
+    let mut queue_wait = HistSnapshot::default();
+    let mut service_time = HistSnapshot::default();
+    for (_, s) in &shards {
+        latency.merge(&s.latency);
+        queue_wait.merge(&s.queue_wait);
+        service_time.merge(&s.service_time);
+    }
+    assert_eq!(agg.p50, latency.quantile(0.50));
+    assert_eq!(agg.p99, latency.quantile(0.99));
+    assert_eq!(agg.queue_p50, queue_wait.quantile(0.50));
+    assert_eq!(agg.queue_p99, queue_wait.quantile(0.99));
+    assert_eq!(agg.service_p50, service_time.quantile(0.50));
+    assert_eq!(agg.service_p99, service_time.quantile(0.99));
+
+    // The wire exposition parses back field-for-field against the shards.
+    let text = service.metrics_text();
+    assert!(text.ends_with("# EOF\n"), "{text}");
+    for (key, s) in &shards {
+        let m = key.token();
+        for (series, want) in [
+            ("pe_submitted_total", s.submitted),
+            ("pe_served_total", s.served),
+            ("pe_rejected_total", s.rejected),
+            ("pe_verify_mismatches_total", s.verify_mismatches),
+            ("pe_batches_total", s.batches),
+            ("pe_gate_cycles_total", s.gate_cycles),
+            ("pe_lane_width_words", s.lane_width),
+            ("pe_sweeps_total", s.sweeps),
+            ("pe_sim_batches_total", s.profile.batches),
+            ("pe_sim_sweeps_total", s.profile.sweeps),
+            ("pe_sim_cycles_total", s.profile.cycles),
+            ("pe_sim_cell_evals_total", s.profile.cell_evals),
+        ] {
+            let line = format!("{series}{{model=\"{m}\"}} {want}");
+            assert!(text.contains(&line), "exposition missing {line:?}");
+        }
+        let us = |d: Duration| d.as_secs_f64() * 1e6;
+        for (name, h) in [
+            ("pe_queue_wait_us", &s.queue_wait),
+            ("pe_service_time_us", &s.service_time),
+            ("pe_latency_us", &s.latency),
+        ] {
+            for (q, tag) in [(0.5, "0.5"), (0.99, "0.99")] {
+                let line =
+                    format!("{name}{{model=\"{m}\",quantile=\"{tag}\"}} {:.1}", us(h.quantile(q)));
+                assert!(text.contains(&line), "exposition missing {line:?}");
+            }
+            let line = format!("{name}_count{{model=\"{m}\"}} {}", h.count());
+            assert!(text.contains(&line), "exposition missing {line:?}");
+        }
+    }
+    service.shutdown();
 }
 
 #[test]

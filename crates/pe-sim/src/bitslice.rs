@@ -65,6 +65,7 @@ use crate::activity::{ActivityReport, ToggleCounters};
 use crate::sim::BatchResult;
 use pe_netlist::graph::FanoutCones;
 use pe_netlist::{CellId, Netlist, NetlistError, PortDir};
+use pe_obs::{SimBatch, SimProfile};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -1078,10 +1079,36 @@ impl<'nl, const W: usize> BitSlicedSimulator<'nl, W> {
         cycles_per_vector: u64,
         out_port: &str,
     ) -> BatchResult {
+        self.run_batch_profiled(vectors, cycles_per_vector, out_port, None)
+    }
+
+    /// [`BitSlicedSimulator::run_batch`] with an optional [`SimProfile`] hook
+    /// fed once at the end with the batch's phase decomposition: nanoseconds
+    /// spent packing input lanes (*drive*), settling/ticking the core
+    /// (*eval*), and reading outputs back out (*readout*), plus sweep and
+    /// cell-evaluation counts. Phase clocks are only read when a hook is
+    /// installed — `None` is exactly the unprofiled path.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`BitSlicedSimulator::run_batch`].
+    pub fn run_batch_profiled(
+        &mut self,
+        vectors: &[Vec<i64>],
+        cycles_per_vector: u64,
+        out_port: &str,
+        profile: Option<&dyn SimProfile>,
+    ) -> BatchResult {
+        let timing = profile.is_some();
         let start_cycles = self.cycles;
+        let start_evals = self.cell_evals;
+        let (mut drive_ns, mut eval_ns, mut readout_ns) = (0u64, 0u64, 0u64);
+        let mut sweeps = 0u64;
         let mut outputs = Vec::with_capacity(vectors.len());
         let mut lane_vals = Vec::with_capacity(LANES * W);
         for chunk in vectors.chunks(LANES * W) {
+            sweeps += 1;
+            let t0 = timing.then(std::time::Instant::now);
             let active = chunk.len();
             let mask = lane_mask_wide::<W>(active);
             let m = chunk[0].len();
@@ -1093,6 +1120,7 @@ impl<'nl, const W: usize> BitSlicedSimulator<'nl, W> {
                 lane_vals.extend(chunk.iter().map(|x| x[j]));
                 self.set_input_lanes(&format!("x{j}"), &lane_vals);
             }
+            let t1 = timing.then(std::time::Instant::now);
             if cycles_per_vector == 0 {
                 self.settle_serial(&mask);
                 self.cycles += active as u64;
@@ -1102,10 +1130,29 @@ impl<'nl, const W: usize> BitSlicedSimulator<'nl, W> {
                 }
                 self.cycles += active as u64 * cycles_per_vector;
             }
+            let t2 = timing.then(std::time::Instant::now);
             for l in 0..active {
                 outputs.push(self.output_unsigned_lane(out_port, l));
             }
             self.collapse_to_lane(active - 1);
+            if let (Some(t0), Some(t1), Some(t2)) = (t0, t1, t2) {
+                drive_ns += (t1 - t0).as_nanos() as u64;
+                eval_ns += (t2 - t1).as_nanos() as u64;
+                readout_ns += t2.elapsed().as_nanos() as u64;
+            }
+        }
+        if let Some(p) = profile {
+            p.on_batch(&SimBatch {
+                lanes: vectors.len(),
+                lane_words: W,
+                sweeps,
+                cycles: self.cycles - start_cycles,
+                cell_evals: self.cell_evals - start_evals,
+                drive_ns,
+                eval_ns,
+                readout_ns,
+                event_driven: self.events.is_some(),
+            });
         }
         BatchResult { outputs, cycles: self.cycles - start_cycles }
     }
@@ -1613,6 +1660,42 @@ mod tests {
         b.output("sum", sum);
         b.output("carry", carry);
         b.finish()
+    }
+
+    #[test]
+    fn profiled_batches_feed_the_hook_and_match_unprofiled_outputs() {
+        let nl = full_adder_x();
+        let vectors: Vec<Vec<i64>> =
+            (0..150).map(|i| vec![i & 1, (i >> 1) & 1, (i >> 2) & 1]).collect();
+        let rec = std::sync::Arc::new(pe_obs::ProfileRecorder::new());
+
+        let mut plain = Simulator::new(&nl).unwrap();
+        let want = plain.run_batch(&vectors, 0, "sum");
+
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_profile(Some(rec.clone()));
+        let got = sim.run_batch(&vectors, 0, "sum");
+        assert_eq!(got, want, "profiling must not change batch results");
+
+        let s = rec.snapshot();
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.lanes, 150);
+        assert_eq!(s.sweeps, 3, "150 vectors at W1 = three 64-lane sweeps");
+        assert_eq!(s.cycles, got.cycles);
+        assert!(s.cell_evals > 0, "a comb settle spends cell evaluations");
+        assert_eq!(s.event_batches, 0);
+
+        // Event-driven batches are flagged, and their cell evaluations land
+        // in the dirty-cell accumulator.
+        let mut ev = Simulator::new(&nl).unwrap();
+        ev.set_event_driven(true);
+        ev.set_profile(Some(rec.clone()));
+        let got_ev = ev.run_batch(&vectors, 0, "sum");
+        assert_eq!(got_ev, want);
+        let s2 = rec.snapshot();
+        assert_eq!(s2.batches, 2);
+        assert_eq!(s2.event_batches, 1);
+        assert!(s2.event_cell_evals > 0);
     }
 
     #[test]

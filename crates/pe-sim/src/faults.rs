@@ -39,6 +39,7 @@ use crate::bitslice::{lane_mask_wide, popcount_wide, BitSlicedSimulator, LaneWid
 use crate::sim::Simulator;
 use pe_netlist::graph::FanoutCones;
 use pe_netlist::{Driver, NetId, Netlist, NetlistError};
+use pe_obs::{SimChunk, SimProfile};
 
 /// One single-stuck-at fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -347,12 +348,18 @@ fn fault_campaign_ppsfp_w<const W: usize>(
     out_port: &str,
     cycles: Option<u64>,
     mode: ConeMode,
+    profile: Option<&dyn SimProfile>,
 ) -> Result<(FaultReport, ConeStats), NetlistError> {
     let mut sim = BitSlicedSimulator::<'_, W>::new(nl)?;
     let golden = match cycles {
         None => sim.run_workload_comb(workload, out_port),
         Some(c) => sim.run_workload_seq_reset(workload, c, out_port),
     };
+    if let Some(p) = profile {
+        // Fed first so a recorder's campaign totals reconcile exactly with
+        // the exit-summary `ConeStats::cell_evals` (golden + chunk deltas).
+        p.on_campaign_golden(sim.cell_evals());
+    }
     let prep = if mode != ConeMode::Never && !faults.is_empty() {
         Some((FanoutCones::new(nl), GoldenTrajectory::capture(nl, workload, cycles)?))
     } else {
@@ -362,12 +369,15 @@ fn fault_campaign_ppsfp_w<const W: usize>(
     let mut critical = 0usize;
     for chunk in faults.chunks(LANES * W) {
         stats.chunks += 1;
+        let evals_before = sim.cell_evals();
         let watch = force_site_lanes(&mut sim, chunk);
         let mut cone_diverged = None;
+        let mut cone_cells = 0usize;
         if let Some((cones, traj)) = &prep {
             let mut roots: Vec<NetId> = chunk.iter().map(|f| f.net).collect();
             roots.dedup();
             let sched = sim.cone_schedule(cones, &roots);
+            cone_cells = sched.comb_cells();
             // Density threshold: past ~3/4 of the core a cone pass does
             // nearly a full sweep's work with worse locality, so Auto falls
             // back to the plain path.
@@ -377,22 +387,32 @@ fn fault_campaign_ppsfp_w<const W: usize>(
                     Some(sim.lanes_diverging_cone(&sched, traj, out_port, &golden, watch));
             }
         }
-        let diverged = match cone_diverged {
+        let (diverged, cone_scheduled) = match cone_diverged {
             Some(d) => {
                 stats.cone_chunks += 1;
-                d
+                (d, true)
             }
             None => {
                 stats.fallback_chunks += 1;
-                match cycles {
+                let d = match cycles {
                     None => sim.lanes_diverging_comb(workload, out_port, &golden, watch),
                     Some(c) => sim.lanes_diverging_seq_reset(workload, c, out_port, &golden, watch),
-                }
+                };
+                (d, false)
             }
         };
         critical += popcount_wide(&diverged) as usize;
         for f in chunk {
             sim.release_net(f.net);
+        }
+        if let Some(p) = profile {
+            p.on_chunk(&SimChunk {
+                sites: chunk.len(),
+                cone_scheduled,
+                cone_cells,
+                core_cells: sim.scheduled_cells(),
+                cell_evals: sim.cell_evals() - evals_before,
+            });
         }
     }
     stats.cell_evals = sim.cell_evals();
@@ -449,15 +469,43 @@ pub fn fault_campaign_comb_ppsfp_wide_opts(
     width: LaneWidth,
     mode: ConeMode,
 ) -> Result<(FaultReport, ConeStats), NetlistError> {
+    fault_campaign_comb_ppsfp_wide_obs(nl, faults, workload, out_port, width, mode, None)
+}
+
+/// [`fault_campaign_comb_ppsfp_wide_opts`] with an optional [`SimProfile`]
+/// hook fed live during the campaign: once per `64 * W`-site chunk
+/// ([`SimProfile::on_chunk`] — cone-scheduled or fallback, with the
+/// cone/core cell counts and the chunk's cell-evaluation cost) and once for
+/// the golden run ([`SimProfile::on_campaign_golden`]). A
+/// [`pe_obs::ProfileRecorder`]'s campaign totals reconcile exactly with the
+/// returned [`ConeStats`].
+///
+/// # Panics
+///
+/// Panics if the design is sequential or ports are unknown.
+///
+/// # Errors
+///
+/// Propagates scheduling errors.
+pub fn fault_campaign_comb_ppsfp_wide_obs(
+    nl: &Netlist,
+    faults: &[FaultSite],
+    workload: &[Vec<(String, i64)>],
+    out_port: &str,
+    width: LaneWidth,
+    mode: ConeMode,
+    profile: Option<&dyn SimProfile>,
+) -> Result<(FaultReport, ConeStats), NetlistError> {
     assert!(
         crate::sim::is_combinational(nl),
         "fault_campaign_comb requires a combinational design"
     );
+    let p = profile;
     match width {
-        LaneWidth::W1 => fault_campaign_ppsfp_w::<1>(nl, faults, workload, out_port, None, mode),
-        LaneWidth::W2 => fault_campaign_ppsfp_w::<2>(nl, faults, workload, out_port, None, mode),
-        LaneWidth::W4 => fault_campaign_ppsfp_w::<4>(nl, faults, workload, out_port, None, mode),
-        LaneWidth::W8 => fault_campaign_ppsfp_w::<8>(nl, faults, workload, out_port, None, mode),
+        LaneWidth::W1 => fault_campaign_ppsfp_w::<1>(nl, faults, workload, out_port, None, mode, p),
+        LaneWidth::W2 => fault_campaign_ppsfp_w::<2>(nl, faults, workload, out_port, None, mode, p),
+        LaneWidth::W4 => fault_campaign_ppsfp_w::<4>(nl, faults, workload, out_port, None, mode, p),
+        LaneWidth::W8 => fault_campaign_ppsfp_w::<8>(nl, faults, workload, out_port, None, mode, p),
     }
 }
 
@@ -545,12 +593,39 @@ pub fn fault_campaign_seq_ppsfp_wide_opts(
     width: LaneWidth,
     mode: ConeMode,
 ) -> Result<(FaultReport, ConeStats), NetlistError> {
+    fault_campaign_seq_ppsfp_wide_obs(nl, faults, workload, out_port, cycles, width, mode, None)
+}
+
+/// [`fault_campaign_seq_ppsfp_wide_opts`] with an optional [`SimProfile`]
+/// hook fed live during the campaign — the sequential counterpart of
+/// [`fault_campaign_comb_ppsfp_wide_obs`]; see there for the feed points and
+/// the reconciliation guarantee with the returned [`ConeStats`].
+///
+/// # Panics
+///
+/// Panics on unknown ports or `cycles == 0`.
+///
+/// # Errors
+///
+/// Propagates scheduling errors.
+#[allow(clippy::too_many_arguments)]
+pub fn fault_campaign_seq_ppsfp_wide_obs(
+    nl: &Netlist,
+    faults: &[FaultSite],
+    workload: &[Vec<(String, i64)>],
+    out_port: &str,
+    cycles: u64,
+    width: LaneWidth,
+    mode: ConeMode,
+    profile: Option<&dyn SimProfile>,
+) -> Result<(FaultReport, ConeStats), NetlistError> {
     let c = Some(cycles);
+    let p = profile;
     match width {
-        LaneWidth::W1 => fault_campaign_ppsfp_w::<1>(nl, faults, workload, out_port, c, mode),
-        LaneWidth::W2 => fault_campaign_ppsfp_w::<2>(nl, faults, workload, out_port, c, mode),
-        LaneWidth::W4 => fault_campaign_ppsfp_w::<4>(nl, faults, workload, out_port, c, mode),
-        LaneWidth::W8 => fault_campaign_ppsfp_w::<8>(nl, faults, workload, out_port, c, mode),
+        LaneWidth::W1 => fault_campaign_ppsfp_w::<1>(nl, faults, workload, out_port, c, mode, p),
+        LaneWidth::W2 => fault_campaign_ppsfp_w::<2>(nl, faults, workload, out_port, c, mode, p),
+        LaneWidth::W4 => fault_campaign_ppsfp_w::<4>(nl, faults, workload, out_port, c, mode, p),
+        LaneWidth::W8 => fault_campaign_ppsfp_w::<8>(nl, faults, workload, out_port, c, mode, p),
     }
 }
 
@@ -1020,6 +1095,72 @@ mod tests {
         let slow = oracle::fault_campaign_comb(&nl, &sites, &full_workload(), "s").unwrap();
         assert_eq!(ppsfp, patpar);
         assert_eq!(ppsfp, slow);
+    }
+
+    #[test]
+    fn profile_recorder_reconciles_with_cone_stats() {
+        // The observability contract: a ProfileRecorder fed live through the
+        // `_obs` entry points must reproduce the campaign's exit-summary
+        // ConeStats exactly — chunk counts, cone/fallback split, and total
+        // cell evaluations (golden run included).
+        let nl = adder2();
+        let sites = enumerate_fault_sites(&nl);
+        for mode in [ConeMode::Auto, ConeMode::Always, ConeMode::Never] {
+            let rec = pe_obs::ProfileRecorder::new();
+            let (report, stats) = fault_campaign_comb_ppsfp_wide_obs(
+                &nl,
+                &sites,
+                &full_workload(),
+                "s",
+                LaneWidth::W1,
+                mode,
+                Some(&rec),
+            )
+            .unwrap();
+            let s = rec.snapshot();
+            assert_eq!(s.chunks as usize, stats.chunks, "{mode:?}");
+            assert_eq!(s.cone_chunks as usize, stats.cone_chunks, "{mode:?}");
+            assert_eq!(s.fallback_chunks as usize, stats.fallback_chunks, "{mode:?}");
+            assert_eq!(s.campaign_cell_evals, stats.cell_evals, "{mode:?}");
+            assert_eq!(s.campaign_sites as usize, report.total, "{mode:?}");
+        }
+
+        let mut b = Builder::new("shiftobs");
+        let d = b.input("d");
+        let q1 = b.dff(d, false);
+        let q2 = b.dff(q1, false);
+        b.output("q", q2);
+        let snl = b.finish();
+        let ssites = enumerate_fault_sites(&snl);
+        let wl = vec![vec![("d".to_string(), 1i64)], vec![("d".to_string(), 0)]];
+        let rec = pe_obs::ProfileRecorder::new();
+        let (sreport, sstats) = fault_campaign_seq_ppsfp_wide_obs(
+            &snl,
+            &ssites,
+            &wl,
+            "q",
+            3,
+            LaneWidth::W1,
+            ConeMode::Auto,
+            Some(&rec),
+        )
+        .unwrap();
+        let s = rec.snapshot();
+        assert_eq!(s.chunks as usize, sstats.chunks);
+        assert_eq!(s.campaign_cell_evals, sstats.cell_evals);
+        assert_eq!(s.campaign_sites as usize, sreport.total);
+        // And the verdicts are identical to the unprofiled path.
+        let (plain, _) = fault_campaign_seq_ppsfp_wide_opts(
+            &snl,
+            &ssites,
+            &wl,
+            "q",
+            3,
+            LaneWidth::W1,
+            ConeMode::Auto,
+        )
+        .unwrap();
+        assert_eq!(sreport, plain);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::activity::{ActivityReport, ToggleCounters};
 use crate::bitslice::{BitSlicedSimulator, LaneWidth};
 use pe_netlist::{CellId, CellKind, Driver, Netlist, NetlistError, PortDir};
+use pe_obs::SimProfile;
 use std::collections::HashMap;
 
 /// Which engine executes [`Simulator::run_batch`].
@@ -118,6 +119,9 @@ pub struct Simulator<'nl> {
     /// Event-driven sweeps for bit-sliced batches (see
     /// [`Simulator::set_event_driven`]).
     event_driven: bool,
+    /// Observability hook fed once per bit-sliced batch (see
+    /// [`Simulator::set_profile`]); `None` skips all phase clocks.
+    profile: Option<std::sync::Arc<dyn SimProfile>>,
 }
 
 impl<'nl> Simulator<'nl> {
@@ -182,6 +186,7 @@ impl<'nl> Simulator<'nl> {
             batch_mode: BatchMode::default(),
             lane_width: LaneWidth::default(),
             event_driven: false,
+            profile: None,
         };
         sim.reset();
         sim
@@ -246,6 +251,23 @@ impl<'nl> Simulator<'nl> {
     #[must_use]
     pub fn event_driven(&self) -> bool {
         self.event_driven
+    }
+
+    /// Installs an observability hook fed once per bit-sliced batch with the
+    /// phase decomposition (drive/eval/readout nanoseconds), sweep count,
+    /// cycles and cell-evaluation count — see
+    /// [`pe_obs::SimProfile::on_batch`]. `None` (the default) removes the
+    /// hook and with it every phase clock read, so the unprofiled hot path
+    /// is byte-identical to before. The scalar reference engine is never
+    /// profiled: it exists as a correctness oracle, not a production path.
+    pub fn set_profile(&mut self, profile: Option<std::sync::Arc<dyn SimProfile>>) {
+        self.profile = profile;
+    }
+
+    /// The installed observability hook, if any.
+    #[must_use]
+    pub fn profile(&self) -> Option<&std::sync::Arc<dyn SimProfile>> {
+        self.profile.as_ref()
     }
 
     /// Enables per-net toggle counting (and clears any previous counts).
@@ -601,7 +623,12 @@ impl<'nl> Simulator<'nl> {
         if self.event_driven {
             sliced.set_event_driven(true);
         }
-        let result = sliced.run_batch(vectors, cycles_per_vector, out_port);
+        let result = sliced.run_batch_profiled(
+            vectors,
+            cycles_per_vector,
+            out_port,
+            self.profile.as_deref(),
+        );
         sliced.carry_into(&mut self.values, &mut self.state);
         if track {
             self.toggles.merge(sliced.toggle_counters());

@@ -21,6 +21,7 @@
 //! | EDA flow | [`synth`] | datapath generators, STA, area, power |
 //! | simulation | [`sim`] | cycle-based gate-level simulator, activity |
 //! | the paper | [`core`] | sequential SVM + baselines + pipeline + claims |
+//! | observability | [`obs`] | windowed metrics, request tracing, simulator profiling hooks |
 //! | serving | [`serve`] | batch-coalescing classification service + TCP front end |
 //!
 //! # Quickstart
@@ -58,6 +59,7 @@ pub use pe_data as data;
 pub use pe_fixed as fixed;
 pub use pe_ml as ml;
 pub use pe_netlist as netlist;
+pub use pe_obs as obs;
 pub use pe_serve as serve;
 pub use pe_sim as sim;
 pub use pe_synth as synth;
