@@ -9,6 +9,7 @@ use pe_data::{train_test_split, Normalizer, UciProfile};
 use pe_ml::linear::SvmTrainParams;
 use pe_ml::multiclass::{MulticlassScheme, SvmModel};
 use pe_ml::QuantizedSvm;
+use pe_sim::collapse::fault_campaign_seq_ppsfp_collapsed;
 use pe_sim::faults::{
     enumerate_fault_sites, fault_campaign_seq_ppsfp_wide, fault_campaign_seq_ppsfp_wide_opts,
 };
@@ -279,6 +280,42 @@ fn bench_width_sweep(g: &mut BenchGroup, f: &Fixture) {
         never_secs / auto_secs
     );
 
+    // Static + workload fault collapsing on the same full campaign: the
+    // collapsed path retires equivalence-class duplicates, unobservable
+    // cones, and workload-quiescent sites before pinning any lane, then
+    // expands the representatives' verdicts back over all sites. The gate:
+    // the report must be bit-identical and at least 20 % of the sites must
+    // collapse away. (The analysis is a fixed per-campaign cost, so the
+    // wall-clock payoff appears on scalar/narrow engines and long
+    // workloads; at W=8 the full sweep is already only a few sweeps, and
+    // the honest speedup below can dip under 1x.)
+    let t_collapse = Instant::now();
+    let (collapsed_report, cstats) =
+        fault_campaign_seq_ppsfp_collapsed(&nl, &sites, &workload, "class", 3, cone_width).unwrap();
+    let collapsed_secs = t_collapse.elapsed().as_secs_f64();
+    assert_eq!(
+        collapsed_report, auto_report,
+        "collapsed campaign must be bit-identical to the full campaign"
+    );
+    assert!(
+        cstats.reduction() >= 0.20,
+        "fault collapsing must retire >= 20 % of the {} sites (got {:.1} %)",
+        cstats.sites,
+        100.0 * cstats.reduction()
+    );
+    let collapsed_sweeps = cstats.simulated.div_ceil(cone_width.lanes());
+    println!(
+        "faults/collapse                              {} sites -> {} simulated ({:.1}% collapsed: {} merged into classes, {} statically-benign classes, {} workload-quiet), {} sweeps -> {}, bit-identical",
+        cstats.sites,
+        cstats.simulated,
+        100.0 * cstats.reduction(),
+        cstats.sites - cstats.classes,
+        cstats.static_benign,
+        cstats.workload_benign,
+        sites.len().div_ceil(cone_width.lanes()),
+        collapsed_sweeps,
+    );
+
     // Machine-readable record for the acceptance gates and the README.
     let width_json: Vec<String> = rows
         .iter()
@@ -306,7 +343,12 @@ fn bench_width_sweep(g: &mut BenchGroup, f: &Fixture) {
          \"cone_chunks\": {},\n    \"fallback_chunks\": {},\n    \
          \"cell_evals_auto\": {},\n    \"cell_evals_full\": {},\n    \
          \"cell_evals_avoided_pct\": {:.1},\n    \"auto_secs\": {:.6},\n    \
-         \"full_secs\": {:.6}\n  }}\n}}\n",
+         \"full_secs\": {:.6}\n  }},\n  \
+         \"collapse\": {{\n    \"sites\": {},\n    \"classes\": {},\n    \
+         \"static_benign_classes\": {},\n    \"workload_quiet\": {},\n    \
+         \"simulated\": {},\n    \"reduction\": {:.4},\n    \
+         \"collapsed_secs\": {:.6},\n    \"full_secs\": {:.6},\n    \
+         \"speedup\": {:.3}\n  }}\n}}\n",
         scalar_secs,
         samples.len() as f64 / scalar_secs,
         width_json.join(",\n    "),
@@ -324,6 +366,15 @@ fn bench_width_sweep(g: &mut BenchGroup, f: &Fixture) {
         avoided_pct,
         auto_secs,
         never_secs,
+        cstats.sites,
+        cstats.classes,
+        cstats.static_benign,
+        cstats.workload_benign,
+        cstats.simulated,
+        cstats.reduction(),
+        collapsed_secs,
+        auto_secs,
+        auto_secs / collapsed_secs.max(1e-9),
     );
     // Anchor to the workspace root: cargo runs bench binaries with the
     // package directory as cwd.

@@ -15,7 +15,7 @@
 //! simulator and reuses it for its whole shard via per-lane force/release.
 //!
 //! Usage: `cargo run --release -p pe-bench --bin faults
-//!         [max_sites] [--compare] [--width 1|2|4|8] [--events]`
+//!         [max_sites] [--compare] [--collapse] [--width 1|2|4|8] [--events]`
 //!
 //! `--compare` re-runs the same sites through the two reference paths — the
 //! previous pattern-parallel site-serial campaign, and (on a subsample) the
@@ -28,6 +28,13 @@
 //! engine to that cross-check. Every campaign additionally reports its
 //! cone-scheduling stats: chunks evaluated through their fanout cone vs
 //! full-sweep fallbacks, and the cell evaluations saved vs cone-off.
+//!
+//! `--collapse` additionally runs the statically+workload-collapsed
+//! campaign (`pe_sim::collapse`): equivalence classes, unobservable cones
+//! and workload-quiescent sites are retired before any lane is pinned, the
+//! surviving representatives sweep as usual, and the verdicts are expanded
+//! back over the full site list — asserted bit-identical to the
+//! uncollapsed report, with the site reduction and wall-clock printed.
 
 use pe_core::engine::{self, ExperimentEngine, Job};
 use pe_core::pipeline::{build_netlist, cycles_per_inference, fault_workload, RunOptions};
@@ -35,6 +42,7 @@ use pe_core::styles::DesignStyle;
 use pe_data::UciProfile;
 use pe_netlist::Netlist;
 use pe_obs::{ProfileRecorder, ProfileSnapshot, SimProfile};
+use pe_sim::collapse::{fault_campaign_comb_ppsfp_collapsed, fault_campaign_seq_ppsfp_collapsed};
 use pe_sim::faults::{
     enumerate_fault_sites, fault_campaign_comb, fault_campaign_comb_ppsfp_wide,
     fault_campaign_comb_ppsfp_wide_obs, fault_campaign_seq, fault_campaign_seq_ppsfp_wide,
@@ -257,6 +265,7 @@ fn activity_crosscheck(
 struct CampaignOpts {
     max_sites: usize,
     compare: bool,
+    collapse: bool,
     events: bool,
     width: Option<LaneWidth>,
     threads: usize,
@@ -268,7 +277,7 @@ fn campaign(
     style: DesignStyle,
     opts: &CampaignOpts,
 ) {
-    let CampaignOpts { max_sites, compare, events, width, threads } = *opts;
+    let CampaignOpts { max_sites, compare, collapse, events, width, threads } = *opts;
     let prepared = engine.prepared(profile, style);
     let nl = build_netlist(style, &prepared);
     let flavor = match style {
@@ -342,6 +351,44 @@ fn campaign(
         println!("profile check    : SimProfile recorder == exit ConeStats (auto and never)");
     }
 
+    if collapse {
+        // Collapsed campaign: classes + unobservable + workload-quiet sites
+        // retired, representatives swept, verdicts expanded back. The report
+        // must be indistinguishable from the full campaign's.
+        let t0 = Instant::now();
+        let (creport, cstats) = match flavor {
+            Flavor::Comb => {
+                fault_campaign_comb_ppsfp_collapsed(&nl, &sites, &workload, "class", eff_width)
+                    .expect("acyclic")
+            }
+            Flavor::Seq { cycles } => fault_campaign_seq_ppsfp_collapsed(
+                &nl, &sites, &workload, "class", cycles, eff_width,
+            )
+            .expect("acyclic"),
+        };
+        let c_secs = t0.elapsed().as_secs_f64();
+        assert_eq!(creport, report, "collapsed report must be bit-identical to the full campaign");
+        let t1 = Instant::now();
+        let _ = ppsfp_path(&nl, &sites, &workload, "class", flavor, Some(eff_width));
+        let f_secs = t1.elapsed().as_secs_f64();
+        println!(
+            "fault collapsing : {} sites -> {} simulated ({} classes, {} statically benign, \
+             {} workload-quiet; {:.1} % collapsed away)",
+            cstats.sites,
+            cstats.simulated,
+            cstats.classes,
+            cstats.static_benign,
+            cstats.workload_benign,
+            100.0 * cstats.reduction(),
+        );
+        println!(
+            "collapsed run    : {:.3} s vs {:.3} s uncollapsed ({:.2}x), report bit-identical",
+            c_secs,
+            f_secs,
+            f_secs / c_secs.max(1e-9),
+        );
+    }
+
     if compare {
         let (pp, pp_secs) =
             run_sharded(&nl, &shards, &workload, flavor, width, threads, patpar_path);
@@ -378,12 +425,15 @@ fn campaign(
 fn main() {
     let mut max_sites: usize = 0; // 0 = the full site list
     let mut compare = false;
+    let mut collapse = false;
     let mut events = false;
     let mut width: Option<LaneWidth> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         if arg == "--compare" {
             compare = true;
+        } else if arg == "--collapse" {
+            collapse = true;
         } else if arg == "--events" {
             events = true;
         } else if arg == "--width" {
@@ -397,7 +447,9 @@ fn main() {
         } else if let Ok(n) = arg.parse() {
             max_sites = n;
         } else {
-            eprintln!("usage: faults [max_sites] [--compare] [--width 1|2|4|8] [--events]");
+            eprintln!(
+                "usage: faults [max_sites] [--compare] [--collapse] [--width 1|2|4|8] [--events]"
+            );
             std::process::exit(2);
         }
     }
@@ -409,8 +461,14 @@ fn main() {
         ],
         RunOptions::default(),
     );
-    let opts =
-        CampaignOpts { max_sites, compare, events, width, threads: pe_bench::grid_threads() };
+    let opts = CampaignOpts {
+        max_sites,
+        compare,
+        collapse,
+        events,
+        width,
+        threads: pe_bench::grid_threads(),
+    };
     // The fully-parallel baseline (combinational campaign) and the paper's
     // sequential SVM (clocked campaign) — the headline design's robustness
     // was previously never measured here.

@@ -18,9 +18,6 @@
 //! The crate also models the printed power sources the paper checks against
 //! ([`battery`]), most prominently the Molex 30 mW printed battery.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod battery;
 pub mod library;
 pub mod tech;

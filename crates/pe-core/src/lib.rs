@@ -44,9 +44,6 @@
 //! assert_eq!(report.mismatches, 0); // circuit == golden model, bit for bit
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod ablation;
 pub mod designs;
 pub mod engine;

@@ -17,9 +17,6 @@
 //! ([`split::train_test_split`]), input quantization to a low-precision grid,
 //! and accuracy metrics ([`metrics`]).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod csv;
 pub mod dataset;
 pub mod metrics;

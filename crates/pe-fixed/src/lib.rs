@@ -35,9 +35,6 @@
 //! }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod bits;
 pub mod error;
 pub mod fx;

@@ -1,0 +1,234 @@
+//! Ternary constant propagation (X-propagation) over a netlist.
+//!
+//! Values are `Option<bool>`: `Some(v)` means *provably `v` for every input
+//! vector and every cycle*, `None` means unknown (X). Primary inputs start at
+//! X; registers start at their explicit power-on value (this IR has no
+//! uninitialized state — the paper's reset protocol restores `init` exactly),
+//! and are widened with the join `definite ⊔ different = X` each clock until
+//! the abstraction reaches a fixpoint. The result is a sound per-net verdict:
+//! anything reported constant really is stuck at that value in simulation.
+//!
+//! The pass powers the `PL0201`–`PL0204` lints and assumes a structurally
+//! clean netlist (the [`crate::lint_netlist`] driver gates it on zero
+//! Error-severity findings).
+
+use crate::diag::{Diagnostic, Lint};
+use pe_netlist::graph::topo_order;
+use pe_netlist::{CellKind, Driver, Netlist, PortDir};
+
+/// Join of two ternary values: agreeing definites survive, anything else
+/// widens to X.
+fn join(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    if a == b {
+        a
+    } else {
+        None
+    }
+}
+
+/// Evaluates a combinational cell over ternary inputs by brute force: every
+/// assignment of the X inputs is tried (arity ≤ 3, so at most 8), and the
+/// output is definite only when all assignments agree.
+///
+/// # Panics
+///
+/// Panics if `kind` is sequential or `ins` has the wrong arity.
+#[must_use]
+pub fn ternary_eval(kind: CellKind, ins: &[Option<bool>]) -> Option<bool> {
+    assert!(!kind.is_sequential(), "ternary_eval is combinational-only");
+    assert_eq!(ins.len(), kind.arity());
+    let unknown: Vec<usize> =
+        ins.iter().enumerate().filter(|(_, v)| v.is_none()).map(|(i, _)| i).collect();
+    let mut concrete: Vec<bool> = ins.iter().map(|v| v.unwrap_or(false)).collect();
+    let mut result = None;
+    for combo in 0..(1u32 << unknown.len()) {
+        for (bit, &pos) in unknown.iter().enumerate() {
+            concrete[pos] = combo >> bit & 1 == 1;
+        }
+        let v = kind.eval(&concrete);
+        match result {
+            None => result = Some(v),
+            Some(prev) if prev != v => return None,
+            Some(_) => {}
+        }
+    }
+    result
+}
+
+/// The per-net fixpoint of ternary constant propagation: `values[n]` is
+/// `Some(v)` iff net `n` provably holds `v` on every cycle of every run.
+///
+/// Returns an all-X vector if the netlist has no topological order (cyclic
+/// or malformed designs are the structural pass's problem, not ours).
+#[must_use]
+pub fn net_constants(nl: &Netlist) -> Vec<Option<bool>> {
+    let mut values: Vec<Option<bool>> = vec![None; nl.num_nets()];
+    let Ok(order) = topo_order(nl) else {
+        return values;
+    };
+    for (id, net) in nl.nets() {
+        if let Driver::Const(v) = net.driver() {
+            values[id.index()] = Some(v);
+        }
+    }
+    // Registers enter the lattice at their power-on value.
+    for (_, cell) in nl.cells() {
+        if cell.kind().is_sequential() {
+            values[cell.output().index()] = Some(cell.init());
+        }
+    }
+    // Each iteration: settle the combinational fabric, then clock every
+    // register once under the join. A register's value only ever moves
+    // definite → X, so this terminates within #registers + 1 iterations.
+    loop {
+        for &c in &order {
+            let cell = nl.cell(c);
+            if cell.kind().is_sequential() {
+                continue;
+            }
+            let ins: Vec<Option<bool>> = cell.inputs().iter().map(|n| values[n.index()]).collect();
+            values[cell.output().index()] = ternary_eval(cell.kind(), &ins);
+        }
+        let mut changed = false;
+        for (_, cell) in nl.cells() {
+            if !cell.kind().is_sequential() {
+                continue;
+            }
+            let q = cell.output().index();
+            let cur = values[q];
+            let d = values[cell.inputs()[0].index()];
+            let next = match cell.kind() {
+                CellKind::Dff => d,
+                CellKind::DffE => match values[cell.inputs()[1].index()] {
+                    Some(true) => d,
+                    Some(false) => cur,
+                    None => join(cur, d),
+                },
+                _ => unreachable!("sequential kinds are Dff/DffE"),
+            };
+            let widened = join(cur, next);
+            if widened != cur {
+                values[q] = widened;
+                changed = true;
+            }
+        }
+        if !changed {
+            return values;
+        }
+    }
+}
+
+/// Constant-propagation lints (`PL0201`–`PL0204`) over the
+/// [`net_constants`] fixpoint:
+///
+/// * `PL0201` — a combinational cell whose output is provably constant;
+/// * `PL0202` — an output port bit stuck at a constant (including direct
+///   constant ties);
+/// * `PL0203` — a register that provably never leaves its power-on value;
+/// * `PL0204` (info) — a cell reading a provably-constant net whose own
+///   output is *not* constant: a partial fold a synthesis sweep would take.
+#[must_use]
+pub fn constprop(nl: &Netlist) -> Vec<Diagnostic> {
+    let values = net_constants(nl);
+    let mut out = Vec::new();
+    for (id, cell) in nl.cells() {
+        let y = cell.output();
+        if cell.kind().is_sequential() {
+            if let Some(v) = values[y.index()] {
+                out.push(
+                    Diagnostic::new(
+                        Lint::ConstantRegister,
+                        format!(
+                            "register c{} never leaves its power-on value {}",
+                            id.index(),
+                            u8::from(v)
+                        ),
+                    )
+                    .with_cell(id)
+                    .with_net(y),
+                );
+            }
+        } else if let Some(v) = values[y.index()] {
+            out.push(
+                Diagnostic::new(
+                    Lint::ConstantNet,
+                    format!(
+                        "cell c{} ({}) output is always {}",
+                        id.index(),
+                        cell.kind().name(),
+                        u8::from(v)
+                    ),
+                )
+                .with_cell(id)
+                .with_net(y),
+            );
+        }
+        if values[y.index()].is_none() {
+            if let Some(&pin) = cell.inputs().iter().find(|n| values[n.index()].is_some()) {
+                out.push(
+                    Diagnostic::new(
+                        Lint::ConstantFedGate,
+                        format!(
+                            "cell c{} ({}) reads constant net n{} — foldable",
+                            id.index(),
+                            cell.kind().name(),
+                            pin.index()
+                        ),
+                    )
+                    .with_cell(id)
+                    .with_net(pin),
+                );
+            }
+        }
+    }
+    for p in nl.ports() {
+        if p.dir() != PortDir::Output {
+            continue;
+        }
+        for (i, &b) in p.bits().iter().enumerate() {
+            if let Some(v) = values[b.index()] {
+                out.push(
+                    Diagnostic::new(
+                        Lint::ConstantOutput,
+                        format!("output {}[{i}] is stuck at {}", p.name(), u8::from(v)),
+                    )
+                    .with_net(b),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ternary_eval_matches_concrete_and_widens() {
+        assert_eq!(ternary_eval(CellKind::And2, &[Some(false), None]), Some(false));
+        assert_eq!(ternary_eval(CellKind::And2, &[Some(true), None]), None);
+        assert_eq!(ternary_eval(CellKind::Or2, &[None, Some(true)]), Some(true));
+        assert_eq!(ternary_eval(CellKind::Xor2, &[Some(true), Some(true)]), Some(false));
+        // Mux with constant select collapses to the selected leg.
+        assert_eq!(ternary_eval(CellKind::Mux2, &[Some(true), None, Some(false)]), Some(true));
+        // Mux with both legs equal ignores an unknown select.
+        assert_eq!(ternary_eval(CellKind::Mux2, &[Some(true), Some(true), None]), Some(true));
+    }
+
+    #[test]
+    fn register_feedback_reaches_a_sound_fixpoint() {
+        use pe_netlist::Builder;
+        // q' = q xor x: the register genuinely toggles, so q must widen to X.
+        let mut b = Builder::new("toggle");
+        let x = b.input("x");
+        let (q, h) = b.dff_deferred(false);
+        let d = b.xor2(q, x);
+        b.connect_dff(h, d);
+        b.output("q", q);
+        let nl = b.finish();
+        let vals = net_constants(&nl);
+        assert_eq!(vals[q.index()], None);
+        assert!(constprop(&nl).iter().all(|d| d.lint != Lint::ConstantRegister));
+    }
+}

@@ -1,0 +1,348 @@
+//! The diagnostic framework: the lint catalog, severities, and the
+//! [`Diagnostic`] / [`LintReport`] types every pass reports through.
+
+use pe_netlist::{CellId, NetId};
+use std::fmt;
+
+/// How bad a diagnostic is.
+///
+/// Ordered `Info < Warn < Error` so `max()` over a report gives its worst
+/// finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: worth knowing, never wrong by itself.
+    Info,
+    /// Suspicious structure that simulates fine but wastes area or hints at
+    /// a generator bug (dead logic, constant nets, unused inputs).
+    Warn,
+    /// Structurally broken: the netlist cannot be scheduled or simulated
+    /// meaningfully. The serving registry refuses models carrying these.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// The lint catalog. Codes are stable: tools and CI match on them.
+///
+/// | code | lint | severity |
+/// |---|---|---|
+/// | `PL0001` | combinational cycle through non-register cells | error |
+/// | `PL0002` | net with multiple drivers | error |
+/// | `PL0003` | undriven net (dangling driver record) | error |
+/// | `PL0004` | cell pin-count / kind arity mismatch | error |
+/// | `PL0005` | port references a missing net | error |
+/// | `PL0006` | cell pin references a missing net | error |
+/// | `PL0101` | dead cell (reaches no output or register) | warn |
+/// | `PL0102` | unused primary input bit | warn |
+/// | `PL0103` | unobservable register (state never reaches an output) | warn |
+/// | `PL0201` | combinational output provably constant | warn |
+/// | `PL0202` | output port bit stuck at a constant | warn |
+/// | `PL0203` | register provably never leaves its power-on value | warn |
+/// | `PL0204` | gate fed by a provably-constant net (foldable) | info |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lint {
+    /// `PL0001`: a combinational cycle through non-register cells.
+    CombinationalCycle,
+    /// `PL0002`: two or more cells drive one net.
+    MultiDrivenNet,
+    /// `PL0003`: a net whose driver record points at a cell that does not
+    /// drive it.
+    UndrivenNet,
+    /// `PL0004`: a cell has the wrong number of input pins for its kind.
+    ArityMismatch,
+    /// `PL0005`: a port bit references a net that does not exist.
+    DanglingPort,
+    /// `PL0006`: a cell pin references a net that does not exist.
+    FloatingInput,
+    /// `PL0101`: a combinational cell whose output reaches neither a primary
+    /// output nor a flip-flop data/enable pin.
+    DeadCell,
+    /// `PL0102`: a primary input bit no cell reads and no output exposes.
+    UnusedInput,
+    /// `PL0103`: a register whose state can never reach a primary output.
+    UnobservableRegister,
+    /// `PL0201`: a combinational cell output that X-propagation proves
+    /// constant.
+    ConstantNet,
+    /// `PL0202`: an output port bit stuck at a constant for every input.
+    ConstantOutput,
+    /// `PL0203`: a register that provably never leaves its power-on value.
+    ConstantRegister,
+    /// `PL0204`: a cell reading a provably-constant net (a synthesis sweep
+    /// would fold it).
+    ConstantFedGate,
+}
+
+impl Lint {
+    /// Every lint in the catalog, in code order.
+    pub const ALL: [Lint; 13] = [
+        Lint::CombinationalCycle,
+        Lint::MultiDrivenNet,
+        Lint::UndrivenNet,
+        Lint::ArityMismatch,
+        Lint::DanglingPort,
+        Lint::FloatingInput,
+        Lint::DeadCell,
+        Lint::UnusedInput,
+        Lint::UnobservableRegister,
+        Lint::ConstantNet,
+        Lint::ConstantOutput,
+        Lint::ConstantRegister,
+        Lint::ConstantFedGate,
+    ];
+
+    /// The stable diagnostic code (`PL....`).
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            Lint::CombinationalCycle => "PL0001",
+            Lint::MultiDrivenNet => "PL0002",
+            Lint::UndrivenNet => "PL0003",
+            Lint::ArityMismatch => "PL0004",
+            Lint::DanglingPort => "PL0005",
+            Lint::FloatingInput => "PL0006",
+            Lint::DeadCell => "PL0101",
+            Lint::UnusedInput => "PL0102",
+            Lint::UnobservableRegister => "PL0103",
+            Lint::ConstantNet => "PL0201",
+            Lint::ConstantOutput => "PL0202",
+            Lint::ConstantRegister => "PL0203",
+            Lint::ConstantFedGate => "PL0204",
+        }
+    }
+
+    /// The fixed severity this lint reports at.
+    #[must_use]
+    pub fn severity(&self) -> Severity {
+        match self {
+            Lint::CombinationalCycle
+            | Lint::MultiDrivenNet
+            | Lint::UndrivenNet
+            | Lint::ArityMismatch
+            | Lint::DanglingPort
+            | Lint::FloatingInput => Severity::Error,
+            Lint::DeadCell
+            | Lint::UnusedInput
+            | Lint::UnobservableRegister
+            | Lint::ConstantNet
+            | Lint::ConstantOutput
+            | Lint::ConstantRegister => Severity::Warn,
+            Lint::ConstantFedGate => Severity::Info,
+        }
+    }
+
+    /// A short human title.
+    #[must_use]
+    pub fn title(&self) -> &'static str {
+        match self {
+            Lint::CombinationalCycle => "combinational cycle",
+            Lint::MultiDrivenNet => "multi-driven net",
+            Lint::UndrivenNet => "undriven net",
+            Lint::ArityMismatch => "arity mismatch",
+            Lint::DanglingPort => "dangling port",
+            Lint::FloatingInput => "floating cell pin",
+            Lint::DeadCell => "dead cell",
+            Lint::UnusedInput => "unused input",
+            Lint::UnobservableRegister => "unobservable register",
+            Lint::ConstantNet => "constant net",
+            Lint::ConstantOutput => "constant output",
+            Lint::ConstantRegister => "constant register",
+            Lint::ConstantFedGate => "constant-fed gate",
+        }
+    }
+}
+
+/// One finding: a lint instance anchored to a cell and/or net locus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// The offending cell, when the finding anchors to one.
+    pub cell: Option<CellId>,
+    /// The offending net, when the finding anchors to one.
+    pub net: Option<NetId>,
+    /// Human-readable description of this specific instance.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// A diagnostic with no locus (e.g. a dangling port, whose net does not
+    /// exist).
+    #[must_use]
+    pub fn new(lint: Lint, message: impl Into<String>) -> Self {
+        Diagnostic { lint, cell: None, net: None, message: message.into() }
+    }
+
+    /// Anchors the diagnostic to a cell.
+    #[must_use]
+    pub fn with_cell(mut self, cell: CellId) -> Self {
+        self.cell = Some(cell);
+        self
+    }
+
+    /// Anchors the diagnostic to a net.
+    #[must_use]
+    pub fn with_net(mut self, net: NetId) -> Self {
+        self.net = Some(net);
+        self
+    }
+
+    /// The severity (fixed per lint).
+    #[must_use]
+    pub fn severity(&self) -> Severity {
+        self.lint.severity()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} [{}]", self.lint.code(), self.severity(), self.lint.title())?;
+        match (self.cell, self.net) {
+            (Some(c), Some(n)) => write!(f, " c{}/n{}", c.index(), n.index())?,
+            (Some(c), None) => write!(f, " c{}", c.index())?,
+            (None, Some(n)) => write!(f, " n{}", n.index())?,
+            (None, None) => {}
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// All findings of one lint run over one netlist.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        LintReport::default()
+    }
+
+    /// Appends a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Appends many findings.
+    pub fn extend(&mut self, ds: impl IntoIterator<Item = Diagnostic>) {
+        self.diagnostics.extend(ds);
+    }
+
+    /// Every finding, in pass order.
+    #[must_use]
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of findings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// True when nothing fired.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Findings at one severity.
+    #[must_use]
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity() == severity).count()
+    }
+
+    /// Findings of one lint.
+    pub fn of(&self, lint: Lint) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.lint == lint)
+    }
+
+    /// True when any Error-severity finding is present — the registry's
+    /// rejection predicate.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.severity() == Severity::Error)
+    }
+
+    /// The worst severity present, or `None` for a clean report.
+    #[must_use]
+    pub fn worst(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(Diagnostic::severity).max()
+    }
+
+    /// An aligned text table of every finding (empty string when clean).
+    #[must_use]
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let locus = match (d.cell, d.net) {
+                (Some(c), Some(n)) => format!("c{}/n{}", c.index(), n.index()),
+                (Some(c), None) => format!("c{}", c.index()),
+                (None, Some(n)) => format!("n{}", n.index()),
+                (None, None) => "-".to_owned(),
+            };
+            out.push_str(&format!(
+                "{:<7} {:<5} {:<22} {:<10} {}\n",
+                d.lint.code(),
+                d.severity(),
+                d.lint.title(),
+                locus,
+                d.message
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_info_warn_error() {
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+    }
+
+    #[test]
+    fn codes_are_unique_and_stable() {
+        let codes: Vec<&str> = Lint::ALL.iter().map(Lint::code).collect();
+        let mut dedup = codes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), codes.len(), "duplicate lint code");
+        assert_eq!(Lint::CombinationalCycle.code(), "PL0001");
+        assert_eq!(Lint::ConstantFedGate.code(), "PL0204");
+    }
+
+    #[test]
+    fn report_accounting() {
+        let mut r = LintReport::new();
+        assert!(r.is_empty() && !r.has_errors() && r.worst().is_none());
+        r.push(Diagnostic::new(Lint::DeadCell, "d"));
+        r.push(Diagnostic::new(Lint::MultiDrivenNet, "m"));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.count(Severity::Warn), 1);
+        assert_eq!(r.count(Severity::Error), 1);
+        assert!(r.has_errors());
+        assert_eq!(r.worst(), Some(Severity::Error));
+        assert_eq!(r.of(Lint::DeadCell).count(), 1);
+        assert!(r.to_table().contains("PL0002"));
+    }
+}

@@ -1,0 +1,326 @@
+//! The structural and reachability lint passes.
+//!
+//! [`structural`] re-derives everything [`pe_netlist::Netlist::validate`]
+//! checks — but reports **every** violation instead of the first, never
+//! panics on malformed input (out-of-range ids are themselves findings), and
+//! anchors each finding to its cell/net locus. [`reachability`] assumes a
+//! structurally clean netlist and reports logic that cannot matter: dead
+//! cells, unused inputs, and registers whose state never reaches an output.
+
+use crate::diag::{Diagnostic, Lint};
+use pe_netlist::graph::{dead_cells, fanout_counts, FanoutCones};
+use pe_netlist::{CellId, Driver, NetId, Netlist, PortDir};
+
+/// Structural lints: arity, pin/port ranges, driver consistency, and
+/// combinational cycles (`PL0001`–`PL0006`). Safe on arbitrary garbage.
+#[must_use]
+pub fn structural(nl: &Netlist) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let num_nets = nl.num_nets();
+
+    // PL0004 / PL0006: per-cell pin checks.
+    for (id, cell) in nl.cells() {
+        if cell.inputs().len() != cell.kind().arity() {
+            out.push(
+                Diagnostic::new(
+                    Lint::ArityMismatch,
+                    format!(
+                        "cell c{} of kind {} has {} inputs, expected {}",
+                        id.index(),
+                        cell.kind().name(),
+                        cell.inputs().len(),
+                        cell.kind().arity()
+                    ),
+                )
+                .with_cell(id),
+            );
+        }
+        for (pin, &inp) in cell.inputs().iter().enumerate() {
+            if inp.index() >= num_nets {
+                out.push(
+                    Diagnostic::new(
+                        Lint::FloatingInput,
+                        format!(
+                            "cell c{} pin {} references missing net n{}",
+                            id.index(),
+                            pin,
+                            inp.index()
+                        ),
+                    )
+                    .with_cell(id),
+                );
+            }
+        }
+        if cell.output().index() >= num_nets {
+            out.push(
+                Diagnostic::new(
+                    Lint::FloatingInput,
+                    format!(
+                        "cell c{} output references missing net n{}",
+                        id.index(),
+                        cell.output().index()
+                    ),
+                )
+                .with_cell(id),
+            );
+        }
+    }
+
+    // PL0005: port bits must resolve.
+    for p in nl.ports() {
+        if p.bits().iter().any(|b| b.index() >= num_nets) {
+            out.push(Diagnostic::new(
+                Lint::DanglingPort,
+                format!("port {} references a missing net", p.name()),
+            ));
+        }
+    }
+
+    // Driver census: how many cells actually drive each net.
+    let mut driver_count = vec![0u32; num_nets];
+    let mut driving_cell: Vec<Option<CellId>> = vec![None; num_nets];
+    for (id, cell) in nl.cells() {
+        let o = cell.output().index();
+        if o < num_nets {
+            driver_count[o] += 1;
+            driving_cell[o] = Some(id);
+        }
+    }
+    // PL0002: contended or inconsistent driver records, once per net.
+    for (id, net) in nl.nets() {
+        let i = id.index();
+        if driver_count[i] > 1 {
+            out.push(
+                Diagnostic::new(
+                    Lint::MultiDrivenNet,
+                    format!("net n{i} is driven by {} cells", driver_count[i]),
+                )
+                .with_net(id),
+            );
+        } else if driver_count[i] == 1 && net.driver() != Driver::Cell(driving_cell[i].unwrap()) {
+            out.push(
+                Diagnostic::new(
+                    Lint::MultiDrivenNet,
+                    format!(
+                        "net n{i} is driven by cell c{} but its driver record disagrees",
+                        driving_cell[i].unwrap().index()
+                    ),
+                )
+                .with_net(id),
+            );
+        }
+    }
+    // PL0003: a net whose record claims a cell driver that never materializes,
+    // reported when something actually reads it (a cell pin or a port).
+    let mut referenced = vec![false; num_nets];
+    for (_, cell) in nl.cells() {
+        for &inp in cell.inputs() {
+            if inp.index() < num_nets {
+                referenced[inp.index()] = true;
+            }
+        }
+    }
+    for p in nl.ports() {
+        for &b in p.bits() {
+            if b.index() < num_nets {
+                referenced[b.index()] = true;
+            }
+        }
+    }
+    for (id, net) in nl.nets() {
+        if let Driver::Cell(c) = net.driver() {
+            let dangling = c.index() >= nl.num_cells() || nl.cell(c).output() != id;
+            if dangling && driver_count[id.index()] == 0 && referenced[id.index()] {
+                out.push(
+                    Diagnostic::new(Lint::UndrivenNet, format!("net n{} is undriven", id.index()))
+                        .with_net(id),
+                );
+            }
+        }
+    }
+
+    out.extend(combinational_cycles(nl));
+    out
+}
+
+/// PL0001: one diagnostic per combinational strongly-connected component
+/// that is actually cyclic (size > 1, or a cell reading its own output),
+/// anchored to the lowest cell id in the component. Registers cut the graph,
+/// exactly as in [`pe_netlist::graph::topo_order`]; out-of-range pins are
+/// skipped (they are `PL0006` findings, not edges).
+fn combinational_cycles(nl: &Netlist) -> Vec<Diagnostic> {
+    let n = nl.num_cells();
+    let num_nets = nl.num_nets();
+    let mut is_comb = vec![false; n];
+    for (id, cell) in nl.cells() {
+        is_comb[id.index()] = !cell.kind().is_sequential();
+    }
+    // Edges comb-cell -> comb-cell through in-range nets.
+    let mut succ: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (id, cell) in nl.cells() {
+        if !is_comb[id.index()] {
+            continue;
+        }
+        for &inp in cell.inputs() {
+            if inp.index() >= num_nets {
+                continue;
+            }
+            if let Driver::Cell(src) = nl.net(inp).driver() {
+                if src.index() < n && is_comb[src.index()] {
+                    succ[src.index()].push(id.index() as u32);
+                }
+            }
+        }
+    }
+    // Iterative Tarjan SCC.
+    const UNSEEN: u32 = u32::MAX;
+    let mut index = vec![UNSEEN; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut sccs: Vec<Vec<u32>> = Vec::new();
+    // Explicit DFS frames: (node, next child position).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+    for start in 0..n {
+        if !is_comb[start] || index[start] != UNSEEN {
+            continue;
+        }
+        frames.push((start as u32, 0));
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start as u32);
+        on_stack[start] = true;
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            let vi = v as usize;
+            if *child < succ[vi].len() {
+                let w = succ[vi][*child] as usize;
+                *child += 1;
+                if index[w] == UNSEEN {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w as u32);
+                    on_stack[w] = true;
+                    frames.push((w as u32, 0));
+                } else if on_stack[w] {
+                    low[vi] = low[vi].min(index[w]);
+                }
+            } else {
+                if low[vi] == index[vi] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    let p = parent as usize;
+                    low[p] = low[p].min(low[vi]);
+                }
+            }
+        }
+    }
+    let ids: Vec<CellId> = nl.cells().map(|(id, _)| id).collect();
+    let mut out = Vec::new();
+    for comp in sccs {
+        let cyclic = comp.len() > 1 || succ[comp[0] as usize].contains(&comp[0]);
+        if cyclic {
+            let lowest = *comp.iter().min().expect("non-empty SCC");
+            out.push(
+                Diagnostic::new(
+                    Lint::CombinationalCycle,
+                    format!("combinational cycle through {} cell(s), e.g. c{}", comp.len(), lowest),
+                )
+                .with_cell(ids[lowest as usize]),
+            );
+        }
+    }
+    out.sort_by_key(|d| d.cell);
+    out
+}
+
+/// Reachability lints (`PL0101`–`PL0103`): dead cells via
+/// [`pe_netlist::graph::dead_cells`], unused primary inputs via fanout
+/// counts, and unobservable registers via a [`FanoutCones`] query closed
+/// over register feedback.
+///
+/// Assumes a structurally clean netlist (run [`structural`] first; the
+/// driver only calls this when no Error fired).
+#[must_use]
+pub fn reachability(nl: &Netlist) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // PL0101: dead cells (the graph pass excludes registers by contract).
+    for c in dead_cells(nl) {
+        out.push(
+            Diagnostic::new(
+                Lint::DeadCell,
+                format!(
+                    "cell c{} ({}) reaches no primary output or register",
+                    c.index(),
+                    nl.cell(c).kind().name()
+                ),
+            )
+            .with_cell(c)
+            .with_net(nl.cell(c).output()),
+        );
+    }
+    // PL0102: input port bits nothing reads.
+    let fanout = fanout_counts(nl);
+    let mut port_bit = vec![false; nl.num_nets()];
+    for p in nl.output_ports() {
+        for &b in p.bits() {
+            port_bit[b.index()] = true;
+        }
+    }
+    for p in nl.ports() {
+        if p.dir() != PortDir::Input {
+            continue;
+        }
+        for (i, &b) in p.bits().iter().enumerate() {
+            if fanout[b.index()] == 0 && !port_bit[b.index()] {
+                out.push(
+                    Diagnostic::new(
+                        Lint::UnusedInput,
+                        format!("input {}[{i}] is read by nothing", p.name()),
+                    )
+                    .with_net(b),
+                );
+            }
+        }
+    }
+    // PL0103: registers whose state cannot reach any output port. The cone
+    // query follows register feedback, so state observed only after further
+    // clocking still counts as observable.
+    let cones = FanoutCones::new(nl);
+    let seq: Vec<NetId> =
+        nl.cells().filter(|(_, c)| c.kind().is_sequential()).map(|(_, c)| c.output()).collect();
+    for q in seq {
+        if port_bit[q.index()] {
+            continue;
+        }
+        let cone = cones.cone(nl, &[q]);
+        let observable = nl.cells().any(|(id, c)| cone[id.index()] && port_bit[c.output().index()]);
+        if !observable {
+            let Driver::Cell(reg) = nl.net(q).driver() else {
+                continue;
+            };
+            out.push(
+                Diagnostic::new(
+                    Lint::UnobservableRegister,
+                    format!("register c{} state never reaches an output port", reg.index()),
+                )
+                .with_cell(reg)
+                .with_net(q),
+            );
+        }
+    }
+    out
+}

@@ -32,9 +32,6 @@
 //! assert!(acc > 0.8);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod linear;
 pub mod mlp;
 pub mod multiclass;

@@ -36,9 +36,6 @@
 //! nl.validate().unwrap();
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod build;
 pub mod dot;
 pub mod graph;

@@ -1,13 +1,21 @@
-//! Seeded random netlist generation for fuzz-style testing.
+//! Seeded random netlist generation and raw (unchecked) netlist
+//! construction for fuzz- and adversarial-style testing.
 //!
 //! Downstream crates (and this crate's own property tests) use
 //! [`random_netlist`] to throw arbitrary-but-valid designs at exporters,
 //! parsers, optimizers and simulators. The generator only produces legal
 //! structures (acyclic combinational cores, registered feedback, connected
 //! ports), so any failure in a consumer is a real bug.
+//!
+//! [`RawNetlistBuilder`] is the opposite tool: it assembles a [`Netlist`]
+//! with **no folding, CSE or invariant checking**, so validation and lint
+//! passes can be tested against deliberately broken structures (multi-driven
+//! nets, floating inputs, non-register combinational loops, dead cones) that
+//! the safe [`Builder`] makes unconstructable by design.
 
 use crate::build::Builder;
-use crate::netlist::{NetId, Netlist};
+use crate::kind::CellKind;
+use crate::netlist::{Cell, CellId, Driver, GroupId, Net, NetId, Netlist, Port, PortDir};
 
 /// Shape parameters for [`random_netlist`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +118,120 @@ pub fn random_netlist(spec: &RandomNetlistSpec, seed: u64) -> Netlist {
     b.finish()
 }
 
+/// Assembles a [`Netlist`] directly from nets, cells and ports with **no**
+/// invariant enforcement — the construction escape hatch for testing
+/// [`Netlist::validate`] and the `pe-lint` passes against pathological
+/// structures the folding [`Builder`] cannot produce.
+///
+/// Nothing here folds, shares or checks: a cell's output claim simply
+/// overwrites the net's driver (so two cells can contend for one net), nets
+/// can reference drivers that never materialize, and input pins can point at
+/// out-of-range net ids via [`RawNetlistBuilder::phantom_net`].
+#[derive(Debug)]
+pub struct RawNetlistBuilder {
+    name: String,
+    nets: Vec<Net>,
+    cells: Vec<Cell>,
+    ports: Vec<Port>,
+}
+
+impl RawNetlistBuilder {
+    /// An empty raw design holding only the two constant nets (net 0 =
+    /// const0, net 1 = const1), matching [`Builder`]'s layout.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        RawNetlistBuilder {
+            name: name.into(),
+            nets: vec![
+                Net { name: Some("const0".into()), driver: Driver::Const(false) },
+                Net { name: Some("const1".into()), driver: Driver::Const(true) },
+            ],
+            cells: Vec::new(),
+            ports: Vec::new(),
+        }
+    }
+
+    /// A fresh net with an explicit driver record — including dangling
+    /// claims like `Driver::Cell(c)` for a cell that drives something else
+    /// (an *undriven* net in validation terms).
+    pub fn net(&mut self, driver: Driver) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Net { name: None, driver });
+        id
+    }
+
+    /// A fresh primary-input net plus its scalar input port.
+    pub fn input(&mut self, name: impl Into<String>) -> NetId {
+        let name = name.into();
+        let id = self.net(Driver::Input);
+        self.nets[id.index()].name = Some(name.clone());
+        self.ports.push(Port { name, dir: PortDir::Input, bits: vec![id] });
+        id
+    }
+
+    /// A [`NetId`] with an arbitrary raw index — possibly out of range, for
+    /// floating-pin and dangling-port tests.
+    #[must_use]
+    pub fn phantom_net(&self, raw: u32) -> NetId {
+        NetId(raw)
+    }
+
+    /// Adds a cell with the given pins, claiming `output`'s driver record
+    /// (overwriting any previous claim — that is how multi-driven nets are
+    /// built). Pin counts and net ranges are deliberately unchecked.
+    pub fn cell(&mut self, kind: CellKind, inputs: &[NetId], output: NetId) -> CellId {
+        self.cell_with_init(kind, inputs, output, false)
+    }
+
+    /// [`RawNetlistBuilder::cell`] with an explicit power-on value for
+    /// sequential kinds.
+    pub fn cell_with_init(
+        &mut self,
+        kind: CellKind,
+        inputs: &[NetId],
+        output: NetId,
+        init: bool,
+    ) -> CellId {
+        let id = CellId(self.cells.len() as u32);
+        self.cells.push(Cell {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+            group: GroupId::DEFAULT,
+            init,
+        });
+        if output.index() < self.nets.len() {
+            self.nets[output.index()].driver = Driver::Cell(id);
+        }
+        id
+    }
+
+    /// Overwrites a net's driver record after the fact (e.g. to fabricate an
+    /// undriven net whose record points at a cell driving something else).
+    pub fn set_driver(&mut self, net: NetId, driver: Driver) {
+        self.nets[net.index()].driver = driver;
+    }
+
+    /// Declares a (possibly dangling) output port over the given bits.
+    pub fn output(&mut self, name: impl Into<String>, bits: &[NetId]) {
+        self.ports.push(Port { name: name.into(), dir: PortDir::Output, bits: bits.to_vec() });
+    }
+
+    /// The assembled netlist, exactly as specified — run
+    /// [`Netlist::validate`] or a lint pass to find out what is wrong
+    /// with it.
+    #[must_use]
+    pub fn finish(self) -> Netlist {
+        Netlist {
+            name: self.name,
+            nets: self.nets,
+            cells: self.cells,
+            ports: self.ports,
+            groups: vec!["top".into()],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +257,56 @@ mod tests {
         let c = random_netlist(&spec, 9);
         assert_eq!(a.num_cells(), c.num_cells());
         assert_eq!(a.num_nets(), c.num_nets());
+    }
+
+    #[test]
+    fn raw_builder_expresses_structures_validate_rejects() {
+        use crate::netlist::NetlistError;
+        // Multi-driven: two AND gates claiming one output net.
+        let mut rb = RawNetlistBuilder::new("multi");
+        let a = rb.input("a");
+        let b = rb.input("b");
+        let y = rb.net(Driver::Input);
+        rb.cell(CellKind::And2, &[a, b], y);
+        rb.cell(CellKind::Or2, &[a, b], y);
+        rb.output("y", &[y]);
+        let nl = rb.finish();
+        assert!(matches!(nl.validate(), Err(NetlistError::MultipleDrivers(n)) if n == y));
+
+        // Non-register combinational loop: two inverters feeding each other.
+        let mut rb = RawNetlistBuilder::new("loop");
+        let n1 = rb.net(Driver::Input);
+        let n2 = rb.net(Driver::Input);
+        rb.cell(CellKind::Inv, &[n2], n1);
+        rb.cell(CellKind::Inv, &[n1], n2);
+        rb.output("o", &[n1]);
+        let nl = rb.finish();
+        assert!(matches!(nl.validate(), Err(NetlistError::CombinationalCycle(_))));
+
+        // Undriven: a net claiming a cell that actually drives another net.
+        let mut rb = RawNetlistBuilder::new("undriven");
+        let a = rb.input("a");
+        let y = rb.net(Driver::Input);
+        let c = rb.cell(CellKind::Inv, &[a], y);
+        let ghost = rb.net(Driver::Cell(c));
+        let z = rb.net(Driver::Input);
+        rb.cell(CellKind::Inv, &[ghost], z);
+        rb.output("z", &[z]);
+        let nl = rb.finish();
+        assert!(matches!(nl.validate(), Err(NetlistError::Undriven(n)) if n == ghost));
+    }
+
+    #[test]
+    fn raw_builder_can_build_clean_netlists_too() {
+        let mut rb = RawNetlistBuilder::new("clean");
+        let a = rb.input("a");
+        let b = rb.input("b");
+        let y = rb.net(Driver::Input);
+        rb.cell(CellKind::Xor2, &[a, b], y);
+        rb.output("y", &[y]);
+        let nl = rb.finish();
+        nl.validate().unwrap();
+        assert_eq!(nl.num_cells(), 1);
     }
 
     #[test]

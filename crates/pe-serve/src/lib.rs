@@ -48,9 +48,6 @@
 //! println!("class {class}; {}", service.metrics());
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod metrics;
 pub mod protocol;
 pub mod registry;

@@ -10,6 +10,13 @@
 //! `pe_core::engine`'s model cache, which keeps concurrent first requests
 //! for the *same* key serialized while distinct keys train in parallel —
 //! and hands out [`Arc`]s that workers hold for the lifetime of a batch.
+//!
+//! Admission is gated on static analysis: every netlist is linted
+//! ([`pe_lint::lint_netlist`]) before it is scheduled, and a netlist
+//! carrying any Error-severity diagnostic (combinational cycle,
+//! multi-driven net, …) is refused — [`ModelRegistry::try_get`] returns the
+//! [`LintReport`] instead of an entry, and the refusal is memoized like a
+//! success so a broken generator cannot retrain on every request.
 
 use pe_core::engine::{parallel_map, ProgressSink};
 use pe_core::pipeline::{
@@ -17,6 +24,7 @@ use pe_core::pipeline::{
 };
 use pe_core::styles::DesignStyle;
 use pe_data::UciProfile;
+use pe_lint::{lint_netlist, LintReport};
 use pe_sim::{LaneWidth, Schedule, Simulator};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -146,18 +154,36 @@ pub struct ModelEntry {
     pub lane_width: LaneWidth,
 }
 
+/// Statically lints a netlist at admission time.
+///
+/// # Errors
+///
+/// Returns the full [`LintReport`] when the netlist carries any
+/// Error-severity diagnostic — such a design must not be scheduled, let
+/// alone served. Warn/Info diagnostics (dead cells, constant outputs) are
+/// admission-clean: the generated Table-I designs legitimately carry them.
+pub fn admit_netlist(nl: &pe_netlist::Netlist) -> Result<(), LintReport> {
+    let report = lint_netlist(nl);
+    if report.has_errors() {
+        Err(report)
+    } else {
+        Ok(())
+    }
+}
+
 impl ModelEntry {
-    fn build(key: ModelKey, opts: &RunOptions) -> Self {
+    fn build(key: ModelKey, opts: &RunOptions) -> Result<Self, LintReport> {
         let prepared = prepare_model(key.profile, key.style, opts);
         let netlist = build_netlist(key.style, &prepared);
-        let schedule = Schedule::new(&netlist).expect("generated designs are acyclic");
+        admit_netlist(&netlist)?;
+        let schedule = Schedule::new(&netlist).expect("linted designs are acyclic");
         let cycles_per_vector = if key.style == DesignStyle::SequentialSvm {
             cycles_per_inference(key.style, &prepared)
         } else {
             0
         };
         let lane_width = opts.lane_width.unwrap_or_else(|| LaneWidth::auto_for_netlist(&netlist));
-        ModelEntry { key, prepared, netlist, schedule, cycles_per_vector, lane_width }
+        Ok(ModelEntry { key, prepared, netlist, schedule, cycles_per_vector, lane_width })
     }
 
     /// A fresh gate-level simulator over this entry's netlist, constructed
@@ -211,9 +237,13 @@ impl ModelEntry {
 #[derive(Debug)]
 pub struct ModelRegistry {
     opts: RunOptions,
-    entries: Mutex<HashMap<ModelKey, Arc<OnceLock<Arc<ModelEntry>>>>>,
+    entries: Mutex<HashMap<ModelKey, Arc<OnceLock<AdmitResult>>>>,
     trainings: AtomicUsize,
 }
+
+/// What one admission attempt produced: a servable entry, or the lint
+/// report that refused it. Memoized either way.
+type AdmitResult = Result<Arc<ModelEntry>, Arc<LintReport>>;
 
 impl ModelRegistry {
     /// A registry preparing models under the given pipeline options.
@@ -228,19 +258,38 @@ impl ModelRegistry {
         &self.opts
     }
 
-    /// The entry for `key`, training and elaborating it on first request.
-    #[must_use]
-    pub fn get(&self, key: ModelKey) -> Arc<ModelEntry> {
+    /// The entry for `key`, training, elaborating and linting it on first
+    /// request.
+    ///
+    /// # Errors
+    ///
+    /// Returns the memoized [`LintReport`] when the elaborated netlist was
+    /// refused admission (Error-severity diagnostics).
+    pub fn try_get(&self, key: ModelKey) -> AdmitResult {
         let slot = {
             let mut map = self.entries.lock().expect("registry poisoned");
             Arc::clone(map.entry(key).or_default())
         };
         // Build outside the map lock; OnceLock serializes per key so other
         // keys keep building in parallel.
-        Arc::clone(slot.get_or_init(|| {
+        slot.get_or_init(|| {
             self.trainings.fetch_add(1, Ordering::Relaxed);
-            Arc::new(ModelEntry::build(key, &self.opts))
-        }))
+            ModelEntry::build(key, &self.opts).map(Arc::new).map_err(Arc::new)
+        })
+        .clone()
+    }
+
+    /// [`ModelRegistry::try_get`] for callers that treat refusal as fatal.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the lint report when the model was refused admission —
+    /// the generated Table-I designs always admit, so serving binaries use
+    /// this directly.
+    #[must_use]
+    pub fn get(&self, key: ModelKey) -> Arc<ModelEntry> {
+        self.try_get(key)
+            .unwrap_or_else(|report| panic!("model {} refused admission:\n{report}", key.token()))
     }
 
     /// Pre-builds the entries for `keys` on `threads` workers, narrating
@@ -304,6 +353,29 @@ mod tests {
         let mut sim = a.simulator();
         let r = sim.run_batch(&[x_q], a.cycles_per_vector, "class");
         assert_eq!(r.outputs[0] as usize, class, "gate level must match the golden model");
+    }
+
+    #[test]
+    fn admission_accepts_table1_designs_and_refuses_broken_netlists() {
+        use pe_netlist::testing::RawNetlistBuilder;
+        use pe_netlist::{CellKind, Driver};
+
+        // A representative grid cell admits (Warn-severity diagnostics like
+        // dead cells are fine; Errors are not).
+        let reg = ModelRegistry::new(RunOptions::default());
+        let key = ModelKey::new(UciProfile::Cardio, DesignStyle::ParallelSvm);
+        assert!(reg.try_get(key).is_ok());
+
+        // A multi-driven net is an Error: the netlist must be refused.
+        let mut rb = RawNetlistBuilder::new("contended");
+        let x = rb.input("x0");
+        let n = rb.net(Driver::Input);
+        rb.cell(CellKind::Inv, &[x], n);
+        rb.cell(CellKind::Buf, &[x], n);
+        rb.output("o0", &[n]);
+        let broken = rb.finish();
+        let report = admit_netlist(&broken).expect_err("multi-driven nets must be refused");
+        assert!(report.has_errors());
     }
 
     #[test]

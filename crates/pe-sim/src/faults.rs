@@ -35,7 +35,7 @@
 //! * [`oracle`] — the original flow: a freshly scheduled [`FaultySimulator`]
 //!   per site, one pattern at a time.
 
-use crate::bitslice::{lane_mask_wide, popcount_wide, BitSlicedSimulator, LaneWidth, LANES};
+use crate::bitslice::{lane_mask_wide, BitSlicedSimulator, LaneWidth, LANES};
 use crate::sim::Simulator;
 use pe_netlist::graph::FanoutCones;
 use pe_netlist::{Driver, NetId, Netlist, NetlistError};
@@ -350,6 +350,26 @@ fn fault_campaign_ppsfp_w<const W: usize>(
     mode: ConeMode,
     profile: Option<&dyn SimProfile>,
 ) -> Result<(FaultReport, ConeStats), NetlistError> {
+    let (verdicts, stats) = fault_campaign_ppsfp_verdicts_w::<W>(
+        nl, faults, workload, out_port, cycles, mode, profile,
+    )?;
+    let critical = verdicts.iter().filter(|&&v| v).count();
+    Ok((FaultReport { critical, benign: faults.len() - critical, total: faults.len() }, stats))
+}
+
+/// The per-site form of the PPSFP frame: `verdicts[i]` is true iff pinning
+/// `faults[i]` diverged the observed port on some workload entry. The
+/// aggregate campaigns fold this into a [`FaultReport`]; the collapsed
+/// campaigns ([`crate::collapse`]) expand it back over equivalence classes.
+fn fault_campaign_ppsfp_verdicts_w<const W: usize>(
+    nl: &Netlist,
+    faults: &[FaultSite],
+    workload: &[Vec<(String, i64)>],
+    out_port: &str,
+    cycles: Option<u64>,
+    mode: ConeMode,
+    profile: Option<&dyn SimProfile>,
+) -> Result<(Vec<bool>, ConeStats), NetlistError> {
     let mut sim = BitSlicedSimulator::<'_, W>::new(nl)?;
     let golden = match cycles {
         None => sim.run_workload_comb(workload, out_port),
@@ -366,7 +386,7 @@ fn fault_campaign_ppsfp_w<const W: usize>(
         None
     };
     let mut stats = ConeStats::default();
-    let mut critical = 0usize;
+    let mut verdicts = Vec::with_capacity(faults.len());
     for chunk in faults.chunks(LANES * W) {
         stats.chunks += 1;
         let evals_before = sim.cell_evals();
@@ -401,7 +421,9 @@ fn fault_campaign_ppsfp_w<const W: usize>(
                 (d, false)
             }
         };
-        critical += popcount_wide(&diverged) as usize;
+        for l in 0..chunk.len() {
+            verdicts.push(diverged[l / 64] >> (l % 64) & 1 == 1);
+        }
         for f in chunk {
             sim.release_net(f.net);
         }
@@ -416,7 +438,33 @@ fn fault_campaign_ppsfp_w<const W: usize>(
         }
     }
     stats.cell_evals = sim.cell_evals();
-    Ok((FaultReport { critical, benign: faults.len() - critical, total: faults.len() }, stats))
+    Ok((verdicts, stats))
+}
+
+/// Width-dispatched per-site PPSFP verdicts for the collapsed campaigns.
+pub(crate) fn ppsfp_verdicts(
+    nl: &Netlist,
+    faults: &[FaultSite],
+    workload: &[Vec<(String, i64)>],
+    out_port: &str,
+    cycles: Option<u64>,
+    width: LaneWidth,
+    mode: ConeMode,
+) -> Result<(Vec<bool>, ConeStats), NetlistError> {
+    match width {
+        LaneWidth::W1 => {
+            fault_campaign_ppsfp_verdicts_w::<1>(nl, faults, workload, out_port, cycles, mode, None)
+        }
+        LaneWidth::W2 => {
+            fault_campaign_ppsfp_verdicts_w::<2>(nl, faults, workload, out_port, cycles, mode, None)
+        }
+        LaneWidth::W4 => {
+            fault_campaign_ppsfp_verdicts_w::<4>(nl, faults, workload, out_port, cycles, mode, None)
+        }
+        LaneWidth::W8 => {
+            fault_campaign_ppsfp_verdicts_w::<8>(nl, faults, workload, out_port, cycles, mode, None)
+        }
+    }
 }
 
 /// PPSFP fault campaign on a **combinational** design at an explicit

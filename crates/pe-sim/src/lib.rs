@@ -45,16 +45,17 @@
 //! assert_eq!(sim.output_unsigned("carry"), 1);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod activity;
 pub mod bitslice;
+pub mod collapse;
 pub mod faults;
 pub mod sim;
 pub mod vcd;
 
 pub use activity::{ActivityReport, ToggleCounters};
 pub use bitslice::{BitSlicedSimulator, LaneWidth};
+pub use collapse::{
+    fault_campaign_comb_ppsfp_collapsed, fault_campaign_seq_ppsfp_collapsed, CollapseStats,
+};
 pub use faults::{ConeMode, ConeStats, FaultReport, FaultSite, FaultySimulator};
 pub use sim::{BatchMode, BatchResult, Schedule, Simulator};

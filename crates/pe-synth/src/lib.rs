@@ -31,9 +31,6 @@
 //! assert!(nl.num_cells() > 0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod adder;
 pub mod area;
 pub mod cmp;

@@ -17,6 +17,7 @@
 //! | data | [`data`] | UCI-shaped synthetic datasets, CSV, splits, metrics |
 //! | learning | [`ml`] | linear SVMs (OvR/OvO), MLPs, integer-exact quantized models |
 //! | circuits | [`netlist`] | gate-level IR, folding builder, Verilog export |
+//! | static analysis | [`lint`] | structural lints, constant propagation, fault collapsing |
 //! | PDK | [`cells`] | EGFET cell library, tech params, printed batteries |
 //! | EDA flow | [`synth`] | datapath generators, STA, area, power |
 //! | simulation | [`sim`] | cycle-based gate-level simulator, activity |
@@ -50,13 +51,11 @@
 //! println!("{}", table.to_markdown());
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub use pe_cells as cells;
 pub use pe_core as core;
 pub use pe_data as data;
 pub use pe_fixed as fixed;
+pub use pe_lint as lint;
 pub use pe_ml as ml;
 pub use pe_netlist as netlist;
 pub use pe_obs as obs;
@@ -75,6 +74,7 @@ pub mod prelude {
     pub use pe_core::report::{paper_table1, DesignReport, Table1};
     pub use pe_core::styles::DesignStyle;
     pub use pe_data::{train_test_split, Dataset, Normalizer, UciProfile};
+    pub use pe_lint::{collapse_fault_sites, lint_netlist, Lint, LintReport, Severity};
     pub use pe_ml::linear::SvmTrainParams;
     pub use pe_ml::multiclass::{MulticlassScheme, SvmModel};
     pub use pe_ml::{QuantizedMlp, QuantizedSvm};
