@@ -25,9 +25,18 @@
 //! * **TCP** (`--tcp ADDR`): hammers a running `pe-serve` binary over the
 //!   wire protocol with `--conns` concurrent connections, checks every
 //!   reply, **scrapes the `metrics` exposition mid-run** (failing unless
-//!   the per-model series are present and non-zero), then reads `stats`
-//!   and **fails if the server saw any verify mismatches**. `--shutdown`
-//!   asks the server to drain and exit at the end (the CI smoke flow).
+//!   the per-model series — and the front end's `pe_conn_*` connection
+//!   gauges — are present and non-zero), then reads `stats` and **fails if
+//!   the server saw any verify mismatches**. `--shutdown` asks the server
+//!   to drain and exit at the end (the CI smoke flow).
+//! * **Open-loop TCP** (`--tcp ADDR --open`): one nonblocking client
+//!   event loop multiplexing `--conns` concurrent connections (thousands —
+//!   the 10k-connection acceptance run), pipelining every request up front
+//!   so arrivals never wait on replies. Per-request latency is measured
+//!   from last-byte-written to reply-line-read, the p50/p99 land in
+//!   `BENCH_serve.json` (`open_*` fields), and **any** protocol error —
+//!   a non-`ok` reply, an early server EOF, an unsolicited reply — fails
+//!   the run.
 //!
 //! In-process modes serve real held-out test samples; TCP mode generates
 //! uniform `[0,1)` feature vectors (integer-vs-gate equivalence holds for
@@ -58,6 +67,7 @@ struct Args {
     expect_ratio: Option<f64>,
     tcp: Option<String>,
     conns: usize,
+    open: bool,
     shutdown: bool,
     sample_ms: u64,
 }
@@ -80,6 +90,7 @@ fn parse_args() -> Result<Args, String> {
         expect_ratio: None,
         tcp: None,
         conns: 16,
+        open: false,
         shutdown: false,
         sample_ms: 500,
     };
@@ -111,6 +122,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--tcp" => args.tcp = Some(value("--tcp")?),
             "--conns" => args.conns = value("--conns")?.parse().map_err(|_| "bad --conns")?,
+            "--open" => args.open = true,
             "--shutdown" => args.shutdown = true,
             "--sample-ms" => {
                 args.sample_ms = value("--sample-ms")?.parse().map_err(|_| "bad --sample-ms")?;
@@ -317,53 +329,86 @@ fn run_ratio(registry: &Arc<ModelRegistry>, args: &Args) -> f64 {
         let (rps_ev, m_ev) =
             saturation_rps(registry, args.key, base.clone(), &xs_low, injectors, None);
         assert_eq!(m_full.verify_mismatches + m_ev.verify_mismatches, 0, "verify must never fire");
+        let gain_pct = (rps_ev / rps_full - 1.0) * 100.0;
         println!(
             "  low-activity (repeated request): {rps_ev:.0} req/s event-driven vs {rps_full:.0} \
-             full-sweep ({:+.1}%)",
-            (rps_ev / rps_full - 1.0) * 100.0
+             full-sweep ({gain_pct:+.1}%)"
         );
+        record_bench(&[
+            ("events_low_activity_rps", format!("{rps_ev:.0}")),
+            ("dense_low_activity_rps", format!("{rps_full:.0}")),
+            ("events_gain_pct", format!("{gain_pct:.2}")),
+        ]);
     }
 
     // Machine-readable record for the acceptance gates and the README.
-    let json = format!(
-        "{{\n  \"workload\": \"{} @ {:?} mode, {} requests, batch_max {}, saturation\",\n  \
-         \"coalesced_rps\": {:.0},\n  \"single_rps\": {:.0},\n  \"batching_speedup\": {:.2},\n  \
-         \"coalesced_p99_us\": {:.1},\n  \"single_p99_us\": {:.1},\n  \
-         \"coalesced_queue_p50_us\": {:.1},\n  \"coalesced_queue_p99_us\": {:.1},\n  \
-         \"coalesced_service_p50_us\": {:.1},\n  \"coalesced_service_p99_us\": {:.1},\n  \
-         \"batch_fill\": {:.3},\n  \"lane_width_words\": {},\n  \"lane_fill\": {:.3},\n  \
-         \"sweeps\": {},\n  \
-         \"instrumented_rps\": {:.0},\n  \"bare_rps\": {:.0},\n  \
-         \"obs_overhead_pct\": {:.2}\n}}\n",
-        args.key.token(),
-        args.mode,
-        args.requests,
-        args.batch_max,
-        rps_b,
-        rps_s,
-        ratio,
-        m_b.p99.as_secs_f64() * 1e6,
-        m_s.p99.as_secs_f64() * 1e6,
-        us(m_b.queue_p50),
-        us(m_b.queue_p99),
-        us(m_b.service_p50),
-        us(m_b.service_p99),
-        m_b.batch_fill,
-        m_b.lane_width,
-        m_b.lane_fill,
-        m_b.sweeps,
-        rps_obs,
-        rps_bare,
-        obs_overhead_pct,
-    );
+    record_bench(&[
+        (
+            "workload",
+            format!(
+                "\"{} @ {:?} mode, {} requests, batch_max {}, saturation\"",
+                args.key.token(),
+                args.mode,
+                args.requests,
+                args.batch_max
+            ),
+        ),
+        ("coalesced_rps", format!("{rps_b:.0}")),
+        ("single_rps", format!("{rps_s:.0}")),
+        ("batching_speedup", format!("{ratio:.2}")),
+        ("coalesced_p99_us", format!("{:.1}", m_b.p99.as_secs_f64() * 1e6)),
+        ("single_p99_us", format!("{:.1}", m_s.p99.as_secs_f64() * 1e6)),
+        ("coalesced_queue_p50_us", format!("{:.1}", us(m_b.queue_p50))),
+        ("coalesced_queue_p99_us", format!("{:.1}", us(m_b.queue_p99))),
+        ("coalesced_service_p50_us", format!("{:.1}", us(m_b.service_p50))),
+        ("coalesced_service_p99_us", format!("{:.1}", us(m_b.service_p99))),
+        ("batch_fill", format!("{:.3}", m_b.batch_fill)),
+        ("lane_width_words", format!("{}", m_b.lane_width)),
+        ("lane_fill", format!("{:.3}", m_b.lane_fill)),
+        ("sweeps", format!("{}", m_b.sweeps)),
+        ("instrumented_rps", format!("{rps_obs:.0}")),
+        ("bare_rps", format!("{rps_bare:.0}")),
+        ("obs_overhead_pct", format!("{obs_overhead_pct:.2}")),
+    ]);
+    ratio
+}
+
+/// Merges `fields` into `BENCH_serve.json` at the workspace root, keeping
+/// any flat keys other runs wrote (the ratio run and the open-loop run
+/// update disjoint key sets of the same record). Values are raw JSON
+/// fragments (numbers, or pre-quoted strings).
+fn record_bench(fields: &[(&str, String)]) {
     // Anchor to the workspace root: cargo runs bin targets with varying cwd.
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
-    if let Err(e) = std::fs::write(out, &json) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let mut entries: Vec<(String, String)> = Vec::new();
+    if let Ok(text) = std::fs::read_to_string(path) {
+        for line in text.lines() {
+            let t = line.trim().trim_end_matches(',');
+            if let Some((k, v)) = t.split_once(':') {
+                let k = k.trim().trim_matches('"');
+                if !k.is_empty() && !v.trim().is_empty() {
+                    entries.push((k.to_owned(), v.trim().to_owned()));
+                }
+            }
+        }
+    }
+    for (k, v) in fields {
+        match entries.iter_mut().find(|(ek, _)| ek == k) {
+            Some(e) => e.1.clone_from(v),
+            None => entries.push(((*k).to_owned(), v.clone())),
+        }
+    }
+    let mut json = String::from("{\n");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        let sep = if i + 1 < entries.len() { "," } else { "" };
+        json.push_str(&format!("  \"{k}\": {v}{sep}\n"));
+    }
+    json.push_str("}\n");
+    if let Err(e) = std::fs::write(path, &json) {
         eprintln!("loadgen: cannot write BENCH_serve.json: {e}");
     } else {
         println!("  wrote BENCH_serve.json");
     }
-    ratio
 }
 
 /// Open-loop arrival sweep: rates × deadlines, one fresh service per cell.
@@ -423,11 +468,19 @@ fn run_sweep(registry: &Arc<ModelRegistry>, args: &Args) {
     }
 }
 
+/// What a mid-run `metrics` scrape saw (the front-end gauges feed the
+/// open-loop acceptance record).
+struct Scrape {
+    conn_open: f64,
+    conn_open_peak: f64,
+}
+
 /// Scrapes the `metrics` exposition from a running server (reading to the
-/// `# EOF` sentinel) and fails unless the per-model series for `key` are
-/// present and non-zero — the CI smoke assertion that the observability
+/// `# EOF` sentinel) and fails unless the per-model series for `key` — and
+/// the non-blocking front end's `pe_conn_*`/`pe_poll_*` gauges — are
+/// present and non-zero: the CI smoke assertion that the observability
 /// plumbing is actually live, not just parseable.
-fn scrape_metrics(addr: &str, key: ModelKey) -> Result<(), String> {
+fn scrape_metrics(addr: &str, key: ModelKey) -> Result<Scrape, String> {
     // Let the classify connections land some traffic first, so the scrape
     // reads a genuinely mid-run exposition rather than a cold server.
     std::thread::sleep(Duration::from_millis(200));
@@ -460,11 +513,246 @@ fn scrape_metrics(addr: &str, key: ModelKey) -> Result<(), String> {
             return Err(format!("mid-run {name}{{model=\"{model}\"}} is {v}, expected non-zero"));
         }
     }
+    // Unlabeled front-end series: at minimum this scrape's own connection
+    // is open, and the event loop has made passes.
+    let plain = |name: &str| -> Option<f64> {
+        let prefix = format!("{name} ");
+        text.lines().find_map(|l| l.strip_prefix(&prefix)).and_then(|v| v.parse().ok())
+    };
+    for name in ["pe_conn_open", "pe_conn_accepted_total", "pe_poll_passes_total"] {
+        let v = plain(name).ok_or_else(|| format!("metrics exposition missing {name}"))?;
+        if v <= 0.0 {
+            return Err(format!("mid-run {name} is {v}, expected non-zero"));
+        }
+    }
     println!(
-        "tcp: mid-run metrics scrape ok ({} series; {:.0} served so far)",
+        "tcp: mid-run metrics scrape ok ({} series; {:.0} served so far, {:.0} conns open, \
+         peak {:.0})",
         text.lines().filter(|l| !l.starts_with('#')).count(),
         series_value("pe_served_total").unwrap_or(0.0),
+        plain("pe_conn_open").unwrap_or(0.0),
+        plain("pe_conn_open_peak").unwrap_or(0.0),
     );
+    Ok(Scrape {
+        conn_open: plain("pe_conn_open").unwrap_or(0.0),
+        conn_open_peak: plain("pe_conn_open_peak").unwrap_or(0.0),
+    })
+}
+
+/// One connection of the open-loop client: pre-rendered pipelined request
+/// bytes, send timestamps per line, and a reply parse buffer.
+struct OpenConn {
+    stream: TcpStream,
+    out: Vec<u8>,
+    opos: usize,
+    /// End offset in `out` of each not-yet-fully-written request line.
+    line_ends: std::collections::VecDeque<usize>,
+    /// Flush timestamp of each written-but-unanswered request.
+    sent_at: std::collections::VecDeque<Instant>,
+    rbuf: Vec<u8>,
+    replies_due: usize,
+    eof: bool,
+}
+
+/// Open-loop TCP mode: one nonblocking event loop multiplexing
+/// `args.conns` concurrent connections (the high-connection acceptance
+/// run). Every request is pipelined up front — arrivals never wait on
+/// replies — and per-request latency runs from last-byte-flushed to
+/// reply-line-parsed. Any protocol error fails the run; the mid-run scrape
+/// must see the front end's connection gauges at the expected level.
+fn run_open_tcp(addr: &str, args: &Args) -> Result<(), String> {
+    use std::io::{ErrorKind, Read};
+    let n_features = args.key.profile.spec().n_features;
+    let mut rng = StdRng::seed_from_u64(0x0bea10ad);
+    let per_conn = (args.requests / args.conns).max(1);
+    let total = per_conn * args.conns;
+    println!(
+        "tcp open-loop: {} connections x {per_conn} pipelined request(s) = {total} total",
+        args.conns
+    );
+    let t_ramp = Instant::now();
+    let mut conns: Vec<OpenConn> = Vec::with_capacity(args.conns);
+    for c in 0..args.conns {
+        let mut attempt = 0;
+        let stream = loop {
+            match TcpStream::connect(addr) {
+                Ok(s) => break s,
+                Err(e) => {
+                    // Transient refusals happen when the listener backlog
+                    // overflows during the ramp; retry with a pause.
+                    attempt += 1;
+                    if attempt > 50 {
+                        return Err(format!("connect {c}/{}: {e}", args.conns));
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        };
+        stream.set_nonblocking(true).map_err(|e| format!("nonblocking: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        let mut out = Vec::new();
+        let mut line_ends = std::collections::VecDeque::new();
+        for _ in 0..per_conn {
+            let x: Vec<f64> = (0..n_features).map(|_| rng.gen::<f64>()).collect();
+            out.extend_from_slice(pe_serve::protocol::format_classify(args.key, &x).as_bytes());
+            out.push(b'\n');
+            line_ends.push_back(out.len());
+        }
+        conns.push(OpenConn {
+            stream,
+            out,
+            opos: 0,
+            line_ends,
+            sent_at: std::collections::VecDeque::new(),
+            rbuf: Vec::new(),
+            replies_due: per_conn,
+            eof: false,
+        });
+    }
+    println!("tcp open-loop: ramp complete in {:.2}s", t_ramp.elapsed().as_secs_f64());
+
+    let scrape = std::thread::spawn({
+        let addr = addr.to_owned();
+        let key = args.key;
+        move || scrape_metrics(&addr, key)
+    });
+    let hist = pe_obs::Histogram::new();
+    let mut errors = 0usize;
+    let mut replies = 0usize;
+    let t0 = Instant::now();
+    let deadline = t0 + Duration::from_secs(120 + total as u64 / 1_000);
+    let mut idle_pause = Duration::from_micros(50);
+    while replies + errors < total {
+        if Instant::now() > deadline {
+            return Err(format!(
+                "open-loop timed out: {replies}/{total} replies after {:.1}s",
+                t0.elapsed().as_secs_f64()
+            ));
+        }
+        let mut progressed = false;
+        for conn in &mut conns {
+            if conn.replies_due == 0 {
+                continue;
+            }
+            while conn.opos < conn.out.len() {
+                match conn.stream.write(&conn.out[conn.opos..]) {
+                    Ok(0) => {
+                        conn.eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.opos += n;
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(e) => return Err(format!("send: {e}")),
+                }
+            }
+            let now = Instant::now();
+            while conn.line_ends.front().is_some_and(|&end| end <= conn.opos) {
+                conn.line_ends.pop_front();
+                conn.sent_at.push_back(now);
+            }
+            let mut buf = [0u8; 4096];
+            loop {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        conn.eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.rbuf.extend_from_slice(&buf[..n]);
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(e) => return Err(format!("recv: {e}")),
+                }
+            }
+            while let Some(i) = conn.rbuf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = conn.rbuf.drain(..=i).collect();
+                let Some(sent) = conn.sent_at.pop_front() else {
+                    errors += 1; // unsolicited reply
+                    continue;
+                };
+                conn.replies_due -= 1;
+                if line.starts_with(b"ok ") {
+                    replies += 1;
+                    hist.record(sent.elapsed());
+                } else {
+                    errors += 1;
+                }
+            }
+            if conn.eof && conn.replies_due > 0 {
+                return Err(format!(
+                    "server EOF with {} replies outstanding on one connection",
+                    conn.replies_due
+                ));
+            }
+        }
+        if progressed {
+            idle_pause = Duration::from_micros(50);
+        } else {
+            std::thread::sleep(idle_pause);
+            idle_pause = (idle_pause * 2).min(Duration::from_millis(2));
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    // Keep every connection open until the delayed scrape has looked at the
+    // server's gauges — dropping them first would deflate `pe_conn_open`.
+    let scrape = scrape.join().expect("metrics scrape thread panicked")?;
+    drop(conns);
+    if errors > 0 {
+        return Err(format!("{errors} protocol error(s) across {total} open-loop requests"));
+    }
+    if scrape.conn_open < args.conns as f64 {
+        return Err(format!(
+            "mid-run pe_conn_open {} below the {} connections this client held open",
+            scrape.conn_open, args.conns
+        ));
+    }
+    let snap = hist.snapshot();
+    let us = |d: Duration| d.as_secs_f64() * 1e6;
+    let (p50, p99) = (us(snap.quantile(0.5)), us(snap.quantile(0.99)));
+    println!(
+        "tcp open-loop: {replies} ok replies over {} conns in {dt:.2}s ({:.0} req/s), \
+         latency p50 {p50:.0} µs p99 {p99:.0} µs, 0 protocol errors",
+        args.conns,
+        replies as f64 / dt
+    );
+    record_bench(&[
+        ("open_conns", format!("{}", args.conns)),
+        ("open_requests", format!("{total}")),
+        ("open_rps", format!("{:.0}", replies as f64 / dt)),
+        ("open_p50_us", format!("{p50:.1}")),
+        ("open_p99_us", format!("{p99:.1}")),
+        ("open_errors", format!("{errors}")),
+        ("open_conn_open_peak", format!("{:.0}", scrape.conn_open_peak)),
+    ]);
+
+    // One control connection: stats, then optionally shutdown.
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+    let mut writer = stream;
+    writeln!(writer, "stats").map_err(|e| format!("send: {e}"))?;
+    let mut stats = String::new();
+    reader.read_line(&mut stats).map_err(|e| format!("recv: {e}"))?;
+    println!("{}", stats.trim_end());
+    let mismatches = MetricsSnapshot::field(&stats, "mismatches")
+        .ok_or_else(|| format!("stats reply unparsable: {stats:?}"))?;
+    if mismatches != 0.0 {
+        return Err(format!("server reported {mismatches} verify mismatches"));
+    }
+    if args.shutdown {
+        writeln!(writer, "shutdown").map_err(|e| format!("send: {e}"))?;
+        let mut bye = String::new();
+        reader.read_line(&mut bye).map_err(|e| format!("recv: {e}"))?;
+        if bye.trim_end() != "bye" {
+            return Err(format!("unexpected shutdown reply {:?}", bye.trim_end()));
+        }
+        println!("tcp: server acknowledged shutdown");
+    }
     Ok(())
 }
 
@@ -509,7 +797,7 @@ fn run_tcp(addr: &str, args: &Args) -> Result<(), String> {
             .collect();
         let mut results: Vec<Result<usize, String>> =
             handles.into_iter().map(|h| h.join().expect("connection thread panicked")).collect();
-        results.push(scrape.join().expect("metrics scrape thread panicked").map(|()| 0));
+        results.push(scrape.join().expect("metrics scrape thread panicked").map(|_| 0));
         results
     });
     let dt = t0.elapsed().as_secs_f64();
@@ -557,7 +845,8 @@ fn main() -> ExitCode {
         }
     };
     if let Some(addr) = &args.tcp {
-        return match run_tcp(addr, &args) {
+        let res = if args.open { run_open_tcp(addr, &args) } else { run_tcp(addr, &args) };
+        return match res {
             Ok(()) => ExitCode::SUCCESS,
             Err(msg) => {
                 eprintln!("loadgen: {msg}");

@@ -67,6 +67,74 @@ impl Counter {
     }
 }
 
+/// A lock-free **gauge**: a level that moves both ways (open connections,
+/// readiness-queue depth, parked requests), where [`Counter`] only ever
+/// grows. `add`/`sub` pair around a resource's lifetime; `peak` remembers
+/// the high-water mark so a scrape between bursts still shows how high the
+/// level got.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    level: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Raises the level by `n` and updates the high-water mark.
+    pub fn add(&self, n: u64) {
+        let now = self.level.fetch_add(n, Ordering::Relaxed) + n;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Raises the level by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Lowers the level by `n`, saturating at zero (a stray extra `sub`
+    /// must not wrap the gauge to 2^64).
+    pub fn sub(&self, n: u64) {
+        let mut cur = self.level.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self.level.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Lowers the level by one.
+    pub fn dec(&self) {
+        self.sub(1);
+    }
+
+    /// Sets the level outright (for sampled gauges like queue depth) and
+    /// updates the high-water mark.
+    pub fn set(&self, n: u64) {
+        self.level.store(n, Ordering::Relaxed);
+        self.peak.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.level.load(Ordering::Relaxed)
+    }
+
+    /// The highest level ever observed.
+    #[must_use]
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
 /// A lock-free histogram over power-of-two nanosecond buckets.
 #[derive(Debug)]
 pub struct Histogram {
@@ -287,5 +355,25 @@ mod tests {
         c.inc();
         c.add(9);
         assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn gauges_move_both_ways_and_remember_their_peak() {
+        let g = Gauge::new();
+        g.add(3);
+        g.inc();
+        assert_eq!(g.get(), 4);
+        g.dec();
+        g.sub(2);
+        assert_eq!(g.get(), 1);
+        assert_eq!(g.peak(), 4, "peak survives the drop");
+        // A stray extra sub saturates at zero instead of wrapping.
+        g.sub(100);
+        assert_eq!(g.get(), 0);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+        assert_eq!(g.peak(), 7);
+        g.set(2);
+        assert_eq!(g.peak(), 7, "set never lowers the peak");
     }
 }

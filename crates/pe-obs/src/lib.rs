@@ -29,6 +29,6 @@ pub mod hist;
 pub mod profile;
 pub mod trace;
 
-pub use hist::{Counter, HistSnapshot, Histogram, RateWindow};
+pub use hist::{Counter, Gauge, HistSnapshot, Histogram, RateWindow};
 pub use profile::{NullProfile, ProfileRecorder, ProfileSnapshot, SimBatch, SimChunk, SimProfile};
 pub use trace::{RequestTrace, TraceRing};

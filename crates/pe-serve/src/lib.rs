@@ -49,12 +49,13 @@
 //! ```
 
 pub mod metrics;
+pub mod poller;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 pub mod service;
 
-pub use metrics::{Metrics, MetricsSnapshot, ModelMetrics, ModelMetricsSnapshot};
+pub use metrics::{FrontendStats, Metrics, MetricsSnapshot, ModelMetrics, ModelMetricsSnapshot};
 pub use registry::{ModelEntry, ModelKey, ModelRegistry};
 pub use server::Server;
 pub use service::{ServeError, ServeMode, Service, ServiceConfig, Ticket};

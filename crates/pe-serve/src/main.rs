@@ -5,6 +5,7 @@
 //! pe-serve [--addr HOST:PORT] [--mode gate|int|verify] [--batch-max N]
 //!          [--width 1|2|4|8] [--events] [--deadline-us N] [--workers N]
 //!          [--capacity N] [--warm key,key,... | --warm-grid]
+//!          [--cold] [--weight key=W ...] [--max-conns N]
 //!          [--trace-capacity N] [--trace-slow-us N] [--no-sim-profile]
 //! ```
 //!
@@ -24,6 +25,7 @@ struct Args {
     addr: String,
     cfg: ServiceConfig,
     warm: Vec<ModelKey>,
+    max_conns: Option<usize>,
 }
 
 fn usage() -> ! {
@@ -31,11 +33,17 @@ fn usage() -> ! {
         "usage: pe-serve [--addr HOST:PORT] [--mode gate|int|verify] [--batch-max N]\n\
          \x20               [--width 1|2|4|8] [--events] [--deadline-us N] [--workers N]\n\
          \x20               [--capacity N] [--warm key,key,... | --warm-grid]\n\
+         \x20               [--cold] [--weight key=W ...] [--max-conns N]\n\
          \x20               [--trace-capacity N] [--trace-slow-us N] [--no-sim-profile]\n\
          --width forces the bit-sliced slab width in words (64-512 lanes per\n\
          sweep; lane counts accepted); default: per-model auto\n\
          --events enables event-driven sweeps (dirty-cell worklist; identical\n\
          predictions, fewer cell evaluations on low-activity batches)\n\
+         --cold disables warm per-worker simulators (every batch stamps a\n\
+         fresh all-dirty engine; the pre-affinity behavior, for comparison)\n\
+         --weight sets a model's weighted-fair admission share (repeatable;\n\
+         e.g. --weight cardio:seq=2 gives it twice the default share)\n\
+         --max-conns caps concurrent connections (default 16384)\n\
          --trace-capacity sizes the request trace ring (`trace` command;\n\
          0 disables tracing; default 256)\n\
          --trace-slow-us only traces batches whose oldest request waited at\n\
@@ -51,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:7878".to_owned(),
         cfg: ServiceConfig::default(),
         warm: vec![ModelKey::parse("cardio:seq").expect("default key parses")],
+        max_conns: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -95,6 +104,22 @@ fn parse_args() -> Result<Args, String> {
                 args.cfg.trace_slow = Duration::from_micros(us);
             }
             "--no-sim-profile" => args.cfg.sim_profile = false,
+            "--cold" => args.cfg.warm = false,
+            "--weight" => {
+                let spec = value("--weight")?;
+                let (key, w) =
+                    spec.split_once('=').ok_or(format!("bad --weight {spec:?} (key=W)"))?;
+                let key = ModelKey::parse(key)?;
+                let w: f64 = w.parse().map_err(|_| format!("bad --weight value {w:?}"))?;
+                if !(w.is_finite() && w > 0.0) {
+                    return Err(format!("--weight must be positive, got {w}"));
+                }
+                args.cfg.weights.push((key, w));
+            }
+            "--max-conns" => {
+                args.max_conns =
+                    Some(value("--max-conns")?.parse().map_err(|_| "bad --max-conns".to_owned())?);
+            }
             "--warm" => {
                 args.warm =
                     value("--warm")?.split(',').map(ModelKey::parse).collect::<Result<_, _>>()?;
@@ -123,25 +148,29 @@ fn main() -> ExitCode {
         registry.warm(&args.warm, threads, &mut progress);
     }
     let service = Service::start(Arc::clone(&registry), args.cfg);
-    let server = match Server::bind(&args.addr, Arc::clone(&service)) {
+    let mut server = match Server::bind(&args.addr, Arc::clone(&service)) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("pe-serve: cannot bind {}: {e}", args.addr);
             return ExitCode::FAILURE;
         }
     };
+    if let Some(max) = args.max_conns {
+        server.set_max_conns(max);
+    }
     let cfg = service.config();
     let width = cfg.lane_width.map_or("auto".to_owned(), |w| w.to_string());
     eprintln!(
         "pe-serve listening on {} (mode {:?}, batch_max {}, width {}, sweeps {}, deadline {:?}, \
-         workers {})",
+         workers {}, {} engines)",
         server.local_addr(),
         cfg.mode,
         cfg.batch_max,
         width,
         if cfg.event_driven { "event-driven" } else { "full" },
         cfg.batch_deadline,
-        cfg.workers
+        cfg.workers,
+        if cfg.warm { "warm" } else { "cold" }
     );
     let connections = server.run();
     eprintln!("pe-serve: clean shutdown after {connections} connection(s)");

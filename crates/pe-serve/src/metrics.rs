@@ -18,7 +18,9 @@
 //! [`MetricsSnapshot::lifetime_rps`] keeps the since-start figure.
 
 use crate::registry::ModelKey;
-use pe_obs::{Counter, HistSnapshot, Histogram, ProfileRecorder, ProfileSnapshot, RateWindow};
+use pe_obs::{
+    Counter, Gauge, HistSnapshot, Histogram, ProfileRecorder, ProfileSnapshot, RateWindow,
+};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -184,6 +186,35 @@ pub struct ModelMetricsSnapshot {
     pub profile: ProfileSnapshot,
 }
 
+/// Connection and readiness gauges for the non-blocking TCP front end.
+///
+/// Owned by [`Metrics`] (so the `metrics` wire command exposes them without
+/// any registration dance) and written by the [`Server`](crate::Server)
+/// event loop. All figures stay zero when the service runs without a TCP
+/// front end (in-process use, tests).
+#[derive(Debug, Default)]
+pub struct FrontendStats {
+    /// Connections currently open (level) and the high-water mark (peak).
+    pub conns_open: Gauge,
+    /// Connections accepted over the server's lifetime.
+    pub accepted: Counter,
+    /// Connections refused because the slot table was full.
+    pub rejected: Counter,
+    /// Requests discarded for exceeding the line-length cap.
+    pub oversized: Counter,
+    /// Classify requests parked for service backpressure (queue full) and
+    /// retried on a later pass instead of being dropped.
+    pub parked: Counter,
+    /// Connections found readable on the most recent scan (level) and the
+    /// busiest single pass (peak).
+    pub conns_ready: Gauge,
+    /// Event-loop scan passes.
+    pub poll_passes: Counter,
+    /// Scan passes that made no progress (accept/read/write/reply) and paid
+    /// an idle pause instead.
+    pub poll_idle: Counter,
+}
+
 /// Live metrics for one [`Service`](crate::Service): per-model shards plus
 /// the windowed throughput clock.
 #[derive(Debug)]
@@ -193,6 +224,8 @@ pub struct Metrics {
     /// Interval clock for the windowed `rps` figure; ticked by
     /// [`Metrics::snapshot`].
     rate: Mutex<RateWindow>,
+    /// TCP front-end gauges (zero without a [`Server`](crate::Server)).
+    frontend: FrontendStats,
 }
 
 impl Metrics {
@@ -201,7 +234,14 @@ impl Metrics {
             started: Instant::now(),
             shards: RwLock::new(HashMap::new()),
             rate: Mutex::new(RateWindow::new(0)),
+            frontend: FrontendStats::default(),
         }
+    }
+
+    /// The TCP front end's connection/readiness instruments.
+    #[must_use]
+    pub fn frontend(&self) -> &FrontendStats {
+        &self.frontend
     }
 
     /// The shard for `key`, created on first use.
@@ -313,7 +353,9 @@ impl Metrics {
 
     /// Prometheus-style text exposition: one line per series, `model=`
     /// labels, terminated by `# EOF` (the `metrics` wire reply). Gauges
-    /// carry the aggregate queue depth and both throughput figures;
+    /// carry the aggregate queue depth, both throughput figures and the
+    /// front end's connection/readiness instruments (`pe_conn_*`,
+    /// `pe_poll_*` — zero without a TCP server);
     /// per-model series carry the shard counters, the queue-wait /
     /// service-time / latency quantiles, and the simulator profile series
     /// (phase nanoseconds, sweeps, cell evaluations, event-driven work,
@@ -331,6 +373,17 @@ impl Metrics {
             "pe_lifetime_rps {:.3}",
             if elapsed > 0.0 { served as f64 / elapsed } else { 0.0 }
         );
+        let fe = &self.frontend;
+        let _ = writeln!(out, "pe_conn_open {}", fe.conns_open.get());
+        let _ = writeln!(out, "pe_conn_open_peak {}", fe.conns_open.peak());
+        let _ = writeln!(out, "pe_conn_accepted_total {}", fe.accepted.get());
+        let _ = writeln!(out, "pe_conn_rejected_total {}", fe.rejected.get());
+        let _ = writeln!(out, "pe_conn_oversized_total {}", fe.oversized.get());
+        let _ = writeln!(out, "pe_conn_parked_total {}", fe.parked.get());
+        let _ = writeln!(out, "pe_conn_ready {}", fe.conns_ready.get());
+        let _ = writeln!(out, "pe_conn_ready_peak {}", fe.conns_ready.peak());
+        let _ = writeln!(out, "pe_poll_passes_total {}", fe.poll_passes.get());
+        let _ = writeln!(out, "pe_poll_idle_total {}", fe.poll_idle.get());
         for (key, s) in &shards {
             let m = key.token();
             let us = |d: Duration| d.as_secs_f64() * 1e6;
@@ -633,6 +686,16 @@ mod tests {
         let text = m.prometheus(64, 3);
         assert!(text.ends_with("# EOF\n"), "{text}");
         assert!(text.contains("pe_queue_depth 3"), "{text}");
+        // Front-end gauges are always exposed; without a TCP server they
+        // read zero except what we poke here.
+        m.frontend().conns_open.add(5);
+        m.frontend().conns_open.sub(2);
+        m.frontend().accepted.add(5);
+        let text = m.prometheus(64, 3);
+        assert!(text.contains("pe_conn_open 3"), "{text}");
+        assert!(text.contains("pe_conn_open_peak 5"), "{text}");
+        assert!(text.contains("pe_conn_accepted_total 5"), "{text}");
+        assert!(text.contains("pe_poll_passes_total 0"), "{text}");
         assert!(text.contains("pe_served_total{model=\"cardio:seq\"} 1"), "{text}");
         assert!(text.contains("pe_lane_width_words{model=\"pendigits:seq\"} 2"), "{text}");
         assert!(text.contains("pe_queue_wait_us{model=\"cardio:seq\",quantile=\"0.5\"}"), "{text}");

@@ -25,6 +25,13 @@
 
 use crate::registry::{parse_profile, parse_style, ModelKey};
 
+/// The longest request line the server will buffer, in bytes. A 16-feature
+/// `classify` line is well under 1 KiB even with full-precision floats;
+/// 16 KiB leaves generous headroom while bounding per-connection memory.
+/// The front end answers longer lines with `err line too long` and discards
+/// input up to the next newline, keeping the connection usable.
+pub const MAX_LINE: usize = 16 * 1024;
+
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {

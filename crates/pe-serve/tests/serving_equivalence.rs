@@ -18,6 +18,7 @@ use pe_core::engine::NullSink;
 use pe_core::pipeline::RunOptions;
 use pe_obs::HistSnapshot;
 use pe_serve::{ModelKey, ModelRegistry, ServeMode, Service, ServiceConfig};
+use pe_sim::LaneWidth;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -242,6 +243,80 @@ fn concurrent_model_shards_stay_disjoint_and_merge_into_the_aggregate() {
         }
     }
     service.shutdown();
+}
+
+#[test]
+fn warm_event_driven_stream_is_bit_identical_at_every_lane_width() {
+    // The warm-state equivalence satellite: an affinity worker's
+    // `WarmSimulator` carries event-driven dirty state *across* batches, so
+    // a long repeated-request stream must stay bit-identical — predictions
+    // AND toggle counters — to the same warm stream run dense, at every
+    // `LaneWidth`. Predictions are additionally pinned to fresh dense
+    // per-batch simulation and the integer golden model (a fresh engine
+    // starts from power-on reset, so its per-batch toggle *deltas* are the
+    // one thing that legitimately differs from a warm engine; see the
+    // `pe_sim::warm` module docs for the contract). The event-driven warm
+    // engine must also do strictly less work: fewer cell evaluations than
+    // its dense twin, which is the whole point of carrying dirty state.
+    let registry = Arc::new(ModelRegistry::new(RunOptions::default()));
+    let key = ModelKey::parse("cardio:seq").unwrap();
+    let entry = registry.get(key);
+    // Ragged batch sizes around the word boundary, as the batcher coalesces
+    // them: repeated/near-constant rows, quantized once up front.
+    let batches: Vec<Vec<Vec<i64>>> = [64usize, 1, 63, 65, 64, 32]
+        .iter()
+        .map(|&n| {
+            low_activity_rows(&entry, n, 17).iter().map(|x| entry.quantize_input(x)).collect()
+        })
+        .collect();
+
+    for width in [LaneWidth::W1, LaneWidth::W2, LaneWidth::W4, LaneWidth::W8] {
+        let mut warm_pair = [true, false].map(|events| {
+            let mut sim = entry.simulator();
+            sim.set_lane_width(width);
+            sim.set_event_driven(events);
+            sim.enable_activity();
+            sim.warm()
+        });
+        let [ref mut warm_ev, ref mut warm_dense] = warm_pair;
+        for (b, vectors) in batches.iter().enumerate() {
+            let got = warm_ev.run_batch(&entry.netlist, vectors, entry.cycles_per_vector, "class");
+            let dense =
+                warm_dense.run_batch(&entry.netlist, vectors, entry.cycles_per_vector, "class");
+            assert_eq!(
+                got, dense,
+                "{width:?} batch {b}: warm event-driven diverged from warm dense"
+            );
+            // Fresh dense per-batch simulation and the integer golden model
+            // agree on every prediction.
+            let fresh = {
+                let mut sim = entry.simulator();
+                sim.set_lane_width(width);
+                sim.run_batch(vectors, entry.cycles_per_vector, "class")
+            };
+            assert_eq!(
+                got.outputs, fresh.outputs,
+                "{width:?} batch {b}: warm predictions diverged from fresh dense"
+            );
+            for (i, (y, x)) in got.outputs.iter().zip(vectors).enumerate() {
+                assert_eq!(*y, entry.predict_int(x) as i64, "{width:?} batch {b} sample {i}");
+            }
+            // Carried-state equivalence after every batch, not just at the
+            // end: toggle counters over the worker's whole serving history.
+            assert_eq!(
+                warm_ev.activity(),
+                warm_dense.activity(),
+                "{width:?} batch {b}: warm toggle counters diverged"
+            );
+        }
+        assert_eq!(warm_ev.batches(), batches.len() as u64);
+        assert!(
+            warm_ev.cell_evals() < warm_dense.cell_evals(),
+            "{width:?}: event-driven carry-over must skip work ({} vs {} cell evals)",
+            warm_ev.cell_evals(),
+            warm_dense.cell_evals()
+        );
+    }
 }
 
 #[test]

@@ -66,8 +66,7 @@ use crate::sim::BatchResult;
 use pe_netlist::graph::FanoutCones;
 use pe_netlist::{CellId, Netlist, NetlistError, PortDir};
 use pe_obs::{SimBatch, SimProfile};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 /// Number of simulation lanes in one machine word (one slab holds
 /// `LANES * W` lanes).
@@ -278,6 +277,80 @@ pub struct BitSlicedSimulator<'nl, const W: usize = 1> {
     events: Option<Events>,
 }
 
+/// The owned state of a [`BitSlicedSimulator`] with the netlist borrow
+/// removed: schedule, slabs, register state, forced lanes, toggle counters,
+/// cycle/eval accounting and the event-driven worklist.
+///
+/// A `BitSlicedSimulator<'nl, W>` borrows its netlist, so it cannot live
+/// inside a struct that also owns the netlist (self-referential, and the
+/// workspace forbids `unsafe`). Detaching breaks the borrow:
+/// [`BitSlicedSimulator::detach`] moves every field here,
+/// [`BitSlicedSimulator::reattach`] moves them back around any netlist of
+/// the same shape. Both directions are pure moves — no allocation, no
+/// re-settling, and crucially the worklist's clean/dirty flags survive, so
+/// event-driven sweeps keep their cross-batch savings. [`crate::warm`]
+/// builds the lifetime-free [`WarmSimulator`](crate::WarmSimulator) on top.
+#[derive(Debug)]
+pub struct DetachedSlab<const W: usize = 1> {
+    num_nets: usize,
+    num_cells: usize,
+    order: Vec<CellId>,
+    regs: Vec<CellId>,
+    words: Vec<[u64; W]>,
+    state: Vec<[u64; W]>,
+    next_scratch: Vec<[u64; W]>,
+    input_ports: HashMap<String, Vec<pe_netlist::NetId>>,
+    output_ports: HashMap<String, Vec<pe_netlist::NetId>>,
+    toggles: ToggleCounters,
+    cycles: u64,
+    forced_mask: Vec<[u64; W]>,
+    forced_vals: Vec<[u64; W]>,
+    reg_of_net: Vec<usize>,
+    cell_evals: u64,
+    events: Option<Events>,
+}
+
+impl<const W: usize> DetachedSlab<W> {
+    /// Whether this state was detached from a netlist of this shape.
+    #[must_use]
+    pub fn matches(&self, nl: &Netlist) -> bool {
+        self.num_nets == nl.num_nets() && self.num_cells == nl.num_cells()
+    }
+
+    /// Clock cycles accounted so far (carried across detach/reattach).
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Combinational cell evaluations so far (carried across
+    /// detach/reattach) — the work metric warm event-driven serving shrinks.
+    #[must_use]
+    pub fn cell_evals(&self) -> u64 {
+        self.cell_evals
+    }
+
+    /// Whether the detached state runs event-driven sweeps when reattached.
+    #[must_use]
+    pub fn event_driven(&self) -> bool {
+        self.events.is_some()
+    }
+
+    /// Snapshot of the switching activity accumulated so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if activity tracking was never enabled.
+    #[must_use]
+    pub fn activity(&self) -> ActivityReport {
+        assert!(
+            self.toggles.is_enabled(),
+            "activity tracking not enabled; call enable_activity() first"
+        );
+        self.toggles.report(self.cycles)
+    }
+}
+
 /// Worklist bookkeeping of the event-driven sweep mode: instead of
 /// re-evaluating every combinational cell per settle pass, only cells at
 /// least one of whose input slabs changed since their last evaluation are
@@ -294,12 +367,19 @@ struct Events {
     /// `cell.index()` → its position in `order` (`u32::MAX` for sequential
     /// cells, which are never on the worklist).
     pos_of_cell: Vec<u32>,
-    /// Per-position "queued on the worklist" flag (deduplicates pushes).
-    dirty: Vec<bool>,
-    /// Min-heap of dirty positions: popping in ascending topological
-    /// position guarantees a cell runs after every dirty cell upstream of
-    /// it, so one drain settles the core.
-    heap: BinaryHeap<Reverse<u32>>,
+    /// Dirty-position bitmap: bit `p % 64` of word `p / 64` is set iff
+    /// position `p` is queued. Setting is idempotent, so marking needs no
+    /// dedup branch, and popping in ascending position is a trailing-zeros
+    /// scan — the heap this replaced cost `O(log n)` pointer-chasing per
+    /// push/pop, which at serving activity levels ate the sweep savings.
+    words: Vec<u64>,
+    /// One bit per `words` entry (`words[w] != 0`), so a pop touches at
+    /// most a couple of cache lines regardless of netlist size.
+    summary: Vec<u64>,
+    /// Lowest summary index that might be non-zero: pops advance it lazily,
+    /// marks pull it back. During a drain sinks are always downstream of
+    /// the popped cell, so this almost never moves backwards.
+    cursor: usize,
 }
 
 impl Events {
@@ -319,18 +399,32 @@ impl Events {
         }
         // Start all-dirty: the first settle is a full sweep, which makes
         // enabling the mode safe in any simulator state.
-        let dirty = vec![true; order.len()];
-        let heap = (0..order.len() as u32).map(Reverse).collect();
-        Events { sinks_of_net, pos_of_cell, dirty, heap }
+        let n = order.len();
+        let mut words = vec![!0u64; n.div_ceil(64)];
+        if let Some(last) = words.last_mut() {
+            let tail = n % 64;
+            if tail != 0 {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        let mut summary = vec![0u64; words.len().div_ceil(64).max(1)];
+        for (w, &word) in words.iter().enumerate() {
+            if word != 0 {
+                summary[w / 64] |= 1u64 << (w % 64);
+            }
+        }
+        Events { sinks_of_net, pos_of_cell, words, summary, cursor: 0 }
     }
 
-    /// Queues one position (no-op if already queued).
+    /// Queues one position (idempotent).
     #[inline]
     fn mark(&mut self, pos: u32) {
         let p = pos as usize;
-        if !self.dirty[p] {
-            self.dirty[p] = true;
-            self.heap.push(Reverse(pos));
+        self.words[p / 64] |= 1u64 << (p % 64);
+        let s = p / 4096;
+        self.summary[s] |= 1u64 << ((p / 64) % 64);
+        if s < self.cursor {
+            self.cursor = s;
         }
     }
 
@@ -338,12 +432,32 @@ impl Events {
     #[inline]
     fn mark_sinks(&mut self, net: usize) {
         for i in 0..self.sinks_of_net[net].len() {
-            let p = self.sinks_of_net[net][i];
-            if !self.dirty[p as usize] {
-                self.dirty[p as usize] = true;
-                self.heap.push(Reverse(p));
-            }
+            self.mark(self.sinks_of_net[net][i]);
         }
+    }
+
+    /// Pops the lowest queued position, or `None` when the worklist is
+    /// drained. Ascending-position order guarantees a cell runs after every
+    /// dirty cell upstream of it, so one drain settles the core.
+    #[inline]
+    fn pop_min(&mut self) -> Option<u32> {
+        while self.cursor < self.summary.len() {
+            let s = self.summary[self.cursor];
+            if s == 0 {
+                self.cursor += 1;
+                continue;
+            }
+            let wi = self.cursor * 64 + s.trailing_zeros() as usize;
+            let word = self.words[wi];
+            let bit = word.trailing_zeros() as usize;
+            let rest = word & (word - 1);
+            self.words[wi] = rest;
+            if rest == 0 {
+                self.summary[self.cursor] &= !(1u64 << (wi % 64));
+            }
+            return Some((wi * 64 + bit) as u32);
+        }
+        None
     }
 }
 
@@ -675,6 +789,78 @@ impl<'nl, const W: usize> BitSlicedSimulator<'nl, W> {
         &self.toggles
     }
 
+    /// Splits the simulator into its owned state, dropping the netlist
+    /// borrow — the storage half of the **warm-simulator** pattern (see
+    /// [`crate::warm`]). Everything moves: slabs, register state, forced
+    /// lanes, toggle counters, cycle/eval accounting *and* the event-driven
+    /// worklist, so a later [`BitSlicedSimulator::reattach`] resumes exactly
+    /// where this simulator left off — including which cells are still
+    /// clean, which is what lets a serving worker skip re-settling state
+    /// that did not change between batches.
+    #[must_use]
+    pub fn detach(self) -> DetachedSlab<W> {
+        DetachedSlab {
+            num_nets: self.nl.num_nets(),
+            num_cells: self.nl.num_cells(),
+            order: self.order,
+            regs: self.regs,
+            words: self.words,
+            state: self.state,
+            next_scratch: self.next_scratch,
+            input_ports: self.input_ports,
+            output_ports: self.output_ports,
+            toggles: self.toggles,
+            cycles: self.cycles,
+            forced_mask: self.forced_mask,
+            forced_vals: self.forced_vals,
+            reg_of_net: self.reg_of_net,
+            cell_evals: self.cell_evals,
+            events: self.events,
+        }
+    }
+
+    /// Rebuilds a simulator around detached state — the inverse of
+    /// [`BitSlicedSimulator::detach`]. This is a pure move (no allocation,
+    /// no re-settling), so attaching per batch costs nothing next to the
+    /// batch itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nl` does not have the net/cell counts the state was
+    /// detached with. This is a shape check, not a full connectivity
+    /// fingerprint: the warm path reattaches the *same* long-lived netlist
+    /// every batch, and the full fingerprint was already paid once at
+    /// [`Simulator::with_schedule`](crate::Simulator::with_schedule).
+    #[must_use]
+    pub fn reattach(nl: &Netlist, slab: DetachedSlab<W>) -> BitSlicedSimulator<'_, W> {
+        assert!(
+            slab.matches(nl),
+            "detached slab ({} nets / {} cells) does not fit netlist {:?} ({} nets / {} cells)",
+            slab.num_nets,
+            slab.num_cells,
+            nl.name(),
+            nl.num_nets(),
+            nl.num_cells()
+        );
+        BitSlicedSimulator {
+            nl,
+            order: slab.order,
+            regs: slab.regs,
+            words: slab.words,
+            state: slab.state,
+            next_scratch: slab.next_scratch,
+            input_ports: slab.input_ports,
+            output_ports: slab.output_ports,
+            toggles: slab.toggles,
+            cycles: slab.cycles,
+            forced_mask: slab.forced_mask,
+            forced_vals: slab.forced_vals,
+            reg_of_net: slab.reg_of_net,
+            cell_evals: slab.cell_evals,
+            events: slab.events,
+        }
+    }
+
     // ---- packed kernel ---------------------------------------------------
 
     /// One lane-parallel settle pass: every combinational cell evaluated as
@@ -766,12 +952,8 @@ impl<'nl, const W: usize> BitSlicedSimulator<'nl, W> {
         let track = self.toggles.is_enabled();
         let mut ins = [[0u64; W]; 3];
         let mut ev = self.events.take().expect("eval_worklist requires event mode");
-        while let Some(Reverse(p)) = ev.heap.pop() {
+        while let Some(p) = ev.pop_min() {
             let idx = p as usize;
-            if !ev.dirty[idx] {
-                continue;
-            }
-            ev.dirty[idx] = false;
             let cell = self.nl.cell(self.order[idx]);
             let out = cell.output().index();
             for (k, &inp) in cell.inputs().iter().enumerate() {

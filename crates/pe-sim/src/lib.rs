@@ -51,11 +51,13 @@ pub mod collapse;
 pub mod faults;
 pub mod sim;
 pub mod vcd;
+pub mod warm;
 
 pub use activity::{ActivityReport, ToggleCounters};
-pub use bitslice::{BitSlicedSimulator, LaneWidth};
+pub use bitslice::{BitSlicedSimulator, DetachedSlab, LaneWidth};
 pub use collapse::{
     fault_campaign_comb_ppsfp_collapsed, fault_campaign_seq_ppsfp_collapsed, CollapseStats,
 };
 pub use faults::{ConeMode, ConeStats, FaultReport, FaultSite, FaultySimulator};
 pub use sim::{BatchMode, BatchResult, Schedule, Simulator};
+pub use warm::WarmSimulator;

@@ -208,6 +208,33 @@ impl<'nl> Simulator<'nl> {
         self.nl
     }
 
+    /// Seeds a lifetime-free [`WarmSimulator`](crate::WarmSimulator) from
+    /// this simulator's schedule, settled state and configuration
+    /// (lane width, event-driven mode, activity tracking, profile hook).
+    ///
+    /// Where [`Simulator::run_batch`] stamps out a fresh slab engine per
+    /// call — restarting the event-driven worklist all-dirty every time —
+    /// the warm simulator keeps the engine's state *across* batches, which
+    /// is what lets serving workers finally collect the worklist's savings
+    /// on low-activity request streams. Holding no netlist borrow, it can
+    /// live inside the same struct (or thread) that owns the netlist; pass
+    /// the netlist back in on every
+    /// [`run_batch`](crate::WarmSimulator::run_batch) call.
+    #[must_use]
+    pub fn warm(&self) -> crate::WarmSimulator {
+        crate::warm::WarmSimulator::from_scalar_parts(
+            self.order.clone(),
+            self.regs.clone(),
+            self.values.clone(),
+            self.state.clone(),
+            self.frozen.clone(),
+            self.lane_width,
+            self.event_driven,
+            self.toggles.is_enabled(),
+            self.profile.clone(),
+        )
+    }
+
     /// Selects which engine executes [`Simulator::run_batch`]. The default
     /// is [`BatchMode::BitSliced`]; tests pin the fast path against
     /// [`BatchMode::Scalar`], the reference implementation.
